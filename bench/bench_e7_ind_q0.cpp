@@ -1,0 +1,76 @@
+// Experiment E7 — the construction's security claim at q = 0.
+//
+// Runs a battery of passive adversaries (natural ciphertext statistics:
+// repeat detection, byte frequency, Hamming weight, cross-document XOR)
+// through the Definition 2.1 game with q = 0 against our database PH,
+// across the SWP variants and check widths.
+//
+// Expected shape: every adversary's 95% interval contains 1/2 — no
+// statistic beats guessing, the empirical counterpart of the formal
+// security proof sketched in the paper.
+
+#include <cstdio>
+
+#include "games/q0_adversaries.h"
+#include "games/stats.h"
+
+using namespace dbph;
+
+int main() {
+  const size_t kTrials = 1000;
+  std::printf(
+      "E7: Definition 2.1 game at q = 0 vs our database PH, %zu trials "
+      "per cell\n\n",
+      kTrials);
+  std::printf("%-22s %-22s %-30s %10s %8s\n", "adversary", "options",
+              "success (95% Wilson CI)", "advantage", "verdict");
+
+  struct Config {
+    const char* label;
+    core::DbphOptions options;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"final m=4 (default)", {}});
+  {
+    core::DbphOptions o;
+    o.check_length = 1;
+    configs.push_back({"final m=1", o});
+  }
+  {
+    core::DbphOptions o;
+    o.variable_length = true;
+    configs.push_back({"final var-len", o});
+  }
+  {
+    core::DbphOptions o;
+    o.shuffle_slots = false;
+    configs.push_back({"final no-shuffle", o});
+  }
+
+  bool all_hold = true;
+  for (const auto& config : configs) {
+    auto battery = games::MakeQ0AdversaryBattery();
+    for (const auto& adversary : battery) {
+      auto outcome = games::RunDefinition21Game(config.options, /*q=*/0,
+                                                adversary.get(), kTrials,
+                                                777);
+      if (!outcome.ok()) {
+        std::printf("failed: %s\n", outcome.status().ToString().c_str());
+        return 1;
+      }
+      bool holds = !outcome->BeatsGuessing();
+      all_hold = all_hold && holds;
+      std::printf("%-22s %-22s %-30s %10.3f %8s\n",
+                  adversary->Name().c_str(), config.label,
+                  outcome->ToString().c_str(), outcome->Advantage(),
+                  holds ? "holds" : "BROKEN");
+    }
+  }
+
+  std::printf(
+      "\nShape check (paper Section 3): the construction is secure in the\n"
+      "relaxed q = 0 sense — %s.\n",
+      all_hold ? "confirmed: no adversary beats guessing"
+               : "VIOLATED: see rows marked BROKEN");
+  return all_hold ? 0 : 1;
+}

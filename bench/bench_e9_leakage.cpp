@@ -1,0 +1,78 @@
+// Experiment E9 (extension) — cumulative query leakage.
+//
+// Theorem 2.1 says one query breaks indistinguishability; this experiment
+// quantifies how fast Eve's knowledge *accumulates* as Alex keeps
+// querying: each executed query splits the encrypted documents into
+// matched/unmatched, and the intersection of those patterns refines a
+// partition of the table. We report distinguishable classes, partition
+// entropy, and fully isolated individuals (singletons — the "John" risk)
+// as a function of q.
+//
+// Expected shape: monotone growth, fast at first (selective queries carve
+// the table quickly), saturating toward the table's value-equality
+// structure. This is the quantitative justification for the paper's
+// q = 0 requirement.
+
+#include <cstdio>
+
+#include "games/hospital.h"
+#include "games/leakage.h"
+
+using namespace dbph;
+
+int main() {
+  games::HospitalModel model;
+  model.patients = 200;
+  crypto::HmacDrbg gen_rng("e9-table", 1);
+  auto table = games::GenerateHospitalTable(model, &gen_rng);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t kMaxQueries = 64;
+  const int kSeeds = 5;
+
+  std::printf(
+      "E9: Eve's partition of %zu encrypted hospital records vs observed "
+      "queries\n    (workload: random exact selects on real values; "
+      "averaged over %d seeds)\n\n",
+      table->size(), kSeeds);
+  std::printf("%6s %14s %16s %14s\n", "q", "mean classes", "mean entropy b",
+              "mean singletons");
+
+  std::vector<size_t> checkpoints = {0, 1, 2, 4, 8, 16, 32, 64};
+  std::vector<double> classes(checkpoints.size(), 0.0);
+  std::vector<double> entropy(checkpoints.size(), 0.0);
+  std::vector<double> singles(checkpoints.size(), 0.0);
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    auto workload = games::SampleWorkload(*table, kMaxQueries,
+                                          static_cast<uint64_t>(seed));
+    auto curve = games::MeasureQueryLeakage(*table, workload, {},
+                                            static_cast<uint64_t>(seed));
+    if (!curve.ok()) {
+      std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < checkpoints.size(); ++i) {
+      size_t q = checkpoints[i];
+      classes[i] += static_cast<double>(curve->classes[q]);
+      entropy[i] += curve->entropy_bits[q];
+      singles[i] += static_cast<double>(curve->singletons[q]);
+    }
+  }
+
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    std::printf("%6zu %14.1f %16.3f %14.1f\n", checkpoints[i],
+                classes[i] / kSeeds, entropy[i] / kSeeds,
+                singles[i] / kSeeds);
+  }
+
+  std::printf(
+      "\nShape check: classes/entropy grow monotonically with q and\n"
+      "singletons appear — individuals become re-identifiable exactly as\n"
+      "the John attack (E4) exploits. At q = 0 the partition is trivial:\n"
+      "one class, zero bits — the construction's security regime.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// The paper's operational moral, as a running program.
+//
+// "Assume that Alex trusts Eve not to attack him directly but still
+//  worries about her becoming adversarial in the future (e.g., by a
+//  change of company ownership). If Alex's trust in Eve deteriorates, he
+//  can cancel the contract in time and stop sending queries.
+//  Consequently, q = 0 and Theorem 2.1 does not apply."
+//
+// Timeline:
+//   1. Alex outsources his payroll and operates normally (queries flow).
+//   2. News: Eve's company is being acquired. Alex cancels: he recalls
+//      the ciphertext, decrypts locally, and drops the remote relation.
+//   3. Alex keeps working from a local plaintext engine.
+//   4. Eve is left holding only her observation log — and everything in
+//      it is opaque trapdoors and result identities; with no further
+//      queries ever arriving, the q = 0 guarantee is what protects the
+//      historical ciphertext she may have copied.
+
+#include <iostream>
+
+#include "baselines/plain/plain_engine.h"
+#include "client/client.h"
+#include "crypto/random.h"
+#include "server/untrusted_server.h"
+#include "sql/executor.h"
+
+using namespace dbph;
+
+int main() {
+  auto schema = rel::Schema::Create({
+      {"name", rel::ValueType::kString, 10},
+      {"dept", rel::ValueType::kString, 5},
+      {"salary", rel::ValueType::kInt64, 10},
+  });
+  rel::Relation emp("Emp", *schema);
+  (void)emp.Insert({rel::Value::Str("Montgomery"), rel::Value::Str("HR"),
+                    rel::Value::Int(7500)});
+  (void)emp.Insert({rel::Value::Str("Smith"), rel::Value::Str("IT"),
+                    rel::Value::Int(4900)});
+  (void)emp.Insert({rel::Value::Str("Jones"), rel::Value::Str("HR"),
+                    rel::Value::Int(4900)});
+
+  server::UntrustedServer eve;
+  crypto::Rng& rng = crypto::DefaultRng();
+  client::Client alex(
+      core::GenerateMasterKey(&rng),
+      [&eve](const Bytes& request) { return eve.HandleRequest(request); },
+      &rng);
+
+  std::cout << "--- Phase 1: normal operation ---\n";
+  if (Status s = alex.Outsource(emp); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  (void)alex.Select("Emp", "dept", rel::Value::Str("HR"));
+  (void)alex.Insert("Emp", {rel::Tuple({rel::Value::Str("Patel"),
+                                        rel::Value::Str("IT"),
+                                        rel::Value::Int(5200)})});
+  (void)alex.Select("Emp", "salary", rel::Value::Int(4900));
+  std::cout << "Eve stores " << *eve.RelationSize("Emp")
+            << " documents and has observed "
+            << eve.observations().queries().size() << " queries so far.\n";
+
+  std::cout << "\n--- Phase 2: trust deteriorates; Alex cancels ---\n";
+  auto recalled = alex.Recall("Emp");
+  if (!recalled.ok()) {
+    std::cerr << recalled.status() << "\n";
+    return 1;
+  }
+  if (Status s = alex.Drop("Emp"); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << "Recalled " << recalled->size()
+            << " tuples; server now stores " << eve.num_relations()
+            << " relations.\n";
+
+  std::cout << "\n--- Phase 3: Alex continues locally ---\n";
+  auto local = baseline::PlainEngine::Create(*recalled);
+  if (!local.ok()) {
+    std::cerr << local.status() << "\n";
+    return 1;
+  }
+  auto it_staff = local->Select("dept", rel::Value::Str("IT"));
+  std::cout << sql::FormatResult(*it_staff);
+
+  std::cout << "\n--- Phase 4: what Eve is left with ---\n";
+  std::cout << "Observation log: " << eve.observations().queries().size()
+            << " opaque trapdoors with result identities. No further\n"
+               "queries will arrive: q = 0 from here on, Theorem 2.1 does\n"
+               "not apply, and the construction's security guarantee covers\n"
+               "any ciphertext copies Eve retained.\n";
+  return 0;
+}

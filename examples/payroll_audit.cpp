@@ -1,0 +1,99 @@
+// Payroll audit: why "weakly encrypted" indexes fail the IND game.
+//
+// Reproduces the paper's Section 1 attack live: the auditor (Eve) submits
+// the two salary tables from the paper, receives an encryption of one of
+// them under a fresh key, and tells them apart from the deterministic
+// salary labels of the bucketization / hash-index baselines — while the
+// same statistic against the database PH is a coin flip.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/macros.h"
+#include "dbph/scheme.h"
+#include "games/ind_game.h"
+#include "games/salary_attack.h"
+
+using namespace dbph;
+using games::TrialEncryptor;
+
+int main() {
+  std::cout << "Eve's chosen tables (paper Section 1):\n"
+               "  table 1: (171, 4900), (481, 1200)  - distinct salaries\n"
+               "  table 2: (171, 4900), (481, 4900)  - equal salaries\n\n";
+
+  const size_t kTrials = 500;
+
+  // --- Hacigumus bucketization ---
+  baseline::BucketOptions bucket_options;
+  baseline::BucketAttributeConfig salary;
+  salary.kind = baseline::PartitionKind::kEquiWidth;
+  salary.lo = 0;
+  salary.hi = 10000;
+  salary.buckets = 20;
+  bucket_options.attribute_configs["salary"] = salary;
+
+  games::BucketSalaryAdversary bucket_adversary;
+  TrialEncryptor<baseline::BucketRelation> bucket_encrypt =
+      [&](const rel::Relation& table, size_t trial,
+          crypto::Rng* rng) -> Result<baseline::BucketRelation> {
+    DBPH_ASSIGN_OR_RETURN(
+        baseline::BucketScheme scheme,
+        baseline::BucketScheme::Create(
+            games::SalarySchema(),
+            ToBytes("payroll key " + std::to_string(trial)),
+            bucket_options));
+    return scheme.EncryptRelation(table, rng);
+  };
+  auto bucket = games::RunIndGame<baseline::BucketRelation>(
+      bucket_encrypt, &bucket_adversary, kTrials, 1);
+
+  // --- Damiani hash index ---
+  games::DamianiSalaryAdversary damiani_adversary;
+  TrialEncryptor<baseline::HashedRelation> damiani_encrypt =
+      [](const rel::Relation& table, size_t trial,
+         crypto::Rng* rng) -> Result<baseline::HashedRelation> {
+    DBPH_ASSIGN_OR_RETURN(
+        baseline::DamianiScheme scheme,
+        baseline::DamianiScheme::Create(
+            games::SalarySchema(),
+            ToBytes("payroll key " + std::to_string(trial))));
+    return scheme.EncryptRelation(table, rng);
+  };
+  auto damiani = games::RunIndGame<baseline::HashedRelation>(
+      damiani_encrypt, &damiani_adversary, kTrials, 2);
+
+  // --- Our database PH ---
+  games::DbphSalaryAdversary dbph_adversary;
+  TrialEncryptor<core::EncryptedRelation> dbph_encrypt =
+      [](const rel::Relation& table, size_t trial,
+         crypto::Rng* rng) -> Result<core::EncryptedRelation> {
+    DBPH_ASSIGN_OR_RETURN(
+        core::DatabasePh ph,
+        core::DatabasePh::Create(
+            games::SalarySchema(),
+            ToBytes("payroll key " + std::to_string(trial))));
+    return ph.EncryptRelation(table, rng);
+  };
+  auto dbph = games::RunIndGame<core::EncryptedRelation>(
+      dbph_encrypt, &dbph_adversary, kTrials, 3);
+
+  if (!bucket.ok() || !damiani.ok() || !dbph.ok()) {
+    std::cerr << "game failure\n";
+    return 1;
+  }
+
+  std::printf("%-28s %-30s %9s\n", "scheme", "success (95% Wilson CI)",
+              "advantage");
+  std::printf("%-28s %-30s %9.3f\n", "bucketization (Hacigumus)",
+              bucket->ToString().c_str(), bucket->Advantage());
+  std::printf("%-28s %-30s %9.3f\n", "hash index (Damiani)",
+              damiani->ToString().c_str(), damiani->Advantage());
+  std::printf("%-28s %-30s %9.3f\n", "database PH (this library)",
+              dbph->ToString().c_str(), dbph->Advantage());
+
+  std::cout << "\nDeterministic attribute-level labels lose the game with\n"
+               "probability ~1; the SWP-based construction leaves Eve at\n"
+               "a coin flip.\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// An interactive SQL shell over an outsourced, encrypted database.
+//
+// Usage:
+//   sql_repl                 - demo Emp table
+//   sql_repl schema.csv data.csv table_name
+//       schema.csv: one "name,type[,max_length]" line per attribute
+//                   (types: string, int64, double, bool)
+//       data.csv:   header + rows
+//
+// Every SELECT typed at the prompt is encrypted into a trapdoor, executed
+// by the (in-process) untrusted server on ciphertext only, decrypted and
+// filtered on the client.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "client/client.h"
+#include "common/macros.h"
+#include "crypto/random.h"
+#include "relation/csv.h"
+#include "server/untrusted_server.h"
+#include "sql/executor.h"
+
+using namespace dbph;
+
+namespace {
+
+Result<rel::Schema> LoadSchemaCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<rel::Attribute> attributes;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string name, type, length;
+    std::getline(fields, name, ',');
+    std::getline(fields, type, ',');
+    std::getline(fields, length, ',');
+    rel::Attribute attr;
+    attr.name = name;
+    if (type == "string") attr.type = rel::ValueType::kString;
+    else if (type == "int64") attr.type = rel::ValueType::kInt64;
+    else if (type == "double") attr.type = rel::ValueType::kDouble;
+    else if (type == "bool") attr.type = rel::ValueType::kBool;
+    else return Status::InvalidArgument("unknown type '" + type + "'");
+    attr.max_length = length.empty() ? 0 : std::stoul(length);
+    attributes.push_back(std::move(attr));
+  }
+  return rel::Schema::Create(std::move(attributes));
+}
+
+Result<rel::Relation> DemoTable() {
+  DBPH_ASSIGN_OR_RETURN(rel::Schema schema,
+                        rel::Schema::Create({
+                            {"name", rel::ValueType::kString, 10},
+                            {"dept", rel::ValueType::kString, 5},
+                            {"salary", rel::ValueType::kInt64, 10},
+                        }));
+  rel::Relation emp("Emp", schema);
+  DBPH_RETURN_IF_ERROR(emp.Insert({rel::Value::Str("Montgomery"),
+                                   rel::Value::Str("HR"),
+                                   rel::Value::Int(7500)}));
+  DBPH_RETURN_IF_ERROR(emp.Insert({rel::Value::Str("Smith"),
+                                   rel::Value::Str("IT"),
+                                   rel::Value::Int(4900)}));
+  DBPH_RETURN_IF_ERROR(emp.Insert({rel::Value::Str("Jones"),
+                                   rel::Value::Str("HR"),
+                                   rel::Value::Int(4900)}));
+  return emp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<rel::Relation> table = DemoTable();
+  if (argc == 4) {
+    auto schema = LoadSchemaCsv(argv[1]);
+    if (!schema.ok()) {
+      std::cerr << schema.status() << "\n";
+      return 1;
+    }
+    table = rel::LoadCsvFile(argv[3], *schema, argv[2]);
+  } else if (argc != 1) {
+    std::cerr << "usage: sql_repl [schema.csv data.csv table_name]\n";
+    return 1;
+  }
+  if (!table.ok()) {
+    std::cerr << table.status() << "\n";
+    return 1;
+  }
+
+  server::UntrustedServer eve;
+  crypto::Rng& rng = crypto::DefaultRng();
+  client::Client alex(
+      core::GenerateMasterKey(&rng),
+      [&eve](const Bytes& request) { return eve.HandleRequest(request); },
+      &rng);
+  if (Status s = alex.Outsource(*table); !s.ok()) {
+    std::cerr << "outsourcing failed: " << s << "\n";
+    return 1;
+  }
+
+  std::cout << "Outsourced table '" << table->name() << "' (" << table->size()
+            << " tuples) to the untrusted server.\n"
+            << "Type exact-select SQL, e.g.:\n"
+            << "  SELECT * FROM " << table->name() << " WHERE "
+            << table->schema().attribute(0).name << " = ...;\n"
+            << "Ctrl-D or \\q to quit, \\eve to dump Eve's transcript.\n\n";
+
+  std::string line;
+  while (std::cout << "dbph> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\eve") {
+      const auto& queries = eve.observations().queries();
+      std::cout << "Eve has observed " << queries.size() << " queries:\n";
+      for (size_t i = 0; i < queries.size(); ++i) {
+        std::cout << "  [" << i << "] trapdoor "
+                  << HexEncode(queries[i].trapdoor_bytes).substr(0, 24)
+                  << "... -> " << queries[i].result_size() << " matches\n";
+      }
+      continue;
+    }
+    auto result = sql::ExecuteSql(&alex, line);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status() << "\n";
+      continue;
+    }
+    std::cout << sql::FormatResult(*result);
+  }
+  return 0;
+}

@@ -1,0 +1,209 @@
+#include "baselines/bucket/bucket_scheme.h"
+
+#include "common/macros.h"
+#include "crypto/ctr.h"
+#include "crypto/hkdf.h"
+#include "crypto/prf.h"
+
+namespace dbph {
+namespace baseline {
+
+void BucketTuple::AppendTo(Bytes* out) const {
+  AppendLengthPrefixed(out, nonce);
+  AppendLengthPrefixed(out, payload);
+  AppendUint32(out, static_cast<uint32_t>(labels.size()));
+  for (const Bytes& label : labels) AppendLengthPrefixed(out, label);
+}
+
+Result<BucketTuple> BucketTuple::ReadFrom(ByteReader* reader) {
+  BucketTuple t;
+  DBPH_ASSIGN_OR_RETURN(t.nonce, reader->ReadLengthPrefixed());
+  DBPH_ASSIGN_OR_RETURN(t.payload, reader->ReadLengthPrefixed());
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Bytes label, reader->ReadLengthPrefixed());
+    t.labels.push_back(std::move(label));
+  }
+  return t;
+}
+
+size_t BucketRelation::CiphertextBytes() const {
+  size_t total = 0;
+  for (const auto& t : tuples) {
+    total += t.nonce.size() + t.payload.size();
+    for (const auto& label : t.labels) total += label.size();
+  }
+  return total;
+}
+
+const BucketAttributeConfig& BucketScheme::ConfigFor(
+    const std::string& name) const {
+  auto it = options_.attribute_configs.find(name);
+  return it == options_.attribute_configs.end() ? options_.default_config
+                                                : it->second;
+}
+
+Result<BucketScheme> BucketScheme::Create(const rel::Schema& schema,
+                                          const Bytes& master_key,
+                                          const BucketOptions& options) {
+  if (master_key.empty()) {
+    return Status::InvalidArgument("empty master key");
+  }
+  if (options.label_length < 2) {
+    return Status::InvalidArgument("label_length must be >= 2");
+  }
+  Bytes label_key = crypto::DeriveSubkey(master_key, "bucket/labels");
+  Bytes payload_key =
+      crypto::DeriveSubkey(master_key, "bucket/payload", 16);
+
+  std::vector<Partitioner> partitioners;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    const auto& attr = schema.attribute(i);
+    BucketAttributeConfig config = options.attribute_configs.count(attr.name)
+                                       ? options.attribute_configs.at(attr.name)
+                                       : options.default_config;
+    if (attr.type != rel::ValueType::kInt64 &&
+        config.kind != PartitionKind::kHash) {
+      // Only integers have ordered partitions; others fall back to hash.
+      config.kind = PartitionKind::kHash;
+    }
+    switch (config.kind) {
+      case PartitionKind::kEquiWidth: {
+        DBPH_ASSIGN_OR_RETURN(
+            Partitioner p,
+            Partitioner::EquiWidth(config.lo, config.hi, config.buckets));
+        partitioners.push_back(std::move(p));
+        break;
+      }
+      case PartitionKind::kEquiDepth: {
+        // Placeholder until FitEquiDepth supplies the sample: a single
+        // bucket (degenerate but well-defined).
+        DBPH_ASSIGN_OR_RETURN(Partitioner p, Partitioner::Hash(1));
+        partitioners.push_back(std::move(p));
+        break;
+      }
+      case PartitionKind::kHash: {
+        DBPH_ASSIGN_OR_RETURN(Partitioner p,
+                              Partitioner::Hash(config.buckets));
+        partitioners.push_back(std::move(p));
+        break;
+      }
+    }
+  }
+  return BucketScheme(schema, options, std::move(label_key),
+                      std::move(payload_key), std::move(partitioners));
+}
+
+Status BucketScheme::FitEquiDepth(const rel::Relation& sample) {
+  if (!(sample.schema() == schema_)) {
+    return Status::InvalidArgument("sample schema mismatch");
+  }
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    const auto& attr = schema_.attribute(i);
+    const auto& config = ConfigFor(attr.name);
+    if (config.kind != PartitionKind::kEquiDepth ||
+        attr.type != rel::ValueType::kInt64) {
+      continue;
+    }
+    std::vector<int64_t> values;
+    values.reserve(sample.size());
+    for (const auto& tuple : sample.tuples()) {
+      values.push_back(tuple.at(i).AsInt());
+    }
+    DBPH_ASSIGN_OR_RETURN(Partitioner p,
+                          Partitioner::EquiDepth(values, config.buckets));
+    partitioners_[i] = std::move(p);
+  }
+  return Status::OK();
+}
+
+Bytes BucketScheme::LabelOf(size_t attr, size_t bucket) const {
+  crypto::Prf prf(label_key_);
+  Bytes input;
+  AppendUint32(&input, static_cast<uint32_t>(attr));
+  AppendUint64(&input, static_cast<uint64_t>(bucket));
+  return prf.Eval(input, options_.label_length);
+}
+
+Result<BucketTuple> BucketScheme::EncryptTuple(const rel::Tuple& tuple,
+                                               crypto::Rng* rng) const {
+  DBPH_RETURN_IF_ERROR(schema_.ValidateTuple(tuple.values()));
+  BucketTuple out;
+  out.nonce = rng->NextBytes(12);
+  Bytes serialized;
+  tuple.AppendTo(&serialized);
+  DBPH_ASSIGN_OR_RETURN(crypto::AesCtr cipher,
+                        crypto::AesCtr::Create(payload_key_, out.nonce));
+  out.payload = cipher.Process(serialized);
+  out.labels.reserve(tuple.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    out.labels.push_back(LabelOf(i, partitioners_[i].BucketOf(tuple.at(i))));
+  }
+  return out;
+}
+
+Result<BucketRelation> BucketScheme::EncryptRelation(
+    const rel::Relation& relation, crypto::Rng* rng) const {
+  if (!(relation.schema() == schema_)) {
+    return Status::InvalidArgument("relation schema mismatch");
+  }
+  BucketRelation out;
+  out.name = relation.name();
+  out.tuples.reserve(relation.size());
+  for (const auto& tuple : relation.tuples()) {
+    DBPH_ASSIGN_OR_RETURN(BucketTuple enc, EncryptTuple(tuple, rng));
+    out.tuples.push_back(std::move(enc));
+  }
+  return out;
+}
+
+Result<rel::Tuple> BucketScheme::DecryptTuple(const BucketTuple& tuple) const {
+  DBPH_ASSIGN_OR_RETURN(crypto::AesCtr cipher,
+                        crypto::AesCtr::Create(payload_key_, tuple.nonce));
+  Bytes serialized = cipher.Process(tuple.payload);
+  ByteReader reader(serialized);
+  DBPH_ASSIGN_OR_RETURN(rel::Tuple out, rel::Tuple::ReadFrom(&reader));
+  DBPH_RETURN_IF_ERROR(schema_.ValidateTuple(out.values()));
+  return out;
+}
+
+Result<Bytes> BucketScheme::QueryLabel(const std::string& attribute,
+                                       const rel::Value& value) const {
+  DBPH_ASSIGN_OR_RETURN(size_t attr, schema_.IndexOf(attribute));
+  if (value.type() != schema_.attribute(attr).type) {
+    return Status::InvalidArgument("query value type mismatch");
+  }
+  return LabelOf(attr, partitioners_[attr].BucketOf(value));
+}
+
+Result<std::vector<Bytes>> BucketScheme::QueryRangeLabels(
+    const std::string& attribute, int64_t lo, int64_t hi) const {
+  DBPH_ASSIGN_OR_RETURN(size_t attr, schema_.IndexOf(attribute));
+  if (schema_.attribute(attr).type != rel::ValueType::kInt64) {
+    return Status::InvalidArgument("range queries need an int attribute");
+  }
+  DBPH_ASSIGN_OR_RETURN(std::vector<size_t> buckets,
+                        partitioners_[attr].BucketsForRange(lo, hi));
+  std::vector<Bytes> labels;
+  labels.reserve(buckets.size());
+  for (size_t b : buckets) labels.push_back(LabelOf(attr, b));
+  return labels;
+}
+
+Result<rel::Relation> BucketScheme::DecryptAndFilter(
+    const std::vector<BucketTuple>& tuples, const std::string& attribute,
+    const rel::Value& value) const {
+  DBPH_ASSIGN_OR_RETURN(rel::ExactMatch predicate,
+                        rel::MakeExactMatch(schema_, attribute, value));
+  rel::Relation out("result", schema_);
+  for (const auto& enc : tuples) {
+    DBPH_ASSIGN_OR_RETURN(rel::Tuple tuple, DecryptTuple(enc));
+    if (predicate.Evaluate(tuple)) {
+      DBPH_RETURN_IF_ERROR(out.Insert(std::move(tuple)));
+    }
+  }
+  return out;
+}
+
+}  // namespace baseline
+}  // namespace dbph

@@ -1,0 +1,125 @@
+#ifndef DBPH_BASELINES_BUCKET_BUCKET_SCHEME_H_
+#define DBPH_BASELINES_BUCKET_BUCKET_SCHEME_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/bucket/partition.h"
+#include "common/result.h"
+#include "crypto/random.h"
+#include "relation/relation.h"
+
+namespace dbph {
+namespace baseline {
+
+/// \brief One outsourced tuple under the bucketization scheme: a strongly
+/// encrypted payload (AES-CTR of the serialized tuple) plus one *weak*
+/// deterministic label per attribute — the encrypted interval ids of
+/// Hacıgümüş et al.
+///
+/// Two plaintexts in the same interval share a label even when unequal;
+/// two encryptions of the same value always share a label. The latter is
+/// exactly what the paper's Section 1 attack exploits.
+struct BucketTuple {
+  Bytes nonce;
+  Bytes payload;
+  std::vector<Bytes> labels;
+
+  void AppendTo(Bytes* out) const;
+  static Result<BucketTuple> ReadFrom(ByteReader* reader);
+};
+
+/// \brief A bucketized encrypted relation.
+struct BucketRelation {
+  std::string name;
+  std::vector<BucketTuple> tuples;
+
+  size_t size() const { return tuples.size(); }
+  size_t CiphertextBytes() const;
+};
+
+/// \brief Per-attribute bucketization config.
+struct BucketAttributeConfig {
+  PartitionKind kind = PartitionKind::kHash;
+  size_t buckets = 16;
+  int64_t lo = 0;          ///< equi-width only
+  int64_t hi = 1000000;    ///< equi-width only
+};
+
+struct BucketOptions {
+  /// Per-attribute overrides by name; others use `default_config`.
+  std::map<std::string, BucketAttributeConfig> attribute_configs;
+  BucketAttributeConfig default_config;
+  size_t label_length = 8;  ///< bytes per weak label
+};
+
+/// \brief The Hacıgümüş et al. (SIGMOD'02) database encryption scheme,
+/// reimplemented from the published algorithm as the paper's comparison
+/// target.
+///
+/// E: tuple -> (AES-CTR payload, per-attribute deterministic bucket
+/// labels). The "secret permutation" of interval ids is realized as a
+/// keyed PRF truncated to `label_length` bytes (deterministic, secret,
+/// collision-free in practice).
+/// Eq: sigma_{a=v} -> the label of v's bucket.
+/// Server: equality probe on labels (see BucketServer), returning a
+/// superset. D + filter on the client removes same-bucket non-matches.
+class BucketScheme {
+ public:
+  static Result<BucketScheme> Create(const rel::Schema& schema,
+                                     const Bytes& master_key,
+                                     const BucketOptions& options = {});
+
+  /// Equi-depth partitioners need the data distribution; call this with a
+  /// representative sample (or the full column) before encrypting.
+  Status FitEquiDepth(const rel::Relation& sample);
+
+  const rel::Schema& schema() const { return schema_; }
+
+  Result<BucketTuple> EncryptTuple(const rel::Tuple& tuple,
+                                   crypto::Rng* rng) const;
+  Result<BucketRelation> EncryptRelation(const rel::Relation& relation,
+                                         crypto::Rng* rng) const;
+  Result<rel::Tuple> DecryptTuple(const BucketTuple& tuple) const;
+
+  /// Eq: the weak label for sigma_{attribute = value}.
+  Result<Bytes> QueryLabel(const std::string& attribute,
+                           const rel::Value& value) const;
+
+  /// Range extension: labels of all buckets overlapping [lo, hi].
+  Result<std::vector<Bytes>> QueryRangeLabels(const std::string& attribute,
+                                              int64_t lo, int64_t hi) const;
+
+  /// Client-side post-filter after decryption.
+  Result<rel::Relation> DecryptAndFilter(
+      const std::vector<BucketTuple>& tuples, const std::string& attribute,
+      const rel::Value& value) const;
+
+  /// The deterministic label of (attribute index, bucket index); exposed
+  /// for the attack code, which never needs the key — it only compares
+  /// labels for equality, as Eve does.
+  Bytes LabelOf(size_t attr, size_t bucket) const;
+
+ private:
+  BucketScheme(rel::Schema schema, BucketOptions options, Bytes label_key,
+               Bytes payload_key, std::vector<Partitioner> partitioners)
+      : schema_(std::move(schema)),
+        options_(std::move(options)),
+        label_key_(std::move(label_key)),
+        payload_key_(std::move(payload_key)),
+        partitioners_(std::move(partitioners)) {}
+
+  const BucketAttributeConfig& ConfigFor(const std::string& name) const;
+
+  rel::Schema schema_;
+  BucketOptions options_;
+  Bytes label_key_;
+  Bytes payload_key_;
+  std::vector<Partitioner> partitioners_;
+};
+
+}  // namespace baseline
+}  // namespace dbph
+
+#endif  // DBPH_BASELINES_BUCKET_BUCKET_SCHEME_H_

@@ -1,0 +1,76 @@
+#include "baselines/bucket/bucket_server.h"
+
+#include <set>
+
+namespace dbph {
+namespace baseline {
+
+BucketServer::BucketServer(BucketRelation relation)
+    : relation_(std::move(relation)) {
+  if (relation_.tuples.empty()) return;
+  indexes_.resize(relation_.tuples[0].labels.size());
+  for (size_t i = 0; i < relation_.tuples.size(); ++i) {
+    const auto& labels = relation_.tuples[i].labels;
+    for (size_t attr = 0; attr < labels.size() && attr < indexes_.size();
+         ++attr) {
+      indexes_[attr].Insert(labels[attr], i);
+    }
+  }
+}
+
+Result<std::vector<BucketTuple>> BucketServer::SelectByLabel(
+    size_t attribute, const Bytes& label) const {
+  if (attribute >= indexes_.size()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  std::vector<BucketTuple> out;
+  for (uint64_t i : indexes_[attribute].Lookup(label)) {
+    out.push_back(relation_.tuples[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Result<std::vector<BucketTuple>> BucketServer::SelectByLabels(
+    size_t attribute, const std::vector<Bytes>& labels) const {
+  if (attribute >= indexes_.size()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  std::set<uint64_t> hits;
+  for (const Bytes& label : labels) {
+    for (uint64_t i : indexes_[attribute].Lookup(label)) hits.insert(i);
+  }
+  std::vector<BucketTuple> out;
+  out.reserve(hits.size());
+  for (uint64_t i : hits) {
+    out.push_back(relation_.tuples[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+DamianiServer::DamianiServer(HashedRelation relation)
+    : relation_(std::move(relation)) {
+  if (relation_.tuples.empty()) return;
+  indexes_.resize(relation_.tuples[0].labels.size());
+  for (size_t i = 0; i < relation_.tuples.size(); ++i) {
+    const auto& labels = relation_.tuples[i].labels;
+    for (size_t attr = 0; attr < labels.size() && attr < indexes_.size();
+         ++attr) {
+      indexes_[attr].Insert(labels[attr], i);
+    }
+  }
+}
+
+Result<std::vector<HashedTuple>> DamianiServer::SelectByLabel(
+    size_t attribute, const Bytes& label) const {
+  if (attribute >= indexes_.size()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  std::vector<HashedTuple> out;
+  for (uint64_t i : indexes_[attribute].Lookup(label)) {
+    out.push_back(relation_.tuples[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace baseline
+}  // namespace dbph

@@ -1,0 +1,58 @@
+#ifndef DBPH_BASELINES_BUCKET_BUCKET_SERVER_H_
+#define DBPH_BASELINES_BUCKET_BUCKET_SERVER_H_
+
+#include <vector>
+
+#include "baselines/bucket/bucket_scheme.h"
+#include "baselines/damiani/hash_scheme.h"
+#include "common/result.h"
+#include "storage/hash_index.h"
+
+namespace dbph {
+namespace baseline {
+
+/// \brief The service-provider side of the bucketization scheme: stores
+/// encrypted tuples and serves equality probes on the weak labels via a
+/// hash index per attribute (the reason the scheme is fast — and the
+/// reason it leaks, see experiment E1).
+class BucketServer {
+ public:
+  /// Takes ownership of the encrypted relation and indexes every
+  /// attribute's labels.
+  explicit BucketServer(BucketRelation relation);
+
+  size_t size() const { return relation_.tuples.size(); }
+
+  /// All tuples whose `attribute`-label equals `label` — a superset of
+  /// the true result; the client decrypts and filters.
+  Result<std::vector<BucketTuple>> SelectByLabel(size_t attribute,
+                                                 const Bytes& label) const;
+
+  /// Range extension: union over several labels (deduplicated).
+  Result<std::vector<BucketTuple>> SelectByLabels(
+      size_t attribute, const std::vector<Bytes>& labels) const;
+
+ private:
+  BucketRelation relation_;
+  std::vector<storage::HashIndex> indexes_;  // one per attribute
+};
+
+/// \brief Same shape for the Damiani scheme (exact-value hash labels).
+class DamianiServer {
+ public:
+  explicit DamianiServer(HashedRelation relation);
+
+  size_t size() const { return relation_.tuples.size(); }
+
+  Result<std::vector<HashedTuple>> SelectByLabel(size_t attribute,
+                                                 const Bytes& label) const;
+
+ private:
+  HashedRelation relation_;
+  std::vector<storage::HashIndex> indexes_;
+};
+
+}  // namespace baseline
+}  // namespace dbph
+
+#endif  // DBPH_BASELINES_BUCKET_BUCKET_SERVER_H_

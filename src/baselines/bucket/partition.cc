@@ -1,0 +1,80 @@
+#include "baselines/bucket/partition.h"
+
+#include <algorithm>
+
+namespace dbph {
+namespace baseline {
+
+Result<Partitioner> Partitioner::EquiWidth(int64_t lo, int64_t hi,
+                                           size_t buckets) {
+  if (buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  if (lo >= hi) return Status::InvalidArgument("lo must be < hi");
+  Partitioner p(PartitionKind::kEquiWidth, buckets);
+  p.lo_ = lo;
+  p.hi_ = hi;
+  return p;
+}
+
+Result<Partitioner> Partitioner::EquiDepth(std::vector<int64_t> sample,
+                                           size_t buckets) {
+  if (buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  if (sample.size() < buckets) {
+    return Status::InvalidArgument("sample smaller than bucket count");
+  }
+  std::sort(sample.begin(), sample.end());
+  Partitioner p(PartitionKind::kEquiDepth, buckets);
+  // boundaries_[i] = inclusive upper bound of bucket i (last one implied).
+  for (size_t i = 1; i < buckets; ++i) {
+    size_t idx = i * sample.size() / buckets;
+    p.boundaries_.push_back(sample[idx]);
+  }
+  return p;
+}
+
+Result<Partitioner> Partitioner::Hash(size_t buckets) {
+  if (buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  return Partitioner(PartitionKind::kHash, buckets);
+}
+
+size_t Partitioner::BucketOf(const rel::Value& value) const {
+  switch (kind_) {
+    case PartitionKind::kEquiWidth: {
+      int64_t v = value.AsInt();
+      if (v <= lo_) return 0;
+      if (v >= hi_) return num_buckets_ - 1;
+      // Unsigned arithmetic avoids overflow for wide domains.
+      uint64_t span = static_cast<uint64_t>(hi_ - lo_);
+      uint64_t off = static_cast<uint64_t>(v - lo_);
+      // Use 128-bit product to keep precision.
+      return static_cast<size_t>(
+          static_cast<unsigned __int128>(off) * num_buckets_ / span);
+    }
+    case PartitionKind::kEquiDepth: {
+      int64_t v = value.AsInt();
+      size_t idx = static_cast<size_t>(
+          std::upper_bound(boundaries_.begin(), boundaries_.end(), v) -
+          boundaries_.begin());
+      return std::min(idx, num_buckets_ - 1);
+    }
+    case PartitionKind::kHash:
+      return static_cast<size_t>(value.Hash() % num_buckets_);
+  }
+  return 0;
+}
+
+Result<std::vector<size_t>> Partitioner::BucketsForRange(int64_t lo,
+                                                         int64_t hi) const {
+  if (kind_ == PartitionKind::kHash) {
+    return Status::FailedPrecondition(
+        "hash partitioning cannot answer range queries");
+  }
+  if (lo > hi) return Status::InvalidArgument("lo > hi");
+  size_t first = BucketOf(rel::Value::Int(lo));
+  size_t last = BucketOf(rel::Value::Int(hi));
+  std::vector<size_t> out;
+  for (size_t b = first; b <= last; ++b) out.push_back(b);
+  return out;
+}
+
+}  // namespace baseline
+}  // namespace dbph

@@ -1,0 +1,62 @@
+#ifndef DBPH_BASELINES_BUCKET_PARTITION_H_
+#define DBPH_BASELINES_BUCKET_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/value.h"
+
+namespace dbph {
+namespace baseline {
+
+/// \brief How an attribute domain is cut into intervals (buckets).
+enum class PartitionKind { kEquiWidth, kEquiDepth, kHash };
+
+/// \brief Maps attribute values to bucket indices — the "mapping a
+/// plaintext value to a containing interval" step of Hacıgümüş et al.
+///
+/// Integer domains support equi-width (fixed [lo, hi] split into k equal
+/// intervals) and equi-depth (boundaries at sample quantiles, so buckets
+/// hold roughly equal tuple counts). Strings and other types use hash
+/// partitioning (values hash into one of k buckets), as in the original
+/// paper's treatment of non-ordered domains.
+class Partitioner {
+ public:
+  /// Equi-width over [lo, hi] with `buckets` intervals.
+  static Result<Partitioner> EquiWidth(int64_t lo, int64_t hi,
+                                       size_t buckets);
+
+  /// Equi-depth: boundaries from a data sample's quantiles.
+  static Result<Partitioner> EquiDepth(std::vector<int64_t> sample,
+                                       size_t buckets);
+
+  /// Hash partitioning into `buckets` buckets (any value type).
+  static Result<Partitioner> Hash(size_t buckets);
+
+  PartitionKind kind() const { return kind_; }
+  size_t num_buckets() const { return num_buckets_; }
+
+  /// Bucket index of `value`. Out-of-range integers clamp to the edge
+  /// buckets (the scheme must place every tuple somewhere).
+  size_t BucketOf(const rel::Value& value) const;
+
+  /// Buckets overlapping the closed integer range [lo, hi] — used by the
+  /// range-query extension. kHash partitioners cannot answer ranges.
+  Result<std::vector<size_t>> BucketsForRange(int64_t lo, int64_t hi) const;
+
+ private:
+  Partitioner(PartitionKind kind, size_t buckets)
+      : kind_(kind), num_buckets_(buckets) {}
+
+  PartitionKind kind_;
+  size_t num_buckets_;
+  int64_t lo_ = 0;
+  int64_t hi_ = 0;
+  std::vector<int64_t> boundaries_;  // equi-depth upper bounds
+};
+
+}  // namespace baseline
+}  // namespace dbph
+
+#endif  // DBPH_BASELINES_BUCKET_PARTITION_H_

@@ -1,0 +1,112 @@
+#include "baselines/damiani/hash_scheme.h"
+
+#include "common/macros.h"
+#include "crypto/ctr.h"
+#include "crypto/hkdf.h"
+#include "crypto/prf.h"
+
+namespace dbph {
+namespace baseline {
+
+size_t HashedRelation::CiphertextBytes() const {
+  size_t total = 0;
+  for (const auto& t : tuples) {
+    total += t.nonce.size() + t.payload.size();
+    for (const auto& label : t.labels) total += label.size();
+  }
+  return total;
+}
+
+Result<DamianiScheme> DamianiScheme::Create(const rel::Schema& schema,
+                                            const Bytes& master_key,
+                                            const DamianiOptions& options) {
+  if (master_key.empty()) {
+    return Status::InvalidArgument("empty master key");
+  }
+  if (options.label_length < 1) {
+    return Status::InvalidArgument("label_length must be >= 1");
+  }
+  return DamianiScheme(schema, options,
+                       crypto::DeriveSubkey(master_key, "damiani/labels"),
+                       crypto::DeriveSubkey(master_key, "damiani/payload",
+                                            16));
+}
+
+Bytes DamianiScheme::LabelOf(size_t attr, const rel::Value& value) const {
+  crypto::Prf prf(label_key_);
+  Bytes input;
+  AppendUint32(&input, static_cast<uint32_t>(attr));
+  Bytes encoded = ToBytes(value.EncodeForWord());
+  AppendLengthPrefixed(&input, encoded);
+  return prf.Eval(input, options_.label_length);
+}
+
+Result<HashedTuple> DamianiScheme::EncryptTuple(const rel::Tuple& tuple,
+                                                crypto::Rng* rng) const {
+  DBPH_RETURN_IF_ERROR(schema_.ValidateTuple(tuple.values()));
+  HashedTuple out;
+  out.nonce = rng->NextBytes(12);
+  Bytes serialized;
+  tuple.AppendTo(&serialized);
+  DBPH_ASSIGN_OR_RETURN(crypto::AesCtr cipher,
+                        crypto::AesCtr::Create(payload_key_, out.nonce));
+  out.payload = cipher.Process(serialized);
+  out.labels.reserve(tuple.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    out.labels.push_back(LabelOf(i, tuple.at(i)));
+  }
+  return out;
+}
+
+Result<HashedRelation> DamianiScheme::EncryptRelation(
+    const rel::Relation& relation, crypto::Rng* rng) const {
+  if (!(relation.schema() == schema_)) {
+    return Status::InvalidArgument("relation schema mismatch");
+  }
+  HashedRelation out;
+  out.name = relation.name();
+  out.tuples.reserve(relation.size());
+  for (const auto& tuple : relation.tuples()) {
+    DBPH_ASSIGN_OR_RETURN(HashedTuple enc, EncryptTuple(tuple, rng));
+    out.tuples.push_back(std::move(enc));
+  }
+  return out;
+}
+
+Result<rel::Tuple> DamianiScheme::DecryptTuple(
+    const HashedTuple& tuple) const {
+  DBPH_ASSIGN_OR_RETURN(crypto::AesCtr cipher,
+                        crypto::AesCtr::Create(payload_key_, tuple.nonce));
+  Bytes serialized = cipher.Process(tuple.payload);
+  ByteReader reader(serialized);
+  DBPH_ASSIGN_OR_RETURN(rel::Tuple out, rel::Tuple::ReadFrom(&reader));
+  DBPH_RETURN_IF_ERROR(schema_.ValidateTuple(out.values()));
+  return out;
+}
+
+Result<Bytes> DamianiScheme::QueryLabel(const std::string& attribute,
+                                        const rel::Value& value) const {
+  DBPH_ASSIGN_OR_RETURN(size_t attr, schema_.IndexOf(attribute));
+  if (value.type() != schema_.attribute(attr).type) {
+    return Status::InvalidArgument("query value type mismatch");
+  }
+  return LabelOf(attr, value);
+}
+
+Result<rel::Relation> DamianiScheme::DecryptAndFilter(
+    const std::vector<HashedTuple>& tuples, const std::string& attribute,
+    const rel::Value& value) const {
+  DBPH_ASSIGN_OR_RETURN(rel::ExactMatch predicate,
+                        rel::MakeExactMatch(schema_, attribute, value));
+  rel::Relation out("result", schema_);
+  for (const auto& enc : tuples) {
+    DBPH_ASSIGN_OR_RETURN(rel::Tuple tuple, DecryptTuple(enc));
+    if (predicate.Evaluate(tuple)) {
+      DBPH_RETURN_IF_ERROR(out.Insert(std::move(tuple)));
+    }
+  }
+  return out;
+}
+
+}  // namespace baseline
+}  // namespace dbph

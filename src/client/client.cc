@@ -1,0 +1,207 @@
+#include "client/client.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+#include "crypto/hkdf.h"
+#include "protocol/messages.h"
+
+namespace dbph {
+namespace client {
+
+using protocol::Envelope;
+using protocol::MessageType;
+
+Client::Client(Bytes master_key, Transport transport, crypto::Rng* rng,
+               core::DbphOptions options)
+    : master_key_(std::move(master_key)),
+      transport_(std::move(transport)),
+      rng_(rng),
+      options_(options) {}
+
+namespace {
+
+/// Round-trips an envelope over the transport and rejects error replies.
+Result<Envelope> Call(const Transport& transport, const Envelope& request,
+                      MessageType expected) {
+  auto response = Envelope::Parse(transport(request.Serialize()));
+  DBPH_RETURN_IF_ERROR(response.status());
+  if (response->type == MessageType::kError) {
+    return protocol::ParseErrorEnvelope(*response);
+  }
+  if (response->type != expected) {
+    return Status::DataLoss("unexpected response type from server");
+  }
+  return response;
+}
+
+}  // namespace
+
+Status Client::Outsource(const rel::Relation& relation) {
+  if (schemes_.count(relation.name()) == 0) {
+    // Per-table keys branch off the master key.
+    Bytes table_key =
+        crypto::DeriveSubkey(master_key_, "table/" + relation.name());
+    DBPH_ASSIGN_OR_RETURN(
+        core::DatabasePh ph,
+        core::DatabasePh::Create(relation.schema(), table_key, options_));
+    schemes_.emplace(relation.name(),
+                     std::make_unique<core::DatabasePh>(std::move(ph)));
+  }
+  const core::DatabasePh& ph = *schemes_.at(relation.name());
+  DBPH_ASSIGN_OR_RETURN(core::EncryptedRelation enc,
+                        ph.EncryptRelation(relation, rng_));
+
+  Envelope request;
+  request.type = MessageType::kStoreRelation;
+  enc.AppendTo(&request.payload);
+  DBPH_ASSIGN_OR_RETURN(Envelope response,
+                        Call(transport_, request, MessageType::kStoreOk));
+  (void)response;
+  return Status::OK();
+}
+
+Result<const core::DatabasePh*> Client::SchemeFor(
+    const std::string& relation) const {
+  auto it = schemes_.find(relation);
+  if (it == schemes_.end()) {
+    return Status::NotFound("relation '" + relation + "' not outsourced");
+  }
+  return it->second.get();
+}
+
+Result<std::vector<swp::EncryptedDocument>> Client::RemoteSelect(
+    const core::EncryptedQuery& query) {
+  Envelope request;
+  request.type = MessageType::kSelect;
+  query.AppendTo(&request.payload);
+  DBPH_ASSIGN_OR_RETURN(
+      Envelope response,
+      Call(transport_, request, MessageType::kSelectResult));
+
+  ByteReader reader(response.payload);
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
+  std::vector<swp::EncryptedDocument> docs;
+  docs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          swp::EncryptedDocument::ReadFrom(&reader));
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+Result<rel::Relation> Client::Select(const std::string& relation,
+                                     const std::string& attribute,
+                                     const rel::Value& value) {
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));
+  DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
+                        ph->EncryptQuery(relation, attribute, value));
+  DBPH_ASSIGN_OR_RETURN(auto docs, RemoteSelect(query));
+  return ph->DecryptAndFilter(docs, attribute, value);
+}
+
+Result<rel::Relation> Client::SelectConjunction(
+    const std::string& relation,
+    const std::vector<std::pair<std::string, rel::Value>>& terms) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("conjunction needs at least one term");
+  }
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));
+
+  // Fetch per-term results, intersect by decrypted tuple identity, and
+  // filter exactly.
+  rel::Relation result("result", ph->schema());
+  rel::Conjunction conjunction;
+  for (const auto& [attribute, value] : terms) {
+    DBPH_ASSIGN_OR_RETURN(
+        rel::ExactMatch match,
+        rel::MakeExactMatch(ph->schema(), attribute, value));
+    conjunction.Add(std::move(match));
+  }
+
+  // Use the most selective strategy available without statistics: run the
+  // first term remotely, filter the decrypted candidates by the full
+  // conjunction.
+  const auto& [first_attr, first_value] = terms.front();
+  DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
+                        ph->EncryptQuery(relation, first_attr, first_value));
+  DBPH_ASSIGN_OR_RETURN(auto docs, RemoteSelect(query));
+  for (const auto& doc : docs) {
+    DBPH_ASSIGN_OR_RETURN(rel::Tuple tuple, ph->DecryptTuple(doc));
+    if (conjunction.Evaluate(tuple)) {
+      DBPH_RETURN_IF_ERROR(result.Insert(std::move(tuple)));
+    }
+  }
+  return result;
+}
+
+Status Client::Insert(const std::string& relation,
+                      const std::vector<rel::Tuple>& tuples) {
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));
+  Envelope request;
+  request.type = MessageType::kAppendTuples;
+  AppendLengthPrefixed(&request.payload, ToBytes(relation));
+  AppendUint32(&request.payload, static_cast<uint32_t>(tuples.size()));
+  for (const rel::Tuple& tuple : tuples) {
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          ph->EncryptTuple(tuple, rng_));
+    doc.AppendTo(&request.payload);
+  }
+  DBPH_ASSIGN_OR_RETURN(Envelope response,
+                        Call(transport_, request, MessageType::kAppendOk));
+  (void)response;
+  return Status::OK();
+}
+
+Result<size_t> Client::DeleteWhere(const std::string& relation,
+                                   const std::string& attribute,
+                                   const rel::Value& value) {
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));
+  DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
+                        ph->EncryptQuery(relation, attribute, value));
+  Envelope request;
+  request.type = MessageType::kDeleteWhere;
+  query.AppendTo(&request.payload);
+  DBPH_ASSIGN_OR_RETURN(
+      Envelope response,
+      Call(transport_, request, MessageType::kDeleteResult));
+  ByteReader reader(response.payload);
+  DBPH_ASSIGN_OR_RETURN(uint32_t removed, reader.ReadUint32());
+  return static_cast<size_t>(removed);
+}
+
+Result<rel::Relation> Client::Recall(const std::string& relation) {
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));
+  Envelope request;
+  request.type = MessageType::kFetchRelation;
+  request.payload = ToBytes(relation);
+  DBPH_ASSIGN_OR_RETURN(
+      Envelope response,
+      Call(transport_, request, MessageType::kFetchResult));
+
+  ByteReader reader(response.payload);
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
+  rel::Relation out(relation, ph->schema());
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          swp::EncryptedDocument::ReadFrom(&reader));
+    DBPH_ASSIGN_OR_RETURN(rel::Tuple tuple, ph->DecryptTuple(doc));
+    DBPH_RETURN_IF_ERROR(out.Insert(std::move(tuple)));
+  }
+  return out;
+}
+
+Status Client::Drop(const std::string& relation) {
+  Envelope request;
+  request.type = MessageType::kDropRelation;
+  request.payload = ToBytes(relation);
+  DBPH_ASSIGN_OR_RETURN(Envelope response,
+                        Call(transport_, request, MessageType::kDropOk));
+  (void)response;
+  return Status::OK();
+}
+
+}  // namespace client
+}  // namespace dbph

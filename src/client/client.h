@@ -1,0 +1,94 @@
+#ifndef DBPH_CLIENT_CLIENT_H_
+#define DBPH_CLIENT_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/random.h"
+#include "dbph/scheme.h"
+#include "relation/relation.h"
+
+namespace dbph {
+namespace client {
+
+/// Sends a serialized request to the server, returns its serialized
+/// response. In-process deployments bind this to
+/// UntrustedServer::HandleRequest; a network deployment would put a
+/// socket behind the same signature.
+using Transport = std::function<Bytes(const Bytes&)>;
+
+/// \brief Alex: the data owner.
+///
+/// Owns the master key and a DatabasePh per outsourced relation (each
+/// derived from the master via HKDF, so one secret covers the whole
+/// catalog). All traffic to Eve goes through the byte-level wire protocol
+/// so the adversary's transcript is realistic.
+class Client {
+ public:
+  /// `rng` must outlive the client. Pass crypto::DefaultRng() in
+  /// production; seeded HmacDrbg in experiments.
+  Client(Bytes master_key, Transport transport, crypto::Rng* rng,
+         core::DbphOptions options = {});
+
+  /// Encrypts `relation` tuple-by-tuple and stores it with the server.
+  Status Outsource(const rel::Relation& relation);
+
+  /// sigma_{attribute = value}: encrypt the query, execute remotely,
+  /// decrypt the returned documents and drop SWP false positives.
+  Result<rel::Relation> Select(const std::string& relation,
+                               const std::string& attribute,
+                               const rel::Value& value);
+
+  /// Conjunctive select: per-term trapdoors are executed remotely one by
+  /// one and intersected client-side, then filtered exactly.
+  Result<rel::Relation> SelectConjunction(
+      const std::string& relation,
+      const std::vector<std::pair<std::string, rel::Value>>& terms);
+
+  /// Appends tuples to an already-outsourced relation. Each tuple is
+  /// encrypted under the relation's key with a fresh nonce — appends are
+  /// indistinguishable from the original upload.
+  Status Insert(const std::string& relation,
+                const std::vector<rel::Tuple>& tuples);
+
+  /// Deletes every tuple matching sigma_{attribute = value} on the
+  /// server; returns how many documents were removed. NOTE: like selects,
+  /// deletions reveal the matched identities to Eve — this is a q > 0
+  /// operation in the paper's accounting.
+  Result<size_t> DeleteWhere(const std::string& relation,
+                             const std::string& attribute,
+                             const rel::Value& value);
+
+  /// The "contract cancelled" path: fetches every stored document,
+  /// decrypts locally, and returns the plaintext relation. SWP false
+  /// positives cannot occur (no trapdoors involved).
+  Result<rel::Relation> Recall(const std::string& relation);
+
+  /// Asks the server to forget a relation (local keys are kept, so a
+  /// re-Outsource re-encrypts under fresh nonces).
+  Status Drop(const std::string& relation);
+
+  /// The PH instance bound to an outsourced relation (exposed for the
+  /// security games, which need Eq directly).
+  Result<const core::DatabasePh*> SchemeFor(
+      const std::string& relation) const;
+
+ private:
+  Result<std::vector<swp::EncryptedDocument>> RemoteSelect(
+      const core::EncryptedQuery& query);
+
+  Bytes master_key_;
+  Transport transport_;
+  crypto::Rng* rng_;
+  core::DbphOptions options_;
+  std::map<std::string, std::unique_ptr<core::DatabasePh>> schemes_;
+};
+
+}  // namespace client
+}  // namespace dbph
+
+#endif  // DBPH_CLIENT_CLIENT_H_

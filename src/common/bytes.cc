@@ -1,0 +1,128 @@
+#include "common/bytes.h"
+
+#include <cassert>
+
+#include "common/macros.h"
+
+namespace dbph {
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(const Bytes& b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t byte : b) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+Result<Bytes> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex character in input");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes Xor(const Bytes& a, const Bytes& b) {
+  assert(a.size() == b.size());
+  Bytes out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+void XorInPlace(Bytes* dst, const Bytes& src) {
+  assert(dst->size() == src.size());
+  for (size_t i = 0; i < src.size(); ++i) (*dst)[i] ^= src[i];
+}
+
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+Bytes Concat(const Bytes& a, const Bytes& b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+void AppendUint32(Bytes* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+void AppendUint64(Bytes* out, uint64_t v) {
+  AppendUint32(out, static_cast<uint32_t>(v >> 32));
+  AppendUint32(out, static_cast<uint32_t>(v));
+}
+
+void AppendLengthPrefixed(Bytes* out, const Bytes& payload) {
+  AppendUint32(out, static_cast<uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+Result<uint32_t> ByteReader::ReadUint32() {
+  if (remaining() < 4) return Status::DataLoss("truncated uint32");
+  uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+               (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[pos_ + 2]) << 8) |
+               static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadUint64() {
+  DBPH_ASSIGN_OR_RETURN(uint32_t hi, ReadUint32());
+  DBPH_ASSIGN_OR_RETURN(uint32_t lo, ReadUint32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<Bytes> ByteReader::ReadLengthPrefixed() {
+  DBPH_ASSIGN_OR_RETURN(uint32_t n, ReadUint32());
+  return ReadRaw(n);
+}
+
+Result<Bytes> ByteReader::ReadRaw(size_t n) {
+  if (remaining() < n) return Status::DataLoss("truncated byte string");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace dbph

@@ -1,0 +1,42 @@
+#ifndef DBPH_COMMON_LOGGING_H_
+#define DBPH_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dbph {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits one line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dbph
+
+#define DBPH_LOG(level)                                          \
+  ::dbph::internal::LogMessage(::dbph::LogLevel::k##level,       \
+                               __FILE__, __LINE__)
+
+#endif  // DBPH_COMMON_LOGGING_H_

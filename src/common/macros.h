@@ -1,0 +1,24 @@
+#ifndef DBPH_COMMON_MACROS_H_
+#define DBPH_COMMON_MACROS_H_
+
+/// Error-propagation helpers for the Status/Result error model.
+///
+///   DBPH_RETURN_IF_ERROR(expr);          // expr yields a Status
+///   DBPH_ASSIGN_OR_RETURN(auto v, expr); // expr yields a Result<T>
+
+#define DBPH_CONCAT_IMPL(a, b) a##b
+#define DBPH_CONCAT(a, b) DBPH_CONCAT_IMPL(a, b)
+
+#define DBPH_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::dbph::Status _dbph_status = (expr);            \
+    if (!_dbph_status.ok()) return _dbph_status;     \
+  } while (false)
+
+#define DBPH_ASSIGN_OR_RETURN(decl, expr)                        \
+  auto DBPH_CONCAT(_dbph_result_, __LINE__) = (expr);            \
+  if (!DBPH_CONCAT(_dbph_result_, __LINE__).ok())                \
+    return DBPH_CONCAT(_dbph_result_, __LINE__).status();        \
+  decl = std::move(DBPH_CONCAT(_dbph_result_, __LINE__)).value()
+
+#endif  // DBPH_COMMON_MACROS_H_

@@ -1,0 +1,72 @@
+#ifndef DBPH_COMMON_RESULT_H_
+#define DBPH_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dbph {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors absl::StatusOr<T>. Accessing value() on an error result is a
+/// programming error; it aborts with the carried status in all build
+/// modes (never silent undefined behaviour).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "FATAL: Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dbph
+
+#endif  // DBPH_COMMON_RESULT_H_

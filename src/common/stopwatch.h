@@ -1,0 +1,33 @@
+#ifndef DBPH_COMMON_STOPWATCH_H_
+#define DBPH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dbph {
+
+/// \brief Monotonic wall-clock stopwatch used by the experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dbph
+
+#endif  // DBPH_COMMON_STOPWATCH_H_

@@ -1,0 +1,51 @@
+#ifndef DBPH_CRYPTO_AES_H_
+#define DBPH_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace crypto {
+
+/// \brief AES block cipher (FIPS 197), key sizes 128/192/256 bits.
+///
+/// Reference (table-based) implementation; verified against the FIPS 197
+/// appendix vectors and NIST AESAVS known-answer tests. Used as the block
+/// cipher underneath CTR mode (ctr.h) and as the secret permutation of the
+/// bucketization baseline.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// Creates a cipher context. The key must be 16, 24 or 32 bytes.
+  static Result<Aes> Create(const Bytes& key);
+
+  /// Encrypts exactly one 16-byte block: out = E_k(in).
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  /// Decrypts exactly one 16-byte block: out = D_k(in).
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  /// Block-sized convenience wrappers.
+  Bytes EncryptBlock(const Bytes& block) const;
+  Bytes DecryptBlock(const Bytes& block) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+  void ExpandKey(const Bytes& key);
+
+  // Round keys as 4-byte words; max 15 rounds (AES-256) + 1, 4 words each.
+  std::array<uint32_t, 60> enc_keys_{};
+  std::array<uint32_t, 60> dec_keys_{};
+  int rounds_ = 0;
+};
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_AES_H_

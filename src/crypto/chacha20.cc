@@ -1,0 +1,96 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace dbph {
+namespace crypto {
+
+namespace {
+
+inline uint32_t RotL(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = RotL(d, 16);
+  c += d; b ^= c; b = RotL(b, 12);
+  a += b; d ^= a; d = RotL(d, 8);
+  c += d; b ^= c; b = RotL(b, 7);
+}
+
+}  // namespace
+
+Result<ChaCha20> ChaCha20::Create(const Bytes& key, const Bytes& nonce) {
+  if (key.size() != kKeySize) {
+    return Status::InvalidArgument("ChaCha20 key must be 32 bytes");
+  }
+  if (nonce.size() != kNonceSize) {
+    return Status::InvalidArgument("ChaCha20 nonce must be 12 bytes");
+  }
+  return ChaCha20(key, nonce);
+}
+
+ChaCha20::ChaCha20(const Bytes& key, const Bytes& nonce) {
+  for (int i = 0; i < 8; ++i) key_words_[i] = LoadLe32(key.data() + 4 * i);
+  for (int i = 0; i < 3; ++i) nonce_words_[i] = LoadLe32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::Block(uint32_t counter, uint8_t out[64]) const {
+  uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+      key_words_[0], key_words_[1], key_words_[2], key_words_[3],
+      key_words_[4], key_words_[5], key_words_[6], key_words_[7],
+      counter, nonce_words_[0], nonce_words_[1], nonce_words_[2],
+  };
+  uint32_t w[16];
+  std::memcpy(w, state, sizeof(state));
+
+  for (int i = 0; i < 10; ++i) {
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    StoreLe32(out + 4 * i, w[i] + state[i]);
+  }
+}
+
+Bytes ChaCha20::Keystream(uint64_t offset, size_t len) const {
+  Bytes out;
+  out.reserve(len + 64);
+  uint32_t block = static_cast<uint32_t>(offset / 64);
+  size_t skip = offset % 64;
+  uint8_t buf[64];
+  while (out.size() < len + skip) {
+    Block(block++, buf);
+    out.insert(out.end(), buf, buf + 64);
+  }
+  return Bytes(out.begin() + static_cast<long>(skip),
+               out.begin() + static_cast<long>(skip + len));
+}
+
+Bytes ChaCha20::Process(const Bytes& data, uint32_t counter) const {
+  Bytes ks = Keystream(static_cast<uint64_t>(counter) * 64, data.size());
+  Bytes out(data.size());
+  for (size_t i = 0; i < data.size(); ++i) out[i] = data[i] ^ ks[i];
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace dbph

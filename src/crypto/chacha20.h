@@ -1,0 +1,41 @@
+#ifndef DBPH_CRYPTO_CHACHA20_H_
+#define DBPH_CRYPTO_CHACHA20_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace crypto {
+
+/// \brief ChaCha20 stream cipher (RFC 8439).
+///
+/// Fast software stream cipher used as an alternative pseudorandom stream
+/// generator for the SWP schemes and as the workhorse of the seeded
+/// experiment RNG. Verified against the RFC 8439 §2.3.2/§2.4.2 vectors.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+
+  /// `key` must be 32 bytes, `nonce` 12 bytes.
+  static Result<ChaCha20> Create(const Bytes& key, const Bytes& nonce);
+
+  /// XORs the keystream (starting at block `counter`, byte 0) into data.
+  Bytes Process(const Bytes& data, uint32_t counter = 1) const;
+
+  /// Returns `len` keystream bytes starting at absolute byte `offset`
+  /// (offset 0 = first byte of block 0). Random access is O(len).
+  Bytes Keystream(uint64_t offset, size_t len) const;
+
+ private:
+  ChaCha20(const Bytes& key, const Bytes& nonce);
+  void Block(uint32_t counter, uint8_t out[64]) const;
+
+  uint32_t key_words_[8];
+  uint32_t nonce_words_[3];
+};
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_CHACHA20_H_

@@ -1,0 +1,50 @@
+#include "crypto/ctr.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace crypto {
+
+Result<AesCtr> AesCtr::Create(const Bytes& key, const Bytes& nonce) {
+  if (nonce.size() != 12) {
+    return Status::InvalidArgument("AES-CTR nonce must be 12 bytes");
+  }
+  DBPH_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+  return AesCtr(std::move(aes), nonce);
+}
+
+Bytes AesCtr::Keystream(uint64_t offset, size_t len) const {
+  Bytes out;
+  out.reserve(len + Aes::kBlockSize);
+  uint64_t first_block = offset / Aes::kBlockSize;
+  size_t skip = offset % Aes::kBlockSize;
+
+  uint8_t counter_block[16];
+  uint8_t keystream_block[16];
+  std::memcpy(counter_block, nonce_.data(), 12);
+
+  uint64_t block = first_block;
+  while (out.size() < len + skip) {
+    counter_block[12] = static_cast<uint8_t>(block >> 24);
+    counter_block[13] = static_cast<uint8_t>(block >> 16);
+    counter_block[14] = static_cast<uint8_t>(block >> 8);
+    counter_block[15] = static_cast<uint8_t>(block);
+    aes_.EncryptBlock(counter_block, keystream_block);
+    out.insert(out.end(), keystream_block, keystream_block + 16);
+    ++block;
+  }
+  return Bytes(out.begin() + static_cast<long>(skip),
+               out.begin() + static_cast<long>(skip + len));
+}
+
+Bytes AesCtr::Process(const Bytes& data) const {
+  Bytes ks = Keystream(0, data.size());
+  Bytes out(data.size());
+  for (size_t i = 0; i < data.size(); ++i) out[i] = data[i] ^ ks[i];
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace dbph

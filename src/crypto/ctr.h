@@ -1,0 +1,39 @@
+#ifndef DBPH_CRYPTO_CTR_H_
+#define DBPH_CRYPTO_CTR_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/aes.h"
+
+namespace dbph {
+namespace crypto {
+
+/// \brief AES-CTR stream encryption (SP 800-38A).
+///
+/// Counter block layout: 12-byte nonce | 4-byte big-endian block counter
+/// starting at 0. Encryption and decryption are the same operation.
+/// This is the strong tuple cipher used by the bucketization baseline and
+/// by the database PH's optional value-payload mode.
+class AesCtr {
+ public:
+  /// `key` must be a valid AES key size; `nonce` must be 12 bytes.
+  static Result<AesCtr> Create(const Bytes& key, const Bytes& nonce);
+
+  /// XORs the keystream into `data` starting at keystream offset 0.
+  Bytes Process(const Bytes& data) const;
+
+  /// Produces `len` raw keystream bytes starting at byte `offset`.
+  /// Random access is O(len) — no need to generate preceding bytes.
+  Bytes Keystream(uint64_t offset, size_t len) const;
+
+ private:
+  AesCtr(Aes aes, Bytes nonce) : aes_(std::move(aes)), nonce_(std::move(nonce)) {}
+
+  Aes aes_;
+  Bytes nonce_;
+};
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_CTR_H_

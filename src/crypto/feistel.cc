@@ -1,0 +1,58 @@
+#include "crypto/feistel.h"
+
+#include "crypto/hmac.h"
+
+namespace dbph {
+namespace crypto {
+
+Bytes FeistelPrp::RoundValue(int round, const Bytes& half,
+                             size_t out_len) const {
+  Bytes input;
+  input.reserve(half.size() + 4);
+  AppendUint32(&input, static_cast<uint32_t>(round));
+  input.insert(input.end(), half.begin(), half.end());
+  return HmacSha256Expand(key_, input, out_len);
+}
+
+Result<Bytes> FeistelPrp::Encrypt(const Bytes& in) const {
+  if (in.size() < 2) {
+    return Status::InvalidArgument("FeistelPrp needs at least 2 bytes");
+  }
+  size_t l_len = in.size() / 2;
+  Bytes left(in.begin(), in.begin() + static_cast<long>(l_len));
+  Bytes right(in.begin() + static_cast<long>(l_len), in.end());
+
+  for (int round = 0; round < kRounds; ++round) {
+    if (round % 2 == 0) {
+      Bytes f = RoundValue(round, left, right.size());
+      XorInPlace(&right, f);
+    } else {
+      Bytes f = RoundValue(round, right, left.size());
+      XorInPlace(&left, f);
+    }
+  }
+  return Concat(left, right);
+}
+
+Result<Bytes> FeistelPrp::Decrypt(const Bytes& in) const {
+  if (in.size() < 2) {
+    return Status::InvalidArgument("FeistelPrp needs at least 2 bytes");
+  }
+  size_t l_len = in.size() / 2;
+  Bytes left(in.begin(), in.begin() + static_cast<long>(l_len));
+  Bytes right(in.begin() + static_cast<long>(l_len), in.end());
+
+  for (int round = kRounds - 1; round >= 0; --round) {
+    if (round % 2 == 0) {
+      Bytes f = RoundValue(round, left, right.size());
+      XorInPlace(&right, f);
+    } else {
+      Bytes f = RoundValue(round, right, left.size());
+      XorInPlace(&left, f);
+    }
+  }
+  return Concat(left, right);
+}
+
+}  // namespace crypto
+}  // namespace dbph

@@ -1,0 +1,49 @@
+#ifndef DBPH_CRYPTO_FEISTEL_H_
+#define DBPH_CRYPTO_FEISTEL_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace crypto {
+
+/// \brief Length-preserving pseudorandom permutation over byte strings of
+/// any length >= 2, built as an alternating (unbalanced) Feistel network
+/// with an HMAC-SHA256 round function (Luby–Rackoff).
+///
+/// SWP's deterministic pre-encryption E'' must be an invertible,
+/// deterministic, length-preserving cipher over *word-sized* strings;
+/// words are rarely exactly one AES block, so a dedicated small-domain
+/// PRP is required. Alternating Feistel with a PRF round function is the
+/// standard construction (also the basis of format-preserving encryption
+/// modes); we use kRounds = 8 for comfortable margin over the 4-round
+/// Luby–Rackoff bound.
+///
+/// Layout for input of n bytes: L = first floor(n/2) bytes, R = rest.
+/// Even rounds update R from L, odd rounds update L from R; inversion
+/// replays the rounds in reverse.
+class FeistelPrp {
+ public:
+  static constexpr int kRounds = 8;
+
+  /// `key` may be any length (it keys HMAC). Prefer >= 16 bytes.
+  explicit FeistelPrp(Bytes key) : key_(std::move(key)) {}
+
+  /// Encrypts `in`; returns a permuted string of the same length.
+  /// Inputs shorter than 2 bytes are rejected (no room to split).
+  Result<Bytes> Encrypt(const Bytes& in) const;
+
+  /// Inverts Encrypt.
+  Result<Bytes> Decrypt(const Bytes& in) const;
+
+ private:
+  /// Round function: PRF(key_, round | other_half) expanded to `out_len`.
+  Bytes RoundValue(int round, const Bytes& half, size_t out_len) const;
+
+  Bytes key_;
+};
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_FEISTEL_H_

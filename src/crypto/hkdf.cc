@@ -1,0 +1,45 @@
+#include "crypto/hkdf.h"
+
+#include <cassert>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace dbph {
+namespace crypto {
+
+Bytes HkdfExtract(const Bytes& salt, const Bytes& ikm) {
+  Bytes effective_salt = salt;
+  if (effective_salt.empty()) effective_salt.assign(Sha256::kDigestSize, 0);
+  return HmacSha256(effective_salt, ikm);
+}
+
+Bytes HkdfExpand(const Bytes& prk, const Bytes& info, size_t out_len) {
+  assert(out_len <= 255 * Sha256::kDigestSize);
+  Bytes out;
+  out.reserve(out_len);
+  Bytes t;  // T(0) = empty
+  uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    t = HmacSha256(prk, input);
+    size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return out;
+}
+
+Bytes Hkdf(const Bytes& salt, const Bytes& ikm, const Bytes& info,
+           size_t out_len) {
+  return HkdfExpand(HkdfExtract(salt, ikm), info, out_len);
+}
+
+Bytes DeriveSubkey(const Bytes& master, const std::string& label,
+                   size_t out_len) {
+  return Hkdf(/*salt=*/ToBytes("dbph-v1"), master, ToBytes(label), out_len);
+}
+
+}  // namespace crypto
+}  // namespace dbph

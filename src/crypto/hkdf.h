@@ -1,0 +1,31 @@
+#ifndef DBPH_CRYPTO_HKDF_H_
+#define DBPH_CRYPTO_HKDF_H_
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace crypto {
+
+/// \brief HKDF-SHA256 extract step (RFC 5869 §2.2).
+Bytes HkdfExtract(const Bytes& salt, const Bytes& ikm);
+
+/// \brief HKDF-SHA256 expand step (RFC 5869 §2.3). `out_len` <= 255*32.
+Bytes HkdfExpand(const Bytes& prk, const Bytes& info, size_t out_len);
+
+/// \brief Full extract-then-expand.
+Bytes Hkdf(const Bytes& salt, const Bytes& ikm, const Bytes& info,
+           size_t out_len);
+
+/// \brief Derives a labelled subkey from a master key. This is how the
+/// database PH splits its master key into independent keys for the
+/// pre-encryption PRP, the word-key PRF, the stream generator and the
+/// tuple-permutation (see dbph/keys.h).
+Bytes DeriveSubkey(const Bytes& master, const std::string& label,
+                   size_t out_len = 32);
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_HKDF_H_

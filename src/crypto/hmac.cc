@@ -1,0 +1,48 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace dbph {
+namespace crypto {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  constexpr size_t kBlock = Sha256::kBlockSize;
+
+  Bytes k = key;
+  if (k.size() > kBlock) k = Sha256::Hash(k);
+  k.resize(kBlock, 0x00);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Bytes HmacSha256Expand(const Bytes& key, const Bytes& message,
+                       size_t out_len) {
+  Bytes out;
+  out.reserve(out_len);
+  uint32_t counter = 0;
+  while (out.size() < out_len) {
+    Bytes block_input = message;
+    AppendUint32(&block_input, counter++);
+    Bytes t = HmacSha256(key, block_input);
+    size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace dbph

@@ -1,0 +1,26 @@
+#ifndef DBPH_CRYPTO_HMAC_H_
+#define DBPH_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace crypto {
+
+/// \brief HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+///
+/// Keys of any length are accepted (longer than the block size are hashed
+/// first, per the RFC). Verified against the RFC 4231 test vectors.
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// \brief HMAC-SHA256 truncated/expanded to exactly `out_len` bytes.
+///
+/// For out_len <= 32 the digest is truncated. For longer outputs the
+/// digest is extended in counter mode: T_i = HMAC(key, msg | i), i = 0..,
+/// concatenated — the standard PRF-stretching used by HKDF-Expand.
+Bytes HmacSha256Expand(const Bytes& key, const Bytes& message,
+                       size_t out_len);
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_HMAC_H_

@@ -1,0 +1,19 @@
+#include "crypto/prf.h"
+
+#include "crypto/hmac.h"
+
+namespace dbph {
+namespace crypto {
+
+Bytes Prf::Eval(const Bytes& input, size_t out_len) const {
+  return HmacSha256Expand(key_, input, out_len);
+}
+
+Bytes StreamGenerator::Block(uint64_t index, size_t width) const {
+  Bytes input = nonce_;
+  AppendUint64(&input, index);
+  return prf_.Eval(input, width);
+}
+
+}  // namespace crypto
+}  // namespace dbph

@@ -1,0 +1,49 @@
+#ifndef DBPH_CRYPTO_PRF_H_
+#define DBPH_CRYPTO_PRF_H_
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace crypto {
+
+/// \brief Keyed pseudorandom function F_k : {0,1}* -> {0,1}^{8*out_len},
+/// realized as HMAC-SHA256 with counter-mode expansion.
+///
+/// This is the "F" of the SWP construction (maps the stream half S_i to the
+/// check half) and the "f" that derives per-word keys k_i = f_{k'}(L_i).
+class Prf {
+ public:
+  explicit Prf(Bytes key) : key_(std::move(key)) {}
+
+  /// Evaluates the PRF on `input`, producing exactly `out_len` bytes.
+  Bytes Eval(const Bytes& input, size_t out_len) const;
+
+  const Bytes& key() const { return key_; }
+
+ private:
+  Bytes key_;
+};
+
+/// \brief The pseudorandom stream generator "G" of the SWP construction,
+/// with random access by element index.
+///
+/// S_i = PRF(key, nonce | i) truncated to `width` bytes. Random access by
+/// index is essential: the data owner decrypts word slots independently,
+/// and the server never learns the seed.
+class StreamGenerator {
+ public:
+  StreamGenerator(Bytes key, Bytes nonce)
+      : prf_(std::move(key)), nonce_(std::move(nonce)) {}
+
+  /// Returns S_index, a pseudorandom block of `width` bytes.
+  Bytes Block(uint64_t index, size_t width) const;
+
+ private:
+  Prf prf_;
+  Bytes nonce_;
+};
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_PRF_H_

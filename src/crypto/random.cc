@@ -1,0 +1,95 @@
+#include "crypto/random.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace dbph {
+namespace crypto {
+
+uint64_t Rng::NextUint64() {
+  uint8_t buf[8];
+  Fill(buf, 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf[i];
+  return v;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling: draw until the value falls into the largest
+  // multiple of `bound` not exceeding 2^64.
+  uint64_t limit = UINT64_MAX - (UINT64_MAX % bound + 1) % bound;
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v > limit);
+  return v % bound;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+HmacDrbg::HmacDrbg(const Bytes& seed) {
+  key_.assign(Sha256::kDigestSize, 0x00);
+  v_.assign(Sha256::kDigestSize, 0x01);
+  Update(seed);
+}
+
+HmacDrbg::HmacDrbg(const std::string& label, uint64_t seed) {
+  key_.assign(Sha256::kDigestSize, 0x00);
+  v_.assign(Sha256::kDigestSize, 0x01);
+  Bytes material = ToBytes(label);
+  AppendUint64(&material, seed);
+  Update(material);
+}
+
+void HmacDrbg::Update(const Bytes& provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes input = v_;
+  input.push_back(0x00);
+  input.insert(input.end(), provided.begin(), provided.end());
+  key_ = HmacSha256(key_, input);
+  v_ = HmacSha256(key_, v_);
+  if (!provided.empty()) {
+    input = v_;
+    input.push_back(0x01);
+    input.insert(input.end(), provided.begin(), provided.end());
+    key_ = HmacSha256(key_, input);
+    v_ = HmacSha256(key_, v_);
+  }
+}
+
+void HmacDrbg::Fill(uint8_t* out, size_t len) {
+  size_t produced = 0;
+  while (produced < len) {
+    v_ = HmacSha256(key_, v_);
+    size_t take = std::min(v_.size(), len - produced);
+    std::copy(v_.begin(), v_.begin() + static_cast<long>(take),
+              out + produced);
+    produced += take;
+  }
+  Update(Bytes());
+}
+
+void HmacDrbg::Reseed(const Bytes& material) { Update(material); }
+
+void SystemRng::Fill(uint8_t* out, size_t len) {
+  static FILE* urandom = std::fopen("/dev/urandom", "rb");
+  if (urandom == nullptr || std::fread(out, 1, len, urandom) != len) {
+    // Entropy failure is unrecoverable for a crypto library.
+    std::abort();
+  }
+}
+
+Rng& DefaultRng() {
+  static SystemRng rng;
+  return rng;
+}
+
+}  // namespace crypto
+}  // namespace dbph

@@ -1,0 +1,52 @@
+#ifndef DBPH_CRYPTO_SHA256_H_
+#define DBPH_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace crypto {
+
+/// \brief Incremental SHA-256 (FIPS 180-4).
+///
+/// The implementation is self-contained (no OpenSSL dependency) so the whole
+/// cryptographic stack of the library is auditable and deterministic across
+/// platforms. Verified against the NIST FIPS 180-4 test vectors (see
+/// tests/crypto_sha256_test.cc).
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs `data` into the hash state.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// reused afterwards without calling Reset().
+  Bytes Finish();
+
+  /// Restores the pristine state.
+  void Reset();
+
+  /// One-shot convenience: SHA-256(data).
+  static Bytes Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, kBlockSize> buffer_;
+  size_t buffer_len_;
+  uint64_t total_len_;
+};
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_SHA256_H_

@@ -1,0 +1,68 @@
+#include "dbph/attribute_id.h"
+
+#include <cctype>
+#include <set>
+
+namespace dbph {
+namespace core {
+
+namespace {
+
+std::string Base26(size_t index, size_t width) {
+  std::string out(width, 'A');
+  for (size_t pos = width; pos > 0 && index > 0; --pos) {
+    out[pos - 1] = static_cast<char>('A' + index % 26);
+    index /= 26;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AttributeIds> AttributeIds::Derive(const rel::Schema& schema) {
+  AttributeIds result;
+  const size_t n = schema.num_attributes();
+
+  // Paper convention: capitalized first letters, when unique.
+  std::set<std::string> seen;
+  bool unique = true;
+  std::vector<std::string> letters;
+  for (size_t i = 0; i < n; ++i) {
+    char c = schema.attribute(i).name[0];
+    std::string id(1, static_cast<char>(std::toupper(
+                          static_cast<unsigned char>(c))));
+    if (!std::isalpha(static_cast<unsigned char>(id[0])) ||
+        !seen.insert(id).second) {
+      unique = false;
+      break;
+    }
+    letters.push_back(id);
+  }
+  if (unique) {
+    result.ids = std::move(letters);
+    result.id_length = 1;
+    return result;
+  }
+
+  // Fallback: fixed-width base-26 index codes.
+  size_t width = 1;
+  size_t capacity = 26;
+  while (capacity < n) {
+    ++width;
+    capacity *= 26;
+  }
+  result.id_length = width;
+  result.ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) result.ids.push_back(Base26(i, width));
+  return result;
+}
+
+Result<size_t> AttributeIds::IndexOf(const std::string& id) const {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == id) return i;
+  }
+  return Status::NotFound("unknown attribute id '" + id + "'");
+}
+
+}  // namespace core
+}  // namespace dbph

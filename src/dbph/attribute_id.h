@@ -1,0 +1,37 @@
+#ifndef DBPH_DBPH_ATTRIBUTE_ID_H_
+#define DBPH_DBPH_ATTRIBUTE_ID_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/schema.h"
+
+namespace dbph {
+namespace core {
+
+/// \brief Fixed-length attribute identifiers appended to every word.
+///
+/// The paper's Emp example tags words with "N", "D", "S" — the capitalized
+/// first letter of the attribute name. The identifier is *required for
+/// decryption*: documents are sets, so after decrypting a word the client
+/// recovers which attribute it belongs to from this suffix.
+///
+/// Generation rule: use the upper-cased first letter of each attribute
+/// name when those are unique (the paper's convention); otherwise fall
+/// back to fixed-width base-26 codes ("AA", "AB", ...) of the attribute
+/// index. All identifiers of a schema share one length.
+struct AttributeIds {
+  std::vector<std::string> ids;
+  size_t id_length = 1;
+
+  static Result<AttributeIds> Derive(const rel::Schema& schema);
+
+  /// Index of the attribute with this id; kNotFound for unknown ids.
+  Result<size_t> IndexOf(const std::string& id) const;
+};
+
+}  // namespace core
+}  // namespace dbph
+
+#endif  // DBPH_DBPH_ATTRIBUTE_ID_H_

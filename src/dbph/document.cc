@@ -1,0 +1,127 @@
+#include "dbph/document.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace core {
+
+Result<DocumentMapper> DocumentMapper::Create(const rel::Schema& schema,
+                                              bool variable_length) {
+  DBPH_ASSIGN_OR_RETURN(AttributeIds ids, AttributeIds::Derive(schema));
+
+  std::vector<size_t> lengths(schema.num_attributes());
+  if (variable_length) {
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      lengths[i] = schema.attribute(i).max_length + ids.id_length;
+    }
+  } else {
+    // The paper's rule: the globally fixed word length is the length of
+    // the longest attribute value plus the attribute-id length.
+    size_t global = schema.MaxValueLength() + ids.id_length;
+    std::fill(lengths.begin(), lengths.end(), global);
+  }
+  for (size_t len : lengths) {
+    if (len < 2) {
+      return Status::InvalidArgument(
+          "word length below 2 (attribute too short for the PRP)");
+    }
+  }
+  return DocumentMapper(schema, std::move(ids), std::move(lengths),
+                        variable_length);
+}
+
+std::vector<size_t> DocumentMapper::DistinctWordLengths() const {
+  std::set<size_t> set(word_lengths_.begin(), word_lengths_.end());
+  return std::vector<size_t>(set.begin(), set.end());
+}
+
+Result<Bytes> DocumentMapper::MakeWord(size_t attr,
+                                       const rel::Value& value) const {
+  if (attr >= schema_.num_attributes()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  if (value.type() != schema_.attribute(attr).type) {
+    return Status::InvalidArgument("value type does not match attribute '" +
+                                   schema_.attribute(attr).name + "'");
+  }
+  std::string encoded = value.EncodeForWord();
+  if (encoded.find(kPad) != std::string::npos) {
+    return Status::InvalidArgument(
+        "value contains the padding symbol '#' and cannot be encoded "
+        "unambiguously");
+  }
+  const size_t value_field = word_lengths_[attr] - ids_.id_length;
+  if (encoded.size() > value_field) {
+    return Status::OutOfRange("value '" + encoded +
+                              "' exceeds the word's value field");
+  }
+  std::string word = encoded;
+  word.append(value_field - encoded.size(), kPad);
+  word += ids_.ids[attr];
+  return ToBytes(word);
+}
+
+Result<std::pair<size_t, rel::Value>> DocumentMapper::ParseWord(
+    const Bytes& word) const {
+  if (word.size() <= ids_.id_length) {
+    return Status::InvalidArgument("word too short to carry an id");
+  }
+  std::string text = ToString(word);
+  std::string id = text.substr(text.size() - ids_.id_length);
+  DBPH_ASSIGN_OR_RETURN(size_t attr, ids_.IndexOf(id));
+  if (word.size() != word_lengths_[attr]) {
+    return Status::InvalidArgument("word length does not match attribute '" +
+                                   schema_.attribute(attr).name + "'");
+  }
+  std::string payload = text.substr(0, text.size() - ids_.id_length);
+  size_t end = payload.find_last_not_of(kPad);
+  payload = (end == std::string::npos) ? "" : payload.substr(0, end + 1);
+  DBPH_ASSIGN_OR_RETURN(
+      rel::Value value,
+      rel::Value::Parse(schema_.attribute(attr).type, payload));
+  return std::make_pair(attr, std::move(value));
+}
+
+Result<std::vector<Bytes>> DocumentMapper::MakeDocument(
+    const rel::Tuple& tuple) const {
+  DBPH_RETURN_IF_ERROR(schema_.ValidateTuple(tuple.values()));
+  std::vector<Bytes> words;
+  words.reserve(tuple.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    DBPH_ASSIGN_OR_RETURN(Bytes word, MakeWord(i, tuple.at(i)));
+    words.push_back(std::move(word));
+  }
+  return words;
+}
+
+Result<rel::Tuple> DocumentMapper::ReassembleTuple(
+    const std::vector<Bytes>& words) const {
+  if (words.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("document has wrong number of words");
+  }
+  std::vector<std::optional<rel::Value>> slots(schema_.num_attributes());
+  for (const Bytes& word : words) {
+    DBPH_ASSIGN_OR_RETURN(auto parsed, ParseWord(word));
+    auto& [attr, value] = parsed;
+    if (slots[attr].has_value()) {
+      return Status::DataLoss("duplicate attribute id in document");
+    }
+    slots[attr] = std::move(value);
+  }
+  std::vector<rel::Value> values;
+  values.reserve(slots.size());
+  for (auto& slot : slots) {
+    if (!slot.has_value()) {
+      return Status::DataLoss("attribute missing from document");
+    }
+    values.push_back(std::move(*slot));
+  }
+  return rel::Tuple(std::move(values));
+}
+
+}  // namespace core
+}  // namespace dbph

@@ -1,0 +1,40 @@
+#include "dbph/encrypted_relation.h"
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace core {
+
+void EncryptedRelation::AppendTo(Bytes* out) const {
+  AppendLengthPrefixed(out, ToBytes(name));
+  AppendUint32(out, check_length);
+  AppendUint32(out, static_cast<uint32_t>(documents.size()));
+  for (const auto& doc : documents) doc.AppendTo(out);
+}
+
+Result<EncryptedRelation> EncryptedRelation::ReadFrom(ByteReader* reader) {
+  EncryptedRelation rel;
+  DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+  rel.name = ToString(name);
+  DBPH_ASSIGN_OR_RETURN(rel.check_length, reader->ReadUint32());
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+  rel.documents.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          swp::EncryptedDocument::ReadFrom(reader));
+    rel.documents.push_back(std::move(doc));
+  }
+  return rel;
+}
+
+size_t EncryptedRelation::CiphertextBytes() const {
+  size_t total = 0;
+  for (const auto& doc : documents) {
+    total += doc.nonce.size() + doc.tag.size();
+    for (const auto& w : doc.words) total += w.size();
+  }
+  return total;
+}
+
+}  // namespace core
+}  // namespace dbph

@@ -1,0 +1,38 @@
+#ifndef DBPH_DBPH_ENCRYPTED_RELATION_H_
+#define DBPH_DBPH_ENCRYPTED_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "swp/search.h"
+
+namespace dbph {
+namespace core {
+
+/// \brief The ciphertext C = {c_1, ..., c_n} of Definition 1.1: one
+/// encrypted document per tuple, in storage order carrying no plaintext
+/// meaning.
+///
+/// This is everything the untrusted server holds: the table handle, the
+/// check width needed to evaluate trapdoors, and the opaque documents.
+/// Note the absence of the schema — only word-length structure is visible.
+struct EncryptedRelation {
+  std::string name;
+  /// Check bytes per word (public; the server needs it to match).
+  uint32_t check_length = 4;
+  std::vector<swp::EncryptedDocument> documents;
+
+  size_t size() const { return documents.size(); }
+
+  void AppendTo(Bytes* out) const;
+  static Result<EncryptedRelation> ReadFrom(ByteReader* reader);
+
+  /// Ciphertext bytes across all documents (for the overhead experiment).
+  size_t CiphertextBytes() const;
+};
+
+}  // namespace core
+}  // namespace dbph
+
+#endif  // DBPH_DBPH_ENCRYPTED_RELATION_H_

@@ -1,0 +1,22 @@
+#include "dbph/query.h"
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace core {
+
+void EncryptedQuery::AppendTo(Bytes* out) const {
+  AppendLengthPrefixed(out, ToBytes(relation));
+  trapdoor.AppendTo(out);
+}
+
+Result<EncryptedQuery> EncryptedQuery::ReadFrom(ByteReader* reader) {
+  EncryptedQuery q;
+  DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+  q.relation = ToString(name);
+  DBPH_ASSIGN_OR_RETURN(q.trapdoor, swp::Trapdoor::ReadFrom(reader));
+  return q;
+}
+
+}  // namespace core
+}  // namespace dbph

@@ -1,0 +1,45 @@
+#ifndef DBPH_DBPH_QUERY_H_
+#define DBPH_DBPH_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/value.h"
+#include "swp/scheme.h"
+
+namespace dbph {
+namespace core {
+
+/// \brief A plaintext exact-select query σ_{attribute:value} on a named
+/// relation — the σ_i of Definition 1.1.
+struct SelectQuery {
+  std::string relation;
+  std::string attribute;
+  rel::Value value;
+};
+
+/// \brief Eq_k(σ): the encrypted query ψ the server executes. It carries
+/// only the search trapdoor ϕ_{toString(value)|attribute_id}; with the
+/// final SWP scheme neither the attribute nor the value is recoverable
+/// from it.
+struct EncryptedQuery {
+  std::string relation;
+  swp::Trapdoor trapdoor;
+
+  void AppendTo(Bytes* out) const;
+  static Result<EncryptedQuery> ReadFrom(ByteReader* reader);
+};
+
+/// \brief Conjunctive extension: one trapdoor per term; the server
+/// intersects per-term match sets (or the client does, to hide the
+/// combination).
+struct EncryptedConjunction {
+  std::string relation;
+  std::vector<swp::Trapdoor> trapdoors;
+};
+
+}  // namespace core
+}  // namespace dbph
+
+#endif  // DBPH_DBPH_QUERY_H_

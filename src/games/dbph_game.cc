@@ -1,0 +1,55 @@
+#include "games/dbph_game.h"
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace games {
+
+Result<BinomialSummary> RunDefinition21Game(
+    const core::DbphOptions& options, size_t q,
+    Definition21Adversary* adversary, size_t trials, uint64_t seed) {
+  BinomialSummary summary;
+  crypto::HmacDrbg rng("def21-game/" + adversary->Name(), seed);
+
+  for (size_t trial = 0; trial < trials; ++trial) {
+    auto [t1, t2] = adversary->ChooseTables(&rng);
+    if (!(t1.schema() == t2.schema()) || t1.size() != t2.size()) {
+      return Status::FailedPrecondition(
+          "Definition 2.1 requires same-schema, same-cardinality tables");
+    }
+
+    // Challenger: fresh key, secret bit, encrypt.
+    Bytes master = core::GenerateMasterKey(&rng);
+    DBPH_ASSIGN_OR_RETURN(core::DatabasePh ph,
+                          core::DatabasePh::Create(t1.schema(), master,
+                                                   options));
+    int secret = rng.NextBool() ? 1 : 2;
+    const rel::Relation& chosen = (secret == 1) ? t1 : t2;
+    DBPH_ASSIGN_OR_RETURN(core::EncryptedRelation ciphertext,
+                          ph.EncryptRelation(chosen, &rng));
+
+    // Query-encryption oracle: Eve gets Eq of her chosen queries plus the
+    // results of executing them on the ciphertext.
+    Definition21View view;
+    view.ciphertext = &ciphertext;
+    if (q > 0) {
+      auto queries = adversary->ChooseQueries(q);
+      if (queries.size() > q) queries.resize(q);
+      for (const auto& [attribute, value] : queries) {
+        DBPH_ASSIGN_OR_RETURN(
+            core::EncryptedQuery enc_query,
+            ph.EncryptQuery(ciphertext.name, attribute, value));
+        view.results.push_back(ExecuteSelect(ciphertext, enc_query));
+        view.encrypted_queries.push_back(std::move(enc_query));
+      }
+    }
+
+    int guess = adversary->Guess(view, &rng);
+    ++summary.trials;
+    if (guess == secret) ++summary.successes;
+  }
+  return summary;
+}
+
+}  // namespace games
+}  // namespace dbph

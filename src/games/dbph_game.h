@@ -1,0 +1,64 @@
+#ifndef DBPH_GAMES_DBPH_GAME_H_
+#define DBPH_GAMES_DBPH_GAME_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/random.h"
+#include "dbph/scheme.h"
+#include "games/stats.h"
+#include "relation/relation.h"
+
+namespace dbph {
+namespace games {
+
+/// \brief Everything Eve sees in one Definition 2.1 trial: the encrypted
+/// table, the q encrypted queries, and each query's result (indices of
+/// matching documents — the same identities a server-side execution
+/// exposes).
+struct Definition21View {
+  const core::EncryptedRelation* ciphertext = nullptr;
+  std::vector<core::EncryptedQuery> encrypted_queries;
+  std::vector<std::vector<size_t>> results;
+};
+
+/// \brief An adversary for the paper's Definition 2.1 game.
+class Definition21Adversary {
+ public:
+  virtual ~Definition21Adversary() = default;
+  virtual std::string Name() const = 0;
+
+  /// Step 1: two tables with equal cardinality (harness-enforced).
+  virtual std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) = 0;
+
+  /// Step 3, active case: the plaintext queries whose encryptions Eve
+  /// obtains from the query-encryption oracle. At most `q` are used.
+  virtual std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+      size_t q) = 0;
+
+  /// Step 4: guess 1 or 2.
+  virtual int Guess(const Definition21View& view, crypto::Rng* rng) = 0;
+};
+
+/// \brief Runs the Definition 2.1 game against our own database PH.
+///
+///   1. Eve chooses T1(R), T2(R) of equal cardinality;
+///   2. Alex draws a fresh master key and encrypts T_i;
+///   3. Eve receives `q` encrypted queries of her choice (the active
+///      oracle of the definition) together with their results on the
+///      ciphertext;
+///   4. Eve guesses i.
+///
+/// With q = 0 this measures the construction's claimed security; with
+/// q >= 1 it reproduces Theorem 2.1's impossibility.
+Result<BinomialSummary> RunDefinition21Game(
+    const core::DbphOptions& options, size_t q,
+    Definition21Adversary* adversary, size_t trials, uint64_t seed);
+
+}  // namespace games
+}  // namespace dbph
+
+#endif  // DBPH_GAMES_DBPH_GAME_H_

@@ -1,0 +1,218 @@
+#include "games/hospital.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "client/client.h"
+#include "common/macros.h"
+#include "server/untrusted_server.h"
+
+namespace dbph {
+namespace games {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+Schema HospitalSchema() {
+  auto schema = Schema::Create({
+      {"id", ValueType::kInt64, 10},
+      {"name", ValueType::kString, 12},
+      {"hospital", ValueType::kInt64, 1},
+      {"outcome", ValueType::kString, 7},
+  });
+  return *schema;
+}
+
+Result<Relation> GenerateHospitalTable(const HospitalModel& model,
+                                       crypto::Rng* rng) {
+  if (model.patients == 0) {
+    return Status::InvalidArgument("need at least one patient");
+  }
+  double flow_sum = model.flows[0] + model.flows[1] + model.flows[2];
+  if (std::fabs(flow_sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("hospital flows must sum to 1");
+  }
+  Relation table("Patients", HospitalSchema());
+  for (size_t i = 0; i < model.patients; ++i) {
+    double u = rng->NextDouble();
+    int64_t hospital = u < model.flows[0]               ? 1
+                       : u < model.flows[0] + model.flows[1] ? 2
+                                                             : 3;
+    std::string outcome =
+        rng->NextDouble() < model.fatal_rate ? "fatal" : "healthy";
+    // Synthetic distinct patient names.
+    std::string name = "p" + std::to_string(i);
+    DBPH_RETURN_IF_ERROR(table.Insert({Value::Int(static_cast<int64_t>(i)),
+                                       Value::Str(name),
+                                       Value::Int(hospital),
+                                       Value::Str(outcome)}));
+  }
+  return table;
+}
+
+namespace {
+
+double TrueFatalRatioH1(const Relation& table) {
+  size_t h1 = 0, h1_fatal = 0;
+  for (const auto& t : table.tuples()) {
+    if (t.at(2) == Value::Int(1)) {
+      ++h1;
+      if (t.at(3) == Value::Str("fatal")) ++h1_fatal;
+    }
+  }
+  return h1 == 0 ? 0.0 : static_cast<double>(h1_fatal) / h1;
+}
+
+}  // namespace
+
+Result<HospitalInference> RunHospitalScenario(const HospitalModel& model,
+                                              uint64_t seed) {
+  crypto::HmacDrbg rng("hospital-scenario", seed);
+  DBPH_ASSIGN_OR_RETURN(Relation table, GenerateHospitalTable(model, &rng));
+
+  // Alex outsources and issues the paper's four queries via the server.
+  server::UntrustedServer server;
+  client::Client alex(
+      rng.NextBytes(32),
+      [&server](const Bytes& request) { return server.HandleRequest(request); },
+      &rng);
+  DBPH_RETURN_IF_ERROR(alex.Outsource(table));
+  for (int64_t h = 1; h <= 3; ++h) {
+    DBPH_RETURN_IF_ERROR(
+        alex.Select("Patients", "hospital", Value::Int(h)).status());
+  }
+  DBPH_RETURN_IF_ERROR(
+      alex.Select("Patients", "outcome", Value::Str("fatal")).status());
+
+  // ---- Eve's side: only the observation log and the public priors. ----
+  const auto& queries = server.observations().queries();
+  if (queries.size() != 4) return Status::Internal("expected 4 queries");
+  const double n = static_cast<double>(table.size());
+
+  // Expected result fractions for the four semantic roles.
+  struct Role {
+    const char* label;
+    double expected;
+  };
+  const Role roles[4] = {{"hospital=1", model.flows[0]},
+                         {"hospital=2", model.flows[1]},
+                         {"hospital=3", model.flows[2]},
+                         {"outcome=fatal", model.fatal_rate}};
+
+  // Greedy assignment of observed queries to roles by closest size match
+  // ("from the size of the results ... Eve can guess the exact queries
+  // with high confidence").
+  std::array<int, 4> assignment = {-1, -1, -1, -1};  // role -> query index
+  std::set<size_t> used;
+  // Order roles by how distinctive their expected sizes are (all pairwise
+  // distinct here); a simple greedy by minimal relative error suffices.
+  for (int role = 0; role < 4; ++role) {
+    double best_err = 1e18;
+    int best_query = -1;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (used.count(qi) > 0) continue;
+      double frac = static_cast<double>(queries[qi].result_size()) / n;
+      double err = std::fabs(frac - roles[role].expected);
+      if (err < best_err) {
+        best_err = err;
+        best_query = static_cast<int>(qi);
+      }
+    }
+    assignment[static_cast<size_t>(role)] = best_query;
+    used.insert(static_cast<size_t>(best_query));
+  }
+
+  HospitalInference inference;
+  // Ground truth: Alex issued them in order h1, h2, h3, fatal.
+  inference.queries_identified = assignment[0] == 0 && assignment[1] == 1 &&
+                                 assignment[2] == 2 && assignment[3] == 3;
+
+  // Intersect the (assigned) hospital-1 result with the fatal result.
+  const auto& h1_obs = queries[static_cast<size_t>(assignment[0])];
+  const auto& fatal_obs = queries[static_cast<size_t>(assignment[3])];
+  auto common = server::ObservationLog::Intersect(h1_obs, fatal_obs);
+  inference.estimated_fatal_ratio_h1 =
+      h1_obs.result_size() == 0
+          ? 0.0
+          : static_cast<double>(common.size()) / h1_obs.result_size();
+  inference.true_fatal_ratio_h1 = TrueFatalRatioH1(table);
+  return inference;
+}
+
+Result<JohnInference> RunJohnAttack(const HospitalModel& model,
+                                    uint64_t seed) {
+  crypto::HmacDrbg rng("john-attack", seed);
+  DBPH_ASSIGN_OR_RETURN(Relation table, GenerateHospitalTable(model, &rng));
+
+  // Plant John at a random position.
+  size_t john_index = rng.NextBelow(table.size());
+  Relation with_john("Patients", HospitalSchema());
+  JohnInference truth;
+  for (size_t i = 0; i < table.size(); ++i) {
+    rel::Tuple t = table.tuple(i);
+    if (i == john_index) {
+      std::vector<Value> values = t.values();
+      values[1] = Value::Str("John");
+      truth.true_hospital = values[2].AsInt();
+      truth.true_outcome = values[3].AsString();
+      t = rel::Tuple(std::move(values));
+    }
+    DBPH_RETURN_IF_ERROR(with_john.Insert(std::move(t)));
+  }
+
+  server::UntrustedServer server;
+  client::Client alex(
+      rng.NextBytes(32),
+      [&server](const Bytes& request) { return server.HandleRequest(request); },
+      &rng);
+  DBPH_RETURN_IF_ERROR(alex.Outsource(with_john));
+
+  // Eve's oracle access: she obtains encryptions of queries of her
+  // choice (modeled via the client's scheme — in the paper, by sending
+  // Alex "confusing messages"). She then runs them herself.
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph,
+                        alex.SchemeFor("Patients"));
+  auto run = [&](const std::string& attr,
+                 const Value& value) -> Result<std::set<uint64_t>> {
+    DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery q,
+                          ph->EncryptQuery("Patients", attr, value));
+    DBPH_ASSIGN_OR_RETURN(auto docs, server.Select(q));
+    (void)docs;
+    const auto& obs = server.observations().queries().back();
+    return std::set<uint64_t>(obs.matched_records.begin(),
+                              obs.matched_records.end());
+  };
+
+  DBPH_ASSIGN_OR_RETURN(std::set<uint64_t> john_docs,
+                        run("name", Value::Str("John")));
+  JohnInference inference;
+  inference.true_hospital = truth.true_hospital;
+  inference.true_outcome = truth.true_outcome;
+  if (john_docs.empty()) return inference;  // found_john stays false
+  inference.found_john = true;
+
+  for (int64_t h = 1; h <= 3; ++h) {
+    DBPH_ASSIGN_OR_RETURN(std::set<uint64_t> docs,
+                          run("hospital", Value::Int(h)));
+    for (uint64_t rid : john_docs) {
+      if (docs.count(rid) > 0) {
+        inference.inferred_hospital = h;
+        break;
+      }
+    }
+  }
+  DBPH_ASSIGN_OR_RETURN(std::set<uint64_t> fatal_docs,
+                        run("outcome", Value::Str("fatal")));
+  bool fatal = false;
+  for (uint64_t rid : john_docs) {
+    if (fatal_docs.count(rid) > 0) fatal = true;
+  }
+  inference.inferred_outcome = fatal ? "fatal" : "healthy";
+  return inference;
+}
+
+}  // namespace games
+}  // namespace dbph

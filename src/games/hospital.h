@@ -1,0 +1,83 @@
+#ifndef DBPH_GAMES_HOSPITAL_H_
+#define DBPH_GAMES_HOSPITAL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/random.h"
+#include "relation/relation.h"
+
+namespace dbph {
+namespace games {
+
+/// \brief Parameters of the paper's Section 2 hospital scenario: three
+/// competing hospitals with known patient-flow shares and a known
+/// fatal/healthy outcome split.
+struct HospitalModel {
+  std::array<double, 3> flows = {0.2, 0.3, 0.5};
+  double fatal_rate = 0.08;
+  size_t patients = 1000;
+};
+
+/// Patients(id:int, name:string, hospital:int, outcome:string).
+rel::Schema HospitalSchema();
+
+/// \brief Samples a synthetic patient table from the model (the paper's
+/// statistics database; no real data required — the attack depends only
+/// on the marginals, which we match exactly in expectation).
+Result<rel::Relation> GenerateHospitalTable(const HospitalModel& model,
+                                            crypto::Rng* rng);
+
+/// \brief What Eve infers from watching Alex's four queries (the paper's
+/// workload: hospital=1, hospital=2, hospital=3, outcome='fatal').
+struct HospitalInference {
+  /// Eve's identification of which observed query is which plaintext
+  /// query, from result sizes + known priors. queries_identified is true
+  /// when all four were matched correctly.
+  bool queries_identified = false;
+  /// Eve's estimate of the fatal ratio in hospital 1 (the paper's
+  /// headline leak), and the table's true value.
+  double estimated_fatal_ratio_h1 = 0.0;
+  double true_fatal_ratio_h1 = 0.0;
+
+  double AbsoluteError() const {
+    double d = estimated_fatal_ratio_h1 - true_fatal_ratio_h1;
+    return d < 0 ? -d : d;
+  }
+};
+
+/// \brief Runs the full passive scenario once:
+/// Alex outsources a fresh hospital table (under a fresh key) and issues
+/// the four queries through the untrusted server; Eve, knowing only the
+/// model priors and the observation log (result sizes + record-id sets),
+/// matches queries to semantics and intersects result sets to estimate
+/// hospital 1's fatal ratio.
+Result<HospitalInference> RunHospitalScenario(const HospitalModel& model,
+                                              uint64_t seed);
+
+/// \brief The John attack (active adversary): Eve uses the query-
+/// encryption oracle to get trapdoors for sigma_{name:John} and
+/// sigma_{hospital:X}, X in {1,2,3}, plus sigma_{outcome:fatal}, runs
+/// them on the stored ciphertext, and intersects.
+struct JohnInference {
+  bool found_john = false;
+  int64_t inferred_hospital = 0;
+  std::string inferred_outcome;
+  int64_t true_hospital = 0;
+  std::string true_outcome;
+
+  bool Correct() const {
+    return found_john && inferred_hospital == true_hospital &&
+           inferred_outcome == true_outcome;
+  }
+};
+
+Result<JohnInference> RunJohnAttack(const HospitalModel& model,
+                                    uint64_t seed);
+
+}  // namespace games
+}  // namespace dbph
+
+#endif  // DBPH_GAMES_HOSPITAL_H_

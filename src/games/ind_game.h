@@ -1,0 +1,77 @@
+#ifndef DBPH_GAMES_IND_GAME_H_
+#define DBPH_GAMES_IND_GAME_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "crypto/random.h"
+#include "games/stats.h"
+#include "relation/relation.h"
+
+namespace dbph {
+namespace games {
+
+/// \brief The classical indistinguishability game of Definition 1.2,
+/// lifted to tables and generic over the ciphertext view the scheme
+/// exposes (bucket labels, hashed labels, SWP documents, ...).
+///
+/// Per trial:
+///   1. Eve chooses two tables T1, T2 (same schema, same cardinality —
+///      enforced by the harness, mirroring "plaintexts of the same
+///      length");
+///   2. Alex draws a fresh key, flips i, and encrypts T_i;
+///   3. Eve sees the ciphertext view and guesses i.
+///
+/// No queries flow (q = 0): this is the passive baseline the Section 1
+/// attacks already win against deterministic-index schemes.
+template <typename View>
+class IndAdversary {
+ public:
+  virtual ~IndAdversary() = default;
+  virtual std::string Name() const = 0;
+
+  /// Step 1. Must return same-schema, same-cardinality tables.
+  virtual std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) = 0;
+
+  /// Step 3. Returns 1 or 2.
+  virtual int Guess(const View& view, crypto::Rng* rng) = 0;
+};
+
+/// Encrypts a relation under a *fresh key per trial*; the trial index is
+/// provided so implementations can derive deterministic per-trial keys.
+template <typename View>
+using TrialEncryptor =
+    std::function<Result<View>(const rel::Relation&, size_t trial,
+                               crypto::Rng* rng)>;
+
+/// \brief Runs `trials` independent games; deterministic in `seed`.
+template <typename View>
+Result<BinomialSummary> RunIndGame(const TrialEncryptor<View>& encrypt,
+                                   IndAdversary<View>* adversary,
+                                   size_t trials, uint64_t seed) {
+  BinomialSummary summary;
+  crypto::HmacDrbg rng("ind-game/" + adversary->Name(), seed);
+  for (size_t trial = 0; trial < trials; ++trial) {
+    auto [t1, t2] = adversary->ChooseTables(&rng);
+    if (!(t1.schema() == t2.schema()) || t1.size() != t2.size()) {
+      return Status::FailedPrecondition(
+          "adversary must choose same-schema, same-cardinality tables");
+    }
+    int secret = rng.NextBool() ? 1 : 2;
+    const rel::Relation& chosen = (secret == 1) ? t1 : t2;
+    DBPH_ASSIGN_OR_RETURN(View view, encrypt(chosen, trial, &rng));
+    int guess = adversary->Guess(view, &rng);
+    ++summary.trials;
+    if (guess == secret) ++summary.successes;
+  }
+  return summary;
+}
+
+}  // namespace games
+}  // namespace dbph
+
+#endif  // DBPH_GAMES_IND_GAME_H_

@@ -1,0 +1,142 @@
+#include "games/kc_game.h"
+
+#include <set>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace games {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+Result<BinomialSummary> RunKcGame(const core::DbphOptions& options, size_t q,
+                                  Definition21Adversary* adversary,
+                                  size_t trials, uint64_t seed) {
+  BinomialSummary summary;
+  crypto::HmacDrbg rng("kc-game/" + adversary->Name(), seed);
+
+  for (size_t trial = 0; trial < trials; ++trial) {
+    auto [t1, t2] = adversary->ChooseTables(&rng);
+    if (!(t1.schema() == t2.schema()) || t1.size() != t2.size()) {
+      return Status::FailedPrecondition(
+          "KC game requires same-schema, same-cardinality tables");
+    }
+
+    auto queries = adversary->ChooseQueries(q);
+    if (queries.size() > q) queries.resize(q);
+    // KC constraint: every query must return equally many tuples on both
+    // tables (evaluated on plaintext by the referee).
+    for (const auto& [attribute, value] : queries) {
+      DBPH_ASSIGN_OR_RETURN(Relation r1, t1.Select(attribute, value));
+      DBPH_ASSIGN_OR_RETURN(Relation r2, t2.Select(attribute, value));
+      if (r1.size() != r2.size()) {
+        return Status::FailedPrecondition(
+            "KC game: query sigma_{" + attribute +
+            "} returns different cardinalities on T1 and T2");
+      }
+    }
+
+    Bytes master = core::GenerateMasterKey(&rng);
+    DBPH_ASSIGN_OR_RETURN(core::DatabasePh ph,
+                          core::DatabasePh::Create(t1.schema(), master,
+                                                   options));
+    int secret = rng.NextBool() ? 1 : 2;
+    const Relation& chosen = (secret == 1) ? t1 : t2;
+    DBPH_ASSIGN_OR_RETURN(core::EncryptedRelation ciphertext,
+                          ph.EncryptRelation(chosen, &rng));
+
+    Definition21View view;
+    view.ciphertext = &ciphertext;
+    for (const auto& [attribute, value] : queries) {
+      DBPH_ASSIGN_OR_RETURN(
+          core::EncryptedQuery enc_query,
+          ph.EncryptQuery(ciphertext.name, attribute, value));
+      view.results.push_back(ExecuteSelect(ciphertext, enc_query));
+      view.encrypted_queries.push_back(std::move(enc_query));
+    }
+
+    int guess = adversary->Guess(view, &rng);
+    ++summary.trials;
+    if (guess == secret) ++summary.successes;
+  }
+  return summary;
+}
+
+namespace {
+
+Schema TwoFlagSchema() {
+  // Length 6 keeps the word length comfortably above the default check
+  // width (words are value field + id = 7 bytes).
+  auto schema = Schema::Create({
+      {"a", ValueType::kInt64, 6},
+      {"b", ValueType::kInt64, 6},
+  });
+  return *schema;
+}
+
+/// T1 = {(1,1),(0,0)}: sigma_{a=1} and sigma_{b=1} hit the SAME tuple.
+/// T2 = {(1,0),(0,1)}: they hit DIFFERENT tuples.
+/// Every query returns exactly one tuple on either table.
+std::pair<Relation, Relation> MakeIntersectionTables() {
+  Schema schema = TwoFlagSchema();
+  Relation t1("T", schema);
+  (void)t1.Insert({Value::Int(1), Value::Int(1)});
+  (void)t1.Insert({Value::Int(0), Value::Int(0)});
+  Relation t2("T", schema);
+  (void)t2.Insert({Value::Int(1), Value::Int(0)});
+  (void)t2.Insert({Value::Int(0), Value::Int(1)});
+  return {std::move(t1), std::move(t2)};
+}
+
+}  // namespace
+
+std::pair<Relation, Relation> KcSizeOnlyAdversary::ChooseTables(
+    crypto::Rng*) {
+  return MakeIntersectionTables();
+}
+
+std::vector<std::pair<std::string, Value>> KcSizeOnlyAdversary::ChooseQueries(
+    size_t q) {
+  std::vector<std::pair<std::string, Value>> queries = {
+      {"a", Value::Int(1)}};
+  if (q >= 2) queries.push_back({"b", Value::Int(1)});
+  return queries;
+}
+
+int KcSizeOnlyAdversary::Guess(const Definition21View& view,
+                               crypto::Rng* rng) {
+  // Sizes are identical on both tables by construction; counting alone
+  // cannot help. Anything this adversary computes from cardinalities is
+  // a coin flip.
+  (void)view;
+  return rng->NextBool() ? 1 : 2;
+}
+
+std::pair<Relation, Relation> IntersectionPatternAdversary::ChooseTables(
+    crypto::Rng*) {
+  return MakeIntersectionTables();
+}
+
+std::vector<std::pair<std::string, Value>>
+IntersectionPatternAdversary::ChooseQueries(size_t q) {
+  std::vector<std::pair<std::string, Value>> queries = {
+      {"a", Value::Int(1)}};
+  if (q >= 2) queries.push_back({"b", Value::Int(1)});
+  return queries;
+}
+
+int IntersectionPatternAdversary::Guess(const Definition21View& view,
+                                        crypto::Rng* rng) {
+  if (view.results.size() < 2) return rng->NextBool() ? 1 : 2;
+  std::set<size_t> first(view.results[0].begin(), view.results[0].end());
+  for (size_t doc : view.results[1]) {
+    if (first.count(doc) > 0) return 1;  // overlap => T1
+  }
+  return 2;
+}
+
+}  // namespace games
+}  // namespace dbph

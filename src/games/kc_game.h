@@ -1,0 +1,62 @@
+#ifndef DBPH_GAMES_KC_GAME_H_
+#define DBPH_GAMES_KC_GAME_H_
+
+#include <string>
+
+#include "games/dbph_game.h"
+
+namespace dbph {
+namespace games {
+
+/// \brief The Kantarcıoğlu–Clifton security game (paper Section 2,
+/// reference [5]): Definition 2.1 with the *additional constraint* that
+/// every adversary query must return the same number of tuples on T1 and
+/// T2 ("any two queries returning the same number of tuples are
+/// indistinguishable").
+///
+/// The harness enforces the constraint by evaluating the plaintext
+/// queries on both tables and rejecting trials that violate it — an
+/// adversary cannot cheat by size.
+///
+/// The paper's two claims, both reproduced here:
+///  1. the definition is *satisfiable* (unlike Definition 2.1 — compare
+///     E2): size-only adversaries gain nothing;
+///  2. it is still *insufficient*: result sets expose intersection
+///     structure beyond their cardinalities, and the
+///     IntersectionPatternAdversary wins with probability ~1.
+Result<BinomialSummary> RunKcGame(const core::DbphOptions& options, size_t q,
+                                  Definition21Adversary* adversary,
+                                  size_t trials, uint64_t seed);
+
+/// \brief KC-compliant adversary that only uses result *sizes*. Both its
+/// queries return exactly one tuple on either table, so under the KC
+/// definition it should win — and, against our scheme, provably cannot.
+class KcSizeOnlyAdversary : public Definition21Adversary {
+ public:
+  std::string Name() const override { return "kc-size-only"; }
+  std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) override;
+  std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+      size_t q) override;
+  int Guess(const Definition21View& view, crypto::Rng* rng) override;
+};
+
+/// \brief The paper's counterexample to the KC definition: both queries
+/// return one tuple on either table, but on T1 they hit the *same* tuple
+/// and on T2 *different* tuples. Intersecting the result sets
+/// distinguishes with probability ~1 while satisfying every KC
+/// constraint.
+class IntersectionPatternAdversary : public Definition21Adversary {
+ public:
+  std::string Name() const override { return "kc-intersection"; }
+  std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) override;
+  std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+      size_t q) override;
+  int Guess(const Definition21View& view, crypto::Rng* rng) override;
+};
+
+}  // namespace games
+}  // namespace dbph
+
+#endif  // DBPH_GAMES_KC_GAME_H_

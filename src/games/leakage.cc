@@ -1,0 +1,104 @@
+#include "games/leakage.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+#include "crypto/random.h"
+
+namespace dbph {
+namespace games {
+
+namespace {
+
+double PartitionEntropyBits(const std::vector<size_t>& class_of,
+                            size_t num_classes) {
+  std::vector<size_t> sizes(num_classes, 0);
+  for (size_t c : class_of) sizes[c]++;
+  double n = static_cast<double>(class_of.size());
+  double entropy = 0.0;
+  for (size_t size : sizes) {
+    if (size == 0) continue;
+    double p = static_cast<double>(size) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+size_t CountSingletons(const std::vector<size_t>& class_of,
+                       size_t num_classes) {
+  std::vector<size_t> sizes(num_classes, 0);
+  for (size_t c : class_of) sizes[c]++;
+  size_t singles = 0;
+  for (size_t size : sizes) {
+    if (size == 1) ++singles;
+  }
+  return singles;
+}
+
+}  // namespace
+
+Result<LeakageCurve> MeasureQueryLeakage(
+    const rel::Relation& table,
+    const std::vector<std::pair<std::string, rel::Value>>& workload,
+    const core::DbphOptions& options, uint64_t seed) {
+  crypto::HmacDrbg rng("leakage", seed);
+  Bytes master = core::GenerateMasterKey(&rng);
+  DBPH_ASSIGN_OR_RETURN(
+      core::DatabasePh ph,
+      core::DatabasePh::Create(table.schema(), master, options));
+  DBPH_ASSIGN_OR_RETURN(core::EncryptedRelation enc,
+                        ph.EncryptRelation(table, &rng));
+
+  LeakageCurve curve;
+  curve.documents = enc.size();
+
+  // Eve's partition: class id per document, refined after each query.
+  std::vector<size_t> class_of(enc.size(), 0);
+  size_t num_classes = 1;
+  curve.classes.push_back(num_classes);
+  curve.entropy_bits.push_back(0.0);
+  curve.singletons.push_back(CountSingletons(class_of, num_classes));
+
+  for (const auto& [attribute, value] : workload) {
+    DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
+                          ph.EncryptQuery(enc.name, attribute, value));
+    std::vector<size_t> hits = ExecuteSelect(enc, query);
+    std::set<size_t> matched(hits.begin(), hits.end());
+
+    // Refine: split every class into (matched, unmatched) halves.
+    std::map<std::pair<size_t, bool>, size_t> remap;
+    std::vector<size_t> next(class_of.size());
+    for (size_t doc = 0; doc < class_of.size(); ++doc) {
+      auto key = std::make_pair(class_of[doc], matched.count(doc) > 0);
+      auto [it, inserted] = remap.emplace(key, remap.size());
+      next[doc] = it->second;
+    }
+    class_of = std::move(next);
+    num_classes = remap.size();
+
+    curve.classes.push_back(num_classes);
+    curve.entropy_bits.push_back(PartitionEntropyBits(class_of, num_classes));
+    curve.singletons.push_back(CountSingletons(class_of, num_classes));
+  }
+  return curve;
+}
+
+std::vector<std::pair<std::string, rel::Value>> SampleWorkload(
+    const rel::Relation& table, size_t queries, uint64_t seed) {
+  crypto::HmacDrbg rng("workload", seed);
+  std::vector<std::pair<std::string, rel::Value>> workload;
+  workload.reserve(queries);
+  if (table.empty()) return workload;
+  for (size_t i = 0; i < queries; ++i) {
+    size_t attr = rng.NextBelow(table.schema().num_attributes());
+    size_t row = rng.NextBelow(table.size());
+    workload.emplace_back(table.schema().attribute(attr).name,
+                          table.tuple(row).at(attr));
+  }
+  return workload;
+}
+
+}  // namespace games
+}  // namespace dbph

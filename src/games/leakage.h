@@ -1,0 +1,56 @@
+#ifndef DBPH_GAMES_LEAKAGE_H_
+#define DBPH_GAMES_LEAKAGE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "dbph/scheme.h"
+#include "relation/relation.h"
+
+namespace dbph {
+namespace games {
+
+/// \brief Quantifies how Eve's knowledge accumulates with the number of
+/// observed queries — the quantitative counterpart of Theorem 2.1's
+/// qualitative "insecure for q > 0".
+///
+/// Eve cannot read documents, but every executed query partitions them
+/// into "matched" and "unmatched". Intersecting these membership
+/// patterns over q queries refines a partition of the document set; the
+/// finer the partition, the more plaintext structure has leaked (two
+/// documents in different classes provably differ; a singleton class is
+/// a fully re-identifiable individual, like John).
+struct LeakageCurve {
+  size_t documents = 0;
+  /// classes[k] = number of distinguishable document classes after the
+  /// first k queries (classes[0] == 1).
+  std::vector<size_t> classes;
+  /// Shannon entropy (bits) of the partition after k queries; upper
+  /// bound log2(documents) = full identification of the equality
+  /// structure.
+  std::vector<double> entropy_bits;
+  /// Number of singleton classes (fully isolated individuals) after k
+  /// queries.
+  std::vector<size_t> singletons;
+};
+
+/// \brief Encrypts `table` under a fresh key and replays `workload`
+/// through the server-side psi, refining Eve's partition after each
+/// query.
+Result<LeakageCurve> MeasureQueryLeakage(
+    const rel::Relation& table,
+    const std::vector<std::pair<std::string, rel::Value>>& workload,
+    const core::DbphOptions& options, uint64_t seed);
+
+/// \brief Samples a realistic exact-select workload: each query picks a
+/// random attribute and the value of a random existing tuple (so results
+/// are non-trivial).
+std::vector<std::pair<std::string, rel::Value>> SampleWorkload(
+    const rel::Relation& table, size_t queries, uint64_t seed);
+
+}  // namespace games
+}  // namespace dbph
+
+#endif  // DBPH_GAMES_LEAKAGE_H_

@@ -1,0 +1,142 @@
+#include "games/q0_adversaries.h"
+
+#include <bit>
+#include <set>
+
+namespace dbph {
+namespace games {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+Schema OneColumnSchema() {
+  auto schema = Schema::Create({{"v", ValueType::kString, 8}});
+  return *schema;
+}
+
+Relation TableOf(const std::vector<std::string>& values) {
+  Relation t("T", OneColumnSchema());
+  for (const auto& v : values) (void)t.Insert({Value::Str(v)});
+  return t;
+}
+
+size_t TotalHammingWeight(const core::EncryptedRelation& view) {
+  size_t weight = 0;
+  for (const auto& doc : view.documents) {
+    for (const auto& w : doc.words) {
+      for (uint8_t b : w) weight += static_cast<size_t>(std::popcount(b));
+    }
+  }
+  return weight;
+}
+
+size_t TotalCipherBits(const core::EncryptedRelation& view) {
+  size_t bits = 0;
+  for (const auto& doc : view.documents) {
+    for (const auto& w : doc.words) bits += w.size() * 8;
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::pair<Relation, Relation> RandomGuessAdversary::ChooseTables(
+    crypto::Rng*) {
+  return {TableOf({"alpha", "beta"}), TableOf({"gamma", "delta"})};
+}
+
+int RandomGuessAdversary::Guess(const Definition21View&, crypto::Rng* rng) {
+  return rng->NextBool() ? 1 : 2;
+}
+
+std::pair<Relation, Relation> RepeatDetectionAdversary::ChooseTables(
+    crypto::Rng*) {
+  // T1: four identical values; T2: four distinct values.
+  return {TableOf({"same", "same", "same", "same"}),
+          TableOf({"v1", "v2", "v3", "v4"})};
+}
+
+int RepeatDetectionAdversary::Guess(const Definition21View& view,
+                                    crypto::Rng* rng) {
+  std::set<Bytes> words;
+  size_t total = 0;
+  for (const auto& doc : view.ciphertext->documents) {
+    for (const auto& w : doc.words) {
+      words.insert(w);
+      ++total;
+    }
+  }
+  if (words.size() < total) return 1;  // repeats => the all-equal table
+  return rng->NextBool() ? 1 : 2;
+}
+
+std::pair<Relation, Relation> ByteFrequencyAdversary::ChooseTables(
+    crypto::Rng*) {
+  return {TableOf({"aaaaaaaa", "aaaaaaaa"}), TableOf({"zzzzzzzz",
+                                                      "zzzzzzzz"})};
+}
+
+int ByteFrequencyAdversary::Guess(const Definition21View& view,
+                                  crypto::Rng*) {
+  // 'a' = 0x61 has weight 3, 'z' = 0x7a has weight 5: if the cipher
+  // leaked plaintext bias, T2's ciphertext would be heavier.
+  size_t weight = TotalHammingWeight(*view.ciphertext);
+  size_t bits = TotalCipherBits(*view.ciphertext);
+  return 2 * weight > bits ? 2 : 1;
+}
+
+std::pair<Relation, Relation> HammingWeightAdversary::ChooseTables(
+    crypto::Rng*) {
+  // Extreme weight difference: 0x30 '0' (weight 2) vs 0x7f-ish text.
+  return {TableOf({"00000000"}), TableOf({"~~~~~~~~"})};
+}
+
+int HammingWeightAdversary::Guess(const Definition21View& view,
+                                  crypto::Rng*) {
+  size_t weight = TotalHammingWeight(*view.ciphertext);
+  size_t bits = TotalCipherBits(*view.ciphertext);
+  return 2 * weight > bits ? 2 : 1;
+}
+
+std::pair<Relation, Relation> CrossDocumentXorAdversary::ChooseTables(
+    crypto::Rng*) {
+  // T1: two equal tuples; T2: two unrelated tuples. If word encryption
+  // reused pads across documents, XOR of the two ciphertexts would
+  // cancel to zero for T1.
+  return {TableOf({"repeated", "repeated"}), TableOf({"first111",
+                                                      "second22"})};
+}
+
+int CrossDocumentXorAdversary::Guess(const Definition21View& view,
+                                     crypto::Rng* rng) {
+  const auto& docs = view.ciphertext->documents;
+  if (docs.size() >= 2 && !docs[0].words.empty() &&
+      !docs[1].words.empty() &&
+      docs[0].words[0].size() == docs[1].words[0].size()) {
+    Bytes x = Xor(docs[0].words[0], docs[1].words[0]);
+    bool all_zero = true;
+    for (uint8_t b : x) {
+      if (b != 0) all_zero = false;
+    }
+    if (all_zero) return 1;
+  }
+  return rng->NextBool() ? 1 : 2;
+}
+
+std::vector<std::unique_ptr<Definition21Adversary>>
+MakeQ0AdversaryBattery() {
+  std::vector<std::unique_ptr<Definition21Adversary>> battery;
+  battery.push_back(std::make_unique<RandomGuessAdversary>());
+  battery.push_back(std::make_unique<RepeatDetectionAdversary>());
+  battery.push_back(std::make_unique<ByteFrequencyAdversary>());
+  battery.push_back(std::make_unique<HammingWeightAdversary>());
+  battery.push_back(std::make_unique<CrossDocumentXorAdversary>());
+  return battery;
+}
+
+}  // namespace games
+}  // namespace dbph

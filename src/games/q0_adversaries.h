@@ -1,0 +1,95 @@
+#ifndef DBPH_GAMES_Q0_ADVERSARIES_H_
+#define DBPH_GAMES_Q0_ADVERSARIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "games/dbph_game.h"
+
+namespace dbph {
+namespace games {
+
+/// A battery of passive (q = 0) adversaries against the database PH —
+/// the negative controls of experiment E7. Each implements a natural
+/// ciphertext statistic; the construction's security claim predicts all
+/// of them stay at advantage ~0.
+
+/// Baseline: flips a coin.
+class RandomGuessAdversary : public Definition21Adversary {
+ public:
+  std::string Name() const override { return "random-guess"; }
+  std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) override;
+  std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+      size_t) override {
+    return {};
+  }
+  int Guess(const Definition21View& view, crypto::Rng* rng) override;
+};
+
+/// Chooses a table of all-equal values vs all-distinct values and looks
+/// for repeated ciphertext words (wins against any deterministic
+/// word encryption; the stream pad defeats it here).
+class RepeatDetectionAdversary : public Definition21Adversary {
+ public:
+  std::string Name() const override { return "repeat-detection"; }
+  std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) override;
+  std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+      size_t) override {
+    return {};
+  }
+  int Guess(const Definition21View& view, crypto::Rng* rng) override;
+};
+
+/// Compares the empirical byte distribution of the ciphertext against
+/// 0.5 expected bit frequency; chooses tables with maximally skewed
+/// plaintext bytes ('aaaa...' vs 'zzzz...').
+class ByteFrequencyAdversary : public Definition21Adversary {
+ public:
+  std::string Name() const override { return "byte-frequency"; }
+  std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) override;
+  std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+      size_t) override {
+    return {};
+  }
+  int Guess(const Definition21View& view, crypto::Rng* rng) override;
+};
+
+/// Computes total Hamming weight of the ciphertext and thresholds it
+/// (plaintexts differ in weight by construction).
+class HammingWeightAdversary : public Definition21Adversary {
+ public:
+  std::string Name() const override { return "hamming-weight"; }
+  std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) override;
+  std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+      size_t) override {
+    return {};
+  }
+  int Guess(const Definition21View& view, crypto::Rng* rng) override;
+};
+
+/// XORs the first two documents' first words (exploits any structural
+/// correlation between documents encrypted under the same key).
+class CrossDocumentXorAdversary : public Definition21Adversary {
+ public:
+  std::string Name() const override { return "cross-document-xor"; }
+  std::pair<rel::Relation, rel::Relation> ChooseTables(
+      crypto::Rng* rng) override;
+  std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+      size_t) override {
+    return {};
+  }
+  int Guess(const Definition21View& view, crypto::Rng* rng) override;
+};
+
+/// All of the above, for sweep experiments.
+std::vector<std::unique_ptr<Definition21Adversary>> MakeQ0AdversaryBattery();
+
+}  // namespace games
+}  // namespace dbph
+
+#endif  // DBPH_GAMES_Q0_ADVERSARIES_H_

@@ -1,0 +1,89 @@
+#include "games/salary_attack.h"
+
+#include <set>
+
+namespace dbph {
+namespace games {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+Schema SalarySchema() {
+  auto schema = Schema::Create({
+      {"id", ValueType::kInt64, 10},
+      {"salary", ValueType::kInt64, 10},
+  });
+  return *schema;  // static schema; cannot fail
+}
+
+std::pair<Relation, Relation> MakeSalaryTables() {
+  Schema schema = SalarySchema();
+  Relation t1("T", schema);
+  (void)t1.Insert({Value::Int(171), Value::Int(4900)});
+  (void)t1.Insert({Value::Int(481), Value::Int(1200)});
+  Relation t2("T", schema);
+  (void)t2.Insert({Value::Int(171), Value::Int(4900)});
+  (void)t2.Insert({Value::Int(481), Value::Int(4900)});
+  return {std::move(t1), std::move(t2)};
+}
+
+namespace {
+
+/// Shared guessing rule: distinct salary labels -> table 1.
+template <typename Tuples>
+int GuessFromSalaryLabels(const Tuples& tuples) {
+  std::set<Bytes> labels;
+  for (const auto& t : tuples) {
+    labels.insert(t.labels[1]);  // attribute 1 = salary
+  }
+  return labels.size() >= 2 ? 1 : 2;
+}
+
+}  // namespace
+
+std::pair<Relation, Relation> BucketSalaryAdversary::ChooseTables(
+    crypto::Rng*) {
+  return MakeSalaryTables();
+}
+
+int BucketSalaryAdversary::Guess(const baseline::BucketRelation& view,
+                                 crypto::Rng*) {
+  return GuessFromSalaryLabels(view.tuples);
+}
+
+std::pair<Relation, Relation> DamianiSalaryAdversary::ChooseTables(
+    crypto::Rng*) {
+  return MakeSalaryTables();
+}
+
+int DamianiSalaryAdversary::Guess(const baseline::HashedRelation& view,
+                                  crypto::Rng*) {
+  return GuessFromSalaryLabels(view.tuples);
+}
+
+std::pair<Relation, Relation> DbphSalaryAdversary::ChooseTables(
+    crypto::Rng*) {
+  return MakeSalaryTables();
+}
+
+int DbphSalaryAdversary::Guess(const core::EncryptedRelation& view,
+                               crypto::Rng* rng) {
+  // Apply the very same statistic: look for identical ciphertext words
+  // across documents. The SWP stream pad makes every word unique, so the
+  // statistic is uninformative and the adversary must flip a coin.
+  std::set<Bytes> words;
+  size_t total = 0;
+  for (const auto& doc : view.documents) {
+    for (const auto& w : doc.words) {
+      words.insert(w);
+      ++total;
+    }
+  }
+  if (words.size() < total) return 2;  // a repeat would mean equal values
+  return rng->NextBool() ? 1 : 2;
+}
+
+}  // namespace games
+}  // namespace dbph

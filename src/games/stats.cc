@@ -1,0 +1,49 @@
+#include "games/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dbph {
+namespace games {
+
+namespace {
+constexpr double kZ95 = 1.959963984540054;
+
+double Wilson(double p, double n, double z, int sign) {
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double center = p + z2 / (2.0 * n);
+  double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return (center + sign * margin) / denom;
+}
+}  // namespace
+
+double BinomialSummary::WilsonLow() const {
+  if (trials == 0) return 0.0;
+  return Wilson(rate(), static_cast<double>(trials), kZ95, -1);
+}
+
+double BinomialSummary::WilsonHigh() const {
+  if (trials == 0) return 1.0;
+  return Wilson(rate(), static_cast<double>(trials), kZ95, +1);
+}
+
+std::string BinomialSummary::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%zu/%zu = %.3f [%.3f, %.3f]", successes,
+                trials, rate(), WilsonLow(), WilsonHigh());
+  return buf;
+}
+
+double BinomialZTestPValue(const BinomialSummary& summary, double p0) {
+  if (summary.trials == 0) return 1.0;
+  double n = static_cast<double>(summary.trials);
+  double se = std::sqrt(p0 * (1.0 - p0) / n);
+  if (se == 0.0) return summary.rate() == p0 ? 1.0 : 0.0;
+  double z = (summary.rate() - p0) / se;
+  // Two-sided p-value via the complementary error function.
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+}  // namespace games
+}  // namespace dbph

@@ -1,0 +1,45 @@
+#ifndef DBPH_GAMES_STATS_H_
+#define DBPH_GAMES_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace dbph {
+namespace games {
+
+/// \brief Success counts of repeated game trials, with the statistics the
+/// experiment reports derive from them.
+struct BinomialSummary {
+  size_t trials = 0;
+  size_t successes = 0;
+
+  double rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(successes) / trials;
+  }
+
+  /// 95% Wilson score interval for the success probability — robust for
+  /// rates near 0 and 1, where the normal approximation breaks.
+  double WilsonLow() const;
+  double WilsonHigh() const;
+
+  /// The distinguishing advantage 2p - 1 of an IND-game adversary (0 =
+  /// blind guessing, 1 = always right).
+  double Advantage() const { return 2.0 * rate() - 1.0; }
+  double AdvantageLow() const { return 2.0 * WilsonLow() - 1.0; }
+  double AdvantageHigh() const { return 2.0 * WilsonHigh() - 1.0; }
+
+  /// True when the 95% interval excludes 1/2 — the adversary demonstrably
+  /// beats guessing.
+  bool BeatsGuessing() const { return WilsonLow() > 0.5; }
+
+  /// "123/200 = 0.615 [0.545, 0.681]"
+  std::string ToString() const;
+};
+
+/// \brief Two-sided binomial z-test p-value against H0: p = p0.
+double BinomialZTestPValue(const BinomialSummary& summary, double p0);
+
+}  // namespace games
+}  // namespace dbph
+
+#endif  // DBPH_GAMES_STATS_H_

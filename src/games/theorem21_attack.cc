@@ -1,0 +1,83 @@
+#include "games/theorem21_attack.h"
+
+namespace dbph {
+namespace games {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+Schema DeptSchema() {
+  auto schema = Schema::Create({
+      {"name", ValueType::kString, 8},
+      {"dept", ValueType::kString, 4},
+  });
+  return *schema;
+}
+
+/// T1: dept column all "YY" (query misses); T2: all "XX" (query hits).
+std::pair<Relation, Relation> MakeDeptTables(size_t n) {
+  Schema schema = DeptSchema();
+  Relation t1("T", schema);
+  Relation t2("T", schema);
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = "emp" + std::to_string(i);
+    (void)t1.Insert({Value::Str(name), Value::Str("YY")});
+    (void)t2.Insert({Value::Str(name), Value::Str("XX")});
+  }
+  return {std::move(t1), std::move(t2)};
+}
+
+}  // namespace
+
+std::pair<Relation, Relation> Theorem21Adversary::ChooseTables(
+    crypto::Rng*) {
+  return MakeDeptTables(table_size_);
+}
+
+std::vector<std::pair<std::string, rel::Value>>
+Theorem21Adversary::ChooseQueries(size_t q) {
+  // One query suffices; if the oracle allows more, ask for both values to
+  // sharpen the decision.
+  std::vector<std::pair<std::string, rel::Value>> queries = {
+      {"dept", Value::Str("XX")}};
+  if (q >= 2) queries.push_back({"dept", Value::Str("YY")});
+  return queries;
+}
+
+int Theorem21Adversary::Guess(const Definition21View& view,
+                              crypto::Rng* rng) {
+  if (view.results.empty()) {
+    // q = 0: the oracle is gone and the ciphertext alone is (provably)
+    // useless to this adversary.
+    return rng->NextBool() ? 1 : 2;
+  }
+  // Result of sigma_{dept=XX}: hits => T2.
+  if (!view.results[0].empty()) return 2;
+  return 1;
+}
+
+std::pair<Relation, Relation> PassiveResultSizeAdversary::ChooseTables(
+    crypto::Rng*) {
+  return MakeDeptTables(table_size_);
+}
+
+std::vector<std::pair<std::string, rel::Value>>
+PassiveResultSizeAdversary::ChooseQueries(size_t q) {
+  // Alex's observed workload: he queries his own department column.
+  (void)q;
+  return {{"dept", Value::Str("XX")}};
+}
+
+int PassiveResultSizeAdversary::Guess(const Definition21View& view,
+                                      crypto::Rng* rng) {
+  if (view.results.empty()) return rng->NextBool() ? 1 : 2;
+  // Eve only counts: a full-table result identifies T2.
+  return view.results[0].size() == view.ciphertext->size() ? 2 : 1;
+}
+
+}  // namespace games
+}  // namespace dbph

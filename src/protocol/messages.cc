@@ -1,0 +1,51 @@
+#include "protocol/messages.h"
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace protocol {
+
+Bytes Envelope::Serialize() const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(type));
+  AppendLengthPrefixed(&out, payload);
+  return out;
+}
+
+Result<Envelope> Envelope::Parse(const Bytes& wire) {
+  ByteReader reader(wire);
+  DBPH_ASSIGN_OR_RETURN(Bytes type_byte, reader.ReadRaw(1));
+  if (type_byte[0] < 1 || type_byte[0] > kMaxMessageType) {
+    return Status::DataLoss("unknown message type");
+  }
+  Envelope env;
+  env.type = static_cast<MessageType>(type_byte[0]);
+  DBPH_ASSIGN_OR_RETURN(env.payload, reader.ReadLengthPrefixed());
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes after message");
+  }
+  return env;
+}
+
+Envelope MakeErrorEnvelope(const Status& status) {
+  Envelope env;
+  env.type = MessageType::kError;
+  env.payload.push_back(static_cast<uint8_t>(status.code()));
+  AppendLengthPrefixed(&env.payload, ToBytes(status.message()));
+  return env;
+}
+
+Status ParseErrorEnvelope(const Envelope& envelope) {
+  if (envelope.type != MessageType::kError) {
+    return Status::InvalidArgument("not an error envelope");
+  }
+  ByteReader reader(envelope.payload);
+  auto code = reader.ReadRaw(1);
+  if (!code.ok()) return Status::DataLoss("malformed error envelope");
+  auto message = reader.ReadLengthPrefixed();
+  if (!message.ok()) return Status::DataLoss("malformed error envelope");
+  return Status(static_cast<StatusCode>((*code)[0]), ToString(*message));
+}
+
+}  // namespace protocol
+}  // namespace dbph

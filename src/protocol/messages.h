@@ -1,0 +1,54 @@
+#ifndef DBPH_PROTOCOL_MESSAGES_H_
+#define DBPH_PROTOCOL_MESSAGES_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace protocol {
+
+/// Wire message types between Alex (client) and Eve (server).
+enum class MessageType : uint8_t {
+  kStoreRelation = 1,   ///< client -> server: EncryptedRelation payload
+  kStoreOk = 2,         ///< server -> client
+  kSelect = 3,          ///< client -> server: EncryptedQuery payload
+  kSelectResult = 4,    ///< server -> client: matching documents
+  kDropRelation = 5,    ///< client -> server: relation name
+  kDropOk = 6,          ///< server -> client
+  kError = 7,           ///< server -> client: status code + message
+  kAppendTuples = 8,    ///< client -> server: name + encrypted documents
+  kAppendOk = 9,        ///< server -> client
+  kDeleteWhere = 10,    ///< client -> server: EncryptedQuery payload
+  kDeleteResult = 11,   ///< server -> client: number of documents removed
+  kFetchRelation = 12,  ///< client -> server: relation name ("recall")
+  kFetchResult = 13,    ///< server -> client: every stored document
+};
+
+constexpr uint8_t kMaxMessageType = 13;
+
+/// \brief A framed wire message: 1 type byte + length-prefixed payload.
+///
+/// Everything Alex and Eve exchange goes through this framing, so the
+/// adversary's transcript (the observation log) is byte-identical to what
+/// a network eavesdropper in the Alex-Eve channel would record.
+struct Envelope {
+  MessageType type = MessageType::kError;
+  Bytes payload;
+
+  Bytes Serialize() const;
+  static Result<Envelope> Parse(const Bytes& wire);
+};
+
+/// \brief Builds a kError envelope from a Status.
+Envelope MakeErrorEnvelope(const Status& status);
+
+/// \brief Extracts the Status carried by a kError envelope. A malformed
+/// error envelope yields a kDataLoss status instead.
+Status ParseErrorEnvelope(const Envelope& envelope);
+
+}  // namespace protocol
+}  // namespace dbph
+
+#endif  // DBPH_PROTOCOL_MESSAGES_H_

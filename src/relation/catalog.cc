@@ -1,0 +1,51 @@
+#include "relation/catalog.h"
+
+namespace dbph {
+namespace rel {
+
+Status Catalog::AddRelation(Relation relation) {
+  std::string name = relation.name();
+  auto [it, inserted] = relations_.emplace(name, std::move(relation));
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+void Catalog::PutRelation(Relation relation) {
+  std::string name = relation.name();
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+Result<const Relation*> Catalog::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not found");
+  }
+  return &it->second;
+}
+
+Result<Relation*> Catalog::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not found");
+  }
+  return &it->second;
+}
+
+Status Catalog::DropRelation(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation '" + name + "' not found");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, _] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace rel
+}  // namespace dbph

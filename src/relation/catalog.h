@@ -1,0 +1,38 @@
+#ifndef DBPH_RELATION_CATALOG_H_
+#define DBPH_RELATION_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace dbph {
+namespace rel {
+
+/// \brief A named collection of relations — Alex's plaintext database.
+class Catalog {
+ public:
+  /// Fails with kAlreadyExists if a relation of that name is present.
+  Status AddRelation(Relation relation);
+
+  /// Replaces or inserts.
+  void PutRelation(Relation relation);
+
+  Result<const Relation*> GetRelation(const std::string& name) const;
+  Result<Relation*> GetMutableRelation(const std::string& name);
+
+  Status DropRelation(const std::string& name);
+
+  std::vector<std::string> RelationNames() const;
+  size_t size() const { return relations_.size(); }
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace rel
+}  // namespace dbph
+
+#endif  // DBPH_RELATION_CATALOG_H_

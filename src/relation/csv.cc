@@ -1,0 +1,145 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace rel {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one logical CSV record (handles quoted fields; `pos` advances
+/// past the record's trailing newline).
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch next iteration
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+}  // namespace
+
+std::string WriteCsv(const Relation& relation) {
+  std::ostringstream out;
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ",";
+    out << QuoteField(schema.attribute(i).name);
+  }
+  out << "\n";
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << ",";
+      out << QuoteField(t.at(i).ToDisplayString());
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<Relation> ReadCsv(const std::string& name, const Schema& schema,
+                         const std::string& csv_text) {
+  size_t pos = 0;
+  DBPH_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                        ParseRecord(csv_text, &pos));
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument("CSV header column count mismatch");
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != schema.attribute(i).name) {
+      return Status::InvalidArgument("CSV header mismatch at column " +
+                                     std::to_string(i) + ": '" + header[i] +
+                                     "' vs '" + schema.attribute(i).name +
+                                     "'");
+    }
+  }
+
+  Relation relation(name, schema);
+  while (pos < csv_text.size()) {
+    DBPH_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          ParseRecord(csv_text, &pos));
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != schema.num_attributes()) {
+      return Status::InvalidArgument("CSV row has wrong number of fields");
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      DBPH_ASSIGN_OR_RETURN(
+          Value v, Value::Parse(schema.attribute(i).type, fields[i]));
+      values.push_back(std::move(v));
+    }
+    DBPH_RETURN_IF_ERROR(relation.Insert(Tuple(std::move(values))));
+  }
+  return relation;
+}
+
+Result<Relation> LoadCsvFile(const std::string& name, const Schema& schema,
+                             const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsv(name, schema, buffer.str());
+}
+
+Status SaveCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write CSV file: " + path);
+  out << WriteCsv(relation);
+  return Status::OK();
+}
+
+}  // namespace rel
+}  // namespace dbph

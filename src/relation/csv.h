@@ -1,0 +1,31 @@
+#ifndef DBPH_RELATION_CSV_H_
+#define DBPH_RELATION_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace dbph {
+namespace rel {
+
+/// \brief Serializes a relation to CSV (header row + display-encoded
+/// values; fields containing commas/quotes/newlines are quoted).
+std::string WriteCsv(const Relation& relation);
+
+/// \brief Parses CSV text into a relation. The header must match the
+/// schema's attribute names (order included); values are parsed by type.
+Result<Relation> ReadCsv(const std::string& name, const Schema& schema,
+                         const std::string& csv_text);
+
+/// \brief Loads a relation from a CSV file on disk.
+Result<Relation> LoadCsvFile(const std::string& name, const Schema& schema,
+                             const std::string& path);
+
+/// \brief Writes a relation to a CSV file on disk.
+Status SaveCsvFile(const Relation& relation, const std::string& path);
+
+}  // namespace rel
+}  // namespace dbph
+
+#endif  // DBPH_RELATION_CSV_H_

@@ -1,0 +1,29 @@
+#include "relation/predicate.h"
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace rel {
+
+Result<ExactMatch> MakeExactMatch(const Schema& schema,
+                                  const std::string& attribute,
+                                  const Value& value) {
+  DBPH_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(attribute));
+  const Attribute& attr = schema.attribute(index);
+  if (value.type() != attr.type) {
+    return Status::InvalidArgument(
+        "predicate value type " + std::string(ValueTypeName(value.type())) +
+        " does not match attribute '" + attribute + "' of type " +
+        ValueTypeName(attr.type));
+  }
+  if (value.EncodeForWord().size() > attr.max_length) {
+    return Status::OutOfRange("predicate value exceeds attribute length");
+  }
+  ExactMatch match;
+  match.attribute_index = index;
+  match.value = value;
+  return match;
+}
+
+}  // namespace rel
+}  // namespace dbph

@@ -1,0 +1,58 @@
+#ifndef DBPH_RELATION_PREDICATE_H_
+#define DBPH_RELATION_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace dbph {
+namespace rel {
+
+/// \brief An exact-select condition σ_{attribute = value} — the class of
+/// relational operations the paper's privacy homomorphism preserves.
+struct ExactMatch {
+  size_t attribute_index = 0;
+  Value value;
+
+  bool Evaluate(const Tuple& tuple) const {
+    return tuple.at(attribute_index) == value;
+  }
+
+  bool operator==(const ExactMatch& other) const = default;
+};
+
+/// \brief A conjunction of exact matches (the client-side extension that
+/// intersects per-condition results). An empty conjunction is TRUE.
+class Conjunction {
+ public:
+  Conjunction() = default;
+  explicit Conjunction(std::vector<ExactMatch> terms)
+      : terms_(std::move(terms)) {}
+
+  void Add(ExactMatch term) { terms_.push_back(std::move(term)); }
+  const std::vector<ExactMatch>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+  bool Evaluate(const Tuple& tuple) const {
+    for (const auto& t : terms_) {
+      if (!t.Evaluate(tuple)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<ExactMatch> terms_;
+};
+
+/// \brief Resolves an (attribute-name, value) pair against a schema,
+/// checking existence, type agreement, and length bounds.
+Result<ExactMatch> MakeExactMatch(const Schema& schema,
+                                  const std::string& attribute,
+                                  const Value& value);
+
+}  // namespace rel
+}  // namespace dbph
+
+#endif  // DBPH_RELATION_PREDICATE_H_

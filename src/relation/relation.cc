@@ -1,0 +1,68 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace rel {
+
+Status Relation::Insert(Tuple tuple) {
+  DBPH_RETURN_IF_ERROR(schema_.ValidateTuple(tuple.values()));
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Result<Relation> Relation::Select(const std::string& attribute,
+                                  const Value& value) const {
+  DBPH_ASSIGN_OR_RETURN(ExactMatch match,
+                        MakeExactMatch(schema_, attribute, value));
+  return Select(match);
+}
+
+Relation Relation::Select(const ExactMatch& predicate) const {
+  Relation out(name_, schema_);
+  for (const Tuple& t : tuples_) {
+    if (predicate.Evaluate(t)) out.tuples_.push_back(t);
+  }
+  return out;
+}
+
+Relation Relation::Select(const Conjunction& conjunction) const {
+  Relation out(name_, schema_);
+  for (const Tuple& t : tuples_) {
+    if (conjunction.Evaluate(t)) out.tuples_.push_back(t);
+  }
+  return out;
+}
+
+bool Relation::SameTuples(const Relation& other) const {
+  if (tuples_.size() != other.tuples_.size()) return false;
+  std::vector<Tuple> a = tuples_;
+  std::vector<Tuple> b = other.tuples_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+void Relation::AppendTo(Bytes* out) const {
+  AppendLengthPrefixed(out, ToBytes(name_));
+  schema_.AppendTo(out);
+  AppendUint32(out, static_cast<uint32_t>(tuples_.size()));
+  for (const Tuple& t : tuples_) t.AppendTo(out);
+}
+
+Result<Relation> Relation::ReadFrom(ByteReader* reader) {
+  DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+  DBPH_ASSIGN_OR_RETURN(Schema schema, Schema::ReadFrom(reader));
+  Relation out(ToString(name), std::move(schema));
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Tuple t, Tuple::ReadFrom(reader));
+    DBPH_RETURN_IF_ERROR(out.Insert(std::move(t)));
+  }
+  return out;
+}
+
+}  // namespace rel
+}  // namespace dbph

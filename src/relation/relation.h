@@ -1,0 +1,67 @@
+#ifndef DBPH_RELATION_RELATION_H_
+#define DBPH_RELATION_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/predicate.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace dbph {
+namespace rel {
+
+/// \brief A named relation: schema plus a bag of tuples.
+///
+/// This is the "R" of Definition 1.1. The engine implements the plaintext
+/// side of the homomorphism: σ_{a=v}(R) via Select(). The database PH's
+/// correctness tests check E_k(σ(R)) ≙ ψ(E_k(R)) against this.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  /// Validates against the schema and appends.
+  Status Insert(Tuple tuple);
+
+  /// Convenience: insert from values; returns the first error encountered.
+  Status Insert(std::initializer_list<Value> values) {
+    return Insert(Tuple(std::vector<Value>(values)));
+  }
+
+  /// Plaintext exact select σ_{attribute = value}. Returns the matching
+  /// tuples as a new relation with the same schema.
+  Result<Relation> Select(const std::string& attribute,
+                          const Value& value) const;
+
+  /// Select with a pre-resolved predicate.
+  Relation Select(const ExactMatch& predicate) const;
+
+  /// Select with a conjunction of exact matches.
+  Relation Select(const Conjunction& conjunction) const;
+
+  /// Multiset equality ignoring tuple order (used by the homomorphism
+  /// property tests; ciphertext result sets come back unordered).
+  bool SameTuples(const Relation& other) const;
+
+  void AppendTo(Bytes* out) const;
+  static Result<Relation> ReadFrom(ByteReader* reader);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace rel
+}  // namespace dbph
+
+#endif  // DBPH_RELATION_RELATION_H_

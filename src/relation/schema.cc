@@ -1,0 +1,106 @@
+#include "relation/schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace rel {
+
+size_t DefaultLength(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return 20;  // "-9223372036854775808"
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kDouble:
+      return 24;
+    case ValueType::kString:
+      return 32;
+  }
+  return 32;
+}
+
+Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  std::set<std::string> names;
+  for (auto& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (!names.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + attr.name);
+    }
+    if (attr.max_length == 0) attr.max_length = DefaultLength(attr.type);
+  }
+  return Schema(std::move(attributes));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+size_t Schema::MaxValueLength() const {
+  size_t max_len = 0;
+  for (const auto& attr : attributes_) {
+    max_len = std::max(max_len, attr.max_length);
+  }
+  return max_len;
+}
+
+Status Schema::ValidateTuple(const std::vector<Value>& values) const {
+  if (values.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(values.size()) + " values, schema has " +
+        std::to_string(attributes_.size()) + " attributes");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].type() != attributes_[i].type) {
+      return Status::InvalidArgument(
+          "attribute '" + attributes_[i].name + "' expects " +
+          ValueTypeName(attributes_[i].type) + ", got " +
+          ValueTypeName(values[i].type()));
+    }
+    if (values[i].EncodeForWord().size() > attributes_[i].max_length) {
+      return Status::OutOfRange("value '" + values[i].ToDisplayString() +
+                                "' exceeds max length of attribute '" +
+                                attributes_[i].name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+void Schema::AppendTo(Bytes* out) const {
+  AppendUint32(out, static_cast<uint32_t>(attributes_.size()));
+  for (const auto& attr : attributes_) {
+    AppendLengthPrefixed(out, ToBytes(attr.name));
+    out->push_back(static_cast<uint8_t>(attr.type));
+    AppendUint32(out, static_cast<uint32_t>(attr.max_length));
+  }
+}
+
+Result<Schema> Schema::ReadFrom(ByteReader* reader) {
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+  std::vector<Attribute> attrs;
+  attrs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Attribute attr;
+    DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+    attr.name = ToString(name);
+    DBPH_ASSIGN_OR_RETURN(Bytes type, reader->ReadRaw(1));
+    attr.type = static_cast<ValueType>(type[0]);
+    DBPH_ASSIGN_OR_RETURN(uint32_t len, reader->ReadUint32());
+    attr.max_length = len;
+    attrs.push_back(std::move(attr));
+  }
+  return Schema::Create(std::move(attrs));
+}
+
+}  // namespace rel
+}  // namespace dbph

@@ -1,0 +1,70 @@
+#ifndef DBPH_RELATION_SCHEMA_H_
+#define DBPH_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/value.h"
+
+namespace dbph {
+namespace rel {
+
+/// \brief One attribute of a relation schema.
+///
+/// `max_length` bounds the *word encoding* of any value of this attribute
+/// (e.g. string[9] in the paper's Emp example, or the maximum number of
+/// decimal digits of an int). The database PH uses it to size fixed-length
+/// words; the relational engine enforces it on insert.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+  size_t max_length = 0;  ///< 0 = derive a type default (see DefaultLength)
+
+  bool operator==(const Attribute& other) const = default;
+};
+
+/// \brief Default max encoding length per type: int64 = 20 (sign + 19
+/// digits), bool = 1, double = 24, string = 32.
+size_t DefaultLength(ValueType type);
+
+/// \brief An ordered list of named, typed attributes.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Validates: non-empty, unique names, positive lengths (after applying
+  /// defaults).
+  static Result<Schema> Create(std::vector<Attribute> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with the given name.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// The longest `max_length` across attributes — the paper's "length of
+  /// the longest attribute value" used to fix the global word length.
+  size_t MaxValueLength() const;
+
+  /// Checks that `values[i]` has the type and fits the length of
+  /// attribute i.
+  Status ValidateTuple(const std::vector<Value>& values) const;
+
+  bool operator==(const Schema& other) const = default;
+
+  void AppendTo(Bytes* out) const;
+  static Result<Schema> ReadFrom(ByteReader* reader);
+
+ private:
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace rel
+}  // namespace dbph
+
+#endif  // DBPH_RELATION_SCHEMA_H_

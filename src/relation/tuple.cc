@@ -1,0 +1,44 @@
+#include "relation/tuple.h"
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace rel {
+
+uint64_t Tuple::Hash() const {
+  uint64_t h = 14695981039346656037ULL;
+  for (const Value& v : values_) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void Tuple::AppendTo(Bytes* out) const {
+  AppendUint32(out, static_cast<uint32_t>(values_.size()));
+  for (const Value& v : values_) v.AppendTo(out);
+}
+
+Result<Tuple> Tuple::ReadFrom(ByteReader* reader) {
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Value v, Value::ReadFrom(reader));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToDisplayString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToDisplayString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rel
+}  // namespace dbph

@@ -1,0 +1,48 @@
+#ifndef DBPH_RELATION_TUPLE_H_
+#define DBPH_RELATION_TUPLE_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace dbph {
+namespace rel {
+
+/// \brief A row: an ordered list of values matching some schema.
+///
+/// Tuples are plain value objects; schema conformance is checked at the
+/// Relation boundary (Relation::Insert).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Tuple& other) const = default;
+
+  /// Lexicographic order — lets tuples live in ordered containers.
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  /// Combined hash of all values (order-sensitive).
+  uint64_t Hash() const;
+
+  void AppendTo(Bytes* out) const;
+  static Result<Tuple> ReadFrom(ByteReader* reader);
+
+  /// "(v1, v2, ...)" rendering for logs and examples.
+  std::string ToDisplayString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace rel
+}  // namespace dbph
+
+#endif  // DBPH_RELATION_TUPLE_H_

@@ -1,0 +1,161 @@
+#include "relation/value.h"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace rel {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kDouble:
+      return "double";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kInt64;
+    case 1:
+      return ValueType::kString;
+    case 2:
+      return ValueType::kBool;
+    default:
+      return ValueType::kDouble;
+  }
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kDouble: {
+      char buf[64];
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), AsDouble());
+      (void)ec;
+      return std::string(buf, ptr);
+    }
+  }
+  return "";
+}
+
+std::string Value::EncodeForWord() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return AsBool() ? "1" : "0";
+    default:
+      return ToDisplayString();
+  }
+}
+
+Result<Value> Value::Parse(ValueType type, const std::string& text) {
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::InvalidArgument("not an int64: '" + text + "'");
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(text);
+    case ValueType::kBool:
+      if (text == "true" || text == "1") return Value(true);
+      if (text == "false" || text == "0") return Value(false);
+      return Status::InvalidArgument("not a bool: '" + text + "'");
+    case ValueType::kDouble: {
+      double v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::InvalidArgument("not a double: '" + text + "'");
+      }
+      return Value(v);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+void Value::AppendTo(Bytes* out) const {
+  out->push_back(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kInt64:
+      AppendUint64(out, static_cast<uint64_t>(AsInt()));
+      break;
+    case ValueType::kString:
+      AppendLengthPrefixed(out, ToBytes(AsString()));
+      break;
+    case ValueType::kBool:
+      out->push_back(AsBool() ? 1 : 0);
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double));
+      double d = AsDouble();
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      AppendUint64(out, bits);
+      break;
+    }
+  }
+}
+
+Result<Value> Value::ReadFrom(ByteReader* reader) {
+  DBPH_ASSIGN_OR_RETURN(Bytes tag, reader->ReadRaw(1));
+  switch (static_cast<ValueType>(tag[0])) {
+    case ValueType::kInt64: {
+      DBPH_ASSIGN_OR_RETURN(uint64_t v, reader->ReadUint64());
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kString: {
+      DBPH_ASSIGN_OR_RETURN(Bytes s, reader->ReadLengthPrefixed());
+      return Value(ToString(s));
+    }
+    case ValueType::kBool: {
+      DBPH_ASSIGN_OR_RETURN(Bytes b, reader->ReadRaw(1));
+      return Value(b[0] != 0);
+    }
+    case ValueType::kDouble: {
+      DBPH_ASSIGN_OR_RETURN(uint64_t bits, reader->ReadUint64());
+      double d;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+  }
+  return Status::DataLoss("unknown value type tag");
+}
+
+uint64_t Value::Hash() const {
+  std::string enc = EncodeForWord();
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;  // FNV prime
+  };
+  mix(static_cast<uint8_t>(type()));
+  for (char c : enc) mix(static_cast<uint8_t>(c));
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToDisplayString();
+}
+
+}  // namespace rel
+}  // namespace dbph

@@ -1,0 +1,81 @@
+#ifndef DBPH_RELATION_VALUE_H_
+#define DBPH_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace rel {
+
+/// Attribute types supported by the relational engine. The paper's running
+/// examples use fixed-width strings and integers; booleans and doubles are
+/// provided for realistic workloads (e.g. the hospital outcome attribute).
+enum class ValueType { kInt64, kString, kBool, kDouble };
+
+const char* ValueTypeName(ValueType type);
+
+/// \brief A dynamically typed attribute value.
+///
+/// Values are ordered and hashable within one type; comparing values of
+/// different types is a programming error guarded by assertions in debug
+/// builds and defined (type-tag ordering) in release builds.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+
+  /// Convenience named constructors.
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value Boolean(bool v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+
+  ValueType type() const;
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+
+  /// Renders for display and CSV output ("42", "hello", "true", "1.5").
+  std::string ToDisplayString() const;
+
+  /// Canonical text encoding used when a value becomes (part of) an SWP
+  /// word. Stable across platforms; ints in decimal, bools as 0/1, doubles
+  /// via shortest round-trip formatting.
+  std::string EncodeForWord() const;
+
+  /// Parses the display encoding back into a typed value.
+  static Result<Value> Parse(ValueType type, const std::string& text);
+
+  /// Binary serialization (type tag + payload) for the wire protocol.
+  void AppendTo(Bytes* out) const;
+  static Result<Value> ReadFrom(ByteReader* reader);
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return data_ != other.data_; }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+  bool operator<=(const Value& other) const { return data_ <= other.data_; }
+  bool operator>(const Value& other) const { return data_ > other.data_; }
+  bool operator>=(const Value& other) const { return data_ >= other.data_; }
+
+  /// Stable 64-bit hash (FNV-1a over the word encoding + type tag).
+  uint64_t Hash() const;
+
+ private:
+  std::variant<int64_t, std::string, bool, double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace rel
+}  // namespace dbph
+
+#endif  // DBPH_RELATION_VALUE_H_

@@ -1,0 +1,23 @@
+#include "server/observation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dbph {
+namespace server {
+
+std::vector<uint64_t> ObservationLog::Intersect(const QueryObservation& a,
+                                                const QueryObservation& b) {
+  std::set<uint64_t> in_a(a.matched_records.begin(),
+                          a.matched_records.end());
+  std::vector<uint64_t> out;
+  for (uint64_t rid : b.matched_records) {
+    if (in_a.count(rid) > 0) out.push_back(rid);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace server
+}  // namespace dbph

@@ -1,0 +1,66 @@
+#ifndef DBPH_SERVER_OBSERVATION_H_
+#define DBPH_SERVER_OBSERVATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace server {
+
+/// \brief One executed query as Eve sees it: the opaque trapdoor bytes and
+/// the identities (record ids) of the documents that matched.
+///
+/// This is precisely the "information revealed by queries and their
+/// results" that Section 2 of the paper shows to be fatal: Eve can count
+/// result sizes and intersect result sets without any keys.
+struct QueryObservation {
+  std::string relation;
+  Bytes trapdoor_bytes;
+  std::vector<uint64_t> matched_records;
+
+  size_t result_size() const { return matched_records.size(); }
+};
+
+/// \brief Everything the honest-but-curious server accumulates.
+class ObservationLog {
+ public:
+  void RecordStore(const std::string& relation, size_t num_documents,
+                   size_t ciphertext_bytes) {
+    stores_.push_back({relation, num_documents, ciphertext_bytes});
+  }
+
+  void RecordQuery(QueryObservation observation) {
+    queries_.push_back(std::move(observation));
+  }
+
+  struct StoreObservation {
+    std::string relation;
+    size_t num_documents = 0;
+    size_t ciphertext_bytes = 0;
+  };
+
+  const std::vector<StoreObservation>& stores() const { return stores_; }
+  const std::vector<QueryObservation>& queries() const { return queries_; }
+
+  void Clear() {
+    stores_.clear();
+    queries_.clear();
+  }
+
+  /// Record ids present in both observations' results — Eve's basic
+  /// inference primitive (used by the hospital and John attacks).
+  static std::vector<uint64_t> Intersect(const QueryObservation& a,
+                                         const QueryObservation& b);
+
+ private:
+  std::vector<StoreObservation> stores_;
+  std::vector<QueryObservation> queries_;
+};
+
+}  // namespace server
+}  // namespace dbph
+
+#endif  // DBPH_SERVER_OBSERVATION_H_

@@ -1,0 +1,293 @@
+#include "server/untrusted_server.h"
+
+#include <fstream>
+#include <iterator>
+
+#include "common/macros.h"
+#include "swp/search.h"
+
+namespace dbph {
+namespace server {
+
+Status UntrustedServer::StoreRelation(
+    const core::EncryptedRelation& relation) {
+  if (relations_.count(relation.name) > 0) {
+    return Status::AlreadyExists("relation '" + relation.name +
+                                 "' already stored");
+  }
+  StoredRelation stored;
+  stored.check_length = relation.check_length;
+  stored.records.reserve(relation.documents.size());
+  for (const auto& doc : relation.documents) {
+    Bytes serialized;
+    doc.AppendTo(&serialized);
+    stored.records.push_back(heap_.Insert(serialized));
+  }
+  log_.RecordStore(relation.name, relation.documents.size(),
+                   relation.CiphertextBytes());
+  relations_.emplace(relation.name, std::move(stored));
+  return Status::OK();
+}
+
+Status UntrustedServer::DropRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not stored");
+  }
+  for (const auto& rid : it->second.records) {
+    DBPH_RETURN_IF_ERROR(heap_.Delete(rid));
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
+Result<size_t> UntrustedServer::RelationSize(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not stored");
+  }
+  return it->second.records.size();
+}
+
+Result<std::vector<swp::EncryptedDocument>> UntrustedServer::Select(
+    const core::EncryptedQuery& query) {
+  auto it = relations_.find(query.relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + query.relation + "' not stored");
+  }
+  swp::SwpParams params;
+  params.word_length = query.trapdoor.target.size();
+  params.check_length = it->second.check_length;
+
+  std::vector<swp::EncryptedDocument> results;
+  QueryObservation observation;
+  observation.relation = query.relation;
+  query.trapdoor.AppendTo(&observation.trapdoor_bytes);
+
+  for (const auto& rid : it->second.records) {
+    DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap_.Get(rid));
+    ByteReader reader(serialized);
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          swp::EncryptedDocument::ReadFrom(&reader));
+    if (!swp::SearchDocument(params, query.trapdoor, doc).empty()) {
+      observation.matched_records.push_back(rid.Pack());
+      results.push_back(std::move(doc));
+    }
+  }
+  log_.RecordQuery(std::move(observation));
+  return results;
+}
+
+Status UntrustedServer::AppendTuples(
+    const std::string& name,
+    const std::vector<swp::EncryptedDocument>& documents) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not stored");
+  }
+  size_t bytes = 0;
+  for (const auto& doc : documents) {
+    Bytes serialized;
+    doc.AppendTo(&serialized);
+    bytes += serialized.size();
+    it->second.records.push_back(heap_.Insert(serialized));
+  }
+  log_.RecordStore(name, documents.size(), bytes);
+  return Status::OK();
+}
+
+Result<size_t> UntrustedServer::DeleteWhere(
+    const core::EncryptedQuery& query) {
+  auto it = relations_.find(query.relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + query.relation + "' not stored");
+  }
+  swp::SwpParams params;
+  params.word_length = query.trapdoor.target.size();
+  params.check_length = it->second.check_length;
+
+  QueryObservation observation;
+  observation.relation = query.relation;
+  query.trapdoor.AppendTo(&observation.trapdoor_bytes);
+
+  std::vector<storage::RecordId> kept;
+  size_t removed = 0;
+  for (const auto& rid : it->second.records) {
+    DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap_.Get(rid));
+    ByteReader reader(serialized);
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          swp::EncryptedDocument::ReadFrom(&reader));
+    if (swp::SearchDocument(params, query.trapdoor, doc).empty()) {
+      kept.push_back(rid);
+    } else {
+      observation.matched_records.push_back(rid.Pack());
+      DBPH_RETURN_IF_ERROR(heap_.Delete(rid));
+      ++removed;
+    }
+  }
+  it->second.records = std::move(kept);
+  log_.RecordQuery(std::move(observation));
+  return removed;
+}
+
+Result<std::vector<swp::EncryptedDocument>> UntrustedServer::FetchRelation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not stored");
+  }
+  std::vector<swp::EncryptedDocument> documents;
+  documents.reserve(it->second.records.size());
+  for (const auto& rid : it->second.records) {
+    DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap_.Get(rid));
+    ByteReader reader(serialized);
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          swp::EncryptedDocument::ReadFrom(&reader));
+    documents.push_back(std::move(doc));
+  }
+  return documents;
+}
+
+Status UntrustedServer::SaveTo(const std::string& path) const {
+  Bytes out;
+  AppendUint32(&out, 0x44425048);  // "DBPH" magic
+  AppendUint32(&out, 1);           // format version
+  AppendUint32(&out, static_cast<uint32_t>(relations_.size()));
+  for (const auto& [name, stored] : relations_) {
+    core::EncryptedRelation relation;
+    relation.name = name;
+    relation.check_length = stored.check_length;
+    DBPH_ASSIGN_OR_RETURN(relation.documents, FetchRelation(name));
+    relation.AppendTo(&out);
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::Internal("cannot open '" + path + "' to write");
+  file.write(reinterpret_cast<const char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  if (!file) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status UntrustedServer::LoadFrom(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open '" + path + "'");
+  Bytes data((std::istreambuf_iterator<char>(file)),
+             std::istreambuf_iterator<char>());
+
+  ByteReader reader(data);
+  DBPH_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadUint32());
+  if (magic != 0x44425048) return Status::DataLoss("bad magic");
+  DBPH_ASSIGN_OR_RETURN(uint32_t version, reader.ReadUint32());
+  if (version != 1) return Status::DataLoss("unsupported format version");
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
+
+  // Parse fully before mutating state so a corrupt file cannot leave the
+  // server half-loaded.
+  std::vector<core::EncryptedRelation> loaded;
+  loaded.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(core::EncryptedRelation relation,
+                          core::EncryptedRelation::ReadFrom(&reader));
+    loaded.push_back(std::move(relation));
+  }
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes");
+
+  relations_.clear();
+  heap_ = storage::HeapFile();
+  log_.Clear();
+  for (const auto& relation : loaded) {
+    DBPH_RETURN_IF_ERROR(StoreRelation(relation));
+  }
+  log_.Clear();  // the re-stores above are not real observations
+  return Status::OK();
+}
+
+protocol::Envelope UntrustedServer::Dispatch(
+    const protocol::Envelope& request) {
+  using protocol::Envelope;
+  using protocol::MessageType;
+  switch (request.type) {
+    case MessageType::kStoreRelation: {
+      ByteReader reader(request.payload);
+      auto relation = core::EncryptedRelation::ReadFrom(&reader);
+      if (!relation.ok()) return protocol::MakeErrorEnvelope(relation.status());
+      Status status = StoreRelation(*relation);
+      if (!status.ok()) return protocol::MakeErrorEnvelope(status);
+      Envelope ok;
+      ok.type = MessageType::kStoreOk;
+      return ok;
+    }
+    case MessageType::kSelect: {
+      ByteReader reader(request.payload);
+      auto query = core::EncryptedQuery::ReadFrom(&reader);
+      if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
+      auto docs = Select(*query);
+      if (!docs.ok()) return protocol::MakeErrorEnvelope(docs.status());
+      Envelope response;
+      response.type = MessageType::kSelectResult;
+      AppendUint32(&response.payload, static_cast<uint32_t>(docs->size()));
+      for (const auto& doc : *docs) doc.AppendTo(&response.payload);
+      return response;
+    }
+    case MessageType::kDropRelation: {
+      Status status = DropRelation(ToString(request.payload));
+      if (!status.ok()) return protocol::MakeErrorEnvelope(status);
+      Envelope ok;
+      ok.type = MessageType::kDropOk;
+      return ok;
+    }
+    case MessageType::kAppendTuples: {
+      ByteReader reader(request.payload);
+      auto name = reader.ReadLengthPrefixed();
+      if (!name.ok()) return protocol::MakeErrorEnvelope(name.status());
+      auto count = reader.ReadUint32();
+      if (!count.ok()) return protocol::MakeErrorEnvelope(count.status());
+      std::vector<swp::EncryptedDocument> documents;
+      documents.reserve(*count);
+      for (uint32_t i = 0; i < *count; ++i) {
+        auto doc = swp::EncryptedDocument::ReadFrom(&reader);
+        if (!doc.ok()) return protocol::MakeErrorEnvelope(doc.status());
+        documents.push_back(std::move(*doc));
+      }
+      Status status = AppendTuples(ToString(*name), documents);
+      if (!status.ok()) return protocol::MakeErrorEnvelope(status);
+      Envelope ok;
+      ok.type = MessageType::kAppendOk;
+      return ok;
+    }
+    case MessageType::kDeleteWhere: {
+      ByteReader reader(request.payload);
+      auto query = core::EncryptedQuery::ReadFrom(&reader);
+      if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
+      auto removed = DeleteWhere(*query);
+      if (!removed.ok()) return protocol::MakeErrorEnvelope(removed.status());
+      Envelope response;
+      response.type = MessageType::kDeleteResult;
+      AppendUint32(&response.payload, static_cast<uint32_t>(*removed));
+      return response;
+    }
+    case MessageType::kFetchRelation: {
+      auto docs = FetchRelation(ToString(request.payload));
+      if (!docs.ok()) return protocol::MakeErrorEnvelope(docs.status());
+      Envelope response;
+      response.type = MessageType::kFetchResult;
+      AppendUint32(&response.payload, static_cast<uint32_t>(docs->size()));
+      for (const auto& doc : *docs) doc.AppendTo(&response.payload);
+      return response;
+    }
+    default:
+      return protocol::MakeErrorEnvelope(
+          Status::InvalidArgument("unexpected message type"));
+  }
+}
+
+Bytes UntrustedServer::HandleRequest(const Bytes& request) {
+  auto envelope = protocol::Envelope::Parse(request);
+  if (!envelope.ok()) {
+    return protocol::MakeErrorEnvelope(envelope.status()).Serialize();
+  }
+  return Dispatch(*envelope).Serialize();
+}
+
+}  // namespace server
+}  // namespace dbph

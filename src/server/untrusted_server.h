@@ -1,0 +1,88 @@
+#ifndef DBPH_SERVER_UNTRUSTED_SERVER_H_
+#define DBPH_SERVER_UNTRUSTED_SERVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dbph/encrypted_relation.h"
+#include "dbph/query.h"
+#include "protocol/messages.h"
+#include "server/observation.h"
+#include "storage/heapfile.h"
+
+namespace dbph {
+namespace server {
+
+/// \brief Eve: the honest-but-curious service provider.
+///
+/// Holds only ciphertext: encrypted documents in a heap file plus the
+/// per-relation record lists. Executes encrypted exact selects by
+/// scanning documents and evaluating the trapdoor — it owns no keys
+/// (note that every operation here type-checks against public data only).
+///
+/// Per the paper's trust model, Eve follows the protocol but records
+/// everything she sees in an ObservationLog; the Section 2 experiments
+/// mount their inference attacks on that log.
+class UntrustedServer {
+ public:
+  /// Transport entry point: parse request envelope, dispatch, serialize
+  /// the response envelope. Never returns malformed bytes.
+  Bytes HandleRequest(const Bytes& request);
+
+  // Typed handlers (also usable directly, bypassing the wire layer).
+
+  Status StoreRelation(const core::EncryptedRelation& relation);
+  Status DropRelation(const std::string& name);
+
+  /// psi: returns the matching encrypted documents.
+  Result<std::vector<swp::EncryptedDocument>> Select(
+      const core::EncryptedQuery& query);
+
+  /// Appends already-encrypted documents to a stored relation.
+  Status AppendTuples(const std::string& name,
+                      const std::vector<swp::EncryptedDocument>& documents);
+
+  /// Deletes every document matching the trapdoor; returns the count.
+  /// Deletions leak exactly like selects (the matched identities) and are
+  /// recorded in the observation log accordingly.
+  Result<size_t> DeleteWhere(const core::EncryptedQuery& query);
+
+  /// Returns every stored document of a relation — the "contract
+  /// cancelled" recall path.
+  Result<std::vector<swp::EncryptedDocument>> FetchRelation(
+      const std::string& name) const;
+
+  /// Persists all stored ciphertext to a file (the server restarting
+  /// must not lose Alex's data — it is the only copy). The observation
+  /// log is volatile state and is not persisted.
+  Status SaveTo(const std::string& path) const;
+
+  /// Restores a server from SaveTo output. Existing state is replaced.
+  Status LoadFrom(const std::string& path);
+
+  size_t num_relations() const { return relations_.size(); }
+  Result<size_t> RelationSize(const std::string& name) const;
+
+  /// Eve's accumulated view.
+  const ObservationLog& observations() const { return log_; }
+  ObservationLog* mutable_observations() { return &log_; }
+
+ private:
+  struct StoredRelation {
+    uint32_t check_length = 4;
+    std::vector<storage::RecordId> records;
+  };
+
+  protocol::Envelope Dispatch(const protocol::Envelope& request);
+
+  storage::HeapFile heap_;
+  std::map<std::string, StoredRelation> relations_;
+  ObservationLog log_;
+};
+
+}  // namespace server
+}  // namespace dbph
+
+#endif  // DBPH_SERVER_UNTRUSTED_SERVER_H_

@@ -1,0 +1,118 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace sql {
+
+Result<rel::Value> TypeLiteral(const Literal& literal,
+                               const rel::Attribute& attribute) {
+  using rel::Value;
+  using rel::ValueType;
+  switch (attribute.type) {
+    case ValueType::kString:
+      if (literal.kind != Literal::Kind::kString) {
+        return Status::InvalidArgument(
+            "attribute '" + attribute.name +
+            "' is a string; quote the literal");
+      }
+      return Value::Str(literal.text);
+    case ValueType::kInt64:
+      if (literal.kind != Literal::Kind::kInteger) {
+        return Status::InvalidArgument("attribute '" + attribute.name +
+                                       "' expects an integer literal");
+      }
+      return Value::Parse(ValueType::kInt64, literal.text);
+    case ValueType::kDouble:
+      if (literal.kind != Literal::Kind::kDouble &&
+          literal.kind != Literal::Kind::kInteger) {
+        return Status::InvalidArgument("attribute '" + attribute.name +
+                                       "' expects a numeric literal");
+      }
+      return Value::Parse(ValueType::kDouble, literal.text);
+    case rel::ValueType::kBool:
+      if (literal.kind != Literal::Kind::kBool) {
+        return Status::InvalidArgument("attribute '" + attribute.name +
+                                       "' expects true or false");
+      }
+      return Value::Boolean(literal.text == "true");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<rel::Relation> ExecuteSql(client::Client* client,
+                                 const std::string& statement) {
+  DBPH_ASSIGN_OR_RETURN(SelectStatement select, ParseSelect(statement));
+  if (select.conditions.empty()) {
+    return Status::InvalidArgument(
+        "SELECT without WHERE cannot run on the encrypted server: the "
+        "database PH preserves exact selects only");
+  }
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph,
+                        client->SchemeFor(select.table));
+  const rel::Schema& schema = ph->schema();
+
+  std::vector<std::pair<std::string, rel::Value>> terms;
+  for (const auto& condition : select.conditions) {
+    DBPH_ASSIGN_OR_RETURN(size_t attr, schema.IndexOf(condition.attribute));
+    DBPH_ASSIGN_OR_RETURN(
+        rel::Value value,
+        TypeLiteral(condition.literal, schema.attribute(attr)));
+    terms.emplace_back(condition.attribute, std::move(value));
+  }
+  if (terms.size() == 1) {
+    return client->Select(select.table, terms[0].first, terms[0].second);
+  }
+  return client->SelectConjunction(select.table, terms);
+}
+
+std::string FormatResult(const rel::Relation& relation) {
+  const rel::Schema& schema = relation.schema();
+  const size_t cols = schema.num_attributes();
+
+  std::vector<size_t> widths(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    widths[c] = schema.attribute(c).name.size();
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& tuple : relation.tuples()) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < cols; ++c) {
+      row.push_back(tuple.at(c).ToDisplayString());
+      widths[c] = std::max(widths[c], row.back().size());
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << "+";
+    for (size_t c = 0; c < cols; ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t c = 0; c < cols; ++c) {
+      out << " " << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+  rule();
+  std::vector<std::string> header;
+  for (size_t c = 0; c < cols; ++c) header.push_back(schema.attribute(c).name);
+  line(header);
+  rule();
+  for (const auto& row : rows) line(row);
+  rule();
+  out << rows.size() << " row(s)\n";
+  return out.str();
+}
+
+}  // namespace sql
+}  // namespace dbph

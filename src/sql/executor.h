@@ -1,0 +1,33 @@
+#ifndef DBPH_SQL_EXECUTOR_H_
+#define DBPH_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "client/client.h"
+#include "common/result.h"
+#include "relation/relation.h"
+#include "sql/parser.h"
+
+namespace dbph {
+namespace sql {
+
+/// \brief Types a parsed literal against the attribute it is compared to.
+/// An integer literal against an int64 column becomes Value::Int, etc.;
+/// mismatches (string literal vs int column) are errors.
+Result<rel::Value> TypeLiteral(const Literal& literal,
+                               const rel::Attribute& attribute);
+
+/// \brief Executes a statement against an outsourced database through the
+/// client: parses, types the literals against the outsourced schema,
+/// encrypts the query, and returns the exact (filtered) result.
+Result<rel::Relation> ExecuteSql(client::Client* client,
+                                 const std::string& statement);
+
+/// \brief Renders a result relation as an aligned text table for the REPL
+/// and the examples.
+std::string FormatResult(const rel::Relation& relation);
+
+}  // namespace sql
+}  // namespace dbph
+
+#endif  // DBPH_SQL_EXECUTOR_H_

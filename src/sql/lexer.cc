@@ -1,0 +1,126 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace dbph {
+namespace sql {
+
+namespace {
+
+bool IsKeyword(const std::string& upper) {
+  return upper == "SELECT" || upper == "FROM" || upper == "WHERE" ||
+         upper == "AND";
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(
+                        static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (c == '*') {
+      token.type = TokenType::kStar;
+      token.text = "*";
+      ++i;
+    } else if (c == '=') {
+      token.type = TokenType::kEquals;
+      token.text = "=";
+      ++i;
+    } else if (c == ',') {
+      token.type = TokenType::kComma;
+      token.text = ",";
+      ++i;
+    } else if (c == ';') {
+      token.type = TokenType::kSemicolon;
+      token.text = ";";
+      ++i;
+    } else if (c == '\'') {
+      // Single-quoted string; '' inside is an escaped quote.
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+            value += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value += sql[i++];
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at position " +
+            std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool has_dot = false;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.')) {
+        if (sql[i] == '.') {
+          if (has_dot) break;
+          has_dot = true;
+        }
+        ++i;
+      }
+      token.text = sql.substr(start, i - start);
+      if (token.text == "-") {
+        return Status::InvalidArgument("stray '-' at position " +
+                                       std::to_string(start));
+      }
+      token.type = has_dot ? TokenType::kDouble : TokenType::kInteger;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = std::move(word);
+      }
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at position " +
+                                     std::to_string(i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = sql.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace dbph

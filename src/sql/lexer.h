@@ -1,0 +1,38 @@
+#ifndef DBPH_SQL_LEXER_H_
+#define DBPH_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbph {
+namespace sql {
+
+enum class TokenType {
+  kKeyword,     ///< SELECT, FROM, WHERE, AND (case-insensitive)
+  kIdentifier,  ///< table / attribute names
+  kString,      ///< 'single quoted' ('' escapes a quote)
+  kInteger,
+  kDouble,
+  kStar,
+  kEquals,
+  kComma,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< raw text (keywords upper-cased)
+  size_t position = 0;  ///< byte offset, for error messages
+};
+
+/// \brief Tokenizes one SQL statement. Unknown characters and unterminated
+/// strings are reported with their position.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace sql
+}  // namespace dbph
+
+#endif  // DBPH_SQL_LEXER_H_

@@ -1,0 +1,113 @@
+#include "sql/parser.h"
+
+#include "common/macros.h"
+#include "sql/lexer.h"
+
+namespace dbph {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    DBPH_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (Peek().type != TokenType::kStar) {
+      return Error("only 'SELECT *' is supported (a database PH preserving "
+                   "exact selects returns whole tuples)");
+    }
+    Advance();
+    DBPH_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected table name");
+    }
+    SelectStatement statement;
+    statement.table = Peek().text;
+    Advance();
+
+    if (Peek().type == TokenType::kKeyword && Peek().text == "WHERE") {
+      Advance();
+      DBPH_RETURN_IF_ERROR(ParseCondition(&statement));
+      while (Peek().type == TokenType::kKeyword && Peek().text == "AND") {
+        Advance();
+        DBPH_RETURN_IF_ERROR(ParseCondition(&statement));
+      }
+    }
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens ('" + Peek().text + "')");
+    }
+    return statement;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at position " +
+                                   std::to_string(Peek().position));
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (Peek().type != TokenType::kKeyword || Peek().text != keyword) {
+      return Error("expected " + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseCondition(SelectStatement* statement) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected attribute name");
+    }
+    Condition condition;
+    condition.attribute = Peek().text;
+    Advance();
+    if (Peek().type != TokenType::kEquals) {
+      return Error("only equality predicates are supported (exact selects)");
+    }
+    Advance();
+    switch (Peek().type) {
+      case TokenType::kString:
+        condition.literal.kind = Literal::Kind::kString;
+        break;
+      case TokenType::kInteger:
+        condition.literal.kind = Literal::Kind::kInteger;
+        break;
+      case TokenType::kDouble:
+        condition.literal.kind = Literal::Kind::kDouble;
+        break;
+      case TokenType::kIdentifier:
+        // Unquoted true/false read as booleans.
+        if (Peek().text == "true" || Peek().text == "false") {
+          condition.literal.kind = Literal::Kind::kBool;
+          break;
+        }
+        return Error("unquoted value '" + Peek().text +
+                     "' (string literals need single quotes)");
+      default:
+        return Error("expected a literal value");
+    }
+    condition.literal.text = Peek().text;
+    Advance();
+    statement->conditions.push_back(std::move(condition));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  DBPH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace sql
+}  // namespace dbph

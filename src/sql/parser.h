@@ -1,0 +1,44 @@
+#ifndef DBPH_SQL_PARSER_H_
+#define DBPH_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbph {
+namespace sql {
+
+/// \brief A literal as written in SQL, before schema-driven typing.
+struct Literal {
+  enum class Kind { kString, kInteger, kDouble, kBool };
+  Kind kind = Kind::kString;
+  std::string text;
+};
+
+/// \brief One `attribute = literal` condition.
+struct Condition {
+  std::string attribute;
+  Literal literal;
+};
+
+/// \brief `SELECT * FROM table WHERE a = v [AND b = w ...];`
+///
+/// The grammar is deliberately the paper's query class: exact selects
+/// (with the client-side conjunction extension). Projections, ranges,
+/// joins and aggregates are out of scope of a database PH preserving
+/// exact selects, and the parser says so explicitly rather than
+/// accepting-and-ignoring.
+struct SelectStatement {
+  std::string table;
+  std::vector<Condition> conditions;  ///< empty = "no WHERE" (rejected by
+                                      ///< the outsourced executor)
+};
+
+/// \brief Parses a single statement.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace sql
+}  // namespace dbph
+
+#endif  // DBPH_SQL_PARSER_H_

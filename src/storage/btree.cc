@@ -1,0 +1,372 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbph {
+namespace storage {
+
+struct BPlusTree::Node {
+  bool leaf = true;
+  std::vector<Bytes> keys;
+  // Leaf payload: postings[i] belongs to keys[i].
+  std::vector<std::vector<uint64_t>> postings;
+  // Internal payload: children.size() == keys.size() + 1; child i covers
+  // [keys[i-1], keys[i]) with virtual -inf/+inf sentinels at the ends.
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf chain for range scans.
+  Node* next = nullptr;
+  Node* prev = nullptr;
+};
+
+BPlusTree::BPlusTree(size_t max_keys)
+    : max_keys_(std::max<size_t>(max_keys, 3)),
+      root_(std::make_unique<Node>()) {}
+
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+namespace {
+
+/// Index of the child subtree that may contain `key`: the number of
+/// separators <= key.
+size_t ChildIndex(const std::vector<Bytes>& separators, const Bytes& key) {
+  return static_cast<size_t>(
+      std::upper_bound(separators.begin(), separators.end(), key) -
+      separators.begin());
+}
+
+/// Position of `key` in a sorted key vector, or the insert position.
+size_t KeyPos(const std::vector<Bytes>& keys, const Bytes& key) {
+  return static_cast<size_t>(
+      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+BPlusTree::Node* BPlusTree::FindLeaf(const Bytes& key) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[ChildIndex(node->keys, key)].get();
+  }
+  return node;
+}
+
+void BPlusTree::Insert(const Bytes& key, uint64_t value) {
+  // Descend, remembering the path so we can split bottom-up.
+  std::vector<std::pair<Node*, size_t>> path;  // (parent, child index)
+  Node* node = root_.get();
+  while (!node->leaf) {
+    size_t idx = ChildIndex(node->keys, key);
+    path.emplace_back(node, idx);
+    node = node->children[idx].get();
+  }
+  InsertIntoLeaf(node, key, value);
+
+  // Split upwards while over capacity.
+  while (node->keys.size() > max_keys_) {
+    if (path.empty()) {
+      SplitRoot();
+      break;
+    }
+    auto [parent, idx] = path.back();
+    path.pop_back();
+    SplitChild(parent, idx);
+    node = parent;
+  }
+}
+
+void BPlusTree::InsertIntoLeaf(Node* leaf, const Bytes& key, uint64_t value) {
+  size_t pos = KeyPos(leaf->keys, key);
+  if (pos < leaf->keys.size() && leaf->keys[pos] == key) {
+    leaf->postings[pos].push_back(value);
+  } else {
+    leaf->keys.insert(leaf->keys.begin() + static_cast<long>(pos), key);
+    leaf->postings.insert(leaf->postings.begin() + static_cast<long>(pos),
+                          std::vector<uint64_t>{value});
+    ++num_keys_;
+  }
+  ++size_;
+}
+
+void BPlusTree::SplitChild(Node* parent, size_t idx) {
+  Node* child = parent->children[idx].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  size_t mid = child->keys.size() / 2;
+
+  Bytes separator;
+  if (child->leaf) {
+    // Right leaf keeps keys [mid, end); separator = its first key.
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + static_cast<long>(mid),
+                       child->keys.end());
+    right->postings.assign(child->postings.begin() + static_cast<long>(mid),
+                           child->postings.end());
+    child->keys.resize(mid);
+    child->postings.resize(mid);
+    // Chain.
+    right->next = child->next;
+    right->prev = child;
+    if (child->next != nullptr) child->next->prev = right.get();
+    child->next = right.get();
+  } else {
+    // Internal: the middle key moves up, it does not stay in either half.
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + static_cast<long>(mid) + 1,
+                       child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+
+  parent->keys.insert(parent->keys.begin() + static_cast<long>(idx),
+                      separator);
+  parent->children.insert(
+      parent->children.begin() + static_cast<long>(idx) + 1,
+      std::move(right));
+}
+
+void BPlusTree::SplitRoot() {
+  auto new_root = std::make_unique<Node>();
+  new_root->leaf = false;
+  new_root->children.push_back(std::move(root_));
+  root_ = std::move(new_root);
+  SplitChild(root_.get(), 0);
+}
+
+std::vector<uint64_t> BPlusTree::Lookup(const Bytes& key) const {
+  const Node* leaf = FindLeaf(key);
+  size_t pos = KeyPos(leaf->keys, key);
+  if (pos < leaf->keys.size() && leaf->keys[pos] == key) {
+    return leaf->postings[pos];
+  }
+  return {};
+}
+
+bool BPlusTree::Contains(const Bytes& key) const {
+  const Node* leaf = FindLeaf(key);
+  size_t pos = KeyPos(leaf->keys, key);
+  return pos < leaf->keys.size() && leaf->keys[pos] == key;
+}
+
+bool BPlusTree::Delete(const Bytes& key, uint64_t value) {
+  size_t removed = 0;
+  RemoveFromSubtree(root_.get(), key, value, /*whole_key=*/false, &removed);
+  // Collapse the root when it is an internal node with one child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+  }
+  return removed > 0;
+}
+
+size_t BPlusTree::DeleteAll(const Bytes& key) {
+  size_t removed = 0;
+  RemoveFromSubtree(root_.get(), key, 0, /*whole_key=*/true, &removed);
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+  }
+  return removed;
+}
+
+bool BPlusTree::RemoveFromSubtree(Node* node, const Bytes& key,
+                                  uint64_t value, bool whole_key,
+                                  size_t* removed) {
+  if (node->leaf) {
+    size_t pos = KeyPos(node->keys, key);
+    if (pos >= node->keys.size() || node->keys[pos] != key) return false;
+    auto& posting = node->postings[pos];
+    if (whole_key) {
+      *removed = posting.size();
+      size_ -= posting.size();
+      posting.clear();
+    } else {
+      auto it = std::find(posting.begin(), posting.end(), value);
+      if (it == posting.end()) return false;
+      posting.erase(it);
+      *removed = 1;
+      --size_;
+    }
+    if (posting.empty()) {
+      node->keys.erase(node->keys.begin() + static_cast<long>(pos));
+      node->postings.erase(node->postings.begin() + static_cast<long>(pos));
+      --num_keys_;
+    }
+    return true;
+  }
+
+  size_t idx = ChildIndex(node->keys, key);
+  Node* child = node->children[idx].get();
+  bool did = RemoveFromSubtree(child, key, value, whole_key, removed);
+  if (did && child->keys.size() < max_keys_ / 2) {
+    FixUnderflow(node, idx);
+  }
+  return did;
+}
+
+void BPlusTree::FixUnderflow(Node* parent, size_t idx) {
+  Node* child = parent->children[idx].get();
+  const size_t min_keys = max_keys_ / 2;
+
+  // Try borrowing from the left sibling.
+  if (idx > 0) {
+    Node* left = parent->children[idx - 1].get();
+    if (left->keys.size() > min_keys) {
+      if (child->leaf) {
+        child->keys.insert(child->keys.begin(), left->keys.back());
+        child->postings.insert(child->postings.begin(),
+                               std::move(left->postings.back()));
+        left->keys.pop_back();
+        left->postings.pop_back();
+        parent->keys[idx - 1] = child->keys.front();
+      } else {
+        // Rotate through the parent separator.
+        child->keys.insert(child->keys.begin(), parent->keys[idx - 1]);
+        parent->keys[idx - 1] = left->keys.back();
+        left->keys.pop_back();
+        child->children.insert(child->children.begin(),
+                               std::move(left->children.back()));
+        left->children.pop_back();
+      }
+      return;
+    }
+  }
+
+  // Try borrowing from the right sibling.
+  if (idx + 1 < parent->children.size()) {
+    Node* right = parent->children[idx + 1].get();
+    if (right->keys.size() > min_keys) {
+      if (child->leaf) {
+        child->keys.push_back(right->keys.front());
+        child->postings.push_back(std::move(right->postings.front()));
+        right->keys.erase(right->keys.begin());
+        right->postings.erase(right->postings.begin());
+        parent->keys[idx] = right->keys.front();
+      } else {
+        child->keys.push_back(parent->keys[idx]);
+        parent->keys[idx] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        child->children.push_back(std::move(right->children.front()));
+        right->children.erase(right->children.begin());
+      }
+      return;
+    }
+  }
+
+  // Merge with a sibling. Normalize so we merge children[i] and
+  // children[i+1] into children[i].
+  size_t i = (idx > 0) ? idx - 1 : idx;
+  Node* left = parent->children[i].get();
+  Node* right = parent->children[i + 1].get();
+
+  if (left->leaf) {
+    left->keys.insert(left->keys.end(), right->keys.begin(),
+                      right->keys.end());
+    for (auto& p : right->postings) left->postings.push_back(std::move(p));
+    left->next = right->next;
+    if (right->next != nullptr) right->next->prev = left;
+  } else {
+    left->keys.push_back(parent->keys[i]);
+    left->keys.insert(left->keys.end(), right->keys.begin(),
+                      right->keys.end());
+    for (auto& c : right->children) left->children.push_back(std::move(c));
+  }
+  parent->keys.erase(parent->keys.begin() + static_cast<long>(i));
+  parent->children.erase(parent->children.begin() + static_cast<long>(i) + 1);
+}
+
+std::vector<std::pair<Bytes, uint64_t>> BPlusTree::Scan(
+    const Bytes& lo, const Bytes& hi) const {
+  std::vector<std::pair<Bytes, uint64_t>> out;
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (leaf->keys[i] > hi) return out;
+      for (uint64_t v : leaf->postings[i]) out.emplace_back(leaf->keys[i], v);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+std::vector<std::pair<Bytes, uint64_t>> BPlusTree::ScanAll() const {
+  std::vector<std::pair<Bytes, uint64_t>> out;
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  for (; node != nullptr; node = node->next) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      for (uint64_t v : node->postings[i]) out.emplace_back(node->keys[i], v);
+    }
+  }
+  return out;
+}
+
+size_t BPlusTree::Depth() const {
+  size_t d = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++d;
+  }
+  return d;
+}
+
+size_t BPlusTree::height() const { return Depth(); }
+
+bool BPlusTree::ValidateNode(const Node* node, const Bytes* lo,
+                             const Bytes* hi, size_t depth,
+                             size_t expected_depth) const {
+  // Keys sorted strictly.
+  for (size_t i = 1; i < node->keys.size(); ++i) {
+    if (!(node->keys[i - 1] < node->keys[i])) return false;
+  }
+  // Range constraints: lo <= key < hi.
+  for (const Bytes& k : node->keys) {
+    if (lo != nullptr && k < *lo) return false;
+    if (hi != nullptr && !(k < *hi)) return false;
+  }
+  // Occupancy (root exempt).
+  if (node != root_.get() && node->keys.size() < max_keys_ / 2) return false;
+  if (node->keys.size() > max_keys_) return false;
+
+  if (node->leaf) {
+    if (depth != expected_depth) return false;
+    if (node->postings.size() != node->keys.size()) return false;
+    for (const auto& p : node->postings) {
+      if (p.empty()) return false;
+    }
+    return true;
+  }
+
+  if (node->children.size() != node->keys.size() + 1) return false;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Bytes* child_lo = (i == 0) ? lo : &node->keys[i - 1];
+    const Bytes* child_hi = (i == node->keys.size()) ? hi : &node->keys[i];
+    if (!ValidateNode(node->children[i].get(), child_lo, child_hi, depth + 1,
+                      expected_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BPlusTree::Validate() const {
+  size_t expected_depth = Depth();
+  if (!ValidateNode(root_.get(), nullptr, nullptr, 1, expected_depth)) {
+    return false;
+  }
+  // Leaf chain must enumerate exactly size_ pairs in sorted key order.
+  auto all = ScanAll();
+  if (all.size() != size_) return false;
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i].first < all[i - 1].first) return false;
+  }
+  return true;
+}
+
+}  // namespace storage
+}  // namespace dbph

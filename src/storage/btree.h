@@ -1,0 +1,94 @@
+#ifndef DBPH_STORAGE_BTREE_H_
+#define DBPH_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace storage {
+
+/// \brief In-memory B+tree index from byte-string keys to posting lists of
+/// 64-bit record ids.
+///
+/// Keys are unique in the tree; multiple record ids per key live in the
+/// key's posting list (the classic secondary-index layout). Leaves are
+/// chained for range scans. Nodes split at `max_keys` and re-balance
+/// (borrow or merge) when they fall below `max_keys / 2`; the root is
+/// exempt and collapses when it has a single child.
+///
+/// Used by: the plaintext baseline engine (attribute indexes), the
+/// bucketization server (bucket-label index), and anywhere an ordered
+/// map from bytes to record ids is needed.
+class BPlusTree {
+ public:
+  /// `max_keys` is the node capacity (fanout - 1); must be >= 3.
+  explicit BPlusTree(size_t max_keys = 64);
+  ~BPlusTree();
+
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Adds `value` to the posting list of `key` (creates the key if new).
+  void Insert(const Bytes& key, uint64_t value);
+
+  /// All record ids for `key` (empty when absent).
+  std::vector<uint64_t> Lookup(const Bytes& key) const;
+
+  /// True if the key exists.
+  bool Contains(const Bytes& key) const;
+
+  /// Removes one (key, value) pair. Returns false when not present.
+  bool Delete(const Bytes& key, uint64_t value);
+
+  /// Removes the key with its whole posting list; returns #values removed.
+  size_t DeleteAll(const Bytes& key);
+
+  /// All (key, value) pairs with lo <= key <= hi, in key order.
+  std::vector<std::pair<Bytes, uint64_t>> Scan(const Bytes& lo,
+                                               const Bytes& hi) const;
+
+  /// Every (key, value) pair in key order.
+  std::vector<std::pair<Bytes, uint64_t>> ScanAll() const;
+
+  /// Number of (key, value) pairs.
+  size_t size() const { return size_; }
+  /// Number of distinct keys.
+  size_t num_keys() const { return num_keys_; }
+  /// Tree height (1 = just a root leaf).
+  size_t height() const;
+
+  /// Exhaustively checks the structural invariants (sorted keys, separator
+  /// ranges, occupancy bounds, uniform depth, leaf chain). Test hook.
+  bool Validate() const;
+
+ private:
+  struct Node;
+
+  Node* FindLeaf(const Bytes& key) const;
+  void InsertIntoLeaf(Node* leaf, const Bytes& key, uint64_t value);
+  /// Splits `child` (index `idx` in `parent`) which has exceeded capacity.
+  void SplitChild(Node* parent, size_t idx);
+  void SplitRoot();
+  bool RemoveFromSubtree(Node* node, const Bytes& key, uint64_t value,
+                         bool whole_key, size_t* removed);
+  void FixUnderflow(Node* parent, size_t idx);
+  bool ValidateNode(const Node* node, const Bytes* lo, const Bytes* hi,
+                    size_t depth, size_t expected_depth) const;
+  size_t Depth() const;
+
+  size_t max_keys_;
+  size_t size_ = 0;
+  size_t num_keys_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace storage
+}  // namespace dbph
+
+#endif  // DBPH_STORAGE_BTREE_H_

@@ -1,0 +1,151 @@
+#include "storage/heapfile.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace storage {
+
+HeapFile::HeapFile(size_t page_size)
+    : page_size_(std::max<size_t>(page_size, 64)) {}
+
+bool HeapFile::FitsInPage(const Page& page, size_t len) const {
+  if (page.oversized) return false;
+  return page.free_start + len <= page.data.size();
+}
+
+RecordId HeapFile::Insert(const Bytes& record) {
+  // Oversized records get a page of their own, sized to fit.
+  if (record.size() > page_size_) {
+    Page page;
+    page.oversized = true;
+    page.data = record;
+    page.free_start = record.size();
+    page.live_bytes = record.size();
+    page.slots.push_back({0, static_cast<uint32_t>(record.size()), true});
+    pages_.push_back(std::move(page));
+    ++num_records_;
+    live_bytes_ += record.size();
+    return RecordId{static_cast<uint32_t>(pages_.size() - 1), 0};
+  }
+
+  // Find a page with room; compact-on-demand, else append a new page.
+  // A simple last-page-first policy keeps inserts O(1) in the common case.
+  size_t target = pages_.size();
+  if (!pages_.empty()) {
+    size_t last = pages_.size() - 1;
+    if (FitsInPage(pages_[last], record.size())) {
+      target = last;
+    } else if (!pages_[last].oversized &&
+               pages_[last].live_bytes + record.size() <=
+                   pages_[last].data.size()) {
+      Compact(&pages_[last]);
+      target = last;
+    }
+  }
+  if (target == pages_.size()) {
+    Page page;
+    page.data.resize(page_size_);
+    pages_.push_back(std::move(page));
+  }
+
+  Page& page = pages_[target];
+  Slot slot;
+  slot.offset = static_cast<uint32_t>(page.free_start);
+  slot.length = static_cast<uint32_t>(record.size());
+  slot.live = true;
+  std::memcpy(page.data.data() + page.free_start, record.data(),
+              record.size());
+  page.free_start += record.size();
+  page.live_bytes += record.size();
+
+  // Reuse a tombstoned slot index if available to keep the directory small.
+  uint16_t slot_idx;
+  auto dead = std::find_if(page.slots.begin(), page.slots.end(),
+                           [](const Slot& s) { return !s.live; });
+  if (dead != page.slots.end()) {
+    slot_idx = static_cast<uint16_t>(dead - page.slots.begin());
+    *dead = slot;
+  } else {
+    slot_idx = static_cast<uint16_t>(page.slots.size());
+    page.slots.push_back(slot);
+  }
+
+  ++num_records_;
+  live_bytes_ += record.size();
+  return RecordId{static_cast<uint32_t>(target), slot_idx};
+}
+
+Result<Bytes> HeapFile::Get(RecordId rid) const {
+  if (rid.page >= pages_.size()) return Status::NotFound("bad page id");
+  const Page& page = pages_[rid.page];
+  if (rid.slot >= page.slots.size()) return Status::NotFound("bad slot id");
+  const Slot& slot = page.slots[rid.slot];
+  if (!slot.live) return Status::NotFound("record deleted");
+  return Bytes(page.data.begin() + slot.offset,
+               page.data.begin() + slot.offset + slot.length);
+}
+
+Status HeapFile::Delete(RecordId rid) {
+  if (rid.page >= pages_.size()) return Status::NotFound("bad page id");
+  Page& page = pages_[rid.page];
+  if (rid.slot >= page.slots.size()) return Status::NotFound("bad slot id");
+  Slot& slot = page.slots[rid.slot];
+  if (!slot.live) return Status::NotFound("record already deleted");
+  slot.live = false;
+  page.live_bytes -= slot.length;
+  live_bytes_ -= slot.length;
+  --num_records_;
+  return Status::OK();
+}
+
+Result<RecordId> HeapFile::Update(RecordId rid, const Bytes& record) {
+  if (rid.page >= pages_.size()) return Status::NotFound("bad page id");
+  Page& page = pages_[rid.page];
+  if (rid.slot >= page.slots.size()) return Status::NotFound("bad slot id");
+  Slot& slot = page.slots[rid.slot];
+  if (!slot.live) return Status::NotFound("record deleted");
+
+  if (record.size() <= slot.length) {
+    std::memcpy(page.data.data() + slot.offset, record.data(), record.size());
+    page.live_bytes -= slot.length - record.size();
+    live_bytes_ -= slot.length - record.size();
+    slot.length = static_cast<uint32_t>(record.size());
+    return rid;
+  }
+  DBPH_RETURN_IF_ERROR(Delete(rid));
+  return Insert(record);
+}
+
+void HeapFile::Compact(Page* page) {
+  Bytes fresh(page->data.size());
+  size_t write = 0;
+  for (Slot& slot : page->slots) {
+    if (!slot.live) continue;
+    std::memcpy(fresh.data() + write, page->data.data() + slot.offset,
+                slot.length);
+    slot.offset = static_cast<uint32_t>(write);
+    write += slot.length;
+  }
+  page->data = std::move(fresh);
+  page->free_start = write;
+}
+
+std::vector<RecordId> HeapFile::AllRecords() const {
+  std::vector<RecordId> out;
+  out.reserve(num_records_);
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    for (size_t s = 0; s < pages_[p].slots.size(); ++s) {
+      if (pages_[p].slots[s].live) {
+        out.push_back(RecordId{static_cast<uint32_t>(p),
+                               static_cast<uint16_t>(s)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace dbph

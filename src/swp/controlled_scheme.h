@@ -1,0 +1,44 @@
+#ifndef DBPH_SWP_CONTROLLED_SCHEME_H_
+#define DBPH_SWP_CONTROLLED_SCHEME_H_
+
+#include <string>
+
+#include "swp/scheme.h"
+
+namespace dbph {
+namespace swp {
+
+/// \brief Scheme II of SWP ("controlled searching"): per-word check keys
+/// k_W = f_{k'}(W), so a trapdoor only unlocks occurrences of the queried
+/// word.
+///
+/// The query itself is still transmitted in plaintext, and decryption is
+/// impossible by construction (recovering the check half of W requires
+/// k_W, which requires all of W). The final scheme fixes both.
+class ControlledScheme : public SearchableScheme {
+ public:
+  ControlledScheme(SwpParams params, SwpKeys keys)
+      : SearchableScheme(params, std::move(keys)) {}
+
+  std::string Name() const override { return "swp-controlled"; }
+
+  Result<Bytes> EncryptWord(const crypto::StreamGenerator& stream,
+                            uint64_t position,
+                            const Bytes& word) const override;
+  Result<Trapdoor> MakeTrapdoor(const Bytes& word) const override;
+  bool Matches(const Trapdoor& trapdoor, const Bytes& cipher) const override;
+  bool SupportsDecryption() const override { return false; }
+  Result<Bytes> DecryptWord(const crypto::StreamGenerator& stream,
+                            uint64_t position,
+                            const Bytes& cipher) const override;
+  bool HidesQueries() const override { return false; }
+
+ protected:
+  /// k_W = f_{k'}(W).
+  Bytes WordKey(const Bytes& word) const;
+};
+
+}  // namespace swp
+}  // namespace dbph
+
+#endif  // DBPH_SWP_CONTROLLED_SCHEME_H_

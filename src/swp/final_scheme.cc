@@ -1,0 +1,60 @@
+#include "swp/final_scheme.h"
+
+#include "common/macros.h"
+#include "swp/search.h"
+#include "crypto/prf.h"
+
+namespace dbph {
+namespace swp {
+
+Bytes FinalScheme::LeftPartKey(const Bytes& left) const {
+  crypto::Prf f(keys_.word_key_key);
+  return f.Eval(left, 32);
+}
+
+Result<Bytes> FinalScheme::EncryptWord(const crypto::StreamGenerator& stream,
+                                       uint64_t position,
+                                       const Bytes& word) const {
+  DBPH_RETURN_IF_ERROR(CheckWordLength(word));
+  DBPH_ASSIGN_OR_RETURN(Bytes x, preencrypt_.Encrypt(word));
+  Bytes left(x.begin(), x.begin() + static_cast<long>(params_.left_length()));
+  return Xor(x, MakePad(stream, position, LeftPartKey(left)));
+}
+
+Result<Trapdoor> FinalScheme::MakeTrapdoor(const Bytes& word) const {
+  DBPH_RETURN_IF_ERROR(CheckWordLength(word));
+  DBPH_ASSIGN_OR_RETURN(Bytes x, preencrypt_.Encrypt(word));
+  Bytes left(x.begin(), x.begin() + static_cast<long>(params_.left_length()));
+  Trapdoor t;
+  t.key = LeftPartKey(left);
+  t.target = std::move(x);
+  return t;
+}
+
+bool FinalScheme::Matches(const Trapdoor& trapdoor,
+                          const Bytes& cipher) const {
+  if (cipher.size() != params_.word_length) return false;
+  return MatchCipherWord(params_, trapdoor, cipher);
+}
+
+Result<Bytes> FinalScheme::DecryptWord(const crypto::StreamGenerator& stream,
+                                       uint64_t position,
+                                       const Bytes& cipher) const {
+  DBPH_RETURN_IF_ERROR(CheckCipherLength(cipher));
+  const size_t left_len = params_.left_length();
+
+  Bytes s = stream.Block(position, left_len);
+  Bytes left(left_len);
+  for (size_t i = 0; i < left_len; ++i) left[i] = cipher[i] ^ s[i];
+
+  crypto::Prf check(LeftPartKey(left));
+  Bytes t = check.Eval(s, params_.check_length);
+  Bytes right(params_.check_length);
+  for (size_t i = 0; i < params_.check_length; ++i) {
+    right[i] = cipher[left_len + i] ^ t[i];
+  }
+  return preencrypt_.Decrypt(Concat(left, right));
+}
+
+}  // namespace swp
+}  // namespace dbph

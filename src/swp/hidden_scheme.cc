@@ -1,0 +1,44 @@
+#include "swp/hidden_scheme.h"
+
+#include "common/macros.h"
+#include "swp/search.h"
+#include "crypto/prf.h"
+
+namespace dbph {
+namespace swp {
+
+Result<Bytes> HiddenScheme::EncryptWord(const crypto::StreamGenerator& stream,
+                                        uint64_t position,
+                                        const Bytes& word) const {
+  DBPH_RETURN_IF_ERROR(CheckWordLength(word));
+  DBPH_ASSIGN_OR_RETURN(Bytes x, preencrypt_.Encrypt(word));
+  crypto::Prf f(keys_.word_key_key);
+  Bytes word_key = f.Eval(x, 32);
+  return Xor(x, MakePad(stream, position, word_key));
+}
+
+Result<Trapdoor> HiddenScheme::MakeTrapdoor(const Bytes& word) const {
+  DBPH_RETURN_IF_ERROR(CheckWordLength(word));
+  DBPH_ASSIGN_OR_RETURN(Bytes x, preencrypt_.Encrypt(word));
+  crypto::Prf f(keys_.word_key_key);
+  Trapdoor t;
+  t.key = f.Eval(x, 32);
+  t.target = std::move(x);  // only the pre-encryption leaves the client
+  return t;
+}
+
+bool HiddenScheme::Matches(const Trapdoor& trapdoor,
+                          const Bytes& cipher) const {
+  if (cipher.size() != params_.word_length) return false;
+  return MatchCipherWord(params_, trapdoor, cipher);
+}
+
+Result<Bytes> HiddenScheme::DecryptWord(const crypto::StreamGenerator&,
+                                        uint64_t, const Bytes&) const {
+  return Status::Unimplemented(
+      "scheme III cannot decrypt: the check key depends on the whole "
+      "pre-encrypted word (use the final scheme)");
+}
+
+}  // namespace swp
+}  // namespace dbph

@@ -1,0 +1,44 @@
+#ifndef DBPH_SWP_HIDDEN_SCHEME_H_
+#define DBPH_SWP_HIDDEN_SCHEME_H_
+
+#include <string>
+
+#include "crypto/feistel.h"
+#include "swp/scheme.h"
+
+namespace dbph {
+namespace swp {
+
+/// \brief Scheme III of SWP ("hidden searches"): scheme II applied to the
+/// deterministic pre-encryption X = E''(W), so trapdoors no longer reveal
+/// the queried word.
+///
+/// Decryption is still impossible (k_X depends on all of X); the final
+/// scheme restores it by keying off the left part only.
+class HiddenScheme : public SearchableScheme {
+ public:
+  HiddenScheme(SwpParams params, SwpKeys keys)
+      : SearchableScheme(params, std::move(keys)),
+        preencrypt_(keys_.preencrypt_key) {}
+
+  std::string Name() const override { return "swp-hidden"; }
+
+  Result<Bytes> EncryptWord(const crypto::StreamGenerator& stream,
+                            uint64_t position,
+                            const Bytes& word) const override;
+  Result<Trapdoor> MakeTrapdoor(const Bytes& word) const override;
+  bool Matches(const Trapdoor& trapdoor, const Bytes& cipher) const override;
+  bool SupportsDecryption() const override { return false; }
+  Result<Bytes> DecryptWord(const crypto::StreamGenerator& stream,
+                            uint64_t position,
+                            const Bytes& cipher) const override;
+  bool HidesQueries() const override { return true; }
+
+ private:
+  crypto::FeistelPrp preencrypt_;
+};
+
+}  // namespace swp
+}  // namespace dbph
+
+#endif  // DBPH_SWP_HIDDEN_SCHEME_H_

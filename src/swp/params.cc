@@ -1,0 +1,37 @@
+#include "swp/params.h"
+
+#include <cmath>
+
+#include "crypto/hkdf.h"
+
+namespace dbph {
+namespace swp {
+
+double SwpParams::FalsePositiveProbability() const {
+  return std::pow(2.0, -8.0 * static_cast<double>(check_length));
+}
+
+Status SwpParams::Validate() const {
+  if (word_length < 2) {
+    return Status::InvalidArgument("word_length must be >= 2");
+  }
+  if (check_length < 1) {
+    return Status::InvalidArgument("check_length must be >= 1");
+  }
+  if (check_length >= word_length) {
+    return Status::InvalidArgument("check_length must be < word_length");
+  }
+  return Status::OK();
+}
+
+SwpKeys SwpKeys::Derive(const Bytes& master) {
+  SwpKeys keys;
+  keys.preencrypt_key = crypto::DeriveSubkey(master, "swp/preencrypt");
+  keys.word_key_key = crypto::DeriveSubkey(master, "swp/word-key");
+  keys.check_key = crypto::DeriveSubkey(master, "swp/check");
+  keys.stream_key = crypto::DeriveSubkey(master, "swp/stream");
+  return keys;
+}
+
+}  // namespace swp
+}  // namespace dbph

@@ -1,0 +1,55 @@
+#ifndef DBPH_SWP_PARAMS_H_
+#define DBPH_SWP_PARAMS_H_
+
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace swp {
+
+/// \brief Parameters of a Song–Wagner–Perrig word encryption.
+///
+/// Every word is exactly `word_length` bytes (the database PH pads values
+/// to this length). The ciphertext of a word splits as
+/// <left | check> with `check_length` check bytes; a server-side match
+/// verifies the check part, so the false-positive probability per word is
+/// 2^(-8 * check_length).
+struct SwpParams {
+  size_t word_length = 16;
+  size_t check_length = 4;
+
+  /// left part width n - m.
+  size_t left_length() const { return word_length - check_length; }
+
+  /// Per-word false-positive probability 2^(-8m).
+  double FalsePositiveProbability() const;
+
+  /// word_length >= 2, 1 <= check_length < word_length.
+  Status Validate() const;
+
+  bool operator==(const SwpParams& other) const = default;
+};
+
+/// \brief The independent subkeys of the SWP schemes, all derived from one
+/// master key (HKDF labels keep them cryptographically separated).
+///
+///  - `preencrypt_key` keys the deterministic pre-encryption E'' (schemes
+///    III/IV) realized as a length-preserving Feistel PRP;
+///  - `word_key_key` is k', keying f that derives per-word keys k_i;
+///  - `check_key` is the fixed F key of the basic scheme (scheme I);
+///  - `stream_key` seeds the pseudorandom stream generator G.
+struct SwpKeys {
+  Bytes preencrypt_key;
+  Bytes word_key_key;
+  Bytes check_key;
+  Bytes stream_key;
+
+  static SwpKeys Derive(const Bytes& master);
+};
+
+}  // namespace swp
+}  // namespace dbph
+
+#endif  // DBPH_SWP_PARAMS_H_

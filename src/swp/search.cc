@@ -1,0 +1,78 @@
+#include "swp/search.h"
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace swp {
+
+Bytes EncryptedDocument::MacInput() const {
+  Bytes input;
+  AppendLengthPrefixed(&input, nonce);
+  AppendUint32(&input, static_cast<uint32_t>(words.size()));
+  for (const Bytes& w : words) AppendLengthPrefixed(&input, w);
+  return input;
+}
+
+void EncryptedDocument::AppendTo(Bytes* out) const {
+  AppendLengthPrefixed(out, nonce);
+  AppendUint32(out, static_cast<uint32_t>(words.size()));
+  for (const Bytes& w : words) AppendLengthPrefixed(out, w);
+  AppendLengthPrefixed(out, tag);
+}
+
+Result<EncryptedDocument> EncryptedDocument::ReadFrom(ByteReader* reader) {
+  EncryptedDocument doc;
+  DBPH_ASSIGN_OR_RETURN(doc.nonce, reader->ReadLengthPrefixed());
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+  doc.words.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Bytes w, reader->ReadLengthPrefixed());
+    doc.words.push_back(std::move(w));
+  }
+  DBPH_ASSIGN_OR_RETURN(doc.tag, reader->ReadLengthPrefixed());
+  return doc;
+}
+
+bool MatchCipherWord(const SwpParams& params, const Trapdoor& trapdoor,
+                     const Bytes& cipher) {
+  if (cipher.size() != trapdoor.target.size()) return false;
+  if (trapdoor.target.size() <= params.check_length) return false;
+  const size_t left_len = trapdoor.target.size() - params.check_length;
+  Bytes d = Xor(cipher, trapdoor.target);
+  Bytes s(d.begin(), d.begin() + static_cast<long>(left_len));
+  Bytes t(d.begin() + static_cast<long>(left_len), d.end());
+  crypto::Prf check(trapdoor.key);
+  return ConstantTimeEqual(t, check.Eval(s, params.check_length));
+}
+
+std::vector<size_t> SearchDocument(const SwpParams& params,
+                                   const Trapdoor& trapdoor,
+                                   const EncryptedDocument& doc) {
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < doc.words.size(); ++i) {
+    if (MatchCipherWord(params, trapdoor, doc.words[i])) matches.push_back(i);
+  }
+  return matches;
+}
+
+std::vector<size_t> SearchDocument(const SearchableScheme& scheme,
+                                   const Trapdoor& trapdoor,
+                                   const EncryptedDocument& doc) {
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < doc.words.size(); ++i) {
+    if (scheme.Matches(trapdoor, doc.words[i])) matches.push_back(i);
+  }
+  return matches;
+}
+
+bool DocumentContains(const SearchableScheme& scheme,
+                      const Trapdoor& trapdoor,
+                      const EncryptedDocument& doc) {
+  for (const Bytes& w : doc.words) {
+    if (scheme.Matches(trapdoor, w)) return true;
+  }
+  return false;
+}
+
+}  // namespace swp
+}  // namespace dbph

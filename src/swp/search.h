@@ -1,0 +1,62 @@
+#ifndef DBPH_SWP_SEARCH_H_
+#define DBPH_SWP_SEARCH_H_
+
+#include <vector>
+
+#include "swp/scheme.h"
+
+namespace dbph {
+namespace swp {
+
+/// \brief An encrypted document: ordered ciphertext word slots plus the
+/// nonce that seeded its word stream. The order carries no plaintext
+/// meaning when the producer shuffles slots (the database PH does).
+///
+/// `tag` is an optional integrity MAC over (nonce | words), added by the
+/// database PH when document authentication is enabled: the paper's Eve
+/// is honest-but-curious, but a deployment should *detect* a server that
+/// substitutes or splices ciphertexts. Empty = unauthenticated.
+struct EncryptedDocument {
+  Bytes nonce;
+  std::vector<Bytes> words;
+  Bytes tag;
+
+  /// The MAC input: nonce and every word, length-delimited (so word
+  /// boundaries are authenticated too, not just the concatenation).
+  Bytes MacInput() const;
+
+  void AppendTo(Bytes* out) const;
+  static Result<EncryptedDocument> ReadFrom(ByteReader* reader);
+};
+
+/// \brief The server-side match predicate, shared by all four schemes:
+/// XOR the trapdoor target into the ciphertext and verify the check part
+/// with the trapdoor key.
+///
+/// Deliberately a free function of (params, trapdoor, cipher) only — the
+/// untrusted server holds no scheme keys, and this signature proves the
+/// match needs none. False positives with probability 2^(-8m).
+bool MatchCipherWord(const SwpParams& params, const Trapdoor& trapdoor,
+                     const Bytes& cipher);
+
+/// \brief Server-side scan of one document: slots whose ciphertext matches
+/// the trapdoor. This is all an untrusted server can compute.
+std::vector<size_t> SearchDocument(const SearchableScheme& scheme,
+                                   const Trapdoor& trapdoor,
+                                   const EncryptedDocument& doc);
+
+/// \brief Keyless variant used by the server (word length may differ per
+/// slot in variable-length mode; non-matching lengths never match).
+std::vector<size_t> SearchDocument(const SwpParams& params,
+                                   const Trapdoor& trapdoor,
+                                   const EncryptedDocument& doc);
+
+/// \brief Convenience: true when any slot matches.
+bool DocumentContains(const SearchableScheme& scheme,
+                      const Trapdoor& trapdoor,
+                      const EncryptedDocument& doc);
+
+}  // namespace swp
+}  // namespace dbph
+
+#endif  // DBPH_SWP_SEARCH_H_

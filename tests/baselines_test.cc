@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baselines/bucket/bucket_scheme.h"
+#include "baselines/bucket/bucket_server.h"
+#include "baselines/damiani/hash_scheme.h"
+#include "baselines/plain/plain_engine.h"
+#include "crypto/random.h"
+
+namespace dbph {
+namespace baseline {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+Schema PayrollSchema() {
+  auto s = Schema::Create({
+      {"id", ValueType::kInt64, 10},
+      {"salary", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+Relation Payroll() {
+  Relation r("Pay", PayrollSchema());
+  EXPECT_TRUE(r.Insert({Value::Int(171), Value::Int(4900)}).ok());
+  EXPECT_TRUE(r.Insert({Value::Int(481), Value::Int(1200)}).ok());
+  EXPECT_TRUE(r.Insert({Value::Int(7), Value::Int(4900)}).ok());
+  EXPECT_TRUE(r.Insert({Value::Int(99), Value::Int(7500)}).ok());
+  return r;
+}
+
+// ---------- Partitioner ----------
+
+TEST(PartitionerTest, EquiWidthBucketsCoverDomain) {
+  auto p = Partitioner::EquiWidth(0, 1000, 10);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->BucketOf(Value::Int(0)), 0u);
+  EXPECT_EQ(p->BucketOf(Value::Int(999)), 9u);
+  EXPECT_EQ(p->BucketOf(Value::Int(500)), 5u);
+  // Clamping outside the domain.
+  EXPECT_EQ(p->BucketOf(Value::Int(-50)), 0u);
+  EXPECT_EQ(p->BucketOf(Value::Int(99999)), 9u);
+}
+
+TEST(PartitionerTest, EquiWidthMonotone) {
+  auto p = Partitioner::EquiWidth(0, 10000, 13);
+  ASSERT_TRUE(p.ok());
+  size_t prev = 0;
+  for (int64_t v = 0; v <= 10000; v += 17) {
+    size_t b = p->BucketOf(Value::Int(v));
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, 13u);
+    prev = b;
+  }
+}
+
+TEST(PartitionerTest, EquiDepthBalances) {
+  // Heavily skewed data: equi-depth must still split it near-evenly.
+  std::vector<int64_t> sample;
+  for (int i = 0; i < 900; ++i) sample.push_back(i % 10);   // dense at 0-9
+  for (int i = 0; i < 100; ++i) sample.push_back(1000 + i); // sparse tail
+  auto p = Partitioner::EquiDepth(sample, 4);
+  ASSERT_TRUE(p.ok());
+  std::map<size_t, int> counts;
+  for (int64_t v : sample) counts[p->BucketOf(Value::Int(v))]++;
+  // No bucket should hold more than ~2x its fair share. (Quantile cuts on
+  // heavily duplicated data cannot be exact.)
+  for (const auto& [bucket, count] : counts) {
+    EXPECT_LE(count, 2 * 1000 / 4) << "bucket " << bucket;
+  }
+}
+
+TEST(PartitionerTest, HashDeterministicAndBounded) {
+  auto p = Partitioner::Hash(7);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->BucketOf(Value::Str("x")), p->BucketOf(Value::Str("x")));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(p->BucketOf(Value::Str("v" + std::to_string(i))), 7u);
+  }
+}
+
+TEST(PartitionerTest, RangeBuckets) {
+  auto p = Partitioner::EquiWidth(0, 100, 10);
+  ASSERT_TRUE(p.ok());
+  auto buckets = p->BucketsForRange(25, 47);
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ(*buckets, (std::vector<size_t>{2, 3, 4}));
+  auto hash = Partitioner::Hash(4);
+  ASSERT_TRUE(hash.ok());
+  EXPECT_FALSE(hash->BucketsForRange(0, 1).ok());
+}
+
+// ---------- BucketScheme ----------
+
+class BucketSchemeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<crypto::HmacDrbg>("bucket-test", 1);
+    BucketOptions options;
+    BucketAttributeConfig salary;
+    salary.kind = PartitionKind::kEquiWidth;
+    salary.lo = 0;
+    salary.hi = 10000;
+    salary.buckets = 20;
+    options.attribute_configs["salary"] = salary;
+    auto scheme = BucketScheme::Create(PayrollSchema(),
+                                       ToBytes("bucket master"), options);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<BucketScheme>(std::move(*scheme));
+  }
+
+  std::unique_ptr<crypto::HmacDrbg> rng_;
+  std::unique_ptr<BucketScheme> scheme_;
+};
+
+TEST_F(BucketSchemeTest, RoundTrip) {
+  Relation pay = Payroll();
+  auto enc = scheme_->EncryptRelation(pay, rng_.get());
+  ASSERT_TRUE(enc.ok());
+  ASSERT_EQ(enc->size(), pay.size());
+  for (size_t i = 0; i < pay.size(); ++i) {
+    auto dec = scheme_->DecryptTuple(enc->tuples[i]);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(*dec, pay.tuple(i));
+  }
+}
+
+TEST_F(BucketSchemeTest, QueryReturnsSupersetFilterExact) {
+  Relation pay = Payroll();
+  auto enc = scheme_->EncryptRelation(pay, rng_.get());
+  ASSERT_TRUE(enc.ok());
+  auto label = scheme_->QueryLabel("salary", Value::Int(4900));
+  ASSERT_TRUE(label.ok());
+
+  std::vector<BucketTuple> hits;
+  for (const auto& t : enc->tuples) {
+    if (t.labels[1] == *label) hits.push_back(t);
+  }
+  // The bucket superset contains at least the two exact matches.
+  EXPECT_GE(hits.size(), 2u);
+  auto filtered = scheme_->DecryptAndFilter(hits, "salary", Value::Int(4900));
+  ASSERT_TRUE(filtered.ok());
+  auto expected = pay.Select("salary", Value::Int(4900));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(filtered->SameTuples(*expected));
+}
+
+TEST_F(BucketSchemeTest, DeterministicLabelsLeakEquality) {
+  // The property the paper's attack exploits: equal plaintext values get
+  // equal labels across independent encryptions.
+  Tuple a({Value::Int(1), Value::Int(4900)});
+  Tuple b({Value::Int(2), Value::Int(4900)});
+  auto ea = scheme_->EncryptTuple(a, rng_.get());
+  auto eb = scheme_->EncryptTuple(b, rng_.get());
+  ASSERT_TRUE(ea.ok() && eb.ok());
+  EXPECT_EQ(ea->labels[1], eb->labels[1]);   // same salary bucket
+  EXPECT_NE(ea->payload, eb->payload);       // strong part differs
+}
+
+TEST_F(BucketSchemeTest, RangeQueryLabels) {
+  auto labels = scheme_->QueryRangeLabels("salary", 1000, 2000);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_GE(labels->size(), 2u);  // 500-wide buckets: at least 3 overlap
+  // Every label must be the label of some bucket in range.
+  auto l1200 = scheme_->QueryLabel("salary", Value::Int(1200));
+  ASSERT_TRUE(l1200.ok());
+  EXPECT_NE(std::find(labels->begin(), labels->end(), *l1200),
+            labels->end());
+}
+
+TEST_F(BucketSchemeTest, EquiDepthFit) {
+  BucketOptions options;
+  BucketAttributeConfig salary;
+  salary.kind = PartitionKind::kEquiDepth;
+  salary.buckets = 2;
+  options.attribute_configs["salary"] = salary;
+  auto scheme = BucketScheme::Create(PayrollSchema(),
+                                     ToBytes("ed master"), options);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_TRUE(scheme->FitEquiDepth(Payroll()).ok());
+  auto lo = scheme->QueryLabel("salary", Value::Int(1200));
+  auto hi = scheme->QueryLabel("salary", Value::Int(7500));
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_NE(*lo, *hi);
+}
+
+TEST_F(BucketSchemeTest, SchemaAndTypeValidation) {
+  EXPECT_FALSE(scheme_->QueryLabel("missing", Value::Int(1)).ok());
+  EXPECT_FALSE(scheme_->QueryLabel("salary", Value::Str("x")).ok());
+  EXPECT_FALSE(BucketScheme::Create(PayrollSchema(), Bytes{}).ok());
+}
+
+// ---------- DamianiScheme ----------
+
+TEST(DamianiSchemeTest, RoundTripAndExactLabels) {
+  crypto::HmacDrbg rng("damiani-test", 2);
+  DamianiOptions options;
+  options.label_length = 8;  // collision-free in practice
+  auto scheme =
+      DamianiScheme::Create(PayrollSchema(), ToBytes("dm master"), options);
+  ASSERT_TRUE(scheme.ok());
+  Relation pay = Payroll();
+  auto enc = scheme->EncryptRelation(pay, &rng);
+  ASSERT_TRUE(enc.ok());
+
+  for (size_t i = 0; i < pay.size(); ++i) {
+    auto dec = scheme->DecryptTuple(enc->tuples[i]);
+    ASSERT_TRUE(dec.ok());
+    EXPECT_EQ(*dec, pay.tuple(i));
+  }
+
+  auto label = scheme->QueryLabel("salary", Value::Int(4900));
+  ASSERT_TRUE(label.ok());
+  std::vector<HashedTuple> hits;
+  for (const auto& t : enc->tuples) {
+    if (t.labels[1] == *label) hits.push_back(t);
+  }
+  EXPECT_EQ(hits.size(), 2u);  // exact-value hash: no interval smearing
+  auto filtered = scheme->DecryptAndFilter(hits, "salary", Value::Int(4900));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->size(), 2u);
+}
+
+TEST(DamianiSchemeTest, ShortLabelsCollide) {
+  crypto::HmacDrbg rng("damiani-collide", 3);
+  DamianiOptions options;
+  options.label_length = 1;  // 256 possible labels
+  auto scheme =
+      DamianiScheme::Create(PayrollSchema(), ToBytes("dm master"), options);
+  ASSERT_TRUE(scheme.ok());
+  // 1000 distinct values into 256 labels must collide.
+  std::set<Bytes> labels;
+  int count = 0;
+  for (int v = 0; v < 1000; ++v) {
+    auto label = scheme->QueryLabel("salary", Value::Int(v));
+    ASSERT_TRUE(label.ok());
+    labels.insert(*label);
+    ++count;
+  }
+  EXPECT_LT(labels.size(), static_cast<size_t>(count));
+  EXPECT_LE(labels.size(), 256u);
+}
+
+// ---------- BucketServer / DamianiServer ----------
+
+TEST_F(BucketSchemeTest, ServerSelectByLabel) {
+  Relation pay = Payroll();
+  auto enc = scheme_->EncryptRelation(pay, rng_.get());
+  ASSERT_TRUE(enc.ok());
+  BucketServer server(std::move(*enc));
+  EXPECT_EQ(server.size(), pay.size());
+
+  auto label = scheme_->QueryLabel("salary", Value::Int(4900));
+  ASSERT_TRUE(label.ok());
+  auto hits = server.SelectByLabel(1, *label);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_GE(hits->size(), 2u);
+  auto filtered = scheme_->DecryptAndFilter(*hits, "salary",
+                                            Value::Int(4900));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->size(), 2u);
+
+  EXPECT_FALSE(server.SelectByLabel(99, *label).ok());
+}
+
+TEST_F(BucketSchemeTest, ServerRangeSelect) {
+  Relation pay = Payroll();
+  auto enc = scheme_->EncryptRelation(pay, rng_.get());
+  ASSERT_TRUE(enc.ok());
+  BucketServer server(std::move(*enc));
+
+  auto labels = scheme_->QueryRangeLabels("salary", 1000, 5000);
+  ASSERT_TRUE(labels.ok());
+  auto candidates = server.SelectByLabels(1, *labels);
+  ASSERT_TRUE(candidates.ok());
+  // Candidates must cover the true range hits: 1200, 4900, 4900.
+  size_t in_range = 0;
+  for (const auto& t : *candidates) {
+    auto dec = scheme_->DecryptTuple(t);
+    ASSERT_TRUE(dec.ok());
+    int64_t salary = dec->at(1).AsInt();
+    if (salary >= 1000 && salary <= 5000) ++in_range;
+  }
+  EXPECT_EQ(in_range, 3u);
+}
+
+TEST(DamianiServerTest, SelectByLabel) {
+  crypto::HmacDrbg rng("damiani-server", 1);
+  baseline::DamianiOptions options;
+  options.label_length = 8;
+  auto scheme =
+      DamianiScheme::Create(PayrollSchema(), ToBytes("ds master"), options);
+  ASSERT_TRUE(scheme.ok());
+  Relation pay = Payroll();
+  auto enc = scheme->EncryptRelation(pay, &rng);
+  ASSERT_TRUE(enc.ok());
+  DamianiServer server(std::move(*enc));
+
+  auto label = scheme->QueryLabel("salary", Value::Int(4900));
+  ASSERT_TRUE(label.ok());
+  auto hits = server.SelectByLabel(1, *label);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+  EXPECT_FALSE(server.SelectByLabel(7, *label).ok());
+}
+
+// ---------- PlainEngine ----------
+
+TEST(PlainEngineTest, IndexAgreesWithScan) {
+  crypto::HmacDrbg rng("plain-test", 4);
+  Relation pay("Pay", PayrollSchema());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(pay.Insert({Value::Int(i),
+                            Value::Int(static_cast<int64_t>(
+                                rng.NextBelow(50)) * 100)})
+                    .ok());
+  }
+  auto engine = PlainEngine::Create(pay);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->size(), 500u);
+
+  for (int64_t salary : {0, 100, 2500, 4900, 99999}) {
+    auto indexed = engine->Select("salary", Value::Int(salary));
+    auto scanned = engine->SelectScan("salary", Value::Int(salary));
+    ASSERT_TRUE(indexed.ok() && scanned.ok());
+    EXPECT_TRUE(indexed->SameTuples(*scanned)) << salary;
+  }
+}
+
+TEST(PlainEngineTest, DeleteWhereMaintainsIndexes) {
+  Relation pay = Payroll();
+  auto engine = PlainEngine::Create(pay);
+  ASSERT_TRUE(engine.ok());
+  auto removed = engine->DeleteWhere("salary", Value::Int(4900));
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 2u);
+  EXPECT_EQ(engine->size(), 2u);
+  auto gone = engine->Select("salary", Value::Int(4900));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->empty());
+  // Other keys still reachable through every index.
+  auto left = engine->Select("id", Value::Int(481));
+  ASSERT_TRUE(left.ok());
+  EXPECT_EQ(left->size(), 1u);
+}
+
+TEST(PlainEngineTest, InsertAfterCreate) {
+  Relation pay = Payroll();
+  auto engine = PlainEngine::Create(pay);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Insert(Tuple({Value::Int(555), Value::Int(4900)})).ok());
+  auto hits = engine->Select("salary", Value::Int(4900));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 3u);
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace dbph

@@ -1,0 +1,135 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dbph {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad key");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIt(int x) {
+  DBPH_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(MacrosTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoubleIt(21), 42);
+  EXPECT_EQ(DoubleIt(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  EXPECT_EQ(HexEncode(b), "deadbeef007f");
+  auto back = HexDecode("deadbeef007f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(BytesTest, HexDecodeUpperCase) {
+  auto b = HexDecode("DEADBEEF");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(HexEncode(*b), "deadbeef");
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(BytesTest, XorAndXorInPlace) {
+  Bytes a = {0xff, 0x00, 0x55};
+  Bytes b = {0x0f, 0xf0, 0xaa};
+  Bytes c = Xor(a, b);
+  EXPECT_EQ(c, (Bytes{0xf0, 0xf0, 0xff}));
+  XorInPlace(&c, b);
+  EXPECT_EQ(c, a);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+}
+
+TEST(BytesTest, StringConversionRoundTrip) {
+  std::string s = "hello \0 world";
+  Bytes b = ToBytes(s);
+  EXPECT_EQ(ToString(b), s);
+}
+
+TEST(ByteReaderTest, ReadsWhatWasAppended) {
+  Bytes buf;
+  AppendUint32(&buf, 0xdeadbeef);
+  AppendUint64(&buf, 0x0123456789abcdefULL);
+  AppendLengthPrefixed(&buf, ToBytes("payload"));
+
+  ByteReader reader(buf);
+  auto u32 = reader.ReadUint32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(*u32, 0xdeadbeefu);
+  auto u64 = reader.ReadUint64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0x0123456789abcdefULL);
+  auto payload = reader.ReadLengthPrefixed();
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(ToString(*payload), "payload");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteReaderTest, TruncationIsDataLoss) {
+  Bytes buf = {0x01, 0x02};
+  ByteReader reader(buf);
+  auto r = reader.ReadUint32();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ByteReaderTest, LengthPrefixLongerThanBuffer) {
+  Bytes buf;
+  AppendUint32(&buf, 100);  // claims 100 bytes, none present
+  ByteReader reader(buf);
+  EXPECT_FALSE(reader.ReadLengthPrefixed().ok());
+}
+
+}  // namespace
+}  // namespace dbph

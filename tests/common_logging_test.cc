@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace dbph {
+namespace {
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Below-threshold messages must not reach stderr.
+  ::testing::internal::CaptureStderr();
+  DBPH_LOG(Warning) << "should be filtered";
+  std::string quiet = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(quiet.empty());
+
+  // At/above threshold they must.
+  ::testing::internal::CaptureStderr();
+  DBPH_LOG(Error) << "must appear " << 42;
+  std::string loud = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(loud.find("must appear 42"), std::string::npos);
+  EXPECT_NE(loud.find("ERROR"), std::string::npos);
+  EXPECT_NE(loud.find("common_logging_test.cc"), std::string::npos);
+
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamFormatsArbitraryTypes) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  DBPH_LOG(Info) << "pi=" << 3.5 << " flag=" << true << " n=" << -7;
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("pi=3.5"), std::string::npos);
+  EXPECT_NE(out.find("n=-7"), std::string::npos);
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.015);
+  EXPECT_LT(first, 5.0);
+  EXPECT_GE(watch.ElapsedMicros(), 15000);
+
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), first);
+}
+
+}  // namespace
+}  // namespace dbph

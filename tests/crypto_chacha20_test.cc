@@ -1,0 +1,74 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace crypto {
+namespace {
+
+Bytes Hex(const std::string& h) {
+  auto r = HexDecode(h);
+  EXPECT_TRUE(r.ok()) << h;
+  return *r;
+}
+
+// RFC 8439 §2.4.2: full encryption test vector.
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  Bytes key = Hex(
+      "000102030405060708090a0b0c0d0e0f"
+      "101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = Hex("000000000000004a00000000");
+  auto cipher = ChaCha20::Create(key, nonce);
+  ASSERT_TRUE(cipher.ok());
+
+  Bytes plaintext = ToBytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  Bytes ciphertext = cipher->Process(plaintext, /*counter=*/1);
+  EXPECT_EQ(HexEncode(ciphertext),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+  // Decryption = encryption.
+  EXPECT_EQ(cipher->Process(ciphertext, 1), plaintext);
+}
+
+// RFC 8439 §2.3.2: first keystream block with counter = 1.
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  Bytes key = Hex(
+      "000102030405060708090a0b0c0d0e0f"
+      "101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = Hex("000000090000004a00000000");
+  auto cipher = ChaCha20::Create(key, nonce);
+  ASSERT_TRUE(cipher.ok());
+  Bytes block = cipher->Keystream(64, 64);  // block index 1
+  EXPECT_EQ(HexEncode(block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, SeekAgreesWithPrefix) {
+  Bytes key(32, 0x07);
+  Bytes nonce(12, 0x0a);
+  auto cipher = ChaCha20::Create(key, nonce);
+  ASSERT_TRUE(cipher.ok());
+  Bytes full = cipher->Keystream(0, 300);
+  for (uint64_t off : {0u, 1u, 63u, 64u, 65u, 128u, 200u}) {
+    Bytes part = cipher->Keystream(off, 50);
+    EXPECT_EQ(part, Bytes(full.begin() + static_cast<long>(off),
+                          full.begin() + static_cast<long>(off + 50)))
+        << "offset " << off;
+  }
+}
+
+TEST(ChaCha20Test, RejectsBadSizes) {
+  EXPECT_FALSE(ChaCha20::Create(Bytes(31, 0), Bytes(12, 0)).ok());
+  EXPECT_FALSE(ChaCha20::Create(Bytes(32, 0), Bytes(8, 0)).ok());
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace dbph

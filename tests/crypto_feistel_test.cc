@@ -1,0 +1,101 @@
+#include "crypto/feistel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "crypto/random.h"
+
+namespace dbph {
+namespace crypto {
+namespace {
+
+TEST(FeistelTest, RoundTripAllSmallLengths) {
+  FeistelPrp prp(ToBytes("feistel key"));
+  HmacDrbg rng("feistel-roundtrip", 11);
+  for (size_t len = 2; len <= 64; ++len) {
+    Bytes pt = rng.NextBytes(len);
+    auto ct = prp.Encrypt(pt);
+    ASSERT_TRUE(ct.ok()) << "len " << len;
+    EXPECT_EQ(ct->size(), len);
+    auto back = prp.Decrypt(*ct);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, pt) << "len " << len;
+  }
+}
+
+TEST(FeistelTest, RejectsTooShort) {
+  FeistelPrp prp(ToBytes("k"));
+  EXPECT_FALSE(prp.Encrypt(Bytes{0x01}).ok());
+  EXPECT_FALSE(prp.Encrypt(Bytes{}).ok());
+  EXPECT_FALSE(prp.Decrypt(Bytes{0x01}).ok());
+}
+
+TEST(FeistelTest, Deterministic) {
+  FeistelPrp prp(ToBytes("k"));
+  Bytes pt = ToBytes("determinism!");
+  EXPECT_EQ(*prp.Encrypt(pt), *prp.Encrypt(pt));
+}
+
+TEST(FeistelTest, KeySeparation) {
+  FeistelPrp a(ToBytes("key-a"));
+  FeistelPrp b(ToBytes("key-b"));
+  Bytes pt = ToBytes("same plaintext");
+  EXPECT_NE(*a.Encrypt(pt), *b.Encrypt(pt));
+}
+
+// A permutation on a tiny domain must be injective: enumerate all 2-byte
+// inputs over a restricted alphabet and require distinct outputs.
+TEST(FeistelTest, InjectiveOnSampledDomain) {
+  FeistelPrp prp(ToBytes("injectivity"));
+  std::set<Bytes> images;
+  int count = 0;
+  for (int a = 0; a < 64; ++a) {
+    for (int b = 0; b < 64; ++b) {
+      Bytes pt = {static_cast<uint8_t>(a), static_cast<uint8_t>(b)};
+      auto ct = prp.Encrypt(pt);
+      ASSERT_TRUE(ct.ok());
+      images.insert(*ct);
+      ++count;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(images.size()), count);
+}
+
+// Avalanche: flipping one plaintext bit should change roughly half the
+// ciphertext bits on average. We accept a generous band.
+TEST(FeistelTest, Avalanche) {
+  FeistelPrp prp(ToBytes("avalanche"));
+  HmacDrbg rng("avalanche", 3);
+  const size_t len = 16;
+  int total_bits = 0;
+  int flipped_bits = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes pt = rng.NextBytes(len);
+    Bytes pt2 = pt;
+    size_t byte = rng.NextBelow(len);
+    pt2[byte] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    Bytes d = Xor(*prp.Encrypt(pt), *prp.Encrypt(pt2));
+    for (uint8_t x : d) flipped_bits += __builtin_popcount(x);
+    total_bits += static_cast<int>(len) * 8;
+  }
+  double ratio = static_cast<double>(flipped_bits) / total_bits;
+  EXPECT_GT(ratio, 0.40);
+  EXPECT_LT(ratio, 0.60);
+}
+
+TEST(FeistelTest, OddLengthsRoundTrip) {
+  FeistelPrp prp(ToBytes("odd"));
+  for (size_t len : {3u, 5u, 7u, 9u, 11u, 13u, 33u, 63u}) {
+    Bytes pt(len);
+    for (size_t i = 0; i < len; ++i) pt[i] = static_cast<uint8_t>(i * 7 + 1);
+    auto ct = prp.Encrypt(pt);
+    ASSERT_TRUE(ct.ok());
+    EXPECT_EQ(*prp.Decrypt(*ct), pt);
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace dbph

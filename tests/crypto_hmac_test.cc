@@ -1,0 +1,103 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/hkdf.h"
+
+namespace dbph {
+namespace crypto {
+namespace {
+
+Bytes Hex(const std::string& h) {
+  auto r = HexDecode(h);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes msg = ToBytes("Hi There");
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = ToBytes("Jefe");
+  Bytes msg = ToBytes("what do ya want for nothing?");
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 0xaa*20 key, 0xdd*50 data.
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key larger than block size.
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  Bytes msg = ToBytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, ExpandTruncates) {
+  Bytes key = ToBytes("k");
+  Bytes out = HmacSha256Expand(key, ToBytes("m"), 16);
+  EXPECT_EQ(out.size(), 16u);
+  Bytes full = HmacSha256Expand(key, ToBytes("m"), 32);
+  EXPECT_EQ(Bytes(full.begin(), full.begin() + 16), out);
+}
+
+TEST(HmacTest, ExpandExtends) {
+  Bytes key = ToBytes("k");
+  Bytes out = HmacSha256Expand(key, ToBytes("m"), 100);
+  EXPECT_EQ(out.size(), 100u);
+  // Deterministic.
+  EXPECT_EQ(out, HmacSha256Expand(key, ToBytes("m"), 100));
+  // Different messages diverge.
+  EXPECT_NE(out, HmacSha256Expand(key, ToBytes("n"), 100));
+}
+
+// RFC 5869 test case 1 (SHA-256).
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = Hex("000102030405060708090a0b0c");
+  Bytes info = Hex("f0f1f2f3f4f5f6f7f8f9");
+  Bytes prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(HexEncode(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Bytes okm = HkdfExpand(prk, info, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3 (zero-length salt and info).
+TEST(HkdfTest, Rfc5869Case3) {
+  Bytes ikm(22, 0x0b);
+  Bytes okm = Hkdf(Bytes(), ikm, Bytes(), 42);
+  EXPECT_EQ(HexEncode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, SubkeysAreIndependent) {
+  Bytes master = ToBytes("master key material");
+  Bytes a = DeriveSubkey(master, "swp/pre-encryption");
+  Bytes b = DeriveSubkey(master, "swp/word-key");
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, DeriveSubkey(master, "swp/pre-encryption"));
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace dbph

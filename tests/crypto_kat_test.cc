@@ -1,0 +1,165 @@
+// Additional known-answer tests (KATs) from the NIST CAVP/AESAVS suites
+// and RFC appendices, beyond the primary vectors in the per-primitive
+// test files. These pin the implementations against independent sources.
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace dbph {
+namespace crypto {
+namespace {
+
+Bytes Hex(const std::string& h) {
+  auto r = HexDecode(h);
+  EXPECT_TRUE(r.ok()) << h;
+  return *r;
+}
+
+// AESAVS GFSbox vectors: zero key, single-block plaintexts (AES-128).
+TEST(AesKat, Aes128GfSbox) {
+  auto aes = Aes::Create(Bytes(16, 0x00));
+  ASSERT_TRUE(aes.ok());
+  struct Case {
+    const char* pt;
+    const char* ct;
+  };
+  const Case cases[] = {
+      {"f34481ec3cc627bacd5dc3fb08f273e6",
+       "0336763e966d92595a567cc9ce537f5e"},
+      {"9798c4640bad75c7c3227db910174e72",
+       "a9a1631bf4996954ebc093957b234589"},
+      {"96ab5c2ff612d9dfaae8c31f30c42168",
+       "ff4f8391a6a40ca5b25d23bedd44a597"},
+      {"6a118a874519e64e9963798a503f1d35",
+       "dc43be40be0e53712f7e2bf5ca707209"},
+      {"cb9fceec81286ca3e989bd979b0cb284",
+       "92beedab1895a94faa69b632e5cc47ce"},
+      {"b26aeb1874e47ca8358ff22378f09144",
+       "459264f4798f6a78bacb89c15ed3d601"},
+      {"58c8e00b2631686d54eab84b91f0aca1",
+       "08a4e2efec8a8e3312ca7460b9040bbf"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(HexEncode(aes->EncryptBlock(Hex(c.pt))), c.ct);
+    EXPECT_EQ(aes->DecryptBlock(Hex(c.ct)), Hex(c.pt));
+  }
+}
+
+// AESAVS KeySbox vectors: zero plaintext, varying keys (AES-128).
+TEST(AesKat, Aes128KeySbox) {
+  struct Case {
+    const char* key;
+    const char* ct;
+  };
+  const Case cases[] = {
+      {"10a58869d74be5a374cf867cfb473859",
+       "6d251e6944b051e04eaa6fb4dbf78465"},
+      {"caea65cdbb75e9169ecd22ebe6e54675",
+       "6e29201190152df4ee058139def610bb"},
+      {"a2e2fa9baf7d20822ca9f0542f764a41",
+       "c3b44b95d9d2f25670eee9a0de099fa3"},
+      {"b6364ac4e1de1e285eaf144a2415f7a0",
+       "5d9b05578fc944b3cf1ccf0e746cd581"},
+      {"64cf9c7abc50b888af65f49d521944b2",
+       "f7efc89d5dba578104016ce5ad659c05"},
+  };
+  Bytes zero(16, 0x00);
+  for (const auto& c : cases) {
+    auto aes = Aes::Create(Hex(c.key));
+    ASSERT_TRUE(aes.ok());
+    EXPECT_EQ(HexEncode(aes->EncryptBlock(zero)), c.ct);
+  }
+}
+
+// AESAVS VarTxt: all-ones plaintext prefixes under the zero key.
+TEST(AesKat, Aes128VarTxt) {
+  auto aes = Aes::Create(Bytes(16, 0x00));
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(HexEncode(aes->EncryptBlock(
+                Hex("80000000000000000000000000000000"))),
+            "3ad78e726c1ec02b7ebfe92b23d9ec34");
+  EXPECT_EQ(HexEncode(aes->EncryptBlock(
+                Hex("ffffffffffffffffffffffffffffffff"))),
+            "3f5b8cc9ea855a0afa7347d23e8d664e");
+}
+
+// AES-256 AESAVS KeySbox sample.
+TEST(AesKat, Aes256KeySbox) {
+  auto aes = Aes::Create(
+      Hex("c47b0294dbbbee0fec4757f22ffeee3587ca4730c3d33b691df38bab076bc558"));
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(HexEncode(aes->EncryptBlock(Bytes(16, 0x00))),
+            "46f2fb342d6f0ab477476fc501242c5f");
+}
+
+// RFC 8439 §A.1: ChaCha20 block function, all-zero key/nonce, counter 0.
+TEST(ChaChaKat, ZeroKeyBlock0) {
+  auto cipher = ChaCha20::Create(Bytes(32, 0x00), Bytes(12, 0x00));
+  ASSERT_TRUE(cipher.ok());
+  Bytes block = cipher->Keystream(0, 64);
+  EXPECT_EQ(HexEncode(block),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+            "da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586");
+}
+
+// RFC 8439 §A.1 test vector 2: counter 1.
+TEST(ChaChaKat, ZeroKeyBlock1) {
+  auto cipher = ChaCha20::Create(Bytes(32, 0x00), Bytes(12, 0x00));
+  ASSERT_TRUE(cipher.ok());
+  Bytes block = cipher->Keystream(64, 64);
+  EXPECT_EQ(HexEncode(block),
+            "9f07e7be5551387a98ba977c732d080dcb0f29a048e3656912c6533e32ee7aed"
+            "29b721769ce64e43d57133b074d839d531ed1f28510afb45ace10a1f4b794d6f");
+}
+
+// RFC 4231 cases 4, 5 (truncated output), 7.
+TEST(HmacKat, Rfc4231Case4) {
+  Bytes key = Hex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  Bytes msg(50, 0xcd);
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacKat, Rfc4231Case5Truncated) {
+  Bytes key(20, 0x0c);
+  Bytes msg = ToBytes("Test With Truncation");
+  Bytes mac = HmacSha256(key, msg);
+  EXPECT_EQ(HexEncode(Bytes(mac.begin(), mac.begin() + 16)),
+            "a3b6167473100ee06e0c796c2955552b");
+}
+
+TEST(HmacKat, Rfc4231Case7LongKeyLongData) {
+  Bytes key(131, 0xaa);
+  Bytes msg = ToBytes(
+      "This is a test using a larger than block-size key and a larger "
+      "than block-size data. The key needs to be hashed before being "
+      "used by the HMAC algorithm.");
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// SHA-256: NIST CAVP short-message samples.
+TEST(Sha256Kat, CavpShortMessages) {
+  struct Case {
+    const char* msg_hex;
+    const char* digest;
+  };
+  const Case cases[] = {
+      {"d3", "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1"},
+      {"11af", "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98"},
+      {"b4190e", "dff2e73091f6c05e528896c4c831b9448653dc2ff043528f6769437bc7b975c2"},
+      {"74ba2521", "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(HexEncode(Sha256::Hash(Hex(c.msg_hex))), c.digest);
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace dbph

@@ -1,0 +1,103 @@
+#include "crypto/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/bytes.h"
+#include "crypto/prf.h"
+
+namespace dbph {
+namespace crypto {
+namespace {
+
+TEST(HmacDrbgTest, DeterministicForSameSeed) {
+  HmacDrbg a("exp", 42);
+  HmacDrbg b("exp", 42);
+  EXPECT_EQ(a.NextBytes(64), b.NextBytes(64));
+}
+
+TEST(HmacDrbgTest, DifferentSeedsDiverge) {
+  HmacDrbg a("exp", 1);
+  HmacDrbg b("exp", 2);
+  HmacDrbg c("other", 1);
+  Bytes x = a.NextBytes(32);
+  EXPECT_NE(x, b.NextBytes(32));
+  HmacDrbg a2("exp", 1);
+  a2.NextBytes(32);
+  EXPECT_NE(a2.NextBytes(32), x);  // stream advances
+  EXPECT_NE(c.NextBytes(32), x);   // label matters
+}
+
+TEST(HmacDrbgTest, ReseedChangesStream) {
+  HmacDrbg a("exp", 5);
+  HmacDrbg b("exp", 5);
+  b.Reseed(ToBytes("extra"));
+  EXPECT_NE(a.NextBytes(32), b.NextBytes(32));
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  HmacDrbg rng("bound", 0);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  HmacDrbg rng("uniform", 0);
+  std::map<uint64_t, int> counts;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) counts[rng.NextBelow(6)]++;
+  for (uint64_t v = 0; v < 6; ++v) {
+    double freq = static_cast<double>(counts[v]) / trials;
+    EXPECT_NEAR(freq, 1.0 / 6, 0.01) << "value " << v;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  HmacDrbg rng("double", 0);
+  double sum = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(SystemRngTest, ProducesBytes) {
+  SystemRng rng;
+  Bytes a = rng.NextBytes(32);
+  Bytes b = rng.NextBytes(32);
+  EXPECT_NE(a, b);  // 2^-256 failure probability
+}
+
+TEST(PrfTest, DeterministicAndKeyed) {
+  Prf f(ToBytes("prf key"));
+  Prf g(ToBytes("other key"));
+  Bytes x = f.Eval(ToBytes("input"), 24);
+  EXPECT_EQ(x.size(), 24u);
+  EXPECT_EQ(x, f.Eval(ToBytes("input"), 24));
+  EXPECT_NE(x, g.Eval(ToBytes("input"), 24));
+  EXPECT_NE(x, f.Eval(ToBytes("inpux"), 24));
+}
+
+TEST(StreamGeneratorTest, RandomAccessBlocks) {
+  StreamGenerator gen(ToBytes("stream key"), ToBytes("nonce-1"));
+  Bytes s0 = gen.Block(0, 11);
+  Bytes s1 = gen.Block(1, 11);
+  EXPECT_EQ(s0.size(), 11u);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0, gen.Block(0, 11));  // stateless: same index, same block
+
+  StreamGenerator other(ToBytes("stream key"), ToBytes("nonce-2"));
+  EXPECT_NE(other.Block(0, 11), s0);  // nonce separation
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace dbph

@@ -1,0 +1,87 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace crypto {
+namespace {
+
+std::string HashHex(const std::string& msg) {
+  return HexEncode(Sha256::Hash(ToBytes(msg)));
+}
+
+// NIST FIPS 180-4 / well-known reference digests.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, QuickBrownFox) {
+  EXPECT_EQ(HashHex("The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexEncode(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "incremental hashing must be equivalent to one-shot";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(ToBytes(msg.substr(0, split)));
+    h.Update(ToBytes(msg.substr(split)));
+    EXPECT_EQ(HexEncode(h.Finish()), HashHex(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetRestoresPristineState) {
+  Sha256 h;
+  h.Update(ToBytes("garbage"));
+  h.Reset();
+  h.Update(ToBytes("abc"));
+  EXPECT_EQ(HexEncode(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// Boundary lengths around the 64-byte block size (55/56/63/64/65 bytes):
+// padding behaviour changes at each of these.
+TEST(Sha256Test, BlockBoundaryLengths) {
+  struct Case {
+    size_t len;
+    const char* digest;
+  };
+  // Digests of 'a' * len, cross-checked with coreutils sha256sum.
+  const Case cases[] = {
+      {55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"},
+      {56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"},
+      {63, "7d3e74a05d7db15bce4ad9ec0658ea98e3f06eeecf16b4c6fff2da457ddc2f34"},
+      {64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"},
+      {65, "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0"},
+  };
+  for (const auto& c : cases) {
+    Bytes msg(c.len, 'a');
+    EXPECT_EQ(HexEncode(Sha256::Hash(msg)), c.digest) << "len=" << c.len;
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace dbph

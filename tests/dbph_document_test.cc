@@ -1,0 +1,183 @@
+#include "dbph/document.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dbph/attribute_id.h"
+
+namespace dbph {
+namespace core {
+namespace {
+
+using rel::Attribute;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+Schema EmpSchema() {
+  auto s = Schema::Create({
+      {"name", ValueType::kString, 10},
+      {"dept", ValueType::kString, 5},
+      {"salary", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(AttributeIdsTest, PaperConventionFirstLetters) {
+  auto ids = AttributeIds::Derive(EmpSchema());
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->id_length, 1u);
+  EXPECT_EQ(ids->ids, (std::vector<std::string>{"N", "D", "S"}));
+  EXPECT_EQ(*ids->IndexOf("D"), 1u);
+  EXPECT_FALSE(ids->IndexOf("X").ok());
+}
+
+TEST(AttributeIdsTest, CollisionFallsBackToIndexCodes) {
+  auto schema = Schema::Create({
+      {"salary", ValueType::kInt64, 8},
+      {"status", ValueType::kString, 8},  // both start with 's'
+  });
+  ASSERT_TRUE(schema.ok());
+  auto ids = AttributeIds::Derive(*schema);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->id_length, 1u);
+  EXPECT_EQ(ids->ids, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(AttributeIdsTest, ManyAttributesGetWiderIds) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 30; ++i) {
+    attrs.push_back({"a" + std::to_string(i), ValueType::kInt64, 4});
+  }
+  auto schema = Schema::Create(attrs);
+  ASSERT_TRUE(schema.ok());
+  auto ids = AttributeIds::Derive(*schema);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->id_length, 2u);
+  // All distinct.
+  std::set<std::string> distinct(ids->ids.begin(), ids->ids.end());
+  EXPECT_EQ(distinct.size(), 30u);
+}
+
+TEST(DocumentMapperTest, PaperWorkedExample) {
+  // The paper: <name:"Montgomery", dept:"HR", sal:7500> maps to
+  // {"MontgomeryN", "HR########D", "7500######S"}.
+  auto mapper = DocumentMapper::Create(EmpSchema());
+  ASSERT_TRUE(mapper.ok());
+  EXPECT_EQ(mapper->WordLengthFor(0), 11u);  // 10 + 1-char id
+
+  Tuple tuple({Value::Str("Montgomery"), Value::Str("HR"), Value::Int(7500)});
+  auto doc = mapper->MakeDocument(tuple);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 3u);
+  EXPECT_EQ(ToString((*doc)[0]), "MontgomeryN");
+  EXPECT_EQ(ToString((*doc)[1]), "HR########D");
+  EXPECT_EQ(ToString((*doc)[2]), "7500######S");
+}
+
+TEST(DocumentMapperTest, ParseWordInverts) {
+  auto mapper = DocumentMapper::Create(EmpSchema());
+  ASSERT_TRUE(mapper.ok());
+  auto word = mapper->MakeWord(2, Value::Int(7500));
+  ASSERT_TRUE(word.ok());
+  auto parsed = mapper->ParseWord(*word);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first, 2u);
+  EXPECT_EQ(parsed->second, Value::Int(7500));
+}
+
+TEST(DocumentMapperTest, ReassembleFromShuffledWords) {
+  auto mapper = DocumentMapper::Create(EmpSchema());
+  ASSERT_TRUE(mapper.ok());
+  Tuple tuple({Value::Str("Smith"), Value::Str("IT"), Value::Int(42)});
+  auto doc = mapper->MakeDocument(tuple);
+  ASSERT_TRUE(doc.ok());
+  // Any permutation reassembles to the same tuple — documents are sets.
+  std::vector<Bytes> shuffled = {(*doc)[2], (*doc)[0], (*doc)[1]};
+  auto back = mapper->ReassembleTuple(shuffled);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, tuple);
+}
+
+TEST(DocumentMapperTest, ReassembleRejectsMissingOrDuplicate) {
+  auto mapper = DocumentMapper::Create(EmpSchema());
+  ASSERT_TRUE(mapper.ok());
+  Tuple tuple({Value::Str("Smith"), Value::Str("IT"), Value::Int(42)});
+  auto doc = mapper->MakeDocument(tuple);
+  ASSERT_TRUE(doc.ok());
+  // Wrong count.
+  EXPECT_FALSE(
+      mapper->ReassembleTuple({(*doc)[0], (*doc)[1]}).ok());
+  // Duplicate attribute.
+  EXPECT_FALSE(
+      mapper->ReassembleTuple({(*doc)[0], (*doc)[0], (*doc)[1]}).ok());
+}
+
+TEST(DocumentMapperTest, RejectsPaddingSymbolInValue) {
+  auto mapper = DocumentMapper::Create(EmpSchema());
+  ASSERT_TRUE(mapper.ok());
+  EXPECT_FALSE(mapper->MakeWord(0, Value::Str("a#b")).ok());
+}
+
+TEST(DocumentMapperTest, RejectsOversizedValue) {
+  auto mapper = DocumentMapper::Create(EmpSchema());
+  ASSERT_TRUE(mapper.ok());
+  EXPECT_FALSE(mapper->MakeWord(1, Value::Str("toolongdept")).ok());
+}
+
+TEST(DocumentMapperTest, RejectsTypeMismatch) {
+  auto mapper = DocumentMapper::Create(EmpSchema());
+  ASSERT_TRUE(mapper.ok());
+  EXPECT_FALSE(mapper->MakeWord(2, Value::Str("7500")).ok());
+}
+
+TEST(DocumentMapperTest, VariableLengthMode) {
+  auto mapper = DocumentMapper::Create(EmpSchema(), /*variable_length=*/true);
+  ASSERT_TRUE(mapper.ok());
+  EXPECT_EQ(mapper->WordLengthFor(0), 11u);  // 10 + 1
+  EXPECT_EQ(mapper->WordLengthFor(1), 6u);   // 5 + 1
+  EXPECT_EQ(mapper->WordLengthFor(2), 11u);  // 10 + 1
+  auto lengths = mapper->DistinctWordLengths();
+  EXPECT_EQ(lengths, (std::vector<size_t>{6, 11}));
+
+  Tuple tuple({Value::Str("Montgomery"), Value::Str("HR"), Value::Int(7500)});
+  auto doc = mapper->MakeDocument(tuple);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ToString((*doc)[1]), "HR###D");
+  auto back = mapper->ReassembleTuple(*doc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, tuple);
+}
+
+TEST(DocumentMapperTest, EmptyStringValueRoundTrips) {
+  auto mapper = DocumentMapper::Create(EmpSchema());
+  ASSERT_TRUE(mapper.ok());
+  auto word = mapper->MakeWord(1, Value::Str(""));
+  ASSERT_TRUE(word.ok());
+  auto parsed = mapper->ParseWord(*word);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->second, Value::Str(""));
+}
+
+TEST(DocumentMapperTest, BoolAndNegativeIntEncodings) {
+  auto schema = Schema::Create({
+      {"flag", ValueType::kBool, 1},
+      {"delta", ValueType::kInt64, 6},
+  });
+  ASSERT_TRUE(schema.ok());
+  auto mapper = DocumentMapper::Create(*schema);
+  ASSERT_TRUE(mapper.ok());
+  Tuple tuple({Value::Boolean(true), Value::Int(-123)});
+  auto doc = mapper->MakeDocument(tuple);
+  ASSERT_TRUE(doc.ok());
+  auto back = mapper->ReassembleTuple(*doc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, tuple);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace dbph

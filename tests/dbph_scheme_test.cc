@@ -1,0 +1,370 @@
+#include "dbph/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/random.h"
+#include "swp/search.h"
+
+namespace dbph {
+namespace core {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+Schema EmpSchema() {
+  auto s = Schema::Create({
+      {"name", ValueType::kString, 10},
+      {"dept", ValueType::kString, 5},
+      {"salary", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+Relation SampleEmp() {
+  Relation emp("Emp", EmpSchema());
+  EXPECT_TRUE(emp.Insert({Value::Str("Montgomery"), Value::Str("HR"),
+                          Value::Int(7500)}).ok());
+  EXPECT_TRUE(emp.Insert({Value::Str("Smith"), Value::Str("IT"),
+                          Value::Int(4900)}).ok());
+  EXPECT_TRUE(emp.Insert({Value::Str("Jones"), Value::Str("HR"),
+                          Value::Int(4900)}).ok());
+  EXPECT_TRUE(emp.Insert({Value::Str("Brown"), Value::Str("IT"),
+                          Value::Int(1200)}).ok());
+  return emp;
+}
+
+class DatabasePhTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<crypto::HmacDrbg>("dbph-test", 1);
+    master_ = GenerateMasterKey(rng_.get());
+    auto ph = DatabasePh::Create(EmpSchema(), master_);
+    ASSERT_TRUE(ph.ok()) << ph.status();
+    ph_ = std::make_unique<DatabasePh>(std::move(*ph));
+  }
+
+  std::unique_ptr<crypto::HmacDrbg> rng_;
+  Bytes master_;
+  std::unique_ptr<DatabasePh> ph_;
+};
+
+TEST_F(DatabasePhTest, EncryptDecryptRelationRoundTrip) {
+  Relation emp = SampleEmp();
+  auto enc = ph_->EncryptRelation(emp, rng_.get());
+  ASSERT_TRUE(enc.ok()) << enc.status();
+  EXPECT_EQ(enc->size(), emp.size());  // tuple-by-tuple (Definition 1.1)
+  auto dec = ph_->DecryptRelation(*enc);
+  ASSERT_TRUE(dec.ok()) << dec.status();
+  EXPECT_TRUE(dec->SameTuples(emp));
+}
+
+// The paper's central correctness property (Definition 1.1, condition 2):
+// executing the encrypted query on the ciphertext and decrypting gives
+// exactly the plaintext select (after the false-positive filter).
+TEST_F(DatabasePhTest, HomomorphismProperty) {
+  Relation emp = SampleEmp();
+  auto enc = ph_->EncryptRelation(emp, rng_.get());
+  ASSERT_TRUE(enc.ok());
+
+  struct Case {
+    std::string attr;
+    Value value;
+  };
+  std::vector<Case> cases = {
+      {"dept", Value::Str("HR")},      {"dept", Value::Str("IT")},
+      {"salary", Value::Int(4900)},    {"salary", Value::Int(7500)},
+      {"name", Value::Str("Smith")},   {"dept", Value::Str("XX")},
+      {"salary", Value::Int(999999)},
+  };
+  for (const auto& c : cases) {
+    // Plaintext side: sigma(R).
+    auto expected = emp.Select(c.attr, c.value);
+    ASSERT_TRUE(expected.ok());
+
+    // Ciphertext side: psi(Eq(sigma), E(R)), then D + filter.
+    auto query = ph_->EncryptQuery("Emp", c.attr, c.value);
+    ASSERT_TRUE(query.ok());
+    std::vector<size_t> hits = ExecuteSelect(*enc, *query);
+    std::vector<swp::EncryptedDocument> docs;
+    for (size_t i : hits) docs.push_back(enc->documents[i]);
+    auto actual = ph_->DecryptAndFilter(docs, c.attr, c.value);
+    ASSERT_TRUE(actual.ok());
+
+    EXPECT_TRUE(actual->SameTuples(*expected))
+        << "sigma_{" << c.attr << "=" << c.value.ToDisplayString() << "}";
+  }
+}
+
+TEST_F(DatabasePhTest, QueriesAreHidden) {
+  auto q1 = ph_->EncryptQuery("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(q1.ok());
+  // The trapdoor must not contain the plaintext word "HR####...D".
+  std::string target = ToString(q1->trapdoor.target);
+  EXPECT_EQ(target.find("HR"), std::string::npos);
+
+  // Same query twice => same trapdoor (Eq is deterministic)...
+  auto q2 = ph_->EncryptQuery("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1->trapdoor.target, q2->trapdoor.target);
+  // ...different value => different trapdoor.
+  auto q3 = ph_->EncryptQuery("Emp", "dept", Value::Str("IT"));
+  ASSERT_TRUE(q3.ok());
+  EXPECT_NE(q1->trapdoor.target, q3->trapdoor.target);
+}
+
+TEST_F(DatabasePhTest, EqualTuplesEncryptDifferently) {
+  // Tuple-level semantic hiding: identical tuples yield unrelated
+  // ciphertext documents (fresh nonce + stream).
+  Tuple t({Value::Str("Same"), Value::Str("HR"), Value::Int(1)});
+  auto a = ph_->EncryptTuple(t, rng_.get());
+  auto b = ph_->EncryptTuple(t, rng_.get());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->nonce, b->nonce);
+  for (const auto& wa : a->words) {
+    for (const auto& wb : b->words) EXPECT_NE(wa, wb);
+  }
+}
+
+TEST_F(DatabasePhTest, WrongKeyCannotDecryptOrQuery) {
+  Relation emp = SampleEmp();
+  auto enc = ph_->EncryptRelation(emp, rng_.get());
+  ASSERT_TRUE(enc.ok());
+
+  auto other = DatabasePh::Create(EmpSchema(), ToBytes("wrong master key"));
+  ASSERT_TRUE(other.ok());
+  // Decryption under the wrong key must fail (garbled ids/types), not
+  // silently return plausible tuples.
+  size_t failures = 0;
+  for (const auto& doc : enc->documents) {
+    if (!other->DecryptTuple(doc).ok()) ++failures;
+  }
+  EXPECT_EQ(failures, enc->documents.size());
+
+  // Queries under the wrong key find nothing.
+  auto query = other->EncryptQuery("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(ExecuteSelect(*enc, *query).empty());
+}
+
+TEST_F(DatabasePhTest, SchemaMismatchRejected) {
+  auto other_schema = Schema::Create({{"x", ValueType::kInt64, 5}});
+  ASSERT_TRUE(other_schema.ok());
+  Relation r("Other", *other_schema);
+  ASSERT_TRUE(r.Insert({Value::Int(1)}).ok());
+  EXPECT_FALSE(ph_->EncryptRelation(r, rng_.get()).ok());
+  EXPECT_FALSE(ph_->EncryptQuery("Emp", "missing", Value::Int(1)).ok());
+  EXPECT_FALSE(ph_->EncryptQuery("Emp", "dept", Value::Int(1)).ok());
+}
+
+TEST_F(DatabasePhTest, ConjunctionSelect) {
+  Relation emp = SampleEmp();
+  auto enc = ph_->EncryptRelation(emp, rng_.get());
+  ASSERT_TRUE(enc.ok());
+  auto q = ph_->EncryptConjunction(
+      "Emp", {{"dept", Value::Str("HR")}, {"salary", Value::Int(4900)}});
+  ASSERT_TRUE(q.ok());
+  auto hits = ExecuteConjunction(*enc, *q);
+  ASSERT_EQ(hits.size(), 1u);
+  auto tuple = ph_->DecryptTuple(enc->documents[hits[0]]);
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->at(0), Value::Str("Jones"));
+  EXPECT_FALSE(ph_->EncryptConjunction("Emp", {}).ok());
+}
+
+TEST_F(DatabasePhTest, SerializationRoundTrip) {
+  Relation emp = SampleEmp();
+  auto enc = ph_->EncryptRelation(emp, rng_.get());
+  ASSERT_TRUE(enc.ok());
+  Bytes buf;
+  enc->AppendTo(&buf);
+  ByteReader reader(buf);
+  auto back = EncryptedRelation::ReadFrom(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(reader.AtEnd());
+  auto dec = ph_->DecryptRelation(*back);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec->SameTuples(emp));
+
+  auto query = ph_->EncryptQuery("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(query.ok());
+  Bytes qbuf;
+  query->AppendTo(&qbuf);
+  ByteReader qreader(qbuf);
+  auto qback = EncryptedQuery::ReadFrom(&qreader);
+  ASSERT_TRUE(qback.ok());
+  EXPECT_EQ(ExecuteSelect(*enc, *qback), ExecuteSelect(*enc, *query));
+}
+
+TEST_F(DatabasePhTest, CreateValidatesOptions) {
+  EXPECT_FALSE(DatabasePh::Create(EmpSchema(), Bytes{}).ok());
+  DbphOptions bad_nonce;
+  bad_nonce.nonce_length = 4;
+  EXPECT_FALSE(DatabasePh::Create(EmpSchema(), master_, bad_nonce).ok());
+  DbphOptions bad_check;
+  bad_check.check_length = 50;  // >= word length 11
+  EXPECT_FALSE(DatabasePh::Create(EmpSchema(), master_, bad_check).ok());
+}
+
+TEST_F(DatabasePhTest, TamperedDocumentsRejected) {
+  Relation emp = SampleEmp();
+  auto enc = ph_->EncryptRelation(emp, rng_.get());
+  ASSERT_TRUE(enc.ok());
+
+  // Flip one ciphertext bit.
+  auto tampered = enc->documents[0];
+  tampered.words[0][0] ^= 0x01;
+  auto dec = ph_->DecryptTuple(tampered);
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), StatusCode::kDataLoss);
+
+  // Splice: words from one document with another document's nonce+tag.
+  auto spliced = enc->documents[0];
+  spliced.words = enc->documents[1].words;
+  EXPECT_FALSE(ph_->DecryptTuple(spliced).ok());
+
+  // Strip the tag entirely.
+  auto stripped = enc->documents[0];
+  stripped.tag.clear();
+  EXPECT_FALSE(ph_->DecryptTuple(stripped).ok());
+
+  // Untampered documents still decrypt.
+  EXPECT_TRUE(ph_->DecryptTuple(enc->documents[0]).ok());
+}
+
+TEST_F(DatabasePhTest, AuthenticationCanBeDisabled) {
+  DbphOptions options;
+  options.authenticate_documents = false;
+  auto ph = DatabasePh::Create(EmpSchema(), master_, options);
+  ASSERT_TRUE(ph.ok());
+  Relation emp = SampleEmp();
+  auto enc = ph->EncryptRelation(emp, rng_.get());
+  ASSERT_TRUE(enc.ok());
+  EXPECT_TRUE(enc->documents[0].tag.empty());
+  EXPECT_TRUE(ph->DecryptTuple(enc->documents[0]).ok());
+}
+
+// Parameterized over options: the homomorphism must hold for the
+// variable-length optimization, unshuffled documents, every usable
+// scheme variant, and different check widths.
+struct OptionCase {
+  std::string name;
+  DbphOptions options;
+};
+
+class DatabasePhOptions : public ::testing::TestWithParam<OptionCase> {};
+
+TEST_P(DatabasePhOptions, HomomorphismHolds) {
+  crypto::HmacDrbg rng("dbph-options", 7);
+  Bytes master = GenerateMasterKey(&rng);
+  auto ph = DatabasePh::Create(EmpSchema(), master, GetParam().options);
+  ASSERT_TRUE(ph.ok()) << ph.status();
+
+  Relation emp = SampleEmp();
+  auto enc = ph->EncryptRelation(emp, &rng);
+  ASSERT_TRUE(enc.ok());
+
+  auto expected = emp.Select("dept", Value::Str("HR"));
+  ASSERT_TRUE(expected.ok());
+  auto query = ph->EncryptQuery("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(query.ok());
+  std::vector<swp::EncryptedDocument> docs;
+  for (size_t i : ExecuteSelect(*enc, *query)) {
+    docs.push_back(enc->documents[i]);
+  }
+  auto actual = ph->DecryptAndFilter(docs, "dept", Value::Str("HR"));
+  ASSERT_TRUE(actual.ok());
+  EXPECT_TRUE(actual->SameTuples(*expected));
+
+  // Full decryption must also round-trip.
+  auto dec = ph->DecryptRelation(*enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec->SameTuples(emp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, DatabasePhOptions,
+    ::testing::Values(
+        OptionCase{"default", {}},
+        OptionCase{"variable_length",
+                   {.check_length = 4,
+                    .variant = swp::SchemeVariant::kFinal,
+                    .variable_length = true}},
+        OptionCase{"no_shuffle",
+                   {.check_length = 4,
+                    .variant = swp::SchemeVariant::kFinal,
+                    .variable_length = false,
+                    .shuffle_slots = false}},
+        OptionCase{"basic_variant",
+                   {.check_length = 4,
+                    .variant = swp::SchemeVariant::kBasic}},
+        OptionCase{"check1", {.check_length = 1}},
+        OptionCase{"check8", {.check_length = 8}},
+        OptionCase{"variable_no_shuffle_check2",
+                   {.check_length = 2,
+                    .variant = swp::SchemeVariant::kFinal,
+                    .variable_length = true,
+                    .shuffle_slots = false}}),
+    [](const ::testing::TestParamInfo<OptionCase>& info) {
+      return info.param.name;
+    });
+
+// Scheme variants II and III cannot decrypt; the database PH must refuse
+// to decrypt (not corrupt data) when configured with them.
+TEST(DatabasePhVariants, NonDecryptableVariantsFailDecryptionCleanly) {
+  crypto::HmacDrbg rng("dbph-variants", 3);
+  Bytes master = GenerateMasterKey(&rng);
+  for (auto variant :
+       {swp::SchemeVariant::kControlled, swp::SchemeVariant::kHidden}) {
+    DbphOptions options;
+    options.variant = variant;
+    auto ph = DatabasePh::Create(EmpSchema(), master, options);
+    ASSERT_TRUE(ph.ok());
+    Relation emp = SampleEmp();
+    auto enc = ph->EncryptRelation(emp, &rng);
+    ASSERT_TRUE(enc.ok());
+    // Search still works...
+    auto query = ph->EncryptQuery("Emp", "dept", Value::Str("HR"));
+    ASSERT_TRUE(query.ok());
+    EXPECT_EQ(ExecuteSelect(*enc, *query).size(), 2u);
+    // ...but decryption reports kUnimplemented.
+    auto dec = ph->DecryptTuple(enc->documents[0]);
+    EXPECT_FALSE(dec.ok());
+    EXPECT_EQ(dec.status().code(), StatusCode::kUnimplemented);
+  }
+}
+
+// With shuffling enabled the slot order of attributes must actually vary
+// across encryptions (documents are sets, not sequences).
+TEST(DatabasePhShuffle, SlotOrderVariesAcrossTuples) {
+  crypto::HmacDrbg rng("dbph-shuffle", 11);
+  Bytes master = GenerateMasterKey(&rng);
+  // Variable-length mode makes slot classes visible through lengths, so
+  // we can observe the permutation without keys.
+  DbphOptions options;
+  options.variable_length = true;
+  auto ph = DatabasePh::Create(EmpSchema(), master, options);
+  ASSERT_TRUE(ph.ok());
+
+  Tuple t({Value::Str("Montgomery"), Value::Str("HR"), Value::Int(7500)});
+  std::set<std::vector<size_t>> seen_orders;
+  for (int i = 0; i < 64; ++i) {
+    auto doc = ph->EncryptTuple(t, &rng);
+    ASSERT_TRUE(doc.ok());
+    std::vector<size_t> lengths;
+    for (const auto& w : doc->words) lengths.push_back(w.size());
+    seen_orders.insert(lengths);
+  }
+  // dept (length 6) can occupy any of 3 slots.
+  EXPECT_GE(seen_orders.size(), 2u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace dbph

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "games/dbph_game.h"
+#include "games/hospital.h"
+#include "games/ind_game.h"
+#include "games/kc_game.h"
+#include "games/q0_adversaries.h"
+#include "games/salary_attack.h"
+#include "games/stats.h"
+#include "games/theorem21_attack.h"
+
+namespace dbph {
+namespace games {
+namespace {
+
+using rel::Value;
+
+// ---------- stats ----------
+
+TEST(StatsTest, WilsonIntervalBrackets) {
+  BinomialSummary s{100, 50};
+  EXPECT_NEAR(s.rate(), 0.5, 1e-12);
+  EXPECT_LT(s.WilsonLow(), 0.5);
+  EXPECT_GT(s.WilsonHigh(), 0.5);
+  EXPECT_GT(s.WilsonLow(), 0.35);
+  EXPECT_LT(s.WilsonHigh(), 0.65);
+}
+
+TEST(StatsTest, PerfectAdversary) {
+  BinomialSummary s{200, 200};
+  EXPECT_DOUBLE_EQ(s.Advantage(), 1.0);
+  EXPECT_TRUE(s.BeatsGuessing());
+  EXPECT_LT(s.WilsonHigh(), 1.0 + 1e-12);
+  EXPECT_GT(s.WilsonLow(), 0.97);
+}
+
+TEST(StatsTest, BlindAdversaryDoesNotBeatGuessing) {
+  BinomialSummary s{1000, 510};
+  EXPECT_FALSE(s.BeatsGuessing());
+}
+
+TEST(StatsTest, EmptySummaryDefined) {
+  BinomialSummary s;
+  EXPECT_DOUBLE_EQ(s.rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.WilsonLow(), 0.0);
+  EXPECT_DOUBLE_EQ(s.WilsonHigh(), 1.0);
+}
+
+TEST(StatsTest, ZTestDetectsDeviation) {
+  EXPECT_LT(BinomialZTestPValue({1000, 700}, 0.5), 1e-6);
+  EXPECT_GT(BinomialZTestPValue({1000, 505}, 0.5), 0.05);
+}
+
+// ---------- Section 1 attack (E1 logic) ----------
+
+TEST(SalaryAttackTest, BeatsBucketization) {
+  baseline::BucketOptions options;
+  baseline::BucketAttributeConfig salary;
+  salary.kind = baseline::PartitionKind::kEquiWidth;
+  salary.lo = 0;
+  salary.hi = 10000;
+  salary.buckets = 20;  // width 500: 1200 and 4900 land apart
+  options.attribute_configs["salary"] = salary;
+
+  BucketSalaryAdversary adversary;
+  TrialEncryptor<baseline::BucketRelation> encrypt =
+      [&](const rel::Relation& table, size_t trial,
+          crypto::Rng* rng) -> Result<baseline::BucketRelation> {
+    Bytes key = ToBytes("trial key " + std::to_string(trial));
+    DBPH_ASSIGN_OR_RETURN(
+        baseline::BucketScheme scheme,
+        baseline::BucketScheme::Create(SalarySchema(), key, options));
+    return scheme.EncryptRelation(table, rng);
+  };
+  auto outcome = RunIndGame<baseline::BucketRelation>(encrypt, &adversary,
+                                                      200, 42);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // 1200 and 4900 are always in different width-500 buckets: the attack
+  // is deterministic here.
+  EXPECT_EQ(outcome->successes, outcome->trials);
+  EXPECT_TRUE(outcome->BeatsGuessing());
+}
+
+TEST(SalaryAttackTest, BeatsDamiani) {
+  DamianiSalaryAdversary adversary;
+  TrialEncryptor<baseline::HashedRelation> encrypt =
+      [&](const rel::Relation& table, size_t trial,
+          crypto::Rng* rng) -> Result<baseline::HashedRelation> {
+    Bytes key = ToBytes("trial key " + std::to_string(trial));
+    baseline::DamianiOptions options;
+    options.label_length = 8;
+    DBPH_ASSIGN_OR_RETURN(
+        baseline::DamianiScheme scheme,
+        baseline::DamianiScheme::Create(SalarySchema(), key, options));
+    return scheme.EncryptRelation(table, rng);
+  };
+  auto outcome =
+      RunIndGame<baseline::HashedRelation>(encrypt, &adversary, 200, 43);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->successes, outcome->trials);
+}
+
+TEST(SalaryAttackTest, FailsAgainstDatabasePh) {
+  DbphSalaryAdversary adversary;
+  TrialEncryptor<core::EncryptedRelation> encrypt =
+      [&](const rel::Relation& table, size_t trial,
+          crypto::Rng* rng) -> Result<core::EncryptedRelation> {
+    Bytes key = ToBytes("trial key " + std::to_string(trial));
+    DBPH_ASSIGN_OR_RETURN(core::DatabasePh ph,
+                          core::DatabasePh::Create(SalarySchema(), key));
+    return ph.EncryptRelation(table, rng);
+  };
+  auto outcome =
+      RunIndGame<core::EncryptedRelation>(encrypt, &adversary, 400, 44);
+  ASSERT_TRUE(outcome.ok());
+  // Must not beat guessing: success rate statistically compatible w/ 1/2.
+  EXPECT_FALSE(outcome->BeatsGuessing());
+  EXPECT_GT(BinomialZTestPValue(*outcome, 0.5), 0.001);
+}
+
+TEST(SalaryAttackTest, HarnessRejectsUnequalCardinalities) {
+  class Cheater : public IndAdversary<int> {
+   public:
+    std::string Name() const override { return "cheater"; }
+    std::pair<rel::Relation, rel::Relation> ChooseTables(
+        crypto::Rng*) override {
+      auto [t1, t2] = MakeSalaryTables();
+      rel::Relation bigger = t1;
+      (void)bigger.Insert({Value::Int(9), Value::Int(9)});
+      return {bigger, t2};
+    }
+    int Guess(const int&, crypto::Rng*) override { return 1; }
+  };
+  Cheater cheater;
+  TrialEncryptor<int> encrypt = [](const rel::Relation&, size_t,
+                                   crypto::Rng*) -> Result<int> {
+    return 0;
+  };
+  auto outcome = RunIndGame<int>(encrypt, &cheater, 1, 0);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------- Theorem 2.1 (E2 logic) ----------
+
+TEST(Theorem21Test, ActiveAdversaryWinsWithOneQuery) {
+  Theorem21Adversary adversary(8);
+  auto outcome = RunDefinition21Game({}, /*q=*/1, &adversary, 200, 7);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // Advantage ~1 (false positives at check_length=4 are ~2^-32).
+  EXPECT_EQ(outcome->successes, outcome->trials);
+}
+
+TEST(Theorem21Test, SameAdversaryBlindAtQZero) {
+  Theorem21Adversary adversary(8);
+  auto outcome = RunDefinition21Game({}, /*q=*/0, &adversary, 400, 8);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->BeatsGuessing());
+}
+
+TEST(Theorem21Test, PassiveResultSizeAdversaryAlsoWins) {
+  PassiveResultSizeAdversary adversary(8);
+  auto outcome = RunDefinition21Game({}, /*q=*/1, &adversary, 200, 9);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->successes, outcome->trials);
+}
+
+// ---------- q = 0 battery (E7 logic) ----------
+
+TEST(Q0BatteryTest, NoPassiveAdversaryBeatsGuessing) {
+  for (const auto& adversary : MakeQ0AdversaryBattery()) {
+    auto outcome = RunDefinition21Game({}, /*q=*/0, adversary.get(), 300,
+                                       100);
+    ASSERT_TRUE(outcome.ok()) << adversary->Name();
+    EXPECT_FALSE(outcome->BeatsGuessing())
+        << adversary->Name() << ": " << outcome->ToString();
+  }
+}
+
+// The repeat-detection adversary is a *positive* control: against a
+// deterministic word encryption (no stream pad) it would win. We verify
+// it indeed wins against the Damiani labels, confirming the battery has
+// teeth.
+TEST(Q0BatteryTest, RepeatDetectionHasTeethAgainstDeterministicLabels) {
+  class DamianiRepeatAdversary
+      : public IndAdversary<baseline::HashedRelation> {
+   public:
+    std::string Name() const override { return "repeat-vs-damiani"; }
+    std::pair<rel::Relation, rel::Relation> ChooseTables(
+        crypto::Rng*) override {
+      auto schema = rel::Schema::Create({{"v", rel::ValueType::kString, 8}});
+      rel::Relation t1("T", *schema), t2("T", *schema);
+      for (int i = 0; i < 4; ++i) {
+        (void)t1.Insert({Value::Str("same")});
+        (void)t2.Insert({Value::Str("v" + std::to_string(i))});
+      }
+      return {t1, t2};
+    }
+    int Guess(const baseline::HashedRelation& view, crypto::Rng*) override {
+      std::set<Bytes> labels;
+      for (const auto& t : view.tuples) labels.insert(t.labels[0]);
+      return labels.size() == 1 ? 1 : 2;
+    }
+  };
+  DamianiRepeatAdversary adversary;
+  TrialEncryptor<baseline::HashedRelation> encrypt =
+      [](const rel::Relation& table, size_t trial,
+         crypto::Rng* rng) -> Result<baseline::HashedRelation> {
+    auto schema = rel::Schema::Create({{"v", rel::ValueType::kString, 8}});
+    baseline::DamianiOptions options;
+    options.label_length = 8;
+    DBPH_ASSIGN_OR_RETURN(
+        baseline::DamianiScheme scheme,
+        baseline::DamianiScheme::Create(
+            *schema, ToBytes("k" + std::to_string(trial)), options));
+    return scheme.EncryptRelation(table, rng);
+  };
+  auto outcome =
+      RunIndGame<baseline::HashedRelation>(encrypt, &adversary, 100, 5);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->successes, outcome->trials);
+}
+
+// ---------- Kantarcıoğlu–Clifton game ----------
+
+TEST(KcGameTest, SizeOnlyAdversaryBlind) {
+  // Claim 1 of the paper: the KC definition is satisfiable — an adversary
+  // restricted to result sizes gains nothing against our scheme.
+  KcSizeOnlyAdversary adversary;
+  auto outcome = RunKcGame({}, /*q=*/2, &adversary, 400, 11);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->BeatsGuessing());
+}
+
+TEST(KcGameTest, IntersectionPatternBeatsKcSecurity) {
+  // Claim 2: a KC-compliant adversary that looks at result-set
+  // *intersections* (not sizes) still wins with probability ~1 — the KC
+  // definition "does allow the adversary to get information about the
+  // plaintext with high probability".
+  IntersectionPatternAdversary adversary;
+  auto outcome = RunKcGame({}, /*q=*/2, &adversary, 200, 12);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->successes, outcome->trials);
+}
+
+TEST(KcGameTest, HarnessEnforcesEqualResultSizes) {
+  // An adversary whose queries return different cardinalities on T1/T2
+  // is outside the KC game and must be rejected by the referee.
+  class SizeCheater : public Definition21Adversary {
+   public:
+    std::string Name() const override { return "size-cheater"; }
+    std::pair<rel::Relation, rel::Relation> ChooseTables(
+        crypto::Rng*) override {
+      auto schema = rel::Schema::Create({{"a", rel::ValueType::kInt64, 1}});
+      rel::Relation t1("T", *schema), t2("T", *schema);
+      (void)t1.Insert({Value::Int(1)});
+      (void)t1.Insert({Value::Int(1)});
+      (void)t2.Insert({Value::Int(0)});
+      (void)t2.Insert({Value::Int(0)});
+      return {t1, t2};
+    }
+    std::vector<std::pair<std::string, rel::Value>> ChooseQueries(
+        size_t) override {
+      return {{"a", Value::Int(1)}};  // 2 hits on T1, 0 on T2
+    }
+    int Guess(const Definition21View& view, crypto::Rng*) override {
+      return view.results[0].empty() ? 2 : 1;
+    }
+  };
+  SizeCheater cheater;
+  auto outcome = RunKcGame({}, 1, &cheater, 5, 13);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------- hospital scenario (E3 logic) ----------
+
+TEST(HospitalTest, GeneratorMatchesModelMarginals) {
+  HospitalModel model;
+  model.patients = 20000;
+  crypto::HmacDrbg rng("hospital-gen", 1);
+  auto table = GenerateHospitalTable(model, &rng);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->size(), 20000u);
+
+  std::array<size_t, 3> hospital_counts = {0, 0, 0};
+  size_t fatal = 0;
+  for (const auto& t : table->tuples()) {
+    hospital_counts[static_cast<size_t>(t.at(2).AsInt() - 1)]++;
+    if (t.at(3) == Value::Str("fatal")) ++fatal;
+  }
+  EXPECT_NEAR(hospital_counts[0] / 20000.0, 0.2, 0.02);
+  EXPECT_NEAR(hospital_counts[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(hospital_counts[2] / 20000.0, 0.5, 0.02);
+  EXPECT_NEAR(fatal / 20000.0, 0.08, 0.01);
+}
+
+TEST(HospitalTest, GeneratorValidatesModel) {
+  crypto::HmacDrbg rng("hospital-bad", 1);
+  HospitalModel zero;
+  zero.patients = 0;
+  EXPECT_FALSE(GenerateHospitalTable(zero, &rng).ok());
+  HospitalModel bad_flows;
+  bad_flows.flows = {0.5, 0.5, 0.5};
+  EXPECT_FALSE(GenerateHospitalTable(bad_flows, &rng).ok());
+}
+
+TEST(HospitalTest, PassiveEveRecoversFatalRatio) {
+  HospitalModel model;
+  model.patients = 1000;
+  auto inference = RunHospitalScenario(model, 3);
+  ASSERT_TRUE(inference.ok()) << inference.status();
+  // Eve identifies the queries from sizes alone...
+  EXPECT_TRUE(inference->queries_identified);
+  // ...and her intersection estimate matches the true in-table ratio
+  // EXACTLY: record-id intersection counts the actual fatal patients of
+  // hospital 1.
+  EXPECT_NEAR(inference->estimated_fatal_ratio_h1,
+              inference->true_fatal_ratio_h1, 1e-9);
+}
+
+TEST(HospitalTest, InferenceStableAcrossSeeds) {
+  HospitalModel model;
+  model.patients = 500;
+  int identified = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto inference = RunHospitalScenario(model, seed);
+    ASSERT_TRUE(inference.ok());
+    if (inference->queries_identified) ++identified;
+  }
+  EXPECT_GE(identified, 4);  // size-matching succeeds essentially always
+}
+
+// ---------- John attack (E4 logic) ----------
+
+TEST(JohnAttackTest, ActiveEveLocatesJohn) {
+  HospitalModel model;
+  model.patients = 300;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto inference = RunJohnAttack(model, seed);
+    ASSERT_TRUE(inference.ok()) << inference.status();
+    EXPECT_TRUE(inference->found_john) << "seed " << seed;
+    EXPECT_TRUE(inference->Correct())
+        << "seed " << seed << ": inferred hospital "
+        << inference->inferred_hospital << " vs " << inference->true_hospital
+        << ", outcome " << inference->inferred_outcome << " vs "
+        << inference->true_outcome;
+  }
+}
+
+}  // namespace
+}  // namespace games
+}  // namespace dbph

@@ -1,0 +1,112 @@
+#include "games/leakage.h"
+
+#include <gtest/gtest.h>
+
+#include "games/hospital.h"
+
+namespace dbph {
+namespace games {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+Schema FlagSchema() {
+  auto schema = Schema::Create({{"flag", ValueType::kString, 6}});
+  return *schema;
+}
+
+TEST(LeakageTest, TrivialPartitionAtQZero) {
+  Relation table("T", FlagSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.Insert({Value::Str("v" + std::to_string(i))}).ok());
+  }
+  auto curve = MeasureQueryLeakage(table, {}, {}, 1);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->documents, 10u);
+  ASSERT_EQ(curve->classes.size(), 1u);
+  EXPECT_EQ(curve->classes[0], 1u);
+  EXPECT_DOUBLE_EQ(curve->entropy_bits[0], 0.0);
+  EXPECT_EQ(curve->singletons[0], 0u);
+}
+
+TEST(LeakageTest, OneSelectiveQuerySplitsOnce) {
+  Relation table("T", FlagSchema());
+  ASSERT_TRUE(table.Insert({Value::Str("red")}).ok());
+  ASSERT_TRUE(table.Insert({Value::Str("red")}).ok());
+  ASSERT_TRUE(table.Insert({Value::Str("blue")}).ok());
+  ASSERT_TRUE(table.Insert({Value::Str("blue")}).ok());
+
+  auto curve = MeasureQueryLeakage(table, {{"flag", Value::Str("red")}},
+                                   {}, 2);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->classes[1], 2u);         // {red, red} | {blue, blue}
+  EXPECT_DOUBLE_EQ(curve->entropy_bits[1], 1.0);  // perfectly balanced
+  EXPECT_EQ(curve->singletons[1], 0u);
+}
+
+TEST(LeakageTest, ClassesAreMonotoneNonDecreasing) {
+  crypto::HmacDrbg gen("leak-mono", 1);
+  HospitalModel model;
+  model.patients = 60;
+  auto table = GenerateHospitalTable(model, &gen);
+  ASSERT_TRUE(table.ok());
+  auto workload = SampleWorkload(*table, 20, 7);
+  auto curve = MeasureQueryLeakage(*table, workload, {}, 7);
+  ASSERT_TRUE(curve.ok());
+  for (size_t k = 1; k < curve->classes.size(); ++k) {
+    EXPECT_GE(curve->classes[k], curve->classes[k - 1]) << k;
+    EXPECT_GE(curve->entropy_bits[k] + 1e-9, curve->entropy_bits[k - 1])
+        << k;
+  }
+}
+
+TEST(LeakageTest, DistinctValuesFullyIsolatedByExhaustiveWorkload) {
+  Relation table("T", FlagSchema());
+  std::vector<std::pair<std::string, Value>> workload;
+  for (int i = 0; i < 8; ++i) {
+    Value v = Value::Str("v" + std::to_string(i));
+    ASSERT_TRUE(table.Insert({v}).ok());
+    workload.emplace_back("flag", v);
+  }
+  auto curve = MeasureQueryLeakage(table, workload, {}, 3);
+  ASSERT_TRUE(curve.ok());
+  // Querying every value isolates every document.
+  EXPECT_EQ(curve->classes.back(), 8u);
+  EXPECT_EQ(curve->singletons.back(), 8u);
+  EXPECT_NEAR(curve->entropy_bits.back(), 3.0, 1e-9);
+}
+
+TEST(LeakageTest, IdenticalTuplesNeverSeparate) {
+  Relation table("T", FlagSchema());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(table.Insert({Value::Str("same")}).ok());
+  }
+  auto workload = SampleWorkload(table, 10, 5);
+  auto curve = MeasureQueryLeakage(table, workload, {}, 5);
+  ASSERT_TRUE(curve.ok());
+  // Exact selects cannot split equal tuples (modulo the ~2^-32 false
+  // positive rate): one class forever.
+  EXPECT_EQ(curve->classes.back(), 1u);
+  EXPECT_EQ(curve->singletons.back(), 0u);
+}
+
+TEST(LeakageTest, SampledWorkloadUsesExistingValues) {
+  Relation table("T", FlagSchema());
+  ASSERT_TRUE(table.Insert({Value::Str("only")}).ok());
+  auto workload = SampleWorkload(table, 5, 9);
+  ASSERT_EQ(workload.size(), 5u);
+  for (const auto& [attr, value] : workload) {
+    EXPECT_EQ(attr, "flag");
+    EXPECT_EQ(value, Value::Str("only"));
+  }
+  // Empty table: empty workload, no crash.
+  Relation empty("E", FlagSchema());
+  EXPECT_TRUE(SampleWorkload(empty, 5, 9).empty());
+}
+
+}  // namespace
+}  // namespace games
+}  // namespace dbph

@@ -1,0 +1,190 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/catalog.h"
+#include "relation/csv.h"
+#include "relation/predicate.h"
+
+namespace dbph {
+namespace rel {
+namespace {
+
+Schema EmpSchema() {
+  // The paper's running example: Emp(name:string[9], dept:string[5],
+  // salary:int). (The worked example actually stores "Montgomery", 10
+  // chars — we use 10 to fit it.)
+  auto schema = Schema::Create({
+      {"name", ValueType::kString, 10},
+      {"dept", ValueType::kString, 5},
+      {"salary", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+TEST(SchemaTest, CreateValidations) {
+  EXPECT_FALSE(Schema::Create({}).ok());
+  EXPECT_FALSE(Schema::Create({{"", ValueType::kInt64, 4}}).ok());
+  EXPECT_FALSE(Schema::Create({{"a", ValueType::kInt64, 4},
+                               {"a", ValueType::kString, 4}})
+                   .ok());
+}
+
+TEST(SchemaTest, DefaultLengthsApplied) {
+  auto schema = Schema::Create({{"n", ValueType::kInt64, 0}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->attribute(0).max_length, 20u);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema = EmpSchema();
+  EXPECT_EQ(*schema.IndexOf("dept"), 1u);
+  EXPECT_FALSE(schema.IndexOf("missing").ok());
+}
+
+TEST(SchemaTest, MaxValueLength) {
+  EXPECT_EQ(EmpSchema().MaxValueLength(), 10u);
+}
+
+TEST(SchemaTest, BinaryRoundTrip) {
+  Schema schema = EmpSchema();
+  Bytes buf;
+  schema.AppendTo(&buf);
+  ByteReader reader(buf);
+  auto back = Schema::ReadFrom(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, schema);
+}
+
+TEST(RelationTest, InsertValidatesTypes) {
+  Relation emp("Emp", EmpSchema());
+  EXPECT_TRUE(emp.Insert({Value::Str("Montgomery"), Value::Str("HR"),
+                          Value::Int(7500)})
+                  .ok());
+  // Wrong type.
+  EXPECT_FALSE(emp.Insert({Value::Int(1), Value::Str("HR"), Value::Int(1)})
+                   .ok());
+  // Wrong arity.
+  EXPECT_FALSE(emp.Insert({Value::Str("x")}).ok());
+  // Length overflow: name is 11 chars > 10.
+  EXPECT_FALSE(emp.Insert({Value::Str("Abcdefghijk"), Value::Str("HR"),
+                           Value::Int(1)})
+                   .ok());
+  EXPECT_EQ(emp.size(), 1u);
+}
+
+Relation SampleEmp() {
+  Relation emp("Emp", EmpSchema());
+  EXPECT_TRUE(emp.Insert({Value::Str("Montgomery"), Value::Str("HR"),
+                          Value::Int(7500)}).ok());
+  EXPECT_TRUE(emp.Insert({Value::Str("Smith"), Value::Str("IT"),
+                          Value::Int(4900)}).ok());
+  EXPECT_TRUE(emp.Insert({Value::Str("Jones"), Value::Str("HR"),
+                          Value::Int(4900)}).ok());
+  return emp;
+}
+
+TEST(RelationTest, ExactSelect) {
+  Relation emp = SampleEmp();
+  auto hr = emp.Select("dept", Value::Str("HR"));
+  ASSERT_TRUE(hr.ok());
+  EXPECT_EQ(hr->size(), 2u);
+  auto none = emp.Select("dept", Value::Str("XX"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_FALSE(emp.Select("nope", Value::Str("x")).ok());
+  // Type mismatch between value and attribute.
+  EXPECT_FALSE(emp.Select("salary", Value::Str("4900")).ok());
+}
+
+TEST(RelationTest, ConjunctionSelect) {
+  Relation emp = SampleEmp();
+  Conjunction both;
+  both.Add(*MakeExactMatch(emp.schema(), "dept", Value::Str("HR")));
+  both.Add(*MakeExactMatch(emp.schema(), "salary", Value::Int(4900)));
+  Relation result = emp.Select(both);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.tuple(0).at(0), Value::Str("Jones"));
+}
+
+TEST(RelationTest, SameTuplesIgnoresOrder) {
+  Relation a = SampleEmp();
+  Relation b("Emp", EmpSchema());
+  // Insert in reverse order.
+  for (size_t i = a.size(); i > 0; --i) {
+    EXPECT_TRUE(b.Insert(a.tuple(i - 1)).ok());
+  }
+  EXPECT_TRUE(a.SameTuples(b));
+  EXPECT_TRUE(b.Insert({Value::Str("New"), Value::Str("IT"),
+                        Value::Int(1)}).ok());
+  EXPECT_FALSE(a.SameTuples(b));
+}
+
+TEST(RelationTest, BinaryRoundTrip) {
+  Relation emp = SampleEmp();
+  Bytes buf;
+  emp.AppendTo(&buf);
+  ByteReader reader(buf);
+  auto back = Relation::ReadFrom(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), "Emp");
+  EXPECT_TRUE(back->SameTuples(emp));
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Relation emp = SampleEmp();
+  std::string csv = WriteCsv(emp);
+  auto back = ReadCsv("Emp", emp.schema(), csv);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->SameTuples(emp));
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto schema = Schema::Create({{"note", ValueType::kString, 40}});
+  ASSERT_TRUE(schema.ok());
+  Relation r("Notes", *schema);
+  ASSERT_TRUE(r.Insert({Value::Str("has,comma")}).ok());
+  ASSERT_TRUE(r.Insert({Value::Str("has\"quote")}).ok());
+  ASSERT_TRUE(r.Insert({Value::Str("has\nnewline")}).ok());
+  std::string csv = WriteCsv(r);
+  auto back = ReadCsv("Notes", *schema, csv);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->SameTuples(r));
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  Relation emp = SampleEmp();
+  EXPECT_FALSE(ReadCsv("Emp", emp.schema(), "a,b,c\n").ok());
+}
+
+TEST(CsvTest, BadValueRejected) {
+  Relation emp = SampleEmp();
+  EXPECT_FALSE(
+      ReadCsv("Emp", emp.schema(), "name,dept,salary\nX,Y,notanint\n").ok());
+}
+
+TEST(CatalogTest, AddGetDrop) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.AddRelation(SampleEmp()).ok());
+  EXPECT_FALSE(catalog.AddRelation(SampleEmp()).ok());  // duplicate
+  auto r = catalog.GetRelation("Emp");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->size(), 3u);
+  EXPECT_TRUE(catalog.DropRelation("Emp").ok());
+  EXPECT_FALSE(catalog.GetRelation("Emp").ok());
+  EXPECT_FALSE(catalog.DropRelation("Emp").ok());
+}
+
+TEST(CatalogTest, PutReplaces) {
+  Catalog catalog;
+  catalog.PutRelation(SampleEmp());
+  Relation small("Emp", EmpSchema());
+  catalog.PutRelation(small);
+  EXPECT_EQ((*catalog.GetRelation("Emp"))->size(), 0u);
+  EXPECT_EQ(catalog.RelationNames(), std::vector<std::string>{"Emp"});
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace dbph

@@ -1,0 +1,90 @@
+#include "relation/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace dbph {
+namespace rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Int(42).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Boolean(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Real(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Str("abc").AsString(), "abc");
+  EXPECT_TRUE(Value::Boolean(true).AsBool());
+  EXPECT_DOUBLE_EQ(Value::Real(1.5).AsDouble(), 1.5);
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value::Int(-7).ToDisplayString(), "-7");
+  EXPECT_EQ(Value::Str("hello").ToDisplayString(), "hello");
+  EXPECT_EQ(Value::Boolean(false).ToDisplayString(), "false");
+  EXPECT_EQ(Value::Real(2.5).ToDisplayString(), "2.5");
+}
+
+TEST(ValueTest, WordEncodingIsStable) {
+  EXPECT_EQ(Value::Int(7500).EncodeForWord(), "7500");
+  EXPECT_EQ(Value::Str("HR").EncodeForWord(), "HR");
+  EXPECT_EQ(Value::Boolean(true).EncodeForWord(), "1");
+  EXPECT_EQ(Value::Boolean(false).EncodeForWord(), "0");
+}
+
+TEST(ValueTest, ParseRoundTrips) {
+  auto i = Value::Parse(ValueType::kInt64, "-123");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->AsInt(), -123);
+
+  auto s = Value::Parse(ValueType::kString, "Montgomery");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->AsString(), "Montgomery");
+
+  auto b = Value::Parse(ValueType::kBool, "true");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->AsBool());
+
+  auto d = Value::Parse(ValueType::kDouble, "3.25");
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->AsDouble(), 3.25);
+}
+
+TEST(ValueTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Value::Parse(ValueType::kInt64, "12x").ok());
+  EXPECT_FALSE(Value::Parse(ValueType::kInt64, "").ok());
+  EXPECT_FALSE(Value::Parse(ValueType::kBool, "maybe").ok());
+  EXPECT_FALSE(Value::Parse(ValueType::kDouble, "1.2.3").ok());
+}
+
+TEST(ValueTest, ComparisonWithinType) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+}
+
+TEST(ValueTest, BinaryRoundTrip) {
+  std::vector<Value> values = {Value::Int(-99), Value::Str("x,y\nz"),
+                               Value::Boolean(true), Value::Real(-0.125)};
+  Bytes buf;
+  for (const auto& v : values) v.AppendTo(&buf);
+  ByteReader reader(buf);
+  for (const auto& expected : values) {
+    auto v = Value::ReadFrom(&reader);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, expected);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ValueTest, HashDistinguishesTypeAndContent) {
+  EXPECT_NE(Value::Int(1).Hash(), Value::Str("1").Hash());
+  EXPECT_NE(Value::Str("a").Hash(), Value::Str("b").Hash());
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace dbph

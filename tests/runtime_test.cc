@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "crypto/random.h"
+#include "protocol/messages.h"
+#include "server/untrusted_server.h"
+
+namespace dbph {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+Schema EmpSchema() {
+  auto s = Schema::Create({
+      {"name", ValueType::kString, 10},
+      {"dept", ValueType::kString, 5},
+      {"salary", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+Relation SampleEmp() {
+  Relation emp("Emp", EmpSchema());
+  EXPECT_TRUE(emp.Insert({Value::Str("Montgomery"), Value::Str("HR"),
+                          Value::Int(7500)}).ok());
+  EXPECT_TRUE(emp.Insert({Value::Str("Smith"), Value::Str("IT"),
+                          Value::Int(4900)}).ok());
+  EXPECT_TRUE(emp.Insert({Value::Str("Jones"), Value::Str("HR"),
+                          Value::Int(4900)}).ok());
+  return emp;
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<crypto::HmacDrbg>("runtime", 1);
+    client_ = std::make_unique<client::Client>(
+        ToBytes("alex's master key"),
+        [this](const Bytes& request) {
+          return server_.HandleRequest(request);
+        },
+        rng_.get());
+  }
+
+  server::UntrustedServer server_;
+  std::unique_ptr<crypto::HmacDrbg> rng_;
+  std::unique_ptr<client::Client> client_;
+};
+
+TEST_F(RuntimeTest, OutsourceAndSelectEndToEnd) {
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  EXPECT_EQ(server_.num_relations(), 1u);
+  EXPECT_EQ(*server_.RelationSize("Emp"), 3u);
+
+  auto hr = client_->Select("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(hr.ok()) << hr.status();
+  EXPECT_EQ(hr->size(), 2u);
+
+  auto expected = SampleEmp().Select("dept", Value::Str("HR"));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(hr->SameTuples(*expected));
+
+  auto none = client_->Select("Emp", "name", Value::Str("Nobody"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(RuntimeTest, SelectConjunctionEndToEnd) {
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  auto result = client_->SelectConjunction(
+      "Emp", {{"dept", Value::Str("HR")}, {"salary", Value::Int(4900)}});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).at(0), Value::Str("Jones"));
+}
+
+TEST_F(RuntimeTest, ErrorsPropagateThroughWire) {
+  // Select before outsourcing: local NotFound.
+  EXPECT_FALSE(client_->Select("Emp", "dept", Value::Str("HR")).ok());
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  // Double outsource: server-side AlreadyExists crosses the wire.
+  Status status = client_->Outsource(SampleEmp());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+  // Unknown attribute: client-side InvalidArgument/NotFound.
+  EXPECT_FALSE(client_->Select("Emp", "bogus", Value::Str("x")).ok());
+}
+
+TEST_F(RuntimeTest, DropRelation) {
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  ASSERT_TRUE(client_->Drop("Emp").ok());
+  EXPECT_EQ(server_.num_relations(), 0u);
+  EXPECT_FALSE(client_->Drop("Emp").ok());
+  // Can re-outsource after a drop.
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  auto hr = client_->Select("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(hr.ok());
+  EXPECT_EQ(hr->size(), 2u);
+}
+
+TEST_F(RuntimeTest, MultipleRelationsIndependentKeys) {
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  Relation dept("Dept", EmpSchema());
+  ASSERT_TRUE(dept.Insert({Value::Str("HR"), Value::Str("HQ"),
+                           Value::Int(10)}).ok());
+  ASSERT_TRUE(client_->Outsource(dept).ok());
+  EXPECT_EQ(server_.num_relations(), 2u);
+  auto a = client_->Select("Emp", "dept", Value::Str("HR"));
+  auto b = client_->Select("Dept", "name", Value::Str("HR"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->size(), 2u);
+  EXPECT_EQ(b->size(), 1u);
+}
+
+TEST_F(RuntimeTest, ServerObservesQueriesAndResultSizes) {
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  ASSERT_TRUE(client_->Select("Emp", "dept", Value::Str("HR")).ok());
+  ASSERT_TRUE(client_->Select("Emp", "dept", Value::Str("IT")).ok());
+
+  const auto& log = server_.observations();
+  ASSERT_EQ(log.stores().size(), 1u);
+  EXPECT_EQ(log.stores()[0].num_documents, 3u);
+  ASSERT_EQ(log.queries().size(), 2u);
+  EXPECT_EQ(log.queries()[0].result_size(), 2u);  // HR
+  EXPECT_EQ(log.queries()[1].result_size(), 1u);  // IT
+  // Eve can intersect result sets without keys.
+  auto common = server::ObservationLog::Intersect(log.queries()[0],
+                                                  log.queries()[1]);
+  EXPECT_TRUE(common.empty());
+}
+
+TEST_F(RuntimeTest, EveSeesNoPlaintext) {
+  Relation emp = SampleEmp();
+  ASSERT_TRUE(client_->Outsource(emp).ok());
+  ASSERT_TRUE(client_->Select("Emp", "dept", Value::Str("HR")).ok());
+  const auto& log = server_.observations();
+  // The trapdoor bytes must not contain the padded plaintext word.
+  std::string trapdoor = ToString(log.queries()[0].trapdoor_bytes);
+  EXPECT_EQ(trapdoor.find("HR"), std::string::npos);
+}
+
+TEST_F(RuntimeTest, InsertAppendsToOutsourcedRelation) {
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  std::vector<Tuple> fresh = {
+      Tuple({Value::Str("Nguyen"), Value::Str("HR"), Value::Int(5100)}),
+      Tuple({Value::Str("Okafor"), Value::Str("IT"), Value::Int(6100)}),
+  };
+  ASSERT_TRUE(client_->Insert("Emp", fresh).ok());
+  EXPECT_EQ(*server_.RelationSize("Emp"), 5u);
+
+  auto hr = client_->Select("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(hr.ok());
+  EXPECT_EQ(hr->size(), 3u);  // 2 original + Nguyen
+
+  // Inserting into a never-outsourced relation fails locally.
+  EXPECT_FALSE(client_->Insert("Nope", fresh).ok());
+  // Inserting a tuple violating the schema fails before any wire traffic.
+  EXPECT_FALSE(
+      client_->Insert("Emp", {Tuple({Value::Int(1)})}).ok());
+}
+
+TEST_F(RuntimeTest, DeleteWhereRemovesMatchesOnServer) {
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  auto removed = client_->DeleteWhere("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, 2u);
+  EXPECT_EQ(*server_.RelationSize("Emp"), 1u);
+
+  auto hr = client_->Select("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(hr.ok());
+  EXPECT_TRUE(hr->empty());
+  auto it = client_->Select("Emp", "dept", Value::Str("IT"));
+  ASSERT_TRUE(it.ok());
+  EXPECT_EQ(it->size(), 1u);
+
+  // Deleting again removes nothing.
+  auto again = client_->DeleteWhere("Emp", "dept", Value::Str("HR"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+TEST_F(RuntimeTest, RecallReturnsExactPlaintext) {
+  Relation emp = SampleEmp();
+  ASSERT_TRUE(client_->Outsource(emp).ok());
+  // Mutate remotely, then recall.
+  ASSERT_TRUE(client_
+                  ->Insert("Emp", {Tuple({Value::Str("Patel"),
+                                          Value::Str("IT"),
+                                          Value::Int(3000)})})
+                  .ok());
+  ASSERT_TRUE(
+      client_->DeleteWhere("Emp", "name", Value::Str("Smith")).ok());
+
+  auto recalled = client_->Recall("Emp");
+  ASSERT_TRUE(recalled.ok()) << recalled.status();
+  Relation expected("Emp", EmpSchema());
+  ASSERT_TRUE(expected.Insert({Value::Str("Montgomery"), Value::Str("HR"),
+                               Value::Int(7500)}).ok());
+  ASSERT_TRUE(expected.Insert({Value::Str("Jones"), Value::Str("HR"),
+                               Value::Int(4900)}).ok());
+  ASSERT_TRUE(expected.Insert({Value::Str("Patel"), Value::Str("IT"),
+                               Value::Int(3000)}).ok());
+  EXPECT_TRUE(recalled->SameTuples(expected));
+}
+
+TEST_F(RuntimeTest, DeletionsAreObservedLikeSelects) {
+  ASSERT_TRUE(client_->Outsource(SampleEmp()).ok());
+  ASSERT_TRUE(client_->DeleteWhere("Emp", "dept", Value::Str("HR")).ok());
+  const auto& queries = server_.observations().queries();
+  ASSERT_EQ(queries.size(), 1u);
+  // Eve saw which (and how many) documents the deletion touched.
+  EXPECT_EQ(queries[0].result_size(), 2u);
+}
+
+TEST(ProtocolTest, EnvelopeRoundTrip) {
+  protocol::Envelope env;
+  env.type = protocol::MessageType::kSelect;
+  env.payload = ToBytes("payload");
+  auto back = protocol::Envelope::Parse(env.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, env.type);
+  EXPECT_EQ(back->payload, env.payload);
+}
+
+TEST(ProtocolTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(protocol::Envelope::Parse(Bytes{}).ok());
+  EXPECT_FALSE(protocol::Envelope::Parse(Bytes{0x00, 0x01}).ok());
+  EXPECT_FALSE(protocol::Envelope::Parse(Bytes{99, 0, 0, 0, 0}).ok());
+  // Trailing junk.
+  protocol::Envelope env;
+  env.type = protocol::MessageType::kStoreOk;
+  Bytes wire = env.Serialize();
+  wire.push_back(0xff);
+  EXPECT_FALSE(protocol::Envelope::Parse(wire).ok());
+}
+
+TEST(ProtocolTest, ErrorEnvelopeCarriesStatus) {
+  Status original = Status::NotFound("relation 'X' not stored");
+  auto env = protocol::MakeErrorEnvelope(original);
+  Status status = protocol::ParseErrorEnvelope(env);
+  EXPECT_EQ(status, original);
+}
+
+TEST(ServerTest, MalformedRequestsAnsweredWithError) {
+  server::UntrustedServer server;
+  Bytes response = server.HandleRequest(ToBytes("garbage"));
+  auto env = protocol::Envelope::Parse(response);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env->type, protocol::MessageType::kError);
+}
+
+}  // namespace
+}  // namespace dbph

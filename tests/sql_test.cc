@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "crypto/random.h"
+#include "server/untrusted_server.h"
+#include "sql/executor.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace dbph {
+namespace sql {
+namespace {
+
+using rel::Value;
+using rel::ValueType;
+
+// ---------- lexer ----------
+
+TEST(LexerTest, TokenizesSelect) {
+  auto tokens = Lex("SELECT * FROM Emp WHERE dept = 'HR';");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const auto& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kKeyword, TokenType::kStar,
+                       TokenType::kKeyword, TokenType::kIdentifier,
+                       TokenType::kKeyword, TokenType::kIdentifier,
+                       TokenType::kEquals, TokenType::kString,
+                       TokenType::kSemicolon, TokenType::kEnd}));
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("select * from t where a = 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[4].text, "WHERE");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("42 -17 3.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].text, "-17");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kDouble);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("'unterminated").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("a = -").ok());
+}
+
+// ---------- parser ----------
+
+TEST(ParserTest, SingleCondition) {
+  auto stmt = ParseSelect("SELECT * FROM Emp WHERE dept = 'HR'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->table, "Emp");
+  ASSERT_EQ(stmt->conditions.size(), 1u);
+  EXPECT_EQ(stmt->conditions[0].attribute, "dept");
+  EXPECT_EQ(stmt->conditions[0].literal.text, "HR");
+  EXPECT_EQ(stmt->conditions[0].literal.kind, Literal::Kind::kString);
+}
+
+TEST(ParserTest, Conjunction) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM Emp WHERE dept = 'HR' AND salary = 4900;");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->conditions.size(), 2u);
+  EXPECT_EQ(stmt->conditions[1].attribute, "salary");
+  EXPECT_EQ(stmt->conditions[1].literal.kind, Literal::Kind::kInteger);
+}
+
+TEST(ParserTest, NoWhereParses) {
+  auto stmt = ParseSelect("SELECT * FROM Emp");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->conditions.empty());
+}
+
+TEST(ParserTest, BoolLiterals) {
+  auto stmt = ParseSelect("SELECT * FROM T WHERE flag = true");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->conditions[0].literal.kind, Literal::Kind::kBool);
+}
+
+TEST(ParserTest, RejectsUnsupportedSyntax) {
+  // Projection.
+  EXPECT_FALSE(ParseSelect("SELECT name FROM Emp").ok());
+  // Non-equality predicate.
+  EXPECT_FALSE(ParseSelect("SELECT * FROM Emp WHERE a , 1").ok());
+  // Unquoted string.
+  EXPECT_FALSE(ParseSelect("SELECT * FROM Emp WHERE dept = HR").ok());
+  // Trailing garbage.
+  EXPECT_FALSE(ParseSelect("SELECT * FROM Emp WHERE a = 1 extra").ok());
+  // Missing table.
+  EXPECT_FALSE(ParseSelect("SELECT * FROM WHERE a = 1").ok());
+}
+
+// ---------- executor ----------
+
+class SqlExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<crypto::HmacDrbg>("sql-exec", 1);
+    client_ = std::make_unique<client::Client>(
+        ToBytes("sql master key"),
+        [this](const Bytes& request) {
+          return server_.HandleRequest(request);
+        },
+        rng_.get());
+    auto schema = rel::Schema::Create({
+        {"name", ValueType::kString, 10},
+        {"dept", ValueType::kString, 5},
+        {"salary", ValueType::kInt64, 10},
+    });
+    ASSERT_TRUE(schema.ok());
+    rel::Relation emp("Emp", *schema);
+    ASSERT_TRUE(emp.Insert({Value::Str("Montgomery"), Value::Str("HR"),
+                            Value::Int(7500)}).ok());
+    ASSERT_TRUE(emp.Insert({Value::Str("Smith"), Value::Str("IT"),
+                            Value::Int(4900)}).ok());
+    ASSERT_TRUE(emp.Insert({Value::Str("Jones"), Value::Str("HR"),
+                            Value::Int(4900)}).ok());
+    ASSERT_TRUE(client_->Outsource(emp).ok());
+  }
+
+  server::UntrustedServer server_;
+  std::unique_ptr<crypto::HmacDrbg> rng_;
+  std::unique_ptr<client::Client> client_;
+};
+
+TEST_F(SqlExecutorTest, SingleSelectOverEncryptedData) {
+  auto result =
+      ExecuteSql(client_.get(), "SELECT * FROM Emp WHERE dept = 'HR'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST_F(SqlExecutorTest, ConjunctionOverEncryptedData) {
+  auto result = ExecuteSql(
+      client_.get(),
+      "SELECT * FROM Emp WHERE dept = 'HR' AND salary = 4900;");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).at(0), Value::Str("Jones"));
+}
+
+TEST_F(SqlExecutorTest, HelpfulErrors) {
+  // Full scan not expressible on the encrypted server.
+  auto scan = ExecuteSql(client_.get(), "SELECT * FROM Emp");
+  EXPECT_FALSE(scan.ok());
+  // Unknown table / attribute.
+  EXPECT_FALSE(
+      ExecuteSql(client_.get(), "SELECT * FROM Nope WHERE a = 1").ok());
+  EXPECT_FALSE(
+      ExecuteSql(client_.get(), "SELECT * FROM Emp WHERE nope = 1").ok());
+  // Type mismatch: salary is an int.
+  EXPECT_FALSE(
+      ExecuteSql(client_.get(), "SELECT * FROM Emp WHERE salary = 'x'").ok());
+  EXPECT_FALSE(
+      ExecuteSql(client_.get(), "SELECT * FROM Emp WHERE dept = 42").ok());
+}
+
+TEST_F(SqlExecutorTest, FormatResultRendersTable) {
+  auto result =
+      ExecuteSql(client_.get(), "SELECT * FROM Emp WHERE dept = 'IT'");
+  ASSERT_TRUE(result.ok());
+  std::string text = FormatResult(*result);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("Smith"), std::string::npos);
+  EXPECT_NE(text.find("1 row(s)"), std::string::npos);
+}
+
+TEST(TypeLiteralTest, CoercionRules) {
+  rel::Attribute int_attr{"n", ValueType::kInt64, 10};
+  rel::Attribute dbl_attr{"d", ValueType::kDouble, 10};
+  rel::Attribute bool_attr{"b", ValueType::kBool, 1};
+
+  Literal int_lit{Literal::Kind::kInteger, "42"};
+  Literal dbl_lit{Literal::Kind::kDouble, "2.5"};
+  Literal bool_lit{Literal::Kind::kBool, "true"};
+
+  EXPECT_EQ(*TypeLiteral(int_lit, int_attr), Value::Int(42));
+  // Integer literal usable for a double column.
+  EXPECT_EQ(*TypeLiteral(int_lit, dbl_attr), Value::Real(42));
+  EXPECT_EQ(*TypeLiteral(dbl_lit, dbl_attr), Value::Real(2.5));
+  EXPECT_EQ(*TypeLiteral(bool_lit, bool_attr), Value::Boolean(true));
+  // Double literal NOT usable for an int column.
+  EXPECT_FALSE(TypeLiteral(dbl_lit, int_attr).ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace dbph

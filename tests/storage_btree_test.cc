@@ -1,0 +1,180 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "crypto/random.h"
+
+namespace dbph {
+namespace storage {
+namespace {
+
+Bytes Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%08d", i);
+  return ToBytes(buf);
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree(4);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Lookup(Key(1)).empty());
+  EXPECT_FALSE(tree.Contains(Key(1)));
+  EXPECT_FALSE(tree.Delete(Key(1), 0));
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 100; ++i) tree.Insert(Key(i), static_cast<uint64_t>(i));
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_EQ(tree.num_keys(), 100u);
+  EXPECT_TRUE(tree.Validate());
+  for (int i = 0; i < 100; ++i) {
+    auto vals = tree.Lookup(Key(i));
+    ASSERT_EQ(vals.size(), 1u) << i;
+    EXPECT_EQ(vals[0], static_cast<uint64_t>(i));
+  }
+  EXPECT_TRUE(tree.Lookup(Key(100)).empty());
+  EXPECT_GT(tree.height(), 1u);  // must actually have split
+}
+
+TEST(BPlusTreeTest, PostingListsAccumulate) {
+  BPlusTree tree(4);
+  for (uint64_t v = 0; v < 10; ++v) tree.Insert(Key(7), v);
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.num_keys(), 1u);
+  EXPECT_EQ(tree.Lookup(Key(7)).size(), 10u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BPlusTreeTest, ReverseInsertionOrder) {
+  BPlusTree tree(4);
+  for (int i = 499; i >= 0; --i) tree.Insert(Key(i), static_cast<uint64_t>(i));
+  EXPECT_TRUE(tree.Validate());
+  auto all = tree.ScanAll();
+  ASSERT_EQ(all.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(all[i].first, Key(i));
+}
+
+TEST(BPlusTreeTest, DeleteSingleValues) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 200; ++i) tree.Insert(Key(i), static_cast<uint64_t>(i));
+  for (int i = 0; i < 200; i += 2) {
+    EXPECT_TRUE(tree.Delete(Key(i), static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.Validate());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(tree.Contains(Key(i)), i % 2 == 1) << i;
+  }
+  // Deleting again fails.
+  EXPECT_FALSE(tree.Delete(Key(0), 0));
+}
+
+TEST(BPlusTreeTest, DeleteEverythingCollapsesToEmptyRoot) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 300; ++i) tree.Insert(Key(i), static_cast<uint64_t>(i));
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(tree.Delete(Key(i), static_cast<uint64_t>(i))) << i;
+    EXPECT_TRUE(tree.Validate()) << "after deleting " << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(BPlusTreeTest, DeleteAllRemovesPostingList) {
+  BPlusTree tree(4);
+  for (uint64_t v = 0; v < 5; ++v) tree.Insert(Key(3), v);
+  tree.Insert(Key(4), 99);
+  EXPECT_EQ(tree.DeleteAll(Key(3)), 5u);
+  EXPECT_EQ(tree.DeleteAll(Key(3)), 0u);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_FALSE(tree.Contains(Key(3)));
+  EXPECT_TRUE(tree.Contains(Key(4)));
+}
+
+TEST(BPlusTreeTest, RangeScan) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 100; ++i) tree.Insert(Key(i), static_cast<uint64_t>(i));
+  auto hits = tree.Scan(Key(10), Key(19));
+  ASSERT_EQ(hits.size(), 10u);
+  EXPECT_EQ(hits.front().first, Key(10));
+  EXPECT_EQ(hits.back().first, Key(19));
+
+  // Empty range.
+  EXPECT_TRUE(tree.Scan(Key(200), Key(300)).empty());
+  // Range covering everything.
+  EXPECT_EQ(tree.Scan(Key(0), Key(99)).size(), 100u);
+}
+
+class BPlusTreeFanout : public ::testing::TestWithParam<size_t> {};
+
+// Property test: the tree must behave exactly like std::map<Bytes,
+// multiset> under a random workload, and its invariants must hold after
+// every mutation, for several fanouts.
+TEST_P(BPlusTreeFanout, MatchesReferenceModelUnderRandomWorkload) {
+  const size_t fanout = GetParam();
+  BPlusTree tree(fanout);
+  std::map<Bytes, std::multiset<uint64_t>> model;
+  crypto::HmacDrbg rng("btree-property", fanout);
+
+  const int kOps = 3000;
+  const int kKeySpace = 150;
+  for (int op = 0; op < kOps; ++op) {
+    int key_num = static_cast<int>(rng.NextBelow(kKeySpace));
+    Bytes key = Key(key_num);
+    uint64_t value = rng.NextBelow(5);
+    double action = rng.NextDouble();
+    if (action < 0.55) {
+      tree.Insert(key, value);
+      model[key].insert(value);
+    } else if (action < 0.9) {
+      bool tree_removed = tree.Delete(key, value);
+      auto it = model.find(key);
+      bool model_removed = false;
+      if (it != model.end()) {
+        auto vit = it->second.find(value);
+        if (vit != it->second.end()) {
+          it->second.erase(vit);
+          model_removed = true;
+          if (it->second.empty()) model.erase(it);
+        }
+      }
+      ASSERT_EQ(tree_removed, model_removed) << "op " << op;
+    } else {
+      size_t removed = tree.DeleteAll(key);
+      size_t expected = 0;
+      auto it = model.find(key);
+      if (it != model.end()) {
+        expected = it->second.size();
+        model.erase(it);
+      }
+      ASSERT_EQ(removed, expected) << "op " << op;
+    }
+    if (op % 100 == 0) {
+      ASSERT_TRUE(tree.Validate()) << "op " << op;
+    }
+  }
+
+  ASSERT_TRUE(tree.Validate());
+  size_t model_size = 0;
+  for (const auto& [key, values] : model) {
+    model_size += values.size();
+    auto got = tree.Lookup(key);
+    std::multiset<uint64_t> got_set(got.begin(), got.end());
+    ASSERT_EQ(got_set, values) << HexEncode(key);
+  }
+  EXPECT_EQ(tree.size(), model_size);
+  EXPECT_EQ(tree.num_keys(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BPlusTreeFanout,
+                         ::testing::Values(3, 4, 5, 8, 16, 64));
+
+}  // namespace
+}  // namespace storage
+}  // namespace dbph

@@ -1,0 +1,303 @@
+#include "swp/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/prf.h"
+#include "crypto/random.h"
+#include "swp/search.h"
+
+namespace dbph {
+namespace swp {
+namespace {
+
+constexpr size_t kWordLen = 12;
+constexpr size_t kCheckLen = 4;
+
+Bytes Word(const std::string& s) {
+  Bytes w = ToBytes(s);
+  w.resize(kWordLen, '#');
+  return w;
+}
+
+crypto::StreamGenerator MakeStream(const Bytes& master, const Bytes& nonce) {
+  SwpKeys keys = SwpKeys::Derive(master);
+  return crypto::StreamGenerator(keys.stream_key, nonce);
+}
+
+class AllSchemes : public ::testing::TestWithParam<SchemeVariant> {
+ protected:
+  void SetUp() override {
+    master_ = ToBytes("test master key for swp");
+    SwpParams params{kWordLen, kCheckLen};
+    auto scheme = CreateScheme(GetParam(), params, master_);
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::move(*scheme);
+    stream_ = std::make_unique<crypto::StreamGenerator>(
+        MakeStream(master_, ToBytes("doc-nonce-1")));
+  }
+
+  Bytes master_;
+  std::unique_ptr<SearchableScheme> scheme_;
+  std::unique_ptr<crypto::StreamGenerator> stream_;
+};
+
+TEST_P(AllSchemes, EncryptProducesWordSizedCipher) {
+  auto c = scheme_->EncryptWord(*stream_, 0, Word("hello"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), kWordLen);
+  EXPECT_NE(*c, Word("hello"));
+}
+
+TEST_P(AllSchemes, RejectsWrongWordLength) {
+  EXPECT_FALSE(scheme_->EncryptWord(*stream_, 0, ToBytes("short")).ok());
+  EXPECT_FALSE(scheme_->MakeTrapdoor(ToBytes("short")).ok());
+}
+
+TEST_P(AllSchemes, TrapdoorMatchesOwnWord) {
+  Bytes word = Word("target");
+  for (uint64_t pos = 0; pos < 8; ++pos) {
+    auto c = scheme_->EncryptWord(*stream_, pos, word);
+    ASSERT_TRUE(c.ok());
+    auto t = scheme_->MakeTrapdoor(word);
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE(scheme_->Matches(*t, *c)) << "position " << pos;
+  }
+}
+
+TEST_P(AllSchemes, TrapdoorRejectsOtherWords) {
+  auto t = scheme_->MakeTrapdoor(Word("needle"));
+  ASSERT_TRUE(t.ok());
+  // With a 4-byte check the false-positive probability is 2^-32; 200
+  // non-matching words must therefore all be rejected.
+  crypto::HmacDrbg rng("swp-negative", 5);
+  for (int i = 0; i < 200; ++i) {
+    Bytes other = Word("w" + std::to_string(i));
+    auto c = scheme_->EncryptWord(*stream_, rng.NextBelow(16), other);
+    ASSERT_TRUE(c.ok());
+    EXPECT_FALSE(scheme_->Matches(*t, *c)) << i;
+  }
+}
+
+TEST_P(AllSchemes, SamePositionSameWordIsDeterministic) {
+  auto a = scheme_->EncryptWord(*stream_, 3, Word("again"));
+  auto b = scheme_->EncryptWord(*stream_, 3, Word("again"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_P(AllSchemes, DifferentPositionsHideEquality) {
+  // The stream pad differs per position, so equal words encrypt
+  // differently — the server cannot see repeats without a trapdoor.
+  auto a = scheme_->EncryptWord(*stream_, 0, Word("same"));
+  auto b = scheme_->EncryptWord(*stream_, 1, Word("same"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST_P(AllSchemes, DifferentNoncesHideEquality) {
+  auto stream2 = MakeStream(master_, ToBytes("doc-nonce-2"));
+  auto a = scheme_->EncryptWord(*stream_, 0, Word("same"));
+  auto b = scheme_->EncryptWord(stream2, 0, Word("same"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST_P(AllSchemes, DecryptionAgreesWithCapability) {
+  Bytes word = Word("roundtrip");
+  auto c = scheme_->EncryptWord(*stream_, 7, word);
+  ASSERT_TRUE(c.ok());
+  auto back = scheme_->DecryptWord(*stream_, 7, *c);
+  if (scheme_->SupportsDecryption()) {
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, word);
+  } else {
+    EXPECT_FALSE(back.ok());
+    EXPECT_EQ(back.status().code(), StatusCode::kUnimplemented);
+  }
+}
+
+TEST_P(AllSchemes, QueryHidingMatchesContract) {
+  Bytes word = Word("secretquery");
+  auto t = scheme_->MakeTrapdoor(word);
+  ASSERT_TRUE(t.ok());
+  if (scheme_->HidesQueries()) {
+    // The trapdoor must not contain the plaintext word.
+    EXPECT_NE(t->target, word);
+  } else {
+    EXPECT_EQ(t->target, word);
+  }
+}
+
+TEST_P(AllSchemes, SearchDocumentFindsAllSlots) {
+  EncryptedDocument doc;
+  doc.nonce = ToBytes("doc-nonce-1");
+  Bytes needle = Word("needle");
+  std::vector<Bytes> words = {Word("alpha"), needle, Word("gamma"), needle};
+  for (size_t i = 0; i < words.size(); ++i) {
+    auto c = scheme_->EncryptWord(*stream_, i, words[i]);
+    ASSERT_TRUE(c.ok());
+    doc.words.push_back(*c);
+  }
+  auto t = scheme_->MakeTrapdoor(needle);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(SearchDocument(*scheme_, *t, doc), (std::vector<size_t>{1, 3}));
+  EXPECT_TRUE(DocumentContains(*scheme_, *t, doc));
+  auto none = scheme_->MakeTrapdoor(Word("missing"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(DocumentContains(*scheme_, *none, doc));
+}
+
+TEST_P(AllSchemes, WrongMasterKeyFindsNothing) {
+  auto other = CreateScheme(GetParam(), SwpParams{kWordLen, kCheckLen},
+                            ToBytes("a different master key"));
+  ASSERT_TRUE(other.ok());
+  Bytes word = Word("needle");
+  auto c = scheme_->EncryptWord(*stream_, 0, word);
+  ASSERT_TRUE(c.ok());
+  auto t = (*other)->MakeTrapdoor(word);
+  ASSERT_TRUE(t.ok());
+  // Basic scheme trapdoors carry the (wrong) global check key; all other
+  // schemes derive wrong word keys. Either way: no match.
+  EXPECT_FALSE(scheme_->Matches(*t, *c));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, AllSchemes,
+    ::testing::Values(SchemeVariant::kBasic, SchemeVariant::kControlled,
+                      SchemeVariant::kHidden, SchemeVariant::kFinal),
+    [](const ::testing::TestParamInfo<SchemeVariant>& info) {
+      std::string name = SchemeVariantName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SwpParamsTest, Validation) {
+  EXPECT_TRUE((SwpParams{12, 4}).Validate().ok());
+  EXPECT_FALSE((SwpParams{1, 1}).Validate().ok());
+  EXPECT_FALSE((SwpParams{8, 0}).Validate().ok());
+  EXPECT_FALSE((SwpParams{8, 8}).Validate().ok());
+  EXPECT_FALSE((SwpParams{8, 9}).Validate().ok());
+}
+
+TEST(SwpParamsTest, FalsePositiveProbability) {
+  EXPECT_DOUBLE_EQ((SwpParams{12, 1}).FalsePositiveProbability(), 1.0 / 256);
+  EXPECT_DOUBLE_EQ((SwpParams{12, 2}).FalsePositiveProbability(),
+                   1.0 / 65536);
+}
+
+TEST(SwpKeysTest, SubkeysDistinct) {
+  SwpKeys keys = SwpKeys::Derive(ToBytes("m"));
+  EXPECT_NE(keys.preencrypt_key, keys.word_key_key);
+  EXPECT_NE(keys.word_key_key, keys.check_key);
+  EXPECT_NE(keys.check_key, keys.stream_key);
+}
+
+TEST(CreateSchemeTest, RejectsBadInputs) {
+  EXPECT_FALSE(
+      CreateScheme(SchemeVariant::kFinal, SwpParams{1, 1}, ToBytes("k")).ok());
+  EXPECT_FALSE(
+      CreateScheme(SchemeVariant::kFinal, SwpParams{12, 4}, Bytes{}).ok());
+}
+
+TEST(TrapdoorTest, SerializationRoundTrip) {
+  Trapdoor t;
+  t.target = ToBytes("target-bytes");
+  t.key = ToBytes("key-bytes");
+  Bytes buf;
+  t.AppendTo(&buf);
+  ByteReader reader(buf);
+  auto back = Trapdoor::ReadFrom(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->target, t.target);
+  EXPECT_EQ(back->key, t.key);
+}
+
+TEST(EncryptedDocumentTest, SerializationRoundTrip) {
+  EncryptedDocument doc;
+  doc.nonce = ToBytes("nonce");
+  doc.words = {ToBytes("w1"), ToBytes("word-two")};
+  Bytes buf;
+  doc.AppendTo(&buf);
+  ByteReader reader(buf);
+  auto back = EncryptedDocument::ReadFrom(&reader);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->nonce, doc.nonce);
+  EXPECT_EQ(back->words, doc.words);
+}
+
+// The basic scheme's documented weakness: its trapdoor key is the global
+// check key, so after one query the server can recognize *other* words it
+// guesses. The controlled scheme's per-word keys prevent this. This test
+// pins down the distinction the SWP paper draws between schemes I and II.
+TEST(BasicVsControlled, BasicLeaksGlobalCheckCapability) {
+  Bytes master = ToBytes("leak test master");
+  SwpParams params{kWordLen, kCheckLen};
+  auto basic = CreateScheme(SchemeVariant::kBasic, params, master);
+  auto controlled = CreateScheme(SchemeVariant::kControlled, params, master);
+  ASSERT_TRUE(basic.ok() && controlled.ok());
+  auto stream = MakeStream(master, ToBytes("n"));
+
+  // Server receives a trapdoor for "alpha" and then *guesses* "beta".
+  Bytes alpha = Word("alpha"), beta = Word("beta");
+
+  {
+    auto t_alpha = (*basic)->MakeTrapdoor(alpha);
+    ASSERT_TRUE(t_alpha.ok());
+    auto c_beta = (*basic)->EncryptWord(stream, 0, beta);
+    ASSERT_TRUE(c_beta.ok());
+    // Forge a trapdoor for beta using the leaked key.
+    Trapdoor forged;
+    forged.target = beta;
+    forged.key = t_alpha->key;  // global k'' — works for any word!
+    EXPECT_TRUE((*basic)->Matches(forged, *c_beta));
+  }
+  {
+    auto t_alpha = (*controlled)->MakeTrapdoor(alpha);
+    ASSERT_TRUE(t_alpha.ok());
+    auto c_beta = (*controlled)->EncryptWord(stream, 0, beta);
+    ASSERT_TRUE(c_beta.ok());
+    Trapdoor forged;
+    forged.target = beta;
+    forged.key = t_alpha->key;  // k_alpha is useless for beta
+    EXPECT_FALSE((*controlled)->Matches(forged, *c_beta));
+  }
+}
+
+// Statistical test of the false-positive knob: with a 1-byte check the
+// per-word FP rate must be ~2^-8.
+TEST(FalsePositiveTest, OneByteCheckRateNearTheory) {
+  Bytes master = ToBytes("fp master");
+  SwpParams params{8, 1};
+  auto scheme = CreateScheme(SchemeVariant::kFinal, params, master);
+  ASSERT_TRUE(scheme.ok());
+  auto stream = MakeStream(master, ToBytes("fp-nonce"));
+
+  // Build the needle word explicitly at 8 bytes.
+  Bytes needle = ToBytes("needle");
+  needle.resize(8, '#');
+  auto t = (*scheme)->MakeTrapdoor(needle);
+  ASSERT_TRUE(t.ok());
+
+  int false_hits = 0;
+  const int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    Bytes other = ToBytes("w" + std::to_string(i));
+    other.resize(8, '#');
+    if (other == needle) continue;
+    auto c = (*scheme)->EncryptWord(stream, static_cast<uint64_t>(i), other);
+    ASSERT_TRUE(c.ok());
+    if ((*scheme)->Matches(*t, *c)) ++false_hits;
+  }
+  double rate = static_cast<double>(false_hits) / kTrials;
+  double expected = 1.0 / 256;
+  // ~156 expected hits, sd ~12.5; accept +/- 5 sd.
+  EXPECT_NEAR(rate, expected, 5 * 12.5 / kTrials);
+  EXPECT_GT(false_hits, 0);  // with 40k trials, zero hits would be wrong too
+}
+
+}  // namespace
+}  // namespace swp
+}  // namespace dbph
