@@ -14,17 +14,32 @@
 // price of hiding the access pattern per value). Encryption within small
 // constant factors across schemes.
 
+// Batch-runtime mode (BENCH_PARALLEL trajectory): invoking with any of
+//   --threads=N --batch=M --docs=K --rounds=R
+// skips google-benchmark and instead reports sequential-vs-parallel
+// batched select throughput as one JSON object on stdout (the seed for
+// tracking scan scalability across hardware).
+
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/bucket/bucket_scheme.h"
 #include "baselines/bucket/bucket_server.h"
 #include "baselines/damiani/hash_scheme.h"
 #include "baselines/plain/plain_engine.h"
+#include "client/client.h"
+#include "common/stopwatch.h"
 #include "crypto/random.h"
 #include "dbph/scheme.h"
+#include "server/untrusted_server.h"
 
 using namespace dbph;
 
@@ -262,6 +277,143 @@ void BM_EncryptRelation_Dbph(benchmark::State& state) {
 }
 BENCHMARK(BM_EncryptRelation_Dbph)->Arg(1 << 10);
 
+// ------------- sequential vs parallel batched select (JSON mode) -------------
+
+struct ParallelBenchConfig {
+  size_t threads = 0;     // 0 = hardware concurrency
+  size_t batch = 32;      // queries per batch round trip
+  size_t docs = 100000;   // stored documents
+  size_t rounds = 3;      // timed repetitions (best-of)
+};
+
+/// One in-process deployment; `options` tunes the server runtime.
+struct E6Deployment {
+  explicit E6Deployment(server::ServerRuntimeOptions options)
+      : server(options),
+        rng("e6-parallel", 11),
+        client(ToBytes("master"),
+               [this](const Bytes& request) {
+                 return server.HandleRequest(request);
+               },
+               &rng) {}
+
+  server::UntrustedServer server;
+  crypto::HmacDrbg rng;
+  client::Client client;
+};
+
+int RunParallelBench(const ParallelBenchConfig& config) {
+  size_t threads = config.threads != 0 ? config.threads
+                                       : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+
+  // Two deployments over the same DRBG seed hold byte-identical
+  // ciphertext, so results and observation logs are directly comparable.
+  server::ServerRuntimeOptions seq_options;
+  seq_options.num_threads = 1;
+  seq_options.num_shards = 1;
+  server::ServerRuntimeOptions par_options;
+  par_options.num_threads = threads;
+  E6Deployment seq(seq_options);
+  E6Deployment par(par_options);
+
+  std::fprintf(stderr, "outsourcing %zu documents...\n", config.docs);
+  rel::Relation table = BenchTable(config.docs);
+  if (!seq.client.Outsource(table).ok() || !par.client.Outsource(table).ok()) {
+    std::fprintf(stderr, "outsource failed\n");
+    return 1;
+  }
+
+  std::vector<std::pair<std::string, rel::Value>> queries;
+  for (size_t i = 0; i < config.batch; ++i) {
+    queries.emplace_back(
+        "val", rel::Value::Int(static_cast<int64_t>(i % 100)));
+  }
+
+  // Warm-up + correctness: batched results must match one-by-one results
+  // tuple for tuple, with one observation log entry per query on both
+  // sides.
+  std::vector<rel::Relation> expected;
+  for (const auto& [attribute, value] : queries) {
+    auto r = seq.client.Select("T", attribute, value);
+    if (!r.ok()) {
+      std::fprintf(stderr, "sequential select failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(std::move(*r));
+  }
+  auto batched = par.client.SelectBatch("T", queries);
+  if (!batched.ok()) {
+    std::fprintf(stderr, "batched select failed: %s\n",
+                 batched.status().ToString().c_str());
+    return 1;
+  }
+  bool results_match = batched->size() == expected.size();
+  for (size_t i = 0; results_match && i < expected.size(); ++i) {
+    results_match = (*batched)[i].SameTuples(expected[i]);
+  }
+  bool log_match =
+      seq.server.observations().queries().size() == queries.size() &&
+      par.server.observations().queries().size() == queries.size();
+
+  // Timed rounds (best-of): sequential = one Select round trip per
+  // query; parallel = one SelectBatch round trip for all of them.
+  double seq_best = 0, par_best = 0;
+  for (size_t round = 0; round < config.rounds; ++round) {
+    Stopwatch timer;
+    for (const auto& [attribute, value] : queries) {
+      auto r = seq.client.Select("T", attribute, value);
+      if (!r.ok()) return 1;
+    }
+    double elapsed = timer.ElapsedSeconds();
+    if (round == 0 || elapsed < seq_best) seq_best = elapsed;
+  }
+  for (size_t round = 0; round < config.rounds; ++round) {
+    Stopwatch timer;
+    auto r = par.client.SelectBatch("T", queries);
+    if (!r.ok()) return 1;
+    double elapsed = timer.ElapsedSeconds();
+    if (round == 0 || elapsed < par_best) par_best = elapsed;
+  }
+
+  double seq_qps = static_cast<double>(queries.size()) / seq_best;
+  double par_qps = static_cast<double>(queries.size()) / par_best;
+  std::printf(
+      "{\"bench\":\"e6_parallel_batch\",\"docs\":%zu,\"threads\":%zu,"
+      "\"batch\":%zu,\"rounds\":%zu,\"seq_seconds\":%.6f,"
+      "\"par_seconds\":%.6f,\"seq_qps\":%.2f,\"par_qps\":%.2f,"
+      "\"speedup\":%.3f,\"results_match\":%s,\"per_query_log_entry\":%s}\n",
+      config.docs, threads, queries.size(), config.rounds, seq_best,
+      par_best, seq_qps, par_qps, seq_best / par_best,
+      results_match ? "true" : "false", log_match ? "true" : "false");
+  return (results_match && log_match) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ParallelBenchConfig config;
+  bool parallel_mode = false;
+  auto parse = [&](const char* arg, const char* name, size_t* out) {
+    size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0) return false;
+    *out = static_cast<size_t>(std::strtoull(arg + len, nullptr, 10));
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (parse(argv[i], "--threads=", &config.threads) ||
+        parse(argv[i], "--batch=", &config.batch) ||
+        parse(argv[i], "--docs=", &config.docs) ||
+        parse(argv[i], "--rounds=", &config.rounds)) {
+      parallel_mode = true;
+    }
+  }
+  if (parallel_mode) return RunParallelBench(config);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

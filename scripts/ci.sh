@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run every registered test.
+# Usage: scripts/ci.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
+
+# Smoke-test the batch runtime bench (tiny workload; asserts that
+# batched results and observation logs match the sequential baseline).
+if [ -x "$BUILD_DIR/bench_e6_performance" ]; then
+  "$BUILD_DIR/bench_e6_performance" --docs=2000 --batch=8 --rounds=1
+fi

@@ -81,15 +81,78 @@ Result<std::vector<swp::EncryptedDocument>> Client::RemoteSelect(
       Call(transport_, request, MessageType::kSelectResult));
 
   ByteReader reader(response.payload);
-  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
-  std::vector<swp::EncryptedDocument> docs;
-  docs.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
-                          swp::EncryptedDocument::ReadFrom(&reader));
-    docs.push_back(std::move(doc));
+  return swp::ReadDocumentList(&reader);
+}
+
+Result<std::vector<std::vector<swp::EncryptedDocument>>>
+Client::RemoteSelectBatch(const std::vector<core::EncryptedQuery>& queries) {
+  std::vector<std::vector<swp::EncryptedDocument>> results;
+  results.reserve(queries.size());
+  // The wire protocol bounds a batch at kMaxBatchParts sub-envelopes;
+  // larger query lists transparently become multiple round trips.
+  for (size_t begin = 0; begin < queries.size();
+       begin += protocol::kMaxBatchParts) {
+    size_t end =
+        std::min<size_t>(queries.size(), begin + protocol::kMaxBatchParts);
+    std::vector<Envelope> parts;
+    parts.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      Envelope part;
+      part.type = MessageType::kSelect;
+      queries[i].AppendTo(&part.payload);
+      parts.push_back(std::move(part));
+    }
+    Envelope request;
+    request.type = MessageType::kBatchRequest;
+    request.payload = protocol::SerializeBatchPayload(parts);
+    DBPH_ASSIGN_OR_RETURN(
+        Envelope response,
+        Call(transport_, request, MessageType::kBatchResponse));
+
+    DBPH_ASSIGN_OR_RETURN(std::vector<Envelope> replies,
+                          protocol::ParseBatchPayload(response.payload));
+    if (replies.size() != end - begin) {
+      return Status::DataLoss("batch response count mismatch");
+    }
+    for (const Envelope& reply : replies) {
+      if (reply.type == MessageType::kError) {
+        return protocol::ParseErrorEnvelope(reply);
+      }
+      if (reply.type != MessageType::kSelectResult) {
+        return Status::DataLoss("unexpected sub-response type in batch");
+      }
+      ByteReader reader(reply.payload);
+      DBPH_ASSIGN_OR_RETURN(std::vector<swp::EncryptedDocument> docs,
+                            swp::ReadDocumentList(&reader));
+      results.push_back(std::move(docs));
+    }
   }
-  return docs;
+  return results;
+}
+
+Result<std::vector<rel::Relation>> Client::SelectBatch(
+    const std::string& relation,
+    const std::vector<std::pair<std::string, rel::Value>>& queries) {
+  if (queries.empty()) return std::vector<rel::Relation>{};
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));
+  std::vector<core::EncryptedQuery> encrypted;
+  encrypted.reserve(queries.size());
+  for (const auto& [attribute, value] : queries) {
+    DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
+                          ph->EncryptQuery(relation, attribute, value));
+    encrypted.push_back(std::move(query));
+  }
+  DBPH_ASSIGN_OR_RETURN(auto batches, RemoteSelectBatch(encrypted));
+
+  std::vector<rel::Relation> results;
+  results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    DBPH_ASSIGN_OR_RETURN(
+        rel::Relation filtered,
+        ph->DecryptAndFilter(batches[i], queries[i].first, queries[i].second));
+    results.push_back(std::move(filtered));
+  }
+  return results;
 }
 
 Result<rel::Relation> Client::Select(const std::string& relation,
@@ -121,14 +184,46 @@ Result<rel::Relation> Client::SelectConjunction(
     conjunction.Add(std::move(match));
   }
 
-  // Use the most selective strategy available without statistics: run the
-  // first term remotely, filter the decrypted candidates by the full
-  // conjunction.
-  const auto& [first_attr, first_value] = terms.front();
-  DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
-                        ph->EncryptQuery(relation, first_attr, first_value));
-  DBPH_ASSIGN_OR_RETURN(auto docs, RemoteSelect(query));
-  for (const auto& doc : docs) {
+  // All per-term trapdoors go out in one batch round trip; the server
+  // evaluates them in parallel. Intersect the match sets by ciphertext
+  // identity (the server returns stored documents verbatim, so equal
+  // bytes = same record), then decrypt only the survivors of the
+  // smallest set and filter exactly — SWP false positives drop here.
+  std::vector<core::EncryptedQuery> queries;
+  queries.reserve(terms.size());
+  for (const auto& [attribute, value] : terms) {
+    DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
+                          ph->EncryptQuery(relation, attribute, value));
+    queries.push_back(std::move(query));
+  }
+  DBPH_ASSIGN_OR_RETURN(auto batches, RemoteSelectBatch(queries));
+
+  size_t smallest = 0;
+  for (size_t i = 1; i < batches.size(); ++i) {
+    if (batches[i].size() < batches[smallest].size()) smallest = i;
+  }
+  std::vector<std::set<Bytes>> other_sets;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    if (i == smallest) continue;
+    std::set<Bytes> identities;
+    for (const auto& doc : batches[i]) {
+      Bytes serialized;
+      doc.AppendTo(&serialized);
+      identities.insert(std::move(serialized));
+    }
+    other_sets.push_back(std::move(identities));
+  }
+  for (const auto& doc : batches[smallest]) {
+    Bytes serialized;
+    doc.AppendTo(&serialized);
+    bool in_all = true;
+    for (const auto& identities : other_sets) {
+      if (identities.count(serialized) == 0) {
+        in_all = false;
+        break;
+      }
+    }
+    if (!in_all) continue;
     DBPH_ASSIGN_OR_RETURN(rel::Tuple tuple, ph->DecryptTuple(doc));
     if (conjunction.Evaluate(tuple)) {
       DBPH_RETURN_IF_ERROR(result.Insert(std::move(tuple)));

@@ -43,8 +43,32 @@ class Client {
                                const std::string& attribute,
                                const rel::Value& value);
 
-  /// Conjunctive select: per-term trapdoors are executed remotely one by
-  /// one and intersected client-side, then filtered exactly.
+  /// Batched select: encrypts every sigma_{attribute = value} query and
+  /// ships them in a kBatchRequest — normally one round trip (lists
+  /// longer than protocol::kMaxBatchParts are transparently split into
+  /// one round trip per chunk) — and the server evaluates the trapdoors
+  /// in parallel across shards and queries. results[i] corresponds to
+  /// queries[i] and equals what Select(queries[i]) would have returned;
+  /// the server's observation log likewise gains one entry per query,
+  /// exactly as if the selects had been sent one by one. Chunks are not
+  /// atomic with respect to interleaved writers, and log entries from
+  /// completed chunks persist even if a later chunk fails.
+  Result<std::vector<rel::Relation>> SelectBatch(
+      const std::string& relation,
+      const std::vector<std::pair<std::string, rel::Value>>& queries);
+
+  /// Conjunctive select: all per-term trapdoors travel in one batch
+  /// request (a single round trip), the per-term match sets are
+  /// intersected client-side by ciphertext identity, and the survivors
+  /// are decrypted and filtered exactly.
+  ///
+  /// Leakage note: Eve sees one query observation per term (each term
+  /// counts toward q in the paper's accounting), including every
+  /// term's match set — strictly more than the previous strategy of
+  /// executing only the first term remotely and filtering the rest
+  /// client-side. The trade: the server can evaluate all terms in one
+  /// parallel wave and the client decrypts only the intersection
+  /// instead of the whole first-term candidate set.
   Result<rel::Relation> SelectConjunction(
       const std::string& relation,
       const std::vector<std::pair<std::string, rel::Value>>& terms);
@@ -80,6 +104,11 @@ class Client {
  private:
   Result<std::vector<swp::EncryptedDocument>> RemoteSelect(
       const core::EncryptedQuery& query);
+
+  /// One kBatchRequest round trip; results align with `queries`. Fails
+  /// as a whole if any sub-select failed.
+  Result<std::vector<std::vector<swp::EncryptedDocument>>> RemoteSelectBatch(
+      const std::vector<core::EncryptedQuery>& queries);
 
   Bytes master_key_;
   Transport transport_;

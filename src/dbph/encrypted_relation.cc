@@ -1,5 +1,7 @@
 #include "dbph/encrypted_relation.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace dbph {
@@ -17,13 +19,7 @@ Result<EncryptedRelation> EncryptedRelation::ReadFrom(ByteReader* reader) {
   DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
   rel.name = ToString(name);
   DBPH_ASSIGN_OR_RETURN(rel.check_length, reader->ReadUint32());
-  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
-  rel.documents.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
-                          swp::EncryptedDocument::ReadFrom(reader));
-    rel.documents.push_back(std::move(doc));
-  }
+  DBPH_ASSIGN_OR_RETURN(rel.documents, swp::ReadDocumentList(reader));
   return rel;
 }
 

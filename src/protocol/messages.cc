@@ -1,5 +1,7 @@
 #include "protocol/messages.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace dbph {
@@ -25,6 +27,41 @@ Result<Envelope> Envelope::Parse(const Bytes& wire) {
     return Status::DataLoss("trailing bytes after message");
   }
   return env;
+}
+
+Bytes SerializeBatchPayload(const std::vector<Envelope>& parts) {
+  Bytes payload;
+  AppendUint32(&payload, static_cast<uint32_t>(parts.size()));
+  for (const Envelope& part : parts) {
+    AppendLengthPrefixed(&payload, part.Serialize());
+  }
+  return payload;
+}
+
+Result<std::vector<Envelope>> ParseBatchPayload(const Bytes& payload) {
+  ByteReader reader(payload);
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
+  if (count == 0) {
+    return Status::InvalidArgument("empty batch");
+  }
+  if (count > kMaxBatchParts) {
+    return Status::InvalidArgument("batch exceeds kMaxBatchParts");
+  }
+  std::vector<Envelope> parts;
+  parts.reserve(std::min<size_t>(count, reader.remaining() / 4));
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Bytes wire, reader.ReadLengthPrefixed());
+    DBPH_ASSIGN_OR_RETURN(Envelope part, Envelope::Parse(wire));
+    if (part.type == MessageType::kBatchRequest ||
+        part.type == MessageType::kBatchResponse) {
+      return Status::InvalidArgument("nested batch envelope");
+    }
+    parts.push_back(std::move(part));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes after batch");
+  }
+  return parts;
 }
 
 Envelope MakeErrorEnvelope(const Status& status) {

@@ -2,6 +2,7 @@
 #define DBPH_PROTOCOL_MESSAGES_H_
 
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -24,9 +25,15 @@ enum class MessageType : uint8_t {
   kDeleteResult = 11,   ///< server -> client: number of documents removed
   kFetchRelation = 12,  ///< client -> server: relation name ("recall")
   kFetchResult = 13,    ///< server -> client: every stored document
+  kBatchRequest = 14,   ///< client -> server: wrapped sub-request envelopes
+  kBatchResponse = 15,  ///< server -> client: one sub-response per request
 };
 
-constexpr uint8_t kMaxMessageType = 13;
+constexpr uint8_t kMaxMessageType = 15;
+
+/// Upper bound on sub-envelopes per batch; larger counts are rejected
+/// before any allocation (a batch header is attacker-controlled input).
+constexpr uint32_t kMaxBatchParts = 4096;
 
 /// \brief A framed wire message: 1 type byte + length-prefixed payload.
 ///
@@ -40,6 +47,17 @@ struct Envelope {
   Bytes Serialize() const;
   static Result<Envelope> Parse(const Bytes& wire);
 };
+
+/// \brief Serializes sub-envelopes into a kBatchRequest / kBatchResponse
+/// payload: a count followed by length-prefixed serialized envelopes. A
+/// batch wraps ordinary envelopes unchanged, so the per-operation bytes
+/// Eve observes (and logs) are identical to unbatched traffic.
+Bytes SerializeBatchPayload(const std::vector<Envelope>& parts);
+
+/// \brief Parses a batch payload back into its sub-envelopes. Rejects
+/// truncation, trailing bytes, counts above kMaxBatchParts, and nested
+/// batch envelopes (a batch is one level deep by construction).
+Result<std::vector<Envelope>> ParseBatchPayload(const Bytes& payload);
 
 /// \brief Builds a kError envelope from a Status.
 Envelope MakeErrorEnvelope(const Status& status);

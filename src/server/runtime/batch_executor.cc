@@ -1,0 +1,69 @@
+#include "server/runtime/batch_executor.h"
+
+#include <utility>
+
+namespace dbph {
+namespace server {
+namespace runtime {
+
+namespace {
+
+/// One (query, shard) unit in the flattened work grid.
+struct Unit {
+  size_t job = 0;
+  size_t shard = 0;
+};
+
+}  // namespace
+
+std::vector<SelectOutcome> BatchExecutor::ExecuteSelects(
+    const std::vector<SelectJob>& jobs) {
+  std::vector<SelectOutcome> outcomes(jobs.size());
+
+  // Flatten to (job, shard) units and give every unit its own result
+  // cell, so workers never contend on shared state.
+  std::vector<Unit> units;
+  std::vector<std::vector<ShardMatch>> cells;   // per unit, shard-local
+  std::vector<Status> cell_status;              // per unit
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].view == nullptr) continue;
+    for (size_t s = 0; s < jobs[j].view->num_shards(); ++s) {
+      units.push_back({j, s});
+    }
+  }
+  cells.resize(units.size());
+  cell_status.resize(units.size(), Status::OK());
+
+  auto run_unit = [&](size_t u) {
+    const Unit& unit = units[u];
+    const SelectJob& job = jobs[unit.job];
+    cell_status[u] =
+        job.view->ScanShard(unit.shard, *job.trapdoor, &cells[u]);
+  };
+
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(units.size(), run_unit);
+  } else {
+    for (size_t u = 0; u < units.size(); ++u) run_unit(u);
+  }
+
+  // Merge per-shard cells back per query, in shard order, so each
+  // outcome lists matches in exact storage order.
+  for (size_t u = 0; u < units.size(); ++u) {
+    SelectOutcome& outcome = outcomes[units[u].job];
+    if (!cell_status[u].ok() && outcome.status.ok()) {
+      outcome.status = cell_status[u];
+    }
+    for (ShardMatch& match : cells[u]) {
+      outcome.matches.push_back(std::move(match));
+    }
+  }
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (!outcomes[j].status.ok()) outcomes[j].matches.clear();
+  }
+  return outcomes;
+}
+
+}  // namespace runtime
+}  // namespace server
+}  // namespace dbph

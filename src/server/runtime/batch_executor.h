@@ -1,0 +1,61 @@
+#ifndef DBPH_SERVER_RUNTIME_BATCH_EXECUTOR_H_
+#define DBPH_SERVER_RUNTIME_BATCH_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "server/runtime/sharded_relation.h"
+#include "server/runtime/thread_pool.h"
+#include "swp/scheme.h"
+
+namespace dbph {
+namespace server {
+namespace runtime {
+
+/// \brief One batched select to evaluate: a trapdoor against a sharded
+/// view. A null view means the query already failed resolution (unknown
+/// relation) and is skipped by the executor.
+struct SelectJob {
+  const ShardedRelation* view = nullptr;
+  const swp::Trapdoor* trapdoor = nullptr;
+};
+
+/// \brief The result of one batched select, in storage order.
+struct SelectOutcome {
+  Status status = Status::OK();
+  std::vector<ShardMatch> matches;
+};
+
+/// \brief Runs a wave of selects data-parallel over shards and queries.
+///
+/// Every (query, shard) pair becomes one unit of work; the pool's
+/// workers pull units greedily, so a shard of query 3 can be scanning
+/// while a slow shard of query 0 is still running — trapdoor evaluation
+/// is pipelined across both axes, and wall-clock time approaches
+/// total_work / num_cores instead of sum over queries.
+///
+/// Determinism: per-query matches are merged in shard order, so each
+/// outcome is byte-identical to a sequential scan of the same records,
+/// and the caller can build the exact same ObservationLog entry it
+/// would have recorded for a lone select.
+class BatchExecutor {
+ public:
+  /// The pool must outlive the executor. A null pool runs inline
+  /// (sequentially) — useful for tests and single-core deployments.
+  explicit BatchExecutor(ThreadPool* pool) : pool_(pool) {}
+
+  /// Evaluates all jobs; outcomes[i] corresponds to jobs[i]. Jobs with a
+  /// null view yield an untouched default outcome (caller fills the
+  /// resolution error).
+  std::vector<SelectOutcome> ExecuteSelects(
+      const std::vector<SelectJob>& jobs);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace runtime
+}  // namespace server
+}  // namespace dbph
+
+#endif  // DBPH_SERVER_RUNTIME_BATCH_EXECUTOR_H_

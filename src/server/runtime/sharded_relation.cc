@@ -1,0 +1,55 @@
+#include "server/runtime/sharded_relation.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace server {
+namespace runtime {
+
+ShardedRelation::ShardedRelation(const storage::HeapFile* heap,
+                                 const std::vector<storage::RecordId>* records,
+                                 uint32_t check_length, size_t num_shards)
+    : heap_(heap), records_(records), check_length_(check_length) {
+  const size_t n = records_->size();
+  if (num_shards == 0) num_shards = 1;
+  num_shards = std::min(num_shards, std::max<size_t>(n, 1));
+  shards_.reserve(num_shards);
+  // Balanced split: the first (n % num_shards) shards get one extra record.
+  const size_t base = n / num_shards;
+  const size_t extra = n % num_shards;
+  size_t begin = 0;
+  for (size_t i = 0; i < num_shards; ++i) {
+    size_t len = base + (i < extra ? 1 : 0);
+    shards_.push_back({begin, begin + len});
+    begin += len;
+  }
+}
+
+Status ShardedRelation::ScanShard(size_t index, const swp::Trapdoor& trapdoor,
+                                  std::vector<ShardMatch>* out) const {
+  if (index >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  swp::SwpParams params;
+  params.word_length = trapdoor.target.size();
+  params.check_length = check_length_;
+
+  const Range& range = shards_[index];
+  for (size_t i = range.begin; i < range.end; ++i) {
+    const storage::RecordId rid = (*records_)[i];
+    DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap_->Get(rid));
+    ByteReader reader(serialized);
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          swp::EncryptedDocument::ReadFrom(&reader));
+    if (!swp::SearchDocument(params, trapdoor, doc).empty()) {
+      out->push_back({rid, std::move(doc)});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace runtime
+}  // namespace server
+}  // namespace dbph

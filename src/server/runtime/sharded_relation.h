@@ -1,0 +1,66 @@
+#ifndef DBPH_SERVER_RUNTIME_SHARDED_RELATION_H_
+#define DBPH_SERVER_RUNTIME_SHARDED_RELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/heapfile.h"
+#include "swp/search.h"
+
+namespace dbph {
+namespace server {
+namespace runtime {
+
+/// \brief One document that matched a trapdoor during a shard scan.
+struct ShardMatch {
+  storage::RecordId rid;
+  swp::EncryptedDocument doc;
+};
+
+/// \brief A read-only sharded view of one stored relation.
+///
+/// Partitions the relation's record list into contiguous shards so a
+/// trapdoor scan can run one task per shard. Shards preserve storage
+/// order, so concatenating per-shard results in shard order reproduces
+/// the sequential scan byte for byte — the observation log entry built
+/// from a sharded scan is identical to the sequential one.
+///
+/// The view borrows the heap and record list; it is valid only while no
+/// mutation (append/delete/drop) runs, which the server's dispatch
+/// ordering guarantees.
+class ShardedRelation {
+ public:
+  /// Splits `records` into at most `num_shards` balanced contiguous
+  /// ranges (fewer when there are fewer records).
+  ShardedRelation(const storage::HeapFile* heap,
+                  const std::vector<storage::RecordId>* records,
+                  uint32_t check_length, size_t num_shards);
+
+  size_t num_shards() const { return shards_.size(); }
+  uint32_t check_length() const { return check_length_; }
+  size_t num_records() const { return records_->size(); }
+
+  /// Scans shard `index` with `trapdoor`: deserializes each record and
+  /// appends the matching documents to `out` in storage order. Exactly
+  /// the per-record work UntrustedServer::Select does, minus logging.
+  Status ScanShard(size_t index, const swp::Trapdoor& trapdoor,
+                   std::vector<ShardMatch>* out) const;
+
+ private:
+  struct Range {
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  const storage::HeapFile* heap_;
+  const std::vector<storage::RecordId>* records_;
+  uint32_t check_length_;
+  std::vector<Range> shards_;
+};
+
+}  // namespace runtime
+}  // namespace server
+}  // namespace dbph
+
+#endif  // DBPH_SERVER_RUNTIME_SHARDED_RELATION_H_

@@ -1,0 +1,94 @@
+#include "server/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace dbph {
+namespace server {
+namespace runtime {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  // Work-stealing by shared counter: workers and the caller all claim
+  // indices until the range is exhausted; a latch signals completion.
+  struct Wave {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+  auto wave = std::make_shared<Wave>();
+
+  auto drain = [wave, n, &fn] {
+    for (;;) {
+      size_t i = wave->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+      if (wave->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(wave->mutex);
+        wave->finished.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(wave->mutex);
+  wave->finished.wait(lock, [&] {
+    return wave->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace runtime
+}  // namespace server
+}  // namespace dbph

@@ -1,0 +1,58 @@
+#ifndef DBPH_SERVER_RUNTIME_THREAD_POOL_H_
+#define DBPH_SERVER_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbph {
+namespace server {
+namespace runtime {
+
+/// \brief Fixed-size worker pool for data-parallel server work.
+///
+/// The untrusted server's hot path is a trapdoor scan over every stored
+/// document; the pool lets that scan use every core. Tasks must not
+/// throw — the scan path reports failures through Status values, never
+/// exceptions.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` picks std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0) .. fn(n-1) across the pool and returns when all calls
+  /// have completed. The calling thread participates, so progress is
+  /// guaranteed even with zero idle workers, and nested use from within
+  /// a task cannot deadlock.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace runtime
+}  // namespace server
+}  // namespace dbph
+
+#endif  // DBPH_SERVER_RUNTIME_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "server/untrusted_server.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iterator>
 
@@ -75,6 +76,72 @@ Result<std::vector<swp::EncryptedDocument>> UntrustedServer::Select(
     }
   }
   log_.RecordQuery(std::move(observation));
+  return results;
+}
+
+runtime::ThreadPool* UntrustedServer::pool() {
+  if (!pool_) {
+    pool_ = std::make_unique<runtime::ThreadPool>(runtime_options_.num_threads);
+  }
+  return pool_.get();
+}
+
+size_t UntrustedServer::ShardCount() {
+  if (runtime_options_.num_shards > 0) return runtime_options_.num_shards;
+  return 4 * pool()->num_threads();
+}
+
+std::vector<Result<std::vector<swp::EncryptedDocument>>>
+UntrustedServer::SelectBatch(const std::vector<core::EncryptedQuery>& queries) {
+  // Resolve each query's relation and build one sharded view per
+  // distinct relation; unresolved queries carry their error through.
+  std::map<std::string, std::unique_ptr<runtime::ShardedRelation>> views;
+  std::vector<runtime::SelectJob> jobs(queries.size());
+  std::vector<Status> resolution(queries.size(), Status::OK());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto it = relations_.find(queries[i].relation);
+    if (it == relations_.end()) {
+      resolution[i] =
+          Status::NotFound("relation '" + queries[i].relation + "' not stored");
+      continue;
+    }
+    std::unique_ptr<runtime::ShardedRelation>& view = views[queries[i].relation];
+    if (!view) {
+      view = std::make_unique<runtime::ShardedRelation>(
+          &heap_, &it->second.records, it->second.check_length, ShardCount());
+    }
+    jobs[i].view = view.get();
+    jobs[i].trapdoor = &queries[i].trapdoor;
+  }
+
+  runtime::BatchExecutor executor(pool());
+  std::vector<runtime::SelectOutcome> outcomes = executor.ExecuteSelects(jobs);
+
+  // Logging happens here, on the dispatch thread, in query order — the
+  // log is indistinguishable from the same selects arriving one by one.
+  std::vector<Result<std::vector<swp::EncryptedDocument>>> results;
+  results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!resolution[i].ok()) {
+      results.push_back(resolution[i]);
+      continue;
+    }
+    if (!outcomes[i].status.ok()) {
+      results.push_back(outcomes[i].status);
+      continue;
+    }
+    QueryObservation observation;
+    observation.relation = queries[i].relation;
+    queries[i].trapdoor.AppendTo(&observation.trapdoor_bytes);
+    std::vector<swp::EncryptedDocument> docs;
+    docs.reserve(outcomes[i].matches.size());
+    for (runtime::ShardMatch& match : outcomes[i].matches) {
+      observation.matched_records.push_back(match.rid.Pack());
+      docs.push_back(std::move(match.doc));
+    }
+    log_.RecordQuery(std::move(observation));
+    results.push_back(std::move(docs));
+  }
   return results;
 }
 
@@ -202,6 +269,64 @@ Status UntrustedServer::LoadFrom(const std::string& path) {
   return Status::OK();
 }
 
+namespace {
+
+protocol::Envelope MakeSelectResultEnvelope(
+    const std::vector<swp::EncryptedDocument>& docs) {
+  protocol::Envelope response;
+  response.type = protocol::MessageType::kSelectResult;
+  AppendUint32(&response.payload, static_cast<uint32_t>(docs.size()));
+  for (const auto& doc : docs) doc.AppendTo(&response.payload);
+  return response;
+}
+
+}  // namespace
+
+protocol::Envelope UntrustedServer::DispatchBatch(
+    const protocol::Envelope& request) {
+  using protocol::Envelope;
+  using protocol::MessageType;
+  auto parts = protocol::ParseBatchPayload(request.payload);
+  if (!parts.ok()) return protocol::MakeErrorEnvelope(parts.status());
+
+  // Sub-requests execute in order. Maximal runs of consecutive selects
+  // become one parallel wave; any mutating operation in between acts as
+  // a barrier, so a select always sees every earlier write in its batch.
+  std::vector<Envelope> responses(parts->size());
+  size_t i = 0;
+  while (i < parts->size()) {
+    if ((*parts)[i].type != MessageType::kSelect) {
+      responses[i] = Dispatch((*parts)[i]);
+      ++i;
+      continue;
+    }
+    std::vector<core::EncryptedQuery> wave;
+    std::vector<size_t> wave_slots;
+    while (i < parts->size() && (*parts)[i].type == MessageType::kSelect) {
+      ByteReader reader((*parts)[i].payload);
+      auto query = core::EncryptedQuery::ReadFrom(&reader);
+      if (!query.ok()) {
+        responses[i] = protocol::MakeErrorEnvelope(query.status());
+      } else {
+        wave.push_back(std::move(*query));
+        wave_slots.push_back(i);
+      }
+      ++i;
+    }
+    auto results = SelectBatch(wave);
+    for (size_t k = 0; k < wave_slots.size(); ++k) {
+      responses[wave_slots[k]] =
+          results[k].ok() ? MakeSelectResultEnvelope(*results[k])
+                          : protocol::MakeErrorEnvelope(results[k].status());
+    }
+  }
+
+  Envelope response;
+  response.type = MessageType::kBatchResponse;
+  response.payload = protocol::SerializeBatchPayload(responses);
+  return response;
+}
+
 protocol::Envelope UntrustedServer::Dispatch(
     const protocol::Envelope& request) {
   using protocol::Envelope;
@@ -223,12 +348,10 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
       auto docs = Select(*query);
       if (!docs.ok()) return protocol::MakeErrorEnvelope(docs.status());
-      Envelope response;
-      response.type = MessageType::kSelectResult;
-      AppendUint32(&response.payload, static_cast<uint32_t>(docs->size()));
-      for (const auto& doc : *docs) doc.AppendTo(&response.payload);
-      return response;
+      return MakeSelectResultEnvelope(*docs);
     }
+    case MessageType::kBatchRequest:
+      return DispatchBatch(request);
     case MessageType::kDropRelation: {
       Status status = DropRelation(ToString(request.payload));
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
@@ -240,16 +363,11 @@ protocol::Envelope UntrustedServer::Dispatch(
       ByteReader reader(request.payload);
       auto name = reader.ReadLengthPrefixed();
       if (!name.ok()) return protocol::MakeErrorEnvelope(name.status());
-      auto count = reader.ReadUint32();
-      if (!count.ok()) return protocol::MakeErrorEnvelope(count.status());
-      std::vector<swp::EncryptedDocument> documents;
-      documents.reserve(*count);
-      for (uint32_t i = 0; i < *count; ++i) {
-        auto doc = swp::EncryptedDocument::ReadFrom(&reader);
-        if (!doc.ok()) return protocol::MakeErrorEnvelope(doc.status());
-        documents.push_back(std::move(*doc));
+      auto documents = swp::ReadDocumentList(&reader);
+      if (!documents.ok()) {
+        return protocol::MakeErrorEnvelope(documents.status());
       }
-      Status status = AppendTuples(ToString(*name), documents);
+      Status status = AppendTuples(ToString(*name), *documents);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
       ok.type = MessageType::kAppendOk;
@@ -286,6 +404,10 @@ Bytes UntrustedServer::HandleRequest(const Bytes& request) {
   if (!envelope.ok()) {
     return protocol::MakeErrorEnvelope(envelope.status()).Serialize();
   }
+  // Single-writer server loop: concurrent transports queue here; the
+  // parallelism lives inside a request (sharded batch waves), not across
+  // requests, so storage and the observation log need no finer locking.
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
   return Dispatch(*envelope).Serialize();
 }
 

@@ -2,6 +2,8 @@
 #define DBPH_SERVER_UNTRUSTED_SERVER_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,10 +12,21 @@
 #include "dbph/query.h"
 #include "protocol/messages.h"
 #include "server/observation.h"
+#include "server/runtime/batch_executor.h"
+#include "server/runtime/thread_pool.h"
 #include "storage/heapfile.h"
 
 namespace dbph {
 namespace server {
+
+/// \brief Tuning for the server's parallel batch runtime.
+struct ServerRuntimeOptions {
+  /// Worker threads for batched selects. 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Shards per relation scan. 0 = 4x the worker count (over-splitting
+  /// keeps all cores busy when shards finish unevenly).
+  size_t num_shards = 0;
+};
 
 /// \brief Eve: the honest-but-curious service provider.
 ///
@@ -27,8 +40,15 @@ namespace server {
 /// mount their inference attacks on that log.
 class UntrustedServer {
  public:
+  UntrustedServer() = default;
+  explicit UntrustedServer(ServerRuntimeOptions runtime_options)
+      : runtime_options_(runtime_options) {}
+
   /// Transport entry point: parse request envelope, dispatch, serialize
-  /// the response envelope. Never returns malformed bytes.
+  /// the response envelope. Never returns malformed bytes. Safe to call
+  /// from multiple transport threads: requests are serialized at this
+  /// boundary (each request may still fan out internally across the
+  /// worker pool).
   Bytes HandleRequest(const Bytes& request);
 
   // Typed handlers (also usable directly, bypassing the wire layer).
@@ -39,6 +59,14 @@ class UntrustedServer {
   /// psi: returns the matching encrypted documents.
   Result<std::vector<swp::EncryptedDocument>> Select(
       const core::EncryptedQuery& query);
+
+  /// Batched psi: evaluates every query's trapdoor in one wave, sharded
+  /// across the worker pool. results[i] corresponds to queries[i] and is
+  /// byte-identical (documents, order) to a sequential Select(queries[i]);
+  /// the observation log gets exactly one entry per query, in query
+  /// order, just as if the selects had arrived one by one.
+  std::vector<Result<std::vector<swp::EncryptedDocument>>> SelectBatch(
+      const std::vector<core::EncryptedQuery>& queries);
 
   /// Appends already-encrypted documents to a stored relation.
   Status AppendTuples(const std::string& name,
@@ -76,10 +104,21 @@ class UntrustedServer {
   };
 
   protocol::Envelope Dispatch(const protocol::Envelope& request);
+  protocol::Envelope DispatchBatch(const protocol::Envelope& request);
+
+  /// Lazily started worker pool (no threads until the first batch).
+  runtime::ThreadPool* pool();
+  size_t ShardCount();
 
   storage::HeapFile heap_;
   std::map<std::string, StoredRelation> relations_;
   ObservationLog log_;
+
+  ServerRuntimeOptions runtime_options_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  /// Serializes concurrent HandleRequest callers (single-writer server
+  /// loop); batch-internal parallelism happens below this lock.
+  std::mutex dispatch_mutex_;
 };
 
 }  // namespace server

@@ -1,5 +1,7 @@
 #include "swp/search.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace dbph {
@@ -24,13 +26,28 @@ Result<EncryptedDocument> EncryptedDocument::ReadFrom(ByteReader* reader) {
   EncryptedDocument doc;
   DBPH_ASSIGN_OR_RETURN(doc.nonce, reader->ReadLengthPrefixed());
   DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
-  doc.words.reserve(count);
+  // Every word costs at least a 4-byte length prefix, so a count the
+  // remaining buffer cannot hold is corrupt; never reserve for it.
+  doc.words.reserve(std::min<size_t>(count, reader->remaining() / 4));
   for (uint32_t i = 0; i < count; ++i) {
     DBPH_ASSIGN_OR_RETURN(Bytes w, reader->ReadLengthPrefixed());
     doc.words.push_back(std::move(w));
   }
   DBPH_ASSIGN_OR_RETURN(doc.tag, reader->ReadLengthPrefixed());
   return doc;
+}
+
+Result<std::vector<EncryptedDocument>> ReadDocumentList(ByteReader* reader) {
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+  std::vector<EncryptedDocument> docs;
+  docs.reserve(
+      std::min<size_t>(count, reader->remaining() / kDocumentFramingBytes));
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(EncryptedDocument doc,
+                          EncryptedDocument::ReadFrom(reader));
+    docs.push_back(std::move(doc));
+  }
+  return docs;
 }
 
 bool MatchCipherWord(const SwpParams& params, const Trapdoor& trapdoor,

@@ -29,6 +29,14 @@ struct EncryptedDocument {
   static Result<EncryptedDocument> ReadFrom(ByteReader* reader);
 };
 
+/// \brief Reads a count-prefixed document list (the wire shape shared by
+/// select results, appends, and stored relations). The count comes from
+/// untrusted input, so the reserve is capped by what the remaining
+/// buffer could physically hold — kDocumentFramingBytes of framing
+/// (nonce length, word count, tag length) per document minimum.
+inline constexpr size_t kDocumentFramingBytes = 12;
+Result<std::vector<EncryptedDocument>> ReadDocumentList(ByteReader* reader);
+
 /// \brief The server-side match predicate, shared by all four schemes:
 /// XOR the trapdoor target into the ciphertext and verify the check part
 /// with the trapdoor key.

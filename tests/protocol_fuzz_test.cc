@@ -125,6 +125,123 @@ TEST(ProtocolFuzzTest, BitflippedStoreStillHandled) {
   }
 }
 
+TEST(ProtocolFuzzTest, MalformedBatchEnvelopes) {
+  server::UntrustedServer server;
+  auto expect_error = [&server](const Bytes& payload) {
+    protocol::Envelope request;
+    request.type = protocol::MessageType::kBatchRequest;
+    request.payload = payload;
+    Bytes response = server.HandleRequest(request.Serialize());
+    auto envelope = protocol::Envelope::Parse(response);
+    ASSERT_TRUE(envelope.ok());
+    EXPECT_EQ(envelope->type, protocol::MessageType::kError);
+  };
+
+  // Empty payload / truncated count.
+  expect_error(Bytes{});
+  expect_error(Bytes{0x00, 0x00});
+  // Zero sub-envelopes.
+  {
+    Bytes payload;
+    AppendUint32(&payload, 0);
+    expect_error(payload);
+  }
+  // Count bomb: claims 2^32-1 parts; must be rejected, not allocated.
+  {
+    Bytes payload;
+    AppendUint32(&payload, 0xffffffffu);
+    expect_error(payload);
+  }
+  // Count beyond kMaxBatchParts with no data behind it.
+  {
+    Bytes payload;
+    AppendUint32(&payload, protocol::kMaxBatchParts + 1);
+    expect_error(payload);
+  }
+  // Count claims more parts than are present.
+  {
+    protocol::Envelope sub;
+    sub.type = protocol::MessageType::kFetchRelation;
+    sub.payload = ToBytes("T");
+    Bytes payload;
+    AppendUint32(&payload, 2);
+    AppendLengthPrefixed(&payload, sub.Serialize());
+    expect_error(payload);
+  }
+  // Sub-envelope that is itself garbage.
+  {
+    Bytes payload;
+    AppendUint32(&payload, 1);
+    AppendLengthPrefixed(&payload, ToBytes("not an envelope"));
+    expect_error(payload);
+  }
+  // Nested batch: one level deep only.
+  {
+    protocol::Envelope inner;
+    inner.type = protocol::MessageType::kBatchRequest;
+    inner.payload = protocol::SerializeBatchPayload({});
+    Bytes payload;
+    AppendUint32(&payload, 1);
+    AppendLengthPrefixed(&payload, inner.Serialize());
+    expect_error(payload);
+  }
+  // Trailing bytes after the declared parts.
+  {
+    protocol::Envelope sub;
+    sub.type = protocol::MessageType::kFetchRelation;
+    sub.payload = ToBytes("T");
+    Bytes payload;
+    AppendUint32(&payload, 1);
+    AppendLengthPrefixed(&payload, sub.Serialize());
+    payload.push_back(0xff);
+    expect_error(payload);
+  }
+}
+
+TEST(ProtocolFuzzTest, BatchWithGarbageSubPayloadsAnswersPerPart) {
+  // A well-framed batch whose sub-requests are undecodable must still
+  // produce a kBatchResponse with one kError per failed part — framing
+  // errors are batch-fatal, semantic errors are per-operation.
+  server::UntrustedServer server;
+  crypto::HmacDrbg rng("fuzz-batch", 8);
+  std::vector<protocol::Envelope> parts;
+  for (int i = 0; i < 5; ++i) {
+    protocol::Envelope part;
+    part.type = protocol::MessageType::kSelect;
+    part.payload = rng.NextBytes(rng.NextBelow(40));
+    parts.push_back(std::move(part));
+  }
+  protocol::Envelope request;
+  request.type = protocol::MessageType::kBatchRequest;
+  request.payload = protocol::SerializeBatchPayload(parts);
+  Bytes response = server.HandleRequest(request.Serialize());
+  auto envelope = protocol::Envelope::Parse(response);
+  ASSERT_TRUE(envelope.ok());
+  ASSERT_EQ(envelope->type, protocol::MessageType::kBatchResponse);
+  auto replies = protocol::ParseBatchPayload(envelope->payload);
+  ASSERT_TRUE(replies.ok());
+  ASSERT_EQ(replies->size(), parts.size());
+  for (const auto& reply : *replies) {
+    EXPECT_EQ(reply.type, protocol::MessageType::kError);
+  }
+}
+
+TEST(ProtocolFuzzTest, RandomlyFramedBatchesNeverCrash) {
+  server::UntrustedServer server;
+  crypto::HmacDrbg rng("fuzz-batch-frame", 9);
+  for (int i = 0; i < 500; ++i) {
+    protocol::Envelope request;
+    request.type = protocol::MessageType::kBatchRequest;
+    request.payload = rng.NextBytes(rng.NextBelow(150));
+    Bytes response = server.HandleRequest(request.Serialize());
+    auto envelope = protocol::Envelope::Parse(response);
+    ASSERT_TRUE(envelope.ok());
+    // Either batch-fatal error or a well-formed batch response.
+    EXPECT_TRUE(envelope->type == protocol::MessageType::kError ||
+                envelope->type == protocol::MessageType::kBatchResponse);
+  }
+}
+
 TEST(DeserializerFuzzTest, EncryptedRelationRejectsGarbage) {
   crypto::HmacDrbg rng("fuzz-rel", 5);
   for (int i = 0; i < 2000; ++i) {
