@@ -19,9 +19,15 @@
 // skips google-benchmark and instead reports sequential-vs-parallel
 // batched select throughput as one JSON object on stdout (the seed for
 // tracking scan scalability across hardware).
+//
+// Network mode: adding --network (with optional --clients=N) spins up an
+// epoll NetServer on a loopback ephemeral port and hammers it with N
+// concurrent socket-backed clients issuing batched selects; reports
+// aggregate multi-client queries/sec as JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +45,8 @@
 #include "common/stopwatch.h"
 #include "crypto/random.h"
 #include "dbph/scheme.h"
+#include "net/net_server.h"
+#include "net/tcp_transport.h"
 #include "server/untrusted_server.h"
 
 using namespace dbph;
@@ -284,6 +292,8 @@ struct ParallelBenchConfig {
   size_t batch = 32;      // queries per batch round trip
   size_t docs = 100000;   // stored documents
   size_t rounds = 3;      // timed repetitions (best-of)
+  size_t clients = 4;     // concurrent socket clients (--network mode)
+  bool network = false;   // serve over loopback TCP instead of in-process
 };
 
 /// One in-process deployment; `options` tunes the server runtime.
@@ -390,6 +400,121 @@ int RunParallelBench(const ParallelBenchConfig& config) {
   return (results_match && log_match) ? 0 : 1;
 }
 
+// ---------------- multi-client network throughput (JSON mode) ----------------
+
+int RunNetworkBench(const ParallelBenchConfig& config) {
+  size_t threads = config.threads != 0 ? config.threads
+                                       : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+
+  server::ServerRuntimeOptions runtime_options;
+  runtime_options.num_threads = threads;
+  server::UntrustedServer eve(runtime_options);
+  net::NetServerOptions net_options;
+  net_options.max_connections = config.clients + 4;
+  net::NetServer net_server(&eve, net_options);
+  if (Status s = net_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "NetServer: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr, "outsourcing %zu documents over the wire...\n",
+               config.docs);
+  rel::Relation table = BenchTable(config.docs);
+  crypto::HmacDrbg main_rng("e6-net", 0);
+  auto main_transport =
+      net::TcpTransport::Connect("127.0.0.1", net_server.port());
+  if (!main_transport.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 main_transport.status().ToString().c_str());
+    return 1;
+  }
+  client::Client main_client(ToBytes("e6 master"),
+                             (*main_transport)->AsTransport(), &main_rng);
+  if (!main_client.Outsource(table).ok()) {
+    std::fprintf(stderr, "outsource failed\n");
+    return 1;
+  }
+
+  // Every client issues the same batch; expected answers come from the
+  // plaintext table, so correctness is checked against ground truth, not
+  // against another deployment.
+  std::vector<std::pair<std::string, rel::Value>> queries;
+  std::vector<rel::Relation> expected;
+  for (size_t i = 0; i < config.batch; ++i) {
+    rel::Value value = rel::Value::Int(static_cast<int64_t>(i % 100));
+    queries.emplace_back("val", value);
+    auto truth = table.Select("val", value);
+    if (!truth.ok()) return 1;
+    expected.push_back(std::move(*truth));
+  }
+
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> start{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < config.clients; ++c) {
+    workers.emplace_back([&, c] {
+      crypto::HmacDrbg rng("e6-net", c + 1);
+      auto transport =
+          net::TcpTransport::Connect("127.0.0.1", net_server.port());
+      if (!transport.ok()) {
+        failures.fetch_add(1);
+        ready.fetch_add(1);
+        return;
+      }
+      client::Client client(ToBytes("e6 master"),
+                            (*transport)->AsTransport(), &rng);
+      // Shared master key: adopting the relation derives the same scheme
+      // the uploader used, with no re-upload.
+      if (!client.Adopt("T", BenchSchema()).ok()) {
+        failures.fetch_add(1);
+        ready.fetch_add(1);
+        return;
+      }
+      ready.fetch_add(1);
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (size_t round = 0; round < config.rounds; ++round) {
+        auto results = client.SelectBatch("T", queries);
+        if (!results.ok() || results->size() != expected.size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < expected.size(); ++i) {
+          if (!(*results)[i].SameTuples(expected[i])) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) < config.clients) {
+    std::this_thread::yield();
+  }
+  Stopwatch timer;
+  start.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  double elapsed = timer.ElapsedSeconds();
+  net_server.Stop();
+
+  size_t total_queries = config.clients * config.rounds * config.batch;
+  bool results_match = mismatches.load() == 0 && failures.load() == 0;
+  bool log_match =
+      eve.observations().queries().size() == total_queries;
+  auto stats = net_server.stats();
+  std::printf(
+      "{\"bench\":\"e6_network\",\"docs\":%zu,\"threads\":%zu,"
+      "\"clients\":%zu,\"batch\":%zu,\"rounds\":%zu,\"seconds\":%.6f,"
+      "\"qps\":%.2f,\"frames\":%llu,\"connections\":%llu,"
+      "\"results_match\":%s,\"per_query_log_entry\":%s}\n",
+      config.docs, threads, config.clients, config.batch, config.rounds,
+      elapsed, static_cast<double>(total_queries) / elapsed,
+      static_cast<unsigned long long>(stats.frames_in),
+      static_cast<unsigned long long>(stats.accepted),
+      results_match ? "true" : "false", log_match ? "true" : "false");
+  return (results_match && log_match) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -401,14 +526,24 @@ int main(int argc, char** argv) {
     *out = static_cast<size_t>(std::strtoull(arg + len, nullptr, 10));
     return true;
   };
+  bool clients_flag = false;
   for (int i = 1; i < argc; ++i) {
     if (parse(argv[i], "--threads=", &config.threads) ||
         parse(argv[i], "--batch=", &config.batch) ||
         parse(argv[i], "--docs=", &config.docs) ||
         parse(argv[i], "--rounds=", &config.rounds)) {
       parallel_mode = true;
+    } else if (parse(argv[i], "--clients=", &config.clients)) {
+      clients_flag = true;
+    } else if (std::strcmp(argv[i], "--network") == 0) {
+      config.network = true;
     }
   }
+  if (clients_flag && !config.network) {
+    std::fprintf(stderr, "--clients only applies to --network mode\n");
+    return 2;
+  }
+  if (config.network) return RunNetworkBench(config);
   if (parallel_mode) return RunParallelBench(config);
 
   benchmark::Initialize(&argc, argv);

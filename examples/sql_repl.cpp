@@ -1,24 +1,33 @@
 // An interactive SQL shell over an outsourced, encrypted database.
 //
 // Usage:
-//   sql_repl                 - demo Emp table
+//   sql_repl                 - demo Emp table, in-process server
 //   sql_repl schema.csv data.csv table_name
 //       schema.csv: one "name,type[,max_length]" line per attribute
 //                   (types: string, int64, double, bool)
 //       data.csv:   header + rows
+//   sql_repl --connect=host:port [schema.csv data.csv table_name]
+//       talk to a running dbph_serverd over TCP instead of an in-process
+//       server; the master key comes from $DBPH_MASTER (default
+//       "sql-repl-demo-master"), so reconnecting with the same key can
+//       query previously outsourced data.
 //
 // Every SELECT typed at the prompt is encrypted into a trapdoor, executed
-// by the (in-process) untrusted server on ciphertext only, decrypted and
-// filtered on the client.
+// by the untrusted server on ciphertext only, decrypted and filtered on
+// the client.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "client/client.h"
 #include "common/macros.h"
 #include "crypto/random.h"
+#include "net/tcp_transport.h"
 #include "relation/csv.h"
 #include "server/untrusted_server.h"
 #include "sql/executor.h"
@@ -75,16 +84,30 @@ Result<rel::Relation> DemoTable() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string connect;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(std::string("--connect=").size());
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+
   Result<rel::Relation> table = DemoTable();
-  if (argc == 4) {
-    auto schema = LoadSchemaCsv(argv[1]);
+  if (positional.size() == 3) {
+    auto schema = LoadSchemaCsv(positional[0]);
     if (!schema.ok()) {
       std::cerr << schema.status() << "\n";
       return 1;
     }
-    table = rel::LoadCsvFile(argv[3], *schema, argv[2]);
-  } else if (argc != 1) {
-    std::cerr << "usage: sql_repl [schema.csv data.csv table_name]\n";
+    table = rel::LoadCsvFile(positional[2], *schema, positional[1]);
+  } else if (!positional.empty()) {
+    std::cerr << "usage: sql_repl [--connect=host:port]"
+              << " [schema.csv data.csv table_name]\n";
     return 1;
   }
   if (!table.ok()) {
@@ -92,19 +115,76 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  server::UntrustedServer eve;
   crypto::Rng& rng = crypto::DefaultRng();
-  client::Client alex(
-      core::GenerateMasterKey(&rng),
-      [&eve](const Bytes& request) { return eve.HandleRequest(request); },
-      &rng);
-  if (Status s = alex.Outsource(*table); !s.ok()) {
-    std::cerr << "outsourcing failed: " << s << "\n";
-    return 1;
+  server::UntrustedServer local_eve;
+  const server::UntrustedServer* eve = nullptr;  // null in remote mode
+  client::Transport transport;
+  Bytes master_key;
+  if (connect.empty()) {
+    eve = &local_eve;
+    transport = [&local_eve](const Bytes& request) {
+      return local_eve.HandleRequest(request);
+    };
+    master_key = core::GenerateMasterKey(&rng);
+  } else {
+    size_t colon = connect.rfind(':');
+    std::string host =
+        colon == std::string::npos ? "" : connect.substr(0, colon);
+    std::string port_text =
+        colon == std::string::npos ? "" : connect.substr(colon + 1);
+    char* end = nullptr;
+    unsigned long port_value =
+        port_text.empty() ? 0 : std::strtoul(port_text.c_str(), &end, 10);
+    if (host.empty() || port_text.empty() || end == nullptr || *end != '\0' ||
+        port_value == 0 || port_value > 65535) {
+      std::cerr << "--connect wants host:port, got '" << connect << "'\n";
+      return 1;
+    }
+    uint16_t port = static_cast<uint16_t>(port_value);
+    auto tcp = net::TcpTransport::Connect(host, port);
+    if (!tcp.ok()) {
+      std::cerr << "cannot reach " << connect << ": " << tcp.status() << "\n";
+      return 1;
+    }
+    if (Status ping = (*tcp)->Ping(); !ping.ok()) {
+      std::cerr << "server at " << connect << " is not healthy: " << ping
+                << "\n";
+      return 1;
+    }
+    transport = (*tcp)->AsTransport();
+    const char* key_env = std::getenv("DBPH_MASTER");
+    master_key = ToBytes(key_env != nullptr ? key_env
+                                            : "sql-repl-demo-master");
+    std::cout << "Connected to dbph_serverd at " << connect << ".\n";
   }
 
-  std::cout << "Outsourced table '" << table->name() << "' (" << table->size()
-            << " tuples) to the untrusted server.\n"
+  client::Client alex(master_key, transport, &rng);
+  bool need_outsource = true;
+  if (!connect.empty()) {
+    // Reattach probe: an empty append succeeds iff the daemon already
+    // stores the relation — a few bytes on the wire, instead of
+    // re-encrypting and uploading the whole table just to learn
+    // "AlreadyExists".
+    if (Status s = alex.Adopt(table->name(), table->schema()); !s.ok()) {
+      std::cerr << "key derivation failed: " << s << "\n";
+      return 1;
+    }
+    if (alex.Insert(table->name(), {}).ok()) {
+      std::cout << "Relation '" << table->name()
+                << "' already on the server; querying the stored copy.\n";
+      need_outsource = false;
+    }
+  }
+  if (need_outsource) {
+    if (Status s = alex.Outsource(*table); !s.ok()) {
+      std::cerr << "outsourcing failed: " << s << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << (need_outsource ? "Outsourced table '" : "Attached to table '")
+            << table->name() << "' (" << table->size()
+            << " tuples) on the untrusted server.\n"
             << "Type exact-select SQL, e.g.:\n"
             << "  SELECT * FROM " << table->name() << " WHERE "
             << table->schema().attribute(0).name << " = ...;\n"
@@ -115,7 +195,13 @@ int main(int argc, char** argv) {
     if (line.empty()) continue;
     if (line == "\\q") break;
     if (line == "\\eve") {
-      const auto& queries = eve.observations().queries();
+      if (eve == nullptr) {
+        std::cout << "Eve is remote; her transcript lives in the daemon "
+                     "process (what this wire carried is exactly what she "
+                     "logged).\n";
+        continue;
+      }
+      const auto& queries = eve->observations().queries();
       std::cout << "Eve has observed " << queries.size() << " queries:\n";
       for (size_t i = 0; i < queries.size(); ++i) {
         std::cout << "  [" << i << "] trapdoor "

@@ -1,10 +1,36 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, and run every registered test.
+# Tier-1 verify: configure, build, and run every registered test, then a
+# ThreadSanitizer pass over the concurrency-sensitive suites (the server
+# is multithreaded in two layers: the net event loop and the batch worker
+# pool).
+#
 # Usage: scripts/ci.sh [build-dir]
+#   DBPH_TSAN=0       skip the ThreadSanitizer stage
+#   DBPH_TSAN_ONLY=1  run only the ThreadSanitizer stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+
+run_tsan_stage() {
+  local tsan_dir="${BUILD_DIR}-tsan"
+  # Debug build: NDEBUG is off, so the exclusive-dispatcher assert in
+  # UntrustedServer::HandleRequest is live here (and only here in CI).
+  cmake -B "$tsan_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$tsan_dir" -j "$(nproc)" --target \
+    runtime_test runtime_parallel_test net_frame_test net_server_test \
+    net_interleave_test protocol_fuzz_test
+  ctest --test-dir "$tsan_dir" --output-on-failure --no-tests=error \
+    -R 'runtime|net_|protocol_fuzz' -j "$(nproc)"
+}
+
+if [ "${DBPH_TSAN_ONLY:-0}" = "1" ]; then
+  run_tsan_stage
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -14,4 +40,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
 # batched results and observation logs match the sequential baseline).
 if [ -x "$BUILD_DIR/bench_e6_performance" ]; then
   "$BUILD_DIR/bench_e6_performance" --docs=2000 --batch=8 --rounds=1
+  # ...and the network mode: real sockets, concurrent clients, results
+  # checked against plaintext ground truth.
+  "$BUILD_DIR/bench_e6_performance" --network --docs=1000 --clients=2 \
+    --batch=4 --rounds=1
+fi
+
+if [ "${DBPH_TSAN:-1}" != "0" ]; then
+  run_tsan_stage
 fi

@@ -38,17 +38,18 @@ Result<Envelope> Call(const Transport& transport, const Envelope& request,
 
 }  // namespace
 
+Status Client::Adopt(const std::string& relation, const rel::Schema& schema) {
+  if (schemes_.count(relation) > 0) return Status::OK();
+  // Per-table keys branch off the master key.
+  Bytes table_key = crypto::DeriveSubkey(master_key_, "table/" + relation);
+  DBPH_ASSIGN_OR_RETURN(core::DatabasePh ph,
+                        core::DatabasePh::Create(schema, table_key, options_));
+  schemes_.emplace(relation, std::make_unique<core::DatabasePh>(std::move(ph)));
+  return Status::OK();
+}
+
 Status Client::Outsource(const rel::Relation& relation) {
-  if (schemes_.count(relation.name()) == 0) {
-    // Per-table keys branch off the master key.
-    Bytes table_key =
-        crypto::DeriveSubkey(master_key_, "table/" + relation.name());
-    DBPH_ASSIGN_OR_RETURN(
-        core::DatabasePh ph,
-        core::DatabasePh::Create(relation.schema(), table_key, options_));
-    schemes_.emplace(relation.name(),
-                     std::make_unique<core::DatabasePh>(std::move(ph)));
-  }
+  DBPH_RETURN_IF_ERROR(Adopt(relation.name(), relation.schema()));
   const core::DatabasePh& ph = *schemes_.at(relation.name());
   DBPH_ASSIGN_OR_RETURN(core::EncryptedRelation enc,
                         ph.EncryptRelation(relation, rng_));

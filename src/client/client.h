@@ -17,8 +17,9 @@ namespace client {
 
 /// Sends a serialized request to the server, returns its serialized
 /// response. In-process deployments bind this to
-/// UntrustedServer::HandleRequest; a network deployment would put a
-/// socket behind the same signature.
+/// UntrustedServer::HandleRequest; network deployments bind it to
+/// net::TcpTransport::AsTransport(), which carries the same bytes in
+/// length-prefixed frames to a NetServer/dbph_serverd.
 using Transport = std::function<Bytes(const Bytes&)>;
 
 /// \brief Alex: the data owner.
@@ -36,6 +37,12 @@ class Client {
 
   /// Encrypts `relation` tuple-by-tuple and stores it with the server.
   Status Outsource(const rel::Relation& relation);
+
+  /// Registers the PH scheme for a relation that is *already* stored with
+  /// the server (e.g. a second session reattaching over the network with
+  /// the same master key) without uploading anything: all keys derive
+  /// from the master, so any holder of it can address the ciphertext.
+  Status Adopt(const std::string& relation, const rel::Schema& schema);
 
   /// sigma_{attribute = value}: encrypt the query, execute remotely,
   /// decrypt the returned documents and drop SWP false positives.

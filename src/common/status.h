@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kDataLoss = 8,
+  kUnavailable = 9,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -63,6 +64,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

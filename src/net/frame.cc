@@ -1,0 +1,108 @@
+#include "net/frame.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace dbph {
+namespace net {
+
+Status AppendFrame(Bytes* out, const Bytes& body, size_t max_frame_bytes) {
+  if (body.size() > max_frame_bytes) {
+    return Status::InvalidArgument("frame body exceeds the frame cap");
+  }
+  AppendUint32(out, static_cast<uint32_t>(body.size()));
+  out->insert(out->end(), body.begin(), body.end());
+  return Status::OK();
+}
+
+size_t DecodeFrameLength(const uint8_t header[4]) {
+  return (static_cast<size_t>(header[0]) << 24) |
+         (static_cast<size_t>(header[1]) << 16) |
+         (static_cast<size_t>(header[2]) << 8) |
+         static_cast<size_t>(header[3]);
+}
+
+Status FrameReader::Feed(const uint8_t* data, size_t n) {
+  if (!error_.ok()) return error_;
+  size_t pos = 0;
+  while (pos < n) {
+    if (!have_length_) {
+      size_t want = 4 - header_.size();
+      size_t take = std::min(want, n - pos);
+      header_.insert(header_.end(), data + pos, data + pos + take);
+      pos += take;
+      if (header_.size() < 4) break;
+      expected_ = DecodeFrameLength(header_.data());
+      if (expected_ > max_frame_bytes_) {
+        error_ = Status::InvalidArgument(
+            "declared frame length exceeds the frame cap");
+        return error_;
+      }
+      have_length_ = true;
+      body_.clear();
+      body_.reserve(expected_);
+    }
+    size_t want = expected_ - body_.size();
+    size_t take = std::min(want, n - pos);
+    body_.insert(body_.end(), data + pos, data + pos + take);
+    pos += take;
+    if (body_.size() == expected_) {
+      ready_bytes_ += body_.size();
+      ready_.push_back(std::move(body_));
+      body_ = Bytes();
+      header_.clear();
+      have_length_ = false;
+      expected_ = 0;
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<Bytes> FrameReader::NextFrame() {
+  if (ready_.empty()) return std::nullopt;
+  Bytes frame = std::move(ready_.front());
+  ready_.pop_front();
+  ready_bytes_ -= frame.size();
+  return frame;
+}
+
+Status FrameWriter::Enqueue(const Bytes& body) {
+  // FlushTo compacts whenever it fully drains, so pending_ never carries
+  // a fully consumed prefix here.
+  return AppendFrame(&pending_, body, max_frame_bytes_);
+}
+
+Status FrameWriter::FlushTo(int fd) {
+  while (offset_ < pending_.size()) {
+    ssize_t n = ::send(fd, pending_.data() + offset_, pending_.size() - offset_,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      offset_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable("send failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  // Compact: always on full drain; on partial drains once the consumed
+  // prefix is large enough that a long-lived never-fully-drained
+  // connection cannot grow the buffer without bound.
+  if (offset_ == pending_.size()) {
+    pending_.clear();
+    offset_ = 0;
+  } else if (offset_ >= 64 * 1024) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace dbph

@@ -1,0 +1,101 @@
+#ifndef DBPH_NET_FRAME_H_
+#define DBPH_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "protocol/messages.h"
+
+namespace dbph {
+namespace net {
+
+/// The TCP stream framing: each frame is a big-endian uint32 length
+/// followed by that many body bytes (one serialized protocol::Envelope).
+/// The length prefix is attacker-controlled input; both directions reject
+/// anything above the cap before allocating a body buffer, so a hostile
+/// peer can pin at most one frame's worth of memory per connection.
+
+/// \brief Appends one frame (header + body) to `out`.
+/// Fails if `body` exceeds `max_frame_bytes` — callers must not frame
+/// what the peer is required to reject.
+Status AppendFrame(Bytes* out, const Bytes& body,
+                   size_t max_frame_bytes = protocol::kMaxFrameBytes);
+
+/// \brief Decodes the 4-byte big-endian frame length prefix — the single
+/// definition of the header format shared by every decoder.
+size_t DecodeFrameLength(const uint8_t header[4]);
+
+/// \brief Incremental decoder for the read side of a connection.
+///
+/// Feed raw stream bytes in arbitrary chunkings; complete frames come out
+/// in arrival order (multiple frames per Feed is how pipelining works).
+/// A declared length above the cap poisons the reader permanently: stream
+/// framing cannot be trusted after a violation, so the connection must be
+/// torn down.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = protocol::kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Buffers `n` stream bytes. Returns the poisoning error (once set,
+  /// every later call fails with it too).
+  Status Feed(const uint8_t* data, size_t n);
+
+  /// Pops the next complete frame body, or nullopt when none is ready.
+  std::optional<Bytes> NextFrame();
+
+  /// True while complete frames are queued for NextFrame.
+  bool HasBufferedFrame() const { return !ready_.empty(); }
+
+  /// Bytes of the partially received frame (header + body so far).
+  size_t partial_bytes() const { return header_.size() + body_.size(); }
+
+  /// Total bytes held: queued complete frames plus the partial frame.
+  /// The event loop's read-side backpressure bound.
+  size_t buffered_bytes() const { return ready_bytes_ + partial_bytes(); }
+
+  bool poisoned() const { return !error_.ok(); }
+
+ private:
+  size_t max_frame_bytes_;
+  Status error_ = Status::OK();
+  Bytes header_;          // up to 4 length-prefix bytes
+  bool have_length_ = false;
+  size_t expected_ = 0;   // body length once the header is complete
+  Bytes body_;            // body bytes received so far
+  std::deque<Bytes> ready_;
+  size_t ready_bytes_ = 0;  // sum of sizes in ready_
+};
+
+/// \brief Buffering encoder for the write side of a connection.
+///
+/// Enqueue whole frames; FlushTo drains as much as a non-blocking fd
+/// accepts and keeps the rest for the next writable event.
+class FrameWriter {
+ public:
+  explicit FrameWriter(size_t max_frame_bytes = protocol::kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  Status Enqueue(const Bytes& body);
+  bool HasPending() const { return offset_ < pending_.size(); }
+  size_t pending_bytes() const { return pending_.size() - offset_; }
+
+  /// Writes pending bytes to a non-blocking fd. Returns OK on progress or
+  /// EAGAIN (check HasPending afterwards); an error means the connection
+  /// is dead.
+  Status FlushTo(int fd);
+
+ private:
+  size_t max_frame_bytes_;
+  Bytes pending_;
+  size_t offset_ = 0;
+};
+
+}  // namespace net
+}  // namespace dbph
+
+#endif  // DBPH_NET_FRAME_H_

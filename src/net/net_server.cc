@@ -1,0 +1,406 @@
+#include "net/net_server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+#include "server/untrusted_server.h"
+
+namespace dbph {
+namespace net {
+
+// ---------------------------------------------------------------- poller
+
+/// Level-triggered readiness notification: epoll where available, poll(2)
+/// elsewhere. Read interest drops while a connection is half-closed or
+/// backpressured; write interest follows unflushed response bytes.
+struct NetServer::Poller {
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+#ifdef __linux__
+  UniqueFd epoll_fd;
+
+  Status Init() {
+    epoll_fd.Reset(::epoll_create1(0));
+    if (!epoll_fd.valid()) {
+      return Status::Internal("epoll_create1: " +
+                              std::string(std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  void Control(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd.get(), op, fd, &ev);
+  }
+
+  void Add(int fd, bool want_read, bool want_write) {
+    Control(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+  void Update(int fd, bool want_read, bool want_write) {
+    Control(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+  void Remove(int fd) { ::epoll_ctl(epoll_fd.get(), EPOLL_CTL_DEL, fd, nullptr); }
+
+  int Wait(int timeout_ms, std::vector<Event>* out) {
+    epoll_event events[64];
+    int n = ::epoll_wait(epoll_fd.get(), events, 64, timeout_ms);
+    out->clear();
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = events[i].data.fd;
+      e.readable = (events[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      e.writable = (events[i].events & EPOLLOUT) != 0;
+      e.error = (events[i].events & EPOLLERR) != 0;
+      out->push_back(e);
+    }
+    return n;
+  }
+#else
+  // Portable fallback: a pollfd set rebuilt incrementally.
+  std::vector<pollfd> fds;
+
+  Status Init() { return Status::OK(); }
+
+  static short Events(bool want_read, bool want_write) {
+    return static_cast<short>((want_read ? POLLIN : 0) |
+                              (want_write ? POLLOUT : 0));
+  }
+
+  void Add(int fd, bool want_read, bool want_write) {
+    fds.push_back({fd, Events(want_read, want_write), 0});
+  }
+  void Update(int fd, bool want_read, bool want_write) {
+    for (auto& p : fds) {
+      if (p.fd == fd) {
+        p.events = Events(want_read, want_write);
+        return;
+      }
+    }
+  }
+  void Remove(int fd) {
+    fds.erase(std::remove_if(fds.begin(), fds.end(),
+                             [fd](const pollfd& p) { return p.fd == fd; }),
+              fds.end());
+  }
+
+  int Wait(int timeout_ms, std::vector<Event>* out) {
+    int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    out->clear();
+    if (n <= 0) return n;
+    for (const auto& p : fds) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out->push_back(e);
+    }
+    return n;
+  }
+#endif
+};
+
+// ------------------------------------------------------------ connection
+
+struct NetServer::Connection {
+  explicit Connection(UniqueFd fd_in, size_t max_frame_bytes)
+      : fd(std::move(fd_in)),
+        reader(max_frame_bytes),
+        writer(max_frame_bytes) {}
+
+  UniqueFd fd;
+  FrameReader reader;
+  FrameWriter writer;
+  int64_t last_active_ms = 0;
+  bool read_closed = false;  ///< peer sent EOF; drain writes, then close
+  bool reg_read = true;      ///< poller interest currently registered
+  bool reg_write = false;
+};
+
+// -------------------------------------------------------------- lifecycle
+
+NetServer::NetServer(server::UntrustedServer* server, NetServerOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+NetServer::~NetServer() { Stop(); }
+
+int64_t NetServer::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status NetServer::Start() {
+  if (running()) return Status::FailedPrecondition("server already running");
+  stop_requested_.store(false, std::memory_order_release);
+
+  DBPH_ASSIGN_OR_RETURN(
+      listen_fd_,
+      ListenOn(options_.bind_address, options_.port, options_.backlog));
+  DBPH_RETURN_IF_ERROR(SetNonBlocking(listen_fd_.get()));
+  DBPH_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    listen_fd_.Reset();
+    return Status::Internal("pipe: " + std::string(std::strerror(errno)));
+  }
+  wake_read_.Reset(pipe_fds[0]);
+  wake_write_.Reset(pipe_fds[1]);
+  DBPH_RETURN_IF_ERROR(SetNonBlocking(wake_read_.get()));
+
+  poller_ = std::make_unique<Poller>();
+  DBPH_RETURN_IF_ERROR(poller_->Init());
+  poller_->Add(listen_fd_.get(), true, false);
+  poller_->Add(wake_read_.get(), true, false);
+
+  // Debug contract: while this NetServer runs, it is the sole dispatcher
+  // (see untrusted_server.h for the single-writer model).
+  server_->BindExclusiveDispatcher(this);
+
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!loop_thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  uint8_t byte = 1;
+  (void)!::write(wake_write_.get(), &byte, 1);
+  loop_thread_.join();
+  server_->BindExclusiveDispatcher(nullptr);
+  running_.store(false, std::memory_order_release);
+  poller_.reset();
+  connections_.clear();
+  listen_fd_.Reset();
+  wake_read_.Reset();
+  wake_write_.Reset();
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.frames_out = frames_out_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.framing_errors = framing_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// -------------------------------------------------------------- the loop
+
+void NetServer::Loop() {
+  std::vector<Poller::Event> events;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Wake at least often enough to honour the idle deadline.
+    int timeout = options_.idle_timeout_ms > 0
+                      ? std::max(10, options_.idle_timeout_ms / 4)
+                      : 1000;
+    int n = poller_->Wait(timeout, &events);
+    if (n < 0 && errno != EINTR) break;
+
+    for (const auto& event : events) {
+      if (event.fd == wake_read_.get()) {
+        uint8_t drain[64];
+        while (::read(wake_read_.get(), drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (event.fd == listen_fd_.get()) {
+        if (event.readable) AcceptNew();
+        continue;
+      }
+      auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      bool alive = !event.error;
+      if (alive) alive = ServiceConnection(conn, event.readable);
+      if (!alive) CloseConnection(event.fd);
+    }
+
+    if (options_.idle_timeout_ms > 0) ReapIdle(NowMs());
+  }
+
+  // Graceful exit: one best-effort flush of queued responses, then close.
+  for (auto& [fd, conn] : connections_) {
+    (void)conn->writer.FlushTo(fd);
+  }
+  connections_.clear();
+}
+
+void NetServer::AcceptNew() {
+  while (true) {
+    int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (raw < 0) return;  // EAGAIN or transient error: back to the loop
+    UniqueFd fd(raw);
+    if (connections_.size() >= options_.max_connections) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // fd closes on scope exit: the peer sees EOF
+    }
+    if (!SetNonBlocking(fd.get()).ok()) continue;
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(std::move(fd),
+                                             options_.max_frame_bytes);
+    conn->last_active_ms = NowMs();
+    int key = conn->fd.get();
+    poller_->Add(key, true, false);
+    connections_.emplace(key, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t NetServer::WriteBudget() const {
+  if (options_.max_pending_write_bytes > 0) {
+    return options_.max_pending_write_bytes;
+  }
+  return options_.max_frame_bytes + 64 * 1024;
+}
+
+bool NetServer::ServiceConnection(Connection* conn, bool readable) {
+  if (readable && !conn->read_closed) {
+    uint8_t buf[64 * 1024];
+    // The read phase stops at the budget too: a peer streaming frames
+    // faster than we dispatch may not grow the reader's queue without
+    // bound, nor monopolize the loop thread (level-triggered readiness
+    // re-arms via UpdateInterest once the queue drains).
+    while (conn->reader.buffered_bytes() <= WriteBudget()) {
+      ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->last_active_ms = NowMs();
+        if (!conn->reader.Feed(buf, static_cast<size_t>(n)).ok()) {
+          framing_errors_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        continue;
+      }
+      if (n == 0) {
+        // Half-close: answer what was pipelined, then close. Read
+        // interest drops (see UpdateInterest) so the level-triggered
+        // EOF cannot spin the loop.
+        conn->read_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  // Dispatch and flush until either the write budget is exhausted even
+  // after flushing (wait for a writable event) or no complete frames
+  // remain (wait for more input). Each pass over budget-free buffered
+  // frames consumes at least one, so this terminates.
+  while (true) {
+    if (!DispatchBufferedFrames(conn)) return false;
+    if (!FlushProgress(conn)) return false;
+    if (conn->writer.pending_bytes() > WriteBudget()) break;
+    if (!conn->reader.HasBufferedFrame()) break;
+  }
+
+  if (conn->read_closed && !conn->writer.HasPending() &&
+      !conn->reader.HasBufferedFrame()) {
+    return false;  // drained a half-closed peer: done
+  }
+  UpdateInterest(conn);
+  return true;
+}
+
+bool NetServer::DispatchBufferedFrames(Connection* conn) {
+  // Dispatch in arrival order; queued responses preserve that order,
+  // which is the pipelining contract. Stop once the write budget is
+  // spent — backpressure, not unbounded buffering.
+  while (conn->writer.pending_bytes() <= WriteBudget()) {
+    auto frame = conn->reader.NextFrame();
+    if (!frame) break;
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    Bytes response = server_->HandleRequest(*frame, this);
+    if (!conn->writer.Enqueue(response).ok()) {
+      // The response outgrew the frame cap (e.g. a fetch of a relation
+      // larger than kMaxFrameBytes): answer in protocol with an error
+      // envelope — always frameable — instead of killing the stream.
+      Bytes error = protocol::MakeErrorEnvelope(
+                        Status::OutOfRange(
+                            "response exceeds the wire frame cap"))
+                        .Serialize();
+      if (!conn->writer.Enqueue(error).ok()) {
+        framing_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool NetServer::FlushProgress(Connection* conn) {
+  size_t before = conn->writer.pending_bytes();
+  if (!conn->writer.FlushTo(conn->fd.get()).ok()) return false;
+  // The idle clock ticks on progress only; a peer that never drains us
+  // still times out.
+  if (conn->writer.pending_bytes() < before) conn->last_active_ms = NowMs();
+  return true;
+}
+
+void NetServer::UpdateInterest(Connection* conn) {
+  // Read interest is live state, not a sticky flag: closed peers,
+  // over-budget writers, and over-budget inbound queues pause reads;
+  // anything else resumes them.
+  bool want_read = !conn->read_closed &&
+                   conn->writer.pending_bytes() <= WriteBudget() &&
+                   conn->reader.buffered_bytes() <= WriteBudget();
+  bool want_write = conn->writer.HasPending();
+  if (want_read != conn->reg_read || want_write != conn->reg_write) {
+    conn->reg_read = want_read;
+    conn->reg_write = want_write;
+    poller_->Update(conn->fd.get(), want_read, want_write);
+  }
+}
+
+void NetServer::CloseConnection(int fd) {
+  poller_->Remove(fd);
+  connections_.erase(fd);
+}
+
+void NetServer::ReapIdle(int64_t now_ms) {
+  std::vector<int> stale;
+  for (const auto& [fd, conn] : connections_) {
+    if (now_ms - conn->last_active_ms >= options_.idle_timeout_ms) {
+      stale.push_back(fd);
+    }
+  }
+  for (int fd : stale) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(fd);
+  }
+}
+
+}  // namespace net
+}  // namespace dbph

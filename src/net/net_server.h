@@ -1,0 +1,154 @@
+#ifndef DBPH_NET_NET_SERVER_H_
+#define DBPH_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "protocol/messages.h"
+
+namespace dbph {
+namespace server {
+class UntrustedServer;
+}  // namespace server
+
+namespace net {
+
+struct NetServerOptions {
+  /// Address to bind; loopback by default (Eve serving the open internet
+  /// is an explicit opt-in).
+  std::string bind_address = "127.0.0.1";
+  /// 0 = pick an ephemeral port (read it back with NetServer::port()).
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Beyond this many live connections, new accepts are closed on the
+  /// spot (the client sees EOF on its first read).
+  size_t max_connections = 64;
+  /// Connections silent for this long are reaped. 0 disables reaping.
+  int idle_timeout_ms = 60 * 1000;
+  /// Per-frame cap; defaults to the shared protocol constant. Tests
+  /// tighten it to exercise the rejection path cheaply.
+  size_t max_frame_bytes = protocol::kMaxFrameBytes;
+  /// Backpressure threshold: while a connection's unflushed response
+  /// bytes exceed this, its inbound frames stay queued and its socket is
+  /// not read, so a peer that pipelines without reading throttles itself
+  /// (TCP flow control) instead of growing the server's buffers. 0 =
+  /// one max-size frame plus header slack.
+  size_t max_pending_write_bytes = 0;
+};
+
+/// \brief The network face of Eve: an epoll/poll event loop hosting one
+/// UntrustedServer behind the length-prefixed frame protocol.
+///
+/// One loop thread owns all sockets. Each connection carries a FrameReader
+/// and a FrameWriter; every complete inbound frame is one serialized
+/// protocol::Envelope, dispatched synchronously through
+/// UntrustedServer::HandleRequest, and the response frame is queued in
+/// arrival order — so clients may pipeline any number of requests and
+/// responses always come back in request order. Cross-request parallelism
+/// lives *inside* the UntrustedServer (batch waves fan out over its worker
+/// pool); the loop thread is the server's single dispatcher, which keeps
+/// the single-writer storage model intact (see untrusted_server.h).
+///
+/// Framing violations (a declared length above max_frame_bytes) kill the
+/// connection: stream sync is unrecoverable. Malformed *envelopes* inside
+/// well-formed frames get a kError envelope back and the connection lives.
+///
+/// Backpressure: a connection whose unflushed responses exceed
+/// max_pending_write_bytes stops being read until the peer drains them,
+/// so per-connection memory is bounded no matter how fast requests are
+/// pipelined. A peer that half-closes (EOF) is served until every queued
+/// response is flushed, then closed — without spinning the loop.
+///
+/// Leakage note: the eavesdropper's transcript of this wire — frame sizes,
+/// counts, timing — is exactly the ObservationLog view plus traffic
+/// metadata; nothing is encrypted at the transport layer (TLS is a future
+/// layer), and nothing needs to be for the paper's model, where Eve
+/// herself is the adversary.
+class NetServer {
+ public:
+  /// `server` must outlive this object.
+  NetServer(server::UntrustedServer* server, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and spawns the loop thread. Fails if already running
+  /// or the port is taken.
+  Status Start();
+
+  /// Graceful shutdown: wakes the loop, which answers nothing further,
+  /// best-effort flushes pending responses, closes every socket, and
+  /// exits; joins the loop thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t accepted = 0;         ///< connections accepted
+    uint64_t rejected = 0;         ///< closed at accept: over the limit
+    uint64_t frames_in = 0;        ///< complete request frames dispatched
+    uint64_t frames_out = 0;       ///< response frames queued
+    uint64_t timed_out = 0;        ///< connections reaped as idle
+    uint64_t framing_errors = 0;   ///< connections killed for bad framing
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection;
+  struct Poller;
+
+  void Loop();
+  void AcceptNew();
+  /// One service pass: read (unless half-closed/backpressured), dispatch
+  /// buffered frames within the write budget, flush. false = close.
+  bool ServiceConnection(Connection* conn, bool readable);
+  /// Dispatches queued request frames until the write budget is hit;
+  /// false = close.
+  bool DispatchBufferedFrames(Connection* conn);
+  /// Non-blocking flush; refreshes the idle clock only on real progress.
+  bool FlushProgress(Connection* conn);
+  /// Re-arms the poller to the connection's current read/write interest.
+  void UpdateInterest(Connection* conn);
+  size_t WriteBudget() const;
+  void CloseConnection(int fd);
+  void ReapIdle(int64_t now_ms);
+  static int64_t NowMs();
+
+  server::UntrustedServer* server_;
+  NetServerOptions options_;
+
+  UniqueFd listen_fd_;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  uint16_t port_ = 0;
+
+  std::unique_ptr<Poller> poller_;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> frames_out_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> framing_errors_{0};
+};
+
+}  // namespace net
+}  // namespace dbph
+
+#endif  // DBPH_NET_NET_SERVER_H_

@@ -1,0 +1,134 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace dbph {
+namespace net {
+
+namespace {
+
+std::string Errno() { return std::string(std::strerror(errno)); }
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<UniqueFd> ListenOn(const std::string& address, uint16_t port,
+                          int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Unavailable("socket: " + Errno());
+
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address '" + address + "'");
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Unavailable("bind " + address + ":" +
+                               std::to_string(port) + ": " + Errno());
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::Unavailable("listen: " + Errno());
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::Internal("getsockname: " + Errno());
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<UniqueFd> ConnectTo(const std::string& host, uint16_t port) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &results);
+  if (rc != 0) {
+    return Status::Unavailable("resolve '" + host +
+                               "': " + std::string(gai_strerror(rc)));
+  }
+
+  Status last = Status::Unavailable("no addresses for '" + host + "'");
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last = Status::Unavailable("socket: " + Errno());
+      continue;
+    }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Status::Unavailable("connect " + host + ":" +
+                                 std::to_string(port) + ": " + Errno());
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(results);
+    return fd;
+  }
+  ::freeaddrinfo(results);
+  return last;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal("fcntl O_NONBLOCK: " + Errno());
+  }
+  return Status::OK();
+}
+
+Status SendAll(int fd, const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("send: " + Errno());
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status RecvExact(int fd, uint8_t* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t rc = ::recv(fd, data + got, n - got, 0);
+    if (rc == 0) return Status::Unavailable("connection closed by peer");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv: " + Errno());
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace dbph

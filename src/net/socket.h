@@ -1,0 +1,70 @@
+#ifndef DBPH_NET_SOCKET_H_
+#define DBPH_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace net {
+
+/// \brief Owning file descriptor; closes on destruction. Movable only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Creates a listening TCP socket bound to `address:port`
+/// (SO_REUSEADDR; port 0 picks an ephemeral port — read it back with
+/// LocalPort).
+Result<UniqueFd> ListenOn(const std::string& address, uint16_t port,
+                          int backlog);
+
+/// \brief The port a bound socket actually listens on.
+Result<uint16_t> LocalPort(int fd);
+
+/// \brief Blocking TCP connect to `host:port` (resolves names via
+/// getaddrinfo, tries each address in order); TCP_NODELAY is set so small
+/// request frames are not Nagle-delayed.
+Result<UniqueFd> ConnectTo(const std::string& host, uint16_t port);
+
+/// \brief Switches an fd to non-blocking mode (the event loop requires it).
+Status SetNonBlocking(int fd);
+
+/// \brief Blocking full-buffer send; retries on EINTR and short writes.
+Status SendAll(int fd, const uint8_t* data, size_t n);
+
+/// \brief Blocking read of exactly `n` bytes; a clean peer close mid-read
+/// is an error (frames never arrive partially in a healthy stream).
+Status RecvExact(int fd, uint8_t* data, size_t n);
+
+}  // namespace net
+}  // namespace dbph
+
+#endif  // DBPH_NET_SOCKET_H_

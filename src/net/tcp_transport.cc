@@ -1,0 +1,120 @@
+#include "net/tcp_transport.h"
+
+#include <atomic>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace net {
+
+Result<std::shared_ptr<TcpTransport>> TcpTransport::Connect(Options options) {
+  std::shared_ptr<TcpTransport> transport(
+      new TcpTransport(std::move(options)));
+  std::lock_guard<std::mutex> lock(transport->mutex_);
+  DBPH_RETURN_IF_ERROR(transport->EnsureConnectedLocked());
+  return transport;
+}
+
+Result<std::shared_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port) {
+  Options options;
+  options.host = host;
+  options.port = port;
+  return Connect(std::move(options));
+}
+
+TcpTransport::~TcpTransport() { Close(); }
+
+void TcpTransport::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fd_.Reset();
+}
+
+bool TcpTransport::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fd_.valid();
+}
+
+Status TcpTransport::EnsureConnectedLocked() {
+  if (fd_.valid()) return Status::OK();
+  DBPH_ASSIGN_OR_RETURN(fd_, ConnectTo(options_.host, options_.port));
+  return Status::OK();
+}
+
+Status TcpTransport::SendFrameLocked(const Bytes& body) {
+  Bytes wire;
+  DBPH_RETURN_IF_ERROR(AppendFrame(&wire, body, options_.max_frame_bytes));
+  return SendAll(fd_.get(), wire.data(), wire.size());
+}
+
+Result<Bytes> TcpTransport::RecvFrameLocked() {
+  uint8_t header[4];
+  DBPH_RETURN_IF_ERROR(RecvExact(fd_.get(), header, sizeof(header)));
+  size_t length = DecodeFrameLength(header);
+  if (length > options_.max_frame_bytes) {
+    return Status::DataLoss("server frame exceeds the frame cap");
+  }
+  Bytes body(length);
+  DBPH_RETURN_IF_ERROR(RecvExact(fd_.get(), body.data(), body.size()));
+  return body;
+}
+
+Bytes TcpTransport::RoundTrip(const Bytes& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.reconnect_attempts; ++attempt) {
+    last = EnsureConnectedLocked();
+    if (!last.ok()) continue;
+    last = SendFrameLocked(request);
+    if (!last.ok()) {
+      // The whole frame never made it out; a fresh connection may retry
+      // safely (the server cannot have decoded a partial frame).
+      fd_.Reset();
+      continue;
+    }
+    auto response = RecvFrameLocked();
+    if (response.ok()) return std::move(*response);
+    // Request delivered, response lost: ambiguous. Fail rather than
+    // re-execute a possibly non-idempotent operation.
+    fd_.Reset();
+    last = response.status();
+    break;
+  }
+  return protocol::MakeErrorEnvelope(
+             Status::Unavailable("transport to " + options_.host + ":" +
+                                 std::to_string(options_.port) +
+                                 " failed: " + last.ToString()))
+      .Serialize();
+}
+
+Status TcpTransport::Ping() {
+  // A process-unique cookie; the echo proves the reply is ours, not a
+  // stale pipelined response.
+  static std::atomic<uint64_t> counter{0};
+  uint64_t nonce = counter.fetch_add(1, std::memory_order_relaxed) ^
+                   reinterpret_cast<uintptr_t>(this);
+  protocol::Envelope ping;
+  ping.type = protocol::MessageType::kPing;
+  AppendUint64(&ping.payload, nonce);
+
+  auto response = protocol::Envelope::Parse(RoundTrip(ping.Serialize()));
+  DBPH_RETURN_IF_ERROR(response.status());
+  if (response->type == protocol::MessageType::kError) {
+    return protocol::ParseErrorEnvelope(*response);
+  }
+  if (response->type != protocol::MessageType::kPong) {
+    return Status::DataLoss("expected kPong from server");
+  }
+  if (response->payload != ping.payload) {
+    return Status::DataLoss("pong cookie mismatch");
+  }
+  return Status::OK();
+}
+
+client::Transport TcpTransport::AsTransport() {
+  std::shared_ptr<TcpTransport> self = shared_from_this();
+  return [self](const Bytes& request) { return self->RoundTrip(request); };
+}
+
+}  // namespace net
+}  // namespace dbph

@@ -1,0 +1,76 @@
+#ifndef DBPH_NET_TCP_TRANSPORT_H_
+#define DBPH_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "client/client.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "protocol/messages.h"
+
+namespace dbph {
+namespace net {
+
+/// \brief Blocking socket transport for Alex: one framed request out, one
+/// framed response back, behind the existing client::Transport signature —
+/// Client works over the wire with zero API change.
+///
+/// Failure model: transport-level errors surface as serialized kError
+/// envelopes carrying kUnavailable, which Client's response parsing turns
+/// into ordinary Status errors. Reconnect-and-retry happens only when the
+/// failure struck *before* the request was fully on the wire; once the
+/// request may have reached the server, the call fails instead of risking
+/// a duplicated non-idempotent operation (at-most-once delivery).
+class TcpTransport : public std::enable_shared_from_this<TcpTransport> {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    size_t max_frame_bytes = protocol::kMaxFrameBytes;
+    /// Extra connect attempts per round trip after a send-side failure.
+    int reconnect_attempts = 1;
+  };
+
+  /// Connects eagerly so configuration errors surface immediately.
+  static Result<std::shared_ptr<TcpTransport>> Connect(Options options);
+  static Result<std::shared_ptr<TcpTransport>> Connect(const std::string& host,
+                                                       uint16_t port);
+
+  ~TcpTransport();
+
+  /// Sends one serialized envelope, returns the serialized response
+  /// envelope (possibly a locally fabricated kError). Thread-safe: calls
+  /// serialize on an internal mutex, one round trip at a time.
+  Bytes RoundTrip(const Bytes& request);
+
+  /// Keys-free health check: sends kPing with a fresh cookie, expects a
+  /// kPong echoing it byte for byte.
+  Status Ping();
+
+  /// Adapter for client::Client; the lambda keeps this object alive.
+  client::Transport AsTransport();
+
+  void Close();
+  bool connected() const;
+
+ private:
+  explicit TcpTransport(Options options) : options_(std::move(options)) {}
+
+  Status EnsureConnectedLocked();
+  Status SendFrameLocked(const Bytes& body);
+  Result<Bytes> RecvFrameLocked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  UniqueFd fd_;
+};
+
+}  // namespace net
+}  // namespace dbph
+
+#endif  // DBPH_NET_TCP_TRANSPORT_H_

@@ -22,7 +22,11 @@ Result<Envelope> Envelope::Parse(const Bytes& wire) {
   }
   Envelope env;
   env.type = static_cast<MessageType>(type_byte[0]);
-  DBPH_ASSIGN_OR_RETURN(env.payload, reader.ReadLengthPrefixed());
+  DBPH_ASSIGN_OR_RETURN(uint32_t length, reader.ReadUint32());
+  if (length > kMaxEnvelopePayloadBytes) {
+    return Status::InvalidArgument("envelope payload exceeds kMaxFrameBytes");
+  }
+  DBPH_ASSIGN_OR_RETURN(env.payload, reader.ReadRaw(length));
   if (!reader.AtEnd()) {
     return Status::DataLoss("trailing bytes after message");
   }

@@ -27,9 +27,23 @@ enum class MessageType : uint8_t {
   kFetchResult = 13,    ///< server -> client: every stored document
   kBatchRequest = 14,   ///< client -> server: wrapped sub-request envelopes
   kBatchResponse = 15,  ///< server -> client: one sub-response per request
+  kPing = 16,           ///< client -> server: opaque liveness cookie
+  kPong = 17,           ///< server -> client: the same cookie, echoed
 };
 
-constexpr uint8_t kMaxMessageType = 15;
+constexpr uint8_t kMaxMessageType = 17;
+
+/// Hard upper bound on one wire frame. Both the network frame codec and
+/// Envelope::Parse reject a larger attacker-controlled length prefix
+/// *before* allocating anything; large enough for a whole-relation
+/// kStoreRelation / kFetchResult, small enough that a hostile peer cannot
+/// make the server reserve gigabytes.
+constexpr uint32_t kMaxFrameBytes = 256u * 1024 * 1024;
+
+/// Cap on an Envelope payload: the serialized envelope (1 type byte +
+/// 4 length bytes + payload) must fit one frame, so every envelope that
+/// parses is also guaranteed to be transmittable.
+constexpr uint32_t kMaxEnvelopePayloadBytes = kMaxFrameBytes - 5;
 
 /// Upper bound on sub-envelopes per batch; larger counts are rejected
 /// before any allocation (a batch header is attacker-controlled input).

@@ -1,6 +1,7 @@
 #include "server/untrusted_server.h"
 
 #include <algorithm>
+#include <cassert>
 #include <fstream>
 #include <iterator>
 
@@ -352,6 +353,14 @@ protocol::Envelope UntrustedServer::Dispatch(
     }
     case MessageType::kBatchRequest:
       return DispatchBatch(request);
+    case MessageType::kPing: {
+      // Keys-free health check: echo the client's cookie. Pings carry no
+      // trapdoors and match nothing, so they are not query observations.
+      Envelope pong;
+      pong.type = MessageType::kPong;
+      pong.payload = request.payload;
+      return pong;
+    }
     case MessageType::kDropRelation: {
       Status status = DropRelation(ToString(request.payload));
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
@@ -400,6 +409,20 @@ protocol::Envelope UntrustedServer::Dispatch(
 }
 
 Bytes UntrustedServer::HandleRequest(const Bytes& request) {
+  return HandleRequest(request, nullptr);
+}
+
+Bytes UntrustedServer::HandleRequest(const Bytes& request,
+                                     const void* dispatcher) {
+#ifndef NDEBUG
+  const void* bound = bound_dispatcher_.load(std::memory_order_acquire);
+  assert((bound == nullptr || bound == dispatcher) &&
+         "UntrustedServer has an exclusive dispatcher bound (a running "
+         "NetServer); direct HandleRequest calls bypass the single-writer "
+         "dispatch loop");
+#else
+  (void)dispatcher;
+#endif
   auto envelope = protocol::Envelope::Parse(request);
   if (!envelope.ok()) {
     return protocol::MakeErrorEnvelope(envelope.status()).Serialize();

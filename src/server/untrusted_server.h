@@ -1,6 +1,7 @@
 #ifndef DBPH_SERVER_UNTRUSTED_SERVER_H_
 #define DBPH_SERVER_UNTRUSTED_SERVER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,7 +50,28 @@ class UntrustedServer {
   /// from multiple transport threads: requests are serialized at this
   /// boundary (each request may still fan out internally across the
   /// worker pool).
+  ///
+  /// Locking model — single-writer: `dispatch_mutex_` is held for the
+  /// FULL request, so storage, the relation map, and the observation log
+  /// see one request at a time; every interleaving of concurrent callers
+  /// is some serial order, and the log gains exactly one entry per
+  /// executed query regardless of how requests raced on the wire. The
+  /// intended deployment is net::NetServer's event loop as the sole
+  /// caller (its single thread makes the lock uncontended); in-process
+  /// transports in tests and examples call it directly.
   Bytes HandleRequest(const Bytes& request);
+
+  /// As above, with the caller's identity for the debug-only
+  /// single-dispatcher assertion (see BindExclusiveDispatcher).
+  Bytes HandleRequest(const Bytes& request, const void* dispatcher);
+
+  /// Debug contract for the network deployment: after binding, every
+  /// HandleRequest must come from `dispatcher` (NetServer binds itself on
+  /// Start and unbinds with nullptr on Stop); a stray direct caller trips
+  /// an assert in debug builds. Unbound servers accept any caller.
+  void BindExclusiveDispatcher(const void* dispatcher) {
+    bound_dispatcher_.store(dispatcher, std::memory_order_release);
+  }
 
   // Typed handlers (also usable directly, bypassing the wire layer).
 
@@ -119,6 +141,8 @@ class UntrustedServer {
   /// Serializes concurrent HandleRequest callers (single-writer server
   /// loop); batch-internal parallelism happens below this lock.
   std::mutex dispatch_mutex_;
+  /// Debug-only: the one transport allowed to dispatch, when bound.
+  std::atomic<const void*> bound_dispatcher_{nullptr};
 };
 
 }  // namespace server

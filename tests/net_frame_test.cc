@@ -1,0 +1,154 @@
+// The frame codec is the trust boundary of the network layer: its length
+// prefix is attacker-controlled, so oversized declarations must be
+// rejected before any allocation, and any chunking of the byte stream
+// must reassemble into exactly the frames that were sent.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "crypto/random.h"
+#include "net/frame.h"
+#include "protocol/messages.h"
+
+namespace dbph {
+namespace {
+
+Bytes Frame(const Bytes& body) {
+  Bytes wire;
+  EXPECT_TRUE(net::AppendFrame(&wire, body).ok());
+  return wire;
+}
+
+TEST(FrameCodecTest, RoundtripSingleFrame) {
+  Bytes body = ToBytes("hello eve");
+  Bytes wire = Frame(body);
+  ASSERT_EQ(wire.size(), body.size() + 4);
+
+  net::FrameReader reader;
+  ASSERT_TRUE(reader.Feed(wire.data(), wire.size()).ok());
+  auto frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, body);
+  EXPECT_FALSE(reader.NextFrame().has_value());
+  EXPECT_EQ(reader.partial_bytes(), 0u);
+}
+
+TEST(FrameCodecTest, EmptyBodyIsAValidFrame) {
+  Bytes wire = Frame(Bytes{});
+  net::FrameReader reader;
+  ASSERT_TRUE(reader.Feed(wire.data(), wire.size()).ok());
+  auto frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->empty());
+}
+
+TEST(FrameCodecTest, ByteByByteFeedReassemblesPipelinedFrames) {
+  std::vector<Bytes> bodies = {ToBytes("first"), Bytes{}, ToBytes("second"),
+                               Bytes(1000, 0xab)};
+  Bytes wire;
+  for (const auto& body : bodies) {
+    ASSERT_TRUE(net::AppendFrame(&wire, body).ok());
+  }
+
+  net::FrameReader reader;
+  std::vector<Bytes> got;
+  for (uint8_t byte : wire) {
+    ASSERT_TRUE(reader.Feed(&byte, 1).ok());
+    while (auto frame = reader.NextFrame()) got.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(got.size(), bodies.size());
+  for (size_t i = 0; i < bodies.size(); ++i) EXPECT_EQ(got[i], bodies[i]);
+}
+
+TEST(FrameCodecTest, ArbitraryChunkingsReassembleIdentically) {
+  crypto::HmacDrbg rng("frame-chunks", 1);
+  std::vector<Bytes> bodies;
+  Bytes wire;
+  for (int i = 0; i < 20; ++i) {
+    bodies.push_back(rng.NextBytes(rng.NextBelow(300)));
+    ASSERT_TRUE(net::AppendFrame(&wire, bodies.back()).ok());
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    net::FrameReader reader;
+    std::vector<Bytes> got;
+    size_t pos = 0;
+    while (pos < wire.size()) {
+      size_t take = 1 + rng.NextBelow(97);
+      take = std::min(take, wire.size() - pos);
+      ASSERT_TRUE(reader.Feed(wire.data() + pos, take).ok());
+      pos += take;
+      while (auto frame = reader.NextFrame()) got.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(got.size(), bodies.size()) << "trial " << trial;
+    for (size_t i = 0; i < bodies.size(); ++i) EXPECT_EQ(got[i], bodies[i]);
+  }
+}
+
+TEST(FrameCodecTest, OversizedDeclaredLengthPoisonsBeforeAllocation) {
+  // Header claims cap+1 bytes; the reader must fail on the 4th header
+  // byte, before reserving a body buffer, and stay failed.
+  net::FrameReader reader(/*max_frame_bytes=*/4096);
+  Bytes header;
+  AppendUint32(&header, 4097);
+  EXPECT_FALSE(reader.Feed(header.data(), header.size()).ok());
+  EXPECT_TRUE(reader.poisoned());
+  uint8_t more = 0;
+  EXPECT_FALSE(reader.Feed(&more, 1).ok());
+  EXPECT_FALSE(reader.NextFrame().has_value());
+}
+
+TEST(FrameCodecTest, LengthAtExactlyTheCapIsAccepted) {
+  net::FrameReader reader(/*max_frame_bytes=*/64);
+  Bytes wire;
+  ASSERT_TRUE(net::AppendFrame(&wire, Bytes(64, 0x01), /*max*/ 64).ok());
+  ASSERT_TRUE(reader.Feed(wire.data(), wire.size()).ok());
+  auto frame = reader.NextFrame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 64u);
+}
+
+TEST(FrameCodecTest, WriterRefusesBodiesOverTheCap) {
+  Bytes wire;
+  EXPECT_FALSE(net::AppendFrame(&wire, Bytes(65, 0), /*max*/ 64).ok());
+  EXPECT_TRUE(wire.empty()) << "nothing may be emitted for a rejected body";
+  net::FrameWriter writer(/*max_frame_bytes=*/64);
+  EXPECT_FALSE(writer.Enqueue(Bytes(65, 0)).ok());
+  EXPECT_FALSE(writer.HasPending());
+}
+
+TEST(FrameCodecTest, WriterFlushesQueuedFramesThroughASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  net::FrameWriter writer;
+  std::vector<Bytes> bodies = {ToBytes("a"), ToBytes("bb"), Bytes(5000, 0x7f)};
+  for (const auto& body : bodies) ASSERT_TRUE(writer.Enqueue(body).ok());
+  while (writer.HasPending()) ASSERT_TRUE(writer.FlushTo(fds[0]).ok());
+
+  net::FrameReader reader;
+  uint8_t buf[4096];
+  std::vector<Bytes> got;
+  while (got.size() < bodies.size()) {
+    ssize_t n = ::recv(fds[1], buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    ASSERT_TRUE(reader.Feed(buf, static_cast<size_t>(n)).ok());
+    while (auto frame = reader.NextFrame()) got.push_back(std::move(*frame));
+  }
+  for (size_t i = 0; i < bodies.size(); ++i) EXPECT_EQ(got[i], bodies[i]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FrameCodecTest, DefaultCapIsTheSharedProtocolConstant) {
+  // The satellite hardening contract: one constant governs both the
+  // envelope parser and the stream framing.
+  net::FrameReader reader;
+  Bytes header;
+  AppendUint32(&header, protocol::kMaxFrameBytes + 1);
+  EXPECT_FALSE(reader.Feed(header.data(), header.size()).ok());
+}
+
+}  // namespace
+}  // namespace dbph

@@ -1,0 +1,180 @@
+// Writers racing readers over real sockets: AppendTuples and DeleteWhere
+// interleaving with SelectBatch from concurrent client threads must be
+// linearizable (every observed result is consistent with SOME serial
+// order of the completed operations), and Eve's ObservationLog must hold
+// exactly one entry per executed query no matter how the wire traffic
+// raced.
+//
+// The invariants exploit monotonicity: inserts only ever add rows with
+// grp = 7, and the single delete removes ALL rows with grp = 5 at once.
+// Requests from one thread are strictly sequential and the server
+// serializes whole requests, so per-thread match counts for grp 7 must be
+// non-decreasing and for grp 5 non-increasing over time.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "crypto/random.h"
+#include "net/net_server.h"
+#include "net/tcp_transport.h"
+#include "server/untrusted_server.h"
+
+namespace dbph {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+constexpr size_t kInitialGrp5 = 12;
+constexpr size_t kInitialGrp7 = 3;
+constexpr size_t kFiller = 30;
+constexpr size_t kWriters = 2;
+constexpr size_t kInsertsPerWriter = 5;
+constexpr size_t kReaders = 3;
+constexpr size_t kReadsPerReader = 6;
+
+Schema TableSchema() {
+  auto s = Schema::Create({
+      {"key", ValueType::kString, 8},
+      {"grp", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+Relation BuildTable() {
+  Relation table("T", TableSchema());
+  size_t row = 0;
+  auto add = [&](int64_t grp, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(table
+                      .Insert({Value::Str("k" + std::to_string(row++)),
+                               Value::Int(grp)})
+                      .ok());
+    }
+  };
+  add(5, kInitialGrp5);
+  add(7, kInitialGrp7);
+  add(1, kFiller);
+  return table;
+}
+
+/// A socket-backed Alex session. Worker sessions share the master key and
+/// Adopt the relation: keys derive from the master, so they can address
+/// ciphertext another session outsourced.
+struct Session {
+  Session(uint16_t port, const std::string& seed)
+      : rng("interleave-" + seed, 1) {
+    auto transport = net::TcpTransport::Connect("127.0.0.1", port);
+    EXPECT_TRUE(transport.ok()) << transport.status();
+    client = std::make_unique<client::Client>(
+        ToBytes("interleave master"), (*transport)->AsTransport(), &rng);
+    EXPECT_TRUE(client->Adopt("T", TableSchema()).ok());
+  }
+
+  crypto::HmacDrbg rng;
+  std::unique_ptr<client::Client> client;
+};
+
+TEST(NetInterleaveTest, WritersRacingReadersStayLinearizable) {
+  server::ServerRuntimeOptions runtime;
+  runtime.num_threads = 2;
+  server::UntrustedServer eve(runtime);
+  net::NetServer net_server(&eve);
+  ASSERT_TRUE(net_server.Start().ok());
+
+  Relation table = BuildTable();
+  Session main_session(net_server.port(), "main");
+  ASSERT_TRUE(main_session.client->Outsource(table).ok());
+
+  std::atomic<int> violations{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Session session(net_server.port(), "writer" + std::to_string(w));
+      for (size_t i = 0; i < kInsertsPerWriter; ++i) {
+        Status s = session.client->Insert(
+            "T", {Tuple({Value::Str("w" + std::to_string(w * 100 + i)),
+                         Value::Int(7)})});
+        if (!s.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+
+  threads.emplace_back([&] {
+    Session session(net_server.port(), "deleter");
+    auto removed = session.client->DeleteWhere("T", "grp", Value::Int(5));
+    if (!removed.ok() || *removed != kInitialGrp5) failures.fetch_add(1);
+  });
+
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Session session(net_server.port(), "reader" + std::to_string(r));
+      size_t last7 = 0;
+      size_t last5 = kInitialGrp5;
+      for (size_t i = 0; i < kReadsPerReader; ++i) {
+        auto results = session.client->SelectBatch(
+            "T", {{"grp", Value::Int(7)}, {"grp", Value::Int(5)}});
+        if (!results.ok() || results->size() != 2) {
+          failures.fetch_add(1);
+          continue;
+        }
+        size_t got7 = (*results)[0].size();
+        size_t got5 = (*results)[1].size();
+        // grp 7 only grows; grp 5 only drops (to zero, in one step).
+        if (got7 < last7 ||
+            got7 > kInitialGrp7 + kWriters * kInsertsPerWriter) {
+          violations.fetch_add(1);
+        }
+        if (got5 > last5 || (got5 != 0 && got5 != kInitialGrp5)) {
+          violations.fetch_add(1);
+        }
+        last7 = got7;
+        last5 = got5;
+      }
+    });
+  }
+
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(violations.load(), 0);
+
+  // Final state equals the one serial outcome all orders converge to.
+  auto final_state = main_session.client->Recall("T");
+  ASSERT_TRUE(final_state.ok()) << final_state.status();
+  EXPECT_EQ(final_state->size(), kInitialGrp7 + kFiller +
+                                     kWriters * kInsertsPerWriter);
+  auto grp7 = final_state->Select("grp", Value::Int(7));
+  ASSERT_TRUE(grp7.ok());
+  EXPECT_EQ(grp7->size(), kInitialGrp7 + kWriters * kInsertsPerWriter);
+  auto grp5 = final_state->Select("grp", Value::Int(5));
+  ASSERT_TRUE(grp5.ok());
+  EXPECT_EQ(grp5->size(), 0u);
+
+  net_server.Stop();
+
+  // One ObservationLog entry per executed query — never more (a batch of
+  // k is k), never fewer (raced queries may not coalesce or vanish).
+  size_t expected_queries =
+      kReaders * kReadsPerReader * 2  // each SelectBatch logs 2
+      + 1;                            // the DeleteWhere
+  EXPECT_EQ(eve.observations().queries().size(), expected_queries);
+  // Stores: the initial upload plus one per successful append; Adopt is
+  // purely client-local and leaves no trace on the server.
+  EXPECT_EQ(eve.observations().stores().size(),
+            1 + kWriters * kInsertsPerWriter);
+}
+
+}  // namespace
+}  // namespace dbph

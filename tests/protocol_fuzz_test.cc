@@ -8,6 +8,7 @@
 #include "client/client.h"
 #include "crypto/random.h"
 #include "dbph/encrypted_relation.h"
+#include "net/frame.h"
 #include "protocol/messages.h"
 #include "server/untrusted_server.h"
 #include "swp/scheme.h"
@@ -42,9 +43,15 @@ TEST(ProtocolFuzzTest, ValidTypeBytesWithGarbagePayloads) {
       Bytes response = server.HandleRequest(request.Serialize());
       auto envelope = protocol::Envelope::Parse(response);
       ASSERT_TRUE(envelope.ok());
-      // Whatever happens, it must be a well-formed reply. (Random
-      // payloads never decode into valid requests, so: error.)
-      EXPECT_EQ(envelope->type, protocol::MessageType::kError);
+      // Whatever happens, it must be a well-formed reply. Random payloads
+      // never decode into valid requests, so: error — except kPing, whose
+      // payload is an opaque cookie echoed back verbatim.
+      if (request.type == protocol::MessageType::kPing) {
+        EXPECT_EQ(envelope->type, protocol::MessageType::kPong);
+        EXPECT_EQ(envelope->payload, request.payload);
+      } else {
+        EXPECT_EQ(envelope->type, protocol::MessageType::kError);
+      }
     }
   }
 }
@@ -280,6 +287,87 @@ TEST(DeserializerFuzzTest, LengthPrefixBombRejected) {
   auto envelope = protocol::Envelope::Parse(response);
   ASSERT_TRUE(envelope.ok());
   EXPECT_EQ(envelope->type, protocol::MessageType::kError);
+}
+
+TEST(DeserializerFuzzTest, EnvelopeLengthAboveFrameCapRejected) {
+  // The shared kMaxFrameBytes cap applies at the envelope layer too: a
+  // length prefix above it fails before any allocation, even if the
+  // declared bytes "were" present (here they are not — but the cap check
+  // must fire first, which the distinct error message pins down).
+  Bytes wire;
+  wire.push_back(static_cast<uint8_t>(protocol::MessageType::kPing));
+  AppendUint32(&wire, protocol::kMaxFrameBytes + 1);
+  auto parsed = protocol::Envelope::Parse(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("kMaxFrameBytes"),
+            std::string::npos);
+}
+
+TEST(ProtocolFuzzTest, PingEchoesArbitraryCookies) {
+  server::UntrustedServer server;
+  crypto::HmacDrbg rng("fuzz-ping", 10);
+  for (int i = 0; i < 300; ++i) {
+    protocol::Envelope ping;
+    ping.type = protocol::MessageType::kPing;
+    ping.payload = rng.NextBytes(rng.NextBelow(200));
+    auto pong = protocol::Envelope::Parse(server.HandleRequest(ping.Serialize()));
+    ASSERT_TRUE(pong.ok());
+    EXPECT_EQ(pong->type, protocol::MessageType::kPong);
+    EXPECT_EQ(pong->payload, ping.payload);
+  }
+  // Health checks are keys-free and leave no observations behind.
+  EXPECT_TRUE(server.observations().queries().empty());
+  EXPECT_TRUE(server.observations().stores().empty());
+}
+
+TEST(FrameFuzzTest, RandomStreamChunksNeverCrashTheReader) {
+  // Arbitrary garbage fed in arbitrary chunkings: the reader either
+  // assembles (garbage) frames — each bounded by the cap — or poisons
+  // itself; it must never crash or hand out a frame above the cap.
+  crypto::HmacDrbg rng("fuzz-frame", 11);
+  for (int trial = 0; trial < 200; ++trial) {
+    net::FrameReader reader(/*max_frame_bytes=*/512);
+    bool poisoned = false;
+    for (int chunk = 0; chunk < 20 && !poisoned; ++chunk) {
+      Bytes garbage = rng.NextBytes(rng.NextBelow(64));
+      poisoned = !reader.Feed(garbage.data(), garbage.size()).ok();
+      while (auto frame = reader.NextFrame()) {
+        EXPECT_LE(frame->size(), 512u);
+      }
+    }
+  }
+}
+
+TEST(FrameFuzzTest, TruncatedFramesYieldNothingAndKeepState) {
+  // Every strict prefix of a valid frame stream produces only the frames
+  // fully contained in it — never a partial or invented frame.
+  Bytes wire;
+  ASSERT_TRUE(net::AppendFrame(&wire, ToBytes("alpha")).ok());
+  ASSERT_TRUE(net::AppendFrame(&wire, ToBytes("beta")).ok());
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    net::FrameReader reader;
+    ASSERT_TRUE(reader.Feed(wire.data(), cut).ok());
+    size_t complete = 0;
+    while (reader.NextFrame()) ++complete;
+    size_t expected = cut >= 9 ? 1 : 0;  // frame one is 4 + 5 bytes
+    EXPECT_EQ(complete, expected) << "cut at " << cut;
+  }
+}
+
+TEST(FrameFuzzTest, OversizedAndGarbageHeadersPoisonPermanently) {
+  crypto::HmacDrbg rng("fuzz-frame-hdr", 12);
+  for (uint32_t declared :
+       {uint32_t{4097}, uint32_t{1u << 20}, 0xffffffffu}) {
+    net::FrameReader reader(/*max_frame_bytes=*/4096);
+    Bytes header;
+    AppendUint32(&header, declared);
+    EXPECT_FALSE(reader.Feed(header.data(), header.size()).ok())
+        << declared;
+    // Whatever arrives later, the reader stays dead and yields nothing.
+    Bytes more = rng.NextBytes(32);
+    EXPECT_FALSE(reader.Feed(more.data(), more.size()).ok());
+    EXPECT_FALSE(reader.NextFrame().has_value());
+  }
 }
 
 }  // namespace

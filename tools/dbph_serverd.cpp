@@ -1,0 +1,166 @@
+// dbph_serverd — Eve as a standalone network daemon.
+//
+// Hosts one UntrustedServer behind the epoll frame protocol so any number
+// of Alex processes (sql_repl --connect, bench_e6 --network, or a
+// TcpTransport-backed Client) can reach it over TCP.
+//
+// Usage:
+//   dbph_serverd --port=7690 [--bind=ADDR] [--threads=N] [--shards=N]
+//                [--persist=PATH] [--max-conns=N] [--idle-timeout-ms=N]
+//
+//   --persist=PATH  load PATH on start if it exists, save on shutdown
+//                   (SIGINT/SIGTERM trigger a graceful stop + save).
+//
+// The observation log is volatile by design: restarting Eve forgets her
+// transcript but never Alex's ciphertext.
+
+#include <errno.h>
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/net_server.h"
+#include "server/untrusted_server.h"
+
+using namespace dbph;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+/// Matches `--name=N` and validates the number strictly; a matching flag
+/// with a malformed value is fatal (silently listening on a wrong port is
+/// worse than refusing to start).
+bool ParseSizeFlag(const char* arg, const char* name, size_t* out,
+                   bool* bad_value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  const char* text = arg + len;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (*text == '\0' || end == nullptr || *end != '\0' || errno == ERANGE) {
+    *bad_value = true;
+    return true;
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::NetServerOptions net_options;
+  net_options.port = 7690;
+  net_options.bind_address = "0.0.0.0";
+  server::ServerRuntimeOptions runtime_options;
+  std::string persist_path;
+
+  size_t port = net_options.port;
+  size_t max_conns = net_options.max_connections;
+  size_t idle_ms = static_cast<size_t>(net_options.idle_timeout_ms);
+  for (int i = 1; i < argc; ++i) {
+    bool bad_value = false;
+    if (ParseSizeFlag(argv[i], "--port=", &port, &bad_value) ||
+        ParseSizeFlag(argv[i], "--threads=", &runtime_options.num_threads,
+                      &bad_value) ||
+        ParseSizeFlag(argv[i], "--shards=", &runtime_options.num_shards,
+                      &bad_value) ||
+        ParseSizeFlag(argv[i], "--max-conns=", &max_conns, &bad_value) ||
+        ParseSizeFlag(argv[i], "--idle-timeout-ms=", &idle_ms, &bad_value) ||
+        ParseStringFlag(argv[i], "--bind=", &net_options.bind_address) ||
+        ParseStringFlag(argv[i], "--persist=", &persist_path)) {
+      if (bad_value) {
+        std::fprintf(stderr, "bad numeric value in '%s'\n", argv[i]);
+        return 2;
+      }
+      continue;
+    }
+    std::fprintf(stderr,
+                 "unknown flag '%s'\n"
+                 "usage: dbph_serverd [--port=N] [--bind=ADDR] [--threads=N]"
+                 " [--shards=N] [--persist=PATH] [--max-conns=N]"
+                 " [--idle-timeout-ms=N]\n",
+                 argv[i]);
+    return 2;
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "--port must be in [1, 65535], got %zu\n", port);
+    return 2;
+  }
+  net_options.port = static_cast<uint16_t>(port);
+  net_options.max_connections = max_conns;
+  net_options.idle_timeout_ms = static_cast<int>(idle_ms);
+
+  server::UntrustedServer eve(runtime_options);
+  if (!persist_path.empty()) {
+    Status loaded = eve.LoadFrom(persist_path);
+    if (loaded.ok()) {
+      std::fprintf(stderr, "dbph_serverd: loaded %zu relation(s) from %s\n",
+                   eve.num_relations(), persist_path.c_str());
+    } else if (loaded.code() == StatusCode::kNotFound) {
+      std::fprintf(stderr, "dbph_serverd: %s absent, starting empty\n",
+                   persist_path.c_str());
+    } else {
+      std::fprintf(stderr, "dbph_serverd: refusing to start: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
+  }
+
+  net::NetServer server(&eve, net_options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "dbph_serverd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "dbph_serverd: listening on %s:%u\n",
+               net_options.bind_address.c_str(), server.port());
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  std::fprintf(stderr, "dbph_serverd: shutting down...\n");
+  server.Stop();
+  auto stats = server.stats();
+  std::fprintf(stderr,
+               "dbph_serverd: served %llu frame(s) over %llu connection(s)"
+               " (%llu rejected, %llu idle-reaped, %llu framing errors)\n",
+               static_cast<unsigned long long>(stats.frames_in),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.timed_out),
+               static_cast<unsigned long long>(stats.framing_errors));
+
+  if (!persist_path.empty()) {
+    if (Status saved = eve.SaveTo(persist_path); !saved.ok()) {
+      std::fprintf(stderr, "dbph_serverd: save failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "dbph_serverd: saved %zu relation(s) to %s\n",
+                 eve.num_relations(), persist_path.c_str());
+  }
+  return 0;
+}
