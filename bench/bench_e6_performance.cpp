@@ -24,13 +24,22 @@
 // epoll NetServer on a loopback ephemeral port and hammers it with N
 // concurrent socket-backed clients issuing batched selects; reports
 // aggregate multi-client queries/sec as JSON.
+//
+// Durability mode: --durability [--mutations=N] measures single-tuple
+// Insert round trips against three deployments — memory-only, WAL with
+// group commit (--fsync=batch), WAL with per-mutation fsync
+// (--fsync=always) — and reports mutation throughput per policy as JSON
+// (the price of crash safety at each durability level).
 
 #include <benchmark/benchmark.h>
+
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,6 +56,7 @@
 #include "dbph/scheme.h"
 #include "net/net_server.h"
 #include "net/tcp_transport.h"
+#include "server/durable_store.h"
 #include "server/untrusted_server.h"
 
 using namespace dbph;
@@ -294,6 +304,8 @@ struct ParallelBenchConfig {
   size_t rounds = 3;      // timed repetitions (best-of)
   size_t clients = 4;     // concurrent socket clients (--network mode)
   bool network = false;   // serve over loopback TCP instead of in-process
+  bool durability = false;  // compare mutation throughput per fsync policy
+  size_t mutations = 2000;  // insert round trips per policy (--durability)
 };
 
 /// One in-process deployment; `options` tunes the server runtime.
@@ -515,6 +527,90 @@ int RunNetworkBench(const ParallelBenchConfig& config) {
   return (results_match && log_match) ? 0 : 1;
 }
 
+// ---------------- mutation throughput per fsync policy (JSON mode) -----------
+
+struct DurabilityRun {
+  double ops_per_sec = 0;
+  uint64_t checkpoints = 0;
+  uint64_t wal_records = 0;
+  bool ok = false;
+};
+
+/// Times `mutations` single-tuple Insert round trips (plus one closing
+/// kFlush) against one deployment; `mode` empty = memory-only baseline.
+DurabilityRun RunOneDurabilityPolicy(const ParallelBenchConfig& config,
+                                     const std::string& mode) {
+  DurabilityRun run;
+  server::UntrustedServer eve;
+  std::unique_ptr<server::DurableStore> store;
+  std::string dir;
+  if (!mode.empty()) {
+    // Per-process dir: concurrent bench invocations on one host must not
+    // remove_all each other's live WAL.
+    dir = (std::filesystem::temp_directory_path() /
+           ("dbph_e6_durability_" + mode + "_" +
+            std::to_string(static_cast<long>(::getpid()))))
+              .string();
+    std::filesystem::remove_all(dir);
+    server::DurableStoreOptions options;
+    options.sync_mode = mode == "batch" ? storage::WalSyncMode::kBatch
+                                        : storage::WalSyncMode::kAlways;
+    options.sync_interval_ms = 5;
+    options.checkpoint_interval_ms = 1000;
+    store = std::make_unique<server::DurableStore>(&eve, dir, options);
+    if (!store->Open().ok()) return run;
+  }
+
+  crypto::HmacDrbg rng("e6-durability", 21);
+  client::Client client(
+      ToBytes("e6 master"),
+      [&eve](const Bytes& request) { return eve.HandleRequest(request); },
+      &rng);
+  if (!client.Outsource(BenchTable(config.docs)).ok()) return run;
+
+  Stopwatch timer;
+  for (size_t i = 0; i < config.mutations; ++i) {
+    rel::Tuple tuple({rel::Value::Str("m" + std::to_string(i)),
+                      rel::Value::Int(static_cast<int64_t>(i % 100))});
+    if (!client.Insert("T", {tuple}).ok()) return run;
+  }
+  if (!client.Flush().ok()) return run;  // durability point ends the run
+  double elapsed = timer.ElapsedSeconds();
+
+  run.ops_per_sec = static_cast<double>(config.mutations) / elapsed;
+  if (store) {
+    auto stats = store->stats();
+    run.checkpoints = stats.checkpoints;
+    run.wal_records = stats.wal_records;
+    run.ok = stats.wal_records == config.mutations + 1;  // ops + outsource
+    (void)store->Close();
+    store.reset();
+    std::filesystem::remove_all(dir);
+  } else {
+    run.ok = true;
+  }
+  return run;
+}
+
+int RunDurabilityBench(const ParallelBenchConfig& config) {
+  DurabilityRun none = RunOneDurabilityPolicy(config, "");
+  DurabilityRun batch = RunOneDurabilityPolicy(config, "batch");
+  DurabilityRun always = RunOneDurabilityPolicy(config, "always");
+  bool ok = none.ok && batch.ok && always.ok;
+  std::printf(
+      "{\"bench\":\"e6_durability\",\"docs\":%zu,\"mutations\":%zu,"
+      "\"none_ops_per_sec\":%.2f,\"batch_ops_per_sec\":%.2f,"
+      "\"always_ops_per_sec\":%.2f,\"batch_checkpoints\":%llu,"
+      "\"always_checkpoints\":%llu,\"wal_records_per_run\":%llu,"
+      "\"all_mutations_logged\":%s}\n",
+      config.docs, config.mutations, none.ops_per_sec, batch.ops_per_sec,
+      always.ops_per_sec, static_cast<unsigned long long>(batch.checkpoints),
+      static_cast<unsigned long long>(always.checkpoints),
+      static_cast<unsigned long long>(always.wal_records),
+      ok ? "true" : "false");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -527,6 +623,7 @@ int main(int argc, char** argv) {
     return true;
   };
   bool clients_flag = false;
+  bool mutations_flag = false;
   for (int i = 1; i < argc; ++i) {
     if (parse(argv[i], "--threads=", &config.threads) ||
         parse(argv[i], "--batch=", &config.batch) ||
@@ -535,14 +632,23 @@ int main(int argc, char** argv) {
       parallel_mode = true;
     } else if (parse(argv[i], "--clients=", &config.clients)) {
       clients_flag = true;
+    } else if (parse(argv[i], "--mutations=", &config.mutations)) {
+      mutations_flag = true;
     } else if (std::strcmp(argv[i], "--network") == 0) {
       config.network = true;
+    } else if (std::strcmp(argv[i], "--durability") == 0) {
+      config.durability = true;
     }
   }
   if (clients_flag && !config.network) {
     std::fprintf(stderr, "--clients only applies to --network mode\n");
     return 2;
   }
+  if (mutations_flag && !config.durability) {
+    std::fprintf(stderr, "--mutations only applies to --durability mode\n");
+    return 2;
+  }
+  if (config.durability) return RunDurabilityBench(config);
   if (config.network) return RunNetworkBench(config);
   if (parallel_mode) return RunParallelBench(config);
 

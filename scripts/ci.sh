@@ -16,15 +16,20 @@ run_tsan_stage() {
   local tsan_dir="${BUILD_DIR}-tsan"
   # Debug build: NDEBUG is off, so the exclusive-dispatcher assert in
   # UntrustedServer::HandleRequest is live here (and only here in CI).
+  # The recovery/differential suites run here too: the durable store's
+  # background checkpointer + group-commit thread races the dispatch
+  # path, which is exactly what TSan is for.
   cmake -B "$tsan_dir" -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$tsan_dir" -j "$(nproc)" --target \
     runtime_test runtime_parallel_test net_frame_test net_server_test \
-    net_interleave_test protocol_fuzz_test
+    net_interleave_test protocol_fuzz_test wal_recovery_test \
+    differential_test server_persistence_test
   ctest --test-dir "$tsan_dir" --output-on-failure --no-tests=error \
-    -R 'runtime|net_|protocol_fuzz' -j "$(nproc)"
+    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence' \
+    -j "$(nproc)"
 }
 
 if [ "${DBPH_TSAN_ONLY:-0}" = "1" ]; then
@@ -35,6 +40,10 @@ fi
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
+# The labeled durability suites must exist (a glob regression that drops
+# them would otherwise pass silently).
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L recovery
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L differential
 
 # Smoke-test the batch runtime bench (tiny workload; asserts that
 # batched results and observation logs match the sequential baseline).
@@ -44,7 +53,35 @@ if [ -x "$BUILD_DIR/bench_e6_performance" ]; then
   # checked against plaintext ground truth.
   "$BUILD_DIR/bench_e6_performance" --network --docs=1000 --clients=2 \
     --batch=4 --rounds=1
+  # ...and the durability mode: mutation throughput at each fsync policy,
+  # asserting every mutation reached the WAL.
+  "$BUILD_DIR/bench_e6_performance" --durability --docs=500 --mutations=200
 fi
+
+# End-to-end crash drill: outsource a relation through a live daemon,
+# kill -9 it, and assert the restarted daemon recovers that relation
+# from the --persist dir (sql_repl outsources its demo Emp table on
+# connect, so one scripted session is a real mutation workload).
+PERSIST_DIR="$(mktemp -d)"
+"$BUILD_DIR/dbph_serverd" --port=17690 --bind=127.0.0.1 \
+  --persist="$PERSIST_DIR" --fsync=always &
+SERVERD_PID=$!
+sleep 1
+printf '\\q\n' | "$BUILD_DIR/example_sql_repl" --connect=127.0.0.1:17690 \
+  > /dev/null
+kill -9 "$SERVERD_PID" 2>/dev/null || true
+wait "$SERVERD_PID" 2>/dev/null || true
+RESTART_LOG="$PERSIST_DIR/restart.log"
+"$BUILD_DIR/dbph_serverd" --port=17691 --bind=127.0.0.1 \
+  --persist="$PERSIST_DIR" --fsync=always 2> "$RESTART_LOG" &
+SERVERD_PID=$!
+sleep 1
+printf '\\q\n' | "$BUILD_DIR/example_sql_repl" --connect=127.0.0.1:17691 \
+  | grep -q "already on the server"
+kill "$SERVERD_PID"
+wait "$SERVERD_PID"
+grep -q "recovered 1 relation(s)" "$RESTART_LOG"
+rm -rf "$PERSIST_DIR"
 
 if [ "${DBPH_TSAN:-1}" != "0" ]; then
   run_tsan_stage

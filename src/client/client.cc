@@ -289,6 +289,15 @@ Result<rel::Relation> Client::Recall(const std::string& relation) {
   return out;
 }
 
+Status Client::Flush() {
+  Envelope request;
+  request.type = MessageType::kFlush;
+  DBPH_ASSIGN_OR_RETURN(Envelope response,
+                        Call(transport_, request, MessageType::kFlushOk));
+  (void)response;
+  return Status::OK();
+}
+
 Status Client::Drop(const std::string& relation) {
   Envelope request;
   request.type = MessageType::kDropRelation;

@@ -103,6 +103,12 @@ class Client {
   /// re-Outsource re-encrypts under fresh nonces).
   Status Drop(const std::string& relation);
 
+  /// Demands a durability point: when this returns OK, every mutation
+  /// the server acknowledged to this client is on stable storage (a
+  /// durable deployment fsyncs its write-ahead log; a memory-only server
+  /// answers trivially). Keys-free, leaks only timing.
+  Status Flush();
+
   /// The PH instance bound to an outsourced relation (exposed for the
   /// security games, which need Eq directly).
   Result<const core::DatabasePh*> SchemeFor(

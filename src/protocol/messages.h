@@ -29,9 +29,11 @@ enum class MessageType : uint8_t {
   kBatchResponse = 15,  ///< server -> client: one sub-response per request
   kPing = 16,           ///< client -> server: opaque liveness cookie
   kPong = 17,           ///< server -> client: the same cookie, echoed
+  kFlush = 18,          ///< client -> server: demand a durability point
+  kFlushOk = 19,        ///< server -> client: prior mutations are durable
 };
 
-constexpr uint8_t kMaxMessageType = 17;
+constexpr uint8_t kMaxMessageType = 19;
 
 /// Hard upper bound on one wire frame. Both the network frame codec and
 /// Envelope::Parse reject a larger attacker-controlled length prefix

@@ -1,0 +1,250 @@
+#include "server/durable_store.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/macros.h"
+#include "server/untrusted_server.h"
+
+namespace dbph {
+namespace server {
+
+namespace {
+
+/// Checkpoint file: magic + version + last covered LSN + state image.
+constexpr uint32_t kSnapshotMagic = 0x44425043;  // "DBPC"
+constexpr uint32_t kSnapshotVersion = 1;
+
+Status EnsureDirectory(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument(
+          "'" + dir + "' exists and is not a directory (the durable store "
+          "takes a directory; legacy single-file snapshots are not "
+          "auto-migrated — load the file with LoadFrom and checkpoint)");
+    }
+    return Status::OK();
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir '" + dir + "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DurableStore::DurableStore(UntrustedServer* server, std::string dir,
+                           DurableStoreOptions options)
+    : server_(server), dir_(std::move(dir)), options_(options) {}
+
+DurableStore::~DurableStore() {
+  // Crash-equivalent teardown: no checkpoint, no sync. Hooks must come
+  // off (they capture `this`) and the thread must join.
+  if (background_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(background_mutex_);
+      stop_background_ = true;
+    }
+    background_cv_.notify_all();
+    background_.join();
+  }
+  if (open_) {
+    server_->SetMutationHook(nullptr);
+    server_->SetFlushHook(nullptr);
+  }
+}
+
+Status DurableStore::Open() {
+  if (open_) return Status::FailedPrecondition("durable store already open");
+  DBPH_RETURN_IF_ERROR(EnsureDirectory(dir_));
+
+  // 1. Snapshot, if one exists.
+  uint64_t snapshot_lsn = 0;
+  bool have_snapshot = false;
+  {
+    auto read = storage::ReadWholeFile(snapshot_path());
+    if (!read.ok() && read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+    if (read.ok()) {
+      const Bytes& data = *read;
+      ByteReader reader(data);
+      DBPH_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadUint32());
+      if (magic != kSnapshotMagic) {
+        return Status::DataLoss("bad snapshot magic in " + snapshot_path());
+      }
+      DBPH_ASSIGN_OR_RETURN(uint32_t version, reader.ReadUint32());
+      if (version != kSnapshotVersion) {
+        return Status::DataLoss("unsupported snapshot version");
+      }
+      DBPH_ASSIGN_OR_RETURN(snapshot_lsn, reader.ReadUint64());
+      DBPH_ASSIGN_OR_RETURN(Bytes image, reader.ReadRaw(reader.remaining()));
+      DBPH_RETURN_IF_ERROR(server_->RestoreState(image));
+      have_snapshot = true;
+    }
+  }
+  next_lsn_ = snapshot_lsn + 1;
+
+  // 2. WAL: scan, truncate any torn tail, replay the suffix above the
+  // snapshot's LSN. Replay re-dispatches the logged envelopes; handlers
+  // are deterministic, so this rebuilds byte-identical state.
+  storage::WriteAheadLog::Options wal_options;
+  wal_options.sync_mode = options_.sync_mode;
+  DBPH_ASSIGN_OR_RETURN(storage::WriteAheadLog wal,
+                        storage::WriteAheadLog::Open(wal_path(), wal_options));
+  wal_ = std::make_unique<storage::WriteAheadLog>(std::move(wal));
+  recovered_torn_tail_.store(wal_->recovered_torn_tail());
+  uint64_t replayed = 0;
+  for (const storage::WriteAheadLog::Record& record : wal_->TakeRecovered()) {
+    if (record.lsn < next_lsn_) continue;  // already in the snapshot
+    // A logged envelope that originally failed (e.g. kAlreadyExists)
+    // fails identically on replay; errors are part of the history.
+    (void)server_->HandleRequest(record.payload);
+    next_lsn_ = record.lsn + 1;
+    ++replayed;
+  }
+  replayed_records_.store(replayed);
+  // Replay is recovery, not observation: Eve's transcript is volatile.
+  server_->mutable_observations()->Clear();
+
+  // 3. Go live: hooks route every mutation through the WAL (inside the
+  // dispatch lock) and kFlush to a real fsync.
+  open_ = true;
+  server_->SetMutationHook(
+      [this](const protocol::Envelope& envelope) {
+        return AppendMutation(envelope);
+      });
+  server_->SetFlushHook([this] { return Flush(); });
+
+  // A fresh directory (or a replayed log) gets a checkpoint immediately,
+  // so the common restart path is snapshot-only.
+  if (!have_snapshot || replayed > 0) {
+    DBPH_RETURN_IF_ERROR(Checkpoint());
+  }
+
+  if (options_.background_thread) {
+    if (options_.sync_interval_ms <= 0) {
+      return Status::InvalidArgument("sync_interval_ms must be > 0");
+    }
+    background_ = std::thread([this] { BackgroundLoop(); });
+  }
+  return Status::OK();
+}
+
+Status DurableStore::Close() {
+  if (!open_) return Status::OK();
+  if (background_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(background_mutex_);
+      stop_background_ = true;
+    }
+    background_cv_.notify_all();
+    background_.join();
+  }
+  Status final_checkpoint = Checkpoint();
+  server_->SetMutationHook(nullptr);
+  server_->SetFlushHook(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    wal_->Close();
+  }
+  open_ = false;
+  return final_checkpoint;
+}
+
+Status DurableStore::AppendMutation(const protocol::Envelope& envelope) {
+  // Caller holds the dispatch lock: appends are totally ordered and the
+  // LSN sequence is gapless in apply order.
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  DBPH_RETURN_IF_ERROR(wal_->Append(next_lsn_, envelope.Serialize()));
+  ++next_lsn_;
+  wal_records_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DurableStore::Flush() {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  return wal_->Sync();
+}
+
+Status DurableStore::Checkpoint() {
+  return server_->WithDispatchLock([this] { return CheckpointLocked(); });
+}
+
+Status DurableStore::CheckpointLocked() {
+  // Dispatch is quiescent: next_lsn_ - 1 is exactly the last applied
+  // mutation, and the serialized state contains all of them.
+  DBPH_ASSIGN_OR_RETURN(Bytes image, server_->SerializeState());
+  Bytes snapshot;
+  AppendUint32(&snapshot, kSnapshotMagic);
+  AppendUint32(&snapshot, kSnapshotVersion);
+  AppendUint64(&snapshot, next_lsn_ - 1);
+  snapshot.insert(snapshot.end(), image.begin(), image.end());
+  DBPH_RETURN_IF_ERROR(storage::AtomicWriteFile(snapshot_path(), snapshot));
+  // Crash window here (snapshot renamed, WAL not yet trimmed) is safe:
+  // every logged LSN is ≤ the snapshot's, so replay skips them all.
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    DBPH_RETURN_IF_ERROR(wal_->Reset());
+  }
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void DurableStore::BackgroundLoop() {
+  auto last_checkpoint = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lk(background_mutex_);
+  while (!stop_background_) {
+    background_cv_.wait_for(
+        lk, std::chrono::milliseconds(options_.sync_interval_ms));
+    if (stop_background_) break;
+    lk.unlock();
+
+    // Group commit: one fsync covers every append since the last tick.
+    size_t wal_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(wal_mutex_);
+      if (options_.sync_mode == storage::WalSyncMode::kBatch &&
+          wal_->unsynced_bytes() > 0) {
+        if (wal_->Sync().ok()) {
+          group_syncs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      wal_bytes = wal_->size_bytes();
+    }
+
+    auto now = std::chrono::steady_clock::now();
+    bool by_size = options_.checkpoint_wal_bytes > 0 &&
+                   wal_bytes >= options_.checkpoint_wal_bytes;
+    bool by_time =
+        options_.checkpoint_interval_ms > 0 && wal_bytes > 0 &&
+        now - last_checkpoint >=
+            std::chrono::milliseconds(options_.checkpoint_interval_ms);
+    if (by_size || by_time) {
+      if (Checkpoint().ok()) last_checkpoint = now;
+    }
+
+    lk.lock();
+  }
+}
+
+DurableStore::Stats DurableStore::stats() const {
+  Stats stats;
+  stats.wal_records = wal_records_.load(std::memory_order_relaxed);
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  stats.group_syncs = group_syncs_.load(std::memory_order_relaxed);
+  stats.replayed_records = replayed_records_.load(std::memory_order_relaxed);
+  stats.recovered_torn_tail = recovered_torn_tail_.load();
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    if (wal_) stats.wal_bytes = wal_->size_bytes();
+  }
+  return stats;
+}
+
+}  // namespace server
+}  // namespace dbph

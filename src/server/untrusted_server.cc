@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <fstream>
-#include <iterator>
 
 #include "common/macros.h"
+#include "storage/wal.h"
 #include "swp/search.h"
 
 namespace dbph {
@@ -216,7 +215,7 @@ Result<std::vector<swp::EncryptedDocument>> UntrustedServer::FetchRelation(
   return documents;
 }
 
-Status UntrustedServer::SaveTo(const std::string& path) const {
+Result<Bytes> UntrustedServer::SerializeState() const {
   Bytes out;
   AppendUint32(&out, 0x44425048);  // "DBPH" magic
   AppendUint32(&out, 1);           // format version
@@ -228,20 +227,21 @@ Status UntrustedServer::SaveTo(const std::string& path) const {
     DBPH_ASSIGN_OR_RETURN(relation.documents, FetchRelation(name));
     relation.AppendTo(&out);
   }
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return Status::Internal("cannot open '" + path + "' to write");
-  file.write(reinterpret_cast<const char*>(out.data()),
-             static_cast<std::streamsize>(out.size()));
-  if (!file) return Status::Internal("write to '" + path + "' failed");
-  return Status::OK();
+  return out;
+}
+
+Status UntrustedServer::SaveTo(const std::string& path) const {
+  DBPH_ASSIGN_OR_RETURN(Bytes out, SerializeState());
+  // Atomic: a crash mid-save leaves the previous snapshot intact.
+  return storage::AtomicWriteFile(path, out);
 }
 
 Status UntrustedServer::LoadFrom(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::NotFound("cannot open '" + path + "'");
-  Bytes data((std::istreambuf_iterator<char>(file)),
-             std::istreambuf_iterator<char>());
+  DBPH_ASSIGN_OR_RETURN(Bytes data, storage::ReadWholeFile(path));
+  return RestoreState(data);
+}
 
+Status UntrustedServer::RestoreState(const Bytes& data) {
   ByteReader reader(data);
   DBPH_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadUint32());
   if (magic != 0x44425048) return Status::DataLoss("bad magic");
@@ -328,6 +328,15 @@ protocol::Envelope UntrustedServer::DispatchBatch(
   return response;
 }
 
+Status UntrustedServer::LogMutation(const protocol::Envelope& request) {
+  if (!mutation_hook_) return Status::OK();
+  Status logged = mutation_hook_(request);
+  if (!logged.ok()) {
+    return Status::Unavailable("durability: " + logged.message());
+  }
+  return Status::OK();
+}
+
 protocol::Envelope UntrustedServer::Dispatch(
     const protocol::Envelope& request) {
   using protocol::Envelope;
@@ -337,6 +346,9 @@ protocol::Envelope UntrustedServer::Dispatch(
       ByteReader reader(request.payload);
       auto relation = core::EncryptedRelation::ReadFrom(&reader);
       if (!relation.ok()) return protocol::MakeErrorEnvelope(relation.status());
+      if (Status wal = LogMutation(request); !wal.ok()) {
+        return protocol::MakeErrorEnvelope(wal);
+      }
       Status status = StoreRelation(*relation);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
@@ -361,7 +373,27 @@ protocol::Envelope UntrustedServer::Dispatch(
       pong.payload = request.payload;
       return pong;
     }
+    case MessageType::kFlush: {
+      // Durability point: every mutation acknowledged before this reply
+      // is on stable storage. Carries no payload by definition.
+      if (!request.payload.empty()) {
+        return protocol::MakeErrorEnvelope(
+            Status::InvalidArgument("kFlush carries no payload"));
+      }
+      if (flush_hook_) {
+        if (Status flushed = flush_hook_(); !flushed.ok()) {
+          return protocol::MakeErrorEnvelope(
+              Status::Unavailable("durability: " + flushed.message()));
+        }
+      }
+      Envelope ok;
+      ok.type = MessageType::kFlushOk;
+      return ok;
+    }
     case MessageType::kDropRelation: {
+      if (Status wal = LogMutation(request); !wal.ok()) {
+        return protocol::MakeErrorEnvelope(wal);
+      }
       Status status = DropRelation(ToString(request.payload));
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
@@ -376,6 +408,9 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (!documents.ok()) {
         return protocol::MakeErrorEnvelope(documents.status());
       }
+      if (Status wal = LogMutation(request); !wal.ok()) {
+        return protocol::MakeErrorEnvelope(wal);
+      }
       Status status = AppendTuples(ToString(*name), *documents);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
@@ -386,6 +421,9 @@ protocol::Envelope UntrustedServer::Dispatch(
       ByteReader reader(request.payload);
       auto query = core::EncryptedQuery::ReadFrom(&reader);
       if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
+      if (Status wal = LogMutation(request); !wal.ok()) {
+        return protocol::MakeErrorEnvelope(wal);
+      }
       auto removed = DeleteWhere(*query);
       if (!removed.ok()) return protocol::MakeErrorEnvelope(removed.status());
       Envelope response;

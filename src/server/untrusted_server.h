@@ -2,6 +2,7 @@
 #define DBPH_SERVER_UNTRUSTED_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -105,12 +106,56 @@ class UntrustedServer {
       const std::string& name) const;
 
   /// Persists all stored ciphertext to a file (the server restarting
-  /// must not lose Alex's data — it is the only copy). The observation
-  /// log is volatile state and is not persisted.
+  /// must not lose Alex's data — it is the only copy). The write is
+  /// atomic: temp file + fsync + rename, so a crash mid-save can never
+  /// destroy a previous snapshot. The observation log is volatile state
+  /// and is not persisted.
   Status SaveTo(const std::string& path) const;
 
   /// Restores a server from SaveTo output. Existing state is replaced.
   Status LoadFrom(const std::string& path);
+
+  /// The SaveTo image as bytes (for the durability layer, which wraps it
+  /// in its own checkpoint header).
+  Result<Bytes> SerializeState() const;
+
+  /// Restores from a SerializeState image. Parses fully before mutating,
+  /// so a corrupt image cannot leave the server half-loaded. Clears the
+  /// observation log (re-stores during a restore are not observations).
+  Status RestoreState(const Bytes& data);
+
+  // -------- durability hooks (installed by server::DurableStore) --------
+
+  /// Called under the dispatch lock with every mutating envelope
+  /// (kStoreRelation / kDropRelation / kAppendTuples / kDeleteWhere whose
+  /// payload parsed) *before* it is applied; a failing hook fails the
+  /// request with kUnavailable and nothing is applied. Because the hook
+  /// runs inside the single-writer dispatch, WAL order always equals
+  /// apply order, even with racing transports.
+  using MutationHook = std::function<Status(const protocol::Envelope&)>;
+  void SetMutationHook(MutationHook hook) {
+    // Installed/removed under the dispatch lock so racing dispatchers
+    // never observe a half-assigned std::function.
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    mutation_hook_ = std::move(hook);
+  }
+
+  /// Serves kFlush: force a durability point. Without a hook the server
+  /// is memory-only and kFlush trivially succeeds (there is nothing to
+  /// make durable beyond the process).
+  using FlushHook = std::function<Status()>;
+  void SetFlushHook(FlushHook hook) {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    flush_hook_ = std::move(hook);
+  }
+
+  /// Runs `fn` while holding the dispatch lock — the same serialization
+  /// point as HandleRequest — so `fn` observes a quiescent state with no
+  /// request half-applied. The checkpointer snapshots through this.
+  Status WithDispatchLock(const std::function<Status()>& fn) {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    return fn();
+  }
 
   size_t num_relations() const { return relations_.size(); }
   Result<size_t> RelationSize(const std::string& name) const;
@@ -128,6 +173,11 @@ class UntrustedServer {
   protocol::Envelope Dispatch(const protocol::Envelope& request);
   protocol::Envelope DispatchBatch(const protocol::Envelope& request);
 
+  /// Write-ahead point for a mutating envelope: hands it to the mutation
+  /// hook (if any) before the typed handler applies it. kUnavailable on
+  /// hook failure — the mutation must not be applied.
+  Status LogMutation(const protocol::Envelope& request);
+
   /// Lazily started worker pool (no threads until the first batch).
   runtime::ThreadPool* pool();
   size_t ShardCount();
@@ -143,6 +193,8 @@ class UntrustedServer {
   std::mutex dispatch_mutex_;
   /// Debug-only: the one transport allowed to dispatch, when bound.
   std::atomic<const void*> bound_dispatcher_{nullptr};
+  MutationHook mutation_hook_;
+  FlushHook flush_hook_;
 };
 
 }  // namespace server

@@ -1,0 +1,298 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <libgen.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+#include "protocol/messages.h"
+
+namespace dbph {
+namespace storage {
+
+namespace {
+
+/// Record header: u32 payload length + u32 crc + u64 lsn.
+constexpr size_t kRecordHeaderBytes = 4 + 4 + 8;
+
+uint32_t ReadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+uint64_t ReadBe64(const uint8_t* p) {
+  return (static_cast<uint64_t>(ReadBe32(p)) << 32) | ReadBe32(p + 4);
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t wrote = ::write(fd, data + done, n - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write");
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+/// fsyncs the directory containing `path` so renames/creations in it are
+/// durable. A failure here means the rename itself may not survive power
+/// loss, so callers on the durability path must propagate it.
+Status SyncParentDir(const std::string& path) {
+  std::string copy = path;
+  const char* dir = ::dirname(copy.data());
+  int fd = ::open(dir, O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus(std::string("open dir '") + dir + "'");
+  Status synced =
+      ::fsync(fd) == 0 ? Status::OK() : ErrnoStatus("fsync dir");
+  ::close(fd);
+  return synced;
+}
+
+}  // namespace
+
+Result<Bytes> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("cannot open '" + path + "'");
+    return ErrnoStatus("open '" + path + "'");
+  }
+  Bytes data;
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read '" + path + "'");
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const Bytes& data) { return Crc32(data.data(), data.size()); }
+
+Status AtomicWriteFile(const std::string& path, const Bytes& data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open '" + tmp + "'");
+  Status written = WriteAll(fd, data.data(), data.size());
+  if (written.ok() && ::fsync(fd) != 0) written = ErrnoStatus("fsync");
+  if (::close(fd) != 0 && written.ok()) written = ErrnoStatus("close");
+  if (!written.ok()) {
+    ::unlink(tmp.c_str());
+    return written;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status renamed = ErrnoStatus("rename '" + tmp + "' -> '" + path + "'");
+    ::unlink(tmp.c_str());
+    return renamed;
+  }
+  // The rename is only durable once the directory entry is: a swallowed
+  // failure here would let a checkpoint trim the WAL against a snapshot
+  // that can vanish on power loss.
+  return SyncParentDir(path);
+}
+
+WriteAheadLog::ScanResult WriteAheadLog::ScanBuffer(const Bytes& data) {
+  ScanResult result;
+  size_t pos = 0;
+  while (data.size() - pos >= kRecordHeaderBytes) {
+    const uint8_t* header = data.data() + pos;
+    uint32_t length = ReadBe32(header);
+    // Attacker-/corruption-controlled length: reject against the shared
+    // frame cap before trusting it, exactly like Envelope::Parse.
+    if (length > protocol::kMaxFrameBytes) break;
+    if (data.size() - pos - kRecordHeaderBytes < length) break;  // torn body
+    uint32_t stored_crc = ReadBe32(header + 4);
+    // The CRC covers lsn + payload (everything after the crc field).
+    uint32_t actual_crc = Crc32(header + 8, 8 + length);
+    if (stored_crc != actual_crc) break;
+    Record record;
+    record.lsn = ReadBe64(header + 8);
+    record.payload.assign(header + kRecordHeaderBytes,
+                          header + kRecordHeaderBytes + length);
+    result.records.push_back(std::move(record));
+    pos += kRecordHeaderBytes + length;
+  }
+  result.valid_bytes = pos;
+  result.torn_tail = pos != data.size();
+  return result;
+}
+
+Result<WriteAheadLog::ScanResult> WriteAheadLog::ScanFile(
+    const std::string& path) {
+  DBPH_ASSIGN_OR_RETURN(Bytes data, ReadWholeFile(path));
+  return ScanBuffer(data);
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  return Open(path, Options());
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
+                                          Options options) {
+  Bytes existing;
+  {
+    auto read = ReadWholeFile(path);
+    if (read.ok()) {
+      existing = std::move(*read);
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+  }
+  ScanResult scan = ScanBuffer(existing);
+
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open '" + path + "'");
+  if (scan.torn_tail) {
+    // Drop the torn/corrupt tail so appends extend a clean prefix.
+    if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      Status truncated = ErrnoStatus("ftruncate '" + path + "'");
+      ::close(fd);
+      return truncated;
+    }
+    if (::fsync(fd) != 0) {
+      Status synced = ErrnoStatus("fsync '" + path + "'");
+      ::close(fd);
+      return synced;
+    }
+  }
+  if (Status dir_synced = SyncParentDir(path); !dir_synced.ok()) {
+    ::close(fd);  // the log file's existence must itself be durable
+    return dir_synced;
+  }
+
+  WriteAheadLog wal;
+  wal.fd_ = fd;
+  wal.path_ = path;
+  wal.options_ = options;
+  wal.torn_tail_ = scan.torn_tail;
+  wal.size_bytes_ = scan.valid_bytes;
+  if (!scan.records.empty()) wal.last_lsn_ = scan.records.back().lsn;
+  wal.recovered_ = std::move(scan.records);
+  return wal;
+}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept {
+  *this = std::move(other);
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    recovered_ = std::move(other.recovered_);
+    torn_tail_ = other.torn_tail_;
+    size_bytes_ = other.size_bytes_;
+    unsynced_bytes_ = other.unsynced_bytes_;
+    last_lsn_ = other.last_lsn_;
+    records_appended_ = other.records_appended_;
+  }
+  return *this;
+}
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+void WriteAheadLog::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WriteAheadLog::Append(uint64_t lsn, const Bytes& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (payload.size() > protocol::kMaxFrameBytes) {
+    return Status::InvalidArgument("WAL record exceeds kMaxFrameBytes");
+  }
+  // [len][crc][lsn][payload], crc over lsn + payload.
+  Bytes record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  AppendUint32(&record, static_cast<uint32_t>(payload.size()));
+  Bytes covered;
+  covered.reserve(8 + payload.size());
+  AppendUint64(&covered, lsn);
+  covered.insert(covered.end(), payload.begin(), payload.end());
+  AppendUint32(&record, Crc32(covered));
+  record.insert(record.end(), covered.begin(), covered.end());
+
+  if (Status written = WriteAll(fd_, record.data(), record.size());
+      !written.ok()) {
+    // A partial write left torn bytes mid-file; with O_APPEND every later
+    // record would land *after* them and be unreachable to recovery's
+    // prefix scan. Roll the file back to the last good boundary — and if
+    // even that fails, poison the log so no further append can be
+    // acknowledged against a file we cannot reason about.
+    if (::ftruncate(fd_, static_cast<off_t>(size_bytes_)) != 0) {
+      Status poisoned = ErrnoStatus("ftruncate after failed append");
+      Close();
+      return poisoned;
+    }
+    return written;
+  }
+  size_bytes_ += record.size();
+  unsynced_bytes_ += record.size();
+  last_lsn_ = lsn;
+  ++records_appended_;
+  if (options_.sync_mode == WalSyncMode::kAlways) {
+    DBPH_RETURN_IF_ERROR(Sync());
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (unsynced_bytes_ == 0) return Status::OK();
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync '" + path_ + "'");
+  unsynced_bytes_ = 0;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (::ftruncate(fd_, 0) != 0) return ErrnoStatus("ftruncate '" + path_ + "'");
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync '" + path_ + "'");
+  size_bytes_ = 0;
+  unsynced_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace dbph

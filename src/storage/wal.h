@@ -1,0 +1,140 @@
+#ifndef DBPH_STORAGE_WAL_H_
+#define DBPH_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace storage {
+
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a
+/// byte range. Guards every WAL record against torn writes and bit rot.
+uint32_t Crc32(const uint8_t* data, size_t n);
+uint32_t Crc32(const Bytes& data);
+
+/// \brief Writes `data` to `path` atomically: temp file in the same
+/// directory, fsync, rename over the target, fsync the directory. A crash
+/// at any point leaves either the old file or the new one — never a
+/// partial write and never nothing. Fails (rather than succeeding
+/// non-durably) if the directory fsync fails.
+Status AtomicWriteFile(const std::string& path, const Bytes& data);
+
+/// \brief Reads a file into memory, EINTR-safe, with errno-carrying
+/// errors (kNotFound when absent) — unlike ifstream, a mid-read I/O
+/// error is reported, not silently treated as EOF.
+Result<Bytes> ReadWholeFile(const std::string& path);
+
+/// When to fsync WAL appends.
+enum class WalSyncMode {
+  /// fsync before Append returns: an acknowledged mutation survives any
+  /// crash. One disk flush per mutation.
+  kAlways,
+  /// Appends are written but fsynced later (Sync(), a group-commit tick,
+  /// or a checkpoint). Crash may lose the unsynced suffix — but replay
+  /// still recovers a consistent prefix.
+  kBatch,
+};
+
+/// \brief Append-only, CRC-guarded write-ahead log.
+///
+/// On-disk format: a sequence of records, no file header,
+///
+///   [u32 payload_length][u32 crc][u64 lsn][payload bytes]
+///
+/// (all integers big-endian, matching the wire protocol). The CRC covers
+/// the lsn and the payload, so a torn header, torn body, or bit flip is
+/// detected on scan. Payload lengths are attacker-/corruption-controlled
+/// input and are rejected against protocol::kMaxFrameBytes *before* any
+/// allocation, exactly like Envelope::Parse.
+///
+/// Recovery contract: Scan() returns the longest valid prefix of records
+/// and the byte offset where validity ends; everything after the first
+/// torn or corrupt record is dropped (a torn tail is the expected shape
+/// of a crash mid-append). Open() truncates the file to that prefix so
+/// subsequent appends extend a clean log.
+class WriteAheadLog {
+ public:
+  struct Options {
+    WalSyncMode sync_mode = WalSyncMode::kAlways;
+  };
+
+  /// One recovered record.
+  struct Record {
+    uint64_t lsn = 0;
+    Bytes payload;
+  };
+
+  /// Result of scanning a WAL image.
+  struct ScanResult {
+    std::vector<Record> records;  ///< the valid prefix, in log order
+    size_t valid_bytes = 0;       ///< offset where the valid prefix ends
+    bool torn_tail = false;       ///< bytes after the prefix were dropped
+  };
+
+  /// Pure in-memory scan (also the fuzz surface: never crashes, never
+  /// allocates more than the buffer holds).
+  static ScanResult ScanBuffer(const Bytes& data);
+
+  /// Scans a WAL file; kNotFound if it does not exist.
+  static Result<ScanResult> ScanFile(const std::string& path);
+
+  /// Opens `path` for appending, creating it if absent. Scans existing
+  /// content, truncates any torn tail, and positions at the end of the
+  /// valid prefix. Recovered records are available via TakeRecovered().
+  static Result<WriteAheadLog> Open(const std::string& path, Options options);
+  static Result<WriteAheadLog> Open(const std::string& path);
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  ~WriteAheadLog();
+
+  /// Appends one record. In kAlways mode the record is on stable storage
+  /// when this returns; in kBatch mode it is written but possibly
+  /// unsynced (call Sync() for a durability point).
+  Status Append(uint64_t lsn, const Bytes& payload);
+
+  /// fsync: everything appended so far becomes durable. The group-commit
+  /// point for kBatch mode; a no-op when nothing is unsynced.
+  Status Sync();
+
+  /// Empties the log (after a checkpoint made its contents redundant)
+  /// and syncs the truncation.
+  Status Reset();
+
+  void Close();
+
+  /// Records recovered by Open() (moved out; call once).
+  std::vector<Record> TakeRecovered() { return std::move(recovered_); }
+  /// True when Open() had to drop a torn/corrupt tail.
+  bool recovered_torn_tail() const { return torn_tail_; }
+
+  size_t size_bytes() const { return size_bytes_; }
+  uint64_t last_lsn() const { return last_lsn_; }
+  uint64_t records_appended() const { return records_appended_; }
+  /// Bytes written since the last fsync (0 = everything durable).
+  size_t unsynced_bytes() const { return unsynced_bytes_; }
+
+ private:
+  WriteAheadLog() = default;
+
+  int fd_ = -1;
+  std::string path_;
+  Options options_;
+  std::vector<Record> recovered_;
+  bool torn_tail_ = false;
+  size_t size_bytes_ = 0;
+  size_t unsynced_bytes_ = 0;
+  uint64_t last_lsn_ = 0;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace storage
+}  // namespace dbph
+
+#endif  // DBPH_STORAGE_WAL_H_

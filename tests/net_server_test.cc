@@ -10,6 +10,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "net/socket.h"
 #include "net/tcp_transport.h"
 #include "protocol/messages.h"
+#include "server/durable_store.h"
 #include "server/untrusted_server.h"
 
 namespace dbph {
@@ -415,6 +417,127 @@ TEST_F(NetServerTest, IdleConnectionsAreReaped) {
   ssize_t n = ::recv(fd->get(), &byte, 1, 0);
   EXPECT_EQ(n, 0) << "expected EOF from idle reaping";
   EXPECT_GE(net_server_->stats().timed_out, 1u);
+}
+
+TEST(NetDurabilityTest, PipelinedMutationsAnswerInOrderAndSurviveRestart) {
+  // One TCP connection pipelines Insert / DeleteWhere / Select / kFlush
+  // in a single burst against a durable deployment; responses must come
+  // back strictly in request order and byte-identical to an in-process
+  // twin. Then the deployment is killed (no Close) and a second server
+  // opened on the same --persist directory must serve the mutated state
+  // to a reattaching key holder.
+  std::string dir = ::testing::TempDir() + "/net_durable_dir";
+  std::filesystem::remove_all(dir);
+
+  // Record the canonical op sequence against an in-process twin: the
+  // exact request bytes to pipeline and the exact responses to expect.
+  server::UntrustedServer twin;
+  std::vector<Bytes> requests;
+  std::vector<Bytes> responses;
+  crypto::HmacDrbg rng("net-pipeline", 1);
+  client::Client recorder(
+      ToBytes("pipeline master"),
+      [&](const Bytes& request) {
+        Bytes response = twin.HandleRequest(request);
+        requests.push_back(request);
+        responses.push_back(response);
+        return response;
+      },
+      &rng);
+  ASSERT_TRUE(recorder.Outsource(BuildTable("P", 60)).ok());
+  ASSERT_TRUE(recorder
+                  .Insert("P", {rel::Tuple({Value::Str("new1"), Value::Int(3)}),
+                                rel::Tuple({Value::Str("new2"), Value::Int(2)})})
+                  .ok());
+  auto twin_mid_select = recorder.Select("P", "grp", Value::Int(3));
+  ASSERT_TRUE(twin_mid_select.ok());
+  auto twin_removed = recorder.DeleteWhere("P", "grp", Value::Int(2));
+  ASSERT_TRUE(twin_removed.ok());
+  EXPECT_GT(*twin_removed, 0u);
+  auto twin_final_select = recorder.Select("P", "grp", Value::Int(2));
+  ASSERT_TRUE(twin_final_select.ok());
+  EXPECT_TRUE(twin_final_select->empty());
+  ASSERT_EQ(requests.size(), 5u);
+
+  protocol::Envelope flush;
+  flush.type = protocol::MessageType::kFlush;
+  protocol::Envelope flush_ok;
+  flush_ok.type = protocol::MessageType::kFlushOk;
+
+  // The burst: store, insert, select, FLUSH, delete, select, FLUSH.
+  std::vector<Bytes> burst_requests = {requests[0], requests[1], requests[2],
+                                       flush.Serialize(),  requests[3],
+                                       requests[4],        flush.Serialize()};
+  std::vector<Bytes> expected = {responses[0],        responses[1],
+                                 responses[2],        flush_ok.Serialize(),
+                                 responses[3],        responses[4],
+                                 flush_ok.Serialize()};
+
+  server::DurableStoreOptions store_options;
+  store_options.background_thread = false;
+  {
+    auto eve = std::make_unique<server::UntrustedServer>();
+    auto store =
+        std::make_unique<server::DurableStore>(eve.get(), dir, store_options);
+    ASSERT_TRUE(store->Open().ok());
+    net::NetServer net_server(eve.get());
+    ASSERT_TRUE(net_server.Start().ok());
+
+    auto fd = net::ConnectTo("127.0.0.1", net_server.port());
+    ASSERT_TRUE(fd.ok());
+    Bytes burst;
+    for (const Bytes& request : burst_requests) {
+      ASSERT_TRUE(net::AppendFrame(&burst, request).ok());
+    }
+    ASSERT_TRUE(net::SendAll(fd->get(), burst.data(), burst.size()).ok());
+
+    net::FrameReader reader;
+    uint8_t buf[8192];
+    std::vector<Bytes> frames;
+    while (frames.size() < expected.size()) {
+      ssize_t n = ::recv(fd->get(), buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      ASSERT_TRUE(reader.Feed(buf, static_cast<size_t>(n)).ok());
+      while (auto frame = reader.NextFrame()) {
+        frames.push_back(std::move(*frame));
+      }
+    }
+    ASSERT_EQ(frames.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(frames[i], expected[i]) << "response " << i;
+    }
+
+    net_server.Stop();
+    // kill -9: the store is destroyed without Close — no final
+    // checkpoint, just whatever the (fsync=always) WAL holds.
+  }
+
+  // "Second dbph_serverd process" on the same persist dir.
+  server::UntrustedServer restarted;
+  server::DurableStore recovered(&restarted, dir, store_options);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_GT(recovered.stats().replayed_records, 0u);
+  net::NetServer second(&restarted);
+  ASSERT_TRUE(second.Start().ok());
+
+  auto transport = net::TcpTransport::Connect("127.0.0.1", second.port());
+  ASSERT_TRUE(transport.ok());
+  crypto::HmacDrbg fresh_rng("net-pipeline-reattach", 2);
+  client::Client reattached(ToBytes("pipeline master"),
+                            (*transport)->AsTransport(), &fresh_rng);
+  ASSERT_TRUE(reattached.Adopt("P", TableSchema()).ok());
+  auto grp3 = reattached.Select("P", "grp", Value::Int(3));
+  ASSERT_TRUE(grp3.ok());
+  EXPECT_TRUE(grp3->SameTuples(*twin_mid_select));
+  auto grp2 = reattached.Select("P", "grp", Value::Int(2));
+  ASSERT_TRUE(grp2.ok());
+  EXPECT_TRUE(grp2->empty());
+  auto recalled = reattached.Recall("P");
+  auto twin_recalled = recorder.Recall("P");
+  ASSERT_TRUE(recalled.ok());
+  ASSERT_TRUE(twin_recalled.ok());
+  EXPECT_TRUE(recalled->SameTuples(*twin_recalled));
+  second.Stop();
 }
 
 TEST_F(NetServerTest, TransportReconnectsAfterServerRestart) {

@@ -5,12 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
 #include "client/client.h"
 #include "crypto/random.h"
 #include "dbph/encrypted_relation.h"
 #include "net/frame.h"
 #include "protocol/messages.h"
 #include "server/untrusted_server.h"
+#include "storage/wal.h"
 #include "swp/scheme.h"
 
 namespace dbph {
@@ -45,10 +50,14 @@ TEST(ProtocolFuzzTest, ValidTypeBytesWithGarbagePayloads) {
       ASSERT_TRUE(envelope.ok());
       // Whatever happens, it must be a well-formed reply. Random payloads
       // never decode into valid requests, so: error — except kPing, whose
-      // payload is an opaque cookie echoed back verbatim.
+      // payload is an opaque cookie echoed back verbatim, and kFlush,
+      // which is payload-free (an empty random payload is a valid flush).
       if (request.type == protocol::MessageType::kPing) {
         EXPECT_EQ(envelope->type, protocol::MessageType::kPong);
         EXPECT_EQ(envelope->payload, request.payload);
+      } else if (request.type == protocol::MessageType::kFlush &&
+                 request.payload.empty()) {
+        EXPECT_EQ(envelope->type, protocol::MessageType::kFlushOk);
       } else {
         EXPECT_EQ(envelope->type, protocol::MessageType::kError);
       }
@@ -352,6 +361,132 @@ TEST(FrameFuzzTest, TruncatedFramesYieldNothingAndKeepState) {
     size_t expected = cut >= 9 ? 1 : 0;  // frame one is 4 + 5 bytes
     EXPECT_EQ(complete, expected) << "cut at " << cut;
   }
+}
+
+// ---------------- WAL record parsing (recovery is a parser too) -------------
+
+TEST(WalFuzzTest, RandomBuffersNeverCrashAndYieldBoundedPrefixes) {
+  // A WAL file after a crash is arbitrary bytes; ScanBuffer must never
+  // crash, never report a prefix longer than the buffer, and never hand
+  // out a record above the frame cap.
+  crypto::HmacDrbg rng("fuzz-wal", 20);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes garbage = rng.NextBytes(rng.NextBelow(300));
+    auto scan = storage::WriteAheadLog::ScanBuffer(garbage);
+    EXPECT_LE(scan.valid_bytes, garbage.size());
+    EXPECT_EQ(scan.torn_tail, scan.valid_bytes != garbage.size());
+    for (const auto& record : scan.records) {
+      EXPECT_LE(record.payload.size(), protocol::kMaxFrameBytes);
+    }
+  }
+}
+
+TEST(WalFuzzTest, OversizedLengthRejectedBeforeAllocation) {
+  // A record claiming a 4 GiB (or just-over-cap) payload must stop the
+  // scan at that offset — the length is checked against
+  // protocol::kMaxFrameBytes before anything is allocated, exactly like
+  // Envelope::Parse.
+  for (uint32_t declared : {protocol::kMaxFrameBytes + 1, 0xffffffffu}) {
+    Bytes image;
+    AppendUint32(&image, declared);
+    AppendUint32(&image, 0xdeadbeef);  // crc (never reached)
+    AppendUint64(&image, 1);           // lsn
+    image.resize(image.size() + 64, 0xab);
+    auto scan = storage::WriteAheadLog::ScanBuffer(image);
+    EXPECT_TRUE(scan.records.empty());
+    EXPECT_EQ(scan.valid_bytes, 0u);
+    EXPECT_TRUE(scan.torn_tail);
+  }
+}
+
+TEST(WalFuzzTest, ZeroLengthRecordsAreValid) {
+  // An empty payload is a legal record (the CRC still covers the LSN).
+  Bytes covered;
+  AppendUint64(&covered, 7);  // lsn
+  Bytes image;
+  AppendUint32(&image, 0);  // zero-length payload
+  AppendUint32(&image, storage::Crc32(covered));
+  image.insert(image.end(), covered.begin(), covered.end());
+  auto scan = storage::WriteAheadLog::ScanBuffer(image);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].lsn, 7u);
+  EXPECT_TRUE(scan.records[0].payload.empty());
+  EXPECT_FALSE(scan.torn_tail);
+
+  // ...but a zero-length record with a wrong CRC is a corrupt tail.
+  image[7] ^= 0x01;
+  auto bad = storage::WriteAheadLog::ScanBuffer(image);
+  EXPECT_TRUE(bad.records.empty());
+  EXPECT_TRUE(bad.torn_tail);
+}
+
+TEST(WalFuzzTest, GarbageTailAfterValidRecordsIsTruncatedNotFatal) {
+  std::string path = ::testing::TempDir() + "/fuzz_wal.log";
+  std::remove(path.c_str());
+  size_t clean_bytes = 0;
+  {
+    auto wal = storage::WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(1, ToBytes("alpha")).ok());
+    ASSERT_TRUE(wal->Append(2, ToBytes("beta")).ok());
+    clean_bytes = wal->size_bytes();
+  }
+  // Splatter garbage after the valid records (a torn append).
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "\xff\x01garbage tail";
+  }
+  auto scan = storage::WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->valid_bytes, clean_bytes);
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_EQ(ToString(scan->records[0].payload), "alpha");
+  EXPECT_EQ(ToString(scan->records[1].payload), "beta");
+
+  // Re-opening truncates the tail and appends continue cleanly.
+  {
+    auto reopened = storage::WriteAheadLog::Open(path);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_TRUE(reopened->recovered_torn_tail());
+    EXPECT_EQ(reopened->size_bytes(), clean_bytes);
+    ASSERT_TRUE(reopened->Append(3, ToBytes("gamma")).ok());
+  }
+  auto final_scan = storage::WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(final_scan.ok());
+  EXPECT_EQ(final_scan->records.size(), 3u);
+  EXPECT_FALSE(final_scan->torn_tail);
+  std::remove(path.c_str());
+}
+
+TEST(WalFuzzTest, EveryPrefixOfAValidLogYieldsOnlyWholeRecords) {
+  std::string path = ::testing::TempDir() + "/fuzz_wal_prefix.log";
+  std::remove(path.c_str());
+  std::vector<size_t> boundaries{0};
+  {
+    auto wal = storage::WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (uint64_t i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(wal->Append(i, ToBytes("record-" + std::to_string(i))).ok());
+      boundaries.push_back(wal->size_bytes());
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
+  Bytes image((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  ASSERT_EQ(image.size(), boundaries.back());
+  for (size_t cut = 0; cut <= image.size(); ++cut) {
+    Bytes prefix(image.begin(), image.begin() + static_cast<long>(cut));
+    auto scan = storage::WriteAheadLog::ScanBuffer(prefix);
+    size_t expected = 0;
+    while (expected + 1 < boundaries.size() &&
+           boundaries[expected + 1] <= cut) {
+      ++expected;
+    }
+    EXPECT_EQ(scan.records.size(), expected) << "cut at " << cut;
+    EXPECT_EQ(scan.valid_bytes, boundaries[expected]) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(FrameFuzzTest, OversizedAndGarbageHeadersPoisonPermanently) {

@@ -1,0 +1,375 @@
+// Crash-injection coverage for the durability subsystem: a DurableStore
+// abandoned without Close() is a kill -9'd server — recovery from its
+// directory must rebuild a consistent prefix of the mutation history,
+// byte-identical to the state the live server held, whatever the WAL's
+// tail looks like (torn mid-record, CRC-corrupted, stale after a
+// checkpoint that never trimmed).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "crypto/random.h"
+#include "server/durable_store.h"
+#include "server/untrusted_server.h"
+#include "storage/wal.h"
+
+namespace dbph {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+Schema TableSchema() {
+  auto s = Schema::Create({
+      {"key", ValueType::kString, 8},
+      {"grp", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+Relation BuildTable(size_t n) {
+  Relation table("T", TableSchema());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(table.Insert({Value::Str("k" + std::to_string(i)),
+                              Value::Int(static_cast<int64_t>(i % 5))})
+                    .ok());
+  }
+  return table;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Bytes ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << path;
+  return Bytes((std::istreambuf_iterator<char>(file)),
+               std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const Bytes& data) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(file.good()) << path;
+}
+
+/// A live durable deployment: server + store + a keyed client whose
+/// mutations flow through the wire protocol (and therefore the WAL).
+/// Destroying the struct without Close() simulates kill -9.
+struct Deployment {
+  explicit Deployment(const std::string& dir,
+                      server::DurableStoreOptions options = {}) {
+    server = std::make_unique<server::UntrustedServer>();
+    store = std::make_unique<server::DurableStore>(server.get(), dir, options);
+    rng = std::make_unique<crypto::HmacDrbg>("wal-recovery", 1);
+    client = std::make_unique<client::Client>(
+        ToBytes("wal master"),
+        [this](const Bytes& request) { return server->HandleRequest(request); },
+        rng.get());
+  }
+
+  Bytes State() {
+    auto state = server->SerializeState();
+    EXPECT_TRUE(state.ok());
+    return *state;
+  }
+
+  std::unique_ptr<server::UntrustedServer> server;
+  std::unique_ptr<server::DurableStore> store;
+  std::unique_ptr<crypto::HmacDrbg> rng;
+  std::unique_ptr<client::Client> client;
+};
+
+server::DurableStoreOptions ManualOptions() {
+  server::DurableStoreOptions options;
+  options.background_thread = false;  // tests drive checkpoints by hand
+  return options;
+}
+
+TEST(WalRecoveryTest, CrashRecoveryRebuildsByteIdenticalState) {
+  std::string dir = FreshDir("wal_crash_basic");
+  Bytes live_state;
+  {
+    Deployment live(dir, ManualOptions());
+    ASSERT_TRUE(live.store->Open().ok());
+    ASSERT_TRUE(live.client->Outsource(BuildTable(20)).ok());
+    ASSERT_TRUE(live.client
+                    ->Insert("T", {Tuple({Value::Str("new1"), Value::Int(3)}),
+                                   Tuple({Value::Str("new2"), Value::Int(4)})})
+                    .ok());
+    auto removed = live.client->DeleteWhere("T", "grp", Value::Int(2));
+    ASSERT_TRUE(removed.ok());
+    EXPECT_GT(*removed, 0u);
+    ASSERT_TRUE(live.client->Flush().ok());
+    live_state = live.State();
+  }  // kill -9: no Close, no final checkpoint
+
+  Deployment restarted(dir, ManualOptions());
+  ASSERT_TRUE(restarted.store->Open().ok());
+  EXPECT_GT(restarted.store->stats().replayed_records, 0u);
+  EXPECT_EQ(restarted.State(), live_state);
+  // Replay is recovery, not observation.
+  EXPECT_TRUE(restarted.server->observations().queries().empty());
+  EXPECT_TRUE(restarted.server->observations().stores().empty());
+
+  // The restarted server answers queries for a reattaching key holder.
+  ASSERT_TRUE(restarted.client->Adopt("T", TableSchema()).ok());
+  auto rows = restarted.client->Select("T", "grp", Value::Int(3));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);  // 4 of 20 seeded rows + "new1"
+}
+
+TEST(WalRecoveryTest, TornTailTruncatedAtEveryByteOfTheFinalRecord) {
+  // Run N mutations, remembering the WAL size and exact server state
+  // after each. Then cut the WAL at every byte boundary of the final
+  // record: recovery must yield exactly the state after N-1 mutations
+  // (any partial cut) or after N (the full log) — never anything else.
+  std::string dir = FreshDir("wal_torn_tail");
+  std::vector<size_t> wal_after;   // WAL bytes after op i
+  std::vector<Bytes> state_after;  // server state after op i
+  {
+    Deployment live(dir, ManualOptions());
+    ASSERT_TRUE(live.store->Open().ok());
+
+    ASSERT_TRUE(live.client->Outsource(BuildTable(10)).ok());
+    wal_after.push_back(live.store->stats().wal_bytes);
+    state_after.push_back(live.State());
+
+    ASSERT_TRUE(
+        live.client->Insert("T", {Tuple({Value::Str("a"), Value::Int(1)})})
+            .ok());
+    wal_after.push_back(live.store->stats().wal_bytes);
+    state_after.push_back(live.State());
+
+    auto removed = live.client->DeleteWhere("T", "grp", Value::Int(1));
+    ASSERT_TRUE(removed.ok());
+    wal_after.push_back(live.store->stats().wal_bytes);
+    state_after.push_back(live.State());
+  }
+
+  Bytes snapshot_image = ReadFileBytes(dir + "/snapshot.dbph");
+  Bytes wal_image = ReadFileBytes(dir + "/wal.log");
+  ASSERT_EQ(wal_image.size(), wal_after.back());
+  size_t penultimate = wal_after[wal_after.size() - 2];
+
+  for (size_t cut = penultimate; cut <= wal_image.size(); ++cut) {
+    std::string crash_dir = FreshDir("wal_torn_tail_cut");
+    ASSERT_TRUE(std::filesystem::create_directory(crash_dir));
+    WriteFileBytes(crash_dir + "/snapshot.dbph", snapshot_image);
+    WriteFileBytes(crash_dir + "/wal.log",
+                   Bytes(wal_image.begin(),
+                         wal_image.begin() + static_cast<long>(cut)));
+
+    Deployment recovered(crash_dir, ManualOptions());
+    ASSERT_TRUE(recovered.store->Open().ok()) << "cut at " << cut;
+    const Bytes& expected = cut == wal_image.size()
+                                ? state_after.back()
+                                : state_after[state_after.size() - 2];
+    EXPECT_EQ(recovered.State(), expected) << "cut at " << cut;
+    EXPECT_EQ(recovered.store->stats().recovered_torn_tail,
+              cut != wal_image.size() && cut != penultimate)
+        << "cut at " << cut;
+  }
+}
+
+TEST(WalRecoveryTest, CrcCorruptionDropsTheRecordAndEverythingAfter) {
+  std::string dir = FreshDir("wal_crc_flip");
+  std::vector<size_t> wal_after;
+  std::vector<Bytes> state_after;
+  {
+    Deployment live(dir, ManualOptions());
+    ASSERT_TRUE(live.store->Open().ok());
+    ASSERT_TRUE(live.client->Outsource(BuildTable(8)).ok());
+    wal_after.push_back(live.store->stats().wal_bytes);
+    state_after.push_back(live.State());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(live.client
+                      ->Insert("T", {Tuple({Value::Str("x" + std::to_string(i)),
+                                            Value::Int(i)})})
+                      .ok());
+      wal_after.push_back(live.store->stats().wal_bytes);
+      state_after.push_back(live.State());
+    }
+  }
+  Bytes snapshot_image = ReadFileBytes(dir + "/snapshot.dbph");
+  Bytes wal_image = ReadFileBytes(dir + "/wal.log");
+
+  // Flip one payload byte inside record k (for every k): recovery must
+  // keep exactly the records before k — a consistent prefix, even when
+  // valid-looking records follow the corruption.
+  for (size_t k = 0; k < wal_after.size(); ++k) {
+    size_t begin = k == 0 ? 0 : wal_after[k - 1];
+    Bytes corrupted = wal_image;
+    corrupted[begin + 16] ^= 0x40;  // first payload byte (16-byte header)
+
+    std::string crash_dir = FreshDir("wal_crc_flip_case");
+    ASSERT_TRUE(std::filesystem::create_directory(crash_dir));
+    WriteFileBytes(crash_dir + "/snapshot.dbph", snapshot_image);
+    WriteFileBytes(crash_dir + "/wal.log", corrupted);
+
+    Deployment recovered(crash_dir, ManualOptions());
+    ASSERT_TRUE(recovered.store->Open().ok()) << "corrupt record " << k;
+    EXPECT_TRUE(recovered.store->stats().recovered_torn_tail);
+    if (k == 0) {
+      EXPECT_EQ(recovered.server->num_relations(), 0u);
+    } else {
+      EXPECT_EQ(recovered.State(), state_after[k - 1])
+          << "corrupt record " << k;
+    }
+  }
+}
+
+TEST(WalRecoveryTest, StaleWalAfterCheckpointIsNotReappliedTwice) {
+  // The crash window between snapshot rename and WAL trim: recovery sees
+  // a fresh snapshot AND the full pre-checkpoint log. LSNs make replay
+  // skip everything the snapshot already covers — nothing double-applies.
+  std::string dir = FreshDir("wal_stale");
+  Bytes checkpointed_state;
+  Bytes stale_wal;
+  {
+    Deployment live(dir, ManualOptions());
+    ASSERT_TRUE(live.store->Open().ok());
+    ASSERT_TRUE(live.client->Outsource(BuildTable(12)).ok());
+    ASSERT_TRUE(
+        live.client->Insert("T", {Tuple({Value::Str("dup"), Value::Int(9)})})
+            .ok());
+    stale_wal = ReadFileBytes(dir + "/wal.log");
+    ASSERT_FALSE(stale_wal.empty());
+
+    ASSERT_TRUE(live.store->Checkpoint().ok());
+    EXPECT_EQ(live.store->stats().wal_bytes, 0u);
+    checkpointed_state = live.State();
+  }
+  // Resurrect the pre-checkpoint WAL, as if the trim never hit disk.
+  WriteFileBytes(dir + "/wal.log", stale_wal);
+
+  Deployment recovered(dir, ManualOptions());
+  ASSERT_TRUE(recovered.store->Open().ok());
+  EXPECT_EQ(recovered.store->stats().replayed_records, 0u);
+  EXPECT_EQ(recovered.State(), checkpointed_state);
+
+  // In particular the "dup" row exists exactly once.
+  ASSERT_TRUE(recovered.client->Adopt("T", TableSchema()).ok());
+  auto rows = recovered.client->Select("T", "grp", Value::Int(9));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(WalRecoveryTest, CheckpointsInterleavedWithMutationsRecoverTheSuffix) {
+  std::string dir = FreshDir("wal_interleaved");
+  Bytes live_state;
+  {
+    Deployment live(dir, ManualOptions());
+    ASSERT_TRUE(live.store->Open().ok());
+    ASSERT_TRUE(live.client->Outsource(BuildTable(6)).ok());
+    ASSERT_TRUE(live.store->Checkpoint().ok());
+    ASSERT_TRUE(
+        live.client->Insert("T", {Tuple({Value::Str("p1"), Value::Int(1)})})
+            .ok());
+    ASSERT_TRUE(live.store->Checkpoint().ok());
+    ASSERT_TRUE(
+        live.client->Insert("T", {Tuple({Value::Str("p2"), Value::Int(2)})})
+            .ok());
+    auto removed = live.client->DeleteWhere("T", "grp", Value::Int(0));
+    ASSERT_TRUE(removed.ok());
+    live_state = live.State();
+  }  // crash with two mutations after the last checkpoint
+
+  Deployment recovered(dir, ManualOptions());
+  ASSERT_TRUE(recovered.store->Open().ok());
+  EXPECT_EQ(recovered.store->stats().replayed_records, 2u);
+  EXPECT_EQ(recovered.State(), live_state);
+}
+
+TEST(WalRecoveryTest, FailedMutationsReplayAsFailuresNotStateChanges) {
+  // Errors are part of the logged history: a kStoreRelation that
+  // collided originally must collide again on replay, leaving state
+  // untouched rather than duplicating or erroring out recovery.
+  std::string dir = FreshDir("wal_failed_ops");
+  Bytes live_state;
+  {
+    Deployment live(dir, ManualOptions());
+    ASSERT_TRUE(live.store->Open().ok());
+    ASSERT_TRUE(live.client->Outsource(BuildTable(5)).ok());
+    EXPECT_FALSE(live.client->Outsource(BuildTable(5)).ok());  // kAlreadyExists
+    auto removed = live.client->DeleteWhere("T", "grp", Value::Int(4));
+    ASSERT_TRUE(removed.ok());
+    live_state = live.State();
+  }
+  Deployment recovered(dir, ManualOptions());
+  ASSERT_TRUE(recovered.store->Open().ok());
+  EXPECT_EQ(recovered.State(), live_state);
+  EXPECT_EQ(*recovered.server->RelationSize("T"), 4u);
+}
+
+TEST(WalRecoveryTest, GroupCommitModeWithBackgroundCheckpointer) {
+  // kBatch fsync + a fast background thread: mutations under live group
+  // commit and periodic checkpoints, then a crash. Client::Flush is the
+  // durability point, so everything acknowledged before it must survive.
+  std::string dir = FreshDir("wal_group_commit");
+  Bytes live_state;
+  {
+    server::DurableStoreOptions options;
+    options.sync_mode = storage::WalSyncMode::kBatch;
+    options.sync_interval_ms = 2;
+    options.checkpoint_interval_ms = 10;
+    options.checkpoint_wal_bytes = 1;  // checkpoint at every opportunity
+    Deployment live(dir, options);
+    ASSERT_TRUE(live.store->Open().ok());
+    ASSERT_TRUE(live.client->Outsource(BuildTable(10)).ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(live.client
+                      ->Insert("T", {Tuple({Value::Str("b" + std::to_string(i)),
+                                            Value::Int(i % 5)})})
+                      .ok());
+      if (i % 5 == 0) {
+        auto removed = live.client->DeleteWhere("T", "grp", Value::Int(i % 3));
+        ASSERT_TRUE(removed.ok());
+      }
+      if (i % 7 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+    ASSERT_TRUE(live.client->Flush().ok());
+    EXPECT_GE(live.store->stats().checkpoints, 1u);
+    live_state = live.State();
+  }  // crash
+
+  Deployment recovered(dir, ManualOptions());
+  ASSERT_TRUE(recovered.store->Open().ok());
+  EXPECT_EQ(recovered.State(), live_state);
+}
+
+TEST(WalRecoveryTest, GracefulCloseLeavesEmptyWalAndRestartsReplayNothing) {
+  std::string dir = FreshDir("wal_graceful");
+  Bytes live_state;
+  {
+    Deployment live(dir, ManualOptions());
+    ASSERT_TRUE(live.store->Open().ok());
+    ASSERT_TRUE(live.client->Outsource(BuildTable(7)).ok());
+    live_state = live.State();
+    ASSERT_TRUE(live.store->Close().ok());
+  }
+  EXPECT_EQ(ReadFileBytes(dir + "/wal.log").size(), 0u);
+  Deployment restarted(dir, ManualOptions());
+  ASSERT_TRUE(restarted.store->Open().ok());
+  EXPECT_EQ(restarted.store->stats().replayed_records, 0u);
+  EXPECT_EQ(restarted.State(), live_state);
+}
+
+}  // namespace
+}  // namespace dbph

@@ -6,10 +6,21 @@
 //
 // Usage:
 //   dbph_serverd --port=7690 [--bind=ADDR] [--threads=N] [--shards=N]
-//                [--persist=PATH] [--max-conns=N] [--idle-timeout-ms=N]
+//                [--persist=DIR] [--fsync=always|batch]
+//                [--max-conns=N] [--idle-timeout-ms=N]
 //
-//   --persist=PATH  load PATH on start if it exists, save on shutdown
-//                   (SIGINT/SIGTERM trigger a graceful stop + save).
+//   --persist=DIR   continuous durability: every mutation is appended to
+//                   DIR/wal.log (CRC-guarded, length-prefixed) before it
+//                   is applied; a background checkpointer rewrites
+//                   DIR/snapshot.dbph atomically and trims the log. On
+//                   start the daemon recovers snapshot + WAL replay
+//                   (truncating a torn tail), so a kill -9 loses at most
+//                   the unsynced log suffix — nothing with --fsync=always.
+//   --fsync=always  fsync per mutation (default): acknowledged writes
+//                   survive any crash.
+//   --fsync=batch   group commit: acks before fsync, syncs on a timer
+//                   and on kFlush; bounded loss window, higher mutation
+//                   throughput.
 //
 // The observation log is volatile by design: restarting Eve forgets her
 // transcript but never Alex's ciphertext.
@@ -26,6 +37,7 @@
 #include <thread>
 
 #include "net/net_server.h"
+#include "server/durable_store.h"
 #include "server/untrusted_server.h"
 
 using namespace dbph;
@@ -69,7 +81,8 @@ int main(int argc, char** argv) {
   net_options.port = 7690;
   net_options.bind_address = "0.0.0.0";
   server::ServerRuntimeOptions runtime_options;
-  std::string persist_path;
+  std::string persist_dir;
+  std::string fsync_mode;
 
   size_t port = net_options.port;
   size_t max_conns = net_options.max_connections;
@@ -84,7 +97,8 @@ int main(int argc, char** argv) {
         ParseSizeFlag(argv[i], "--max-conns=", &max_conns, &bad_value) ||
         ParseSizeFlag(argv[i], "--idle-timeout-ms=", &idle_ms, &bad_value) ||
         ParseStringFlag(argv[i], "--bind=", &net_options.bind_address) ||
-        ParseStringFlag(argv[i], "--persist=", &persist_path)) {
+        ParseStringFlag(argv[i], "--fsync=", &fsync_mode) ||
+        ParseStringFlag(argv[i], "--persist=", &persist_dir)) {
       if (bad_value) {
         std::fprintf(stderr, "bad numeric value in '%s'\n", argv[i]);
         return 2;
@@ -94,8 +108,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "unknown flag '%s'\n"
                  "usage: dbph_serverd [--port=N] [--bind=ADDR] [--threads=N]"
-                 " [--shards=N] [--persist=PATH] [--max-conns=N]"
-                 " [--idle-timeout-ms=N]\n",
+                 " [--shards=N] [--persist=DIR] [--fsync=always|batch]"
+                 " [--max-conns=N] [--idle-timeout-ms=N]\n",
                  argv[i]);
     return 2;
   }
@@ -103,24 +117,48 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--port must be in [1, 65535], got %zu\n", port);
     return 2;
   }
+  if (!fsync_mode.empty() && persist_dir.empty()) {
+    // Silently ignoring --fsync would let an operator believe writes are
+    // durable while running memory-only.
+    std::fprintf(stderr, "--fsync only applies with --persist=DIR\n");
+    return 2;
+  }
+  if (fsync_mode.empty()) fsync_mode = "always";
+  if (fsync_mode != "always" && fsync_mode != "batch") {
+    std::fprintf(stderr, "--fsync must be 'always' or 'batch', got '%s'\n",
+                 fsync_mode.c_str());
+    return 2;
+  }
   net_options.port = static_cast<uint16_t>(port);
   net_options.max_connections = max_conns;
   net_options.idle_timeout_ms = static_cast<int>(idle_ms);
 
   server::UntrustedServer eve(runtime_options);
-  if (!persist_path.empty()) {
-    Status loaded = eve.LoadFrom(persist_path);
-    if (loaded.ok()) {
-      std::fprintf(stderr, "dbph_serverd: loaded %zu relation(s) from %s\n",
-                   eve.num_relations(), persist_path.c_str());
-    } else if (loaded.code() == StatusCode::kNotFound) {
-      std::fprintf(stderr, "dbph_serverd: %s absent, starting empty\n",
-                   persist_path.c_str());
-    } else {
+
+  // Recovery before the first socket opens: snapshot + WAL replay, then
+  // the durability hooks route every further mutation through the log.
+  std::unique_ptr<server::DurableStore> store;
+  if (!persist_dir.empty()) {
+    server::DurableStoreOptions store_options;
+    store_options.sync_mode = fsync_mode == "batch"
+                                  ? storage::WalSyncMode::kBatch
+                                  : storage::WalSyncMode::kAlways;
+    store_options.checkpoint_interval_ms = 5000;
+    store = std::make_unique<server::DurableStore>(&eve, persist_dir,
+                                                   store_options);
+    if (Status opened = store->Open(); !opened.ok()) {
       std::fprintf(stderr, "dbph_serverd: refusing to start: %s\n",
-                   loaded.ToString().c_str());
+                   opened.ToString().c_str());
       return 1;
     }
+    auto stats = store->stats();
+    std::fprintf(stderr,
+                 "dbph_serverd: recovered %zu relation(s) from %s"
+                 " (replayed %llu WAL record(s)%s), fsync=%s\n",
+                 eve.num_relations(), persist_dir.c_str(),
+                 static_cast<unsigned long long>(stats.replayed_records),
+                 stats.recovered_torn_tail ? ", truncated torn tail" : "",
+                 fsync_mode.c_str());
   }
 
   net::NetServer server(&eve, net_options);
@@ -153,14 +191,21 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.timed_out),
                static_cast<unsigned long long>(stats.framing_errors));
 
-  if (!persist_path.empty()) {
-    if (Status saved = eve.SaveTo(persist_path); !saved.ok()) {
-      std::fprintf(stderr, "dbph_serverd: save failed: %s\n",
-                   saved.ToString().c_str());
+  if (store) {
+    // Graceful exit: final checkpoint, empty WAL — restart replays
+    // nothing.
+    if (Status closed = store->Close(); !closed.ok()) {
+      std::fprintf(stderr, "dbph_serverd: final checkpoint failed: %s\n",
+                   closed.ToString().c_str());
       return 1;
     }
-    std::fprintf(stderr, "dbph_serverd: saved %zu relation(s) to %s\n",
-                 eve.num_relations(), persist_path.c_str());
+    auto durable = store->stats();
+    std::fprintf(stderr,
+                 "dbph_serverd: checkpointed %zu relation(s) to %s"
+                 " (%llu WAL record(s), %llu checkpoint(s))\n",
+                 eve.num_relations(), persist_dir.c_str(),
+                 static_cast<unsigned long long>(durable.wal_records),
+                 static_cast<unsigned long long>(durable.checkpoints));
   }
   return 0;
 }
