@@ -188,7 +188,9 @@ int main(int argc, char** argv) {
             << "Type exact-select SQL, e.g.:\n"
             << "  SELECT * FROM " << table->name() << " WHERE "
             << table->schema().attribute(0).name << " = ...;\n"
-            << "Ctrl-D or \\q to quit, \\eve to dump Eve's transcript.\n\n";
+            << "EXPLAIN SELECT ... shows the server's plan (index vs scan)\n"
+            << "without executing. Ctrl-D or \\q to quit, \\eve to dump\n"
+            << "Eve's transcript.\n\n";
 
   std::string line;
   while (std::cout << "dbph> " << std::flush, std::getline(std::cin, line)) {
@@ -208,6 +210,15 @@ int main(int argc, char** argv) {
                   << HexEncode(queries[i].trapdoor_bytes).substr(0, 24)
                   << "... -> " << queries[i].result_size() << " matches\n";
       }
+      continue;
+    }
+    if (sql::IsExplainStatement(line)) {
+      auto plan = sql::ExplainSql(&alex, line);
+      if (!plan.ok()) {
+        std::cout << "error: " << plan.status() << "\n";
+        continue;
+      }
+      std::cout << *plan;
       continue;
     }
     auto result = sql::ExecuteSql(&alex, line);

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Performance trajectory snapshot: runs every bench_e6_performance JSON
+# mode — sequential-vs-parallel batch (--threads/--batch), multi-client
+# network (--network), mutation durability (--durability), and scan-vs-
+# trapdoor-index (--index) — and writes the combined results plus run
+# metadata to BENCH_e6.json at the repo root. Committing that file after
+# meaningful perf work is how the repo tracks throughput across hardware
+# and revisions.
+#
+# Usage: scripts/bench.sh [build-dir]
+#   DBPH_BENCH_DOCS=N    index-mode relation size (default 100000 — the
+#                        acceptance-scale run; the index speedup at this
+#                        size is the headline number)
+#   DBPH_BENCH_SMOKE=1   tiny sizes everywhere (CI rot check, not a
+#                        meaningful snapshot; refuses to overwrite
+#                        BENCH_e6.json and writes BENCH_e6.smoke.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/bench_e6_performance"
+
+if [ ! -x "$BIN" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_e6_performance
+fi
+
+INDEX_DOCS="${DBPH_BENCH_DOCS:-100000}"
+INDEX_REPEATS=20
+PAR_DOCS=20000 PAR_BATCH=16 PAR_ROUNDS=2
+NET_DOCS=10000 NET_CLIENTS=2 NET_BATCH=8 NET_ROUNDS=2
+DUR_DOCS=1000 DUR_MUTATIONS=300
+OUT="BENCH_e6.json"
+if [ "${DBPH_BENCH_SMOKE:-0}" = "1" ]; then
+  INDEX_DOCS=2000 INDEX_REPEATS=5
+  PAR_DOCS=2000 PAR_BATCH=8 PAR_ROUNDS=1
+  NET_DOCS=1000 NET_BATCH=4 NET_ROUNDS=1
+  DUR_DOCS=500 DUR_MUTATIONS=100
+  OUT="BENCH_e6.smoke.json"
+fi
+
+LINES="$(mktemp)"
+trap 'rm -f "$LINES"' EXIT
+
+"$BIN" --docs="$PAR_DOCS" --batch="$PAR_BATCH" --rounds="$PAR_ROUNDS" \
+  >> "$LINES"
+"$BIN" --network --docs="$NET_DOCS" --clients="$NET_CLIENTS" \
+  --batch="$NET_BATCH" --rounds="$NET_ROUNDS" >> "$LINES"
+"$BIN" --durability --docs="$DUR_DOCS" --mutations="$DUR_MUTATIONS" \
+  >> "$LINES"
+"$BIN" --index --docs="$INDEX_DOCS" --repeats="$INDEX_REPEATS" >> "$LINES"
+
+{
+  printf '{\n'
+  printf '  "bench": "e6",\n'
+  printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "git_revision": "%s",\n' \
+    "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "host": {"nproc": %s, "uname": "%s"},\n' \
+    "$(nproc)" "$(uname -srm)"
+  printf '  "results": [\n'
+  sed 's/^/    /' "$LINES" | sed '$!s/$/,/'
+  printf '  ]\n'
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT ($(wc -l < "$LINES") result object(s))"

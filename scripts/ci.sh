@@ -2,11 +2,15 @@
 # Tier-1 verify: configure, build, and run every registered test, then a
 # ThreadSanitizer pass over the concurrency-sensitive suites (the server
 # is multithreaded in two layers: the net event loop and the batch worker
-# pool).
+# pool) and an AddressSanitizer pass over the planner/index suites (the
+# index borrows record ids and document bytes across mutations — exactly
+# the lifetime bugs ASan catches).
 #
 # Usage: scripts/ci.sh [build-dir]
 #   DBPH_TSAN=0       skip the ThreadSanitizer stage
 #   DBPH_TSAN_ONLY=1  run only the ThreadSanitizer stage
+#   DBPH_ASAN=0       skip the AddressSanitizer stage
+#   DBPH_ASAN_ONLY=1  run only the AddressSanitizer stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +22,8 @@ run_tsan_stage() {
   # UntrustedServer::HandleRequest is live here (and only here in CI).
   # The recovery/differential suites run here too: the durable store's
   # background checkpointer + group-commit thread races the dispatch
-  # path, which is exactly what TSan is for.
+  # path, which is exactly what TSan is for. The planner suites ride
+  # along: index-path selects interleave with scan waves on the pool.
   cmake -B "$tsan_dir" -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
@@ -26,14 +31,32 @@ run_tsan_stage() {
   cmake --build "$tsan_dir" -j "$(nproc)" --target \
     runtime_test runtime_parallel_test net_frame_test net_server_test \
     net_interleave_test protocol_fuzz_test wal_recovery_test \
-    differential_test server_persistence_test
+    differential_test server_persistence_test planner_test sql_test
   ctest --test-dir "$tsan_dir" --output-on-failure --no-tests=error \
-    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence' \
+    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql' \
     -j "$(nproc)"
+}
+
+run_asan_stage() {
+  local asan_dir="${BUILD_DIR}-asan"
+  cmake -B "$asan_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+  cmake --build "$asan_dir" -j "$(nproc)" --target \
+    planner_test sql_test differential_test storage_heapfile_test
+  ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
+    -L planner -j "$(nproc)"
+  ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
+    -R storage_heapfile -j "$(nproc)"
 }
 
 if [ "${DBPH_TSAN_ONLY:-0}" = "1" ]; then
   run_tsan_stage
+  exit 0
+fi
+if [ "${DBPH_ASAN_ONLY:-0}" = "1" ]; then
+  run_asan_stage
   exit 0
 fi
 
@@ -44,6 +67,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
 # them would otherwise pass silently).
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L recovery
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L differential
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L planner
 
 # Smoke-test the batch runtime bench (tiny workload; asserts that
 # batched results and observation logs match the sequential baseline).
@@ -56,6 +80,10 @@ if [ -x "$BUILD_DIR/bench_e6_performance" ]; then
   # ...and the durability mode: mutation throughput at each fsync policy,
   # asserting every mutation reached the WAL.
   "$BUILD_DIR/bench_e6_performance" --durability --docs=500 --mutations=200
+  # ...and the index mode: scan vs trapdoor-index selects over identical
+  # ciphertext, asserting byte-identical results and observation logs
+  # (tiny sizes — the mode must not rot; real numbers via scripts/bench.sh).
+  "$BUILD_DIR/bench_e6_performance" --index --docs=2000 --repeats=5
 fi
 
 # End-to-end crash drill: outsource a relation through a live daemon,
@@ -85,4 +113,7 @@ rm -rf "$PERSIST_DIR"
 
 if [ "${DBPH_TSAN:-1}" != "0" ]; then
   run_tsan_stage
+fi
+if [ "${DBPH_ASAN:-1}" != "0" ]; then
+  run_asan_stage
 fi

@@ -233,6 +233,25 @@ Result<rel::Relation> Client::SelectConjunction(
   return result;
 }
 
+Result<protocol::PlanReport> Client::Explain(const std::string& relation,
+                                             const std::string& attribute,
+                                             const rel::Value& value) {
+  DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));
+  DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
+                        ph->EncryptQuery(relation, attribute, value));
+  Envelope request;
+  request.type = MessageType::kExplain;
+  query.AppendTo(&request.payload);
+  DBPH_ASSIGN_OR_RETURN(
+      Envelope response,
+      Call(transport_, request, MessageType::kExplainResult));
+  ByteReader reader(response.payload);
+  DBPH_ASSIGN_OR_RETURN(protocol::PlanReport report,
+                        protocol::PlanReport::ReadFrom(&reader));
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes after plan");
+  return report;
+}
+
 Status Client::Insert(const std::string& relation,
                       const std::vector<rel::Tuple>& tuples) {
   DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));

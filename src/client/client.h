@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "crypto/random.h"
 #include "dbph/scheme.h"
+#include "protocol/plan_report.h"
 #include "relation/relation.h"
 
 namespace dbph {
@@ -79,6 +80,17 @@ class Client {
   Result<rel::Relation> SelectConjunction(
       const std::string& relation,
       const std::vector<std::pair<std::string, rel::Value>>& terms);
+
+  /// EXPLAIN for sigma_{attribute = value}: asks the server how it
+  /// would execute this exact select right now — trapdoor-index lookup
+  /// or sharded full scan — without executing it. Trapdoors are
+  /// deterministic, so the report describes precisely the plan the same
+  /// Select call would take next. Leakage: Eve receives the trapdoor
+  /// bytes (as she would for the select itself) but computes no matches;
+  /// an EXPLAIN therefore reveals no more than the select it describes.
+  Result<protocol::PlanReport> Explain(const std::string& relation,
+                                       const std::string& attribute,
+                                       const rel::Value& value);
 
   /// Appends tuples to an already-outsourced relation. Each tuple is
   /// encrypted under the relation's key with a fresh nonce — appends are

@@ -31,9 +31,11 @@ enum class MessageType : uint8_t {
   kPong = 17,           ///< server -> client: the same cookie, echoed
   kFlush = 18,          ///< client -> server: demand a durability point
   kFlushOk = 19,        ///< server -> client: prior mutations are durable
+  kExplain = 20,        ///< client -> server: EncryptedQuery payload; plan only
+  kExplainResult = 21,  ///< server -> client: serialized PlanReport
 };
 
-constexpr uint8_t kMaxMessageType = 19;
+constexpr uint8_t kMaxMessageType = 21;
 
 /// Hard upper bound on one wire frame. Both the network frame codec and
 /// Envelope::Parse reject a larger attacker-controlled length prefix

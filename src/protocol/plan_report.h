@@ -1,0 +1,55 @@
+#ifndef DBPH_PROTOCOL_PLAN_REPORT_H_
+#define DBPH_PROTOCOL_PLAN_REPORT_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace protocol {
+
+/// Which access path the server's planner chose for a query. Wire-level
+/// mirror of server::planner::AccessPath (the protocol layer cannot
+/// depend on the server).
+enum class PlanAccessPath : uint8_t {
+  kFullScan = 0,      ///< sharded trapdoor scan over every stored document
+  kIndexLookup = 1,   ///< trapdoor posting-list hit: fetch matched ids only
+};
+
+/// \brief The payload of a kExplainResult envelope: how the server would
+/// execute a select right now, without executing it.
+///
+/// Everything in here is derived from data Eve already holds (her
+/// ciphertext, her memoized posting lists, her shard configuration), so
+/// reporting it to the client reveals nothing the client's own query
+/// history did not already determine.
+struct PlanReport {
+  std::string relation;
+  PlanAccessPath access_path = PlanAccessPath::kFullScan;
+  /// Documents a full scan of this relation touches.
+  uint32_t num_records = 0;
+  /// Documents the index path fetches (posting-list size); only
+  /// meaningful when access_path == kIndexLookup.
+  uint32_t posting_size = 0;
+  /// Shards a full scan splits into.
+  uint32_t num_shards = 0;
+  /// True when executing this plan would seed the trapdoor index (a scan
+  /// whose result the server will memoize).
+  bool will_memoize = false;
+  /// False when the server runs with the trapdoor index disabled.
+  bool index_enabled = false;
+  /// Trapdoors currently memoized for this relation.
+  uint32_t indexed_trapdoors = 0;
+
+  void AppendTo(Bytes* out) const;
+  static Result<PlanReport> ReadFrom(ByteReader* reader);
+
+  /// Human-readable EXPLAIN output for the REPL and examples.
+  std::string ToString() const;
+};
+
+}  // namespace protocol
+}  // namespace dbph
+
+#endif  // DBPH_PROTOCOL_PLAN_REPORT_H_

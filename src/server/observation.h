@@ -2,6 +2,7 @@
 #define DBPH_SERVER_OBSERVATION_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,16 +25,67 @@ struct QueryObservation {
   size_t result_size() const { return matched_records.size(); }
 };
 
+/// How much of her view Eve retains.
+enum class ObservationMode {
+  /// Every query kept verbatim (trapdoor bytes + matched ids). The
+  /// Section 2 games need this; memory grows with query count.
+  kFull,
+  /// Bounded: aggregate counters and a result-size histogram only; no
+  /// per-query vectors. For long-running daemons under heavy traffic
+  /// (`dbph_serverd --observation=aggregate`) — a transcript that grows
+  /// O(distinct result sizes) instead of O(queries).
+  kAggregate,
+};
+
 /// \brief Everything the honest-but-curious server accumulates.
 class ObservationLog {
  public:
+  /// Aggregate counters, maintained in both modes (cheap); in kAggregate
+  /// mode they are all that survives.
+  struct Aggregate {
+    uint64_t num_stores = 0;
+    uint64_t documents_stored = 0;
+    uint64_t ciphertext_bytes = 0;
+    uint64_t num_queries = 0;
+    uint64_t matched_total = 0;
+    /// result size -> how many queries returned exactly that many
+    /// matches. Bounded by the number of distinct result sizes (≤ the
+    /// largest relation), not by query count.
+    std::map<size_t, uint64_t> result_size_histogram;
+  };
+
+  /// Switching to kAggregate folds nothing retroactively beyond what the
+  /// always-on counters already hold and drops the per-query vectors;
+  /// switching back to kFull resumes retention from that point (the
+  /// dropped transcript is gone).
+  void SetMode(ObservationMode mode) {
+    mode_ = mode;
+    if (mode_ == ObservationMode::kAggregate) {
+      stores_.clear();
+      stores_.shrink_to_fit();
+      queries_.clear();
+      queries_.shrink_to_fit();
+    }
+  }
+  ObservationMode mode() const { return mode_; }
+
   void RecordStore(const std::string& relation, size_t num_documents,
                    size_t ciphertext_bytes) {
-    stores_.push_back({relation, num_documents, ciphertext_bytes});
+    ++aggregate_.num_stores;
+    aggregate_.documents_stored += num_documents;
+    aggregate_.ciphertext_bytes += ciphertext_bytes;
+    if (mode_ == ObservationMode::kFull) {
+      stores_.push_back({relation, num_documents, ciphertext_bytes});
+    }
   }
 
   void RecordQuery(QueryObservation observation) {
-    queries_.push_back(std::move(observation));
+    ++aggregate_.num_queries;
+    aggregate_.matched_total += observation.result_size();
+    ++aggregate_.result_size_histogram[observation.result_size()];
+    if (mode_ == ObservationMode::kFull) {
+      queries_.push_back(std::move(observation));
+    }
   }
 
   struct StoreObservation {
@@ -42,12 +94,16 @@ class ObservationLog {
     size_t ciphertext_bytes = 0;
   };
 
+  /// Per-event transcripts; empty in kAggregate mode.
   const std::vector<StoreObservation>& stores() const { return stores_; }
   const std::vector<QueryObservation>& queries() const { return queries_; }
+
+  const Aggregate& aggregate() const { return aggregate_; }
 
   void Clear() {
     stores_.clear();
     queries_.clear();
+    aggregate_ = Aggregate{};
   }
 
   /// Record ids present in both observations' results — Eve's basic
@@ -56,8 +112,10 @@ class ObservationLog {
                                          const QueryObservation& b);
 
  private:
+  ObservationMode mode_ = ObservationMode::kFull;
   std::vector<StoreObservation> stores_;
   std::vector<QueryObservation> queries_;
+  Aggregate aggregate_;
 };
 
 }  // namespace server

@@ -1,0 +1,138 @@
+#include "server/planner/planner.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace server {
+namespace planner {
+
+QueryPlan PlanSelect(const ExecutionContext& ctx, const Bytes& trapdoor_bytes,
+                     const std::vector<uint64_t>** postings_out,
+                     bool record_stats) {
+  QueryPlan plan;
+  plan.num_records = ctx.records->size();
+  plan.num_shards = ctx.num_shards;
+  if (postings_out != nullptr) *postings_out = nullptr;
+  if (ctx.index != nullptr) {
+    if (const std::vector<uint64_t>* postings =
+            record_stats ? ctx.index->Lookup(trapdoor_bytes)
+                         : ctx.index->Peek(trapdoor_bytes)) {
+      plan.path = AccessPath::kIndexLookup;
+      plan.posting_size = postings->size();
+      if (postings_out != nullptr) *postings_out = postings;
+      return plan;
+    }
+    plan.will_memoize = !ctx.index->AtCapacity();
+  }
+  return plan;
+}
+
+protocol::PlanReport MakePlanReport(const ExecutionContext& ctx,
+                                    const QueryPlan& plan,
+                                    const std::string& relation) {
+  protocol::PlanReport report;
+  report.relation = relation;
+  report.access_path = plan.path == AccessPath::kIndexLookup
+                           ? protocol::PlanAccessPath::kIndexLookup
+                           : protocol::PlanAccessPath::kFullScan;
+  report.num_records = static_cast<uint32_t>(plan.num_records);
+  report.posting_size = static_cast<uint32_t>(plan.posting_size);
+  report.num_shards = static_cast<uint32_t>(plan.num_shards);
+  report.will_memoize = plan.will_memoize;
+  report.index_enabled = ctx.index != nullptr;
+  report.indexed_trapdoors = static_cast<uint32_t>(
+      ctx.index != nullptr ? ctx.index->num_trapdoors() : 0);
+  return report;
+}
+
+namespace {
+
+/// Serves one index-path select: fetch the memoized record ids from the
+/// heap, in posting (= storage) order. The posting list replays exactly
+/// what a full scan of this trapdoor matched, so the fetched documents
+/// are byte-identical to the scan's output.
+Status FetchPostings(const ExecutionContext& ctx,
+                     const std::vector<uint64_t>& postings,
+                     std::vector<runtime::ShardMatch>* out) {
+  out->reserve(postings.size());
+  for (uint64_t packed : postings) {
+    storage::RecordId rid = storage::RecordId::Unpack(packed);
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          runtime::ReadStoredDocument(*ctx.heap, rid));
+    out->push_back({rid, std::move(doc)});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<PlannedOutcome> PlanExecutor::Execute(
+    const std::vector<SelectTask>& tasks) {
+  std::vector<PlannedOutcome> outcomes(tasks.size());
+  std::vector<Bytes> trapdoor_bytes(tasks.size());
+
+  // Plan every task, serving index hits inline (posting lists are the
+  // small case by construction) and collecting scan-path tasks into one
+  // parallel wave. One sharded view per distinct relation (records
+  // vector), shared by every scan of that relation in the wave.
+  std::map<const std::vector<storage::RecordId>*,
+           std::unique_ptr<runtime::ShardedRelation>>
+      views;
+  std::vector<runtime::SelectJob> jobs(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const SelectTask& task = tasks[i];
+    if (!task.resolution.ok()) {
+      outcomes[i].status = task.resolution;
+      continue;
+    }
+    task.query->trapdoor.AppendTo(&trapdoor_bytes[i]);
+    const std::vector<uint64_t>* postings = nullptr;
+    outcomes[i].plan = PlanSelect(task.ctx, trapdoor_bytes[i], &postings);
+    if (outcomes[i].plan.path == AccessPath::kIndexLookup) {
+      outcomes[i].status =
+          FetchPostings(task.ctx, *postings, &outcomes[i].matches);
+      if (!outcomes[i].status.ok()) outcomes[i].matches.clear();
+      continue;
+    }
+    std::unique_ptr<runtime::ShardedRelation>& view = views[task.ctx.records];
+    if (!view) {
+      view = std::make_unique<runtime::ShardedRelation>(
+          task.ctx.heap, task.ctx.records, task.ctx.check_length,
+          task.ctx.num_shards);
+    }
+    jobs[i].view = view.get();
+    jobs[i].trapdoor = &task.query->trapdoor;
+  }
+
+  runtime::BatchExecutor executor(pool_);
+  std::vector<runtime::SelectOutcome> scans = executor.ExecuteSelects(jobs);
+
+  // Fold scan results back and memoize, in task order. Two identical
+  // trapdoors planned as scans in one wave both scanned (deterministic,
+  // identical results); Memoize is idempotent, so the first wins and the
+  // second is a no-op.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (!outcomes[i].status.ok() || jobs[i].view == nullptr) continue;
+    outcomes[i].status = scans[i].status;
+    if (!outcomes[i].status.ok()) continue;
+    outcomes[i].matches = std::move(scans[i].matches);
+    TrapdoorIndex* index = tasks[i].ctx.index;
+    if (index != nullptr) {
+      std::vector<uint64_t> postings;
+      postings.reserve(outcomes[i].matches.size());
+      for (const runtime::ShardMatch& match : outcomes[i].matches) {
+        postings.push_back(match.rid.Pack());
+      }
+      index->Memoize(trapdoor_bytes[i], tasks[i].query->trapdoor, postings);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace planner
+}  // namespace server
+}  // namespace dbph

@@ -1,0 +1,107 @@
+#ifndef DBPH_SERVER_PLANNER_PLANNER_H_
+#define DBPH_SERVER_PLANNER_PLANNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "dbph/query.h"
+#include "protocol/plan_report.h"
+#include "server/planner/trapdoor_index.h"
+#include "server/runtime/batch_executor.h"
+#include "server/runtime/sharded_relation.h"
+#include "server/runtime/thread_pool.h"
+#include "storage/heapfile.h"
+
+namespace dbph {
+namespace server {
+namespace planner {
+
+/// How a planned select touches storage.
+enum class AccessPath {
+  kFullScan,     ///< sharded trapdoor scan over every stored document
+  kIndexLookup,  ///< memoized posting list: fetch matched records only
+};
+
+/// \brief Everything the planner and executor need about one relation:
+/// borrowed views of the server's storage, the scan parallelism, and the
+/// relation's trapdoor index (null = index disabled). Valid only under
+/// the server's single-writer dispatch lock, like the runtime views.
+struct ExecutionContext {
+  const storage::HeapFile* heap = nullptr;
+  const std::vector<storage::RecordId>* records = nullptr;
+  uint32_t check_length = 4;
+  size_t num_shards = 1;
+  TrapdoorIndex* index = nullptr;
+};
+
+/// \brief The chosen execution strategy for one select.
+struct QueryPlan {
+  AccessPath path = AccessPath::kFullScan;
+  size_t num_records = 0;   ///< documents a full scan would touch
+  size_t posting_size = 0;  ///< documents the index path fetches
+  size_t num_shards = 1;    ///< scan fan-out (kFullScan)
+  bool will_memoize = false;  ///< scan result seeds the index afterwards
+};
+
+/// \brief Plans one select against a relation: index lookup when the
+/// exact trapdoor has a memoized posting list, full scan otherwise.
+/// Pure — consults but never mutates the index (Lookup stats aside).
+/// `postings_out`, when non-null, receives the matched posting list on
+/// the index path (nullptr on the scan path) so the executor needs no
+/// second lookup. `record_stats` is false for plan-only inspection
+/// (EXPLAIN), which must not count toward the index's hit/miss stats.
+QueryPlan PlanSelect(const ExecutionContext& ctx, const Bytes& trapdoor_bytes,
+                     const std::vector<uint64_t>** postings_out = nullptr,
+                     bool record_stats = true);
+
+/// \brief A QueryPlan rendered for the kExplainResult envelope.
+protocol::PlanReport MakePlanReport(const ExecutionContext& ctx,
+                                    const QueryPlan& plan,
+                                    const std::string& relation);
+
+/// \brief One select to plan and execute. A failed resolution (unknown
+/// relation) carries its error through the pipeline untouched.
+struct SelectTask {
+  ExecutionContext ctx;
+  const core::EncryptedQuery* query = nullptr;
+  Status resolution = Status::OK();
+};
+
+/// \brief The planned select's outcome: matches in exact storage order —
+/// byte-identical, path-independent — plus the plan that produced them.
+struct PlannedOutcome {
+  QueryPlan plan;
+  Status status = Status::OK();
+  std::vector<runtime::ShardMatch> matches;
+};
+
+/// \brief The single plan/execute pipeline every select-shaped request
+/// goes through: UntrustedServer::Select, SelectBatch (hence conjunction
+/// waves and the SQL executor's remote selects) all build SelectTasks
+/// and call Execute.
+///
+/// Execution contract: outcomes[i] corresponds to tasks[i] and its
+/// matches are byte-identical — documents and order — to a sequential
+/// scan of the same records, whichever access path ran. Index-path
+/// tasks fetch their posting lists inline; scan-path tasks run as one
+/// data-parallel wave over the worker pool (the existing batch
+/// executor); completed scans are memoized into each task's index in
+/// task order. Logging stays with the caller: the pipeline computes
+/// matches, the server records observations.
+class PlanExecutor {
+ public:
+  /// The pool must outlive the executor; null runs scans inline.
+  explicit PlanExecutor(runtime::ThreadPool* pool) : pool_(pool) {}
+
+  std::vector<PlannedOutcome> Execute(const std::vector<SelectTask>& tasks);
+
+ private:
+  runtime::ThreadPool* pool_;
+};
+
+}  // namespace planner
+}  // namespace server
+}  // namespace dbph
+
+#endif  // DBPH_SERVER_PLANNER_PLANNER_H_

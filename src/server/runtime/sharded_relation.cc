@@ -8,6 +8,13 @@ namespace dbph {
 namespace server {
 namespace runtime {
 
+Result<swp::EncryptedDocument> ReadStoredDocument(
+    const storage::HeapFile& heap, storage::RecordId rid) {
+  DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap.Get(rid));
+  ByteReader reader(serialized);
+  return swp::EncryptedDocument::ReadFrom(&reader);
+}
+
 ShardedRelation::ShardedRelation(const storage::HeapFile* heap,
                                  const std::vector<storage::RecordId>* records,
                                  uint32_t check_length, size_t num_shards)
@@ -39,10 +46,8 @@ Status ShardedRelation::ScanShard(size_t index, const swp::Trapdoor& trapdoor,
   const Range& range = shards_[index];
   for (size_t i = range.begin; i < range.end; ++i) {
     const storage::RecordId rid = (*records_)[i];
-    DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap_->Get(rid));
-    ByteReader reader(serialized);
     DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
-                          swp::EncryptedDocument::ReadFrom(&reader));
+                          ReadStoredDocument(*heap_, rid));
     if (!swp::SearchDocument(params, trapdoor, doc).empty()) {
       out->push_back({rid, std::move(doc)});
     }

@@ -18,6 +18,12 @@ struct ShardMatch {
   swp::EncryptedDocument doc;
 };
 
+/// \brief Reads and parses one stored ciphertext document — the
+/// heap-get + deserialize step shared by shard scans, the planner's
+/// posting-list fetch, and the server's scan-shaped handlers.
+Result<swp::EncryptedDocument> ReadStoredDocument(
+    const storage::HeapFile& heap, storage::RecordId rid);
+
 /// \brief A read-only sharded view of one stored relation.
 ///
 /// Partitions the relation's record list into contiguous shards so a

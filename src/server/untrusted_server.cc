@@ -18,6 +18,8 @@ Status UntrustedServer::StoreRelation(
   }
   StoredRelation stored;
   stored.check_length = relation.check_length;
+  stored.index.set_max_trapdoors(runtime_options_.max_indexed_trapdoors);
+  stored.index.set_max_append_evals(runtime_options_.max_index_append_evals);
   stored.records.reserve(relation.documents.size());
   for (const auto& doc : relation.documents) {
     Bytes serialized;
@@ -52,31 +54,11 @@ Result<size_t> UntrustedServer::RelationSize(const std::string& name) const {
 
 Result<std::vector<swp::EncryptedDocument>> UntrustedServer::Select(
     const core::EncryptedQuery& query) {
-  auto it = relations_.find(query.relation);
-  if (it == relations_.end()) {
-    return Status::NotFound("relation '" + query.relation + "' not stored");
-  }
-  swp::SwpParams params;
-  params.word_length = query.trapdoor.target.size();
-  params.check_length = it->second.check_length;
-
-  std::vector<swp::EncryptedDocument> results;
-  QueryObservation observation;
-  observation.relation = query.relation;
-  query.trapdoor.AppendTo(&observation.trapdoor_bytes);
-
-  for (const auto& rid : it->second.records) {
-    DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap_.Get(rid));
-    ByteReader reader(serialized);
-    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
-                          swp::EncryptedDocument::ReadFrom(&reader));
-    if (!swp::SearchDocument(params, query.trapdoor, doc).empty()) {
-      observation.matched_records.push_back(rid.Pack());
-      results.push_back(std::move(doc));
-    }
-  }
-  log_.RecordQuery(std::move(observation));
-  return results;
+  // One query through the same plan/execute pipeline as a batch — the
+  // planner decides scan vs index; logging and results are identical to
+  // the historical sequential scan by the pipeline's contract.
+  auto results = SelectBatch({query});
+  return std::move(results[0]);
 }
 
 runtime::ThreadPool* UntrustedServer::pool() {
@@ -91,39 +73,47 @@ size_t UntrustedServer::ShardCount() {
   return 4 * pool()->num_threads();
 }
 
+planner::ExecutionContext UntrustedServer::ContextFor(StoredRelation* stored) {
+  planner::ExecutionContext ctx;
+  ctx.heap = &heap_;
+  ctx.records = &stored->records;
+  ctx.check_length = stored->check_length;
+  ctx.num_shards = ShardCount();
+  ctx.index =
+      runtime_options_.enable_trapdoor_index ? &stored->index : nullptr;
+  return ctx;
+}
+
 std::vector<Result<std::vector<swp::EncryptedDocument>>>
 UntrustedServer::SelectBatch(const std::vector<core::EncryptedQuery>& queries) {
-  // Resolve each query's relation and build one sharded view per
-  // distinct relation; unresolved queries carry their error through.
-  std::map<std::string, std::unique_ptr<runtime::ShardedRelation>> views;
-  std::vector<runtime::SelectJob> jobs(queries.size());
-  std::vector<Status> resolution(queries.size(), Status::OK());
+  // Resolve each query's relation into a planner task; unresolved
+  // queries carry their error through the pipeline untouched.
+  std::vector<planner::SelectTask> tasks(queries.size());
+  bool any_resolved = false;
   for (size_t i = 0; i < queries.size(); ++i) {
     auto it = relations_.find(queries[i].relation);
     if (it == relations_.end()) {
-      resolution[i] =
+      tasks[i].resolution =
           Status::NotFound("relation '" + queries[i].relation + "' not stored");
       continue;
     }
-    std::unique_ptr<runtime::ShardedRelation>& view = views[queries[i].relation];
-    if (!view) {
-      view = std::make_unique<runtime::ShardedRelation>(
-          &heap_, &it->second.records, it->second.check_length, ShardCount());
-    }
-    jobs[i].view = view.get();
-    jobs[i].trapdoor = &queries[i].trapdoor;
+    tasks[i].ctx = ContextFor(&it->second);
+    tasks[i].query = &queries[i];
+    any_resolved = true;
   }
 
-  runtime::BatchExecutor executor(pool());
-  std::vector<runtime::SelectOutcome> outcomes = executor.ExecuteSelects(jobs);
+  planner::PlanExecutor executor(any_resolved ? pool() : nullptr);
+  std::vector<planner::PlannedOutcome> outcomes = executor.Execute(tasks);
 
   // Logging happens here, on the dispatch thread, in query order — the
-  // log is indistinguishable from the same selects arriving one by one.
+  // log is indistinguishable from the same selects arriving one by one,
+  // and (by the pipeline's contract) from a sequential scan regardless
+  // of the access path each query took.
   std::vector<Result<std::vector<swp::EncryptedDocument>>> results;
   results.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    if (!resolution[i].ok()) {
-      results.push_back(resolution[i]);
+    if (!tasks[i].resolution.ok()) {
+      results.push_back(tasks[i].resolution);
       continue;
     }
     if (!outcomes[i].status.ok()) {
@@ -145,6 +135,20 @@ UntrustedServer::SelectBatch(const std::vector<core::EncryptedQuery>& queries) {
   return results;
 }
 
+Result<protocol::PlanReport> UntrustedServer::Explain(
+    const core::EncryptedQuery& query) {
+  auto it = relations_.find(query.relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + query.relation + "' not stored");
+  }
+  planner::ExecutionContext ctx = ContextFor(&it->second);
+  Bytes trapdoor_bytes;
+  query.trapdoor.AppendTo(&trapdoor_bytes);
+  planner::QueryPlan plan = planner::PlanSelect(
+      ctx, trapdoor_bytes, /*postings_out=*/nullptr, /*record_stats=*/false);
+  return planner::MakePlanReport(ctx, plan, query.relation);
+}
+
 Status UntrustedServer::AppendTuples(
     const std::string& name,
     const std::vector<swp::EncryptedDocument>& documents) {
@@ -153,11 +157,21 @@ Status UntrustedServer::AppendTuples(
     return Status::NotFound("relation '" + name + "' not stored");
   }
   size_t bytes = 0;
+  std::vector<std::pair<uint64_t, const swp::EncryptedDocument*>> added;
+  added.reserve(documents.size());
   for (const auto& doc : documents) {
     Bytes serialized;
     doc.AppendTo(&serialized);
     bytes += serialized.size();
-    it->second.records.push_back(heap_.Insert(serialized));
+    storage::RecordId rid = heap_.Insert(serialized);
+    it->second.records.push_back(rid);
+    added.emplace_back(rid.Pack(), &doc);
+  }
+  if (runtime_options_.enable_trapdoor_index) {
+    // Keep memoized posting lists exact: evaluate every cached trapdoor
+    // against just the new documents (what an Eve replaying her log
+    // would do) so a later index-path select equals a fresh full scan.
+    it->second.index.OnAppend(it->second.check_length, added);
   }
   log_.RecordStore(name, documents.size(), bytes);
   return Status::OK();
@@ -180,10 +194,8 @@ Result<size_t> UntrustedServer::DeleteWhere(
   std::vector<storage::RecordId> kept;
   size_t removed = 0;
   for (const auto& rid : it->second.records) {
-    DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap_.Get(rid));
-    ByteReader reader(serialized);
     DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
-                          swp::EncryptedDocument::ReadFrom(&reader));
+                          runtime::ReadStoredDocument(heap_, rid));
     if (swp::SearchDocument(params, query.trapdoor, doc).empty()) {
       kept.push_back(rid);
     } else {
@@ -193,6 +205,14 @@ Result<size_t> UntrustedServer::DeleteWhere(
     }
   }
   it->second.records = std::move(kept);
+  if (runtime_options_.enable_trapdoor_index) {
+    // Deleted records leave every posting list (an already-memoized
+    // copy of this delete's trapdoor thereby becomes empty — exactly
+    // what a rescan would find). The delete's trapdoor is deliberately
+    // NOT memoized fresh: delete traffic would otherwise fill the
+    // capped memo with entries only selects repay.
+    it->second.index.OnDelete(observation.matched_records);
+  }
   log_.RecordQuery(std::move(observation));
   return removed;
 }
@@ -206,10 +226,8 @@ Result<std::vector<swp::EncryptedDocument>> UntrustedServer::FetchRelation(
   std::vector<swp::EncryptedDocument> documents;
   documents.reserve(it->second.records.size());
   for (const auto& rid : it->second.records) {
-    DBPH_ASSIGN_OR_RETURN(Bytes serialized, heap_.Get(rid));
-    ByteReader reader(serialized);
     DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
-                          swp::EncryptedDocument::ReadFrom(&reader));
+                          runtime::ReadStoredDocument(heap_, rid));
     documents.push_back(std::move(doc));
   }
   return documents;
@@ -362,6 +380,20 @@ protocol::Envelope UntrustedServer::Dispatch(
       auto docs = Select(*query);
       if (!docs.ok()) return protocol::MakeErrorEnvelope(docs.status());
       return MakeSelectResultEnvelope(*docs);
+    }
+    case MessageType::kExplain: {
+      // Plan-only: parses like kSelect, executes nothing, logs nothing
+      // (no matches are computed, so there is no query observation — the
+      // report is a function of state Eve already holds).
+      ByteReader reader(request.payload);
+      auto query = core::EncryptedQuery::ReadFrom(&reader);
+      if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
+      auto report = Explain(*query);
+      if (!report.ok()) return protocol::MakeErrorEnvelope(report.status());
+      Envelope response;
+      response.type = MessageType::kExplainResult;
+      report->AppendTo(&response.payload);
+      return response;
     }
     case MessageType::kBatchRequest:
       return DispatchBatch(request);

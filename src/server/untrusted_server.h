@@ -13,21 +13,44 @@
 #include "dbph/encrypted_relation.h"
 #include "dbph/query.h"
 #include "protocol/messages.h"
+#include "protocol/plan_report.h"
 #include "server/observation.h"
-#include "server/runtime/batch_executor.h"
+#include "server/planner/planner.h"
+#include "server/planner/trapdoor_index.h"
 #include "server/runtime/thread_pool.h"
 #include "storage/heapfile.h"
 
 namespace dbph {
 namespace server {
 
-/// \brief Tuning for the server's parallel batch runtime.
+/// \brief Tuning for the server's parallel batch runtime and planner.
 struct ServerRuntimeOptions {
   /// Worker threads for batched selects. 0 = hardware concurrency.
   size_t num_threads = 0;
   /// Shards per relation scan. 0 = 4x the worker count (over-splitting
   /// keeps all cores busy when shards finish unevenly).
   size_t num_shards = 0;
+  /// Trapdoor posting-list index: memoize full-scan results so a
+  /// repeated trapdoor becomes a posting-list fetch instead of an O(n)
+  /// scan. Results and observation-log entries are byte-identical either
+  /// way (the planner guarantees it; tests assert it), so this is purely
+  /// a performance switch. The index answers only what Eve could
+  /// precompute from her own log — see README "Query planning &
+  /// indexing".
+  bool enable_trapdoor_index = true;
+  /// Distinct trapdoors memoized per relation (0 = unlimited). Bounds
+  /// index memory and per-append maintenance on a long-running daemon;
+  /// at capacity new trapdoors keep scanning while existing entries
+  /// keep serving (stop-memoizing, never evict — a performance plateau,
+  /// not a correctness change).
+  size_t max_indexed_trapdoors = 65536;
+  /// Per-append index-maintenance budget, in trapdoor evaluations
+  /// (0 = unlimited). An AppendTuples maintains memoized entries until
+  /// the budget runs out and evicts the rest, so appends never stall
+  /// the dispatch lock on index bookkeeping; bulk-append deployments
+  /// should raise this (or the memo shrinks to budget/batch-size
+  /// entries).
+  size_t max_index_append_evals = 16 * 1024;
 };
 
 /// \brief Eve: the honest-but-curious service provider.
@@ -79,17 +102,32 @@ class UntrustedServer {
   Status StoreRelation(const core::EncryptedRelation& relation);
   Status DropRelation(const std::string& name);
 
-  /// psi: returns the matching encrypted documents.
+  /// psi: returns the matching encrypted documents. Routed through the
+  /// planner pipeline (a one-query SelectBatch): the planner picks the
+  /// trapdoor-index path when this exact trapdoor is memoized, the
+  /// sharded full scan otherwise; results and the observation entry are
+  /// byte-identical either way.
   Result<std::vector<swp::EncryptedDocument>> Select(
       const core::EncryptedQuery& query);
 
-  /// Batched psi: evaluates every query's trapdoor in one wave, sharded
+  /// Batched psi through the single plan/execute pipeline
+  /// (server::planner::PlanExecutor): index-path queries are answered
+  /// from memoized posting lists; the rest run as one scan wave sharded
   /// across the worker pool. results[i] corresponds to queries[i] and is
-  /// byte-identical (documents, order) to a sequential Select(queries[i]);
-  /// the observation log gets exactly one entry per query, in query
-  /// order, just as if the selects had arrived one by one.
+  /// byte-identical (documents, order) to a sequential Select(queries[i])
+  /// regardless of the access path chosen; the observation log gets
+  /// exactly one entry per query, in query order, just as if the selects
+  /// had arrived one by one.
   std::vector<Result<std::vector<swp::EncryptedDocument>>> SelectBatch(
       const std::vector<core::EncryptedQuery>& queries);
+
+  /// EXPLAIN: how Select(query) would execute right now — access path,
+  /// scan fan-out, posting sizes — without executing anything. Explain
+  /// is not a query observation: Eve receives the trapdoor bytes but
+  /// computes no matches, so the report reveals at most what the
+  /// corresponding Select would (and the plan itself is a function of
+  /// Eve's own state). Served on the wire as kExplain/kExplainResult.
+  Result<protocol::PlanReport> Explain(const core::EncryptedQuery& query);
 
   /// Appends already-encrypted documents to a stored relation.
   Status AppendTuples(const std::string& name,
@@ -168,10 +206,21 @@ class UntrustedServer {
   struct StoredRelation {
     uint32_t check_length = 4;
     std::vector<storage::RecordId> records;
+    /// Trapdoor → posting-list memo for this relation. Volatile cache:
+    /// dies with the relation (Drop), starts cold after RestoreState /
+    /// recovery (deterministic rebuild as queries repeat), and is
+    /// maintained incrementally by AppendTuples / DeleteWhere under the
+    /// dispatch lock. Never consulted when the runtime option disables
+    /// the index.
+    planner::TrapdoorIndex index;
   };
 
   protocol::Envelope Dispatch(const protocol::Envelope& request);
   protocol::Envelope DispatchBatch(const protocol::Envelope& request);
+
+  /// The planner's borrowed view of one stored relation (valid under the
+  /// dispatch lock only). Null index when the runtime option is off.
+  planner::ExecutionContext ContextFor(StoredRelation* stored);
 
   /// Write-ahead point for a mutating envelope: hands it to the mutation
   /// hook (if any) before the typed handler applies it. kUnavailable on

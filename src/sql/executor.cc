@@ -1,7 +1,9 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
+#include <string_view>
 
 #include "common/macros.h"
 
@@ -43,8 +45,17 @@ Result<rel::Value> TypeLiteral(const Literal& literal,
   return Status::Internal("unreachable");
 }
 
-Result<rel::Relation> ExecuteSql(client::Client* client,
-                                 const std::string& statement) {
+namespace {
+
+/// Parse + schema-type a statement: the front half shared by execution
+/// and EXPLAIN (both must agree on what the statement means).
+struct TypedSelect {
+  std::string table;
+  std::vector<std::pair<std::string, rel::Value>> terms;
+};
+
+Result<TypedSelect> TypeSelect(client::Client* client,
+                               const std::string& statement) {
   DBPH_ASSIGN_OR_RETURN(SelectStatement select, ParseSelect(statement));
   if (select.conditions.empty()) {
     return Status::InvalidArgument(
@@ -55,18 +66,82 @@ Result<rel::Relation> ExecuteSql(client::Client* client,
                         client->SchemeFor(select.table));
   const rel::Schema& schema = ph->schema();
 
-  std::vector<std::pair<std::string, rel::Value>> terms;
+  TypedSelect typed;
+  typed.table = select.table;
   for (const auto& condition : select.conditions) {
     DBPH_ASSIGN_OR_RETURN(size_t attr, schema.IndexOf(condition.attribute));
     DBPH_ASSIGN_OR_RETURN(
         rel::Value value,
         TypeLiteral(condition.literal, schema.attribute(attr)));
-    terms.emplace_back(condition.attribute, std::move(value));
+    typed.terms.emplace_back(condition.attribute, std::move(value));
   }
-  if (terms.size() == 1) {
-    return client->Select(select.table, terms[0].first, terms[0].second);
+  return typed;
+}
+
+constexpr std::string_view kWhitespace = " \t\r\n";
+constexpr std::string_view kExplainKeyword = "EXPLAIN";
+
+/// Offset just past the leading EXPLAIN keyword (case-insensitive, any
+/// surrounding whitespace), or npos when the statement does not open
+/// with it. The single source of truth for detection and stripping.
+size_t ExplainPrefixEnd(const std::string& statement) {
+  size_t begin = statement.find_first_not_of(kWhitespace);
+  if (begin == std::string::npos) return std::string::npos;
+  if (statement.size() - begin <= kExplainKeyword.size()) {
+    return std::string::npos;
   }
-  return client->SelectConjunction(select.table, terms);
+  for (size_t i = 0; i < kExplainKeyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(statement[begin + i])) !=
+        kExplainKeyword[i]) {
+      return std::string::npos;
+    }
+  }
+  size_t end = begin + kExplainKeyword.size();
+  if (kWhitespace.find(statement[end]) == std::string_view::npos) {
+    return std::string::npos;
+  }
+  return end;
+}
+
+/// Strips an optional leading EXPLAIN keyword (case-insensitive).
+std::string StripExplainKeyword(const std::string& statement) {
+  size_t end = ExplainPrefixEnd(statement);
+  return end == std::string::npos ? statement : statement.substr(end);
+}
+
+}  // namespace
+
+bool IsExplainStatement(const std::string& statement) {
+  return ExplainPrefixEnd(statement) != std::string::npos;
+}
+
+Result<rel::Relation> ExecuteSql(client::Client* client,
+                                 const std::string& statement) {
+  DBPH_ASSIGN_OR_RETURN(TypedSelect typed, TypeSelect(client, statement));
+  if (typed.terms.size() == 1) {
+    return client->Select(typed.table, typed.terms[0].first,
+                          typed.terms[0].second);
+  }
+  return client->SelectConjunction(typed.table, typed.terms);
+}
+
+Result<std::string> ExplainSql(client::Client* client,
+                               const std::string& statement) {
+  DBPH_ASSIGN_OR_RETURN(
+      TypedSelect typed,
+      TypeSelect(client, StripExplainKeyword(statement)));
+  std::ostringstream out;
+  for (size_t i = 0; i < typed.terms.size(); ++i) {
+    DBPH_ASSIGN_OR_RETURN(
+        protocol::PlanReport report,
+        client->Explain(typed.table, typed.terms[i].first,
+                        typed.terms[i].second));
+    if (typed.terms.size() > 1) {
+      out << "term " << (i + 1) << " (" << typed.terms[i].first << "): ";
+    }
+    out << report.ToString() << "\n";
+  }
+  return out.str();
 }
 
 std::string FormatResult(const rel::Relation& relation) {

@@ -23,6 +23,19 @@ Result<rel::Value> TypeLiteral(const Literal& literal,
 Result<rel::Relation> ExecuteSql(client::Client* client,
                                  const std::string& statement);
 
+/// \brief True when the statement opens with the EXPLAIN keyword
+/// (case-insensitive, any whitespace around it) — how the REPL decides
+/// to route a line to ExplainSql instead of ExecuteSql.
+bool IsExplainStatement(const std::string& statement);
+
+/// \brief `EXPLAIN SELECT ...`: parses and types exactly like ExecuteSql
+/// but asks the server for its plan per conjunction term instead of
+/// executing — one PlanReport per term (each term is its own remote
+/// select in the conjunction strategy), rendered as text for the REPL.
+/// Accepts the statement with or without the leading EXPLAIN keyword.
+Result<std::string> ExplainSql(client::Client* client,
+                               const std::string& statement);
+
 /// \brief Renders a result relation as an aligned text table for the REPL
 /// and the examples.
 std::string FormatResult(const rel::Relation& relation);

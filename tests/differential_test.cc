@@ -194,6 +194,141 @@ TEST(DifferentialTest, RandomWorkloadMatchesPlainOracleEveryStep) {
   }
 }
 
+TEST(DifferentialTest, TrapdoorIndexOnAndOffAreByteIdenticalUnderWorkload) {
+  // The planner contract, differentially: the same seeded random
+  // workload (inserts, deletes, selects, batches) against an
+  // index-enabled and an index-disabled server — identical DRBG streams,
+  // so identical ciphertext and identical request bytes — must produce
+  // byte-identical wire responses and identical observation logs at
+  // every step, including across a crash + WAL recovery restart on both
+  // sides (after which the enabled server's index is cold and rebuilds).
+  struct Side {
+    std::string dir;
+    std::unique_ptr<server::UntrustedServer> server;
+    std::unique_ptr<server::DurableStore> store;
+    std::vector<Bytes> responses;
+  };
+  server::DurableStoreOptions store_options;
+  store_options.background_thread = false;
+
+  auto make_server = [](bool enable_index) {
+    server::ServerRuntimeOptions options;
+    options.num_threads = 2;
+    options.enable_trapdoor_index = enable_index;
+    return std::make_unique<server::UntrustedServer>(options);
+  };
+
+  Side sides[2];
+  bool enabled[2] = {true, false};
+  for (int s = 0; s < 2; ++s) {
+    sides[s].dir =
+        FreshDir(std::string("differential_index_") + (enabled[s] ? "on"
+                                                                  : "off"));
+    sides[s].server = make_server(enabled[s]);
+    sides[s].store = std::make_unique<server::DurableStore>(
+        sides[s].server.get(), sides[s].dir, store_options);
+    ASSERT_TRUE(sides[s].store->Open().ok());
+  }
+
+  // Phase 1: identical random workload against both sides. The index-on
+  // side repeatedly re-hits earlier predicates (the workload draws from
+  // a small domain), so posting lists genuinely serve queries here.
+  for (int s = 0; s < 2; ++s) {
+    crypto::HmacDrbg workload_rng("differential-index", 11);
+    crypto::HmacDrbg client_rng("differential-index-client", 11);
+    server::UntrustedServer* raw = sides[s].server.get();
+    std::vector<Bytes>* responses = &sides[s].responses;
+    client::Client client(
+        ToBytes("differential master"),
+        [raw, responses](const Bytes& request) {
+          Bytes response = raw->HandleRequest(request);
+          responses->push_back(response);
+          return response;
+        },
+        &client_rng);
+    Relation seed_table = SeedTable(&workload_rng, 25);
+    ASSERT_TRUE(client.Outsource(seed_table).ok());
+    auto oracle = baseline::PlainEngine::Create(seed_table);
+    ASSERT_TRUE(oracle.ok());
+    for (size_t step = 0; step < 80; ++step) {
+      RunStep(&workload_rng, &client, &*oracle, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    ExpectFullDomainMatch(&client, &*oracle,
+                          enabled[s] ? "index-on final" : "index-off final");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  ASSERT_EQ(sides[0].responses.size(), sides[1].responses.size());
+  for (size_t i = 0; i < sides[0].responses.size(); ++i) {
+    ASSERT_EQ(sides[0].responses[i], sides[1].responses[i])
+        << "wire response " << i << " differs between index on and off";
+  }
+  const auto& on_log = sides[0].server->observations();
+  const auto& off_log = sides[1].server->observations();
+  ASSERT_EQ(on_log.queries().size(), off_log.queries().size());
+  for (size_t i = 0; i < on_log.queries().size(); ++i) {
+    EXPECT_EQ(on_log.queries()[i].relation, off_log.queries()[i].relation);
+    EXPECT_EQ(on_log.queries()[i].trapdoor_bytes,
+              off_log.queries()[i].trapdoor_bytes)
+        << "observation " << i;
+    EXPECT_EQ(on_log.queries()[i].matched_records,
+              off_log.queries()[i].matched_records)
+        << "observation " << i;
+  }
+
+  // Phase 2: crash both sides (no Close — live WAL abandoned), recover,
+  // and re-run an identical select sweep. Recovery must agree byte for
+  // byte again; the recovered index-on server warms its cold index as
+  // the sweep repeats trapdoors.
+  for (int s = 0; s < 2; ++s) {
+    sides[s].store.reset();  // crash-equivalent teardown
+    sides[s].server = make_server(enabled[s]);
+    sides[s].store = std::make_unique<server::DurableStore>(
+        sides[s].server.get(), sides[s].dir, store_options);
+    ASSERT_TRUE(sides[s].store->Open().ok());
+    sides[s].responses.clear();
+  }
+  for (int s = 0; s < 2; ++s) {
+    crypto::HmacDrbg client_rng("differential-index-recovered", 13);
+    server::UntrustedServer* raw = sides[s].server.get();
+    std::vector<Bytes>* responses = &sides[s].responses;
+    client::Client client(
+        ToBytes("differential master"),
+        [raw, responses](const Bytes& request) {
+          Bytes response = raw->HandleRequest(request);
+          responses->push_back(response);
+          return response;
+        },
+        &client_rng);
+    ASSERT_TRUE(client.Adopt("T", TableSchema()).ok());
+    for (int round = 0; round < 2; ++round) {  // round 2 hits the memo
+      for (size_t n = 0; n < kNameCount; ++n) {
+        ASSERT_TRUE(client.Select("T", "name", Value::Str(kNames[n])).ok());
+      }
+      for (int64_t g = 0; g < kGroupCount; ++g) {
+        ASSERT_TRUE(client.Select("T", "grp", Value::Int(g)).ok());
+      }
+    }
+  }
+  ASSERT_EQ(sides[0].responses.size(), sides[1].responses.size());
+  for (size_t i = 0; i < sides[0].responses.size(); ++i) {
+    ASSERT_EQ(sides[0].responses[i], sides[1].responses[i])
+        << "post-recovery response " << i
+        << " differs between index on and off";
+  }
+  const auto& on_rec = sides[0].server->observations();
+  const auto& off_rec = sides[1].server->observations();
+  ASSERT_EQ(on_rec.queries().size(), off_rec.queries().size());
+  for (size_t i = 0; i < on_rec.queries().size(); ++i) {
+    EXPECT_EQ(on_rec.queries()[i].trapdoor_bytes,
+              off_rec.queries()[i].trapdoor_bytes);
+    EXPECT_EQ(on_rec.queries()[i].matched_records,
+              off_rec.queries()[i].matched_records)
+        << "post-recovery observation " << i;
+  }
+}
+
 TEST(DifferentialTest, CrashRecoveryServesExactlyTheOracleState) {
   // The acceptance scenario: a durable deployment is killed mid-stream
   // (no Close, no final checkpoint) after a random mutation workload with

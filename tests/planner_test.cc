@@ -1,0 +1,588 @@
+// Planner-layer coverage: the trapdoor posting-list index must be purely
+// a performance decision. Whatever access path the planner picks, the
+// documents returned (bytes and order) and the observation-log entries
+// recorded must be identical to a sequential full scan — across selects,
+// batches with duplicate trapdoors, appends, deletes, and recovery. Also
+// covers EXPLAIN (kExplain / PlanReport) and the bounded observation
+// mode.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "crypto/random.h"
+#include "dbph/scheme.h"
+#include "server/planner/planner.h"
+#include "server/planner/trapdoor_index.h"
+#include "server/untrusted_server.h"
+#include "sql/executor.h"
+#include "storage/heapfile.h"
+
+namespace dbph {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+using server::planner::AccessPath;
+using server::planner::ExecutionContext;
+using server::planner::PlanExecutor;
+using server::planner::SelectTask;
+using server::planner::TrapdoorIndex;
+
+Schema TableSchema() {
+  auto s = Schema::Create({
+      {"name", ValueType::kString, 8},
+      {"grp", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+Relation BuildTable(size_t n) {
+  Relation table("T", TableSchema());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(table.Insert({Value::Str("n" + std::to_string(i)),
+                              Value::Int(static_cast<int64_t>(i % 5))})
+                    .ok());
+  }
+  return table;
+}
+
+Bytes SerializeDoc(const swp::EncryptedDocument& doc) {
+  Bytes out;
+  doc.AppendTo(&out);
+  return out;
+}
+
+/// Byte-level equality of two match lists: same rids, same documents,
+/// same order.
+void ExpectSameMatches(const std::vector<server::runtime::ShardMatch>& a,
+                       const std::vector<server::runtime::ShardMatch>& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rid.Pack(), b[i].rid.Pack()) << context << " match " << i;
+    EXPECT_EQ(SerializeDoc(a[i].doc), SerializeDoc(b[i].doc))
+        << context << " match " << i;
+  }
+}
+
+/// Full equality of two observation logs, entry by entry.
+void ExpectSameLogs(const server::ObservationLog& a,
+                    const server::ObservationLog& b,
+                    const std::string& context) {
+  ASSERT_EQ(a.queries().size(), b.queries().size()) << context;
+  for (size_t i = 0; i < a.queries().size(); ++i) {
+    const auto& qa = a.queries()[i];
+    const auto& qb = b.queries()[i];
+    EXPECT_EQ(qa.relation, qb.relation) << context << " query " << i;
+    EXPECT_EQ(qa.trapdoor_bytes, qb.trapdoor_bytes) << context << " query "
+                                                    << i;
+    EXPECT_EQ(qa.matched_records, qb.matched_records) << context << " query "
+                                                      << i;
+  }
+  ASSERT_EQ(a.stores().size(), b.stores().size()) << context;
+  for (size_t i = 0; i < a.stores().size(); ++i) {
+    EXPECT_EQ(a.stores()[i].relation, b.stores()[i].relation) << context;
+    EXPECT_EQ(a.stores()[i].num_documents, b.stores()[i].num_documents)
+        << context;
+    EXPECT_EQ(a.stores()[i].ciphertext_bytes, b.stores()[i].ciphertext_bytes)
+        << context;
+  }
+}
+
+// ---------------- planner + index against raw storage ----------------
+
+/// A tiny relation materialized into a heap file, driven through the
+/// PlanExecutor directly (no server), with an index-enabled and an
+/// index-free context over the same storage.
+class PlannerStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crypto::HmacDrbg rng("planner-storage", 7);
+    auto ph = core::DatabasePh::Create(TableSchema(), ToBytes("planner key"));
+    ASSERT_TRUE(ph.ok());
+    ph_ = std::make_unique<core::DatabasePh>(std::move(*ph));
+    auto encrypted = ph_->EncryptRelation(BuildTable(40), &rng);
+    ASSERT_TRUE(encrypted.ok());
+    check_length_ = encrypted->check_length;
+    for (const auto& doc : encrypted->documents) {
+      records_.push_back(heap_.Insert(SerializeDoc(doc)));
+    }
+  }
+
+  ExecutionContext Context(bool with_index) {
+    ExecutionContext ctx;
+    ctx.heap = &heap_;
+    ctx.records = &records_;
+    ctx.check_length = check_length_;
+    ctx.num_shards = 3;
+    ctx.index = with_index ? &index_ : nullptr;
+    return ctx;
+  }
+
+  core::EncryptedQuery Query(const std::string& attribute,
+                             const Value& value) {
+    auto q = ph_->EncryptQuery("T", attribute, value);
+    EXPECT_TRUE(q.ok());
+    return *q;
+  }
+
+  server::planner::PlannedOutcome RunOne(const core::EncryptedQuery& query,
+                                         bool with_index) {
+    SelectTask task;
+    task.ctx = Context(with_index);
+    task.query = &query;
+    PlanExecutor executor(nullptr);  // inline scans
+    auto outcomes = executor.Execute({task});
+    EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status;
+    return std::move(outcomes[0]);
+  }
+
+  std::unique_ptr<core::DatabasePh> ph_;
+  storage::HeapFile heap_;
+  std::vector<storage::RecordId> records_;
+  uint32_t check_length_ = 4;
+  TrapdoorIndex index_;
+};
+
+TEST_F(PlannerStorageTest, FirstScanMemoizesSecondHitsIndexIdentically) {
+  core::EncryptedQuery query = Query("grp", Value::Int(2));
+
+  auto first = RunOne(query, true);
+  EXPECT_EQ(first.plan.path, AccessPath::kFullScan);
+  EXPECT_TRUE(first.plan.will_memoize);
+  EXPECT_EQ(index_.num_trapdoors(), 1u);
+  EXPECT_FALSE(first.matches.empty());
+
+  auto second = RunOne(query, true);
+  EXPECT_EQ(second.plan.path, AccessPath::kIndexLookup);
+  EXPECT_EQ(second.plan.posting_size, first.matches.size());
+  ExpectSameMatches(first.matches, second.matches, "scan vs index");
+
+  // And both equal an index-free scan of the same storage.
+  auto scan = RunOne(query, false);
+  EXPECT_EQ(scan.plan.path, AccessPath::kFullScan);
+  ExpectSameMatches(scan.matches, second.matches, "no-index vs index");
+
+  // Plan-only inspection (EXPLAIN) sees the same plan but leaves the
+  // hit/miss stats untouched — they measure queries served, not plans
+  // printed.
+  uint64_t hits_before = index_.stats().hits;
+  Bytes trapdoor_bytes;
+  query.trapdoor.AppendTo(&trapdoor_bytes);
+  auto explained = server::planner::PlanSelect(
+      Context(true), trapdoor_bytes, nullptr, /*record_stats=*/false);
+  EXPECT_EQ(explained.path, AccessPath::kIndexLookup);
+  EXPECT_EQ(index_.stats().hits, hits_before);
+}
+
+TEST_F(PlannerStorageTest, EmptyResultIsMemoizedAsARealAnswer) {
+  core::EncryptedQuery query = Query("name", Value::Str("nobody"));
+  auto first = RunOne(query, true);
+  EXPECT_TRUE(first.matches.empty());
+  auto second = RunOne(query, true);
+  EXPECT_EQ(second.plan.path, AccessPath::kIndexLookup);
+  EXPECT_TRUE(second.matches.empty());
+  EXPECT_EQ(index_.stats().hits, 1u);
+}
+
+TEST_F(PlannerStorageTest, DuplicateTrapdoorsInOneWaveMemoizeOnce) {
+  core::EncryptedQuery query = Query("grp", Value::Int(1));
+  SelectTask a, b;
+  a.ctx = b.ctx = Context(true);
+  a.query = b.query = &query;
+  PlanExecutor executor(nullptr);
+  auto outcomes = executor.Execute({a, b});
+  ASSERT_TRUE(outcomes[0].status.ok());
+  ASSERT_TRUE(outcomes[1].status.ok());
+  // Both planned before either scanned: both full scans, identical
+  // results, exactly one memo entry afterwards.
+  EXPECT_EQ(outcomes[0].plan.path, AccessPath::kFullScan);
+  EXPECT_EQ(outcomes[1].plan.path, AccessPath::kFullScan);
+  ExpectSameMatches(outcomes[0].matches, outcomes[1].matches, "dup wave");
+  EXPECT_EQ(index_.num_trapdoors(), 1u);
+
+  auto repeat = RunOne(query, true);
+  EXPECT_EQ(repeat.plan.path, AccessPath::kIndexLookup);
+  ExpectSameMatches(outcomes[0].matches, repeat.matches, "dup repeat");
+}
+
+TEST_F(PlannerStorageTest, OnAppendExtendsPostingListsExactly) {
+  core::EncryptedQuery query = Query("grp", Value::Int(3));
+  auto before = RunOne(query, true);  // memoize
+
+  // Append 10 more documents (two of each group) the way the server
+  // does: heap insert + records push + OnAppend with the new pairs.
+  crypto::HmacDrbg rng("planner-append", 9);
+  auto extra = ph_->EncryptRelation(BuildTable(10), &rng);
+  ASSERT_TRUE(extra.ok());
+  std::vector<std::pair<uint64_t, const swp::EncryptedDocument*>> added;
+  for (const auto& doc : extra->documents) {
+    storage::RecordId rid = heap_.Insert(SerializeDoc(doc));
+    records_.push_back(rid);
+    added.emplace_back(rid.Pack(), &doc);
+  }
+  index_.OnAppend(check_length_, added);
+
+  auto indexed = RunOne(query, true);
+  EXPECT_EQ(indexed.plan.path, AccessPath::kIndexLookup);
+  EXPECT_GT(indexed.matches.size(), before.matches.size());
+  auto scanned = RunOne(query, false);
+  ExpectSameMatches(scanned.matches, indexed.matches, "post-append");
+}
+
+TEST_F(PlannerStorageTest, OnDeleteDropsRemovedRecordsExactly) {
+  core::EncryptedQuery query = Query("grp", Value::Int(4));
+  auto before = RunOne(query, true);  // memoize
+  ASSERT_GE(before.matches.size(), 2u);
+
+  // Delete every second match, server-style.
+  std::vector<uint64_t> removed;
+  std::vector<storage::RecordId> kept;
+  for (size_t i = 0; i < records_.size(); ++i) kept.push_back(records_[i]);
+  for (size_t i = 0; i < before.matches.size(); i += 2) {
+    storage::RecordId rid = before.matches[i].rid;
+    removed.push_back(rid.Pack());
+    ASSERT_TRUE(heap_.Delete(rid).ok());
+    kept.erase(std::find(kept.begin(), kept.end(), rid));
+  }
+  records_ = std::move(kept);
+  index_.OnDelete(removed);
+
+  auto indexed = RunOne(query, true);
+  EXPECT_EQ(indexed.plan.path, AccessPath::kIndexLookup);
+  auto scanned = RunOne(query, false);
+  ExpectSameMatches(scanned.matches, indexed.matches, "post-delete");
+}
+
+TEST_F(PlannerStorageTest, OverBudgetAppendInvalidatesInsteadOfStalling) {
+  index_.set_max_append_evals(4);
+  core::EncryptedQuery query = Query("grp", Value::Int(2));
+  (void)RunOne(query, true);  // memoize (1 trapdoor)
+  ASSERT_EQ(index_.num_trapdoors(), 1u);
+
+  // 1 memoized trapdoor x 10 new documents = 10 evaluations > budget 4:
+  // the memo is dropped rather than maintained under the lock.
+  crypto::HmacDrbg rng("planner-budget", 3);
+  auto extra = ph_->EncryptRelation(BuildTable(10), &rng);
+  ASSERT_TRUE(extra.ok());
+  std::vector<std::pair<uint64_t, const swp::EncryptedDocument*>> added;
+  for (const auto& doc : extra->documents) {
+    storage::RecordId rid = heap_.Insert(SerializeDoc(doc));
+    records_.push_back(rid);
+    added.emplace_back(rid.Pack(), &doc);
+  }
+  index_.OnAppend(check_length_, added);
+  EXPECT_EQ(index_.num_trapdoors(), 0u);
+  EXPECT_EQ(index_.stats().invalidations, 1u);
+
+  // Cold again, still correct: the next select rescans and re-memoizes.
+  auto rebuilt = RunOne(query, true);
+  EXPECT_EQ(rebuilt.plan.path, AccessPath::kFullScan);
+  ExpectSameMatches(RunOne(query, false).matches,
+                    RunOne(query, true).matches, "post-invalidation");
+}
+
+TEST_F(PlannerStorageTest, AppendBudgetMaintainsWhatItCanEvictsTheRest) {
+  // Two memoized trapdoors, budget 12, append 10 documents: the first
+  // entry is maintained (10 <= 12), the second would exceed the budget
+  // and is evicted instead of served stale.
+  core::EncryptedQuery q0 = Query("grp", Value::Int(0));
+  core::EncryptedQuery q1 = Query("grp", Value::Int(1));
+  (void)RunOne(q0, true);
+  (void)RunOne(q1, true);
+  ASSERT_EQ(index_.num_trapdoors(), 2u);
+  index_.set_max_append_evals(12);
+
+  crypto::HmacDrbg rng("planner-partial", 4);
+  auto extra = ph_->EncryptRelation(BuildTable(10), &rng);
+  ASSERT_TRUE(extra.ok());
+  std::vector<std::pair<uint64_t, const swp::EncryptedDocument*>> added;
+  for (const auto& doc : extra->documents) {
+    storage::RecordId rid = heap_.Insert(SerializeDoc(doc));
+    records_.push_back(rid);
+    added.emplace_back(rid.Pack(), &doc);
+  }
+  index_.OnAppend(check_length_, added);
+  EXPECT_EQ(index_.num_trapdoors(), 1u);
+  EXPECT_EQ(index_.stats().invalidations, 1u);
+
+  // Whichever entry survived serves exactly; the evicted one rescans
+  // exactly. Both must equal the index-free scan post-append.
+  for (const core::EncryptedQuery* q : {&q0, &q1}) {
+    auto with = RunOne(*q, true);
+    auto without = RunOne(*q, false);
+    ExpectSameMatches(without.matches, with.matches, "partial maintenance");
+  }
+}
+
+TEST_F(PlannerStorageTest, CapacityBoundsMemoizationWithoutBreakingResults) {
+  index_.set_max_trapdoors(2);
+  core::EncryptedQuery q0 = Query("grp", Value::Int(0));
+  core::EncryptedQuery q1 = Query("grp", Value::Int(1));
+  core::EncryptedQuery q2 = Query("grp", Value::Int(2));
+  (void)RunOne(q0, true);
+  (void)RunOne(q1, true);
+  EXPECT_TRUE(index_.AtCapacity());
+
+  // The third trapdoor is not memoized: it plans as a non-memoizing
+  // scan, repeats keep scanning, and results still match the
+  // index-free scan exactly.
+  auto third = RunOne(q2, true);
+  EXPECT_EQ(third.plan.path, AccessPath::kFullScan);
+  EXPECT_FALSE(third.plan.will_memoize);
+  EXPECT_EQ(index_.num_trapdoors(), 2u);
+  auto repeat = RunOne(q2, true);
+  EXPECT_EQ(repeat.plan.path, AccessPath::kFullScan);
+  ExpectSameMatches(RunOne(q2, false).matches, repeat.matches, "at capacity");
+
+  // Entries memoized before the cap hit keep serving.
+  auto cached = RunOne(q0, true);
+  EXPECT_EQ(cached.plan.path, AccessPath::kIndexLookup);
+}
+
+// ---------------- whole-server differential: index on vs off -------------
+
+/// Two deployments over identical DRBG streams hold byte-identical
+/// ciphertext and receive byte-identical requests; one runs with the
+/// trapdoor index, one without. Every transport response and the whole
+/// observation log must match byte for byte.
+struct Deployment {
+  explicit Deployment(bool enable_index)
+      : server(MakeOptions(enable_index)),
+        rng("planner-differential", 5),
+        client(ToBytes("planner master"),
+               [this](const Bytes& request) {
+                 Bytes response = server.HandleRequest(request);
+                 responses.push_back(response);
+                 return response;
+               },
+               &rng) {}
+
+  static server::ServerRuntimeOptions MakeOptions(bool enable_index) {
+    server::ServerRuntimeOptions options;
+    options.num_threads = 2;
+    options.enable_trapdoor_index = enable_index;
+    return options;
+  }
+
+  server::UntrustedServer server;
+  crypto::HmacDrbg rng;
+  std::vector<Bytes> responses;
+  client::Client client;
+};
+
+TEST(PlannerDifferentialTest, IndexOnAndOffAreByteIdenticalEverywhere) {
+  Deployment on(true);
+  Deployment off(false);
+
+  Relation table = BuildTable(60);
+  auto drive = [&table](Deployment* d) {
+    ASSERT_TRUE(d->client.Outsource(table).ok());
+    // Repeated trapdoors (index hits), fresh trapdoors (scans),
+    // batches, conjunctions, mutations in between.
+    for (int round = 0; round < 3; ++round) {
+      for (int64_t g = 0; g < 5; ++g) {
+        ASSERT_TRUE(d->client.Select("T", "grp", Value::Int(g)).ok());
+      }
+      auto batch = d->client.SelectBatch(
+          "T", {{"grp", Value::Int(2)}, {"grp", Value::Int(2)},
+                {"name", Value::Str("n1")}});
+      ASSERT_TRUE(batch.ok());
+      ASSERT_TRUE(
+          d->client
+              .SelectConjunction("T", {{"grp", Value::Int(1)},
+                                       {"name", Value::Str("n6")}})
+              .ok());
+      if (round == 0) {
+        ASSERT_TRUE(
+            d->client
+                .Insert("T", {rel::Tuple({Value::Str("xtra"),
+                                          Value::Int(2)})})
+                .ok());
+      }
+      if (round == 1) {
+        ASSERT_TRUE(d->client.DeleteWhere("T", "grp", Value::Int(3)).ok());
+        // The deleted trapdoor is memoized empty; select it again.
+        ASSERT_TRUE(d->client.Select("T", "grp", Value::Int(3)).ok());
+      }
+    }
+  };
+  drive(&on);
+  if (::testing::Test::HasFatalFailure()) return;
+  drive(&off);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Byte-identical wire responses, request by request.
+  ASSERT_EQ(on.responses.size(), off.responses.size());
+  for (size_t i = 0; i < on.responses.size(); ++i) {
+    EXPECT_EQ(on.responses[i], off.responses[i]) << "response " << i;
+  }
+  ExpectSameLogs(on.server.observations(), off.server.observations(),
+                 "index on vs off");
+
+  // The index really was in play: repeated trapdoors report the index
+  // path on the enabled server and the scan path on the disabled one.
+  auto plan_on = on.client.Explain("T", "grp", Value::Int(2));
+  ASSERT_TRUE(plan_on.ok());
+  EXPECT_EQ(plan_on->access_path, protocol::PlanAccessPath::kIndexLookup);
+  EXPECT_TRUE(plan_on->index_enabled);
+  EXPECT_GT(plan_on->indexed_trapdoors, 0u);
+  auto plan_off = off.client.Explain("T", "grp", Value::Int(2));
+  ASSERT_TRUE(plan_off.ok());
+  EXPECT_EQ(plan_off->access_path, protocol::PlanAccessPath::kFullScan);
+  EXPECT_FALSE(plan_off->index_enabled);
+  EXPECT_FALSE(plan_off->will_memoize);
+}
+
+TEST(PlannerDifferentialTest, RestoreStateStartsColdButStaysIdentical) {
+  Deployment on(true);
+  Relation table = BuildTable(30);
+  ASSERT_TRUE(on.client.Outsource(table).ok());
+  ASSERT_TRUE(on.client.Select("T", "grp", Value::Int(1)).ok());
+  auto warm = on.client.Explain("T", "grp", Value::Int(1));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->access_path, protocol::PlanAccessPath::kIndexLookup);
+
+  // Save/restore: recovery deterministically rebuilds — the index
+  // restarts cold and the first repeat is a (memoizing) scan again.
+  auto image = on.server.SerializeState();
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(on.server.RestoreState(*image).ok());
+  auto cold = on.client.Explain("T", "grp", Value::Int(1));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->access_path, protocol::PlanAccessPath::kFullScan);
+  EXPECT_TRUE(cold->will_memoize);
+  EXPECT_EQ(cold->indexed_trapdoors, 0u);
+
+  auto result = on.client.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(result.ok());
+  auto rewarmed = on.client.Explain("T", "grp", Value::Int(1));
+  ASSERT_TRUE(rewarmed.ok());
+  EXPECT_EQ(rewarmed->access_path, protocol::PlanAccessPath::kIndexLookup);
+  EXPECT_EQ(rewarmed->posting_size, warm->posting_size);
+}
+
+// ---------------- EXPLAIN plumbing ----------------
+
+TEST(ExplainTest, UnknownRelationAndSqlFrontEnd) {
+  server::UntrustedServer server;
+  crypto::HmacDrbg rng("explain-sql", 3);
+  client::Client client(
+      ToBytes("explain master"),
+      [&server](const Bytes& request) { return server.HandleRequest(request); },
+      &rng);
+  Relation table = BuildTable(10);
+  ASSERT_TRUE(client.Outsource(table).ok());
+
+  EXPECT_FALSE(client.Explain("Nope", "grp", Value::Int(1)).ok());
+
+  auto text = sql::ExplainSql(&client,
+                              "EXPLAIN SELECT * FROM T WHERE grp = 1");
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("FullScan"), std::string::npos);
+
+  ASSERT_TRUE(client.Select("T", "grp", Value::Int(1)).ok());
+  text = sql::ExplainSql(&client, "explain SELECT * FROM T WHERE grp = 1");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("IndexLookup"), std::string::npos);
+
+  // Conjunctions explain one plan per term.
+  auto conj = sql::ExplainSql(
+      &client, "EXPLAIN SELECT * FROM T WHERE grp = 1 AND name = 'n1'");
+  ASSERT_TRUE(conj.ok());
+  EXPECT_NE(conj->find("term 1"), std::string::npos);
+  EXPECT_NE(conj->find("term 2"), std::string::npos);
+
+  // EXPLAIN left no query observations (plan-only).
+  EXPECT_EQ(server.observations().queries().size(), 1u);
+}
+
+TEST(ExplainTest, PlanReportRoundTripsOnTheWire) {
+  protocol::PlanReport report;
+  report.relation = "R";
+  report.access_path = protocol::PlanAccessPath::kIndexLookup;
+  report.num_records = 1234;
+  report.posting_size = 56;
+  report.num_shards = 8;
+  report.will_memoize = false;
+  report.index_enabled = true;
+  report.indexed_trapdoors = 3;
+  Bytes wire;
+  report.AppendTo(&wire);
+  ByteReader reader(wire);
+  auto parsed = protocol::PlanReport::ReadFrom(&reader);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(parsed->relation, "R");
+  EXPECT_EQ(parsed->access_path, protocol::PlanAccessPath::kIndexLookup);
+  EXPECT_EQ(parsed->num_records, 1234u);
+  EXPECT_EQ(parsed->posting_size, 56u);
+  EXPECT_EQ(parsed->num_shards, 8u);
+  EXPECT_FALSE(parsed->will_memoize);
+  EXPECT_TRUE(parsed->index_enabled);
+  EXPECT_EQ(parsed->indexed_trapdoors, 3u);
+}
+
+// ---------------- bounded observation mode ----------------
+
+TEST(ObservationModeTest, AggregateKeepsCountsNotTranscripts) {
+  server::ServerRuntimeOptions options;
+  server::UntrustedServer full_server(options);
+  server::UntrustedServer aggregate_server(options);
+  aggregate_server.mutable_observations()->SetMode(
+      server::ObservationMode::kAggregate);
+
+  Relation table = BuildTable(20);
+  auto drive = [&table](server::UntrustedServer* s, uint64_t seed) {
+    crypto::HmacDrbg rng("observation-mode", seed);
+    client::Client client(
+        ToBytes("observation master"),
+        [s](const Bytes& request) { return s->HandleRequest(request); },
+        &rng);
+    ASSERT_TRUE(client.Outsource(table).ok());
+    for (int round = 0; round < 4; ++round) {
+      for (int64_t g = 0; g < 5; ++g) {
+        ASSERT_TRUE(client.Select("T", "grp", Value::Int(g)).ok());
+      }
+    }
+    ASSERT_TRUE(client.DeleteWhere("T", "grp", Value::Int(0)).ok());
+  };
+  drive(&full_server, 1);
+  if (::testing::Test::HasFatalFailure()) return;
+  drive(&aggregate_server, 1);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const auto& full = full_server.observations();
+  const auto& aggregate = aggregate_server.observations();
+  // Aggregate mode retains no per-event vectors...
+  EXPECT_EQ(aggregate.queries().size(), 0u);
+  EXPECT_EQ(aggregate.stores().size(), 0u);
+  EXPECT_EQ(full.queries().size(), 21u);
+  // ...but its counters equal the full deployment's.
+  EXPECT_EQ(aggregate.aggregate().num_queries, 21u);
+  EXPECT_EQ(aggregate.aggregate().num_stores,
+            full.aggregate().num_stores);
+  EXPECT_EQ(aggregate.aggregate().matched_total,
+            full.aggregate().matched_total);
+  EXPECT_EQ(aggregate.aggregate().result_size_histogram,
+            full.aggregate().result_size_histogram);
+
+  // The histogram is a real summary of the full transcript.
+  uint64_t histogram_total = 0;
+  for (const auto& [size, count] :
+       aggregate.aggregate().result_size_histogram) {
+    (void)size;
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, 21u);
+}
+
+}  // namespace
+}  // namespace dbph

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <thread>
+
 #include "client/client.h"
 #include "crypto/random.h"
+#include "net/net_server.h"
+#include "net/tcp_transport.h"
 #include "server/untrusted_server.h"
 #include "sql/executor.h"
 #include "sql/lexer.h"
@@ -176,6 +181,132 @@ TEST_F(SqlExecutorTest, FormatResultRendersTable) {
   EXPECT_NE(text.find("name"), std::string::npos);
   EXPECT_NE(text.find("Smith"), std::string::npos);
   EXPECT_NE(text.find("1 row(s)"), std::string::npos);
+}
+
+// ---------- SQL over a real socket ----------
+
+/// The executor tests above run over the in-process transport; these run
+/// the identical statements through a TcpTransport against a NetServer —
+/// the deployment the REPL's --connect mode uses — including EXPLAIN and
+/// a two-client pipelined case.
+class SqlOverSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_server_ = std::make_unique<net::NetServer>(&server_);
+    ASSERT_TRUE(net_server_->Start().ok());
+    rng_ = std::make_unique<crypto::HmacDrbg>("sql-socket", 1);
+    auto transport = net::TcpTransport::Connect("127.0.0.1",
+                                                net_server_->port());
+    ASSERT_TRUE(transport.ok()) << transport.status();
+    client_ = std::make_unique<client::Client>(
+        ToBytes("sql socket master"), (*transport)->AsTransport(),
+        rng_.get());
+    auto schema = rel::Schema::Create({
+        {"name", ValueType::kString, 10},
+        {"dept", ValueType::kString, 5},
+        {"salary", ValueType::kInt64, 10},
+    });
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::make_unique<rel::Schema>(*schema);
+    rel::Relation emp("Emp", *schema);
+    ASSERT_TRUE(emp.Insert({Value::Str("Montgomery"), Value::Str("HR"),
+                            Value::Int(7500)}).ok());
+    ASSERT_TRUE(emp.Insert({Value::Str("Smith"), Value::Str("IT"),
+                            Value::Int(4900)}).ok());
+    ASSERT_TRUE(emp.Insert({Value::Str("Jones"), Value::Str("HR"),
+                            Value::Int(4900)}).ok());
+    ASSERT_TRUE(client_->Outsource(emp).ok());
+  }
+
+  void TearDown() override {
+    client_.reset();
+    if (net_server_) net_server_->Stop();
+  }
+
+  server::UntrustedServer server_;
+  std::unique_ptr<net::NetServer> net_server_;
+  std::unique_ptr<crypto::HmacDrbg> rng_;
+  std::unique_ptr<rel::Schema> schema_;
+  std::unique_ptr<client::Client> client_;
+};
+
+TEST_F(SqlOverSocketTest, SelectAndConjunctionOverTheWire) {
+  auto result =
+      ExecuteSql(client_.get(), "SELECT * FROM Emp WHERE dept = 'HR'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+
+  auto conjunction = ExecuteSql(
+      client_.get(),
+      "SELECT * FROM Emp WHERE dept = 'HR' AND salary = 4900;");
+  ASSERT_TRUE(conjunction.ok());
+  ASSERT_EQ(conjunction->size(), 1u);
+  EXPECT_EQ(conjunction->tuple(0).at(0), Value::Str("Jones"));
+
+  // Errors travel the wire as kError envelopes and surface unchanged.
+  EXPECT_FALSE(
+      ExecuteSql(client_.get(), "SELECT * FROM Emp WHERE nope = 1").ok());
+}
+
+TEST_F(SqlOverSocketTest, ExplainOverTheWireSeesTheIndexWarm) {
+  auto cold = sql::ExplainSql(
+      client_.get(), "EXPLAIN SELECT * FROM Emp WHERE dept = 'IT'");
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_NE(cold->find("FullScan"), std::string::npos);
+
+  ASSERT_TRUE(
+      ExecuteSql(client_.get(), "SELECT * FROM Emp WHERE dept = 'IT'").ok());
+
+  auto warm = sql::ExplainSql(
+      client_.get(), "EXPLAIN SELECT * FROM Emp WHERE dept = 'IT'");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->find("IndexLookup"), std::string::npos);
+}
+
+TEST_F(SqlOverSocketTest, TwoPipelinedClientsGetConsistentAnswers) {
+  // A second session attaches to the stored relation with the same
+  // master key over its own connection; both clients then issue
+  // interleaved statements concurrently. The server's single-writer
+  // dispatch must serve both byte-correctly (NetServer pipelines frames
+  // per connection; two connections interleave at the event loop).
+  auto run_session = [this](uint64_t seed, int* failures) {
+    crypto::HmacDrbg rng("sql-socket-session", seed);
+    auto transport =
+        net::TcpTransport::Connect("127.0.0.1", net_server_->port());
+    if (!transport.ok()) {
+      ++*failures;
+      return;
+    }
+    client::Client session(ToBytes("sql socket master"),
+                           (*transport)->AsTransport(), &rng);
+    if (!session.Adopt("Emp", *schema_).ok()) {
+      ++*failures;
+      return;
+    }
+    for (int round = 0; round < 20; ++round) {
+      auto hr = ExecuteSql(&session, "SELECT * FROM Emp WHERE dept = 'HR'");
+      auto it = ExecuteSql(&session, "SELECT * FROM Emp WHERE dept = 'IT'");
+      auto conj = ExecuteSql(
+          &session,
+          "SELECT * FROM Emp WHERE dept = 'HR' AND salary = 4900");
+      if (!hr.ok() || hr->size() != 2 || !it.ok() || it->size() != 1 ||
+          !conj.ok() || conj->size() != 1) {
+        ++*failures;
+        return;
+      }
+    }
+  };
+  int failures_a = 0;
+  int failures_b = 0;
+  std::thread peer(run_session, 2, &failures_b);
+  run_session(3, &failures_a);
+  peer.join();
+  EXPECT_EQ(failures_a, 0);
+  EXPECT_EQ(failures_b, 0);
+
+  // One observation per executed remote select: 20 rounds × 2 sessions ×
+  // (1 + 1 + 2 conjunction terms) = 160.
+  EXPECT_EQ(server_.observations().queries().size(), 160u);
 }
 
 TEST(TypeLiteralTest, CoercionRules) {

@@ -8,6 +8,27 @@
 //   dbph_serverd --port=7690 [--bind=ADDR] [--threads=N] [--shards=N]
 //                [--persist=DIR] [--fsync=always|batch]
 //                [--max-conns=N] [--idle-timeout-ms=N]
+//                [--index=on|off] [--observation=full|aggregate]
+//
+//   --index=on      (default) trapdoor posting-list index: repeated
+//                   trapdoors are answered from memoized match sets
+//                   instead of an O(n) scan. Results and observation
+//                   logging are byte-identical either way; off disables
+//                   the memo entirely.
+//   --index-capacity=N  distinct trapdoors memoized per relation
+//                   (default 65536, 0 = unlimited). Bounds index memory
+//                   and per-append maintenance under heavy traffic; at
+//                   capacity new trapdoors keep scanning.
+//   --index-append-budget=N  trapdoor evaluations an append may spend
+//                   maintaining the memo (default 16384, 0 = unlimited);
+//                   entries beyond the budget are evicted, not served
+//                   stale. Raise for bulk-append workloads.
+//   --observation=full       keep every query observation verbatim
+//                   (trapdoor bytes + matched ids) — the Section 2
+//                   games' input; memory grows with query count.
+//   --observation=aggregate  bounded transcript: counts + result-size
+//                   histogram only, so a long-running daemon under heavy
+//                   traffic does not grow without bound.
 //
 //   --persist=DIR   continuous durability: every mutation is appended to
 //                   DIR/wal.log (CRC-guarded, length-prefixed) before it
@@ -83,6 +104,8 @@ int main(int argc, char** argv) {
   server::ServerRuntimeOptions runtime_options;
   std::string persist_dir;
   std::string fsync_mode;
+  std::string index_mode;
+  std::string observation_mode;
 
   size_t port = net_options.port;
   size_t max_conns = net_options.max_connections;
@@ -96,8 +119,14 @@ int main(int argc, char** argv) {
                       &bad_value) ||
         ParseSizeFlag(argv[i], "--max-conns=", &max_conns, &bad_value) ||
         ParseSizeFlag(argv[i], "--idle-timeout-ms=", &idle_ms, &bad_value) ||
+        ParseSizeFlag(argv[i], "--index-capacity=",
+                      &runtime_options.max_indexed_trapdoors, &bad_value) ||
+        ParseSizeFlag(argv[i], "--index-append-budget=",
+                      &runtime_options.max_index_append_evals, &bad_value) ||
         ParseStringFlag(argv[i], "--bind=", &net_options.bind_address) ||
         ParseStringFlag(argv[i], "--fsync=", &fsync_mode) ||
+        ParseStringFlag(argv[i], "--index=", &index_mode) ||
+        ParseStringFlag(argv[i], "--observation=", &observation_mode) ||
         ParseStringFlag(argv[i], "--persist=", &persist_dir)) {
       if (bad_value) {
         std::fprintf(stderr, "bad numeric value in '%s'\n", argv[i]);
@@ -109,7 +138,9 @@ int main(int argc, char** argv) {
                  "unknown flag '%s'\n"
                  "usage: dbph_serverd [--port=N] [--bind=ADDR] [--threads=N]"
                  " [--shards=N] [--persist=DIR] [--fsync=always|batch]"
-                 " [--max-conns=N] [--idle-timeout-ms=N]\n",
+                 " [--max-conns=N] [--idle-timeout-ms=N] [--index=on|off]"
+                 " [--index-capacity=N] [--index-append-budget=N]"
+                 " [--observation=full|aggregate]\n",
                  argv[i]);
     return 2;
   }
@@ -129,11 +160,31 @@ int main(int argc, char** argv) {
                  fsync_mode.c_str());
     return 2;
   }
+  if (index_mode.empty()) index_mode = "on";
+  if (index_mode != "on" && index_mode != "off") {
+    std::fprintf(stderr, "--index must be 'on' or 'off', got '%s'\n",
+                 index_mode.c_str());
+    return 2;
+  }
+  runtime_options.enable_trapdoor_index = index_mode == "on";
+  if (observation_mode.empty()) observation_mode = "full";
+  if (observation_mode != "full" && observation_mode != "aggregate") {
+    std::fprintf(stderr,
+                 "--observation must be 'full' or 'aggregate', got '%s'\n",
+                 observation_mode.c_str());
+    return 2;
+  }
   net_options.port = static_cast<uint16_t>(port);
   net_options.max_connections = max_conns;
   net_options.idle_timeout_ms = static_cast<int>(idle_ms);
 
   server::UntrustedServer eve(runtime_options);
+  if (observation_mode == "aggregate") {
+    // Bounded transcript before any traffic arrives: a long-running
+    // daemon keeps counts and a result-size histogram, not per-query
+    // vectors.
+    eve.mutable_observations()->SetMode(server::ObservationMode::kAggregate);
+  }
 
   // Recovery before the first socket opens: snapshot + WAL replay, then
   // the durability hooks route every further mutation through the log.
