@@ -37,6 +37,13 @@
 // results and observation logs stay byte-identical; reports scan vs
 // index queries/sec and the speedup as JSON. The acceptance bar for the
 // planner work is speedup >= 10 at --docs=100000.
+//
+// Integrity mode: --integrity [--repeats=N] [--mutations=N] measures the
+// price of Merkle result proofs: select and insert throughput with
+// integrity off + VerifyMode::kOff (the PR-4 baseline) vs integrity on +
+// VerifyMode::kEnforce, over identical ciphertext, splitting server-side
+// proof generation from client-side verification; asserts verified
+// results match the baseline.
 
 #include <benchmark/benchmark.h>
 
@@ -315,6 +322,7 @@ struct ParallelBenchConfig {
   size_t mutations = 2000;  // insert round trips per policy (--durability)
   bool index = false;       // scan vs trapdoor-index select throughput
   size_t repeats = 50;      // repeated-trapdoor selects per side (--index)
+  bool integrity = false;   // Merkle proof generation/verification overhead
 };
 
 /// One in-process deployment; `options` tunes the server runtime. The
@@ -656,8 +664,8 @@ struct DurabilityRun {
 
 /// Times `mutations` single-tuple Insert round trips (plus one closing
 /// kFlush) against one deployment; `mode` empty = memory-only baseline.
-DurabilityRun RunOneDurabilityPolicy(const ParallelBenchConfig& config,
-                                     const std::string& mode) {
+DurabilityRun RunOneDurabilityPolicyOnce(const ParallelBenchConfig& config,
+                                         const std::string& mode) {
   DurabilityRun run;
   server::UntrustedServer eve;
   std::unique_ptr<server::DurableStore> store;
@@ -710,6 +718,25 @@ DurabilityRun RunOneDurabilityPolicy(const ParallelBenchConfig& config,
   return run;
 }
 
+/// Best-of-`rounds` for one policy — fsync throughput is noisy, and the
+/// other modes already report best-of; a single run is not a trajectory
+/// point. Every round must satisfy the all-mutations-logged invariant.
+DurabilityRun RunOneDurabilityPolicy(const ParallelBenchConfig& config,
+                                     const std::string& mode) {
+  DurabilityRun best;
+  best.ok = true;
+  for (size_t round = 0; round < config.rounds; ++round) {
+    DurabilityRun run = RunOneDurabilityPolicyOnce(config, mode);
+    best.ok = best.ok && run.ok;
+    if (round == 0 || run.ops_per_sec > best.ops_per_sec) {
+      best.ops_per_sec = run.ops_per_sec;
+      best.checkpoints = run.checkpoints;
+      best.wal_records = run.wal_records;
+    }
+  }
+  return best;
+}
+
 int RunDurabilityBench(const ParallelBenchConfig& config) {
   DurabilityRun none = RunOneDurabilityPolicy(config, "");
   DurabilityRun batch = RunOneDurabilityPolicy(config, "batch");
@@ -717,16 +744,149 @@ int RunDurabilityBench(const ParallelBenchConfig& config) {
   bool ok = none.ok && batch.ok && always.ok;
   std::printf(
       "{\"bench\":\"e6_durability\",\"docs\":%zu,\"mutations\":%zu,"
+      "\"rounds\":%zu,"
       "\"none_ops_per_sec\":%.2f,\"batch_ops_per_sec\":%.2f,"
       "\"always_ops_per_sec\":%.2f,\"batch_checkpoints\":%llu,"
       "\"always_checkpoints\":%llu,\"wal_records_per_run\":%llu,"
       "\"all_mutations_logged\":%s}\n",
-      config.docs, config.mutations, none.ops_per_sec, batch.ops_per_sec,
-      always.ops_per_sec, static_cast<unsigned long long>(batch.checkpoints),
+      config.docs, config.mutations, config.rounds, none.ops_per_sec,
+      batch.ops_per_sec, always.ops_per_sec,
+      static_cast<unsigned long long>(batch.checkpoints),
       static_cast<unsigned long long>(always.checkpoints),
       static_cast<unsigned long long>(always.wal_records),
       ok ? "true" : "false");
   return ok ? 0 : 1;
+}
+
+// ------------- Merkle proof generation/verification overhead (JSON mode) -----
+
+int RunIntegrityBench(const ParallelBenchConfig& config) {
+  // Baseline: the PR-4 wire format (no trees, no proofs, client off).
+  // Verified: server builds proofs, client enforces them — the full
+  // price of tamper-evidence, end to end, over identical ciphertext
+  // (same DRBG seeds).
+  server::ServerRuntimeOptions off_options;
+  off_options.enable_integrity = false;
+  server::ServerRuntimeOptions on_options;
+  on_options.enable_integrity = true;
+  E6Deployment baseline(off_options);
+  E6Deployment verified(on_options);
+  verified.client.set_verify_mode(client::VerifyMode::kEnforce);
+
+  std::fprintf(stderr, "outsourcing %zu documents twice...\n", config.docs);
+  rel::Relation table = BenchTable(config.docs);
+  Stopwatch baseline_outsource_timer;
+  if (!baseline.client.Outsource(table).ok()) return 1;
+  double baseline_outsource = baseline_outsource_timer.ElapsedSeconds();
+  Stopwatch verified_outsource_timer;
+  if (!verified.client.Outsource(table).ok()) return 1;
+  double verified_outsource = verified_outsource_timer.ElapsedSeconds();
+
+  struct Probe {
+    const char* label;
+    std::string attribute;
+    rel::Value value;
+  };
+  const Probe probes[] = {
+      {"point", "key", rel::Value::Str("k42")},
+      {"1pct", "val", kProbe},
+  };
+
+  bool all_ok = true;
+  for (const Probe& probe : probes) {
+    auto expected =
+        baseline.client.Select("T", probe.attribute, probe.value);
+    auto checked = verified.client.Select("T", probe.attribute, probe.value);
+    if (!expected.ok() || !checked.ok()) {
+      std::fprintf(stderr, "warm-up select failed: %s\n",
+                   (!expected.ok() ? expected.status() : checked.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    bool results_match = expected->SameTuples(*checked);
+
+    baseline.server_seconds = 0;
+    Stopwatch baseline_timer;
+    for (size_t i = 0; i < config.repeats; ++i) {
+      if (!baseline.client.Select("T", probe.attribute, probe.value).ok()) {
+        return 1;
+      }
+    }
+    double baseline_seconds = baseline_timer.ElapsedSeconds();
+    double baseline_server = baseline.server_seconds;
+
+    verified.server_seconds = 0;
+    Stopwatch verified_timer;
+    for (size_t i = 0; i < config.repeats; ++i) {
+      if (!verified.client.Select("T", probe.attribute, probe.value).ok()) {
+        return 1;
+      }
+    }
+    double verified_seconds = verified_timer.ElapsedSeconds();
+    double verified_server = verified.server_seconds;
+
+    // Raw per-side splits, not cross-deployment deltas: two independent
+    // deployments' timings are each noisy, and a subtraction of noisy
+    // numbers can go negative for costs below timer resolution. Readers
+    // (and the trajectory) subtract if they want a delta; the committed
+    // record stays interpretable either way.
+    double baseline_qps = static_cast<double>(config.repeats) /
+                          baseline_seconds;
+    double verified_qps = static_cast<double>(config.repeats) /
+                          verified_seconds;
+    std::printf(
+        "{\"bench\":\"e6_integrity\",\"probe\":\"%s\",\"docs\":%zu,"
+        "\"repeats\":%zu,\"result_size\":%zu,"
+        "\"baseline_qps\":%.2f,\"verified_qps\":%.2f,"
+        "\"overhead_ratio\":%.4f,"
+        "\"server_seconds_per_query_baseline\":%.9f,"
+        "\"server_seconds_per_query_verified\":%.9f,"
+        "\"client_seconds_per_query_baseline\":%.9f,"
+        "\"client_seconds_per_query_verified\":%.9f,"
+        "\"results_match\":%s}\n",
+        probe.label, config.docs, config.repeats, expected->size(),
+        baseline_qps, verified_qps, verified_seconds / baseline_seconds,
+        baseline_server / static_cast<double>(config.repeats),
+        verified_server / static_cast<double>(config.repeats),
+        (baseline_seconds - baseline_server) /
+            static_cast<double>(config.repeats),
+        (verified_seconds - verified_server) /
+            static_cast<double>(config.repeats),
+        results_match ? "true" : "false");
+    all_ok = all_ok && results_match;
+  }
+
+  // Mutation overhead: appends maintain the tree (server + client) and
+  // attest the new root (an extra round trip per mutation).
+  size_t mutations = std::min<size_t>(config.mutations, 500);
+  Stopwatch baseline_insert_timer;
+  for (size_t i = 0; i < mutations; ++i) {
+    rel::Tuple tuple({rel::Value::Str("m" + std::to_string(i)),
+                      rel::Value::Int(static_cast<int64_t>(i % 100))});
+    if (!baseline.client.Insert("T", {tuple}).ok()) return 1;
+  }
+  double baseline_insert = baseline_insert_timer.ElapsedSeconds();
+  Stopwatch verified_insert_timer;
+  for (size_t i = 0; i < mutations; ++i) {
+    rel::Tuple tuple({rel::Value::Str("m" + std::to_string(i)),
+                      rel::Value::Int(static_cast<int64_t>(i % 100))});
+    if (!verified.client.Insert("T", {tuple}).ok()) return 1;
+  }
+  double verified_insert = verified_insert_timer.ElapsedSeconds();
+  std::printf(
+      "{\"bench\":\"e6_integrity_mutation\",\"docs\":%zu,"
+      "\"mutations\":%zu,"
+      "\"baseline_outsource_seconds\":%.6f,"
+      "\"verified_outsource_seconds\":%.6f,"
+      "\"baseline_insert_ops_per_sec\":%.2f,"
+      "\"verified_insert_ops_per_sec\":%.2f,"
+      "\"insert_overhead_ratio\":%.4f}\n",
+      config.docs, mutations, baseline_outsource, verified_outsource,
+      static_cast<double>(mutations) / baseline_insert,
+      static_cast<double>(mutations) / verified_insert,
+      verified_insert / baseline_insert);
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -761,20 +921,24 @@ int main(int argc, char** argv) {
       config.durability = true;
     } else if (std::strcmp(argv[i], "--index") == 0) {
       config.index = true;
+    } else if (std::strcmp(argv[i], "--integrity") == 0) {
+      config.integrity = true;
     }
   }
   if (clients_flag && !config.network) {
     std::fprintf(stderr, "--clients only applies to --network mode\n");
     return 2;
   }
-  if (mutations_flag && !config.durability) {
-    std::fprintf(stderr, "--mutations only applies to --durability mode\n");
+  if (mutations_flag && !config.durability && !config.integrity) {
+    std::fprintf(stderr,
+                 "--mutations only applies to --durability/--integrity\n");
     return 2;
   }
-  if (repeats_flag && !config.index) {
-    std::fprintf(stderr, "--repeats only applies to --index mode\n");
+  if (repeats_flag && !config.index && !config.integrity) {
+    std::fprintf(stderr, "--repeats only applies to --index/--integrity\n");
     return 2;
   }
+  if (config.integrity) return RunIntegrityBench(config);
   if (config.index) return RunIndexBench(config);
   if (config.durability) return RunDurabilityBench(config);
   if (config.network) return RunNetworkBench(config);

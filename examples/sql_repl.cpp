@@ -16,6 +16,7 @@
 // by the untrusted server on ciphertext only, decrypted and filtered on
 // the client.
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -189,13 +190,59 @@ int main(int argc, char** argv) {
             << "  SELECT * FROM " << table->name() << " WHERE "
             << table->schema().attribute(0).name << " = ...;\n"
             << "EXPLAIN SELECT ... shows the server's plan (index vs scan)\n"
-            << "without executing. Ctrl-D or \\q to quit, \\eve to dump\n"
+            << "without executing. VERIFY ENFORCE|WARN|OFF toggles Merkle\n"
+            << "result verification. Ctrl-D or \\q to quit, \\eve to dump\n"
             << "Eve's transcript.\n\n";
+
+  // VERIFY <mode>: the REPL's switch for client-side result integrity.
+  // Turning it on anchors to the server's *current* state (trust on
+  // first use — the REPL has no out-of-band root); from then on every
+  // response is checked against the local Merkle mirror.
+  auto handle_verify = [&alex, &table](const std::string& input) {
+    std::string word;
+    std::istringstream tokens(input);
+    tokens >> word >> word;  // skip "VERIFY", read the mode
+    for (char& c : word) c = static_cast<char>(std::toupper(c));
+    client::VerifyMode mode;
+    if (word == "OFF") mode = client::VerifyMode::kOff;
+    else if (word == "WARN") mode = client::VerifyMode::kWarn;
+    else if (word == "ENFORCE" || word == "ON") {
+      mode = client::VerifyMode::kEnforce;
+    } else {
+      std::cout << "usage: VERIFY OFF | WARN | ENFORCE\n";
+      return;
+    }
+    if (mode != client::VerifyMode::kOff &&
+        !alex.IntegrityAnchor(table->name()).ok()) {
+      // No mirror yet: fetch everything under the whole-relation
+      // completeness proof and anchor. TOFU — the current state is
+      // trusted; later tampering (including rollback) is detected.
+      if (Status synced =
+              alex.SyncIntegrity(table->name(), /*require_signature=*/false);
+          !synced.ok()) {
+        std::cout << "cannot anchor integrity state: " << synced << "\n"
+                  << "(is the server running --integrity=off?)\n";
+        return;
+      }
+      auto anchor = alex.IntegrityAnchor(table->name());
+      std::cout << "anchored to server state (trust on first use): epoch "
+                << anchor->first << ", root "
+                << HexEncode(crypto::MerkleTree::ToBytes(anchor->second))
+                       .substr(0, 16)
+                << "...\n";
+    }
+    alex.set_verify_mode(mode);
+    std::cout << "verify mode: " << word << "\n";
+  };
 
   std::string line;
   while (std::cout << "dbph> " << std::flush, std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == "\\q") break;
+    if (line.rfind("VERIFY", 0) == 0 || line.rfind("verify", 0) == 0) {
+      handle_verify(line);
+      continue;
+    }
     if (line == "\\eve") {
       if (eve == nullptr) {
         std::cout << "Eve is remote; her transcript lives in the daemon "

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Performance trajectory snapshot: runs every bench_e6_performance JSON
 # mode — sequential-vs-parallel batch (--threads/--batch), multi-client
-# network (--network), mutation durability (--durability), and scan-vs-
-# trapdoor-index (--index) — and writes the combined results plus run
-# metadata to BENCH_e6.json at the repo root. Committing that file after
-# meaningful perf work is how the repo tracks throughput across hardware
-# and revisions.
+# network (--network), mutation durability (--durability), scan-vs-
+# trapdoor-index (--index), and Merkle proof overhead (--integrity) —
+# and writes the combined results plus run metadata to BENCH_e6.json at
+# the repo root. Committing that file after meaningful perf work is how
+# the repo tracks throughput across hardware and revisions. The JSON
+# record schema is documented in docs/OPERATIONS.md.
 #
 # Usage: scripts/bench.sh [build-dir]
 #   DBPH_BENCH_DOCS=N    index-mode relation size (default 100000 — the
@@ -29,13 +30,15 @@ INDEX_DOCS="${DBPH_BENCH_DOCS:-100000}"
 INDEX_REPEATS=20
 PAR_DOCS=20000 PAR_BATCH=16 PAR_ROUNDS=2
 NET_DOCS=10000 NET_CLIENTS=2 NET_BATCH=8 NET_ROUNDS=2
-DUR_DOCS=1000 DUR_MUTATIONS=300
+DUR_DOCS=1000 DUR_MUTATIONS=300 DUR_ROUNDS=3
+INTEG_DOCS="${DBPH_BENCH_DOCS:-100000}" INTEG_REPEATS=20 INTEG_MUTATIONS=300
 OUT="BENCH_e6.json"
 if [ "${DBPH_BENCH_SMOKE:-0}" = "1" ]; then
   INDEX_DOCS=2000 INDEX_REPEATS=5
   PAR_DOCS=2000 PAR_BATCH=8 PAR_ROUNDS=1
   NET_DOCS=1000 NET_BATCH=4 NET_ROUNDS=1
-  DUR_DOCS=500 DUR_MUTATIONS=100
+  DUR_DOCS=500 DUR_MUTATIONS=100 DUR_ROUNDS=1
+  INTEG_DOCS=2000 INTEG_REPEATS=5 INTEG_MUTATIONS=50
   OUT="BENCH_e6.smoke.json"
 fi
 
@@ -47,8 +50,10 @@ trap 'rm -f "$LINES"' EXIT
 "$BIN" --network --docs="$NET_DOCS" --clients="$NET_CLIENTS" \
   --batch="$NET_BATCH" --rounds="$NET_ROUNDS" >> "$LINES"
 "$BIN" --durability --docs="$DUR_DOCS" --mutations="$DUR_MUTATIONS" \
-  >> "$LINES"
+  --rounds="$DUR_ROUNDS" >> "$LINES"
 "$BIN" --index --docs="$INDEX_DOCS" --repeats="$INDEX_REPEATS" >> "$LINES"
+"$BIN" --integrity --docs="$INTEG_DOCS" --repeats="$INTEG_REPEATS" \
+  --mutations="$INTEG_MUTATIONS" >> "$LINES"
 
 {
   printf '{\n'

@@ -11,10 +11,56 @@
 #   DBPH_TSAN_ONLY=1  run only the ThreadSanitizer stage
 #   DBPH_ASAN=0       skip the AddressSanitizer stage
 #   DBPH_ASAN_ONLY=1  run only the AddressSanitizer stage
+#   DBPH_DOCS_ONLY=1  run only the docs hygiene stage (builds dbph_serverd)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+
+# Docs hygiene: every relative markdown link in README.md and docs/ must
+# resolve, and every dbph_serverd flag must be documented in
+# docs/OPERATIONS.md — so the docs tree cannot silently rot as flags and
+# files move.
+run_docs_stage() {
+  local failed=0
+  local md
+  for md in README.md docs/*.md; do
+    [ -f "$md" ] || continue
+    local dir
+    dir="$(dirname "$md")"
+    # Markdown link targets: [text](target). Skip absolute URLs and
+    # pure-fragment links; strip fragments from file links.
+    local target
+    while IFS= read -r target; do
+      case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+      esac
+      local path="${target%%#*}"
+      [ -n "$path" ] || continue
+      if [ ! -e "$dir/$path" ]; then
+        echo "docs: broken link in $md -> $target" >&2
+        failed=1
+      fi
+    done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$md" \
+               | sed -E 's/^\[[^]]*\]\(//; s/\)$//')
+  done
+
+  # Every flag dbph_serverd advertises must appear in OPERATIONS.md.
+  local flag
+  while IFS= read -r flag; do
+    if ! grep -q -- "$flag" docs/OPERATIONS.md; then
+      echo "docs: dbph_serverd flag $flag missing from docs/OPERATIONS.md" >&2
+      failed=1
+    fi
+  done < <("$BUILD_DIR/dbph_serverd" --help \
+             | grep -oE '^\s+--[a-z-]+' | tr -d ' ' | sort -u)
+
+  if [ "$failed" != "0" ]; then
+    echo "docs hygiene stage FAILED" >&2
+    return 1
+  fi
+  echo "docs hygiene stage OK"
+}
 
 run_tsan_stage() {
   local tsan_dir="${BUILD_DIR}-tsan"
@@ -43,10 +89,16 @@ run_asan_stage() {
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+  # The integrity suites ride along: the tamper proxy re-frames
+  # envelopes and the proof parser walks attacker-shaped buffers —
+  # exactly the code that must be clean under ASan.
   cmake --build "$asan_dir" -j "$(nproc)" --target \
-    planner_test sql_test differential_test storage_heapfile_test
+    planner_test sql_test differential_test storage_heapfile_test \
+    integrity_test crypto_merkle_test protocol_fuzz_test
   ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
     -L planner -j "$(nproc)"
+  ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
+    -L integrity -j "$(nproc)"
   ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
     -R storage_heapfile -j "$(nproc)"
 }
@@ -59,6 +111,12 @@ if [ "${DBPH_ASAN_ONLY:-0}" = "1" ]; then
   run_asan_stage
   exit 0
 fi
+if [ "${DBPH_DOCS_ONLY:-0}" = "1" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target dbph_serverd
+  run_docs_stage
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -68,6 +126,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L recovery
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L differential
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L planner
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -L integrity
+
+# Docs must stay honest before anything slower runs.
+run_docs_stage
 
 # Smoke-test the batch runtime bench (tiny workload; asserts that
 # batched results and observation logs match the sequential baseline).
@@ -84,6 +146,10 @@ if [ -x "$BUILD_DIR/bench_e6_performance" ]; then
   # ciphertext, asserting byte-identical results and observation logs
   # (tiny sizes — the mode must not rot; real numbers via scripts/bench.sh).
   "$BUILD_DIR/bench_e6_performance" --index --docs=2000 --repeats=5
+  # ...and the integrity mode: proof generation + enforced verification
+  # vs the proof-free baseline, asserting identical results.
+  "$BUILD_DIR/bench_e6_performance" --integrity --docs=2000 --repeats=5 \
+    --mutations=50
 fi
 
 # End-to-end crash drill: outsource a relation through a live daemon,

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <set>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "crypto/hkdf.h"
+#include "crypto/hmac.h"
 #include "protocol/messages.h"
+#include "swp/search.h"
 
 namespace dbph {
 namespace client {
 
+using crypto::MerkleTree;
 using protocol::Envelope;
 using protocol::MessageType;
 
@@ -36,7 +40,334 @@ Result<Envelope> Call(const Transport& transport, const Envelope& request,
   return response;
 }
 
+Bytes SerializeDocument(const swp::EncryptedDocument& doc) {
+  Bytes serialized;
+  doc.AppendTo(&serialized);
+  return serialized;
+}
+
 }  // namespace
+
+// -------------------- result integrity --------------------
+
+Bytes Client::SignRoot(const std::string& relation, uint64_t epoch,
+                       const MerkleTree::Hash& root) const {
+  // Domain-separated HMAC under a per-relation subkey of the master:
+  // only a master-key holder can bless a root, and a signature for one
+  // relation (or epoch) can never vouch for another.
+  Bytes key = crypto::DeriveSubkey(master_key_, "integrity/" + relation);
+  Bytes message = ToBytes("dbph-merkle-root-v1");
+  AppendLengthPrefixed(&message, ToBytes(relation));
+  AppendUint64(&message, epoch);
+  message.insert(message.end(), root.begin(), root.end());
+  return crypto::HmacSha256(key, message);
+}
+
+Status Client::AttestCurrentRoot(const std::string& relation) {
+  auto it = integrity_.find(relation);
+  if (it == integrity_.end()) return Status::OK();
+  Envelope request;
+  request.type = MessageType::kAttestRoot;
+  AppendLengthPrefixed(&request.payload, ToBytes(relation));
+  AppendUint64(&request.payload, it->second.epoch);
+  MerkleTree::Hash root = it->second.tree.Root();
+  request.payload.insert(request.payload.end(), root.begin(), root.end());
+  Bytes signature = SignRoot(relation, it->second.epoch, root);
+  request.payload.insert(request.payload.end(), signature.begin(),
+                         signature.end());
+  auto response = Call(transport_, request, MessageType::kAttestOk);
+  if (!response.ok()) {
+    if (verify_mode_ == VerifyMode::kWarn) {
+      DBPH_LOG(Warning) << "integrity: attesting root for '" << relation
+                        << "' failed: " << response.status().ToString();
+      return Status::OK();
+    }
+    return Status::DataLoss("integrity: root attestation failed: " +
+                            response.status().message());
+  }
+  return Status::OK();
+}
+
+Status Client::VerifyResultTrailer(
+    const std::string& relation, const swp::Trapdoor* trapdoor,
+    const std::vector<swp::EncryptedDocument>& docs, ByteReader* reader,
+    bool require_complete) {
+  if (verify_mode_ == VerifyMode::kOff) return Status::OK();
+  Status verdict = [&]() -> Status {
+    if (reader->AtEnd()) {
+      return Status::DataLoss(
+          "server attached no proof (is it running --integrity=off?)");
+    }
+    DBPH_ASSIGN_OR_RETURN(
+        protocol::ResultProof proof,
+        protocol::ResultProof::ReadFrom(reader, docs.size()));
+    if (!reader->AtEnd()) {
+      return Status::DataLoss("trailing bytes after result proof");
+    }
+    if (proof.positions.size() != docs.size()) {
+      return Status::DataLoss("proof does not cover every returned row");
+    }
+    std::vector<MerkleTree::Hash> leaves;
+    leaves.reserve(docs.size());
+    for (const auto& doc : docs) {
+      leaves.push_back(MerkleTree::LeafHash(SerializeDocument(doc)));
+    }
+
+    auto it = integrity_.find(relation);
+    if (it != integrity_.end()) {
+      // Anchored: this session mirrored (or synced) every mutation, so
+      // the proof must describe exactly our tree — a replayed response
+      // from an older state fails here on epoch/root alone.
+      if (proof.epoch != it->second.epoch) {
+        return Status::DataLoss("epoch mismatch (stale or replayed result)");
+      }
+      if (proof.leaf_count != it->second.tree.size() ||
+          proof.root != it->second.tree.Root()) {
+        return Status::DataLoss("root mismatch (server state diverged)");
+      }
+      for (size_t i = 0; i < docs.size(); ++i) {
+        if (leaves[i] != it->second.tree.leaf(proof.positions[i])) {
+          return Status::DataLoss(
+              "returned row is not the leaf it claims to be");
+        }
+      }
+      // The leaf-identity checks against our exact tree already bind
+      // the result set; re-folding the proof would only re-derive a
+      // root we hold. The siblings still must not be corrupt (tampering
+      // evidence), but against a local tree that is a pure lookup
+      // comparison — zero hashing on the hot verified-select path.
+      if (proof.siblings != it->second.tree.SubsetProof(proof.positions)) {
+        return Status::DataLoss(
+            "sibling hashes do not match the committed tree");
+      }
+      // Likewise the signature: not needed when anchored, but a
+      // present-and-invalid one is tampering evidence all the same.
+      if (!proof.root_signature.empty() &&
+          !ConstantTimeEqual(proof.root_signature,
+                             SignRoot(relation, proof.epoch, proof.root))) {
+        return Status::DataLoss("root signature does not verify");
+      }
+    } else {
+      // Unanchored (adopted session): fall back to the owner-signed
+      // root. Freshness is not checkable here — see SyncIntegrity.
+      if (proof.root_signature.empty()) {
+        return Status::DataLoss(
+            "no local integrity state and no signed root; run "
+            "SyncIntegrity() after Adopt()");
+      }
+      if (!ConstantTimeEqual(proof.root_signature,
+                             SignRoot(relation, proof.epoch, proof.root))) {
+        return Status::DataLoss("root signature does not verify");
+      }
+      // Structural check: the claimed rows at the claimed positions,
+      // plus the sibling hashes, must fold back into the signed root —
+      // binding the result set collectively (drop / substitute /
+      // reorder all change the fold). Without a local tree this is the
+      // only binding available.
+      DBPH_ASSIGN_OR_RETURN(
+          MerkleTree::Hash computed,
+          MerkleTree::RootFromSubset(proof.leaf_count, proof.positions,
+                                     leaves, proof.siblings));
+      if (computed != proof.root) {
+        return Status::DataLoss("subset proof does not fold to the root");
+      }
+    }
+
+    if (require_complete && proof.leaf_count != docs.size()) {
+      // positions are strictly increasing and < leaf_count, so size
+      // equality forces positions == [0, n): nothing was withheld.
+      return Status::DataLoss("fetch did not return the whole relation");
+    }
+
+    if (trapdoor != nullptr) {
+      // Every returned row must actually match the query — the match
+      // predicate is key-free, so the verifier can re-run it. Catches a
+      // server splicing in genuine-but-irrelevant rows (which would
+      // pass the tree checks: they ARE leaves).
+      swp::SwpParams params;
+      params.word_length = trapdoor->target.size();
+      params.check_length = options_.check_length;
+      for (const auto& doc : docs) {
+        if (swp::SearchDocument(params, *trapdoor, doc).empty()) {
+          return Status::DataLoss(
+              "returned row does not match the query trapdoor");
+        }
+      }
+    }
+    return Status::OK();
+  }();
+  if (!verdict.ok()) {
+    if (verify_mode_ == VerifyMode::kWarn) {
+      DBPH_LOG(Warning) << "integrity: '" << relation
+                        << "' verification failed: " << verdict.ToString();
+      return Status::OK();
+    }
+    return Status::DataLoss("integrity: " + verdict.message());
+  }
+  return Status::OK();
+}
+
+Status Client::ApplyDeleteManifest(const std::string& relation,
+                                   const swp::Trapdoor& trapdoor,
+                                   size_t removed, ByteReader* reader) {
+  auto it = integrity_.find(relation);
+  if (it == integrity_.end()) {
+    // Nothing to mirror; Enforce demands an anchor before mutating.
+    if (verify_mode_ == VerifyMode::kEnforce) {
+      return Status::DataLoss(
+          "integrity: deleting without local state; run SyncIntegrity() "
+          "after Adopt()");
+    }
+    return Status::OK();
+  }
+  // A mirror exists: it must follow the server through this delete even
+  // with verification Off, or a later switch back to Warn/Enforce would
+  // raise false tamper alarms against an honest server.
+  Status verdict = [&]() -> Status {
+    if (reader->AtEnd()) return Status::DataLoss("no delete manifest");
+    DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+    if (count != removed) {
+      return Status::DataLoss("manifest does not cover every deleted row");
+    }
+    // position (8) + length prefix (4) is the smallest possible entry —
+    // bound the reserve by what the payload physically holds.
+    if (count > reader->remaining() / 12) {
+      return Status::DataLoss("manifest count exceeds payload");
+    }
+    swp::SwpParams params;
+    params.word_length = trapdoor.target.size();
+    params.check_length = options_.check_length;
+    std::vector<uint64_t> positions;
+    positions.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      DBPH_ASSIGN_OR_RETURN(uint64_t position, reader->ReadUint64());
+      DBPH_ASSIGN_OR_RETURN(Bytes doc_bytes, reader->ReadLengthPrefixed());
+      if (position >= it->second.tree.size() ||
+          (!positions.empty() && position <= positions.back())) {
+        return Status::DataLoss("manifest positions not increasing");
+      }
+      if (MerkleTree::LeafHash(doc_bytes) != it->second.tree.leaf(position)) {
+        return Status::DataLoss("deleted row is not the leaf it claims");
+      }
+      ByteReader doc_reader(doc_bytes);
+      DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                            swp::EncryptedDocument::ReadFrom(&doc_reader));
+      if (swp::SearchDocument(params, trapdoor, doc).empty()) {
+        return Status::DataLoss(
+            "server deleted a row that does not match the trapdoor");
+      }
+      positions.push_back(position);
+    }
+    if (!reader->AtEnd()) {
+      return Status::DataLoss("trailing bytes after delete manifest");
+    }
+    // Mirror the verified removal; every delete is an epoch, matched
+    // rows or not — the same rule the server applies.
+    it->second.tree.RemoveSorted(positions);
+    ++it->second.epoch;
+    return Status::OK();
+  }();
+  if (!verdict.ok()) {
+    if (verify_mode_ == VerifyMode::kEnforce) {
+      return Status::DataLoss("integrity: " + verdict.message());
+    }
+    // Off/Warn: the server deleted regardless; our mirror can no longer
+    // be trusted to match. Drop it so later checks fall back to the
+    // signed root instead of failing spuriously.
+    if (verify_mode_ == VerifyMode::kWarn) {
+      DBPH_LOG(Warning) << "integrity: delete manifest for '" << relation
+                        << "' failed (" << verdict.ToString()
+                        << "); local state dropped — SyncIntegrity() to "
+                           "re-anchor";
+    }
+    integrity_.erase(it);
+    return Status::OK();
+  }
+  if (verify_mode_ != VerifyMode::kOff) return AttestCurrentRoot(relation);
+  return Status::OK();
+}
+
+Status Client::SyncIntegrity(const std::string& relation,
+                             bool require_signature) {
+  Envelope request;
+  request.type = MessageType::kFetchRelation;
+  request.payload = ToBytes(relation);
+  DBPH_ASSIGN_OR_RETURN(
+      Envelope response,
+      Call(transport_, request, MessageType::kFetchResult));
+  ByteReader reader(response.payload);
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
+  std::vector<MerkleTree::Hash> leaves;
+  std::vector<uint64_t> positions;
+  leaves.reserve(count);
+  positions.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                          swp::EncryptedDocument::ReadFrom(&reader));
+    leaves.push_back(MerkleTree::LeafHash(SerializeDocument(doc)));
+    positions.push_back(i);
+  }
+  if (reader.AtEnd()) {
+    return Status::FailedPrecondition(
+        "integrity: server attached no proof (running --integrity=off?)");
+  }
+  DBPH_ASSIGN_OR_RETURN(protocol::ResultProof proof,
+                        protocol::ResultProof::ReadFrom(&reader, count));
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("integrity: trailing bytes after proof");
+  }
+  if (proof.leaf_count != count || proof.positions.size() != count) {
+    return Status::DataLoss("integrity: fetch proof is not complete");
+  }
+  DBPH_ASSIGN_OR_RETURN(MerkleTree::Hash computed,
+                        MerkleTree::RootFromSubset(proof.leaf_count, positions,
+                                                   leaves, proof.siblings));
+  if (computed != proof.root) {
+    return Status::DataLoss("integrity: fetched rows do not fold to root");
+  }
+  if (proof.root_signature.empty()) {
+    if (require_signature) {
+      return Status::DataLoss(
+          "integrity: current server state carries no owner signature");
+    }
+  } else if (!ConstantTimeEqual(
+                 proof.root_signature,
+                 SignRoot(relation, proof.epoch, proof.root))) {
+    return Status::DataLoss("integrity: root signature does not verify");
+  }
+  // Never trade a fresher witnessed anchor for an older (even signed)
+  // state: that would convert a detectable rollback into an accepted
+  // one. Re-syncing may only move the anchor forward.
+  auto existing = integrity_.find(relation);
+  if (existing != integrity_.end()) {
+    if (proof.epoch < existing->second.epoch) {
+      return Status::DataLoss(
+          "integrity: server state (epoch " + std::to_string(proof.epoch) +
+          ") is older than the witnessed anchor (epoch " +
+          std::to_string(existing->second.epoch) + ") — rollback?");
+    }
+    if (proof.epoch == existing->second.epoch &&
+        proof.root != existing->second.tree.Root()) {
+      return Status::DataLoss(
+          "integrity: server state diverged from the witnessed anchor at "
+          "the same epoch");
+    }
+  }
+  IntegrityState state;
+  state.tree.Assign(std::move(leaves));
+  state.epoch = proof.epoch;
+  integrity_[relation] = std::move(state);
+  return Status::OK();
+}
+
+Result<std::pair<uint64_t, MerkleTree::Hash>> Client::IntegrityAnchor(
+    const std::string& relation) const {
+  auto it = integrity_.find(relation);
+  if (it == integrity_.end()) {
+    return Status::NotFound("no integrity state for '" + relation + "'");
+  }
+  return std::make_pair(it->second.epoch, it->second.tree.Root());
+}
 
 Status Client::Adopt(const std::string& relation, const rel::Schema& schema) {
   if (schemes_.count(relation) > 0) return Status::OK();
@@ -60,6 +391,24 @@ Status Client::Outsource(const rel::Relation& relation) {
   DBPH_ASSIGN_OR_RETURN(Envelope response,
                         Call(transport_, request, MessageType::kStoreOk));
   (void)response;
+  if (verify_mode_ != VerifyMode::kOff) {
+    // We uploaded these exact ciphertexts, so we know the server's tree
+    // without asking: build the mirror and bless its root.
+    IntegrityState state;
+    std::vector<MerkleTree::Hash> leaves;
+    leaves.reserve(enc.documents.size());
+    for (const auto& doc : enc.documents) {
+      leaves.push_back(MerkleTree::LeafHash(SerializeDocument(doc)));
+    }
+    state.tree.Assign(std::move(leaves));
+    state.epoch = 1;
+    integrity_[relation.name()] = std::move(state);
+    DBPH_RETURN_IF_ERROR(AttestCurrentRoot(relation.name()));
+  } else {
+    // A fresh upload obsoletes any mirror kept from an earlier life of
+    // this relation name.
+    integrity_.erase(relation.name());
+  }
   return Status::OK();
 }
 
@@ -82,7 +431,12 @@ Result<std::vector<swp::EncryptedDocument>> Client::RemoteSelect(
       Call(transport_, request, MessageType::kSelectResult));
 
   ByteReader reader(response.payload);
-  return swp::ReadDocumentList(&reader);
+  DBPH_ASSIGN_OR_RETURN(std::vector<swp::EncryptedDocument> docs,
+                        swp::ReadDocumentList(&reader));
+  DBPH_RETURN_IF_ERROR(VerifyResultTrailer(query.relation, &query.trapdoor,
+                                           docs, &reader,
+                                           /*require_complete=*/false));
+  return docs;
 }
 
 Result<std::vector<std::vector<swp::EncryptedDocument>>>
@@ -115,7 +469,8 @@ Client::RemoteSelectBatch(const std::vector<core::EncryptedQuery>& queries) {
     if (replies.size() != end - begin) {
       return Status::DataLoss("batch response count mismatch");
     }
-    for (const Envelope& reply : replies) {
+    for (size_t k = 0; k < replies.size(); ++k) {
+      const Envelope& reply = replies[k];
       if (reply.type == MessageType::kError) {
         return protocol::ParseErrorEnvelope(reply);
       }
@@ -125,6 +480,10 @@ Client::RemoteSelectBatch(const std::vector<core::EncryptedQuery>& queries) {
       ByteReader reader(reply.payload);
       DBPH_ASSIGN_OR_RETURN(std::vector<swp::EncryptedDocument> docs,
                             swp::ReadDocumentList(&reader));
+      const core::EncryptedQuery& query = queries[begin + k];
+      DBPH_RETURN_IF_ERROR(VerifyResultTrailer(query.relation,
+                                               &query.trapdoor, docs, &reader,
+                                               /*require_complete=*/false));
       results.push_back(std::move(docs));
     }
   }
@@ -259,14 +618,47 @@ Status Client::Insert(const std::string& relation,
   request.type = MessageType::kAppendTuples;
   AppendLengthPrefixed(&request.payload, ToBytes(relation));
   AppendUint32(&request.payload, static_cast<uint32_t>(tuples.size()));
+  // The mirror tracks the server whenever it exists, whatever the
+  // verify mode — a mutation issued while verification is Off must not
+  // desync state that a later switch back to Warn/Enforce relies on.
+  std::vector<MerkleTree::Hash> new_leaves;
+  const bool track = integrity_.count(relation) > 0;
+  if (verify_mode_ == VerifyMode::kEnforce && !track) {
+    return Status::DataLoss(
+        "integrity: inserting without local state; run SyncIntegrity() "
+        "after Adopt()");
+  }
+  if (track) new_leaves.reserve(tuples.size());
   for (const rel::Tuple& tuple : tuples) {
     DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
                           ph->EncryptTuple(tuple, rng_));
+    // Hash the exact bytes just appended to the request — the same
+    // bytes the server will store and leaf-hash — with no second
+    // serialization.
+    size_t doc_begin = request.payload.size();
     doc.AppendTo(&request.payload);
+    if (track) {
+      new_leaves.push_back(
+          MerkleTree::LeafHash(request.payload.data() + doc_begin,
+                               request.payload.size() - doc_begin));
+    }
   }
   DBPH_ASSIGN_OR_RETURN(Envelope response,
                         Call(transport_, request, MessageType::kAppendOk));
   (void)response;
+  if (track) {
+    // Mirror the append (the server stores exactly these bytes, in this
+    // order). Every append is an epoch, even an empty one — the server
+    // applies the same rule. The root is re-blessed only with
+    // verification on: Off promises the PR-4 wire behavior (no extra
+    // round trips), and the next attested mutation re-signs anyway.
+    IntegrityState& state = integrity_.at(relation);
+    for (const auto& leaf : new_leaves) state.tree.AppendLeaf(leaf);
+    ++state.epoch;
+    if (verify_mode_ != VerifyMode::kOff) {
+      DBPH_RETURN_IF_ERROR(AttestCurrentRoot(relation));
+    }
+  }
   return Status::OK();
 }
 
@@ -274,6 +666,15 @@ Result<size_t> Client::DeleteWhere(const std::string& relation,
                                    const std::string& attribute,
                                    const rel::Value& value) {
   DBPH_ASSIGN_OR_RETURN(const core::DatabasePh* ph, SchemeFor(relation));
+  // Refuse before anything reaches the wire: once the server deletes,
+  // an unanchored session could neither verify the manifest nor keep
+  // the attested root current.
+  if (verify_mode_ == VerifyMode::kEnforce &&
+      integrity_.count(relation) == 0) {
+    return Status::DataLoss(
+        "integrity: deleting without local state; run SyncIntegrity() "
+        "after Adopt()");
+  }
   DBPH_ASSIGN_OR_RETURN(core::EncryptedQuery query,
                         ph->EncryptQuery(relation, attribute, value));
   Envelope request;
@@ -284,6 +685,9 @@ Result<size_t> Client::DeleteWhere(const std::string& relation,
       Call(transport_, request, MessageType::kDeleteResult));
   ByteReader reader(response.payload);
   DBPH_ASSIGN_OR_RETURN(uint32_t removed, reader.ReadUint32());
+  DBPH_RETURN_IF_ERROR(ApplyDeleteManifest(relation, query.trapdoor,
+                                           static_cast<size_t>(removed),
+                                           &reader));
   return static_cast<size_t>(removed);
 }
 
@@ -298,10 +702,20 @@ Result<rel::Relation> Client::Recall(const std::string& relation) {
 
   ByteReader reader(response.payload);
   DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
-  rel::Relation out(relation, ph->schema());
+  std::vector<swp::EncryptedDocument> docs;
+  docs.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
                           swp::EncryptedDocument::ReadFrom(&reader));
+    docs.push_back(std::move(doc));
+  }
+  // Recall is the completeness case: the proof must cover positions
+  // [0, n) — the server cannot withhold a single row undetected.
+  DBPH_RETURN_IF_ERROR(VerifyResultTrailer(relation, /*trapdoor=*/nullptr,
+                                           docs, &reader,
+                                           /*require_complete=*/true));
+  rel::Relation out(relation, ph->schema());
+  for (const auto& doc : docs) {
     DBPH_ASSIGN_OR_RETURN(rel::Tuple tuple, ph->DecryptTuple(doc));
     DBPH_RETURN_IF_ERROR(out.Insert(std::move(tuple)));
   }
@@ -324,6 +738,7 @@ Status Client::Drop(const std::string& relation) {
   DBPH_ASSIGN_OR_RETURN(Envelope response,
                         Call(transport_, request, MessageType::kDropOk));
   (void)response;
+  integrity_.erase(relation);
   return Status::OK();
 }
 

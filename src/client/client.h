@@ -5,16 +5,34 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "crypto/merkle.h"
 #include "crypto/random.h"
 #include "dbph/scheme.h"
 #include "protocol/plan_report.h"
+#include "protocol/result_proof.h"
 #include "relation/relation.h"
 
 namespace dbph {
 namespace client {
+
+/// How strictly the client checks the server's Merkle result proofs.
+///
+///  - kOff:     proofs are ignored (and no local tree is kept) — the
+///              PR-4 behavior, byte-for-byte.
+///  - kWarn:    every response is verified; a failure logs a warning and
+///              the data is returned anyway (migration / observability).
+///  - kEnforce: a failed or missing proof fails the operation — the
+///              malicious-server deployment mode.
+///
+/// Verification compares the proof against the client's own Merkle tree
+/// (mirrored through every mutation this client issued) and, for an
+/// adopted session without history, against the owner-signed root — see
+/// Client::SyncIntegrity and docs/SECURITY.md.
+enum class VerifyMode { kOff, kWarn, kEnforce };
 
 /// Sends a serialized request to the server, returns its serialized
 /// response. In-process deployments bind this to
@@ -121,12 +139,53 @@ class Client {
   /// answers trivially). Keys-free, leaks only timing.
   Status Flush();
 
+  // -------- result integrity (Merkle-authenticated responses) --------
+
+  /// Selects how strictly responses are verified. Switching modes mid-
+  /// session is allowed; state tracked while verification was on is
+  /// kept. With verification on, every mutation this client issues also
+  /// deposits a signed root with the server (kAttestRoot).
+  void set_verify_mode(VerifyMode mode) { verify_mode_ = mode; }
+  VerifyMode verify_mode() const { return verify_mode_; }
+
+  /// Bootstraps integrity state for a relation this session did not
+  /// upload (an Adopt-ed reattach): fetches every stored document with
+  /// the whole-relation completeness proof, rebuilds the Merkle tree
+  /// locally, and anchors (root, epoch). With `require_signature` the
+  /// server's proof must carry a valid owner HMAC over that root —
+  /// rejecting a server that fabricated state from scratch; without it
+  /// the current state is trusted on first use (the REPL's VERIFY
+  /// toggle), after which any divergence is detected.
+  ///
+  /// Freshness caveat: a fresh session has no way to tell the latest
+  /// signed root from an older one (a rolled-back-but-signed state
+  /// verifies). Sessions that witnessed the mutations detect rollback by
+  /// epoch; out-of-band epoch pinning closes the gap for reattaches.
+  Status SyncIntegrity(const std::string& relation,
+                       bool require_signature = true);
+
+  /// The tracked (epoch, root) for a relation, if any — exposed for
+  /// tests and for operators pinning epochs out of band.
+  Result<std::pair<uint64_t, crypto::MerkleTree::Hash>> IntegrityAnchor(
+      const std::string& relation) const;
+
   /// The PH instance bound to an outsourced relation (exposed for the
   /// security games, which need Eq directly).
   Result<const core::DatabasePh*> SchemeFor(
       const std::string& relation) const;
 
  private:
+  /// Per-relation mirror of the server's Merkle state, maintained by the
+  /// mutations this client issues (it is the writer, so it can predict
+  /// every root) or bootstrapped by SyncIntegrity. The full leaf-hash
+  /// vector is kept — 32 bytes per stored document — which lets
+  /// verification compare returned rows directly against the exact leaf
+  /// they claim to be.
+  struct IntegrityState {
+    crypto::MerkleTree tree;
+    uint64_t epoch = 0;
+  };
+
   Result<std::vector<swp::EncryptedDocument>> RemoteSelect(
       const core::EncryptedQuery& query);
 
@@ -135,11 +194,39 @@ class Client {
   Result<std::vector<std::vector<swp::EncryptedDocument>>> RemoteSelectBatch(
       const std::vector<core::EncryptedQuery>& queries);
 
+  /// HMAC over (relation, epoch, root) under the relation's derived
+  /// integrity key — what kAttestRoot deposits and proofs echo.
+  Bytes SignRoot(const std::string& relation, uint64_t epoch,
+                 const crypto::MerkleTree::Hash& root) const;
+
+  /// Deposits the signed current local root with the server. Respects
+  /// the verify mode: Enforce propagates failures, Warn logs them.
+  Status AttestCurrentRoot(const std::string& relation);
+
+  /// Verifies the proof trailing a select/fetch response against the
+  /// local tree (or, unanchored, the signed root). `trapdoor` non-null
+  /// adds the match re-check per returned document; `require_complete`
+  /// demands positions == [0, n) (Recall). Honors verify_mode_: returns
+  /// OK in kOff without reading, logs-and-passes in kWarn.
+  Status VerifyResultTrailer(const std::string& relation,
+                             const swp::Trapdoor* trapdoor,
+                             const std::vector<swp::EncryptedDocument>& docs,
+                             ByteReader* reader, bool require_complete);
+
+  /// The delete manifest: checks every removed (position, document)
+  /// against the local tree and the trapdoor, then mirrors the removal
+  /// and bumps the epoch. Honors verify_mode_.
+  Status ApplyDeleteManifest(const std::string& relation,
+                             const swp::Trapdoor& trapdoor, size_t removed,
+                             ByteReader* reader);
+
   Bytes master_key_;
   Transport transport_;
   crypto::Rng* rng_;
   core::DbphOptions options_;
   std::map<std::string, std::unique_ptr<core::DatabasePh>> schemes_;
+  VerifyMode verify_mode_ = VerifyMode::kOff;
+  std::map<std::string, IntegrityState> integrity_;
 };
 
 }  // namespace client

@@ -1,0 +1,276 @@
+#include "crypto/merkle.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace dbph {
+namespace crypto {
+
+namespace {
+
+MerkleTree::Hash ToHash(const Bytes& digest) {
+  MerkleTree::Hash hash;
+  std::copy(digest.begin(), digest.end(), hash.begin());
+  return hash;
+}
+
+constexpr uint8_t kLeafDomain = 0x00;
+constexpr uint8_t kNodeDomain = 0x01;
+
+}  // namespace
+
+MerkleTree::Hash MerkleTree::EmptyRoot() {
+  Sha256 sha;
+  return ToHash(sha.Finish());
+}
+
+MerkleTree::Hash MerkleTree::LeafHash(const Bytes& data) {
+  return LeafHash(data.data(), data.size());
+}
+
+MerkleTree::Hash MerkleTree::LeafHash(const uint8_t* data, size_t len) {
+  Sha256 sha;
+  sha.Update(&kLeafDomain, 1);
+  sha.Update(data, len);
+  return ToHash(sha.Finish());
+}
+
+MerkleTree::Hash MerkleTree::NodeHash(const Hash& left, const Hash& right) {
+  Sha256 sha;
+  sha.Update(&kNodeDomain, 1);
+  sha.Update(left.data(), left.size());
+  sha.Update(right.data(), right.size());
+  return ToHash(sha.Finish());
+}
+
+void MerkleTree::Assign(std::vector<Hash> leaves) {
+  levels_.clear();
+  if (leaves.empty()) return;
+  levels_.push_back(std::move(leaves));
+  RebuildInterior();
+}
+
+void MerkleTree::RebuildInterior() {
+  levels_.resize(1);
+  while (levels_.back().size() > 1) {
+    const std::vector<Hash>& below = levels_.back();
+    std::vector<Hash> above;
+    above.reserve((below.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < below.size(); i += 2) {
+      above.push_back(NodeHash(below[i], below[i + 1]));
+    }
+    if (below.size() % 2 == 1) above.push_back(below.back());  // promote
+    levels_.push_back(std::move(above));
+  }
+}
+
+void MerkleTree::AppendLeaf(const Hash& leaf) {
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].push_back(leaf);
+  // Only the right spine changes: at each level exactly one parent — the
+  // last — covers the new leaf.
+  size_t level = 0;
+  while (levels_[level].size() > 1) {
+    size_t parent_count = (levels_[level].size() + 1) / 2;
+    if (level + 1 == levels_.size()) levels_.emplace_back();
+    levels_[level + 1].resize(parent_count);
+    size_t p = parent_count - 1;
+    const std::vector<Hash>& below = levels_[level];
+    levels_[level + 1][p] = (2 * p + 1 < below.size())
+                                ? NodeHash(below[2 * p], below[2 * p + 1])
+                                : below[2 * p];
+    ++level;
+  }
+}
+
+void MerkleTree::RemoveSorted(const std::vector<uint64_t>& positions) {
+  if (positions.empty() || levels_.empty()) return;
+  std::vector<Hash> kept;
+  kept.reserve(levels_[0].size() - positions.size());
+  size_t next = 0;
+  for (size_t i = 0; i < levels_[0].size(); ++i) {
+    if (next < positions.size() && positions[next] == i) {
+      ++next;
+      continue;
+    }
+    kept.push_back(levels_[0][i]);
+  }
+  levels_.clear();
+  if (kept.empty()) return;
+  levels_.push_back(std::move(kept));
+  RebuildInterior();
+}
+
+void MerkleTree::Clear() { levels_.clear(); }
+
+MerkleTree::Hash MerkleTree::Root() const {
+  if (levels_.empty()) return EmptyRoot();
+  return levels_.back()[0];
+}
+
+std::vector<MerkleTree::Hash> MerkleTree::InclusionProof(size_t index) const {
+  std::vector<Hash> path;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    size_t sibling = index ^ 1;
+    // A promoted (unpaired) node contributes no sibling hash; the
+    // verifier reconstructs the same skip from (tree_size, index).
+    if (sibling < levels_[level].size()) path.push_back(levels_[level][sibling]);
+    index /= 2;
+  }
+  return path;
+}
+
+Status MerkleTree::VerifyInclusion(const Hash& root, uint64_t tree_size,
+                                   uint64_t index, const Hash& leaf,
+                                   const std::vector<Hash>& path) {
+  if (index >= tree_size) {
+    return Status::InvalidArgument("merkle: index outside tree");
+  }
+  Hash node = leaf;
+  uint64_t width = tree_size;
+  size_t used = 0;
+  while (width > 1) {
+    uint64_t sibling = index ^ 1;
+    if (sibling < width) {
+      if (used >= path.size()) {
+        return Status::DataLoss("merkle: inclusion path too short");
+      }
+      node = (index % 2 == 1) ? NodeHash(path[used], node)
+                              : NodeHash(node, path[used]);
+      ++used;
+    }
+    index /= 2;
+    width = (width + 1) / 2;
+  }
+  if (used != path.size()) {
+    return Status::DataLoss("merkle: inclusion path has surplus hashes");
+  }
+  if (node != root) return Status::DataLoss("merkle: root mismatch");
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared recursion shape for subset proofs: visits the implicit node
+/// (level, idx) of a `counts[level]`-wide level, with the selected
+/// positions inside its range given as [begin, end) into the sorted
+/// positions array.
+struct SubsetProver {
+  const std::vector<std::vector<MerkleTree::Hash>>* levels;
+  std::vector<MerkleTree::Hash>* out;
+
+  void Visit(size_t level, size_t idx, const uint64_t* begin,
+             const uint64_t* end) {
+    if (begin == end) {
+      out->push_back((*levels)[level][idx]);
+      return;
+    }
+    if (level == 0) return;  // a selected leaf — the verifier supplies it
+    uint64_t mid = static_cast<uint64_t>(2 * idx + 1) << (level - 1);
+    const uint64_t* split = std::lower_bound(begin, end, mid);
+    Visit(level - 1, 2 * idx, begin, split);
+    if (2 * idx + 1 < (*levels)[level - 1].size()) {
+      Visit(level - 1, 2 * idx + 1, split, end);
+    }
+  }
+};
+
+struct SubsetVerifier {
+  const std::vector<uint64_t>* counts;  // level widths, bottom-up
+  const std::vector<MerkleTree::Hash>* leaves;
+  const std::vector<MerkleTree::Hash>* proof;
+  size_t next_leaf = 0;
+  size_t next_proof = 0;
+  bool failed = false;
+
+  MerkleTree::Hash Visit(size_t level, size_t idx, const uint64_t* begin,
+                         const uint64_t* end) {
+    if (failed) return {};
+    if (begin == end) {
+      if (next_proof >= proof->size()) {
+        failed = true;
+        return {};
+      }
+      return (*proof)[next_proof++];
+    }
+    if (level == 0) {
+      // Exactly one selected position covers a leaf node.
+      if (end - begin != 1 || next_leaf >= leaves->size()) {
+        failed = true;
+        return {};
+      }
+      return (*leaves)[next_leaf++];
+    }
+    uint64_t mid = static_cast<uint64_t>(2 * idx + 1) << (level - 1);
+    const uint64_t* split = std::lower_bound(begin, end, mid);
+    MerkleTree::Hash left = Visit(level - 1, 2 * idx, begin, split);
+    if (2 * idx + 1 < (*counts)[level - 1]) {
+      MerkleTree::Hash right = Visit(level - 1, 2 * idx + 1, split, end);
+      return MerkleTree::NodeHash(left, right);
+    }
+    if (split != end) failed = true;  // positions past the tree edge
+    return left;
+  }
+};
+
+}  // namespace
+
+std::vector<MerkleTree::Hash> MerkleTree::SubsetProof(
+    const std::vector<uint64_t>& positions) const {
+  std::vector<Hash> proof;
+  if (levels_.empty()) return proof;
+  SubsetProver prover{&levels_, &proof};
+  prover.Visit(levels_.size() - 1, 0, positions.data(),
+               positions.data() + positions.size());
+  return proof;
+}
+
+Result<MerkleTree::Hash> MerkleTree::RootFromSubset(
+    uint64_t tree_size, const std::vector<uint64_t>& positions,
+    const std::vector<Hash>& leaves, const std::vector<Hash>& proof) {
+  if (leaves.size() != positions.size()) {
+    return Status::InvalidArgument("merkle: one leaf hash per position");
+  }
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] >= tree_size ||
+        (i > 0 && positions[i] <= positions[i - 1])) {
+      return Status::InvalidArgument(
+          "merkle: positions must be strictly increasing and inside the tree");
+    }
+  }
+  if (tree_size == 0) {
+    if (!proof.empty()) {
+      return Status::DataLoss("merkle: proof for an empty tree");
+    }
+    return EmptyRoot();
+  }
+  // Level widths bottom-up; at most 64 levels whatever tree_size claims,
+  // and the recursion below touches O((|positions|+|proof|) * 64) nodes,
+  // never tree_size of anything.
+  std::vector<uint64_t> counts;
+  for (uint64_t width = tree_size;; width = (width + 1) / 2) {
+    counts.push_back(width);
+    if (width == 1) break;
+  }
+  SubsetVerifier verifier{&counts, &leaves, &proof};
+  Hash root = verifier.Visit(counts.size() - 1, 0, positions.data(),
+                             positions.data() + positions.size());
+  if (verifier.failed || verifier.next_leaf != leaves.size() ||
+      verifier.next_proof != proof.size()) {
+    return Status::DataLoss("merkle: malformed subset proof");
+  }
+  return root;
+}
+
+Result<MerkleTree::Hash> MerkleTree::FromBytes(const Bytes& bytes) {
+  if (bytes.size() != 32) {
+    return Status::InvalidArgument("merkle: a hash is exactly 32 bytes");
+  }
+  Hash hash;
+  std::copy(bytes.begin(), bytes.end(), hash.begin());
+  return hash;
+}
+
+}  // namespace crypto
+}  // namespace dbph

@@ -33,9 +33,11 @@ enum class MessageType : uint8_t {
   kFlushOk = 19,        ///< server -> client: prior mutations are durable
   kExplain = 20,        ///< client -> server: EncryptedQuery payload; plan only
   kExplainResult = 21,  ///< server -> client: serialized PlanReport
+  kAttestRoot = 22,     ///< client -> server: relation + epoch + root + HMAC
+  kAttestOk = 23,       ///< server -> client: attestation stored
 };
 
-constexpr uint8_t kMaxMessageType = 21;
+constexpr uint8_t kMaxMessageType = 23;
 
 /// Hard upper bound on one wire frame. Both the network frame codec and
 /// Envelope::Parse reject a larger attacker-controlled length prefix

@@ -1,0 +1,104 @@
+#include "protocol/result_proof.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace protocol {
+
+void ResultProof::AppendTo(Bytes* out) const {
+  out->push_back(kResultProofVersion);
+  AppendUint64(out, epoch);
+  AppendUint64(out, leaf_count);
+  out->insert(out->end(), root.begin(), root.end());
+  AppendLengthPrefixed(out, root_signature);
+
+  // A contiguous run compresses to [begin, end) — the completeness-proof
+  // shape; FetchRelation's [0, n) costs 17 bytes however large n is.
+  bool contiguous = true;
+  for (size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i] != positions[i - 1] + 1) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (contiguous && !positions.empty()) {
+    out->push_back(kProofPositionsRange);
+    AppendUint64(out, positions.front());
+    AppendUint64(out, positions.back() + 1);
+  } else {
+    out->push_back(kProofPositionsExplicit);
+    AppendUint32(out, static_cast<uint32_t>(positions.size()));
+    for (uint64_t position : positions) AppendUint64(out, position);
+  }
+
+  AppendUint32(out, static_cast<uint32_t>(siblings.size()));
+  for (const auto& sibling : siblings) {
+    out->insert(out->end(), sibling.begin(), sibling.end());
+  }
+}
+
+Result<ResultProof> ResultProof::ReadFrom(ByteReader* reader,
+                                          uint64_t max_positions) {
+  ResultProof proof;
+  DBPH_ASSIGN_OR_RETURN(Bytes version, reader->ReadRaw(1));
+  if (version[0] != kResultProofVersion) {
+    return Status::DataLoss("result proof: unknown version");
+  }
+  DBPH_ASSIGN_OR_RETURN(proof.epoch, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(proof.leaf_count, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(Bytes root_bytes, reader->ReadRaw(32));
+  DBPH_ASSIGN_OR_RETURN(proof.root, crypto::MerkleTree::FromBytes(root_bytes));
+  DBPH_ASSIGN_OR_RETURN(proof.root_signature, reader->ReadLengthPrefixed());
+  if (!proof.root_signature.empty() && proof.root_signature.size() != 32) {
+    return Status::DataLoss("result proof: signature must be empty or 32B");
+  }
+
+  DBPH_ASSIGN_OR_RETURN(Bytes kind, reader->ReadRaw(1));
+  if (kind[0] == kProofPositionsRange) {
+    DBPH_ASSIGN_OR_RETURN(uint64_t begin, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(uint64_t end, reader->ReadUint64());
+    if (begin >= end || end > proof.leaf_count ||
+        end - begin > max_positions) {
+      return Status::DataLoss("result proof: bad position range");
+    }
+    proof.positions.reserve(end - begin);
+    for (uint64_t p = begin; p < end; ++p) proof.positions.push_back(p);
+  } else if (kind[0] == kProofPositionsExplicit) {
+    DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+    // The count is attacker-controlled: bound it by the caller's result
+    // size AND by what the remaining bytes could physically encode
+    // before reserving anything.
+    if (count > max_positions || count > reader->remaining() / 8) {
+      return Status::DataLoss("result proof: position count exceeds result");
+    }
+    proof.positions.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      DBPH_ASSIGN_OR_RETURN(uint64_t position, reader->ReadUint64());
+      if (position >= proof.leaf_count ||
+          (!proof.positions.empty() && position <= proof.positions.back())) {
+        return Status::DataLoss("result proof: positions not increasing");
+      }
+      proof.positions.push_back(position);
+    }
+  } else {
+    return Status::DataLoss("result proof: unknown position encoding");
+  }
+
+  DBPH_ASSIGN_OR_RETURN(uint32_t sibling_count, reader->ReadUint32());
+  if (sibling_count > reader->remaining() / 32) {
+    return Status::DataLoss("result proof: sibling count exceeds payload");
+  }
+  proof.siblings.reserve(sibling_count);
+  for (uint32_t i = 0; i < sibling_count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Bytes sibling, reader->ReadRaw(32));
+    DBPH_ASSIGN_OR_RETURN(crypto::MerkleTree::Hash hash,
+                          crypto::MerkleTree::FromBytes(sibling));
+    proof.siblings.push_back(hash);
+  }
+  return proof;
+}
+
+}  // namespace protocol
+}  // namespace dbph

@@ -1,0 +1,59 @@
+#ifndef DBPH_PROTOCOL_RESULT_PROOF_H_
+#define DBPH_PROTOCOL_RESULT_PROOF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/merkle.h"
+
+namespace dbph {
+namespace protocol {
+
+/// \brief The integrity evidence attached to a result envelope
+/// (kSelectResult / kFetchResult, and the delete manifest's sibling):
+/// which leaves of the relation's Merkle tree the returned documents
+/// are, and how they fold back into the committed root.
+///
+/// `epoch` counts the relation's mutations (1 at StoreRelation, +1 per
+/// append/delete); a client that witnessed the history rejects a replayed
+/// response from an older state by epoch/root mismatch alone.
+/// `root_signature` is the data owner's HMAC over (relation, epoch,
+/// root) — deposited via kAttestRoot, returned verbatim — and is empty
+/// until the owner attests the current epoch. The server cannot forge
+/// it: it never holds keys.
+///
+/// `positions` are the returned documents' leaf indices in storage
+/// order, strictly increasing. On the wire a contiguous run [i, j) is
+/// encoded as a range — the completeness-proof shape (FetchRelation
+/// proves [0, n), i.e. "this is everything").
+struct ResultProof {
+  uint64_t epoch = 0;
+  uint64_t leaf_count = 0;
+  crypto::MerkleTree::Hash root{};
+  Bytes root_signature;  ///< empty = current epoch not attested
+  std::vector<uint64_t> positions;
+  std::vector<crypto::MerkleTree::Hash> siblings;  ///< SubsetProof order
+
+  void AppendTo(Bytes* out) const;
+
+  /// Parses a proof whose claimed result set may not exceed
+  /// `max_positions` (callers pass the count of documents they actually
+  /// received, so a hostile proof can never make the parser allocate
+  /// more than the response already did). Rejects truncation, position
+  /// lists that are not strictly increasing or not below leaf_count,
+  /// and sibling counts beyond what the remaining bytes physically hold.
+  static Result<ResultProof> ReadFrom(ByteReader* reader,
+                                      uint64_t max_positions);
+};
+
+/// Serialization constants shared with the fuzz suite.
+inline constexpr uint8_t kResultProofVersion = 1;
+inline constexpr uint8_t kProofPositionsExplicit = 0;
+inline constexpr uint8_t kProofPositionsRange = 1;
+
+}  // namespace protocol
+}  // namespace dbph
+
+#endif  // DBPH_PROTOCOL_RESULT_PROOF_H_

@@ -46,7 +46,8 @@ struct DurableStoreOptions {
 ///   <dir>/wal.log         CRC-guarded mutation log since that snapshot
 ///
 /// Every mutating envelope (kStoreRelation / kDropRelation /
-/// kAppendTuples / kDeleteWhere — arriving alone or inside a batch) is
+/// kAppendTuples / kDeleteWhere / kAttestRoot — arriving alone or inside
+/// a batch) is
 /// appended to the WAL *before* the server applies it, via the server's
 /// mutation hook, which runs inside the single-writer dispatch lock — so
 /// log order always equals apply order, whatever raced on the wire.

@@ -21,10 +21,22 @@ Status UntrustedServer::StoreRelation(
   stored.index.set_max_trapdoors(runtime_options_.max_indexed_trapdoors);
   stored.index.set_max_append_evals(runtime_options_.max_index_append_evals);
   stored.records.reserve(relation.documents.size());
+  const bool integrity = runtime_options_.enable_integrity;
+  std::vector<crypto::MerkleTree::Hash> leaves;
+  if (integrity) leaves.reserve(relation.documents.size());
   for (const auto& doc : relation.documents) {
     Bytes serialized;
     doc.AppendTo(&serialized);
-    stored.records.push_back(heap_.Insert(serialized));
+    storage::RecordId rid = heap_.Insert(serialized);
+    if (integrity) {
+      stored.position_of[rid.Pack()] = stored.records.size();
+      leaves.push_back(crypto::MerkleTree::LeafHash(serialized));
+    }
+    stored.records.push_back(rid);
+  }
+  if (integrity) {
+    stored.tree.Assign(std::move(leaves));
+    stored.epoch = 1;
   }
   log_.RecordStore(relation.name, relation.documents.size(),
                    relation.CiphertextBytes());
@@ -61,6 +73,45 @@ Result<std::vector<swp::EncryptedDocument>> UntrustedServer::Select(
   return std::move(results[0]);
 }
 
+Status UntrustedServer::AttestRoot(const std::string& name, uint64_t epoch,
+                                   const crypto::MerkleTree::Hash& root,
+                                   const Bytes& signature) {
+  if (!runtime_options_.enable_integrity) {
+    return Status::FailedPrecondition("integrity disabled on this server");
+  }
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not stored");
+  }
+  if (signature.size() != 32) {
+    return Status::InvalidArgument("attestation signature must be 32 bytes");
+  }
+  // Eve cannot verify the HMAC (she has no keys) but she refuses an
+  // attestation of a state she does not hold: storing it would hand the
+  // next verifier a signature that never matches a proof.
+  if (epoch != it->second.epoch || root != it->second.tree.Root()) {
+    return Status::FailedPrecondition(
+        "attestation does not match the server's current (epoch, root)");
+  }
+  it->second.attested_epoch = epoch;
+  it->second.root_signature = signature;
+  return Status::OK();
+}
+
+protocol::ResultProof UntrustedServer::BuildProof(
+    const StoredRelation& stored, std::vector<uint64_t> positions) const {
+  protocol::ResultProof proof;
+  proof.epoch = stored.epoch;
+  proof.leaf_count = stored.tree.size();
+  proof.root = stored.tree.Root();
+  if (stored.attested_epoch == stored.epoch) {
+    proof.root_signature = stored.root_signature;
+  }
+  proof.siblings = stored.tree.SubsetProof(positions);
+  proof.positions = std::move(positions);
+  return proof;
+}
+
 runtime::ThreadPool* UntrustedServer::pool() {
   if (!pool_) {
     pool_ = std::make_unique<runtime::ThreadPool>(runtime_options_.num_threads);
@@ -86,9 +137,21 @@ planner::ExecutionContext UntrustedServer::ContextFor(StoredRelation* stored) {
 
 std::vector<Result<std::vector<swp::EncryptedDocument>>>
 UntrustedServer::SelectBatch(const std::vector<core::EncryptedQuery>& queries) {
+  std::vector<SelectOutcome> outcomes = SelectBatchInternal(queries);
+  std::vector<Result<std::vector<swp::EncryptedDocument>>> results;
+  results.reserve(outcomes.size());
+  for (SelectOutcome& outcome : outcomes) {
+    results.push_back(std::move(outcome.docs));
+  }
+  return results;
+}
+
+std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal(
+    const std::vector<core::EncryptedQuery>& queries) {
   // Resolve each query's relation into a planner task; unresolved
   // queries carry their error through the pipeline untouched.
   std::vector<planner::SelectTask> tasks(queries.size());
+  std::vector<StoredRelation*> resolved(queries.size(), nullptr);
   bool any_resolved = false;
   for (size_t i = 0; i < queries.size(); ++i) {
     auto it = relations_.find(queries[i].relation);
@@ -99,6 +162,7 @@ UntrustedServer::SelectBatch(const std::vector<core::EncryptedQuery>& queries) {
     }
     tasks[i].ctx = ContextFor(&it->second);
     tasks[i].query = &queries[i];
+    resolved[i] = &it->second;
     any_resolved = true;
   }
 
@@ -109,15 +173,15 @@ UntrustedServer::SelectBatch(const std::vector<core::EncryptedQuery>& queries) {
   // log is indistinguishable from the same selects arriving one by one,
   // and (by the pipeline's contract) from a sequential scan regardless
   // of the access path each query took.
-  std::vector<Result<std::vector<swp::EncryptedDocument>>> results;
-  results.reserve(queries.size());
+  const bool integrity = runtime_options_.enable_integrity;
+  std::vector<SelectOutcome> results(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     if (!tasks[i].resolution.ok()) {
-      results.push_back(tasks[i].resolution);
+      results[i].docs = tasks[i].resolution;
       continue;
     }
     if (!outcomes[i].status.ok()) {
-      results.push_back(outcomes[i].status);
+      results[i].docs = outcomes[i].status;
       continue;
     }
     QueryObservation observation;
@@ -127,10 +191,18 @@ UntrustedServer::SelectBatch(const std::vector<core::EncryptedQuery>& queries) {
     docs.reserve(outcomes[i].matches.size());
     for (runtime::ShardMatch& match : outcomes[i].matches) {
       observation.matched_records.push_back(match.rid.Pack());
+      if (integrity) {
+        // Matches arrive in storage order (the pipeline's contract), so
+        // these leaf positions come out sorted — exactly what the proof
+        // builder and the verifier's recursion expect.
+        results[i].positions.push_back(
+            resolved[i]->position_of.at(match.rid.Pack()));
+      }
       docs.push_back(std::move(match.doc));
     }
     log_.RecordQuery(std::move(observation));
-    results.push_back(std::move(docs));
+    results[i].docs = std::move(docs);
+    results[i].stored = resolved[i];
   }
   return results;
 }
@@ -157,6 +229,7 @@ Status UntrustedServer::AppendTuples(
     return Status::NotFound("relation '" + name + "' not stored");
   }
   size_t bytes = 0;
+  const bool integrity = runtime_options_.enable_integrity;
   std::vector<std::pair<uint64_t, const swp::EncryptedDocument*>> added;
   added.reserve(documents.size());
   for (const auto& doc : documents) {
@@ -164,9 +237,16 @@ Status UntrustedServer::AppendTuples(
     doc.AppendTo(&serialized);
     bytes += serialized.size();
     storage::RecordId rid = heap_.Insert(serialized);
+    if (integrity) {
+      it->second.position_of[rid.Pack()] = it->second.records.size();
+      it->second.tree.AppendLeaf(crypto::MerkleTree::LeafHash(serialized));
+    }
     it->second.records.push_back(rid);
     added.emplace_back(rid.Pack(), &doc);
   }
+  // Every append (even an empty one) is an epoch: the client mirrors the
+  // same rule, so epochs agree without a negotiation round trip.
+  if (integrity) ++it->second.epoch;
   if (runtime_options_.enable_trapdoor_index) {
     // Keep memoized posting lists exact: evaluate every cached trapdoor
     // against just the new documents (what an Eve replaying her log
@@ -179,10 +259,17 @@ Status UntrustedServer::AppendTuples(
 
 Result<size_t> UntrustedServer::DeleteWhere(
     const core::EncryptedQuery& query) {
+  return DeleteWhereInternal(query, /*removed_out=*/nullptr);
+}
+
+Result<size_t> UntrustedServer::DeleteWhereInternal(
+    const core::EncryptedQuery& query,
+    std::vector<std::pair<uint64_t, Bytes>>* removed_out) {
   auto it = relations_.find(query.relation);
   if (it == relations_.end()) {
     return Status::NotFound("relation '" + query.relation + "' not stored");
   }
+  const bool integrity = runtime_options_.enable_integrity;
   swp::SwpParams params;
   params.word_length = query.trapdoor.target.size();
   params.check_length = it->second.check_length;
@@ -192,6 +279,8 @@ Result<size_t> UntrustedServer::DeleteWhere(
   query.trapdoor.AppendTo(&observation.trapdoor_bytes);
 
   std::vector<storage::RecordId> kept;
+  std::vector<uint64_t> removed_positions;
+  size_t position = 0;
   size_t removed = 0;
   for (const auto& rid : it->second.records) {
     DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
@@ -200,11 +289,34 @@ Result<size_t> UntrustedServer::DeleteWhere(
       kept.push_back(rid);
     } else {
       observation.matched_records.push_back(rid.Pack());
+      if (integrity) {
+        // Pre-delete leaf positions, in storage order: the manifest the
+        // client checks against its own tree before mirroring the
+        // removal.
+        removed_positions.push_back(position);
+        if (removed_out != nullptr) {
+          Bytes serialized;
+          doc.AppendTo(&serialized);
+          removed_out->emplace_back(position, std::move(serialized));
+        }
+      }
       DBPH_RETURN_IF_ERROR(heap_.Delete(rid));
       ++removed;
     }
+    ++position;
   }
   it->second.records = std::move(kept);
+  if (integrity) {
+    it->second.tree.RemoveSorted(removed_positions);
+    ++it->second.epoch;
+    if (removed > 0) {
+      // Surviving leaves shifted left; rebuild the rid → position map.
+      it->second.position_of.clear();
+      for (size_t i = 0; i < it->second.records.size(); ++i) {
+        it->second.position_of[it->second.records[i].Pack()] = i;
+      }
+    }
+  }
   if (runtime_options_.enable_trapdoor_index) {
     // Deleted records leave every posting list (an already-memoized
     // copy of this delete's trapdoor thereby becomes empty — exactly
@@ -236,7 +348,7 @@ Result<std::vector<swp::EncryptedDocument>> UntrustedServer::FetchRelation(
 Result<Bytes> UntrustedServer::SerializeState() const {
   Bytes out;
   AppendUint32(&out, 0x44425048);  // "DBPH" magic
-  AppendUint32(&out, 1);           // format version
+  AppendUint32(&out, 2);           // format version
   AppendUint32(&out, static_cast<uint32_t>(relations_.size()));
   for (const auto& [name, stored] : relations_) {
     core::EncryptedRelation relation;
@@ -244,6 +356,13 @@ Result<Bytes> UntrustedServer::SerializeState() const {
     relation.check_length = stored.check_length;
     DBPH_ASSIGN_OR_RETURN(relation.documents, FetchRelation(name));
     relation.AppendTo(&out);
+    // v2: integrity state rides along. The tree itself is NOT persisted
+    // — it is a deterministic function of the ciphertext and rebuilds on
+    // restore — but the epoch and the owner's signed root cannot be
+    // recomputed from what Eve holds, so they round-trip explicitly.
+    AppendUint64(&out, stored.epoch);
+    AppendUint64(&out, stored.attested_epoch);
+    AppendLengthPrefixed(&out, stored.root_signature);
   }
   return out;
 }
@@ -264,25 +383,53 @@ Status UntrustedServer::RestoreState(const Bytes& data) {
   DBPH_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadUint32());
   if (magic != 0x44425048) return Status::DataLoss("bad magic");
   DBPH_ASSIGN_OR_RETURN(uint32_t version, reader.ReadUint32());
-  if (version != 1) return Status::DataLoss("unsupported format version");
+  if (version != 1 && version != 2) {
+    return Status::DataLoss("unsupported format version");
+  }
   DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
 
   // Parse fully before mutating state so a corrupt file cannot leave the
   // server half-loaded.
-  std::vector<core::EncryptedRelation> loaded;
+  struct LoadedRelation {
+    core::EncryptedRelation relation;
+    uint64_t epoch = 0;
+    uint64_t attested_epoch = 0;
+    Bytes root_signature;
+  };
+  std::vector<LoadedRelation> loaded;
   loaded.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    DBPH_ASSIGN_OR_RETURN(core::EncryptedRelation relation,
+    LoadedRelation entry;
+    DBPH_ASSIGN_OR_RETURN(entry.relation,
                           core::EncryptedRelation::ReadFrom(&reader));
-    loaded.push_back(std::move(relation));
+    if (version >= 2) {
+      DBPH_ASSIGN_OR_RETURN(entry.epoch, reader.ReadUint64());
+      DBPH_ASSIGN_OR_RETURN(entry.attested_epoch, reader.ReadUint64());
+      DBPH_ASSIGN_OR_RETURN(entry.root_signature,
+                            reader.ReadLengthPrefixed());
+      if (!entry.root_signature.empty() &&
+          entry.root_signature.size() != 32) {
+        return Status::DataLoss("bad root signature length");
+      }
+    }
+    loaded.push_back(std::move(entry));
   }
   if (!reader.AtEnd()) return Status::DataLoss("trailing bytes");
 
   relations_.clear();
   heap_ = storage::HeapFile();
   log_.Clear();
-  for (const auto& relation : loaded) {
-    DBPH_RETURN_IF_ERROR(StoreRelation(relation));
+  for (const auto& entry : loaded) {
+    DBPH_RETURN_IF_ERROR(StoreRelation(entry.relation));
+    if (runtime_options_.enable_integrity && entry.epoch != 0) {
+      // The tree was rebuilt from ciphertext by StoreRelation (and its
+      // root is deterministic); the mutation counter and the owner's
+      // signed root come from the image.
+      StoredRelation& stored = relations_.at(entry.relation.name);
+      stored.epoch = entry.epoch;
+      stored.attested_epoch = entry.attested_epoch;
+      stored.root_signature = entry.root_signature;
+    }
   }
   log_.Clear();  // the re-stores above are not real observations
   return Status::OK();
@@ -290,16 +437,34 @@ Status UntrustedServer::RestoreState(const Bytes& data) {
 
 namespace {
 
+/// kSelectResult payload: count | documents | [ResultProof]. The proof is
+/// optional trailing data — pre-integrity clients stop after the
+/// documents; verifying clients parse it from the remainder.
 protocol::Envelope MakeSelectResultEnvelope(
-    const std::vector<swp::EncryptedDocument>& docs) {
+    const std::vector<swp::EncryptedDocument>& docs,
+    const protocol::ResultProof* proof) {
   protocol::Envelope response;
   response.type = protocol::MessageType::kSelectResult;
   AppendUint32(&response.payload, static_cast<uint32_t>(docs.size()));
   for (const auto& doc : docs) doc.AppendTo(&response.payload);
+  if (proof != nullptr) proof->AppendTo(&response.payload);
   return response;
 }
 
 }  // namespace
+
+protocol::Envelope UntrustedServer::MakeSelectResponse(
+    SelectOutcome* outcome) {
+  if (!outcome->docs.ok()) {
+    return protocol::MakeErrorEnvelope(outcome->docs.status());
+  }
+  if (runtime_options_.enable_integrity && outcome->stored != nullptr) {
+    protocol::ResultProof proof =
+        BuildProof(*outcome->stored, std::move(outcome->positions));
+    return MakeSelectResultEnvelope(*outcome->docs, &proof);
+  }
+  return MakeSelectResultEnvelope(*outcome->docs, nullptr);
+}
 
 protocol::Envelope UntrustedServer::DispatchBatch(
     const protocol::Envelope& request) {
@@ -332,11 +497,9 @@ protocol::Envelope UntrustedServer::DispatchBatch(
       }
       ++i;
     }
-    auto results = SelectBatch(wave);
+    auto results = SelectBatchInternal(wave);
     for (size_t k = 0; k < wave_slots.size(); ++k) {
-      responses[wave_slots[k]] =
-          results[k].ok() ? MakeSelectResultEnvelope(*results[k])
-                          : protocol::MakeErrorEnvelope(results[k].status());
+      responses[wave_slots[k]] = MakeSelectResponse(&results[k]);
     }
   }
 
@@ -377,9 +540,8 @@ protocol::Envelope UntrustedServer::Dispatch(
       ByteReader reader(request.payload);
       auto query = core::EncryptedQuery::ReadFrom(&reader);
       if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
-      auto docs = Select(*query);
-      if (!docs.ok()) return protocol::MakeErrorEnvelope(docs.status());
-      return MakeSelectResultEnvelope(*docs);
+      auto outcomes = SelectBatchInternal({*query});
+      return MakeSelectResponse(&outcomes[0]);
     }
     case MessageType::kExplain: {
       // Plan-only: parses like kSelect, executes nothing, logs nothing
@@ -456,11 +618,25 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (Status wal = LogMutation(request); !wal.ok()) {
         return protocol::MakeErrorEnvelope(wal);
       }
-      auto removed = DeleteWhere(*query);
+      const bool integrity = runtime_options_.enable_integrity;
+      std::vector<std::pair<uint64_t, Bytes>> manifest;
+      auto removed =
+          DeleteWhereInternal(*query, integrity ? &manifest : nullptr);
       if (!removed.ok()) return protocol::MakeErrorEnvelope(removed.status());
       Envelope response;
       response.type = MessageType::kDeleteResult;
       AppendUint32(&response.payload, static_cast<uint32_t>(*removed));
+      if (integrity) {
+        // Delete manifest: the pre-delete (leaf position, document)
+        // pairs, so the owner can check each removed row against its own
+        // tree — hash AND trapdoor match — before mirroring the removal.
+        AppendUint32(&response.payload,
+                     static_cast<uint32_t>(manifest.size()));
+        for (const auto& [position, doc_bytes] : manifest) {
+          AppendUint64(&response.payload, position);
+          AppendLengthPrefixed(&response.payload, doc_bytes);
+        }
+      }
       return response;
     }
     case MessageType::kFetchRelation: {
@@ -470,7 +646,50 @@ protocol::Envelope UntrustedServer::Dispatch(
       response.type = MessageType::kFetchResult;
       AppendUint32(&response.payload, static_cast<uint32_t>(docs->size()));
       for (const auto& doc : *docs) doc.AppendTo(&response.payload);
+      if (runtime_options_.enable_integrity) {
+        // Whole-relation completeness proof: positions [0, n) — the
+        // client verifies it received every leaf, in order.
+        auto it = relations_.find(ToString(request.payload));
+        if (it != relations_.end()) {
+          std::vector<uint64_t> all(it->second.records.size());
+          for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+          protocol::ResultProof proof =
+              BuildProof(it->second, std::move(all));
+          proof.AppendTo(&response.payload);
+        }
+      }
       return response;
+    }
+    case MessageType::kAttestRoot: {
+      ByteReader reader(request.payload);
+      auto name = reader.ReadLengthPrefixed();
+      if (!name.ok()) return protocol::MakeErrorEnvelope(name.status());
+      auto epoch = reader.ReadUint64();
+      if (!epoch.ok()) return protocol::MakeErrorEnvelope(epoch.status());
+      auto root_bytes = reader.ReadRaw(32);
+      if (!root_bytes.ok()) {
+        return protocol::MakeErrorEnvelope(root_bytes.status());
+      }
+      auto root = crypto::MerkleTree::FromBytes(*root_bytes);
+      if (!root.ok()) return protocol::MakeErrorEnvelope(root.status());
+      auto signature = reader.ReadRaw(32);
+      if (!signature.ok()) {
+        return protocol::MakeErrorEnvelope(signature.status());
+      }
+      if (!reader.AtEnd()) {
+        return protocol::MakeErrorEnvelope(
+            Status::DataLoss("trailing bytes after attestation"));
+      }
+      // Attested roots must survive restarts like the ciphertext they
+      // bless: WAL-logged before applying, replayed on recovery.
+      if (Status wal = LogMutation(request); !wal.ok()) {
+        return protocol::MakeErrorEnvelope(wal);
+      }
+      Status status = AttestRoot(ToString(*name), *epoch, *root, *signature);
+      if (!status.ok()) return protocol::MakeErrorEnvelope(status);
+      Envelope ok;
+      ok.type = MessageType::kAttestOk;
+      return ok;
     }
     default:
       return protocol::MakeErrorEnvelope(

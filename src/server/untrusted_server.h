@@ -7,13 +7,17 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "crypto/merkle.h"
 #include "dbph/encrypted_relation.h"
 #include "dbph/query.h"
 #include "protocol/messages.h"
 #include "protocol/plan_report.h"
+#include "protocol/result_proof.h"
 #include "server/observation.h"
 #include "server/planner/planner.h"
 #include "server/planner/trapdoor_index.h"
@@ -51,6 +55,16 @@ struct ServerRuntimeOptions {
   /// should raise this (or the memo shrinks to budget/batch-size
   /// entries).
   size_t max_index_append_evals = 16 * 1024;
+  /// Result integrity: maintain a per-relation Merkle tree over the
+  /// stored ciphertext (in storage order) and attach a
+  /// protocol::ResultProof to every select / fetch / delete response, so
+  /// a verifying client can detect a server (or a path in between) that
+  /// drops, substitutes, reorders, or replays rows. Proofs are a
+  /// function of stored state only — both planner access paths produce
+  /// byte-identical proofs, like results. Off restores the PR-4 wire
+  /// format exactly. See docs/SECURITY.md for what proofs do and do not
+  /// guarantee.
+  bool enable_integrity = true;
 };
 
 /// \brief Eve: the honest-but-curious service provider.
@@ -138,6 +152,17 @@ class UntrustedServer {
   /// recorded in the observation log accordingly.
   Result<size_t> DeleteWhere(const core::EncryptedQuery& query);
 
+  /// Stores the data owner's signature over (relation, epoch, root) —
+  /// the kAttestRoot handler. Eve holds no keys, so she can only accept
+  /// and echo the signature; she verifies nothing beyond "the claimed
+  /// (epoch, root) is my current state" (a stale attestation is the
+  /// client's bug, not hers to repair). Attested roots are mutations for
+  /// durability purposes: WAL-logged and persisted, so recovery restores
+  /// them alongside the ciphertext they bless.
+  Status AttestRoot(const std::string& name, uint64_t epoch,
+                    const crypto::MerkleTree::Hash& root,
+                    const Bytes& signature);
+
   /// Returns every stored document of a relation — the "contract
   /// cancelled" recall path.
   Result<std::vector<swp::EncryptedDocument>> FetchRelation(
@@ -213,7 +238,63 @@ class UntrustedServer {
     /// dispatch lock. Never consulted when the runtime option disables
     /// the index.
     planner::TrapdoorIndex index;
+
+    // ---- result-integrity state (maintained only with enable_integrity;
+    // all under the dispatch lock, like everything else here) ----
+
+    /// Merkle tree over the serialized stored documents in storage
+    /// order. Deterministic from the ciphertext, so save/load and WAL
+    /// replay rebuild the identical root.
+    crypto::MerkleTree tree;
+    /// Mutation counter: 1 at StoreRelation, +1 per append / delete.
+    uint64_t epoch = 0;
+    /// The data owner's HMAC over (name, attested_epoch, root) — empty
+    /// until deposited via kAttestRoot; returned in proofs only while
+    /// attested_epoch == epoch (a signature over an older state must
+    /// not bless the current one).
+    uint64_t attested_epoch = 0;
+    Bytes root_signature;
+    /// rid.Pack() → leaf index, so the proof builder maps planner
+    /// matches (which carry record ids) to tree positions in O(1)
+    /// instead of scanning `records` per select.
+    std::unordered_map<uint64_t, uint64_t> position_of;
   };
+
+  /// One select's full outcome: the documents plus their leaf positions
+  /// (positions empty when integrity is off) and the relation they came
+  /// from (null when resolution failed).
+  struct SelectOutcome {
+    Result<std::vector<swp::EncryptedDocument>> docs;
+    std::vector<uint64_t> positions;
+    const StoredRelation* stored = nullptr;
+
+    SelectOutcome() : docs(Status::OK()) {}
+  };
+
+  /// The one select pipeline: plans/executes, logs observations, and
+  /// reports positions for proof building. Select / SelectBatch /
+  /// DispatchBatch all funnel through here.
+  std::vector<SelectOutcome> SelectBatchInternal(
+      const std::vector<core::EncryptedQuery>& queries);
+
+  /// DeleteWhere body; when `removed_out` is non-null it receives the
+  /// pre-delete (leaf position, serialized document) manifest the client
+  /// verifies against its own tree.
+  Result<size_t> DeleteWhereInternal(
+      const core::EncryptedQuery& query,
+      std::vector<std::pair<uint64_t, Bytes>>* removed_out);
+
+  /// The proof for a result set of `positions` against `stored`'s
+  /// current tree/epoch. Positions must be sorted (storage order — the
+  /// pipeline's contract already guarantees it).
+  protocol::ResultProof BuildProof(const StoredRelation& stored,
+                                   std::vector<uint64_t> positions) const;
+
+  /// Renders one select outcome as its wire envelope — kSelectResult
+  /// with the proof attached (integrity on), or a kError. The single
+  /// place proof attachment happens, shared by kSelect and batch waves
+  /// so the two can never diverge.
+  protocol::Envelope MakeSelectResponse(SelectOutcome* outcome);
 
   protocol::Envelope Dispatch(const protocol::Envelope& request);
   protocol::Envelope DispatchBatch(const protocol::Envelope& request);

@@ -1,0 +1,454 @@
+// Tamper-injection suite for the result-integrity layer: a proxy
+// Transport sits between an honest Client and an honest UntrustedServer
+// and corrupts responses in flight — dropping, substituting, and
+// reordering rows, and replaying responses from a stale state. With
+// VerifyMode::kEnforce every corruption must be rejected, while the
+// untampered path (both planner access paths, and across a crash + WAL
+// recovery) verifies cleanly. This is the acceptance test for the
+// Merkle-authenticated response work; docs/SECURITY.md states what the
+// proofs do and do not guarantee.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/client.h"
+#include "crypto/random.h"
+#include "protocol/messages.h"
+#include "server/durable_store.h"
+#include "server/untrusted_server.h"
+#include "swp/search.h"
+
+namespace dbph {
+namespace {
+
+using protocol::Envelope;
+using protocol::MessageType;
+using rel::Relation;
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+Schema TableSchema() {
+  auto schema = Schema::Create({
+      {"name", ValueType::kString, 8},
+      {"grp", ValueType::kInt64, 10},
+  });
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+Relation SeedTable() {
+  Relation table("T", TableSchema());
+  const char* names[] = {"ada", "bob", "carol", "dave", "eve", "frank"};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(
+        table.Insert({Value::Str(names[i]), Value::Int(int64_t(i % 3))}).ok());
+  }
+  return table;
+}
+
+/// A man-in-the-middle transport: forwards requests to the server and
+/// runs an optional mutation over the response bytes on the way back.
+struct TamperProxy {
+  server::UntrustedServer* server = nullptr;
+  std::function<Bytes(const Bytes&)> tamper;  // null = honest relay
+  std::vector<Bytes> recorded_responses;
+  bool record = false;
+
+  Bytes operator()(const Bytes& request) {
+    Bytes response = server->HandleRequest(request);
+    if (record) recorded_responses.push_back(response);
+    if (tamper) return tamper(response);
+    return response;
+  }
+};
+
+/// Splits a kSelectResult / kFetchResult payload into its documents and
+/// the trailing proof bytes, applies `mutate` to the document list, and
+/// reassembles the envelope WITHOUT touching the proof — the shape of a
+/// network adversary who can cut and splice rows but cannot forge
+/// Merkle structure for them.
+Bytes MutateResultRows(
+    const Bytes& wire,
+    const std::function<void(std::vector<swp::EncryptedDocument>*)>& mutate) {
+  auto envelope = Envelope::Parse(wire);
+  if (!envelope.ok() || (envelope->type != MessageType::kSelectResult &&
+                         envelope->type != MessageType::kFetchResult)) {
+    return wire;  // not a result; relay honestly
+  }
+  ByteReader reader(envelope->payload);
+  auto docs = swp::ReadDocumentList(&reader);
+  if (!docs.ok()) return wire;
+  Bytes proof_bytes(envelope->payload.end() - reader.remaining(),
+                    envelope->payload.end());
+  mutate(&*docs);
+  Envelope tampered;
+  tampered.type = envelope->type;
+  AppendUint32(&tampered.payload, static_cast<uint32_t>(docs->size()));
+  for (const auto& doc : *docs) doc.AppendTo(&tampered.payload);
+  tampered.payload.insert(tampered.payload.end(), proof_bytes.begin(),
+                          proof_bytes.end());
+  return tampered.Serialize();
+}
+
+struct Deployment {
+  explicit Deployment(client::VerifyMode mode)
+      : rng("integrity-test", 5),
+        client(ToBytes("integrity master"),
+               [this](const Bytes& request) { return proxy(request); },
+               &rng) {
+    proxy.server = &server;
+    client.set_verify_mode(mode);
+  }
+
+  server::UntrustedServer server;
+  TamperProxy proxy;
+  crypto::HmacDrbg rng;
+  client::Client client;
+};
+
+TEST(IntegrityTest, HonestPathVerifiesOnBothAccessPaths) {
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+
+  // First select: full scan (cold index, memoizes). Second: posting-list
+  // lookup. Both must verify, and the wire responses — proof included —
+  // must be byte-identical: the proof is a function of stored state, not
+  // of the access path.
+  d.proxy.record = true;
+  auto first = d.client.Select("T", "grp", Value::Int(1));
+  auto second = d.client.Select("T", "grp", Value::Int(1));
+  d.proxy.record = false;
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first->size(), 2u);
+  EXPECT_TRUE(first->SameTuples(*second));
+  ASSERT_EQ(d.proxy.recorded_responses.size(), 2u);
+  EXPECT_EQ(d.proxy.recorded_responses[0], d.proxy.recorded_responses[1])
+      << "scan-path and index-path responses (with proofs) must be "
+         "byte-identical";
+
+  // Mutations keep verifying: insert, delete (manifest path), recall
+  // (completeness path), batched + conjunctive selects.
+  ASSERT_TRUE(
+      d.client.Insert("T", {{Value::Str("gina"), Value::Int(1)}}).ok());
+  auto after_insert = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(after_insert.ok());
+  EXPECT_EQ(after_insert->size(), 3u);
+
+  auto removed = d.client.DeleteWhere("T", "name", Value::Str("bob"));
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, 1u);
+  auto after_delete = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(after_delete.ok()) << after_delete.status();
+  EXPECT_EQ(after_delete->size(), 2u);
+
+  auto batched = d.client.SelectBatch(
+      "T", {{"grp", Value::Int(0)}, {"grp", Value::Int(2)}});
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  auto conjunction = d.client.SelectConjunction(
+      "T", {{"grp", Value::Int(0)}, {"name", Value::Str("ada")}});
+  ASSERT_TRUE(conjunction.ok()) << conjunction.status();
+  EXPECT_EQ(conjunction->size(), 1u);
+
+  auto recalled = d.client.Recall("T");
+  ASSERT_TRUE(recalled.ok()) << recalled.status();
+  EXPECT_EQ(recalled->size(), 6u);
+}
+
+TEST(IntegrityTest, DroppedRowIsRejected) {
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+
+  d.proxy.tamper = [](const Bytes& wire) {
+    return MutateResultRows(wire, [](std::vector<swp::EncryptedDocument>* docs) {
+      if (!docs->empty()) docs->pop_back();
+    });
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("integrity"), std::string::npos)
+      << result.status();
+
+  // The rejection must not poison the client: the honest path still
+  // verifies afterwards.
+  d.proxy.tamper = nullptr;
+  EXPECT_TRUE(d.client.Select("T", "grp", Value::Int(1)).ok());
+}
+
+TEST(IntegrityTest, SubstitutedCiphertextIsRejected) {
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+
+  d.proxy.tamper = [](const Bytes& wire) {
+    return MutateResultRows(wire, [](std::vector<swp::EncryptedDocument>* docs) {
+      if (!docs->empty() && !(*docs)[0].words.empty() &&
+          !(*docs)[0].words[0].empty()) {
+        (*docs)[0].words[0][0] ^= 0x01;  // one flipped ciphertext bit
+      }
+    });
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  EXPECT_FALSE(result.ok());
+
+  // Splicing in a genuine document from a different result (a stored
+  // row, so its bytes ARE a real leaf) must equally fail: it is not the
+  // leaf at the claimed position.
+  Deployment d2(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d2.client.Outsource(SeedTable()).ok());
+  auto other = d2.client.Select("T", "name", Value::Str("carol"));
+  ASSERT_TRUE(other.ok());
+  d2.proxy.record = true;
+  (void)d2.client.Select("T", "name", Value::Str("carol"));
+  d2.proxy.record = false;
+  Bytes carol_response = d2.proxy.recorded_responses.back();
+  auto carol_env = Envelope::Parse(carol_response);
+  ASSERT_TRUE(carol_env.ok());
+  ByteReader carol_reader(carol_env->payload);
+  auto carol_docs = swp::ReadDocumentList(&carol_reader);
+  ASSERT_TRUE(carol_docs.ok());
+  ASSERT_FALSE(carol_docs->empty());
+  swp::EncryptedDocument spliced = (*carol_docs)[0];
+  d2.proxy.tamper = [spliced](const Bytes& wire) {
+    return MutateResultRows(wire,
+                            [&](std::vector<swp::EncryptedDocument>* docs) {
+                              if (!docs->empty()) (*docs)[0] = spliced;
+                            });
+  };
+  EXPECT_FALSE(d2.client.Select("T", "grp", Value::Int(1)).ok());
+}
+
+TEST(IntegrityTest, ReorderedRowsAreRejected) {
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+
+  d.proxy.tamper = [](const Bytes& wire) {
+    return MutateResultRows(wire, [](std::vector<swp::EncryptedDocument>* docs) {
+      if (docs->size() >= 2) std::swap((*docs)[0], (*docs)[1]);
+    });
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(IntegrityTest, StaleRootReplayIsRejected) {
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+
+  // Record a valid response at epoch 1...
+  d.proxy.record = true;
+  ASSERT_TRUE(d.client.Select("T", "grp", Value::Int(1)).ok());
+  d.proxy.record = false;
+  Bytes stale = d.proxy.recorded_responses.back();
+
+  // ...mutate (epoch 2), then replay the recorded epoch-1 response. Its
+  // proof is internally consistent and its root was once genuine — only
+  // the epoch/root freshness check can catch it.
+  ASSERT_TRUE(
+      d.client.Insert("T", {{Value::Str("hank"), Value::Int(1)}}).ok());
+  d.proxy.tamper = [stale](const Bytes&) { return stale; };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("integrity"), std::string::npos);
+
+  d.proxy.tamper = nullptr;
+  auto fresh = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->size(), 3u);
+}
+
+TEST(IntegrityTest, SyncRefusesRollbackBelowWitnessedAnchor) {
+  // A server restored from an older (genuinely owner-signed) snapshot
+  // must not be able to launder the rollback through SyncIntegrity: a
+  // session that witnessed later epochs refuses to move its anchor
+  // backwards, and its selects keep failing loudly.
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  auto old_image = d.server.SerializeState();  // epoch 1, signed
+  ASSERT_TRUE(old_image.ok());
+  ASSERT_TRUE(
+      d.client.Insert("T", {{Value::Str("gina"), Value::Int(1)}}).ok());
+
+  ASSERT_TRUE(d.server.RestoreState(*old_image).ok());  // the rollback
+  EXPECT_FALSE(d.client.Select("T", "grp", Value::Int(1)).ok());
+  EXPECT_FALSE(d.client.SyncIntegrity("T", /*require_signature=*/true).ok());
+  // Still anchored at the witnessed epoch afterwards.
+  auto anchor = d.client.IntegrityAnchor("T");
+  ASSERT_TRUE(anchor.ok());
+  EXPECT_EQ(anchor->first, 2u);
+}
+
+TEST(IntegrityTest, WithheldRowInRecallIsRejected) {
+  // Recall carries the whole-relation completeness proof: serving n-1
+  // of n rows must fail even though every served row is genuine.
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  d.proxy.tamper = [](const Bytes& wire) {
+    return MutateResultRows(wire, [](std::vector<swp::EncryptedDocument>* docs) {
+      if (!docs->empty()) docs->pop_back();
+    });
+  };
+  EXPECT_FALSE(d.client.Recall("T").ok());
+  d.proxy.tamper = nullptr;
+  EXPECT_TRUE(d.client.Recall("T").ok());
+}
+
+TEST(IntegrityTest, WarnModeReportsButReturnsData) {
+  Deployment d(client::VerifyMode::kWarn);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  d.proxy.tamper = [](const Bytes& wire) {
+    return MutateResultRows(wire, [](std::vector<swp::EncryptedDocument>* docs) {
+      if (!docs->empty()) docs->pop_back();
+    });
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(result.ok()) << "warn mode must not fail the operation";
+  EXPECT_EQ(result->size(), 1u);  // the tampered (short) result
+}
+
+TEST(IntegrityTest, MirrorSurvivesVerifyModeToggles) {
+  // set_verify_mode promises that switching modes mid-session keeps the
+  // tracked state usable: mutations issued while verification is Off
+  // must still be mirrored, or re-enabling Enforce would raise false
+  // epoch-mismatch alarms against a perfectly honest server.
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+
+  d.client.set_verify_mode(client::VerifyMode::kOff);
+  ASSERT_TRUE(
+      d.client.Insert("T", {{Value::Str("gina"), Value::Int(1)}}).ok());
+  auto removed = d.client.DeleteWhere("T", "name", Value::Str("ada"));
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1u);
+
+  d.client.set_verify_mode(client::VerifyMode::kEnforce);
+  auto verified = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(verified.ok())
+      << "honest select failed after an Off-mode mutation window: "
+      << verified.status();
+  EXPECT_EQ(verified->size(), 3u);
+  // The next enforced mutation re-signs the (now unattested) root.
+  ASSERT_TRUE(
+      d.client.Insert("T", {{Value::Str("hank"), Value::Int(2)}}).ok());
+  EXPECT_TRUE(d.client.Select("T", "grp", Value::Int(2)).ok());
+}
+
+TEST(IntegrityTest, EnforceRefusesUnanchoredMutations) {
+  // Mutating without a mirror under Enforce would silently desync the
+  // server's attested root (inserts) or lose track of deletions — both
+  // mutation paths must demand SyncIntegrity first, symmetrically.
+  Deployment owner(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(owner.client.Outsource(SeedTable()).ok());
+
+  crypto::HmacDrbg rng("integrity-unanchored", 4);
+  client::Client adopted(
+      ToBytes("integrity master"),
+      [&owner](const Bytes& request) {
+        return owner.server.HandleRequest(request);
+      },
+      &rng);
+  adopted.set_verify_mode(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(adopted.Adopt("T", TableSchema()).ok());
+  EXPECT_FALSE(
+      adopted.Insert("T", {{Value::Str("mallory"), Value::Int(0)}}).ok());
+  EXPECT_FALSE(adopted.DeleteWhere("T", "name", Value::Str("ada")).ok());
+
+  ASSERT_TRUE(adopted.SyncIntegrity("T", /*require_signature=*/true).ok());
+  EXPECT_TRUE(
+      adopted.Insert("T", {{Value::Str("mallory"), Value::Int(0)}}).ok());
+  auto removed = adopted.DeleteWhere("T", "name", Value::Str("mallory"));
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, 1u);
+}
+
+TEST(IntegrityTest, IntegrityOffServerFailsEnforceButPassesOff) {
+  server::ServerRuntimeOptions options;
+  options.enable_integrity = false;
+  server::UntrustedServer bare(options);
+  crypto::HmacDrbg rng("integrity-off", 2);
+  client::Client enforcing(
+      ToBytes("integrity master"),
+      [&bare](const Bytes& request) { return bare.HandleRequest(request); },
+      &rng);
+  enforcing.set_verify_mode(client::VerifyMode::kEnforce);
+  // The attestation round trip fails fast: the server refuses roots.
+  // (The upload itself lands — attestation is a separate envelope — so
+  // the relation exists; only the integrity handshake fails.)
+  EXPECT_FALSE(enforcing.Outsource(SeedTable()).ok());
+
+  server::UntrustedServer bare2(options);
+  crypto::HmacDrbg rng2("integrity-off", 3);
+  client::Client plain(
+      ToBytes("integrity master two"),
+      [&bare2](const Bytes& request) { return bare2.HandleRequest(request); },
+      &rng2);
+  ASSERT_TRUE(plain.Outsource(SeedTable()).ok());
+  EXPECT_TRUE(plain.Select("T", "grp", Value::Int(1)).ok());
+}
+
+TEST(IntegrityTest, VerificationSurvivesCrashRecovery) {
+  std::string dir = ::testing::TempDir() + "/integrity_crash";
+  std::filesystem::remove_all(dir);
+  server::DurableStoreOptions store_options;
+  store_options.background_thread = false;
+
+  crypto::HmacDrbg rng("integrity-crash", 9);
+  auto server = std::make_unique<server::UntrustedServer>();
+  auto store = std::make_unique<server::DurableStore>(server.get(), dir,
+                                                      store_options);
+  ASSERT_TRUE(store->Open().ok());
+  server::UntrustedServer* current = server.get();
+  client::Client client(
+      ToBytes("integrity master"),
+      [&current](const Bytes& request) { return current->HandleRequest(request); },
+      &rng);
+  client.set_verify_mode(client::VerifyMode::kEnforce);
+
+  ASSERT_TRUE(client.Outsource(SeedTable()).ok());
+  ASSERT_TRUE(client.Insert("T", {{Value::Str("gina"), Value::Int(2)}}).ok());
+  auto removed = client.DeleteWhere("T", "name", Value::Str("ada"));
+  ASSERT_TRUE(removed.ok());
+
+  // kill -9: abandon the store with a live WAL, recover a fresh server.
+  store.reset();
+  auto restarted = std::make_unique<server::UntrustedServer>();
+  auto recovered = std::make_unique<server::DurableStore>(restarted.get(), dir,
+                                                          store_options);
+  ASSERT_TRUE(recovered->Open().ok());
+  current = restarted.get();
+
+  // The same client (its mirror intact) keeps enforcing: recovery must
+  // have rebuilt the identical tree, epoch, and attested root.
+  auto verified = client.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(verified.ok()) << verified.status();
+
+  // A brand-new session — no history — anchors from the recovered
+  // signed root (round-tripped through snapshot + WAL replay) and then
+  // enforces too.
+  crypto::HmacDrbg fresh_rng("integrity-crash-fresh", 10);
+  client::Client fresh(
+      ToBytes("integrity master"),
+      [&current](const Bytes& request) { return current->HandleRequest(request); },
+      &fresh_rng);
+  fresh.set_verify_mode(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(fresh.Adopt("T", TableSchema()).ok());
+  Status synced = fresh.SyncIntegrity("T", /*require_signature=*/true);
+  ASSERT_TRUE(synced.ok()) << synced;
+  auto anchor_old = client.IntegrityAnchor("T");
+  auto anchor_new = fresh.IntegrityAnchor("T");
+  ASSERT_TRUE(anchor_old.ok());
+  ASSERT_TRUE(anchor_new.ok());
+  EXPECT_EQ(anchor_old->first, anchor_new->first) << "epoch diverged";
+  EXPECT_EQ(anchor_old->second, anchor_new->second) << "root diverged";
+  EXPECT_TRUE(fresh.Select("T", "grp", Value::Int(2)).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dbph

@@ -5,18 +5,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
 
 #include "client/client.h"
+#include "crypto/merkle.h"
 #include "crypto/random.h"
 #include "dbph/encrypted_relation.h"
 #include "net/frame.h"
 #include "protocol/messages.h"
+#include "protocol/result_proof.h"
 #include "server/untrusted_server.h"
 #include "storage/wal.h"
 #include "swp/scheme.h"
+#include "swp/search.h"
 
 namespace dbph {
 namespace {
@@ -487,6 +491,212 @@ TEST(WalFuzzTest, EveryPrefixOfAValidLogYieldsOnlyWholeRecords) {
     EXPECT_EQ(scan.valid_bytes, boundaries[expected]) << "cut at " << cut;
   }
   std::remove(path.c_str());
+}
+
+// ---------------- Merkle result-proof fuzzing ----------------
+
+namespace {
+
+/// A small valid proof to mutate: built by the real server for a real
+/// select, then re-parsed from the response tail.
+Bytes CaptureValidProofBytes(size_t* docs_out) {
+  server::UntrustedServer server;  // integrity on by default
+  crypto::HmacDrbg rng("fuzz-proof", 21);
+  client::Client client(
+      ToBytes("fuzz master"),
+      [&server](const Bytes& request) { return server.HandleRequest(request); },
+      &rng);
+  auto schema = rel::Schema::Create({{"v", ValueType::kString, 8}});
+  rel::Relation table("T", *schema);
+  for (int i = 0; i < 8; ++i) {
+    (void)table.Insert({Value::Str("w" + std::to_string(i % 3))});
+  }
+  (void)client.Outsource(table);
+  // Capture the raw response of a select that matches several rows.
+  Bytes response;
+  client::Client recorder(
+      ToBytes("fuzz master"),
+      [&](const Bytes& request) {
+        response = server.HandleRequest(request);
+        return response;
+      },
+      &rng);
+  (void)recorder.Adopt("T", *schema);
+  (void)recorder.Select("T", "v", Value::Str("w1"));
+  auto envelope = protocol::Envelope::Parse(response);
+  EXPECT_TRUE(envelope.ok());
+  ByteReader reader(envelope->payload);
+  auto docs = swp::ReadDocumentList(&reader);
+  EXPECT_TRUE(docs.ok());
+  *docs_out = docs->size();
+  return Bytes(envelope->payload.end() - reader.remaining(),
+               envelope->payload.end());
+}
+
+}  // namespace
+
+TEST(ProofFuzzTest, RandomBytesNeverParseAsProofs) {
+  crypto::HmacDrbg rng("fuzz-proof-random", 1);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage = rng.NextBytes(rng.NextBelow(160));
+    ByteReader reader(garbage);
+    auto proof = protocol::ResultProof::ReadFrom(&reader, 16);
+    // Parsing may only succeed on a structurally valid proof; it must
+    // never crash, loop, or allocate past the payload.
+    if (proof.ok()) {
+      EXPECT_LE(proof->positions.size(), 16u);
+      EXPECT_LE(proof->siblings.size(), garbage.size() / 32 + 1);
+    }
+  }
+}
+
+TEST(ProofFuzzTest, EveryTruncationOfAValidProofFailsClosed) {
+  size_t docs = 0;
+  Bytes valid = CaptureValidProofBytes(&docs);
+  ASSERT_GT(docs, 0u);
+  ASSERT_FALSE(valid.empty());
+  {
+    ByteReader reader(valid);
+    ASSERT_TRUE(protocol::ResultProof::ReadFrom(&reader, docs).ok());
+    ASSERT_TRUE(reader.AtEnd());
+  }
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    Bytes truncated(valid.begin(), valid.begin() + static_cast<long>(cut));
+    ByteReader reader(truncated);
+    auto proof = protocol::ResultProof::ReadFrom(&reader, docs);
+    // A shorter buffer must either fail to parse or leave trailing state
+    // impossible to confuse with the original (never a crash).
+    if (proof.ok()) EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(ProofFuzzTest, BitflippedProofsNeverVerifyAgainstTheRoot) {
+  // Flip every byte of a valid proof in turn; each mutant must either
+  // fail to parse or fail verification against the untampered tree —
+  // accepting any mutant would be a soundness hole.
+  using crypto::MerkleTree;
+  std::vector<MerkleTree::Hash> leaves;
+  for (int i = 0; i < 9; ++i) {
+    leaves.push_back(MerkleTree::LeafHash(ToBytes("d" + std::to_string(i))));
+  }
+  MerkleTree tree;
+  tree.Assign(leaves);
+  protocol::ResultProof proof;
+  proof.epoch = 3;
+  proof.leaf_count = tree.size();
+  proof.root = tree.Root();
+  proof.positions = {1, 4, 6};
+  proof.siblings = tree.SubsetProof(proof.positions);
+  std::vector<MerkleTree::Hash> selected = {leaves[1], leaves[4], leaves[6]};
+  Bytes wire;
+  proof.AppendTo(&wire);
+
+  auto verifies = [&](const Bytes& bytes) {
+    ByteReader reader(bytes);
+    auto parsed = protocol::ResultProof::ReadFrom(&reader, selected.size());
+    if (!parsed.ok() || !reader.AtEnd()) return false;
+    if (parsed->positions.size() != selected.size()) return false;
+    auto computed = MerkleTree::RootFromSubset(
+        parsed->leaf_count, parsed->positions, selected, parsed->siblings);
+    return computed.ok() && *computed == tree.Root() &&
+           parsed->root == tree.Root() && parsed->epoch == proof.epoch;
+  };
+  ASSERT_TRUE(verifies(wire));
+  for (size_t i = 0; i < wire.size(); ++i) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}}) {
+      Bytes mutant = wire;
+      mutant[i] ^= flip;
+      EXPECT_FALSE(verifies(mutant)) << "byte " << i << " flip " << int(flip);
+    }
+  }
+}
+
+TEST(ProofFuzzTest, HostileCountsCannotForceOverAllocation) {
+  // A proof header claiming 2^32-ish positions or siblings must be
+  // rejected from the *remaining byte count*, before any reserve.
+  Bytes wire;
+  wire.push_back(protocol::kResultProofVersion);
+  AppendUint64(&wire, 1);                      // epoch
+  AppendUint64(&wire, uint64_t{1} << 40);      // leaf_count (huge)
+  wire.resize(wire.size() + 32, 0x11);         // root
+  AppendUint32(&wire, 0);                      // empty signature
+  wire.push_back(protocol::kProofPositionsExplicit);
+  AppendUint32(&wire, 0xffffffffu);            // hostile position count
+  ByteReader reader(wire);
+  EXPECT_FALSE(protocol::ResultProof::ReadFrom(&reader, 1u << 20).ok());
+
+  // Hostile range: [0, 2^40) over a claimed huge tree.
+  Bytes range_wire;
+  range_wire.push_back(protocol::kResultProofVersion);
+  AppendUint64(&range_wire, 1);
+  AppendUint64(&range_wire, uint64_t{1} << 40);
+  range_wire.resize(range_wire.size() + 32, 0x11);
+  AppendUint32(&range_wire, 0);
+  range_wire.push_back(protocol::kProofPositionsRange);
+  AppendUint64(&range_wire, 0);
+  AppendUint64(&range_wire, uint64_t{1} << 40);
+  ByteReader range_reader(range_wire);
+  EXPECT_FALSE(
+      protocol::ResultProof::ReadFrom(&range_reader, 1u << 20).ok());
+
+  // Hostile sibling count with no bytes behind it: a structurally valid
+  // header followed by a 2^32-1 sibling claim and zero sibling bytes.
+  Bytes sibling_bomb;
+  sibling_bomb.push_back(protocol::kResultProofVersion);
+  AppendUint64(&sibling_bomb, 1);    // epoch
+  AppendUint64(&sibling_bomb, 100);  // leaf_count
+  sibling_bomb.resize(sibling_bomb.size() + 32, 0x22);  // root
+  AppendUint32(&sibling_bomb, 0);    // empty signature
+  sibling_bomb.push_back(protocol::kProofPositionsExplicit);
+  AppendUint32(&sibling_bomb, 0);    // no positions
+  AppendUint32(&sibling_bomb, 0xffffffffu);  // hostile sibling count
+  ByteReader bomb_reader(sibling_bomb);
+  EXPECT_FALSE(protocol::ResultProof::ReadFrom(&bomb_reader, 16).ok());
+}
+
+TEST(ProofFuzzTest, TamperedSelectResponsesRejectedByEnforcingClient) {
+  // End to end at the byte level: random single-byte corruptions of a
+  // whole kSelectResult response (documents or proof, wherever they
+  // land) against an enforcing client — every corruption must yield an
+  // error, never a silently accepted result. Corruptions that strike
+  // the envelope framing itself already fail in Parse.
+  server::UntrustedServer server;
+  crypto::HmacDrbg rng("fuzz-tamper", 31);
+  Bytes last_response;
+  bool tamper = false;
+  size_t tamper_at = 0;
+  client::Client client(
+      ToBytes("fuzz master"),
+      [&](const Bytes& request) {
+        Bytes response = server.HandleRequest(request);
+        last_response = response;
+        if (tamper && tamper_at < response.size()) {
+          response[tamper_at] ^= 0x01;
+        }
+        return response;
+      },
+      &rng);
+  client.set_verify_mode(client::VerifyMode::kEnforce);
+  auto schema = rel::Schema::Create({{"v", ValueType::kString, 8}});
+  rel::Relation table("T", *schema);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(table.Insert({Value::Str("x" + std::to_string(i % 2))}).ok());
+  }
+  ASSERT_TRUE(client.Outsource(table).ok());
+  ASSERT_TRUE(client.Select("T", "v", Value::Str("x1")).ok());
+  size_t response_size = last_response.size();
+  ASSERT_GT(response_size, 0u);
+
+  size_t step = std::max<size_t>(1, response_size / 97);
+  for (tamper_at = 0; tamper_at < response_size; tamper_at += step) {
+    tamper = true;
+    auto result = client.Select("T", "v", Value::Str("x1"));
+    EXPECT_FALSE(result.ok()) << "flip at byte " << tamper_at
+                              << " was accepted";
+    tamper = false;
+    ASSERT_TRUE(client.Select("T", "v", Value::Str("x1")).ok())
+        << "honest select failed after rejection at byte " << tamper_at;
+  }
 }
 
 TEST(FrameFuzzTest, OversizedAndGarbageHeadersPoisonPermanently) {

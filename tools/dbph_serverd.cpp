@@ -8,7 +8,11 @@
 //   dbph_serverd --port=7690 [--bind=ADDR] [--threads=N] [--shards=N]
 //                [--persist=DIR] [--fsync=always|batch]
 //                [--max-conns=N] [--idle-timeout-ms=N]
-//                [--index=on|off] [--observation=full|aggregate]
+//                [--index=on|off] [--integrity=on|off]
+//                [--observation=full|aggregate]
+//
+// Full flag reference (kept in lockstep with --help and CI's docs
+// check): docs/OPERATIONS.md.
 //
 //   --index=on      (default) trapdoor posting-list index: repeated
 //                   trapdoors are answered from memoized match sets
@@ -23,6 +27,13 @@
 //                   maintaining the memo (default 16384, 0 = unlimited);
 //                   entries beyond the budget are evicted, not served
 //                   stale. Raise for bulk-append workloads.
+//   --integrity=on  (default) result integrity: maintain per-relation
+//                   Merkle trees over the stored ciphertext and attach
+//                   a result proof to every select / fetch / delete
+//                   response, so a verifying client (VerifyMode Warn or
+//                   Enforce) detects dropped, substituted, reordered, or
+//                   replayed rows. Proofs are identical on both planner
+//                   access paths. off restores the PR-4 wire format.
 //   --observation=full       keep every query observation verbatim
 //                   (trapdoor bytes + matched ids) — the Section 2
 //                   games' input; memory grows with query count.
@@ -95,6 +106,27 @@ bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+/// Printed by --help and on an unknown flag. Every flag listed here must
+/// be documented in docs/OPERATIONS.md — scripts/ci.sh cross-checks the
+/// two and fails the build on drift.
+const char kUsage[] =
+    "usage: dbph_serverd [flags]\n"
+    "  --port=N                listen port (default 7690)\n"
+    "  --bind=ADDR             bind address (default 0.0.0.0)\n"
+    "  --threads=N             batch worker threads (0 = hardware)\n"
+    "  --shards=N              shards per relation scan (0 = 4x workers)\n"
+    "  --max-conns=N           concurrent connection cap\n"
+    "  --idle-timeout-ms=N     reap idle connections after N ms\n"
+    "  --persist=DIR           continuous durability (WAL + snapshots)\n"
+    "  --fsync=always|batch    WAL sync policy (with --persist)\n"
+    "  --index=on|off          trapdoor posting-list index (default on)\n"
+    "  --index-capacity=N      memoized trapdoors per relation\n"
+    "  --index-append-budget=N index maintenance budget per append\n"
+    "  --integrity=on|off      Merkle result proofs (default on)\n"
+    "  --observation=full|aggregate  observation log mode\n"
+    "  --help                  print this and exit\n"
+    "full reference: docs/OPERATIONS.md\n";
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,12 +137,17 @@ int main(int argc, char** argv) {
   std::string persist_dir;
   std::string fsync_mode;
   std::string index_mode;
+  std::string integrity_mode;
   std::string observation_mode;
 
   size_t port = net_options.port;
   size_t max_conns = net_options.max_connections;
   size_t idle_ms = static_cast<size_t>(net_options.idle_timeout_ms);
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
     bool bad_value = false;
     if (ParseSizeFlag(argv[i], "--port=", &port, &bad_value) ||
         ParseSizeFlag(argv[i], "--threads=", &runtime_options.num_threads,
@@ -126,6 +163,7 @@ int main(int argc, char** argv) {
         ParseStringFlag(argv[i], "--bind=", &net_options.bind_address) ||
         ParseStringFlag(argv[i], "--fsync=", &fsync_mode) ||
         ParseStringFlag(argv[i], "--index=", &index_mode) ||
+        ParseStringFlag(argv[i], "--integrity=", &integrity_mode) ||
         ParseStringFlag(argv[i], "--observation=", &observation_mode) ||
         ParseStringFlag(argv[i], "--persist=", &persist_dir)) {
       if (bad_value) {
@@ -134,14 +172,7 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    std::fprintf(stderr,
-                 "unknown flag '%s'\n"
-                 "usage: dbph_serverd [--port=N] [--bind=ADDR] [--threads=N]"
-                 " [--shards=N] [--persist=DIR] [--fsync=always|batch]"
-                 " [--max-conns=N] [--idle-timeout-ms=N] [--index=on|off]"
-                 " [--index-capacity=N] [--index-append-budget=N]"
-                 " [--observation=full|aggregate]\n",
-                 argv[i]);
+    std::fprintf(stderr, "unknown flag '%s'\n%s", argv[i], kUsage);
     return 2;
   }
   if (port == 0 || port > 65535) {
@@ -167,6 +198,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   runtime_options.enable_trapdoor_index = index_mode == "on";
+  if (integrity_mode.empty()) integrity_mode = "on";
+  if (integrity_mode != "on" && integrity_mode != "off") {
+    std::fprintf(stderr, "--integrity must be 'on' or 'off', got '%s'\n",
+                 integrity_mode.c_str());
+    return 2;
+  }
+  runtime_options.enable_integrity = integrity_mode == "on";
   if (observation_mode.empty()) observation_mode = "full";
   if (observation_mode != "full" && observation_mode != "aggregate") {
     std::fprintf(stderr,
