@@ -44,11 +44,18 @@
 // VerifyMode::kEnforce, over identical ciphertext, splitting server-side
 // proof generation from client-side verification; asserts verified
 // results match the baseline.
+//
+// Stats mode: --stats [--repeats=N] measures the observability layer
+// itself: point-select throughput with metrics on vs off over identical
+// ciphertext (the acceptance bar is qps_on >= 0.98 * qps_off), plus the
+// dispatch-lock wait share of select latency and a kStats round-trip
+// check, all read back from the live registry.
 
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -323,6 +330,7 @@ struct ParallelBenchConfig {
   bool index = false;       // scan vs trapdoor-index select throughput
   size_t repeats = 50;      // repeated-trapdoor selects per side (--index)
   bool integrity = false;   // Merkle proof generation/verification overhead
+  bool stats = false;       // metrics overhead + lock-wait share (--stats)
 };
 
 /// One in-process deployment; `options` tunes the server runtime. The
@@ -889,6 +897,133 @@ int RunIntegrityBench(const ParallelBenchConfig& config) {
   return all_ok ? 0 : 1;
 }
 
+// ------------- metrics overhead + lock-wait share (JSON mode) ----------------
+
+int RunStatsBench(const ParallelBenchConfig& config) {
+  // Identical ciphertext (same DRBG seeds), one deployment with the obs
+  // layer's clock reads and atomics, one with the metrics-off fast path.
+  server::ServerRuntimeOptions off_options;
+  off_options.enable_metrics = false;
+  server::ServerRuntimeOptions on_options;
+  on_options.enable_metrics = true;
+  E6Deployment off(off_options);
+  E6Deployment on(on_options);
+
+  std::fprintf(stderr, "outsourcing %zu documents twice...\n", config.docs);
+  rel::Relation table = BenchTable(config.docs);
+  if (!off.client.Outsource(table).ok() || !on.client.Outsource(table).ok()) {
+    std::fprintf(stderr, "outsource failed\n");
+    return 1;
+  }
+
+  // Warm-up memoizes the point probe on both sides, so the timed loop
+  // measures the index-path point select — the workload where per-request
+  // instrumentation overhead is largest relative to the work done.
+  const rel::Value probe = rel::Value::Str("k42");
+  auto expected = off.client.Select("T", "key", probe);
+  auto warm = on.client.Select("T", "key", probe);
+  if (!expected.ok() || !warm.ok()) {
+    std::fprintf(stderr, "warm-up select failed\n");
+    return 1;
+  }
+  bool results_match = expected->SameTuples(*warm);
+
+  // The two sides alternate in small chunks inside each round, so a
+  // scheduler or VM-steal spike lands on both nearly equally instead of
+  // skewing whichever ~100ms block it happened to hit — the ratio is
+  // sub-percent, far below whole-window noise on a busy host. Chunk
+  // order flips every pair (ABBA) so interference that is phase-locked
+  // to the chunk cadence cannot systematically tax one side.
+  const size_t chunk = 100;
+  double off_best = 0, on_best = 0;
+  std::vector<double> pair_ratios;
+  for (size_t round = 0; round < config.rounds; ++round) {
+    double off_elapsed = 0, on_elapsed = 0;
+    bool off_first = true;
+    for (size_t done = 0; done < config.repeats;
+         done += chunk, off_first = !off_first) {
+      const size_t n = std::min(chunk, config.repeats - done);
+      double off_chunk = 0, on_chunk = 0;
+      const auto run_off = [&]() -> bool {
+        Stopwatch timer;
+        for (size_t i = 0; i < n; ++i) {
+          if (!off.client.Select("T", "key", probe).ok()) return false;
+        }
+        off_chunk = timer.ElapsedSeconds();
+        return true;
+      };
+      const auto run_on = [&]() -> bool {
+        Stopwatch timer;
+        for (size_t i = 0; i < n; ++i) {
+          if (!on.client.Select("T", "key", probe).ok()) return false;
+        }
+        on_chunk = timer.ElapsedSeconds();
+        return true;
+      };
+      if (off_first ? !(run_off() && run_on()) : !(run_on() && run_off())) {
+        return 1;
+      }
+      off_elapsed += off_chunk;
+      on_elapsed += on_chunk;
+      if (on_chunk > 0) pair_ratios.push_back(off_chunk / on_chunk);
+    }
+    if (round == 0 || off_elapsed < off_best) off_best = off_elapsed;
+    if (round == 0 || on_elapsed < on_best) on_best = on_elapsed;
+  }
+  double off_qps = static_cast<double>(config.repeats) / off_best;
+  double on_qps = static_cast<double>(config.repeats) / on_best;
+  // The reported ratio is the MEDIAN of per-pair ratios, not the ratio
+  // of the two best windows: each ~6ms pair is an independent paired
+  // sample, and the median discards the minority of pairs a VM-steal or
+  // scheduler burst corrupted — the only estimator that stays stable on
+  // a bursty shared host.
+  double overhead_ratio = 1.0;
+  if (!pair_ratios.empty()) {
+    std::nth_element(pair_ratios.begin(),
+                     pair_ratios.begin() + pair_ratios.size() / 2,
+                     pair_ratios.end());
+    overhead_ratio = pair_ratios[pair_ratios.size() / 2];
+  }
+
+  // Read the answer back through the surface under test: one kStats
+  // round trip, then the lock-wait share of select latency out of the
+  // histograms (single dispatcher here, so waits should be ~zero — the
+  // point of reporting the share is that operators can see when they
+  // are not).
+  auto snapshot = on.client.Stats();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "kStats round trip failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  auto requests = snapshot->counters.find("dbph_requests_total");
+  bool stats_roundtrip_ok =
+      requests != snapshot->counters.end() && requests->second > 0;
+  double lock_wait_share = 0;
+  uint64_t select_count = 0;
+  auto lock_wait = snapshot->histograms.find("dbph_dispatch_lock_wait_seconds");
+  auto selects = snapshot->histograms.find("dbph_select_seconds");
+  if (lock_wait != snapshot->histograms.end() &&
+      selects != snapshot->histograms.end() && selects->second.sum > 0) {
+    select_count = selects->second.count;
+    lock_wait_share = static_cast<double>(lock_wait->second.sum) /
+                      static_cast<double>(selects->second.sum);
+  }
+
+  std::printf(
+      "{\"bench\":\"e6_stats\",\"docs\":%zu,\"repeats\":%zu,\"rounds\":%zu,"
+      "\"result_size\":%zu,\"qps_metrics_off\":%.2f,\"qps_metrics_on\":%.2f,"
+      "\"overhead_ratio\":%.4f,\"select_count\":%llu,"
+      "\"lock_wait_share\":%.6f,\"stats_roundtrip_ok\":%s,"
+      "\"results_match\":%s}\n",
+      config.docs, config.repeats, config.rounds, expected->size(), off_qps,
+      on_qps, overhead_ratio,
+      static_cast<unsigned long long>(select_count), lock_wait_share,
+      stats_roundtrip_ok ? "true" : "false",
+      results_match ? "true" : "false");
+  return (stats_roundtrip_ok && results_match) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -923,6 +1058,8 @@ int main(int argc, char** argv) {
       config.index = true;
     } else if (std::strcmp(argv[i], "--integrity") == 0) {
       config.integrity = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      config.stats = true;
     }
   }
   if (clients_flag && !config.network) {
@@ -934,10 +1071,12 @@ int main(int argc, char** argv) {
                  "--mutations only applies to --durability/--integrity\n");
     return 2;
   }
-  if (repeats_flag && !config.index && !config.integrity) {
-    std::fprintf(stderr, "--repeats only applies to --index/--integrity\n");
+  if (repeats_flag && !config.index && !config.integrity && !config.stats) {
+    std::fprintf(stderr,
+                 "--repeats only applies to --index/--integrity/--stats\n");
     return 2;
   }
+  if (config.stats) return RunStatsBench(config);
   if (config.integrity) return RunIntegrityBench(config);
   if (config.index) return RunIndexBench(config);
   if (config.durability) return RunDurabilityBench(config);

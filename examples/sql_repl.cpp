@@ -191,8 +191,8 @@ int main(int argc, char** argv) {
             << table->schema().attribute(0).name << " = ...;\n"
             << "EXPLAIN SELECT ... shows the server's plan (index vs scan)\n"
             << "without executing. VERIFY ENFORCE|WARN|OFF toggles Merkle\n"
-            << "result verification. Ctrl-D or \\q to quit, \\eve to dump\n"
-            << "Eve's transcript.\n\n";
+            << "result verification. STATS dumps the server's live metrics.\n"
+            << "Ctrl-D or \\q to quit, \\eve to dump Eve's transcript.\n\n";
 
   // VERIFY <mode>: the REPL's switch for client-side result integrity.
   // Turning it on anchors to the server's *current* state (trust on
@@ -241,6 +241,24 @@ int main(int argc, char** argv) {
     if (line == "\\q") break;
     if (line.rfind("VERIFY", 0) == 0 || line.rfind("verify", 0) == 0) {
       handle_verify(line);
+      continue;
+    }
+    if (line == "STATS" || line == "stats") {
+      // One kStats round trip: the server's live registry — per-op
+      // counters, stage latencies, net/WAL/index gauges — rendered as a
+      // table. Works in-process and over --connect alike.
+      auto stats = alex.Stats();
+      if (!stats.ok()) {
+        std::cout << "error: " << stats.status() << "\n";
+        continue;
+      }
+      std::cout << stats->RenderText();
+      auto verify = alex.verify_latency().Snapshot();
+      if (verify.count > 0) {
+        std::cout << "client proof verification: " << verify.count
+                  << " responses, p50 " << verify.P50() << "us, p99 "
+                  << verify.P99() << "us\n";
+      }
       continue;
     }
     if (line == "\\eve") {

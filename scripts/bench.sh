@@ -2,9 +2,9 @@
 # Performance trajectory snapshot: runs every bench_e6_performance JSON
 # mode — sequential-vs-parallel batch (--threads/--batch), multi-client
 # network (--network), mutation durability (--durability), scan-vs-
-# trapdoor-index (--index), and Merkle proof overhead (--integrity) —
-# and writes the combined results plus run metadata to BENCH_e6.json at
-# the repo root. Committing that file after meaningful perf work is how
+# trapdoor-index (--index), Merkle proof overhead (--integrity), and
+# metrics overhead + lock-wait share (--stats) — and writes the combined
+# results plus run metadata to BENCH_e6.json at the repo root. Committing that file after meaningful perf work is how
 # the repo tracks throughput across hardware and revisions. The JSON
 # record schema is documented in docs/OPERATIONS.md.
 #
@@ -32,6 +32,10 @@ PAR_DOCS=20000 PAR_BATCH=16 PAR_ROUNDS=2
 NET_DOCS=10000 NET_CLIENTS=2 NET_BATCH=8 NET_ROUNDS=2
 DUR_DOCS=1000 DUR_MUTATIONS=300 DUR_ROUNDS=3
 INTEG_DOCS="${DBPH_BENCH_DOCS:-100000}" INTEG_REPEATS=20 INTEG_MUTATIONS=300
+# Stats mode needs long timed windows: at ~16k point-select qps a few
+# hundred repeats is a ~10ms window and scheduler noise swamps the
+# sub-1% instrumentation cost being measured.
+STATS_DOCS=20000 STATS_REPEATS=2000 STATS_ROUNDS=5
 OUT="BENCH_e6.json"
 if [ "${DBPH_BENCH_SMOKE:-0}" = "1" ]; then
   INDEX_DOCS=2000 INDEX_REPEATS=5
@@ -39,6 +43,7 @@ if [ "${DBPH_BENCH_SMOKE:-0}" = "1" ]; then
   NET_DOCS=1000 NET_BATCH=4 NET_ROUNDS=1
   DUR_DOCS=500 DUR_MUTATIONS=100 DUR_ROUNDS=1
   INTEG_DOCS=2000 INTEG_REPEATS=5 INTEG_MUTATIONS=50
+  STATS_DOCS=2000 STATS_REPEATS=50 STATS_ROUNDS=1
   OUT="BENCH_e6.smoke.json"
 fi
 
@@ -54,6 +59,8 @@ trap 'rm -f "$LINES"' EXIT
 "$BIN" --index --docs="$INDEX_DOCS" --repeats="$INDEX_REPEATS" >> "$LINES"
 "$BIN" --integrity --docs="$INTEG_DOCS" --repeats="$INTEG_REPEATS" \
   --mutations="$INTEG_MUTATIONS" >> "$LINES"
+"$BIN" --stats --docs="$STATS_DOCS" --repeats="$STATS_REPEATS" \
+  --rounds="$STATS_ROUNDS" >> "$LINES"
 
 {
   printf '{\n'

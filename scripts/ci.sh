@@ -74,12 +74,16 @@ run_tsan_stage() {
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  # obs_metrics_test rides along by design: the registry's wait-free
+  # recording claims (relaxed atomics, copy-under-write histograms) are
+  # worthless unless a data-race detector actually watches them.
   cmake --build "$tsan_dir" -j "$(nproc)" --target \
     runtime_test runtime_parallel_test net_frame_test net_server_test \
     net_interleave_test protocol_fuzz_test wal_recovery_test \
-    differential_test server_persistence_test planner_test sql_test
+    differential_test server_persistence_test planner_test sql_test \
+    obs_metrics_test
   ctest --test-dir "$tsan_dir" --output-on-failure --no-tests=error \
-    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql' \
+    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql|obs_metrics' \
     -j "$(nproc)"
 }
 
@@ -150,7 +154,54 @@ if [ -x "$BUILD_DIR/bench_e6_performance" ]; then
   # vs the proof-free baseline, asserting identical results.
   "$BUILD_DIR/bench_e6_performance" --integrity --docs=2000 --repeats=5 \
     --mutations=50
+  # ...and the stats mode: metrics-on vs metrics-off point selects,
+  # asserting the kStats round trip works and results match.
+  "$BUILD_DIR/bench_e6_performance" --stats --docs=2000 --repeats=50 \
+    --rounds=1
 fi
+
+# Metrics smoke + name-drift check: start a daemon with the Prometheus
+# endpoint, drive real queries through the SQL REPL, scrape /metrics,
+# and (a) assert one series from every instrumented layer is present,
+# (b) fail if the daemon exports any dbph_* name that is not documented
+# in docs/OPERATIONS.md — new instruments must land with their docs.
+METRICS_DIR="$(mktemp -d)"
+"$BUILD_DIR/dbph_serverd" --port=17692 --bind=127.0.0.1 \
+  --metrics-port=17693 --persist="$METRICS_DIR" --fsync=always &
+SERVERD_PID=$!
+sleep 1
+printf "SELECT * FROM Emp WHERE dept = 'HR';\nSTATS\n\\\\q\n" \
+  | "$BUILD_DIR/example_sql_repl" --connect=127.0.0.1:17692 \
+  | grep -q "dbph_requests_total"
+SCRAPE="$METRICS_DIR/metrics.prom"
+exec 3<>/dev/tcp/127.0.0.1/17693
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+cat <&3 > "$SCRAPE"
+exec 3<&- 3>&-
+kill "$SERVERD_PID"
+wait "$SERVERD_PID"
+grep -q "HTTP/1.0 200 OK" "$SCRAPE"
+for series in dbph_requests_total dbph_select_seconds_bucket \
+    dbph_dispatch_lock_wait_seconds_sum dbph_net_frames_in_total \
+    dbph_wal_append_records_total dbph_index_trapdoors \
+    dbph_integrity_proof_build_seconds_count; do
+  grep -q "^$series" "$SCRAPE" \
+    || { echo "metrics smoke: $series missing from scrape" >&2; exit 1; }
+done
+DRIFT=0
+while IFS= read -r name; do
+  # Per-op counters are a documented family, not individual rows.
+  doc_name="$(echo "$name" \
+    | sed -E 's/^dbph_op_[a-z]+_total$/dbph_op_<op>_total/')"
+  if ! grep -q -- "$doc_name" docs/OPERATIONS.md; then
+    echo "metrics drift: $name exported but not in docs/OPERATIONS.md" >&2
+    DRIFT=1
+  fi
+done < <(grep -oE '^dbph_[a-z_]+' "$SCRAPE" \
+           | sed -E 's/_(bucket|sum|count)$//' | sort -u)
+[ "$DRIFT" = "0" ]
+rm -rf "$METRICS_DIR"
+echo "metrics smoke + drift check OK"
 
 # End-to-end crash drill: outsource a relation through a live daemon,
 # kill -9 it, and assert the restarted daemon recovers that relation

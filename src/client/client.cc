@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
 #include "protocol/messages.h"
@@ -93,6 +94,7 @@ Status Client::VerifyResultTrailer(
     const std::vector<swp::EncryptedDocument>& docs, ByteReader* reader,
     bool require_complete) {
   if (verify_mode_ == VerifyMode::kOff) return Status::OK();
+  Stopwatch verify_watch;
   Status verdict = [&]() -> Status {
     if (reader->AtEnd()) {
       return Status::DataLoss(
@@ -196,6 +198,7 @@ Status Client::VerifyResultTrailer(
     }
     return Status::OK();
   }();
+  verify_latency_.Record(static_cast<uint64_t>(verify_watch.ElapsedMicros()));
   if (!verdict.ok()) {
     if (verify_mode_ == VerifyMode::kWarn) {
       DBPH_LOG(Warning) << "integrity: '" << relation
@@ -729,6 +732,20 @@ Status Client::Flush() {
                         Call(transport_, request, MessageType::kFlushOk));
   (void)response;
   return Status::OK();
+}
+
+Result<obs::RegistrySnapshot> Client::Stats() {
+  Envelope request;
+  request.type = MessageType::kStats;
+  DBPH_ASSIGN_OR_RETURN(Envelope response,
+                        Call(transport_, request, MessageType::kStatsResult));
+  ByteReader reader(response.payload);
+  DBPH_ASSIGN_OR_RETURN(obs::RegistrySnapshot snapshot,
+                        obs::RegistrySnapshot::ReadFrom(&reader));
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes after stats snapshot");
+  }
+  return snapshot;
 }
 
 Status Client::Drop(const std::string& relation) {

@@ -12,6 +12,7 @@
 #include "crypto/merkle.h"
 #include "crypto/random.h"
 #include "dbph/scheme.h"
+#include "obs/metrics.h"
 #include "protocol/plan_report.h"
 #include "protocol/result_proof.h"
 #include "relation/relation.h"
@@ -139,6 +140,17 @@ class Client {
   /// answers trivially). Keys-free, leaks only timing.
   Status Flush();
 
+  /// Fetches the server's live metrics snapshot (kStats): per-op
+  /// counters, stage latency histograms, net/WAL/index gauges. Keys-free
+  /// and read-only; the STATS REPL command and operator tooling render
+  /// the result with RenderText()/RenderPrometheus().
+  Result<obs::RegistrySnapshot> Stats();
+
+  /// Client-side proof verification latency (microseconds per verified
+  /// response) — the client's own cost of the integrity layer. Records
+  /// only while verify_mode is Warn/Enforce.
+  const obs::Histogram& verify_latency() const { return verify_latency_; }
+
   // -------- result integrity (Merkle-authenticated responses) --------
 
   /// Selects how strictly responses are verified. Switching modes mid-
@@ -227,6 +239,7 @@ class Client {
   std::map<std::string, std::unique_ptr<core::DatabasePh>> schemes_;
   VerifyMode verify_mode_ = VerifyMode::kOff;
   std::map<std::string, IntegrityState> integrity_;
+  obs::Histogram verify_latency_{obs::Unit::kMicros};
 };
 
 }  // namespace client

@@ -1,11 +1,16 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
 
 namespace dbph {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,21 +25,58 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+std::atomic<LogLevel> g_level{
+    ParseLogLevel(std::getenv("DBPH_LOG_LEVEL"), LogLevel::kWarning)};
+
+/// ISO-8601 UTC with millisecond precision: 2026-08-07T12:34:56.789Z.
+/// The one sanctioned system_clock use in the codebase — human-facing
+/// timestamps; durations are always Stopwatch (steady_clock).
+std::string Iso8601UtcNow() {
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000;
+  std::tm utc{};
+  ::gmtime_r(&seconds, &utc);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+LogLevel ParseLogLevel(const char* value, LogLevel fallback) {
+  if (value == nullptr) return fallback;
+  std::string text(value);
+  for (char& c : text) c = static_cast<char>(std::tolower(c));
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarning;
+  if (text == "error") return LogLevel::kError;
+  return fallback;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  stream_ << Iso8601UtcNow() << " [" << LevelName(level) << " tid="
+          << std::this_thread::get_id() << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel()) {
-    std::cerr << stream_.str() << "\n";
+    // One stream insertion per line: concurrent threads may interleave
+    // lines but never characters within a line.
+    std::cerr << stream_.str() + "\n";
   }
 }
 

@@ -10,8 +10,15 @@ namespace dbph {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// \brief Process-wide minimum level; messages below it are dropped.
+/// The initial level comes from the DBPH_LOG_LEVEL environment variable
+/// (debug|info|warn|error, case-insensitive), default kWarning.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// The DBPH_LOG_LEVEL parser, exposed for tests and tooling: maps
+/// "debug" / "info" / "warn" / "warning" / "error" (any case) to a
+/// level; null or unrecognized input returns `fallback`.
+LogLevel ParseLogLevel(const char* value, LogLevel fallback);
 
 namespace internal {
 

@@ -6,9 +6,15 @@
 
 namespace dbph {
 
-/// \brief Monotonic wall-clock stopwatch used by the experiment harnesses.
+/// \brief The project's one monotonic timer: steady_clock based, immune
+/// to wall-clock steps (NTP, DST). Everything that measures a duration —
+/// obs::ScopedStageTimer spans, the bench harnesses, the net loop's idle
+/// clock — goes through this; std::chrono::system_clock is reserved for
+/// timestamps shown to humans (the log line prefix).
 class Stopwatch {
  public:
+  using Clock = std::chrono::steady_clock;
+
   Stopwatch() : start_(Clock::now()) {}
 
   void Reset() { start_ = Clock::now(); }
@@ -17,14 +23,25 @@ class Stopwatch {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
   int64_t ElapsedMicros() const {
     return std::chrono::duration_cast<std::chrono::microseconds>(
                Clock::now() - start_)
         .count();
   }
 
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

@@ -142,6 +142,25 @@ struct NetServer::Connection {
   bool reg_write = false;
 };
 
+/// One Prometheus scrape: read a request until the blank line, answer
+/// with the metrics snapshot, close. Deliberately minimal HTTP — no
+/// keep-alive, no chunking — because scrapers speak HTTP/1.0 happily
+/// and the connection lives for one round trip.
+struct NetServer::HttpConnection {
+  explicit HttpConnection(UniqueFd fd_in) : fd(std::move(fd_in)) {}
+
+  /// Request headers larger than this kill the connection; a scrape
+  /// request is a GET line plus a handful of headers.
+  static constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+  UniqueFd fd;
+  std::string request;
+  std::string response;
+  size_t written = 0;
+  bool have_response = false;
+  int64_t last_active_ms = 0;
+};
+
 // -------------------------------------------------------------- lifecycle
 
 NetServer::NetServer(server::UntrustedServer* server, NetServerOptions options)
@@ -165,6 +184,35 @@ Status NetServer::Start() {
   DBPH_RETURN_IF_ERROR(SetNonBlocking(listen_fd_.get()));
   DBPH_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
 
+  if (options_.metrics_port >= 0) {
+    auto listen = ListenOn(options_.bind_address,
+                           static_cast<uint16_t>(options_.metrics_port),
+                           options_.backlog);
+    if (!listen.ok()) {
+      listen_fd_.Reset();
+      return listen.status();
+    }
+    metrics_listen_fd_ = std::move(listen).value();
+    DBPH_RETURN_IF_ERROR(SetNonBlocking(metrics_listen_fd_.get()));
+    DBPH_ASSIGN_OR_RETURN(metrics_port_, LocalPort(metrics_listen_fd_.get()));
+  }
+
+  // Transport-layer instruments live in the server's registry so one
+  // stats surface (kStats, the scrape endpoint) covers net + dispatch +
+  // storage together.
+  obs::MetricsRegistry* registry = server_->metrics();
+  ins_.accepted = registry->GetCounter("dbph_net_connections_accepted_total");
+  ins_.rejected = registry->GetCounter("dbph_net_connections_rejected_total");
+  ins_.frames_in = registry->GetCounter("dbph_net_frames_in_total");
+  ins_.frames_out = registry->GetCounter("dbph_net_frames_out_total");
+  ins_.reaped_idle =
+      registry->GetCounter("dbph_net_connections_reaped_idle_total");
+  ins_.framing_errors = registry->GetCounter("dbph_net_framing_errors_total");
+  ins_.backpressure_stalls =
+      registry->GetCounter("dbph_net_backpressure_stalls_total");
+  ins_.scrapes = registry->GetCounter("dbph_net_metrics_scrapes_total");
+  ins_.open_connections = registry->GetGauge("dbph_net_connections_open");
+
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
     listen_fd_.Reset();
@@ -178,6 +226,9 @@ Status NetServer::Start() {
   DBPH_RETURN_IF_ERROR(poller_->Init());
   poller_->Add(listen_fd_.get(), true, false);
   poller_->Add(wake_read_.get(), true, false);
+  if (metrics_listen_fd_.valid()) {
+    poller_->Add(metrics_listen_fd_.get(), true, false);
+  }
 
   // Debug contract: while this NetServer runs, it is the sole dispatcher
   // (see untrusted_server.h for the single-writer model).
@@ -198,7 +249,9 @@ void NetServer::Stop() {
   running_.store(false, std::memory_order_release);
   poller_.reset();
   connections_.clear();
+  http_connections_.clear();
   listen_fd_.Reset();
+  metrics_listen_fd_.Reset();
   wake_read_.Reset();
   wake_write_.Reset();
 }
@@ -211,6 +264,9 @@ NetServer::Stats NetServer::stats() const {
   s.frames_out = frames_out_.load(std::memory_order_relaxed);
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.framing_errors = framing_errors_.load(std::memory_order_relaxed);
+  s.backpressure_stalls =
+      backpressure_stalls_.load(std::memory_order_relaxed);
+  s.metrics_scrapes = metrics_scrapes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -237,6 +293,19 @@ void NetServer::Loop() {
         if (event.readable) AcceptNew();
         continue;
       }
+      if (metrics_listen_fd_.valid() &&
+          event.fd == metrics_listen_fd_.get()) {
+        if (event.readable) AcceptMetrics();
+        continue;
+      }
+      if (auto http_it = http_connections_.find(event.fd);
+          http_it != http_connections_.end()) {
+        HttpConnection* http = http_it->second.get();
+        bool alive = !event.error;
+        if (alive) alive = ServiceMetricsConnection(http, event.readable);
+        if (!alive) CloseMetricsConnection(event.fd);
+        continue;
+      }
       auto it = connections_.find(event.fd);
       if (it == connections_.end()) continue;
       Connection* conn = it->second.get();
@@ -253,6 +322,7 @@ void NetServer::Loop() {
     (void)conn->writer.FlushTo(fd);
   }
   connections_.clear();
+  http_connections_.clear();
 }
 
 void NetServer::AcceptNew() {
@@ -262,6 +332,7 @@ void NetServer::AcceptNew() {
     UniqueFd fd(raw);
     if (connections_.size() >= options_.max_connections) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      ins_.rejected->Add();
       continue;  // fd closes on scope exit: the peer sees EOF
     }
     if (!SetNonBlocking(fd.get()).ok()) continue;
@@ -274,7 +345,95 @@ void NetServer::AcceptNew() {
     poller_->Add(key, true, false);
     connections_.emplace(key, std::move(conn));
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    ins_.accepted->Add();
+    ins_.open_connections->Set(static_cast<int64_t>(connections_.size()));
   }
+}
+
+void NetServer::AcceptMetrics() {
+  // Scrape connections share the frame-side connection cap: a scraper
+  // cannot starve query traffic of fds past max_connections total.
+  while (true) {
+    int raw = ::accept(metrics_listen_fd_.get(), nullptr, nullptr);
+    if (raw < 0) return;
+    UniqueFd fd(raw);
+    if (http_connections_.size() >= options_.max_connections) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ins_.rejected->Add();
+      continue;
+    }
+    if (!SetNonBlocking(fd.get()).ok()) continue;
+    auto conn = std::make_unique<HttpConnection>(std::move(fd));
+    conn->last_active_ms = NowMs();
+    int key = conn->fd.get();
+    poller_->Add(key, true, false);
+    http_connections_.emplace(key, std::move(conn));
+  }
+}
+
+bool NetServer::ServiceMetricsConnection(HttpConnection* conn,
+                                         bool readable) {
+  if (readable && !conn->have_response) {
+    char buf[4096];
+    while (true) {
+      ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->last_active_ms = NowMs();
+        conn->request.append(buf, static_cast<size_t>(n));
+        if (conn->request.size() > HttpConnection::kMaxRequestBytes) {
+          return false;
+        }
+        continue;
+      }
+      if (n == 0) return false;  // EOF before a full request
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (conn->request.find("\r\n\r\n") != std::string::npos ||
+        conn->request.find("\n\n") != std::string::npos) {
+      // CollectStats takes the dispatch lock itself; the loop thread is
+      // between HandleRequest calls here, so it does not hold it.
+      if (conn->request.compare(0, 4, "GET ") == 0) {
+        std::string body = server_->CollectStats().RenderPrometheus();
+        conn->response =
+            "HTTP/1.0 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            "Content-Length: " + std::to_string(body.size()) + "\r\n"
+            "Connection: close\r\n\r\n" + body;
+        metrics_scrapes_.fetch_add(1, std::memory_order_relaxed);
+        ins_.scrapes->Add();
+      } else {
+        conn->response =
+            "HTTP/1.0 405 Method Not Allowed\r\n"
+            "Content-Length: 0\r\nConnection: close\r\n\r\n";
+      }
+      conn->have_response = true;
+      poller_->Update(conn->fd.get(), false, true);
+    }
+  }
+
+  if (conn->have_response) {
+    while (conn->written < conn->response.size()) {
+      ssize_t n = ::send(conn->fd.get(), conn->response.data() + conn->written,
+                         conn->response.size() - conn->written, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->written += static_cast<size_t>(n);
+        conn->last_active_ms = NowMs();
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return false;  // response fully flushed: close
+  }
+  return true;
+}
+
+void NetServer::CloseMetricsConnection(int fd) {
+  poller_->Remove(fd);
+  http_connections_.erase(fd);
 }
 
 size_t NetServer::WriteBudget() const {
@@ -297,6 +456,7 @@ bool NetServer::ServiceConnection(Connection* conn, bool readable) {
         conn->last_active_ms = NowMs();
         if (!conn->reader.Feed(buf, static_cast<size_t>(n)).ok()) {
           framing_errors_.fetch_add(1, std::memory_order_relaxed);
+          ins_.framing_errors->Add();
           return false;
         }
         continue;
@@ -341,6 +501,7 @@ bool NetServer::DispatchBufferedFrames(Connection* conn) {
     auto frame = conn->reader.NextFrame();
     if (!frame) break;
     frames_in_.fetch_add(1, std::memory_order_relaxed);
+    ins_.frames_in->Add();
     Bytes response = server_->HandleRequest(*frame, this);
     if (!conn->writer.Enqueue(response).ok()) {
       // The response outgrew the frame cap (e.g. a fetch of a relation
@@ -352,10 +513,12 @@ bool NetServer::DispatchBufferedFrames(Connection* conn) {
                         .Serialize();
       if (!conn->writer.Enqueue(error).ok()) {
         framing_errors_.fetch_add(1, std::memory_order_relaxed);
+        ins_.framing_errors->Add();
         return false;
       }
     }
     frames_out_.fetch_add(1, std::memory_order_relaxed);
+    ins_.frames_out->Add();
   }
   return true;
 }
@@ -378,6 +541,13 @@ void NetServer::UpdateInterest(Connection* conn) {
                    conn->reader.buffered_bytes() <= WriteBudget();
   bool want_write = conn->writer.HasPending();
   if (want_read != conn->reg_read || want_write != conn->reg_write) {
+    // A live peer whose reads pause on the write/read budget is a
+    // backpressure stall — the interesting one for capacity planning
+    // (half-close read drops are lifecycle, not pressure).
+    if (conn->reg_read && !want_read && !conn->read_closed) {
+      backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+      ins_.backpressure_stalls->Add();
+    }
     conn->reg_read = want_read;
     conn->reg_write = want_write;
     poller_->Update(conn->fd.get(), want_read, want_write);
@@ -387,6 +557,7 @@ void NetServer::UpdateInterest(Connection* conn) {
 void NetServer::CloseConnection(int fd) {
   poller_->Remove(fd);
   connections_.erase(fd);
+  ins_.open_connections->Set(static_cast<int64_t>(connections_.size()));
 }
 
 void NetServer::ReapIdle(int64_t now_ms) {
@@ -398,8 +569,16 @@ void NetServer::ReapIdle(int64_t now_ms) {
   }
   for (int fd : stale) {
     timed_out_.fetch_add(1, std::memory_order_relaxed);
+    ins_.reaped_idle->Add();
     CloseConnection(fd);
   }
+  stale.clear();
+  for (const auto& [fd, conn] : http_connections_) {
+    if (now_ms - conn->last_active_ms >= options_.idle_timeout_ms) {
+      stale.push_back(fd);
+    }
+  }
+  for (int fd : stale) CloseMetricsConnection(fd);
 }
 
 }  // namespace net

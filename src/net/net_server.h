@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "protocol/messages.h"
 
 namespace dbph {
@@ -41,6 +42,13 @@ struct NetServerOptions {
   /// (TCP flow control) instead of growing the server's buffers. 0 =
   /// one max-size frame plus header slack.
   size_t max_pending_write_bytes = 0;
+  /// Plaintext-HTTP metrics listener on the same event loop: -1 disables
+  /// it (default), 0 binds an ephemeral port (read it back with
+  /// NetServer::metrics_http_port()), >0 binds that port. Any GET is
+  /// answered with the Prometheus text rendering of the server's metrics
+  /// snapshot and the connection is closed. Bound to bind_address, so it
+  /// stays loopback unless the frame port was opened up too.
+  int metrics_port = -1;
 };
 
 /// \brief The network face of Eve: an epoll/poll event loop hosting one
@@ -94,6 +102,10 @@ class NetServer {
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
 
+  /// The bound metrics port (valid after a successful Start when
+  /// options.metrics_port >= 0; otherwise 0).
+  uint16_t metrics_http_port() const { return metrics_port_; }
+
   struct Stats {
     uint64_t accepted = 0;         ///< connections accepted
     uint64_t rejected = 0;         ///< closed at accept: over the limit
@@ -101,15 +113,22 @@ class NetServer {
     uint64_t frames_out = 0;       ///< response frames queued
     uint64_t timed_out = 0;        ///< connections reaped as idle
     uint64_t framing_errors = 0;   ///< connections killed for bad framing
+    uint64_t backpressure_stalls = 0;  ///< reads paused on write budget
+    uint64_t metrics_scrapes = 0;  ///< HTTP scrapes answered
   };
   Stats stats() const;
 
  private:
   struct Connection;
+  struct HttpConnection;
   struct Poller;
 
   void Loop();
   void AcceptNew();
+  void AcceptMetrics();
+  /// One service pass on a metrics scrape connection; false = close.
+  bool ServiceMetricsConnection(HttpConnection* conn, bool readable);
+  void CloseMetricsConnection(int fd);
   /// One service pass: read (unless half-closed/backpressured), dispatch
   /// buffered frames within the write budget, flush. false = close.
   bool ServiceConnection(Connection* conn, bool readable);
@@ -129,12 +148,15 @@ class NetServer {
   NetServerOptions options_;
 
   UniqueFd listen_fd_;
+  UniqueFd metrics_listen_fd_;
   UniqueFd wake_read_;
   UniqueFd wake_write_;
   uint16_t port_ = 0;
+  uint16_t metrics_port_ = 0;
 
   std::unique_ptr<Poller> poller_;
   std::map<int, std::unique_ptr<Connection>> connections_;
+  std::map<int, std::unique_ptr<HttpConnection>> http_connections_;
 
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
@@ -146,6 +168,24 @@ class NetServer {
   std::atomic<uint64_t> frames_out_{0};
   std::atomic<uint64_t> timed_out_{0};
   std::atomic<uint64_t> framing_errors_{0};
+  std::atomic<uint64_t> backpressure_stalls_{0};
+  std::atomic<uint64_t> metrics_scrapes_{0};
+
+  /// Registry instruments mirroring the atomics above, registered in
+  /// Start() against the UntrustedServer's registry so one kStats /
+  /// scrape response covers the transport too. Owned by the registry.
+  struct NetInstruments {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* reaped_idle = nullptr;
+    obs::Counter* framing_errors = nullptr;
+    obs::Counter* backpressure_stalls = nullptr;
+    obs::Counter* scrapes = nullptr;
+    obs::Gauge* open_connections = nullptr;
+  };
+  NetInstruments ins_;
 };
 
 }  // namespace net

@@ -1,0 +1,307 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace obs {
+
+// ------------------------------------------------------------- histogram
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  const size_t bits = static_cast<size_t>(std::bit_width(value));
+  return std::min(bits, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= 63) return UINT64_MAX;
+  return (uint64_t{1} << index) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+static_assert(std::tuple_size<decltype(HistogramDelta::buckets)>::value ==
+                  Histogram::kNumBuckets,
+              "HistogramDelta bucket layout must match Histogram");
+
+void HistogramDelta::Add(uint64_t value) {
+  ++buckets[Histogram::BucketIndex(value)];
+  ++count;
+  sum += value;
+  if (value > max) max = value;
+}
+
+void Histogram::Merge(const HistogramDelta& delta) {
+  if (delta.count == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (delta.buckets[i] != 0) {
+      buckets_[i].fetch_add(delta.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(delta.count, std::memory_order_relaxed);
+  sum_.fetch_add(delta.sum, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (delta.max > seen && !max_.compare_exchange_weak(
+                                 seen, delta.max, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::CopyFrom(const Histogram& other) {
+  count_.store(other.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  sum_.store(other.sum_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  max_.store(other.max_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.unit = unit_;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  snapshot.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return std::min(Histogram::BucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+// ------------------------------------------------------------- registry
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, Unit unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(unit);
+  return slot.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+// ---------------------------------------------------------- serialization
+
+void RegistrySnapshot::AppendTo(Bytes* out) const {
+  AppendUint32(out, static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    AppendLengthPrefixed(out, ToBytes(name));
+    AppendUint64(out, value);
+  }
+  AppendUint32(out, static_cast<uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    AppendLengthPrefixed(out, ToBytes(name));
+    AppendUint64(out, static_cast<uint64_t>(value));
+  }
+  AppendUint32(out, static_cast<uint32_t>(histograms.size()));
+  for (const auto& [name, histogram] : histograms) {
+    AppendLengthPrefixed(out, ToBytes(name));
+    out->push_back(static_cast<uint8_t>(histogram.unit));
+    AppendUint64(out, histogram.count);
+    AppendUint64(out, histogram.sum);
+    AppendUint64(out, histogram.max);
+    AppendUint32(out, static_cast<uint32_t>(histogram.buckets.size()));
+    for (uint64_t bucket : histogram.buckets) AppendUint64(out, bucket);
+  }
+}
+
+Result<RegistrySnapshot> RegistrySnapshot::ReadFrom(ByteReader* reader) {
+  RegistrySnapshot snapshot;
+  // Every count below is attacker-controlled input from the wire;
+  // validate against the bytes physically present before reserving or
+  // looping (each entry needs strictly more than one byte).
+  DBPH_ASSIGN_OR_RETURN(uint32_t num_counters, reader->ReadUint32());
+  if (num_counters > reader->remaining()) {
+    return Status::DataLoss("snapshot counter count exceeds payload");
+  }
+  for (uint32_t i = 0; i < num_counters; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+    DBPH_ASSIGN_OR_RETURN(uint64_t value, reader->ReadUint64());
+    snapshot.counters[ToString(name)] = value;
+  }
+  DBPH_ASSIGN_OR_RETURN(uint32_t num_gauges, reader->ReadUint32());
+  if (num_gauges > reader->remaining()) {
+    return Status::DataLoss("snapshot gauge count exceeds payload");
+  }
+  for (uint32_t i = 0; i < num_gauges; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+    DBPH_ASSIGN_OR_RETURN(uint64_t value, reader->ReadUint64());
+    snapshot.gauges[ToString(name)] = static_cast<int64_t>(value);
+  }
+  DBPH_ASSIGN_OR_RETURN(uint32_t num_histograms, reader->ReadUint32());
+  if (num_histograms > reader->remaining()) {
+    return Status::DataLoss("snapshot histogram count exceeds payload");
+  }
+  for (uint32_t i = 0; i < num_histograms; ++i) {
+    DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+    HistogramSnapshot histogram;
+    DBPH_ASSIGN_OR_RETURN(Bytes unit_byte, reader->ReadRaw(1));
+    if (unit_byte[0] > static_cast<uint8_t>(Unit::kCount)) {
+      return Status::DataLoss("unknown histogram unit");
+    }
+    histogram.unit = static_cast<Unit>(unit_byte[0]);
+    DBPH_ASSIGN_OR_RETURN(histogram.count, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(histogram.sum, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(histogram.max, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(uint32_t num_buckets, reader->ReadUint32());
+    if (num_buckets > reader->remaining() / 8 ||
+        num_buckets > Histogram::kNumBuckets) {
+      return Status::DataLoss("snapshot bucket count exceeds payload");
+    }
+    histogram.buckets.reserve(num_buckets);
+    for (uint32_t b = 0; b < num_buckets; ++b) {
+      DBPH_ASSIGN_OR_RETURN(uint64_t bucket, reader->ReadUint64());
+      histogram.buckets.push_back(bucket);
+    }
+    snapshot.histograms[ToString(name)] = std::move(histogram);
+  }
+  return snapshot;
+}
+
+// -------------------------------------------------------------- rendering
+
+namespace {
+
+/// Fixed formatting (no scientific notation, no locale) so the output is
+/// stable for scrapers and the CI drift check.
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out.precision(9);
+  out << std::fixed << v;
+  std::string s = out.str();
+  // Trim trailing zeros but keep at least one decimal digit.
+  size_t last = s.find_last_not_of('0');
+  if (s[last] == '.') ++last;
+  s.erase(last + 1);
+  return s;
+}
+
+double ScaleForPrometheus(Unit unit, uint64_t value) {
+  if (unit == Unit::kMicros) return static_cast<double>(value) / 1e6;
+  return static_cast<double>(value);
+}
+
+}  // namespace
+
+std::string RegistrySnapshot::RenderPrometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    out << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      cumulative += histogram.buckets[i];
+      out << name << "_bucket{le=\""
+          << FormatDouble(ScaleForPrometheus(
+                 histogram.unit, Histogram::BucketUpperBound(i)))
+          << "\"} " << cumulative << "\n";
+      // The empty tail collapses into +Inf: stop after the bucket that
+      // covers the observed max, keeping the page small.
+      if (cumulative == histogram.count &&
+          Histogram::BucketUpperBound(i) >= histogram.max) {
+        break;
+      }
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << histogram.count << "\n";
+    out << name << "_sum "
+        << FormatDouble(ScaleForPrometheus(histogram.unit, histogram.sum))
+        << "\n";
+    out << name << "_count " << histogram.count << "\n";
+  }
+  return out.str();
+}
+
+std::string RegistrySnapshot::RenderText() const {
+  std::ostringstream out;
+  if (!counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : counters) {
+      out << "  " << name << " = " << value << "\n";
+    }
+  }
+  if (!gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : gauges) {
+      out << "  " << name << " = " << value << "\n";
+    }
+  }
+  if (!histograms.empty()) {
+    out << "histograms (count / mean / p50 / p95 / p99 / max";
+    out << ", micros for *_seconds):\n";
+    for (const auto& [name, h] : histograms) {
+      out << "  " << name << " = " << h.count << " / "
+          << FormatDouble(h.Mean()) << " / " << h.P50() << " / " << h.P95()
+          << " / " << h.P99() << " / " << h.max << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace dbph

@@ -1,0 +1,215 @@
+#ifndef DBPH_OBS_METRICS_H_
+#define DBPH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace dbph {
+namespace obs {
+
+/// \brief Lock-cheap metrics for the daemon: atomic counters and gauges
+/// plus log2-bucketed histograms, collected into named registries and
+/// surfaced as wire snapshots (kStats), Prometheus text (--metrics-port),
+/// and the STATS REPL command.
+///
+/// Threading model: instrument registration takes the registry mutex once
+/// (components cache the returned pointers at startup); every hot-path
+/// update afterwards is a relaxed atomic op with no lock. Snapshots read
+/// the same atomics relaxed, so a snapshot taken concurrently with
+/// updates is a consistent-enough point-in-time view (each value is
+/// individually coherent; cross-metric skew is bounded by the scrape).
+///
+/// Leakage note: everything recorded here is a function of what Eve (the
+/// server) already observes — sizes, counts, timings of ciphertext
+/// operations. Metric NAMES are fixed at compile time and metric VALUES
+/// must never depend on plaintext or key material; see docs/SECURITY.md.
+
+/// What a histogram's recorded values measure; determines Prometheus
+/// rendering (microseconds export as seconds, counts export raw).
+enum class Unit : uint8_t { kMicros = 0, kCount = 1 };
+
+/// Monotonic event counter. `Add` is the hot-path op; `Store` overwrites
+/// (for mirroring a component's own cumulative counter into the registry
+/// at snapshot time).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Store(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (open connections, WAL bytes, memoized trapdoors).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One histogram frozen at a point in time; carries enough to recover
+/// count/sum/max and bucket-resolution quantiles.
+struct HistogramSnapshot {
+  Unit unit = Unit::kCount;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  /// buckets[i] counts values v with BucketIndex(v) == i, i.e. bucket 0
+  /// holds {0} and bucket i (i >= 1) holds [2^(i-1), 2^i).
+  std::vector<uint64_t> buckets;
+
+  /// Upper-bound estimate of the q-quantile (0 < q <= 1): the upper edge
+  /// of the bucket containing rank ceil(q * count), clamped to the exact
+  /// max. 0 when empty.
+  uint64_t Quantile(double q) const;
+  uint64_t P50() const { return Quantile(0.50); }
+  uint64_t P95() const { return Quantile(0.95); }
+  uint64_t P99() const { return Quantile(0.99); }
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+
+  friend bool operator==(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) {
+    return a.unit == b.unit && a.count == b.count && a.sum == b.sum &&
+           a.max == b.max && a.buckets == b.buckets;
+  }
+  friend bool operator!=(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) {
+    return !(a == b);
+  }
+};
+
+class Histogram;
+
+/// \brief Plain, non-atomic accumulator for batch recording: a writer
+/// that already serializes its own recording (the dispatch path stages
+/// request stats under its lock) collects many values here — pure
+/// register/L1 arithmetic — then folds them into the shared atomic
+/// Histogram with one Merge: one atomic add per *touched* bucket
+/// instead of three atomic RMWs per value.
+struct HistogramDelta {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, 40> buckets{};
+
+  void Add(uint64_t value);
+};
+
+/// \brief Log2-bucketed histogram over uint64 values (latencies in
+/// microseconds, result sizes, batch sizes). Recording is wait-free:
+/// three relaxed atomic adds plus a CAS-max. Bucket edges are powers of
+/// two, so 40 buckets cover [0, 2^39) — about six days in microseconds —
+/// with values beyond the range clamped into the last bucket.
+///
+/// Copyable (relaxed element-wise load/store) so value types like
+/// ObservationLog::Aggregate can embed one; a copy taken concurrently
+/// with writers is a valid snapshot-quality view, like Snapshot().
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  explicit Histogram(Unit unit = Unit::kCount) : unit_(unit) {}
+
+  Histogram(const Histogram& other) : unit_(other.unit_) { CopyFrom(other); }
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) {
+      unit_ = other.unit_;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  /// Bucket 0 holds {0}; bucket i >= 1 holds [2^(i-1), 2^i).
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive upper edge of bucket i: 0, then 2^i - 1.
+  static uint64_t BucketUpperBound(size_t index);
+
+  void Record(uint64_t value);
+
+  /// Folds a batch accumulated in a HistogramDelta: equivalent to
+  /// Record(v) for every value the delta absorbed, but pays one relaxed
+  /// add per non-empty bucket (plus count/sum/CAS-max) regardless of
+  /// how many values it held. Safe concurrently with Record and
+  /// Snapshot, like any other recording.
+  void Merge(const HistogramDelta& delta);
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  Unit unit() const { return unit_; }
+
+ private:
+  void CopyFrom(const Histogram& other);
+
+  Unit unit_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// \brief Everything a registry held at one instant, detached from the
+/// atomics: the kStatsResult payload, the Prometheus page, and the STATS
+/// REPL table are all renderings of this.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Wire form (kStatsResult payload). Counts ride length-prefixed and
+  /// are validated against the physical payload before any allocation.
+  void AppendTo(Bytes* out) const;
+  static Result<RegistrySnapshot> ReadFrom(ByteReader* reader);
+
+  /// Prometheus text exposition (version 0.0.4): counters, gauges, and
+  /// cumulative `_bucket{le=...}` / `_sum` / `_count` histogram series.
+  /// Micros-unit histograms are exported in seconds (names already end
+  /// in `_seconds` by convention).
+  std::string RenderPrometheus() const;
+
+  /// Human-oriented table for the STATS REPL command.
+  std::string RenderText() const;
+};
+
+/// \brief Named instrument registry. Get* registers on first use and
+/// returns a pointer stable for the registry's lifetime; callers cache it
+/// and update lock-free. A name maps to one kind only — re-requesting an
+/// existing name with a different kind (or a histogram with a different
+/// unit) returns the existing instrument unchanged.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, Unit unit);
+
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace dbph
+
+#endif  // DBPH_OBS_METRICS_H_

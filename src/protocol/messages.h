@@ -35,9 +35,11 @@ enum class MessageType : uint8_t {
   kExplainResult = 21,  ///< server -> client: serialized PlanReport
   kAttestRoot = 22,     ///< client -> server: relation + epoch + root + HMAC
   kAttestOk = 23,       ///< server -> client: attestation stored
+  kStats = 24,          ///< client -> server: empty; request a metrics snapshot
+  kStatsResult = 25,    ///< server -> client: serialized obs::RegistrySnapshot
 };
 
-constexpr uint8_t kMaxMessageType = 23;
+constexpr uint8_t kMaxMessageType = 25;
 
 /// Hard upper bound on one wire frame. Both the network frame codec and
 /// Envelope::Parse reject a larger attacker-controlled length prefix

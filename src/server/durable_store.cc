@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "server/untrusted_server.h"
 
 namespace dbph {
@@ -62,6 +63,19 @@ Status DurableStore::Open() {
   if (open_) return Status::FailedPrecondition("durable store already open");
   DBPH_RETURN_IF_ERROR(EnsureDirectory(dir_));
 
+  obs::MetricsRegistry* registry = server_->metrics();
+  ins_.fsync_latency =
+      registry->GetHistogram("dbph_wal_fsync_seconds", obs::Unit::kMicros);
+  ins_.checkpoint_latency =
+      registry->GetHistogram("dbph_checkpoint_seconds", obs::Unit::kMicros);
+  ins_.group_batch = registry->GetHistogram("dbph_wal_group_commit_batch_size",
+                                            obs::Unit::kCount);
+  ins_.appends = registry->GetCounter("dbph_wal_append_records_total");
+  ins_.checkpoints = registry->GetCounter("dbph_checkpoints_total");
+  ins_.group_syncs = registry->GetCounter("dbph_wal_group_syncs_total");
+  ins_.replayed = registry->GetCounter("dbph_wal_replayed_records_total");
+  ins_.wal_bytes = registry->GetGauge("dbph_wal_bytes");
+
   // 1. Snapshot, if one exists.
   uint64_t snapshot_lsn = 0;
   bool have_snapshot = false;
@@ -108,6 +122,8 @@ Status DurableStore::Open() {
     ++replayed;
   }
   replayed_records_.store(replayed);
+  ins_.replayed->Add(replayed);
+  ins_.wal_bytes->Set(static_cast<int64_t>(wal_->size_bytes()));
   // Replay is recovery, not observation: Eve's transcript is volatile.
   server_->mutable_observations()->Clear();
 
@@ -159,16 +175,34 @@ Status DurableStore::Close() {
 Status DurableStore::AppendMutation(const protocol::Envelope& envelope) {
   // Caller holds the dispatch lock: appends are totally ordered and the
   // LSN sequence is gapless in apply order.
+  const bool timed = server_->metrics_enabled();
   std::lock_guard<std::mutex> lock(wal_mutex_);
+  Stopwatch watch;
   DBPH_RETURN_IF_ERROR(wal_->Append(next_lsn_, envelope.Serialize()));
+  if (timed && options_.sync_mode == storage::WalSyncMode::kAlways) {
+    // kAlways appends fsync inline: the append latency IS the fsync
+    // latency, to first order. kBatch fsyncs are timed at the sync site.
+    ins_.fsync_latency->Record(static_cast<uint64_t>(watch.ElapsedMicros()));
+  }
   ++next_lsn_;
+  ++group_pending_records_;
   wal_records_.fetch_add(1, std::memory_order_relaxed);
+  ins_.appends->Add();
+  ins_.wal_bytes->Set(static_cast<int64_t>(wal_->size_bytes()));
   return Status::OK();
 }
 
 Status DurableStore::Flush() {
+  const bool timed = server_->metrics_enabled();
   std::lock_guard<std::mutex> lock(wal_mutex_);
-  return wal_->Sync();
+  const bool was_unsynced = wal_->unsynced_bytes() > 0;
+  Stopwatch watch;
+  Status status = wal_->Sync();
+  if (timed && was_unsynced && status.ok()) {
+    ins_.fsync_latency->Record(static_cast<uint64_t>(watch.ElapsedMicros()));
+  }
+  if (status.ok()) group_pending_records_ = 0;
+  return status;
 }
 
 Status DurableStore::Checkpoint() {
@@ -178,6 +212,7 @@ Status DurableStore::Checkpoint() {
 Status DurableStore::CheckpointLocked() {
   // Dispatch is quiescent: next_lsn_ - 1 is exactly the last applied
   // mutation, and the serialized state contains all of them.
+  Stopwatch watch;
   DBPH_ASSIGN_OR_RETURN(Bytes image, server_->SerializeState());
   Bytes snapshot;
   AppendUint32(&snapshot, kSnapshotMagic);
@@ -190,8 +225,15 @@ Status DurableStore::CheckpointLocked() {
   {
     std::lock_guard<std::mutex> lock(wal_mutex_);
     DBPH_RETURN_IF_ERROR(wal_->Reset());
+    group_pending_records_ = 0;
+    ins_.wal_bytes->Set(static_cast<int64_t>(wal_->size_bytes()));
   }
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  ins_.checkpoints->Add();
+  if (server_->metrics_enabled()) {
+    ins_.checkpoint_latency->Record(
+        static_cast<uint64_t>(watch.ElapsedMicros()));
+  }
   return Status::OK();
 }
 
@@ -205,13 +247,23 @@ void DurableStore::BackgroundLoop() {
     lk.unlock();
 
     // Group commit: one fsync covers every append since the last tick.
+    const bool timed = server_->metrics_enabled();
     size_t wal_bytes = 0;
     {
       std::lock_guard<std::mutex> lock(wal_mutex_);
       if (options_.sync_mode == storage::WalSyncMode::kBatch &&
           wal_->unsynced_bytes() > 0) {
+        uint64_t batch = group_pending_records_;
+        Stopwatch watch;
         if (wal_->Sync().ok()) {
           group_syncs_.fetch_add(1, std::memory_order_relaxed);
+          ins_.group_syncs->Add();
+          if (timed) {
+            ins_.fsync_latency->Record(
+                static_cast<uint64_t>(watch.ElapsedMicros()));
+          }
+          ins_.group_batch->Record(batch);
+          group_pending_records_ = 0;
         }
       }
       wal_bytes = wal_->size_bytes();

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "protocol/messages.h"
 #include "storage/wal.h"
 
@@ -122,6 +123,23 @@ class DurableStore {
   UntrustedServer* server_;
   std::string dir_;
   DurableStoreOptions options_;
+
+  /// Durability instruments, registered in Open() against the server's
+  /// registry (owned there). Clock reads gate on the server's
+  /// enable_metrics, same as the dispatch path.
+  struct WalInstruments {
+    obs::Histogram* fsync_latency = nullptr;       ///< dbph_wal_fsync_seconds
+    obs::Histogram* checkpoint_latency = nullptr;  ///< dbph_checkpoint_seconds
+    obs::Histogram* group_batch = nullptr;  ///< dbph_wal_group_commit_batch_size
+    obs::Counter* appends = nullptr;        ///< dbph_wal_append_records_total
+    obs::Counter* checkpoints = nullptr;    ///< dbph_checkpoints_total
+    obs::Counter* group_syncs = nullptr;    ///< dbph_wal_group_syncs_total
+    obs::Counter* replayed = nullptr;       ///< dbph_wal_replayed_records_total
+    obs::Gauge* wal_bytes = nullptr;        ///< dbph_wal_bytes
+  };
+  WalInstruments ins_;
+  /// Appends since the last group-commit fsync; under wal_mutex_.
+  uint64_t group_pending_records_ = 0;
 
   /// Guards wal_ and next_lsn_ against the background thread; acquired
   /// after the dispatch lock where both are held.

@@ -2,11 +2,11 @@
 #define DBPH_SERVER_OBSERVATION_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace dbph {
 namespace server {
@@ -48,10 +48,12 @@ class ObservationLog {
     uint64_t ciphertext_bytes = 0;
     uint64_t num_queries = 0;
     uint64_t matched_total = 0;
-    /// result size -> how many queries returned exactly that many
-    /// matches. Bounded by the number of distinct result sizes (≤ the
-    /// largest relation), not by query count.
-    std::map<size_t, uint64_t> result_size_histogram;
+    /// Result-size distribution, log2-bucketed — the shared obs
+    /// histogram type (count/sum/max + buckets + quantiles) instead of
+    /// the bespoke exact map this used to be: O(1) memory regardless of
+    /// how many distinct result sizes occur, same type the metrics
+    /// registry exports, one histogram implementation to maintain.
+    obs::Histogram result_size_histogram{obs::Unit::kCount};
   };
 
   /// Switching to kAggregate folds nothing retroactively beyond what the
@@ -82,7 +84,7 @@ class ObservationLog {
   void RecordQuery(QueryObservation observation) {
     ++aggregate_.num_queries;
     aggregate_.matched_total += observation.result_size();
-    ++aggregate_.result_size_histogram[observation.result_size()];
+    aggregate_.result_size_histogram.Record(observation.result_size());
     if (mode_ == ObservationMode::kFull) {
       queries_.push_back(std::move(observation));
     }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 
 namespace dbph {
 namespace server {
@@ -71,9 +72,21 @@ Status FetchPostings(const ExecutionContext& ctx,
 }  // namespace
 
 std::vector<PlannedOutcome> PlanExecutor::Execute(
-    const std::vector<SelectTask>& tasks) {
+    const std::vector<SelectTask>& tasks, ExecuteTiming* timing) {
   std::vector<PlannedOutcome> outcomes(tasks.size());
   std::vector<Bytes> trapdoor_bytes(tasks.size());
+  const bool timed = timing != nullptr;
+  // Chained timestamps: each boundary read closes one span and opens
+  // the next, so an index-path task costs 3 clock reads, not a
+  // Reset/Elapsed pair per span.
+  using SteadyClock = Stopwatch::Clock;
+  const auto micros_between = [](SteadyClock::time_point from,
+                                 SteadyClock::time_point to) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+            .count());
+  };
+  SteadyClock::time_point mark{};
 
   // Plan every task, serving index hits inline (posting lists are the
   // small case by construction) and collecting scan-path tasks into one
@@ -91,11 +104,22 @@ std::vector<PlannedOutcome> PlanExecutor::Execute(
     }
     task.query->trapdoor.AppendTo(&trapdoor_bytes[i]);
     const std::vector<uint64_t>* postings = nullptr;
+    if (timed) mark = SteadyClock::now();
     outcomes[i].plan = PlanSelect(task.ctx, trapdoor_bytes[i], &postings);
+    if (timed) {
+      SteadyClock::time_point planned = SteadyClock::now();
+      timing->plan_micros += micros_between(mark, planned);
+      mark = planned;
+    }
     if (outcomes[i].plan.path == AccessPath::kIndexLookup) {
       outcomes[i].status =
           FetchPostings(task.ctx, *postings, &outcomes[i].matches);
       if (!outcomes[i].status.ok()) outcomes[i].matches.clear();
+      if (timed) {
+        timing->index_fetch_micros +=
+            micros_between(mark, SteadyClock::now());
+        ++timing->index_queries;
+      }
       continue;
     }
     std::unique_ptr<runtime::ShardedRelation>& view = views[task.ctx.records];
@@ -106,8 +130,14 @@ std::vector<PlannedOutcome> PlanExecutor::Execute(
     }
     jobs[i].view = view.get();
     jobs[i].trapdoor = &task.query->trapdoor;
+    if (timed) ++timing->scan_queries;
   }
 
+  // The scan-wave span is only timed when a scan actually runs: pure
+  // index waves skip both reads (and never recorded a scan histogram
+  // sample anyway).
+  const bool timed_scans = timed && timing->scan_queries > 0;
+  if (timed_scans) mark = SteadyClock::now();
   runtime::BatchExecutor executor(pool_);
   std::vector<runtime::SelectOutcome> scans = executor.ExecuteSelects(jobs);
 
@@ -129,6 +159,9 @@ std::vector<PlannedOutcome> PlanExecutor::Execute(
       }
       index->Memoize(trapdoor_bytes[i], tasks[i].query->trapdoor, postings);
     }
+  }
+  if (timed_scans) {
+    timing->scan_micros += micros_between(mark, SteadyClock::now());
   }
   return outcomes;
 }

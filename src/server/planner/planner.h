@@ -91,10 +91,23 @@ struct PlannedOutcome {
 /// matches, the server records observations.
 class PlanExecutor {
  public:
+  /// Where one Execute call's wall time went, for the obs layer: the
+  /// planning decisions, the inline index-path posting fetches, and the
+  /// parallel scan wave (including the fold/memoize pass). Filled only
+  /// when the caller asks — a null timing pointer costs zero clock reads.
+  struct ExecuteTiming {
+    uint64_t plan_micros = 0;
+    uint64_t index_fetch_micros = 0;
+    uint64_t scan_micros = 0;
+    size_t index_queries = 0;  ///< tasks served from posting lists
+    size_t scan_queries = 0;   ///< tasks that ran in the scan wave
+  };
+
   /// The pool must outlive the executor; null runs scans inline.
   explicit PlanExecutor(runtime::ThreadPool* pool) : pool_(pool) {}
 
-  std::vector<PlannedOutcome> Execute(const std::vector<SelectTask>& tasks);
+  std::vector<PlannedOutcome> Execute(const std::vector<SelectTask>& tasks,
+                                      ExecuteTiming* timing = nullptr);
 
  private:
   runtime::ThreadPool* pool_;

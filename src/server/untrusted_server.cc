@@ -3,12 +3,231 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/logging.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "storage/wal.h"
 #include "swp/search.h"
 
 namespace dbph {
 namespace server {
+
+// --------------------------------------------------------- observability
+
+void UntrustedServer::InitInstruments() {
+  using obs::Unit;
+  ins_.requests = metrics_.GetCounter("dbph_requests_total");
+  ins_.errors = metrics_.GetCounter("dbph_op_errors_total");
+  ins_.slow_queries = metrics_.GetCounter("dbph_slow_queries_total");
+  ins_.select_scan = metrics_.GetCounter("dbph_select_scan_total");
+  ins_.select_index = metrics_.GetCounter("dbph_select_index_total");
+  ins_.attestations = metrics_.GetCounter("dbph_integrity_attestations_total");
+  ins_.parse = metrics_.GetHistogram("dbph_query_parse_seconds", Unit::kMicros);
+  ins_.lock_wait =
+      metrics_.GetHistogram("dbph_dispatch_lock_wait_seconds", Unit::kMicros);
+  ins_.handle =
+      metrics_.GetHistogram("dbph_dispatch_handle_seconds", Unit::kMicros);
+  ins_.plan = metrics_.GetHistogram("dbph_query_plan_seconds", Unit::kMicros);
+  ins_.execute_scan =
+      metrics_.GetHistogram("dbph_query_execute_scan_seconds", Unit::kMicros);
+  ins_.execute_index =
+      metrics_.GetHistogram("dbph_query_execute_index_seconds", Unit::kMicros);
+  ins_.proof_build = metrics_.GetHistogram(
+      "dbph_integrity_proof_build_seconds", Unit::kMicros);
+  ins_.serialize =
+      metrics_.GetHistogram("dbph_query_serialize_seconds", Unit::kMicros);
+  ins_.select_total =
+      metrics_.GetHistogram("dbph_select_seconds", Unit::kMicros);
+  ins_.select_result_size =
+      metrics_.GetHistogram("dbph_select_result_size", Unit::kCount);
+  ins_.relations = metrics_.GetGauge("dbph_server_relations");
+  ins_.index_trapdoors = metrics_.GetGauge("dbph_index_trapdoors");
+  ins_.index_postings = metrics_.GetGauge("dbph_index_postings");
+  ins_.index_hits = metrics_.GetGauge("dbph_index_hits");
+  ins_.index_misses = metrics_.GetGauge("dbph_index_misses");
+  ins_.index_memoized = metrics_.GetGauge("dbph_index_memoized");
+  ins_.index_append_evals = metrics_.GetGauge("dbph_index_append_evals");
+  ins_.index_invalidations = metrics_.GetGauge("dbph_index_invalidations");
+  ins_.index_at_capacity =
+      metrics_.GetGauge("dbph_index_relations_at_capacity");
+}
+
+namespace {
+
+/// Wire-op slug for per-op counters and the slow-query log. A fixed
+/// function of the type byte — never of the payload.
+const char* OpSlug(protocol::MessageType type) {
+  using protocol::MessageType;
+  switch (type) {
+    case MessageType::kStoreRelation:
+      return "store";
+    case MessageType::kSelect:
+      return "select";
+    case MessageType::kDropRelation:
+      return "drop";
+    case MessageType::kAppendTuples:
+      return "append";
+    case MessageType::kDeleteWhere:
+      return "delete";
+    case MessageType::kFetchRelation:
+      return "fetch";
+    case MessageType::kBatchRequest:
+      return "batch";
+    case MessageType::kPing:
+      return "ping";
+    case MessageType::kFlush:
+      return "flush";
+    case MessageType::kExplain:
+      return "explain";
+    case MessageType::kAttestRoot:
+      return "attest";
+    case MessageType::kStats:
+      return "stats";
+    default:
+      return "other";
+  }
+}
+
+}  // namespace
+
+obs::Counter* UntrustedServer::OpCounter(protocol::MessageType type) {
+  uint8_t key = static_cast<uint8_t>(type);
+  obs::Counter* counter = op_counters_[key];
+  if (counter != nullptr) return counter;
+  counter = metrics_.GetCounter(
+      std::string("dbph_op_") + OpSlug(type) + "_total");
+  op_counters_[key] = counter;
+  return counter;
+}
+
+namespace {
+
+// Ring entries hold micros as uint32 (2^32 us ~ 71 minutes; anything
+// slower saturates, which the log2 buckets cannot distinguish anyway).
+uint32_t SaturateU32(uint64_t value) {
+  return value > 0xffffffffull ? 0xffffffffu : static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+void UntrustedServer::RecordRequestMetrics(
+    protocol::MessageType request_type, protocol::MessageType response_type,
+    uint64_t handle_micros) {
+  cur_.op = static_cast<uint8_t>(request_type);
+  if (response_type == protocol::MessageType::kError) {
+    cur_.flags |= PendingRequestStat::kIsError;
+  }
+  if (request_type == protocol::MessageType::kSelect) {
+    cur_.flags |= PendingRequestStat::kIsSelect;
+  }
+  cur_.parse_micros = SaturateU32(trace_.parse_micros);
+  cur_.lock_wait_micros = SaturateU32(trace_.lock_wait_micros);
+  cur_.handle_micros = SaturateU32(handle_micros);
+  cur_.serialize_micros = SaturateU32(trace_.serialize_micros);
+  cur_.total_micros = SaturateU32(trace_.total_micros);
+  cur_.result_size = SaturateU32(trace_.result_size);
+  pending_[pending_count_++] = cur_;
+  if (pending_count_ == kPendingRingSize) FlushPendingStatsLocked();
+  if (runtime_options_.slow_query_ms > 0 &&
+      trace_.total_micros >=
+          static_cast<uint64_t>(runtime_options_.slow_query_ms) * 1000) {
+    ins_.slow_queries->Add();
+    // Redaction contract (docs/OPERATIONS.md): metadata and timings
+    // only; trapdoor and ciphertext bytes never reach the log.
+    DBPH_LOG(Warning) << "slow query: " << trace_.Describe();
+  }
+}
+
+void UntrustedServer::FlushPendingStatsLocked() {
+  if (pending_count_ == 0) return;
+  // Local plain accumulation first, one Merge/Add per instrument after:
+  // a flush of N entries pays one relaxed atomic add per touched bucket,
+  // not 3 RMWs per recorded value — the entries overwhelmingly hit the
+  // same handful of buckets.
+  obs::HistogramDelta parse, lock_wait, handle, serialize, select_total,
+      result_size, plan, execute_index, execute_scan, proof;
+  uint64_t errors = 0, index_queries = 0, scan_queries = 0;
+  std::array<uint32_t, 256> op_counts{};
+  for (size_t i = 0; i < pending_count_; ++i) {
+    const PendingRequestStat& e = pending_[i];
+    ++op_counts[e.op];
+    if (e.flags & PendingRequestStat::kIsError) ++errors;
+    parse.Add(e.parse_micros);
+    lock_wait.Add(e.lock_wait_micros);
+    handle.Add(e.handle_micros);
+    serialize.Add(e.serialize_micros);
+    if (e.flags & PendingRequestStat::kIsSelect) {
+      select_total.Add(e.total_micros);
+      result_size.Add(e.result_size);
+    }
+    if (e.flags & PendingRequestStat::kRanPipeline) plan.Add(e.plan_micros);
+    if (e.flags & PendingRequestStat::kUsedIndex) {
+      index_queries += e.index_queries;
+      execute_index.Add(e.execute_index_micros);
+    }
+    if (e.flags & PendingRequestStat::kUsedScan) {
+      scan_queries += e.scan_queries;
+      execute_scan.Add(e.execute_scan_micros);
+    }
+    if (e.flags & PendingRequestStat::kBuiltProof) proof.Add(e.proof_micros);
+  }
+  ins_.requests->Add(pending_count_);
+  for (size_t op = 0; op < op_counts.size(); ++op) {
+    if (op_counts[op] != 0) {
+      OpCounter(static_cast<protocol::MessageType>(op))->Add(op_counts[op]);
+    }
+  }
+  if (errors != 0) ins_.errors->Add(errors);
+  if (index_queries != 0) ins_.select_index->Add(index_queries);
+  if (scan_queries != 0) ins_.select_scan->Add(scan_queries);
+  ins_.parse->Merge(parse);
+  ins_.lock_wait->Merge(lock_wait);
+  ins_.handle->Merge(handle);
+  ins_.serialize->Merge(serialize);
+  ins_.select_total->Merge(select_total);
+  ins_.select_result_size->Merge(result_size);
+  ins_.plan->Merge(plan);
+  ins_.execute_index->Merge(execute_index);
+  ins_.execute_scan->Merge(execute_scan);
+  ins_.proof_build->Merge(proof);
+  pending_count_ = 0;
+}
+
+void UntrustedServer::RefreshGaugesLocked() {
+  // Both read paths (kStats dispatch, CollectStats/scrape) come through
+  // here, so staged request entries are always folded before a snapshot.
+  FlushPendingStatsLocked();
+  ins_.relations->Set(static_cast<int64_t>(relations_.size()));
+  planner::TrapdoorIndex::Stats totals;
+  int64_t trapdoors = 0;
+  int64_t postings = 0;
+  int64_t at_capacity = 0;
+  for (const auto& [name, stored] : relations_) {
+    const planner::TrapdoorIndex::Stats& stats = stored.index.stats();
+    totals.hits += stats.hits;
+    totals.misses += stats.misses;
+    totals.memoized += stats.memoized;
+    totals.append_evals += stats.append_evals;
+    totals.invalidations += stats.invalidations;
+    trapdoors += static_cast<int64_t>(stored.index.num_trapdoors());
+    postings += static_cast<int64_t>(stored.index.num_postings());
+    if (stored.index.AtCapacity()) ++at_capacity;
+  }
+  ins_.index_hits->Set(static_cast<int64_t>(totals.hits));
+  ins_.index_misses->Set(static_cast<int64_t>(totals.misses));
+  ins_.index_memoized->Set(static_cast<int64_t>(totals.memoized));
+  ins_.index_append_evals->Set(static_cast<int64_t>(totals.append_evals));
+  ins_.index_invalidations->Set(static_cast<int64_t>(totals.invalidations));
+  ins_.index_trapdoors->Set(trapdoors);
+  ins_.index_postings->Set(postings);
+  ins_.index_at_capacity->Set(at_capacity);
+}
+
+obs::RegistrySnapshot UntrustedServer::CollectStats() {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  RefreshGaugesLocked();
+  return metrics_.Snapshot();
+}
 
 Status UntrustedServer::StoreRelation(
     const core::EncryptedRelation& relation) {
@@ -95,6 +314,7 @@ Status UntrustedServer::AttestRoot(const std::string& name, uint64_t epoch,
   }
   it->second.attested_epoch = epoch;
   it->second.root_signature = signature;
+  if (runtime_options_.enable_metrics) ins_.attestations->Add();
   return Status::OK();
 }
 
@@ -166,8 +386,31 @@ std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal
     any_resolved = true;
   }
 
+  const bool timed = runtime_options_.enable_metrics;
   planner::PlanExecutor executor(any_resolved ? pool() : nullptr);
-  std::vector<planner::PlannedOutcome> outcomes = executor.Execute(tasks);
+  planner::PlanExecutor::ExecuteTiming timing;
+  std::vector<planner::PlannedOutcome> outcomes =
+      executor.Execute(tasks, timed ? &timing : nullptr);
+  if (timed) {
+    trace_.plan_micros += timing.plan_micros;
+    trace_.execute_micros += timing.index_fetch_micros + timing.scan_micros;
+    cur_.flags |= PendingRequestStat::kRanPipeline;
+    cur_.plan_micros += SaturateU32(timing.plan_micros);
+    if (timing.index_queries > 0) {
+      trace_.used_index = true;
+      cur_.flags |= PendingRequestStat::kUsedIndex;
+      cur_.index_queries += SaturateU32(timing.index_queries);
+      cur_.execute_index_micros += SaturateU32(timing.index_fetch_micros);
+    }
+    if (timing.scan_queries > 0) {
+      cur_.flags |= PendingRequestStat::kUsedScan;
+      cur_.scan_queries += SaturateU32(timing.scan_queries);
+      cur_.execute_scan_micros += SaturateU32(timing.scan_micros);
+    }
+    if (trace_.relation.empty() && !queries.empty()) {
+      trace_.relation = queries.front().relation;
+    }
+  }
 
   // Logging happens here, on the dispatch thread, in query order — the
   // log is indistinguishable from the same selects arriving one by one,
@@ -201,6 +444,7 @@ std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal
       docs.push_back(std::move(match.doc));
     }
     log_.RecordQuery(std::move(observation));
+    if (timed) trace_.result_size += docs.size();
     results[i].docs = std::move(docs);
     results[i].stored = resolved[i];
   }
@@ -306,6 +550,10 @@ Result<size_t> UntrustedServer::DeleteWhereInternal(
     ++position;
   }
   it->second.records = std::move(kept);
+  if (runtime_options_.enable_metrics) {
+    trace_.relation = query.relation;
+    trace_.result_size += removed;
+  }
   if (integrity) {
     it->second.tree.RemoveSorted(removed_positions);
     ++it->second.epoch;
@@ -459,8 +707,20 @@ protocol::Envelope UntrustedServer::MakeSelectResponse(
     return protocol::MakeErrorEnvelope(outcome->docs.status());
   }
   if (runtime_options_.enable_integrity && outcome->stored != nullptr) {
+    const bool timed = runtime_options_.enable_metrics;
+    Stopwatch::Clock::time_point start{};
+    if (timed) start = Stopwatch::Clock::now();
     protocol::ResultProof proof =
         BuildProof(*outcome->stored, std::move(outcome->positions));
+    if (timed) {
+      uint64_t micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Stopwatch::Clock::now() - start)
+              .count());
+      trace_.proof_micros += micros;
+      cur_.flags |= PendingRequestStat::kBuiltProof;
+      cur_.proof_micros += SaturateU32(micros);
+    }
     return MakeSelectResultEnvelope(*outcome->docs, &proof);
   }
   return MakeSelectResultEnvelope(*outcome->docs, nullptr);
@@ -559,6 +819,21 @@ protocol::Envelope UntrustedServer::Dispatch(
     }
     case MessageType::kBatchRequest:
       return DispatchBatch(request);
+    case MessageType::kStats: {
+      // Keys-free live stats: everything in the snapshot is derived from
+      // Eve's own observations (op counts, timings, sizes) — safe to
+      // serve to anyone who can already reach the wire. Carries no
+      // request payload by definition.
+      if (!request.payload.empty()) {
+        return protocol::MakeErrorEnvelope(
+            Status::InvalidArgument("kStats carries no payload"));
+      }
+      RefreshGaugesLocked();
+      Envelope response;
+      response.type = MessageType::kStatsResult;
+      metrics_.Snapshot().AppendTo(&response.payload);
+      return response;
+    }
     case MessageType::kPing: {
       // Keys-free health check: echo the client's cookie. Pings carry no
       // trapdoors and match nothing, so they are not query observations.
@@ -712,15 +987,51 @@ Bytes UntrustedServer::HandleRequest(const Bytes& request,
 #else
   (void)dispatcher;
 #endif
+  const bool timed = runtime_options_.enable_metrics;
+  // One timestamp per stage boundary, each closing one span and opening
+  // the next (5 clock reads per request, not a Reset/Elapsed pair per
+  // stage).
+  using SteadyClock = Stopwatch::Clock;
+  SteadyClock::time_point entered{};
+  if (timed) entered = SteadyClock::now();
   auto envelope = protocol::Envelope::Parse(request);
   if (!envelope.ok()) {
+    if (timed) ins_.errors->Add();
     return protocol::MakeErrorEnvelope(envelope.status()).Serialize();
   }
+  SteadyClock::time_point parsed{};
+  if (timed) parsed = SteadyClock::now();
   // Single-writer server loop: concurrent transports queue here; the
   // parallelism lives inside a request (sharded batch waves), not across
   // requests, so storage and the observation log need no finer locking.
   std::lock_guard<std::mutex> lock(dispatch_mutex_);
-  return Dispatch(*envelope).Serialize();
+  if (!timed) return Dispatch(*envelope).Serialize();
+
+  const auto micros_between = [](SteadyClock::time_point from,
+                                 SteadyClock::time_point to) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+            .count());
+  };
+  SteadyClock::time_point locked = SteadyClock::now();
+  // trace_ and cur_ are members (not locals) so the select pipeline and
+  // proof builder — called below Dispatch, still under this lock — can
+  // accumulate their stage spans into the same request's entry.
+  trace_.Reset();
+  cur_ = PendingRequestStat{};
+  trace_.op = OpSlug(envelope->type);
+  trace_.parse_micros = micros_between(entered, parsed);
+  trace_.lock_wait_micros = micros_between(parsed, locked);
+  protocol::Envelope response = Dispatch(*envelope);
+  SteadyClock::time_point handled = SteadyClock::now();
+  Bytes wire = response.Serialize();
+  SteadyClock::time_point serialized = SteadyClock::now();
+  uint64_t handle_micros = micros_between(locked, handled);
+  trace_.serialize_micros = micros_between(handled, serialized);
+  trace_.total_micros = trace_.parse_micros + trace_.lock_wait_micros +
+                        handle_micros + trace_.serialize_micros;
+  RecordRequestMetrics(envelope->type, response.type, handle_micros);
+  return wire;
 }
 
 }  // namespace server

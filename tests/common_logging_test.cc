@@ -42,6 +42,52 @@ TEST(LoggingTest, StreamFormatsArbitraryTypes) {
   SetLogLevel(original);
 }
 
+TEST(LoggingTest, PrefixCarriesUtcTimestampAndThreadId) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  DBPH_LOG(Info) << "stamped";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(original);
+
+  // ISO-8601 UTC with millisecond precision: 2026-08-07T12:34:56.789Z.
+  ASSERT_GE(out.size(), 24u);
+  std::string stamp = out.substr(0, 24);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[7], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[13], ':');
+  EXPECT_EQ(stamp[16], ':');
+  EXPECT_EQ(stamp[19], '.');
+  EXPECT_EQ(stamp[23], 'Z');
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u, 15u, 17u,
+                   18u, 20u, 21u, 22u}) {
+    EXPECT_TRUE(stamp[i] >= '0' && stamp[i] <= '9')
+        << "non-digit at " << i << " in '" << stamp << "'";
+  }
+
+  // Level tag and the issuing thread's id, for correlating interleaved
+  // lines from the loop thread vs the background checkpointer.
+  EXPECT_NE(out.find("[INFO tid="), std::string::npos);
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
+  EXPECT_NE(out.find("tid=" + tid.str()), std::string::npos);
+  EXPECT_NE(out.find("stamped"), std::string::npos);
+}
+
+TEST(LoggingTest, ParseLogLevelMatchesEnvContract) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kWarning), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kWarning), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn", LogLevel::kError), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warning", LogLevel::kError), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kWarning), LogLevel::kError);
+  // Unset or junk keeps the fallback — a typo in DBPH_LOG_LEVEL must not
+  // silence errors or open the debug firehose.
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("verbose", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kError), LogLevel::kError);
+}
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
   std::this_thread::sleep_for(std::chrono::milliseconds(20));

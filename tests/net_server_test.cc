@@ -540,6 +540,88 @@ TEST(NetDurabilityTest, PipelinedMutationsAnswerInOrderAndSurviveRestart) {
   second.Stop();
 }
 
+TEST_F(NetServerTest, StatsOverSocketCarrySeriesFromEveryLayer) {
+  StartServer();
+  crypto::HmacDrbg rng("net-stats", 1);
+  client::Client client(ToBytes("stats master"), Transport()->AsTransport(),
+                        &rng);
+  ASSERT_TRUE(client.Outsource(BuildTable("S", 50)).ok());
+  auto hit = client.Select("S", "grp", Value::Int(3));
+  ASSERT_TRUE(hit.ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // Dispatch layer: the outsource + select we just ran.
+  ASSERT_TRUE(stats->counters.count("dbph_requests_total"));
+  EXPECT_GE(stats->counters.at("dbph_requests_total"), 2u);
+  ASSERT_TRUE(stats->histograms.count("dbph_select_seconds"));
+  EXPECT_GE(stats->histograms.at("dbph_select_seconds").count, 1u);
+  ASSERT_TRUE(stats->histograms.count("dbph_dispatch_lock_wait_seconds"));
+  EXPECT_GE(stats->histograms.at("dbph_dispatch_lock_wait_seconds").count, 2u);
+  // Net layer: this very connection shows up in its own snapshot.
+  ASSERT_TRUE(stats->counters.count("dbph_net_connections_accepted_total"));
+  EXPECT_GE(stats->counters.at("dbph_net_connections_accepted_total"), 1u);
+  ASSERT_TRUE(stats->counters.count("dbph_net_frames_in_total"));
+  EXPECT_GE(stats->counters.at("dbph_net_frames_in_total"), 2u);
+  ASSERT_TRUE(stats->gauges.count("dbph_net_connections_open"));
+  EXPECT_GE(stats->gauges.at("dbph_net_connections_open"), 1);
+  // Index layer gauges registered by the served server.
+  EXPECT_TRUE(stats->gauges.count("dbph_index_trapdoors"));
+  EXPECT_TRUE(stats->gauges.count("dbph_server_relations"));
+}
+
+TEST_F(NetServerTest, MetricsPortServesPrometheusText) {
+  net::NetServerOptions options;
+  options.metrics_port = 0;  // ephemeral, reported via metrics_http_port()
+  StartServer(options);
+  ASSERT_NE(net_server_->metrics_http_port(), 0);
+
+  crypto::HmacDrbg rng("net-scrape", 1);
+  client::Client client(ToBytes("scrape master"), Transport()->AsTransport(),
+                        &rng);
+  ASSERT_TRUE(client.Outsource(BuildTable("M", 40)).ok());
+  ASSERT_TRUE(client.Select("M", "grp", Value::Int(1)).ok());
+
+  auto scrape = [&](const std::string& request) {
+    auto fd = net::ConnectTo("127.0.0.1", net_server_->metrics_http_port());
+    EXPECT_TRUE(fd.ok());
+    EXPECT_TRUE(net::SendAll(fd->get(),
+                             reinterpret_cast<const uint8_t*>(request.data()),
+                             request.size())
+                    .ok());
+    std::string page;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd->get(), buf, sizeof(buf), 0);
+      if (n <= 0) break;  // the responder closes after one exchange
+      page.append(buf, static_cast<size_t>(n));
+    }
+    return page;
+  };
+
+  std::string page = scrape("GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(page.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(page.find("text/plain"), std::string::npos);
+  // One series from each instrumented layer, in Prometheus form.
+  EXPECT_NE(page.find("# TYPE dbph_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("dbph_net_frames_in_total"), std::string::npos);
+  EXPECT_NE(page.find("dbph_select_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("dbph_dispatch_lock_wait_seconds_sum"),
+            std::string::npos);
+  EXPECT_NE(page.find("dbph_index_trapdoors"), std::string::npos);
+
+  // Non-GET requests are refused without touching the store.
+  std::string refused = scrape("POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(refused.find("405"), std::string::npos);
+
+  // The scrape itself was counted.
+  std::string again = scrape("GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(again.find("dbph_net_metrics_scrapes_total"), std::string::npos);
+  EXPECT_GE(net_server_->stats().metrics_scrapes, 2u);
+}
+
 TEST_F(NetServerTest, TransportReconnectsAfterServerRestart) {
   StartServer();
   auto transport = Transport();

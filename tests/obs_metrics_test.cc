@@ -1,0 +1,303 @@
+// The obs layer's own contract: bucket math, wait-free recording under
+// concurrency (run under TSan in CI), snapshot wire round-trips with
+// attacker-controlled input rejection, and the Prometheus rendering.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/query_trace.h"
+
+namespace dbph {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------- bucket math
+
+TEST(HistogramBucketsTest, IndexMatchesPowerOfTwoEdges) {
+  // Bucket 0 holds exactly {0}; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Values beyond the covered range clamp into the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramBucketsTest, UpperBoundsAreInclusiveEdges) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  // Every value lands in a bucket whose upper bound covers it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 5ull, 100ull, 65536ull, 999999ull}) {
+    EXPECT_GE(Histogram::BucketUpperBound(Histogram::BucketIndex(v)), v);
+  }
+}
+
+TEST(HistogramTest, RecordAccumulatesCountSumMax) {
+  Histogram h(Unit::kMicros);
+  h.Record(10);
+  h.Record(20);
+  h.Record(3000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.unit, Unit::kMicros);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 3030u);
+  EXPECT_EQ(snap.max, 3000u);
+  EXPECT_EQ(snap.buckets.size(), Histogram::kNumBuckets);
+}
+
+TEST(HistogramTest, MergedDeltaMatchesDirectRecords) {
+  // The batched path (HistogramDelta::Add then Histogram::Merge) must be
+  // observationally identical to Record-per-value.
+  const uint64_t values[] = {0, 1, 7, 60, 60, 61, 3000, 1ull << 39};
+  Histogram direct(Unit::kMicros);
+  Histogram merged(Unit::kMicros);
+  HistogramDelta delta;
+  for (uint64_t v : values) {
+    direct.Record(v);
+    delta.Add(v);
+  }
+  merged.Merge(delta);
+  EXPECT_EQ(merged.Snapshot(), direct.Snapshot());
+
+  // Merging again doubles everything; an empty delta is a no-op.
+  merged.Merge(delta);
+  HistogramSnapshot twice = merged.Snapshot();
+  EXPECT_EQ(twice.count, 2 * direct.Snapshot().count);
+  EXPECT_EQ(twice.sum, 2 * direct.Snapshot().sum);
+  EXPECT_EQ(twice.max, direct.Snapshot().max);
+  merged.Merge(HistogramDelta{});
+  EXPECT_EQ(merged.Snapshot(), twice);
+}
+
+TEST(HistogramTest, QuantilesAreBucketUpperBoundsClampedToMax) {
+  Histogram h(Unit::kCount);
+  for (int i = 0; i < 99; ++i) h.Record(1);
+  h.Record(5);  // the single largest value
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.P50(), 1u);
+  EXPECT_EQ(snap.P95(), 1u);
+  // p99's rank falls in the top bucket; the estimate is that bucket's
+  // upper edge clamped to the exact max — never above a recorded value.
+  EXPECT_EQ(snap.P99(), 1u);
+  EXPECT_EQ(snap.Quantile(1.0), 5u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), (99.0 * 1 + 5) / 100.0);
+
+  HistogramSnapshot empty = Histogram(Unit::kCount).Snapshot();
+  EXPECT_EQ(empty.P50(), 0u);
+  EXPECT_EQ(empty.Quantile(1.0), 0u);
+}
+
+// ---------------------------------------------------------- concurrency
+
+TEST(HistogramTest, ConcurrentRecordsLoseNothing) {
+  // Wait-free recording: N threads hammering one histogram (and one
+  // counter) must account for every event. Run under TSan in CI.
+  Histogram h(Unit::kCount);
+  Counter counter;
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(i % 1000));
+        counter.Add();
+        gauge.Set(t);
+        if (i % 128 == 0) (void)h.Snapshot();  // readers race writers
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucketed = 0;
+  for (uint64_t b : snap.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, snap.count);
+  EXPECT_EQ(snap.max, 999u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsStable) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Counter* c = registry.GetCounter("shared_total");
+      c->Add();
+      seen[static_cast<size_t>(t)] = c;
+      registry.GetHistogram("h_" + std::to_string(t % 3), Unit::kMicros)
+          ->Record(static_cast<uint64_t>(t));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // One name, one instrument: every thread got the same pointer and no
+  // increment was lost.
+  for (Counter* c : seen) EXPECT_EQ(c, seen[0]);
+  EXPECT_EQ(seen[0]->Value(), 8u);
+  EXPECT_EQ(registry.Snapshot().histograms.size(), 3u);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, NamesAreStableAndKindSafe) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("requests_total");
+  EXPECT_EQ(registry.GetCounter("requests_total"), counter);
+  Histogram* histogram = registry.GetHistogram("latency", Unit::kMicros);
+  // Re-requesting with a different unit returns the existing instrument
+  // unchanged — the first registration wins.
+  EXPECT_EQ(registry.GetHistogram("latency", Unit::kCount), histogram);
+  EXPECT_EQ(histogram->unit(), Unit::kMicros);
+
+  counter->Add(7);
+  registry.GetGauge("level")->Set(-3);
+  histogram->Record(100);
+  RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("requests_total"), 7u);
+  EXPECT_EQ(snap.gauges.at("level"), -3);
+  EXPECT_EQ(snap.histograms.at("latency").count, 1u);
+}
+
+// ------------------------------------------------------------ wire form
+
+TEST(RegistrySnapshotTest, WireRoundTripIsLossless) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total")->Add(42);
+  registry.GetGauge("b")->Set(-17);
+  Histogram* h = registry.GetHistogram("c_seconds", Unit::kMicros);
+  h->Record(0);
+  h->Record(5);
+  h->Record(123456);
+  RegistrySnapshot original = registry.Snapshot();
+
+  Bytes wire;
+  original.AppendTo(&wire);
+  ByteReader reader(wire);
+  auto parsed = RegistrySnapshot::ReadFrom(&reader);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(parsed->counters, original.counters);
+  EXPECT_EQ(parsed->gauges, original.gauges);
+  ASSERT_EQ(parsed->histograms.size(), original.histograms.size());
+  EXPECT_EQ(parsed->histograms.at("c_seconds"),
+            original.histograms.at("c_seconds"));
+}
+
+TEST(RegistrySnapshotTest, RejectsCountsBeyondPayload) {
+  // The snapshot parser sees attacker-controlled bytes (any peer can
+  // claim to be a server): declared counts must be validated against the
+  // physical payload before any allocation.
+  Bytes wire;
+  AppendUint32(&wire, 1000000);  // one million counters in four bytes
+  ByteReader reader(wire);
+  auto parsed = RegistrySnapshot::ReadFrom(&reader);
+  EXPECT_FALSE(parsed.ok());
+
+  // A histogram claiming more buckets than the payload (or the type) holds.
+  MetricsRegistry registry;
+  registry.GetHistogram("h", Unit::kCount)->Record(1);
+  Bytes good;
+  registry.Snapshot().AppendTo(&good);
+  Bytes truncated(good.begin(), good.end() - 9);
+  ByteReader truncated_reader(truncated);
+  EXPECT_FALSE(RegistrySnapshot::ReadFrom(&truncated_reader).ok());
+}
+
+// ----------------------------------------------------------- renderings
+
+TEST(RegistrySnapshotTest, PrometheusRenderingCoversEverySeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("dbph_requests_total")->Add(3);
+  registry.GetGauge("dbph_net_connections_open")->Set(2);
+  Histogram* h = registry.GetHistogram("dbph_select_seconds", Unit::kMicros);
+  h->Record(1000000);  // one second
+  std::string page = registry.Snapshot().RenderPrometheus();
+
+  EXPECT_NE(page.find("# TYPE dbph_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("dbph_requests_total 3"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE dbph_net_connections_open gauge"),
+            std::string::npos);
+  EXPECT_NE(page.find("dbph_net_connections_open 2"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE dbph_select_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(page.find("dbph_select_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  // Micros scale to seconds in the exported sum.
+  EXPECT_NE(page.find("dbph_select_seconds_sum 1"), std::string::npos);
+  EXPECT_NE(page.find("dbph_select_seconds_count 1"), std::string::npos);
+}
+
+TEST(RegistrySnapshotTest, TextRenderingIsHumanReadable) {
+  MetricsRegistry registry;
+  registry.GetCounter("dbph_requests_total")->Add(5);
+  registry.GetHistogram("dbph_select_seconds", Unit::kMicros)->Record(250);
+  std::string text = registry.Snapshot().RenderText();
+  EXPECT_NE(text.find("dbph_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("5"), std::string::npos);
+  EXPECT_NE(text.find("dbph_select_seconds"), std::string::npos);
+}
+
+// ---------------------------------------------------------- query trace
+
+TEST(QueryTraceTest, DescribeRedactsEverythingButMetadata) {
+  QueryTrace trace;
+  trace.op = "select";
+  trace.relation = "patients";
+  trace.total_micros = 1500;
+  trace.parse_micros = 10;
+  trace.lock_wait_micros = 2;
+  trace.plan_micros = 3;
+  trace.execute_micros = 1400;
+  trace.proof_micros = 50;
+  trace.serialize_micros = 35;
+  trace.used_index = true;
+  trace.result_size = 12;
+  std::string line = trace.Describe();
+  // Metadata only: operation, relation name, timings, path, count.
+  EXPECT_NE(line.find("op=select"), std::string::npos);
+  EXPECT_NE(line.find("relation=patients"), std::string::npos);
+  EXPECT_NE(line.find("total_us=1500"), std::string::npos);
+  EXPECT_NE(line.find("path=index"), std::string::npos);
+  EXPECT_NE(line.find("results=12"), std::string::npos);
+
+  trace.Reset();
+  EXPECT_EQ(trace.total_micros, 0u);
+  EXPECT_EQ(trace.result_size, 0u);
+  EXPECT_FALSE(trace.used_index);
+}
+
+TEST(QueryTraceTest, ScopedStageTimerAccumulates) {
+  uint64_t slot = 0;
+  {
+    ScopedStageTimer timer(&slot);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  // Can't assert much about wall time; it must at least have written.
+  uint64_t first = slot;
+  {
+    ScopedStageTimer timer(&slot);
+  }
+  EXPECT_GE(slot, first);
+  ScopedStageTimer null_timer(nullptr);  // null slot must be a no-op
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dbph

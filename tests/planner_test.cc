@@ -571,17 +571,14 @@ TEST(ObservationModeTest, AggregateKeepsCountsNotTranscripts) {
             full.aggregate().num_stores);
   EXPECT_EQ(aggregate.aggregate().matched_total,
             full.aggregate().matched_total);
-  EXPECT_EQ(aggregate.aggregate().result_size_histogram,
-            full.aggregate().result_size_histogram);
+  EXPECT_EQ(aggregate.aggregate().result_size_histogram.Snapshot(),
+            full.aggregate().result_size_histogram.Snapshot());
 
-  // The histogram is a real summary of the full transcript.
-  uint64_t histogram_total = 0;
-  for (const auto& [size, count] :
-       aggregate.aggregate().result_size_histogram) {
-    (void)size;
-    histogram_total += count;
-  }
-  EXPECT_EQ(histogram_total, 21u);
+  // The histogram is a real summary of the full transcript: one sample
+  // per query, and its sum is the total number of matched documents.
+  auto histogram = aggregate.aggregate().result_size_histogram.Snapshot();
+  EXPECT_EQ(histogram.count, 21u);
+  EXPECT_EQ(histogram.sum, aggregate.aggregate().matched_total);
 }
 
 }  // namespace

@@ -54,14 +54,18 @@ TEST(ProtocolFuzzTest, ValidTypeBytesWithGarbagePayloads) {
       ASSERT_TRUE(envelope.ok());
       // Whatever happens, it must be a well-formed reply. Random payloads
       // never decode into valid requests, so: error — except kPing, whose
-      // payload is an opaque cookie echoed back verbatim, and kFlush,
-      // which is payload-free (an empty random payload is a valid flush).
+      // payload is an opaque cookie echoed back verbatim, and kFlush /
+      // kStats, which are payload-free (an empty random payload is a
+      // valid request for either).
       if (request.type == protocol::MessageType::kPing) {
         EXPECT_EQ(envelope->type, protocol::MessageType::kPong);
         EXPECT_EQ(envelope->payload, request.payload);
       } else if (request.type == protocol::MessageType::kFlush &&
                  request.payload.empty()) {
         EXPECT_EQ(envelope->type, protocol::MessageType::kFlushOk);
+      } else if (request.type == protocol::MessageType::kStats &&
+                 request.payload.empty()) {
+        EXPECT_EQ(envelope->type, protocol::MessageType::kStatsResult);
       } else {
         EXPECT_EQ(envelope->type, protocol::MessageType::kError);
       }

@@ -10,6 +10,7 @@
 //                [--max-conns=N] [--idle-timeout-ms=N]
 //                [--index=on|off] [--integrity=on|off]
 //                [--observation=full|aggregate]
+//                [--metrics=on|off] [--metrics-port=N] [--slow-query-ms=N]
 //
 // Full flag reference (kept in lockstep with --help and CI's docs
 // check): docs/OPERATIONS.md.
@@ -40,6 +41,18 @@
 //   --observation=aggregate  bounded transcript: counts + result-size
 //                   histogram only, so a long-running daemon under heavy
 //                   traffic does not grow without bound.
+//   --metrics=on    (default) per-op counters, stage latency histograms,
+//                   dispatch-lock wait tracking (src/obs). off skips the
+//                   clock reads; kStats still answers with zeroed series.
+//   --metrics-port=N  serve the metrics snapshot as Prometheus text over
+//                   plain HTTP on port N (same event loop, same bind
+//                   address). Off unless given. The page leaks only
+//                   sizes/counts/timings — Eve's own view — but expose
+//                   it to operators, not the internet.
+//   --slow-query-ms=N  log requests slower than N ms at Warning with
+//                   their per-stage trace. The line carries metadata only
+//                   (op, relation name, timings, result count) — never
+//                   trapdoor or ciphertext bytes. 0 (default) disables.
 //
 //   --persist=DIR   continuous durability: every mutation is appended to
 //                   DIR/wal.log (CRC-guarded, length-prefixed) before it
@@ -124,6 +137,9 @@ const char kUsage[] =
     "  --index-append-budget=N index maintenance budget per append\n"
     "  --integrity=on|off      Merkle result proofs (default on)\n"
     "  --observation=full|aggregate  observation log mode\n"
+    "  --metrics=on|off        metrics + query tracing (default on)\n"
+    "  --metrics-port=N        Prometheus text endpoint on port N\n"
+    "  --slow-query-ms=N       log queries slower than N ms (0 = off)\n"
     "  --help                  print this and exit\n"
     "full reference: docs/OPERATIONS.md\n";
 
@@ -139,16 +155,28 @@ int main(int argc, char** argv) {
   std::string index_mode;
   std::string integrity_mode;
   std::string observation_mode;
+  std::string metrics_mode;
 
   size_t port = net_options.port;
   size_t max_conns = net_options.max_connections;
   size_t idle_ms = static_cast<size_t>(net_options.idle_timeout_ms);
+  size_t metrics_port = 0;
+  bool have_metrics_port = false;
+  size_t slow_query_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
     }
     bool bad_value = false;
+    if (ParseSizeFlag(argv[i], "--metrics-port=", &metrics_port, &bad_value)) {
+      if (bad_value) {
+        std::fprintf(stderr, "bad numeric value in '%s'\n", argv[i]);
+        return 2;
+      }
+      have_metrics_port = true;
+      continue;
+    }
     if (ParseSizeFlag(argv[i], "--port=", &port, &bad_value) ||
         ParseSizeFlag(argv[i], "--threads=", &runtime_options.num_threads,
                       &bad_value) ||
@@ -160,6 +188,9 @@ int main(int argc, char** argv) {
                       &runtime_options.max_indexed_trapdoors, &bad_value) ||
         ParseSizeFlag(argv[i], "--index-append-budget=",
                       &runtime_options.max_index_append_evals, &bad_value) ||
+        ParseSizeFlag(argv[i], "--slow-query-ms=", &slow_query_ms,
+                      &bad_value) ||
+        ParseStringFlag(argv[i], "--metrics=", &metrics_mode) ||
         ParseStringFlag(argv[i], "--bind=", &net_options.bind_address) ||
         ParseStringFlag(argv[i], "--fsync=", &fsync_mode) ||
         ParseStringFlag(argv[i], "--index=", &index_mode) ||
@@ -212,6 +243,22 @@ int main(int argc, char** argv) {
                  observation_mode.c_str());
     return 2;
   }
+  if (metrics_mode.empty()) metrics_mode = "on";
+  if (metrics_mode != "on" && metrics_mode != "off") {
+    std::fprintf(stderr, "--metrics must be 'on' or 'off', got '%s'\n",
+                 metrics_mode.c_str());
+    return 2;
+  }
+  runtime_options.enable_metrics = metrics_mode == "on";
+  runtime_options.slow_query_ms = static_cast<int>(slow_query_ms);
+  if (have_metrics_port) {
+    if (metrics_port == 0 || metrics_port > 65535) {
+      std::fprintf(stderr, "--metrics-port must be in [1, 65535], got %zu\n",
+                   metrics_port);
+      return 2;
+    }
+    net_options.metrics_port = static_cast<int>(metrics_port);
+  }
   net_options.port = static_cast<uint16_t>(port);
   net_options.max_connections = max_conns;
   net_options.idle_timeout_ms = static_cast<int>(idle_ms);
@@ -257,6 +304,10 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "dbph_serverd: listening on %s:%u\n",
                net_options.bind_address.c_str(), server.port());
+  if (have_metrics_port) {
+    std::fprintf(stderr, "dbph_serverd: metrics on http://%s:%u/metrics\n",
+                 net_options.bind_address.c_str(), server.metrics_http_port());
+  }
 
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
