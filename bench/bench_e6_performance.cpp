@@ -899,6 +899,75 @@ int RunIntegrityBench(const ParallelBenchConfig& config) {
 
 // ------------- metrics overhead + lock-wait share (JSON mode) ----------------
 
+/// One paired A/B point-select comparison between two deployments over
+/// the same data. The two sides alternate in small chunks inside each
+/// round, so a scheduler or VM-steal spike lands on both nearly equally
+/// instead of skewing whichever ~100ms block it happened to hit; chunk
+/// order flips every pair (ABBA) so interference phase-locked to the
+/// chunk cadence cannot systematically tax one side. The reported ratio
+/// is the MEDIAN of per-pair time ratios (a_chunk / b_chunk, i.e. the
+/// B side's relative speed) — each ~6ms pair is an independent paired
+/// sample, and the median discards the minority of pairs a burst
+/// corrupted.
+struct PairedSelectResult {
+  double a_qps = 0;
+  double b_qps = 0;
+  double ratio = 1.0;  ///< median a_time/b_time: >= 1 means B is faster
+  bool ok = false;
+};
+
+PairedSelectResult PairedPointSelects(E6Deployment* a, E6Deployment* b,
+                                      const ParallelBenchConfig& config,
+                                      const rel::Value& probe) {
+  PairedSelectResult result;
+  const size_t chunk = 100;
+  double a_best = 0, b_best = 0;
+  std::vector<double> pair_ratios;
+  for (size_t round = 0; round < config.rounds; ++round) {
+    double a_elapsed = 0, b_elapsed = 0;
+    bool a_first = true;
+    for (size_t done = 0; done < config.repeats;
+         done += chunk, a_first = !a_first) {
+      const size_t n = std::min(chunk, config.repeats - done);
+      double a_chunk = 0, b_chunk = 0;
+      const auto run_a = [&]() -> bool {
+        Stopwatch timer;
+        for (size_t i = 0; i < n; ++i) {
+          if (!a->client.Select("T", "key", probe).ok()) return false;
+        }
+        a_chunk = timer.ElapsedSeconds();
+        return true;
+      };
+      const auto run_b = [&]() -> bool {
+        Stopwatch timer;
+        for (size_t i = 0; i < n; ++i) {
+          if (!b->client.Select("T", "key", probe).ok()) return false;
+        }
+        b_chunk = timer.ElapsedSeconds();
+        return true;
+      };
+      if (a_first ? !(run_a() && run_b()) : !(run_b() && run_a())) {
+        return result;
+      }
+      a_elapsed += a_chunk;
+      b_elapsed += b_chunk;
+      if (b_chunk > 0) pair_ratios.push_back(a_chunk / b_chunk);
+    }
+    if (round == 0 || a_elapsed < a_best) a_best = a_elapsed;
+    if (round == 0 || b_elapsed < b_best) b_best = b_elapsed;
+  }
+  result.a_qps = static_cast<double>(config.repeats) / a_best;
+  result.b_qps = static_cast<double>(config.repeats) / b_best;
+  if (!pair_ratios.empty()) {
+    std::nth_element(pair_ratios.begin(),
+                     pair_ratios.begin() + pair_ratios.size() / 2,
+                     pair_ratios.end());
+    result.ratio = pair_ratios[pair_ratios.size() / 2];
+  }
+  result.ok = true;
+  return result;
+}
+
 int RunStatsBench(const ParallelBenchConfig& config) {
   // Identical ciphertext (same DRBG seeds), one deployment with the obs
   // layer's clock reads and atomics, one with the metrics-off fast path.
@@ -928,62 +997,45 @@ int RunStatsBench(const ParallelBenchConfig& config) {
   }
   bool results_match = expected->SameTuples(*warm);
 
-  // The two sides alternate in small chunks inside each round, so a
-  // scheduler or VM-steal spike lands on both nearly equally instead of
-  // skewing whichever ~100ms block it happened to hit — the ratio is
-  // sub-percent, far below whole-window noise on a busy host. Chunk
-  // order flips every pair (ABBA) so interference that is phase-locked
-  // to the chunk cadence cannot systematically tax one side.
-  const size_t chunk = 100;
-  double off_best = 0, on_best = 0;
-  std::vector<double> pair_ratios;
-  for (size_t round = 0; round < config.rounds; ++round) {
-    double off_elapsed = 0, on_elapsed = 0;
-    bool off_first = true;
-    for (size_t done = 0; done < config.repeats;
-         done += chunk, off_first = !off_first) {
-      const size_t n = std::min(chunk, config.repeats - done);
-      double off_chunk = 0, on_chunk = 0;
-      const auto run_off = [&]() -> bool {
-        Stopwatch timer;
-        for (size_t i = 0; i < n; ++i) {
-          if (!off.client.Select("T", "key", probe).ok()) return false;
-        }
-        off_chunk = timer.ElapsedSeconds();
-        return true;
-      };
-      const auto run_on = [&]() -> bool {
-        Stopwatch timer;
-        for (size_t i = 0; i < n; ++i) {
-          if (!on.client.Select("T", "key", probe).ok()) return false;
-        }
-        on_chunk = timer.ElapsedSeconds();
-        return true;
-      };
-      if (off_first ? !(run_off() && run_on()) : !(run_on() && run_off())) {
-        return 1;
-      }
-      off_elapsed += off_chunk;
-      on_elapsed += on_chunk;
-      if (on_chunk > 0) pair_ratios.push_back(off_chunk / on_chunk);
-    }
-    if (round == 0 || off_elapsed < off_best) off_best = off_elapsed;
-    if (round == 0 || on_elapsed < on_best) on_best = on_elapsed;
+  PairedSelectResult metrics_pair = PairedPointSelects(&off, &on, config, probe);
+  if (!metrics_pair.ok) return 1;
+  double off_qps = metrics_pair.a_qps;
+  double on_qps = metrics_pair.b_qps;
+  double overhead_ratio = metrics_pair.ratio;
+
+  // Second paired comparison: the leakage auditor's hot-path cost (one
+  // SHA-256 digest + a ring append per select) against an
+  // --leakage=off deployment, metrics on for both sides so only the
+  // auditor differs.
+  server::ServerRuntimeOptions leak_off_options;
+  leak_off_options.enable_leakage = false;
+  server::ServerRuntimeOptions leak_on_options;
+  leak_on_options.enable_leakage = true;
+  E6Deployment leak_off(leak_off_options);
+  E6Deployment leak_on(leak_on_options);
+  if (!leak_off.client.Outsource(table).ok() ||
+      !leak_on.client.Outsource(table).ok()) {
+    std::fprintf(stderr, "leakage-pair outsource failed\n");
+    return 1;
   }
-  double off_qps = static_cast<double>(config.repeats) / off_best;
-  double on_qps = static_cast<double>(config.repeats) / on_best;
-  // The reported ratio is the MEDIAN of per-pair ratios, not the ratio
-  // of the two best windows: each ~6ms pair is an independent paired
-  // sample, and the median discards the minority of pairs a VM-steal or
-  // scheduler burst corrupted — the only estimator that stays stable on
-  // a bursty shared host.
-  double overhead_ratio = 1.0;
-  if (!pair_ratios.empty()) {
-    std::nth_element(pair_ratios.begin(),
-                     pair_ratios.begin() + pair_ratios.size() / 2,
-                     pair_ratios.end());
-    overhead_ratio = pair_ratios[pair_ratios.size() / 2];
+  if (!leak_off.client.Select("T", "key", probe).ok() ||
+      !leak_on.client.Select("T", "key", probe).ok()) {
+    std::fprintf(stderr, "leakage-pair warm-up failed\n");
+    return 1;
   }
+  PairedSelectResult leakage_pair =
+      PairedPointSelects(&leak_off, &leak_on, config, probe);
+  if (!leakage_pair.ok) return 1;
+
+  // Read the auditor back through its own wire surface: one
+  // kLeakageReport round trip must show the workload we just ran, and
+  // the --leakage=off deployment must refuse the same request.
+  auto leakage_report = leak_on.client.LeakageReport();
+  bool leakage_roundtrip_ok =
+      leakage_report.ok() && leakage_report->queries_observed > 0 &&
+      leakage_report->relations.size() == 1 &&
+      leakage_report->relations[0].relation == "T" &&
+      !leak_off.client.LeakageReport().ok();
 
   // Read the answer back through the surface under test: one kStats
   // round trip, then the lock-wait share of select latency out of the
@@ -1013,15 +1065,19 @@ int RunStatsBench(const ParallelBenchConfig& config) {
   std::printf(
       "{\"bench\":\"e6_stats\",\"docs\":%zu,\"repeats\":%zu,\"rounds\":%zu,"
       "\"result_size\":%zu,\"qps_metrics_off\":%.2f,\"qps_metrics_on\":%.2f,"
-      "\"overhead_ratio\":%.4f,\"select_count\":%llu,"
+      "\"overhead_ratio\":%.4f,"
+      "\"qps_leakage_off\":%.2f,\"qps_leakage_on\":%.2f,"
+      "\"leakage_overhead_ratio\":%.4f,\"leakage_roundtrip_ok\":%s,"
+      "\"select_count\":%llu,"
       "\"lock_wait_share\":%.6f,\"stats_roundtrip_ok\":%s,"
       "\"results_match\":%s}\n",
       config.docs, config.repeats, config.rounds, expected->size(), off_qps,
-      on_qps, overhead_ratio,
+      on_qps, overhead_ratio, leakage_pair.a_qps, leakage_pair.b_qps,
+      leakage_pair.ratio, leakage_roundtrip_ok ? "true" : "false",
       static_cast<unsigned long long>(select_count), lock_wait_share,
       stats_roundtrip_ok ? "true" : "false",
       results_match ? "true" : "false");
-  return (stats_roundtrip_ok && results_match) ? 0 : 1;
+  return (stats_roundtrip_ok && results_match && leakage_roundtrip_ok) ? 0 : 1;
 }
 
 }  // namespace

@@ -191,7 +191,8 @@ int main(int argc, char** argv) {
             << table->schema().attribute(0).name << " = ...;\n"
             << "EXPLAIN SELECT ... shows the server's plan (index vs scan)\n"
             << "without executing. VERIFY ENFORCE|WARN|OFF toggles Merkle\n"
-            << "result verification. STATS dumps the server's live metrics.\n"
+            << "result verification. STATS dumps the server's live metrics;\n"
+            << "LEAKAGE dumps its access-pattern self-audit (Eve's view).\n"
             << "Ctrl-D or \\q to quit, \\eve to dump Eve's transcript.\n\n";
 
   // VERIFY <mode>: the REPL's switch for client-side result integrity.
@@ -259,6 +260,19 @@ int main(int argc, char** argv) {
                   << " responses, p50 " << verify.P50() << "us, p99 "
                   << verify.P99() << "us\n";
       }
+      continue;
+    }
+    if (line == "LEAKAGE" || line == "leakage") {
+      // One kLeakageReport round trip: the server's own estimate of what
+      // its query stream has leaked — tag-frequency spectra (salted
+      // digests), entropy, per-path result sizes, and the live
+      // frequency-attack advantage.
+      auto report = alex.LeakageReport();
+      if (!report.ok()) {
+        std::cout << "error: " << report.status() << "\n";
+        continue;
+      }
+      std::cout << report->RenderText();
       continue;
     }
     if (line == "\\eve") {

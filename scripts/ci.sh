@@ -77,13 +77,16 @@ run_tsan_stage() {
   # obs_metrics_test rides along by design: the registry's wait-free
   # recording claims (relaxed atomics, copy-under-write histograms) are
   # worthless unless a data-race detector actually watches them.
+  # obs_leakage_test likewise: the auditor claims standalone thread
+  # safety (its own mutex around the staging ring and fold), and its
+  # concurrent record/report test only means something under TSan.
   cmake --build "$tsan_dir" -j "$(nproc)" --target \
     runtime_test runtime_parallel_test net_frame_test net_server_test \
     net_interleave_test protocol_fuzz_test wal_recovery_test \
     differential_test server_persistence_test planner_test sql_test \
-    obs_metrics_test
+    obs_metrics_test obs_leakage_test
   ctest --test-dir "$tsan_dir" --output-on-failure --no-tests=error \
-    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql|obs_metrics' \
+    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql|obs_metrics|obs_leakage' \
     -j "$(nproc)"
 }
 
@@ -154,8 +157,9 @@ if [ -x "$BUILD_DIR/bench_e6_performance" ]; then
   # vs the proof-free baseline, asserting identical results.
   "$BUILD_DIR/bench_e6_performance" --integrity --docs=2000 --repeats=5 \
     --mutations=50
-  # ...and the stats mode: metrics-on vs metrics-off point selects,
-  # asserting the kStats round trip works and results match.
+  # ...and the stats mode: metrics-on vs metrics-off and leakage-on vs
+  # leakage-off point selects, asserting the kStats and kLeakageReport
+  # round trips work and results match.
   "$BUILD_DIR/bench_e6_performance" --stats --docs=2000 --repeats=50 \
     --rounds=1
 fi
@@ -170,9 +174,14 @@ METRICS_DIR="$(mktemp -d)"
   --metrics-port=17693 --persist="$METRICS_DIR" --fsync=always &
 SERVERD_PID=$!
 sleep 1
-printf "SELECT * FROM Emp WHERE dept = 'HR';\nSTATS\n\\\\q\n" \
-  | "$BUILD_DIR/example_sql_repl" --connect=127.0.0.1:17692 \
-  | grep -q "dbph_requests_total"
+REPL_OUT="$METRICS_DIR/repl.out"
+printf "SELECT * FROM Emp WHERE dept = 'HR';\nLEAKAGE\nSTATS\n\\\\q\n" \
+  | "$BUILD_DIR/example_sql_repl" --connect=127.0.0.1:17692 > "$REPL_OUT"
+grep -q "dbph_requests_total" "$REPL_OUT"
+# The LEAKAGE command must round-trip a kLeakageReport and show the
+# query the session just ran against the demo table.
+grep -q "leakage report" "$REPL_OUT"
+grep -q "Emp" "$REPL_OUT"
 SCRAPE="$METRICS_DIR/metrics.prom"
 exec 3<>/dev/tcp/127.0.0.1/17693
 printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
@@ -184,7 +193,9 @@ grep -q "HTTP/1.0 200 OK" "$SCRAPE"
 for series in dbph_requests_total dbph_select_seconds_bucket \
     dbph_dispatch_lock_wait_seconds_sum dbph_net_frames_in_total \
     dbph_wal_append_records_total dbph_index_trapdoors \
-    dbph_integrity_proof_build_seconds_count; do
+    dbph_integrity_proof_build_seconds_count \
+    dbph_leakage_observed_queries_total dbph_leakage_advantage_millis \
+    dbph_build_info dbph_process_start_time_seconds; do
   grep -q "^$series" "$SCRAPE" \
     || { echo "metrics smoke: $series missing from scrape" >&2; exit 1; }
 done

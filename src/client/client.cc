@@ -748,6 +748,21 @@ Result<obs::RegistrySnapshot> Client::Stats() {
   return snapshot;
 }
 
+Result<obs::leakage::LeakageReport> Client::LeakageReport() {
+  Envelope request;
+  request.type = MessageType::kLeakageReport;
+  DBPH_ASSIGN_OR_RETURN(
+      Envelope response,
+      Call(transport_, request, MessageType::kLeakageReportResult));
+  ByteReader reader(response.payload);
+  DBPH_ASSIGN_OR_RETURN(obs::leakage::LeakageReport report,
+                        obs::leakage::LeakageReport::ReadFrom(&reader));
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes after leakage report");
+  }
+  return report;
+}
+
 Status Client::Drop(const std::string& relation) {
   Envelope request;
   request.type = MessageType::kDropRelation;

@@ -12,6 +12,7 @@
 #include "crypto/merkle.h"
 #include "crypto/random.h"
 #include "dbph/scheme.h"
+#include "obs/leakage/report.h"
 #include "obs/metrics.h"
 #include "protocol/plan_report.h"
 #include "protocol/result_proof.h"
@@ -145,6 +146,15 @@ class Client {
   /// and read-only; the STATS REPL command and operator tooling render
   /// the result with RenderText()/RenderPrometheus().
   Result<obs::RegistrySnapshot> Stats();
+
+  /// Fetches the server's live leakage self-audit (kLeakageReport):
+  /// per-relation tag-frequency spectra over salted digests, empirical
+  /// entropy, result-size distributions per access path, and the
+  /// frequency-attack advantage Eve currently enjoys. Keys-free and
+  /// read-only; fails with kFailedPrecondition when the server runs
+  /// --leakage=off. The LEAKAGE REPL command renders the result with
+  /// RenderText().
+  Result<obs::leakage::LeakageReport> LeakageReport();
 
   /// Client-side proof verification latency (microseconds per verified
   /// response) — the client's own cost of the integrity layer. Records

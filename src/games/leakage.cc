@@ -1,5 +1,6 @@
 #include "games/leakage.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
@@ -98,6 +99,28 @@ std::vector<std::pair<std::string, rel::Value>> SampleWorkload(
                           table.tuple(row).at(attr));
   }
   return workload;
+}
+
+SpectrumSummary SummarizeTagSpectrum(const std::vector<uint64_t>& counts) {
+  SpectrumSummary summary;
+  uint64_t modal = 0;
+  for (uint64_t count : counts) {
+    if (count == 0) continue;
+    summary.total += count;
+    summary.distinct++;
+    if (count > modal) modal = count;
+  }
+  if (summary.total == 0 || summary.distinct == 0) return summary;
+  double n = static_cast<double>(summary.total);
+  for (uint64_t count : counts) {
+    if (count == 0) continue;
+    double p = static_cast<double>(count) / n;
+    summary.entropy_bits -= p * std::log2(p);
+  }
+  summary.modal_rate = static_cast<double>(modal) / n;
+  double blind = 1.0 / static_cast<double>(summary.distinct);
+  summary.advantage = std::max(0.0, summary.modal_rate - blind);
+  return summary;
 }
 
 }  // namespace games

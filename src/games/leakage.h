@@ -50,6 +50,33 @@ Result<LeakageCurve> MeasureQueryLeakage(
 std::vector<std::pair<std::string, rel::Value>> SampleWorkload(
     const rel::Relation& table, size_t queries, uint64_t seed);
 
+/// \brief Summary statistics of a trapdoor-tag frequency spectrum: the
+/// histogram of how often each distinct (encrypted) query tag was
+/// observed. This is the adversary's raw material for a frequency
+/// attack — if one tag dominates, Eve predicts the next query (or maps
+/// tags to public plaintext frequencies) far better than chance.
+struct SpectrumSummary {
+  /// Total observed queries (sum of counts).
+  uint64_t total = 0;
+  /// Distinct tags with a non-zero count.
+  uint64_t distinct = 0;
+  /// Empirical Shannon entropy of the tag distribution, in bits.
+  /// log2(distinct) = uniform = least informative for Eve.
+  double entropy_bits = 0.0;
+  /// Share of the most frequent tag in [0, 1].
+  double modal_rate = 0.0;
+  /// Eve's frequency-attack advantage over blind guessing at
+  /// predicting the next query tag: modal_rate - 1/distinct, clamped
+  /// at 0. Uniform workloads score 0; a degenerate single-tag workload
+  /// approaches 1.
+  double advantage = 0.0;
+};
+
+/// \brief Computes the spectrum summary from per-tag observation counts
+/// (zero entries are ignored). Shared by the offline games analyses and
+/// the live obs::leakage auditor so both report the same estimator.
+SpectrumSummary SummarizeTagSpectrum(const std::vector<uint64_t>& counts);
+
 }  // namespace games
 }  // namespace dbph
 

@@ -1,0 +1,216 @@
+#include "obs/leakage/auditor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "crypto/random.h"
+#include "crypto/sha256.h"
+#include "games/leakage.h"
+
+namespace dbph {
+namespace obs {
+namespace leakage {
+
+namespace {
+
+uint64_t RoundToMillis(double value) {
+  if (value <= 0.0) return 0;
+  return static_cast<uint64_t>(std::llround(value * 1000.0));
+}
+
+/// splitmix64 finalizer: decorrelates the (prev, cur) pair key from the
+/// raw digests so adjacent-pair tracking never collides systematically.
+uint64_t MixDigest(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+LeakageAuditor::LeakageAuditor(const LeakageOptions& options,
+                               MetricsRegistry* registry)
+    : options_(options), salt_(options.salt) {
+  if (salt_.empty()) salt_ = crypto::DefaultRng().NextBytes(16);
+  if (registry != nullptr) {
+    queries_total_ = registry->GetCounter("dbph_leakage_observed_queries_total");
+    alerts_total_ = registry->GetCounter("dbph_leakage_alerts_total");
+    evictions_total_ =
+        registry->GetCounter("dbph_leakage_sketch_evictions_total");
+    relations_gauge_ = registry->GetGauge("dbph_leakage_relations");
+    distinct_tags_gauge_ = registry->GetGauge("dbph_leakage_distinct_tags");
+    entropy_gauge_ = registry->GetGauge("dbph_leakage_tag_entropy_millibits");
+    advantage_gauge_ = registry->GetGauge("dbph_leakage_advantage_millis");
+    scan_sizes_hist_ =
+        registry->GetHistogram("dbph_leakage_result_size_scan", Unit::kCount);
+    index_sizes_hist_ =
+        registry->GetHistogram("dbph_leakage_result_size_index", Unit::kCount);
+  }
+}
+
+uint64_t LeakageAuditor::TagDigest(const Bytes& trapdoor_bytes) const {
+  Bytes material = salt_;
+  material.insert(material.end(), trapdoor_bytes.begin(),
+                  trapdoor_bytes.end());
+  Bytes digest = crypto::Sha256::Hash(material);
+  uint64_t tag = 0;
+  for (size_t i = 0; i < 8; ++i) tag = (tag << 8) | digest[i];
+  return tag;
+}
+
+size_t LeakageAuditor::RelationSlotLocked(const std::string& relation) {
+  auto [it, inserted] = relation_slots_.emplace(relation, states_.size());
+  if (inserted) {
+    states_.push_back(std::make_unique<RelationState>(options_));
+    slot_names_.push_back(relation);
+  }
+  return it->second;
+}
+
+void LeakageAuditor::RecordQuery(const std::string& relation,
+                                 const Bytes& trapdoor_bytes,
+                                 uint64_t result_size, bool used_index) {
+  // The digest is the only work done against the raw trapdoor; the bytes
+  // are never retained.
+  uint64_t digest = TagDigest(trapdoor_bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  PendingEntry& entry = pending_[pending_count_++];
+  entry.relation_slot = static_cast<uint32_t>(RelationSlotLocked(relation));
+  entry.digest = digest;
+  entry.result_size = result_size;
+  entry.used_index = used_index;
+  if (pending_count_ == kPendingRingSize) FoldLocked();
+}
+
+void LeakageAuditor::FoldLocked() {
+  for (size_t i = 0; i < pending_count_; ++i) {
+    const PendingEntry& entry = pending_[i];
+    RelationState& state = *states_[entry.relation_slot];
+    state.queries++;
+    state.tags.Record(entry.digest);
+    if (state.has_prev) {
+      state.pairs.Record(MixDigest(state.prev_digest) ^ entry.digest);
+    }
+    state.prev_digest = entry.digest;
+    state.has_prev = true;
+    if (entry.used_index) {
+      state.index_sizes.Record(entry.result_size);
+      if (index_sizes_hist_ != nullptr) {
+        index_sizes_hist_->Record(entry.result_size);
+      }
+    } else {
+      state.scan_sizes.Record(entry.result_size);
+      if (scan_sizes_hist_ != nullptr) {
+        scan_sizes_hist_->Record(entry.result_size);
+      }
+    }
+    MaybeAlertLocked(&state, slot_names_[entry.relation_slot]);
+  }
+  folded_queries_ += pending_count_;
+  pending_count_ = 0;
+}
+
+void LeakageAuditor::MaybeAlertLocked(RelationState* state,
+                                      const std::string& relation) {
+  if (state->alerted || state->queries < options_.min_alert_queries) return;
+  uint64_t distinct = state->tags.size();
+  uint64_t total = state->tags.total();
+  if (distinct == 0 || total == 0) return;
+  double modal =
+      static_cast<double>(state->tags.ModalCount()) / static_cast<double>(total);
+  double advantage = std::max(0.0, modal - 1.0 / static_cast<double>(distinct));
+  if (RoundToMillis(advantage) < options_.alert_advantage_millis) return;
+  state->alerted = true;
+  ++alerts_;
+  // Redacted by construction: relation name, counts, and rates only —
+  // all derived from what Eve observes anyway.
+  DBPH_LOG(Warning) << "leakage alert: relation " << relation
+                    << " frequency-attack advantage "
+                    << RoundToMillis(advantage) << "/1000 exceeds budget "
+                    << options_.alert_advantage_millis
+                    << "/1000 (queries=" << state->queries
+                    << ", distinct_tags=" << distinct << ")";
+}
+
+LeakageReport LeakageAuditor::Report() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FoldLocked();
+  LeakageReport report;
+  report.queries_observed = folded_queries_;
+  report.alerts = alerts_;
+  report.advantage_budget_millis = options_.alert_advantage_millis;
+  report.relations.reserve(relation_slots_.size());
+  for (const auto& [name, slot] : relation_slots_) {
+    const RelationState& state = *states_[slot];
+    RelationLeakage rel;
+    rel.relation = name;
+    rel.queries = state.queries;
+    rel.distinct_tags = state.tags.size();
+    rel.sketch_evictions = state.tags.evictions();
+    games::SpectrumSummary spectrum =
+        games::SummarizeTagSpectrum(state.tags.Counts());
+    rel.entropy_millibits = RoundToMillis(spectrum.entropy_bits);
+    rel.modal_rate_millis = RoundToMillis(spectrum.modal_rate);
+    rel.advantage_millis = RoundToMillis(spectrum.advantage);
+    rel.cooccurrence_pairs = state.pairs.size();
+    if (state.pairs.total() != 0) {
+      rel.cooccurrence_modal_millis = RoundToMillis(
+          static_cast<double>(state.pairs.ModalCount()) /
+          static_cast<double>(state.pairs.total()));
+    }
+    std::vector<SpaceSavingSketch::Entry> entries = state.tags.Entries();
+    size_t top = std::min(options_.report_top, entries.size());
+    rel.top_tags.reserve(top);
+    for (size_t i = 0; i < top; ++i) {
+      rel.top_tags.push_back(
+          TagCount{entries[i].key, entries[i].count, entries[i].error});
+    }
+    rel.scan_result_sizes = state.scan_sizes.Snapshot();
+    rel.index_result_sizes = state.index_sizes.Snapshot();
+    report.relations.push_back(std::move(rel));
+  }
+  return report;
+}
+
+void LeakageAuditor::RefreshMetrics() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FoldLocked();
+  if (queries_total_ == nullptr) return;
+  queries_total_->Store(folded_queries_);
+  alerts_total_->Store(alerts_);
+  relations_gauge_->Set(static_cast<int64_t>(states_.size()));
+  uint64_t evictions = 0;
+  uint64_t distinct = 0;
+  // The gauges report the WORST relation — the one Eve attacks first:
+  // max advantage, and the entropy of that same relation.
+  uint64_t worst_advantage = 0;
+  uint64_t worst_entropy = 0;
+  bool have_worst = false;
+  for (const auto& state : states_) {
+    evictions += state->tags.evictions();
+    distinct += state->tags.size();
+    games::SpectrumSummary spectrum =
+        games::SummarizeTagSpectrum(state->tags.Counts());
+    uint64_t advantage = RoundToMillis(spectrum.advantage);
+    if (!have_worst || advantage > worst_advantage) {
+      have_worst = true;
+      worst_advantage = advantage;
+      worst_entropy = RoundToMillis(spectrum.entropy_bits);
+    }
+  }
+  evictions_total_->Store(evictions);
+  distinct_tags_gauge_->Set(static_cast<int64_t>(distinct));
+  advantage_gauge_->Set(static_cast<int64_t>(worst_advantage));
+  entropy_gauge_->Set(static_cast<int64_t>(worst_entropy));
+}
+
+uint64_t LeakageAuditor::queries_observed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return folded_queries_ + pending_count_;
+}
+
+}  // namespace leakage
+}  // namespace obs
+}  // namespace dbph

@@ -1,0 +1,142 @@
+#ifndef DBPH_OBS_LEAKAGE_AUDITOR_H_
+#define DBPH_OBS_LEAKAGE_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "obs/leakage/report.h"
+#include "obs/leakage/sketch.h"
+#include "obs/metrics.h"
+
+namespace dbph {
+namespace obs {
+namespace leakage {
+
+/// Tuning and policy for the auditor; all defaults are safe to ship.
+struct LeakageOptions {
+  /// Space-saving sketch capacity per relation: distinct tag digests
+  /// tracked exactly before the spectrum degrades to heavy-hitters.
+  size_t top_k = 128;
+  /// Tag entries included per relation in a LeakageReport.
+  size_t report_top = 8;
+  /// Capacity of the adjacent-pair co-occurrence sketch per relation.
+  size_t cooccurrence_capacity = 1024;
+  /// Alert when a relation's frequency-attack advantage (thousandths)
+  /// reaches this budget. 500 = Eve predicts the next query tag 50
+  /// points better than blind guessing.
+  uint64_t alert_advantage_millis = 500;
+  /// Suppress alerts until a relation has at least this many observed
+  /// queries (tiny samples trivially look skewed).
+  uint64_t min_alert_queries = 32;
+  /// Digest salt. Empty (production) = fresh random salt per auditor,
+  /// so reports cannot be linked back to wire captures across
+  /// restarts. Tests inject a fixed salt for deterministic reports.
+  Bytes salt;
+};
+
+/// \brief Online mirror of the honest-but-curious server's view.
+///
+/// Consumes exactly what `ObservationLog` records — (relation, trapdoor
+/// bytes, matched count, access path) per executed query — and maintains
+/// bounded per-relation statistics: a space-saving tag-frequency sketch
+/// with empirical entropy, adjacent-tag co-occurrence counts, and
+/// result-size histograms per access path. The frequency-attack
+/// advantage is computed with the same estimator the offline games
+/// harness uses (games::SummarizeTagSpectrum), so the live daemon and
+/// the test-bench report the same number for the same workload.
+///
+/// Redaction contract: trapdoor bytes are digested (salted SHA-256,
+/// truncated to 64 bits) at record time and immediately discarded;
+/// nothing downstream — sketches, reports, metrics, alert log lines —
+/// ever sees raw trapdoor or ciphertext bytes.
+///
+/// Threading: RecordQuery stages a fixed-size entry into a plain ring
+/// and defers all sketch work to a fold, which runs when the ring fills
+/// or a reader (Report / RefreshMetrics) needs fresh state — the same
+/// fold-on-read design the request metrics use. The auditor carries its
+/// own mutex so it is safe standalone; inside the server every call
+/// additionally happens under the dispatch lock, so that mutex is
+/// uncontended on the hot path.
+class LeakageAuditor {
+ public:
+  /// `registry` may be null (no metrics export, reports still work).
+  LeakageAuditor(const LeakageOptions& options, MetricsRegistry* registry);
+
+  /// Hot path: one observed query. Digests the trapdoor and stages the
+  /// observation; amortized cost is one SHA-256 plus a ring append.
+  void RecordQuery(const std::string& relation, const Bytes& trapdoor_bytes,
+                   uint64_t result_size, bool used_index);
+
+  /// Folds pending observations and freezes the adversary's view.
+  LeakageReport Report();
+
+  /// Folds pending observations and refreshes the dbph_leakage_* registry
+  /// instruments (no-op without a registry).
+  void RefreshMetrics();
+
+  /// Total queries observed (folded + staged); test/bench convenience.
+  uint64_t queries_observed();
+
+ private:
+  struct RelationState {
+    explicit RelationState(const LeakageOptions& options)
+        : tags(options.top_k), pairs(options.cooccurrence_capacity) {}
+
+    SpaceSavingSketch tags;
+    SpaceSavingSketch pairs;
+    bool has_prev = false;
+    uint64_t prev_digest = 0;
+    Histogram scan_sizes{Unit::kCount};
+    Histogram index_sizes{Unit::kCount};
+    uint64_t queries = 0;
+    bool alerted = false;
+  };
+
+  struct PendingEntry {
+    uint32_t relation_slot = 0;
+    uint64_t digest = 0;
+    uint64_t result_size = 0;
+    bool used_index = false;
+  };
+
+  static constexpr size_t kPendingRingSize = 256;
+
+  uint64_t TagDigest(const Bytes& trapdoor_bytes) const;
+  size_t RelationSlotLocked(const std::string& relation);
+  void FoldLocked();
+  void MaybeAlertLocked(RelationState* state, const std::string& relation);
+
+  const LeakageOptions options_;
+  Bytes salt_;
+
+  std::mutex mutex_;
+  std::map<std::string, size_t> relation_slots_;  // name -> states_ index
+  std::vector<std::unique_ptr<RelationState>> states_;
+  std::vector<std::string> slot_names_;  // states_ index -> name
+  PendingEntry pending_[kPendingRingSize];
+  size_t pending_count_ = 0;
+  uint64_t folded_queries_ = 0;
+  uint64_t alerts_ = 0;
+
+  // Cached registry instruments (null when metrics are off).
+  Counter* queries_total_ = nullptr;
+  Counter* alerts_total_ = nullptr;
+  Counter* evictions_total_ = nullptr;
+  Gauge* relations_gauge_ = nullptr;
+  Gauge* distinct_tags_gauge_ = nullptr;
+  Gauge* entropy_gauge_ = nullptr;
+  Gauge* advantage_gauge_ = nullptr;
+  Histogram* scan_sizes_hist_ = nullptr;
+  Histogram* index_sizes_hist_ = nullptr;
+};
+
+}  // namespace leakage
+}  // namespace obs
+}  // namespace dbph
+
+#endif  // DBPH_OBS_LEAKAGE_AUDITOR_H_

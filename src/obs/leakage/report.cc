@@ -1,0 +1,149 @@
+#include "obs/leakage/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace obs {
+namespace leakage {
+
+void LeakageReport::AppendTo(Bytes* out) const {
+  AppendUint64(out, queries_observed);
+  AppendUint64(out, alerts);
+  AppendUint64(out, advantage_budget_millis);
+  AppendUint32(out, static_cast<uint32_t>(relations.size()));
+  for (const RelationLeakage& rel : relations) {
+    AppendLengthPrefixed(out, ToBytes(rel.relation));
+    AppendUint64(out, rel.queries);
+    AppendUint64(out, rel.distinct_tags);
+    AppendUint64(out, rel.sketch_evictions);
+    AppendUint64(out, rel.entropy_millibits);
+    AppendUint64(out, rel.modal_rate_millis);
+    AppendUint64(out, rel.advantage_millis);
+    AppendUint64(out, rel.cooccurrence_pairs);
+    AppendUint64(out, rel.cooccurrence_modal_millis);
+    AppendUint32(out, static_cast<uint32_t>(rel.top_tags.size()));
+    for (const TagCount& tag : rel.top_tags) {
+      AppendUint64(out, tag.digest);
+      AppendUint64(out, tag.count);
+      AppendUint64(out, tag.error);
+    }
+    AppendHistogramSnapshot(out, rel.scan_result_sizes);
+    AppendHistogramSnapshot(out, rel.index_result_sizes);
+  }
+}
+
+Result<LeakageReport> LeakageReport::ReadFrom(ByteReader* reader) {
+  LeakageReport report;
+  DBPH_ASSIGN_OR_RETURN(report.queries_observed, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(report.alerts, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(report.advantage_budget_millis, reader->ReadUint64());
+  // Counts below are attacker-controlled wire input: each relation needs
+  // well over one byte and each tag entry 24 bytes, so cap both against
+  // the bytes physically left before any allocation.
+  DBPH_ASSIGN_OR_RETURN(uint32_t num_relations, reader->ReadUint32());
+  if (num_relations > reader->remaining()) {
+    return Status::DataLoss("leakage relation count exceeds payload");
+  }
+  report.relations.reserve(num_relations);
+  for (uint32_t i = 0; i < num_relations; ++i) {
+    RelationLeakage rel;
+    DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+    rel.relation = ToString(name);
+    DBPH_ASSIGN_OR_RETURN(rel.queries, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(rel.distinct_tags, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(rel.sketch_evictions, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(rel.entropy_millibits, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(rel.modal_rate_millis, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(rel.advantage_millis, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(rel.cooccurrence_pairs, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(rel.cooccurrence_modal_millis, reader->ReadUint64());
+    DBPH_ASSIGN_OR_RETURN(uint32_t num_tags, reader->ReadUint32());
+    if (num_tags > reader->remaining() / 24) {
+      return Status::DataLoss("leakage tag count exceeds payload");
+    }
+    rel.top_tags.reserve(num_tags);
+    for (uint32_t t = 0; t < num_tags; ++t) {
+      TagCount tag;
+      DBPH_ASSIGN_OR_RETURN(tag.digest, reader->ReadUint64());
+      DBPH_ASSIGN_OR_RETURN(tag.count, reader->ReadUint64());
+      DBPH_ASSIGN_OR_RETURN(tag.error, reader->ReadUint64());
+      rel.top_tags.push_back(tag);
+    }
+    DBPH_ASSIGN_OR_RETURN(rel.scan_result_sizes,
+                          ReadHistogramSnapshot(reader));
+    DBPH_ASSIGN_OR_RETURN(rel.index_result_sizes,
+                          ReadHistogramSnapshot(reader));
+    report.relations.push_back(std::move(rel));
+  }
+  return report;
+}
+
+namespace {
+
+std::string Millis(uint64_t value_millis) {
+  std::ostringstream out;
+  out << value_millis / 1000 << "." << std::setw(3) << std::setfill('0')
+      << value_millis % 1000;
+  return out.str();
+}
+
+std::string DigestHex(uint64_t digest) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << digest;
+  return out.str();
+}
+
+void RenderSizes(std::ostringstream* out, const char* path,
+                 const HistogramSnapshot& sizes) {
+  *out << path << " n=" << sizes.count;
+  if (sizes.count != 0) {
+    *out << " p50=" << sizes.P50() << " p95=" << sizes.P95()
+         << " max=" << sizes.max;
+  }
+}
+
+}  // namespace
+
+std::string LeakageReport::RenderText() const {
+  std::ostringstream out;
+  out << "leakage report (salted tag digests; advantage budget "
+      << Millis(advantage_budget_millis) << "):\n";
+  out << "  queries observed = " << queries_observed
+      << ", budget alerts = " << alerts << "\n";
+  if (relations.empty()) {
+    out << "  (no queries observed yet)\n";
+    return out.str();
+  }
+  for (const RelationLeakage& rel : relations) {
+    out << "  relation " << rel.relation << ": queries=" << rel.queries
+        << " distinct_tags=" << rel.distinct_tags
+        << (rel.sketch_evictions != 0 ? "+" : "")
+        << " entropy_bits=" << Millis(rel.entropy_millibits)
+        << " modal=" << Millis(rel.modal_rate_millis)
+        << " advantage=" << Millis(rel.advantage_millis)
+        << " evictions=" << rel.sketch_evictions << "\n";
+    if (!rel.top_tags.empty()) {
+      out << "    top tags:";
+      for (const TagCount& tag : rel.top_tags) {
+        out << " " << DigestHex(tag.digest) << " x" << tag.count;
+        if (tag.error != 0) out << "(-" << tag.error << ")";
+      }
+      out << "\n";
+    }
+    out << "    result sizes: ";
+    RenderSizes(&out, "scan", rel.scan_result_sizes);
+    out << ", ";
+    RenderSizes(&out, "index", rel.index_result_sizes);
+    out << "\n";
+    out << "    co-occurrence: pairs=" << rel.cooccurrence_pairs
+        << " modal=" << Millis(rel.cooccurrence_modal_millis) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace leakage
+}  // namespace obs
+}  // namespace dbph

@@ -1,0 +1,102 @@
+#ifndef DBPH_OBS_LEAKAGE_REPORT_H_
+#define DBPH_OBS_LEAKAGE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace dbph {
+namespace obs {
+namespace leakage {
+
+/// \brief One frozen adversary's-view summary, produced by the
+/// LeakageAuditor: the kLeakageReportResult payload, the LEAKAGE REPL
+/// table, and the test assertions are all renderings of this.
+///
+/// Redaction contract: tag digests below are salted SHA-256 truncations
+/// of trapdoor bytes (salt random per server process), so a report can
+/// be shipped to dashboards without letting its reader link tags back
+/// to wire captures — and raw trapdoor or ciphertext bytes must never
+/// appear here.
+
+/// One tracked tag digest with its space-saving estimate.
+struct TagCount {
+  uint64_t digest = 0;  ///< truncated SHA-256(salt || trapdoor bytes)
+  uint64_t count = 0;   ///< estimated observations (overestimate)
+  uint64_t error = 0;   ///< count - error is a guaranteed lower bound
+
+  friend bool operator==(const TagCount& a, const TagCount& b) {
+    return a.digest == b.digest && a.count == b.count && a.error == b.error;
+  }
+};
+
+/// Eve's accumulated view of one relation's query stream.
+struct RelationLeakage {
+  std::string relation;
+  uint64_t queries = 0;           ///< observed queries (selects + deletes)
+  uint64_t distinct_tags = 0;     ///< tracked distinct tag digests
+  uint64_t sketch_evictions = 0;  ///< >0 => spectrum approximate, distinct_tags a lower bound
+  /// games::SummarizeTagSpectrum over the live sketch, scaled to
+  /// integers for a deterministic wire form: entropy in millibits,
+  /// rates in thousandths.
+  uint64_t entropy_millibits = 0;
+  uint64_t modal_rate_millis = 0;
+  uint64_t advantage_millis = 0;
+  /// Adjacent query-tag pair statistics (co-occurrence sketch):
+  /// sequential correlation Eve can exploit beyond marginal frequencies.
+  uint64_t cooccurrence_pairs = 0;
+  uint64_t cooccurrence_modal_millis = 0;
+  /// Head of the frequency spectrum, most frequent first.
+  std::vector<TagCount> top_tags;
+  /// Result-size distributions per access path — what Eve learns from
+  /// watching how much ciphertext each path returns.
+  HistogramSnapshot scan_result_sizes;
+  HistogramSnapshot index_result_sizes;
+
+  friend bool operator==(const RelationLeakage& a, const RelationLeakage& b) {
+    return a.relation == b.relation && a.queries == b.queries &&
+           a.distinct_tags == b.distinct_tags &&
+           a.sketch_evictions == b.sketch_evictions &&
+           a.entropy_millibits == b.entropy_millibits &&
+           a.modal_rate_millis == b.modal_rate_millis &&
+           a.advantage_millis == b.advantage_millis &&
+           a.cooccurrence_pairs == b.cooccurrence_pairs &&
+           a.cooccurrence_modal_millis == b.cooccurrence_modal_millis &&
+           a.top_tags == b.top_tags &&
+           a.scan_result_sizes == b.scan_result_sizes &&
+           a.index_result_sizes == b.index_result_sizes;
+  }
+};
+
+/// The full report (kLeakageReportResult payload).
+struct LeakageReport {
+  uint64_t queries_observed = 0;  ///< across all relations
+  uint64_t alerts = 0;            ///< relations that crossed the budget
+  uint64_t advantage_budget_millis = 0;  ///< configured alert threshold
+  std::vector<RelationLeakage> relations;  ///< sorted by relation name
+
+  /// Wire form. ReadFrom validates every count against the bytes
+  /// physically present before allocating — hostile payloads fail
+  /// closed.
+  void AppendTo(Bytes* out) const;
+  static Result<LeakageReport> ReadFrom(ByteReader* reader);
+
+  /// Human-oriented rendering for the LEAKAGE REPL command.
+  std::string RenderText() const;
+
+  friend bool operator==(const LeakageReport& a, const LeakageReport& b) {
+    return a.queries_observed == b.queries_observed && a.alerts == b.alerts &&
+           a.advantage_budget_millis == b.advantage_budget_millis &&
+           a.relations == b.relations;
+  }
+};
+
+}  // namespace leakage
+}  // namespace obs
+}  // namespace dbph
+
+#endif  // DBPH_OBS_LEAKAGE_REPORT_H_

@@ -1,0 +1,67 @@
+#include "obs/leakage/sketch.h"
+
+#include <algorithm>
+
+namespace dbph {
+namespace obs {
+namespace leakage {
+
+void SpaceSavingSketch::Record(uint64_t key) {
+  ++total_;
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    order_.erase({it->second.count, key});
+    ++it->second.count;
+    order_.insert({it->second.count, key});
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(key, Tracked{1, 0});
+    order_.insert({1, key});
+    return;
+  }
+  // Saturated: displace the current minimum; the newcomer inherits its
+  // count (space-saving invariant: true count <= count, and
+  // count - error <= true count).
+  auto min_it = order_.begin();
+  uint64_t min_count = min_it->first;
+  counts_.erase(min_it->second);
+  order_.erase(min_it);
+  ++evictions_;
+  counts_.emplace(key, Tracked{min_count + 1, min_count});
+  order_.insert({min_count + 1, key});
+}
+
+uint64_t SpaceSavingSketch::ModalCount() const {
+  if (order_.empty()) return 0;
+  return order_.rbegin()->first;
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::Entries() const {
+  std::vector<Entry> entries;
+  entries.reserve(counts_.size());
+  // order_ iterates (count asc, key asc); reverse for count desc while
+  // keeping the ordering fully deterministic. Within one count the key
+  // order flips to descending, so normalize ties below.
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const Tracked& tracked = counts_.at(it->second);
+    entries.push_back(Entry{it->second, tracked.count, tracked.error});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.count != b.count) return a.count > b.count;
+                     return a.key < b.key;
+                   });
+  return entries;
+}
+
+std::vector<uint64_t> SpaceSavingSketch::Counts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(counts_.size());
+  for (const auto& [key, tracked] : counts_) counts.push_back(tracked.count);
+  return counts;
+}
+
+}  // namespace leakage
+}  // namespace obs
+}  // namespace dbph

@@ -1,0 +1,81 @@
+#ifndef DBPH_OBS_LEAKAGE_SKETCH_H_
+#define DBPH_OBS_LEAKAGE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace dbph {
+namespace obs {
+namespace leakage {
+
+/// \brief Bounded heavy-hitter frequency sketch (space-saving, Metwally
+/// et al.) over 64-bit tag digests.
+///
+/// Tracks at most `capacity` distinct keys. While the stream holds fewer
+/// distinct keys than the capacity every count is exact; once the sketch
+/// saturates, recording an untracked key evicts the current minimum and
+/// the newcomer inherits its count (the classic space-saving
+/// overestimate, bounded by the evicted minimum and reported per entry
+/// as `error`). This is exactly the adversary's budget-limited view: Eve
+/// with O(k) memory still nails the head of the query distribution,
+/// which is all a frequency attack needs.
+///
+/// Deterministic: the same key stream always produces the same state
+/// (ties broken by key value). Not thread-safe; the LeakageAuditor
+/// serializes access.
+class SpaceSavingSketch {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t count = 0;  ///< estimated frequency (overestimate)
+    uint64_t error = 0;  ///< count - error is a guaranteed lower bound
+  };
+
+  explicit SpaceSavingSketch(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Record(uint64_t key);
+
+  /// Sum of all recorded observations (exact regardless of evictions).
+  uint64_t total() const { return total_; }
+  /// Distinct keys currently tracked — exact distinct count while
+  /// `evictions() == 0`, otherwise a lower bound (== capacity).
+  size_t size() const { return counts_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Number of tracked keys displaced since construction; non-zero means
+  /// counts are approximate and `size()` undercounts true distinct keys.
+  uint64_t evictions() const { return evictions_; }
+  bool saturated() const { return evictions_ != 0; }
+
+  /// Estimated count of the most frequent key (0 when empty).
+  uint64_t ModalCount() const;
+
+  /// All tracked entries, most frequent first (ties by ascending key, so
+  /// the ordering — and every report built from it — is deterministic).
+  std::vector<Entry> Entries() const;
+
+  /// Just the estimated counts, for games::SummarizeTagSpectrum.
+  std::vector<uint64_t> Counts() const;
+
+ private:
+  struct Tracked {
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  size_t capacity_;
+  uint64_t total_ = 0;
+  uint64_t evictions_ = 0;
+  std::map<uint64_t, Tracked> counts_;           // key -> estimate
+  std::set<std::pair<uint64_t, uint64_t>> order_;  // (count, key), min first
+};
+
+}  // namespace leakage
+}  // namespace obs
+}  // namespace dbph
+
+#endif  // DBPH_OBS_LEAKAGE_SKETCH_H_

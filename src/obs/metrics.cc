@@ -124,6 +124,12 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name, Unit unit) {
   return slot.get();
 }
 
+void MetricsRegistry::SetInfo(const std::string& name,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  infos_[name] = labels;
+}
+
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   RegistrySnapshot snapshot;
@@ -136,10 +142,43 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms[name] = histogram->Snapshot();
   }
+  snapshot.infos = infos_;
   return snapshot;
 }
 
 // ---------------------------------------------------------- serialization
+
+void AppendHistogramSnapshot(Bytes* out, const HistogramSnapshot& histogram) {
+  out->push_back(static_cast<uint8_t>(histogram.unit));
+  AppendUint64(out, histogram.count);
+  AppendUint64(out, histogram.sum);
+  AppendUint64(out, histogram.max);
+  AppendUint32(out, static_cast<uint32_t>(histogram.buckets.size()));
+  for (uint64_t bucket : histogram.buckets) AppendUint64(out, bucket);
+}
+
+Result<HistogramSnapshot> ReadHistogramSnapshot(ByteReader* reader) {
+  HistogramSnapshot histogram;
+  DBPH_ASSIGN_OR_RETURN(Bytes unit_byte, reader->ReadRaw(1));
+  if (unit_byte[0] > static_cast<uint8_t>(Unit::kCount)) {
+    return Status::DataLoss("unknown histogram unit");
+  }
+  histogram.unit = static_cast<Unit>(unit_byte[0]);
+  DBPH_ASSIGN_OR_RETURN(histogram.count, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(histogram.sum, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(histogram.max, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(uint32_t num_buckets, reader->ReadUint32());
+  if (num_buckets > reader->remaining() / 8 ||
+      num_buckets > Histogram::kNumBuckets) {
+    return Status::DataLoss("snapshot bucket count exceeds payload");
+  }
+  histogram.buckets.reserve(num_buckets);
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    DBPH_ASSIGN_OR_RETURN(uint64_t bucket, reader->ReadUint64());
+    histogram.buckets.push_back(bucket);
+  }
+  return histogram;
+}
 
 void RegistrySnapshot::AppendTo(Bytes* out) const {
   AppendUint32(out, static_cast<uint32_t>(counters.size()));
@@ -155,12 +194,12 @@ void RegistrySnapshot::AppendTo(Bytes* out) const {
   AppendUint32(out, static_cast<uint32_t>(histograms.size()));
   for (const auto& [name, histogram] : histograms) {
     AppendLengthPrefixed(out, ToBytes(name));
-    out->push_back(static_cast<uint8_t>(histogram.unit));
-    AppendUint64(out, histogram.count);
-    AppendUint64(out, histogram.sum);
-    AppendUint64(out, histogram.max);
-    AppendUint32(out, static_cast<uint32_t>(histogram.buckets.size()));
-    for (uint64_t bucket : histogram.buckets) AppendUint64(out, bucket);
+    AppendHistogramSnapshot(out, histogram);
+  }
+  AppendUint32(out, static_cast<uint32_t>(infos.size()));
+  for (const auto& [name, labels] : infos) {
+    AppendLengthPrefixed(out, ToBytes(name));
+    AppendLengthPrefixed(out, ToBytes(labels));
   }
 }
 
@@ -193,26 +232,22 @@ Result<RegistrySnapshot> RegistrySnapshot::ReadFrom(ByteReader* reader) {
   }
   for (uint32_t i = 0; i < num_histograms; ++i) {
     DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
-    HistogramSnapshot histogram;
-    DBPH_ASSIGN_OR_RETURN(Bytes unit_byte, reader->ReadRaw(1));
-    if (unit_byte[0] > static_cast<uint8_t>(Unit::kCount)) {
-      return Status::DataLoss("unknown histogram unit");
-    }
-    histogram.unit = static_cast<Unit>(unit_byte[0]);
-    DBPH_ASSIGN_OR_RETURN(histogram.count, reader->ReadUint64());
-    DBPH_ASSIGN_OR_RETURN(histogram.sum, reader->ReadUint64());
-    DBPH_ASSIGN_OR_RETURN(histogram.max, reader->ReadUint64());
-    DBPH_ASSIGN_OR_RETURN(uint32_t num_buckets, reader->ReadUint32());
-    if (num_buckets > reader->remaining() / 8 ||
-        num_buckets > Histogram::kNumBuckets) {
-      return Status::DataLoss("snapshot bucket count exceeds payload");
-    }
-    histogram.buckets.reserve(num_buckets);
-    for (uint32_t b = 0; b < num_buckets; ++b) {
-      DBPH_ASSIGN_OR_RETURN(uint64_t bucket, reader->ReadUint64());
-      histogram.buckets.push_back(bucket);
-    }
+    DBPH_ASSIGN_OR_RETURN(HistogramSnapshot histogram,
+                          ReadHistogramSnapshot(reader));
     snapshot.histograms[ToString(name)] = std::move(histogram);
+  }
+  // Info section: absent in pre-0.7 snapshots, so tolerate a clean end
+  // of payload here (but not a truncated section).
+  if (reader->remaining() > 0) {
+    DBPH_ASSIGN_OR_RETURN(uint32_t num_infos, reader->ReadUint32());
+    if (num_infos > reader->remaining()) {
+      return Status::DataLoss("snapshot info count exceeds payload");
+    }
+    for (uint32_t i = 0; i < num_infos; ++i) {
+      DBPH_ASSIGN_OR_RETURN(Bytes name, reader->ReadLengthPrefixed());
+      DBPH_ASSIGN_OR_RETURN(Bytes labels, reader->ReadLengthPrefixed());
+      snapshot.infos[ToString(name)] = ToString(labels);
+    }
   }
   return snapshot;
 }
@@ -244,6 +279,10 @@ double ScaleForPrometheus(Unit unit, uint64_t value) {
 
 std::string RegistrySnapshot::RenderPrometheus() const {
   std::ostringstream out;
+  for (const auto& [name, labels] : infos) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << "{" << labels << "} 1\n";
+  }
   for (const auto& [name, value] : counters) {
     out << "# TYPE " << name << " counter\n";
     out << name << " " << value << "\n";
@@ -279,6 +318,12 @@ std::string RegistrySnapshot::RenderPrometheus() const {
 
 std::string RegistrySnapshot::RenderText() const {
   std::ostringstream out;
+  if (!infos.empty()) {
+    out << "info:\n";
+    for (const auto& [name, labels] : infos) {
+      out << "  " << name << "{" << labels << "}\n";
+    }
+  }
   if (!counters.empty()) {
     out << "counters:\n";
     for (const auto& [name, value] : counters) {

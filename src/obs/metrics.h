@@ -98,6 +98,13 @@ struct HistogramSnapshot {
 
 class Histogram;
 
+/// Wire helpers shared by RegistrySnapshot and the leakage report:
+/// unit byte, count/sum/max, then length-checked buckets. ReadFrom
+/// validates the bucket count against the physical payload before
+/// allocating.
+void AppendHistogramSnapshot(Bytes* out, const HistogramSnapshot& histogram);
+Result<HistogramSnapshot> ReadHistogramSnapshot(ByteReader* reader);
+
 /// \brief Plain, non-atomic accumulator for batch recording: a writer
 /// that already serializes its own recording (the dispatch path stages
 /// request stats under its lock) collects many values here — pure
@@ -173,6 +180,10 @@ struct RegistrySnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Info-style series (build metadata): name -> rendered Prometheus
+  /// label body, exported as `name{labels} 1`. Values are fixed at
+  /// process start — never derived from runtime data.
+  std::map<std::string, std::string> infos;
 
   /// Wire form (kStatsResult payload). Counts ride length-prefixed and
   /// are validated against the physical payload before any allocation.
@@ -200,6 +211,11 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name, Unit unit);
 
+  /// Registers (or overwrites) an info-style series: a constant `1`
+  /// gauge whose payload is its label body, e.g.
+  /// SetInfo("dbph_build_info", "version=\"0.7\",revision=\"abc123\"").
+  void SetInfo(const std::string& name, const std::string& labels);
+
   RegistrySnapshot Snapshot() const;
 
  private:
@@ -207,6 +223,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> infos_;
 };
 
 }  // namespace obs

@@ -28,6 +28,8 @@ struct QueryTrace {
   uint64_t lock_wait_micros = 0;   ///< dispatch-lock acquisition wait
   uint64_t plan_micros = 0;        ///< planner decisions (selects)
   uint64_t execute_micros = 0;     ///< scan/index execution (selects)
+  uint64_t execute_scan_micros = 0;   ///< execute share spent full-scanning
+  uint64_t execute_index_micros = 0;  ///< execute share spent in index lookups
   uint64_t proof_micros = 0;       ///< Merkle proof build (integrity on)
   uint64_t serialize_micros = 0;   ///< response envelope serialization
   uint64_t total_micros = 0;       ///< parse through serialize, inclusive
@@ -44,7 +46,14 @@ struct QueryTrace {
     if (!relation.empty()) out << " relation=" << relation;
     out << " total_us=" << total_micros << " parse_us=" << parse_micros
         << " lock_wait_us=" << lock_wait_micros << " plan_us=" << plan_micros
-        << " execute_us=" << execute_micros << " proof_us=" << proof_micros
+        << " execute_us=" << execute_micros;
+    // The per-path split only exists for planned selects; keep the line
+    // short for every other op.
+    if (execute_scan_micros != 0 || execute_index_micros != 0) {
+      out << " execute_scan_us=" << execute_scan_micros
+          << " execute_index_us=" << execute_index_micros;
+    }
+    out << " proof_us=" << proof_micros
         << " serialize_us=" << serialize_micros
         << " path=" << (used_index ? "index" : "scan")
         << " results=" << result_size;

@@ -37,9 +37,11 @@ enum class MessageType : uint8_t {
   kAttestOk = 23,       ///< server -> client: attestation stored
   kStats = 24,          ///< client -> server: empty; request a metrics snapshot
   kStatsResult = 25,    ///< server -> client: serialized obs::RegistrySnapshot
+  kLeakageReport = 26,  ///< client -> server: empty; request the leakage view
+  kLeakageReportResult = 27,  ///< server -> client: obs::leakage::LeakageReport
 };
 
-constexpr uint8_t kMaxMessageType = 25;
+constexpr uint8_t kMaxMessageType = 27;
 
 /// Hard upper bound on one wire frame. Both the network frame codec and
 /// Envelope::Parse reject a larger attacker-controlled length prefix

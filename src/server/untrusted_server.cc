@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ctime>
 
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "storage/wal.h"
 #include "swp/search.h"
+
+// Build metadata for dbph_build_info: CMake injects the git describe
+// string; a build outside the tree (or without git) falls back.
+#ifndef DBPH_GIT_DESCRIBE
+#define DBPH_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DBPH_VERSION
+#define DBPH_VERSION "0.7"
+#endif
 
 namespace dbph {
 namespace server {
@@ -50,6 +60,22 @@ void UntrustedServer::InitInstruments() {
   ins_.index_invalidations = metrics_.GetGauge("dbph_index_invalidations");
   ins_.index_at_capacity =
       metrics_.GetGauge("dbph_index_relations_at_capacity");
+  metrics_.SetInfo("dbph_build_info", std::string("version=\"") + DBPH_VERSION +
+                                          "\",revision=\"" DBPH_GIT_DESCRIBE
+                                          "\"");
+  // Unix wall clock at construction, so scrapes compute uptime and spot
+  // restarts (the Prometheus convention for this metric name).
+  metrics_.GetGauge("dbph_process_start_time_seconds")
+      ->Set(static_cast<int64_t>(std::time(nullptr)));
+  if (runtime_options_.enable_leakage) {
+    obs::leakage::LeakageOptions leakage_options;
+    leakage_options.top_k = runtime_options_.leakage_topk;
+    leakage_options.alert_advantage_millis =
+        runtime_options_.leakage_alert_millis;
+    leakage_options.salt = runtime_options_.leakage_salt;
+    auditor_ = std::make_unique<obs::leakage::LeakageAuditor>(leakage_options,
+                                                              &metrics_);
+  }
 }
 
 namespace {
@@ -83,6 +109,8 @@ const char* OpSlug(protocol::MessageType type) {
       return "attest";
     case MessageType::kStats:
       return "stats";
+    case MessageType::kLeakageReport:
+      return "leakage";
     default:
       return "other";
   }
@@ -221,6 +249,7 @@ void UntrustedServer::RefreshGaugesLocked() {
   ins_.index_trapdoors->Set(trapdoors);
   ins_.index_postings->Set(postings);
   ins_.index_at_capacity->Set(at_capacity);
+  if (auditor_ != nullptr) auditor_->RefreshMetrics();
 }
 
 obs::RegistrySnapshot UntrustedServer::CollectStats() {
@@ -394,6 +423,8 @@ std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal
   if (timed) {
     trace_.plan_micros += timing.plan_micros;
     trace_.execute_micros += timing.index_fetch_micros + timing.scan_micros;
+    trace_.execute_index_micros += timing.index_fetch_micros;
+    trace_.execute_scan_micros += timing.scan_micros;
     cur_.flags |= PendingRequestStat::kRanPipeline;
     cur_.plan_micros += SaturateU32(timing.plan_micros);
     if (timing.index_queries > 0) {
@@ -442,6 +473,14 @@ std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal
             resolved[i]->position_of.at(match.rid.Pack()));
       }
       docs.push_back(std::move(match.doc));
+    }
+    if (auditor_ != nullptr) {
+      // The auditor consumes exactly what the observation entry records:
+      // relation, trapdoor bytes (digested immediately), matched count,
+      // and which access path answered.
+      auditor_->RecordQuery(
+          queries[i].relation, observation.trapdoor_bytes, docs.size(),
+          outcomes[i].plan.path == planner::AccessPath::kIndexLookup);
     }
     log_.RecordQuery(std::move(observation));
     if (timed) trace_.result_size += docs.size();
@@ -572,6 +611,12 @@ Result<size_t> UntrustedServer::DeleteWhereInternal(
     // NOT memoized fresh: delete traffic would otherwise fill the
     // capped memo with entries only selects repay.
     it->second.index.OnDelete(observation.matched_records);
+  }
+  if (auditor_ != nullptr) {
+    // Deletes leak exactly like selects (matched identities via a full
+    // scan), so they feed the same per-relation spectrum.
+    auditor_->RecordQuery(query.relation, observation.trapdoor_bytes, removed,
+                          /*used_index=*/false);
   }
   log_.RecordQuery(std::move(observation));
   return removed;
@@ -832,6 +877,23 @@ protocol::Envelope UntrustedServer::Dispatch(
       Envelope response;
       response.type = MessageType::kStatsResult;
       metrics_.Snapshot().AppendTo(&response.payload);
+      return response;
+    }
+    case MessageType::kLeakageReport: {
+      // The adversary's view of itself: salted tag digests, counts, and
+      // derived rates only — never raw trapdoor or ciphertext bytes
+      // (the auditor's redaction contract). Carries no request payload.
+      if (!request.payload.empty()) {
+        return protocol::MakeErrorEnvelope(
+            Status::InvalidArgument("kLeakageReport carries no payload"));
+      }
+      if (auditor_ == nullptr) {
+        return protocol::MakeErrorEnvelope(Status::FailedPrecondition(
+            "leakage auditor disabled (--leakage=off)"));
+      }
+      Envelope response;
+      response.type = MessageType::kLeakageReportResult;
+      auditor_->Report().AppendTo(&response.payload);
       return response;
     }
     case MessageType::kPing: {

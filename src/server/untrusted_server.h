@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "crypto/merkle.h"
+#include "obs/leakage/auditor.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
 #include "dbph/encrypted_relation.h"
@@ -81,6 +82,25 @@ struct ServerRuntimeOptions {
   /// result count — never trapdoor or ciphertext bytes (see
   /// docs/OPERATIONS.md "Slow-query log").
   int slow_query_ms = 0;
+  /// Online leakage auditor (src/obs/leakage): continuously mirrors the
+  /// adversary's view — per-relation tag-frequency sketches, entropy,
+  /// result-size distributions, and a live frequency-attack advantage —
+  /// and surfaces it via dbph_leakage_* metrics, kLeakageReport, and the
+  /// LEAKAGE REPL command. Hot-path cost is one salted SHA-256 of the
+  /// trapdoor plus a staged ring append per observed query (bench_e6
+  /// --stats measures the ratio; acceptance bar is >= 0.97). Sketches
+  /// key on salted digests, never raw trapdoor bytes.
+  bool enable_leakage = true;
+  /// Space-saving sketch capacity per relation (distinct tag digests
+  /// tracked exactly before heavy-hitter approximation kicks in).
+  size_t leakage_topk = 128;
+  /// Log a redacted Warning (and count an alert) when a relation's
+  /// observed frequency-attack advantage reaches this many thousandths.
+  uint64_t leakage_alert_millis = 500;
+  /// Digest salt override for deterministic tests; empty (production)
+  /// draws a fresh random salt per server, so leakage reports cannot be
+  /// linked back to captured wire trapdoors across restarts.
+  Bytes leakage_salt;
 };
 
 /// \brief Eve: the honest-but-curious service provider.
@@ -265,6 +285,12 @@ class UntrustedServer {
   /// snapshots directly).
   obs::RegistrySnapshot CollectStats();
 
+  /// The live leakage auditor, or null when ServerRuntimeOptions
+  /// enable_leakage is off. Tests and benches read reports through this
+  /// without a wire round trip; the kLeakageReport handler is the wire
+  /// surface.
+  obs::leakage::LeakageAuditor* leakage_auditor() { return auditor_.get(); }
+
  private:
   struct StoredRelation {
     uint32_t check_length = 4;
@@ -440,6 +466,10 @@ class UntrustedServer {
   storage::HeapFile heap_;
   std::map<std::string, StoredRelation> relations_;
   ObservationLog log_;
+  /// Eve's-view leakage statistics (null when disabled). Fed by the
+  /// select/delete pipelines under the dispatch lock, right next to the
+  /// ObservationLog entries it summarizes.
+  std::unique_ptr<obs::leakage::LeakageAuditor> auditor_;
 
   ServerRuntimeOptions runtime_options_;
   std::unique_ptr<runtime::ThreadPool> pool_;

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "client/client.h"
 #include "games/hospital.h"
+#include "server/untrusted_server.h"
 
 namespace dbph {
 namespace games {
@@ -105,6 +111,103 @@ TEST(LeakageTest, SampledWorkloadUsesExistingValues) {
   // Empty table: empty workload, no crash.
   Relation empty("E", FlagSchema());
   EXPECT_TRUE(SampleWorkload(empty, 5, 9).empty());
+}
+
+// ---------------- online auditor vs the offline estimator ----------------
+
+// A server + client pair with a fixed leakage salt, so the auditor's
+// reports are a deterministic function of the query stream.
+struct AuditedDeployment {
+  explicit AuditedDeployment(const std::string& seed) {
+    server::ServerRuntimeOptions options;
+    options.leakage_salt = ToBytes("leakage-test-salt");
+    server = std::make_unique<server::UntrustedServer>(options);
+    rng = std::make_unique<crypto::HmacDrbg>(seed, 1);
+    client = std::make_unique<client::Client>(
+        ToBytes("alex's master key"),
+        [this](const Bytes& request) {
+          return server->HandleRequest(request);
+        },
+        rng.get());
+  }
+
+  std::unique_ptr<server::UntrustedServer> server;
+  std::unique_ptr<crypto::HmacDrbg> rng;
+  std::unique_ptr<client::Client> client;
+};
+
+Relation SkewTable() {
+  Relation table("T", FlagSchema());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(table.Insert({Value::Str("v" + std::to_string(i))}).ok());
+  }
+  return table;
+}
+
+// The skewed workload from the acceptance criterion: 10x v0, 6x v1,
+// 4x v2 — modal rate 0.5, advantage 1/2 - 1/3.
+void RunSkewedWorkload(client::Client* client) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client->Select("T", "flag", Value::Str("v0")).ok());
+  }
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client->Select("T", "flag", Value::Str("v1")).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client->Select("T", "flag", Value::Str("v2")).ok());
+  }
+}
+
+TEST(LeakageAuditTest, OnlineAdvantageMatchesOfflineEstimatorEndToEnd) {
+  AuditedDeployment deployment("audit-online");
+  ASSERT_TRUE(deployment.client->Outsource(SkewTable()).ok());
+  RunSkewedWorkload(deployment.client.get());
+
+  // Offline side: tally the exact trapdoor-byte multiset Eve logged and
+  // summarize it with the games estimator.
+  std::map<Bytes, uint64_t> tally;
+  for (const auto& q : deployment.server->observations().queries()) {
+    ++tally[q.trapdoor_bytes];
+  }
+  std::vector<uint64_t> counts;
+  for (const auto& [bytes, count] : tally) counts.push_back(count);
+  SpectrumSummary offline = SummarizeTagSpectrum(counts);
+  EXPECT_EQ(offline.total, 20u);
+  EXPECT_EQ(offline.distinct, 3u);
+
+  // Online side: the live auditor, through the same fold the daemon
+  // serves. Distinct tags fit the sketch, so the match is exact.
+  ASSERT_NE(deployment.server->leakage_auditor(), nullptr);
+  obs::leakage::LeakageReport report =
+      deployment.server->leakage_auditor()->Report();
+  ASSERT_EQ(report.relations.size(), 1u);
+  EXPECT_EQ(report.relations[0].relation, "T");
+  EXPECT_EQ(report.relations[0].queries, 20u);
+  EXPECT_EQ(report.relations[0].distinct_tags, offline.distinct);
+  EXPECT_EQ(report.relations[0].advantage_millis,
+            static_cast<uint64_t>(std::llround(offline.advantage * 1000)));
+  EXPECT_EQ(report.relations[0].modal_rate_millis,
+            static_cast<uint64_t>(std::llround(offline.modal_rate * 1000)));
+  EXPECT_EQ(report.relations[0].entropy_millibits,
+            static_cast<uint64_t>(std::llround(offline.entropy_bits * 1000)));
+}
+
+TEST(LeakageAuditTest, SameWorkloadSameSaltSameReport) {
+  // Determinism through the full stack: two independent deployments with
+  // the same salt, keys, and query stream must freeze identical reports.
+  AuditedDeployment first("audit-determinism");
+  AuditedDeployment second("audit-determinism");
+  ASSERT_TRUE(first.client->Outsource(SkewTable()).ok());
+  ASSERT_TRUE(second.client->Outsource(SkewTable()).ok());
+  RunSkewedWorkload(first.client.get());
+  RunSkewedWorkload(second.client.get());
+
+  obs::leakage::LeakageReport a = first.server->leakage_auditor()->Report();
+  obs::leakage::LeakageReport b = second.server->leakage_auditor()->Report();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.queries_observed, 20u);
+  ASSERT_EQ(a.relations.size(), 1u);
+  EXPECT_FALSE(a.relations[0].top_tags.empty());
 }
 
 }  // namespace

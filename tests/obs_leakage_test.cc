@@ -1,0 +1,402 @@
+// The leakage auditor's own contract: the space-saving sketch stays
+// bounded and exact-until-saturated under adversarial tag streams, the
+// online advantage estimate agrees with the offline games estimator,
+// reports are deterministic under a fixed salt, raw trapdoor bytes never
+// leak into any surface, and concurrent record/report is race-free (run
+// under TSan in CI).
+
+#include "obs/leakage/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "games/leakage.h"
+#include "obs/leakage/report.h"
+#include "obs/leakage/sketch.h"
+#include "obs/metrics.h"
+
+namespace dbph {
+namespace obs {
+namespace leakage {
+namespace {
+
+// ------------------------------------------------------------- sketch
+
+TEST(SpaceSavingSketchTest, ExactWhileUnderCapacity) {
+  SpaceSavingSketch sketch(8);
+  for (int i = 0; i < 5; ++i) sketch.Record(100);
+  for (int i = 0; i < 3; ++i) sketch.Record(200);
+  sketch.Record(300);
+
+  EXPECT_EQ(sketch.total(), 9u);
+  EXPECT_EQ(sketch.size(), 3u);
+  EXPECT_EQ(sketch.evictions(), 0u);
+  EXPECT_FALSE(sketch.saturated());
+  EXPECT_EQ(sketch.ModalCount(), 5u);
+
+  std::vector<SpaceSavingSketch::Entry> entries = sketch.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, 100u);
+  EXPECT_EQ(entries[0].count, 5u);
+  EXPECT_EQ(entries[0].error, 0u);
+  EXPECT_EQ(entries[1].key, 200u);
+  EXPECT_EQ(entries[1].count, 3u);
+  EXPECT_EQ(entries[2].key, 300u);
+  EXPECT_EQ(entries[2].count, 1u);
+}
+
+TEST(SpaceSavingSketchTest, AdversarialAllDistinctStreamStaysBounded) {
+  // Eve's worst case for a counting sketch: every observation is a new
+  // key. Memory must stay at `capacity` entries while the total remains
+  // exact and every displacement is visible in evictions().
+  constexpr size_t kCapacity = 64;
+  constexpr uint64_t kStream = 10000;
+  SpaceSavingSketch sketch(kCapacity);
+  for (uint64_t key = 0; key < kStream; ++key) sketch.Record(key);
+
+  EXPECT_EQ(sketch.size(), kCapacity);
+  EXPECT_EQ(sketch.total(), kStream);
+  EXPECT_EQ(sketch.evictions(), kStream - kCapacity);
+  EXPECT_TRUE(sketch.saturated());
+  // The space-saving invariant: no estimate exceeds the stream length,
+  // and count - error is a valid lower bound (>= 1 occurrence happened).
+  for (const auto& entry : sketch.Entries()) {
+    EXPECT_LE(entry.count, kStream);
+    EXPECT_GE(entry.count, entry.error);
+    EXPECT_GE(entry.count - entry.error, 1u);
+  }
+}
+
+TEST(SpaceSavingSketchTest, HeavyHitterSurvivesAdversarialNoise) {
+  // One genuinely hot key interleaved with a flood of singletons: the
+  // heavy hitter must stay tracked with count >= its true frequency
+  // (space-saving never undercounts a tracked key).
+  constexpr uint64_t kHot = 0xdeadbeef;
+  constexpr uint64_t kHotCount = 500;
+  SpaceSavingSketch sketch(32);
+  uint64_t noise = 1;
+  for (uint64_t i = 0; i < kHotCount; ++i) {
+    sketch.Record(kHot);
+    for (int j = 0; j < 4; ++j) sketch.Record(noise++);
+  }
+  std::vector<SpaceSavingSketch::Entry> entries = sketch.Entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries[0].key, kHot);
+  EXPECT_GE(entries[0].count, kHotCount);
+  EXPECT_GE(entries[0].count - entries[0].error, kHotCount);
+}
+
+TEST(SpaceSavingSketchTest, SameStreamSameState) {
+  // Determinism is what makes leakage reports reproducible: identical
+  // key streams must produce identical entries, including tie-breaks.
+  std::vector<uint64_t> stream;
+  uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 4096; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    stream.push_back(x % 97);  // heavy collisions => plenty of ties
+  }
+  SpaceSavingSketch a(16);
+  SpaceSavingSketch b(16);
+  for (uint64_t key : stream) a.Record(key);
+  for (uint64_t key : stream) b.Record(key);
+
+  std::vector<SpaceSavingSketch::Entry> ea = a.Entries();
+  std::vector<SpaceSavingSketch::Entry> eb = b.Entries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].key, eb[i].key);
+    EXPECT_EQ(ea[i].count, eb[i].count);
+    EXPECT_EQ(ea[i].error, eb[i].error);
+  }
+  EXPECT_EQ(a.Counts(), b.Counts());
+}
+
+// ------------------------------------------------------------- auditor
+
+LeakageOptions DeterministicOptions() {
+  LeakageOptions options;
+  options.salt = ToBytes("fixed-test-salt");
+  return options;
+}
+
+// A skewed three-tag workload: 50x A, 30x B, 20x C.
+void FeedSkewedWorkload(LeakageAuditor* auditor) {
+  const Bytes tag_a = ToBytes("trapdoor-bytes-A");
+  const Bytes tag_b = ToBytes("trapdoor-bytes-B");
+  const Bytes tag_c = ToBytes("trapdoor-bytes-C");
+  for (int i = 0; i < 50; ++i) {
+    auditor->RecordQuery("people", tag_a, 4, /*used_index=*/true);
+  }
+  for (int i = 0; i < 30; ++i) {
+    auditor->RecordQuery("people", tag_b, 2, /*used_index=*/true);
+  }
+  for (int i = 0; i < 20; ++i) {
+    auditor->RecordQuery("people", tag_c, 7, /*used_index=*/false);
+  }
+}
+
+TEST(LeakageAuditorTest, OnlineAdvantageMatchesOfflineEstimator) {
+  // The acceptance bar: the live auditor and the offline games harness
+  // must report the same frequency-attack numbers for the same workload.
+  // With distinct tags <= top_k the sketch is exact, so the match is
+  // exact too (both sides round identically to integer millis).
+  LeakageAuditor auditor(DeterministicOptions(), /*registry=*/nullptr);
+  FeedSkewedWorkload(&auditor);
+  LeakageReport report = auditor.Report();
+
+  ASSERT_EQ(report.relations.size(), 1u);
+  const RelationLeakage& people = report.relations[0];
+  EXPECT_EQ(people.relation, "people");
+  EXPECT_EQ(people.queries, 100u);
+  EXPECT_EQ(people.distinct_tags, 3u);
+  EXPECT_EQ(people.sketch_evictions, 0u);
+
+  games::SpectrumSummary offline =
+      games::SummarizeTagSpectrum({50, 30, 20});
+  EXPECT_EQ(people.modal_rate_millis,
+            static_cast<uint64_t>(std::llround(offline.modal_rate * 1000)));
+  EXPECT_EQ(people.advantage_millis,
+            static_cast<uint64_t>(std::llround(offline.advantage * 1000)));
+  EXPECT_EQ(people.entropy_millibits,
+            static_cast<uint64_t>(std::llround(offline.entropy_bits * 1000)));
+  // Sanity on the actual numbers: modal 50/100, advantage 1/2 - 1/3.
+  EXPECT_EQ(people.modal_rate_millis, 500u);
+  EXPECT_EQ(people.advantage_millis, 167u);
+
+  // Result sizes split by access path: 80 indexed, 20 scanned.
+  EXPECT_EQ(people.index_result_sizes.count, 80u);
+  EXPECT_EQ(people.scan_result_sizes.count, 20u);
+  EXPECT_EQ(people.scan_result_sizes.max, 7u);
+}
+
+TEST(LeakageAuditorTest, SameSaltSameWorkloadSameReport) {
+  LeakageAuditor first(DeterministicOptions(), nullptr);
+  LeakageAuditor second(DeterministicOptions(), nullptr);
+  FeedSkewedWorkload(&first);
+  FeedSkewedWorkload(&second);
+  EXPECT_TRUE(first.Report() == second.Report());
+}
+
+TEST(LeakageAuditorTest, DifferentSaltsUnlinkDigests) {
+  // The whole point of the salt: two auditors seeing identical trapdoor
+  // bytes must publish different digests, so a report reader cannot join
+  // reports against wire captures (or other reports) by tag.
+  LeakageOptions other = DeterministicOptions();
+  other.salt = ToBytes("a-different-salt");
+  LeakageAuditor first(DeterministicOptions(), nullptr);
+  LeakageAuditor second(other, nullptr);
+  FeedSkewedWorkload(&first);
+  FeedSkewedWorkload(&second);
+
+  LeakageReport a = first.Report();
+  LeakageReport b = second.Report();
+  ASSERT_FALSE(a.relations[0].top_tags.empty());
+  ASSERT_EQ(a.relations[0].top_tags.size(), b.relations[0].top_tags.size());
+  for (size_t i = 0; i < a.relations[0].top_tags.size(); ++i) {
+    EXPECT_NE(a.relations[0].top_tags[i].digest,
+              b.relations[0].top_tags[i].digest);
+    // Counts are salt-independent; only identities are blinded.
+    EXPECT_EQ(a.relations[0].top_tags[i].count,
+              b.relations[0].top_tags[i].count);
+  }
+}
+
+TEST(LeakageAuditorTest, NoTrapdoorBytesOnAnySurface) {
+  // Redaction contract: a distinctive trapdoor byte pattern must appear
+  // neither in the report's wire form nor in its text rendering.
+  Bytes trapdoor;
+  for (int i = 0; i < 24; ++i) trapdoor.push_back(0xA0 + (i % 16));
+  LeakageAuditor auditor(DeterministicOptions(), nullptr);
+  for (int i = 0; i < 64; ++i) {
+    auditor.RecordQuery("secrets", trapdoor, 1, /*used_index=*/true);
+  }
+  LeakageReport report = auditor.Report();
+
+  Bytes wire;
+  report.AppendTo(&wire);
+  EXPECT_EQ(std::search(wire.begin(), wire.end(), trapdoor.begin(),
+                        trapdoor.end()),
+            wire.end())
+      << "raw trapdoor bytes leaked into the report wire form";
+
+  std::string text = report.RenderText();
+  std::string hex = HexEncode(trapdoor);
+  EXPECT_EQ(text.find(hex), std::string::npos)
+      << "trapdoor hex leaked into the report text";
+  // The digest itself must also not be the identity: the salted digest of
+  // these bytes differs from their own prefix.
+  ASSERT_EQ(report.relations.size(), 1u);
+  ASSERT_FALSE(report.relations[0].top_tags.empty());
+  uint64_t prefix = 0;
+  for (int i = 0; i < 8; ++i) {
+    prefix = (prefix << 8) | trapdoor[static_cast<size_t>(i)];
+  }
+  EXPECT_NE(report.relations[0].top_tags[0].digest, prefix);
+}
+
+TEST(LeakageAuditorTest, QueriesObservedCountsStagedEntries) {
+  // Fewer observations than the staging ring: the count must still be
+  // visible without waiting for a fold.
+  LeakageAuditor auditor(DeterministicOptions(), nullptr);
+  auditor.RecordQuery("people", ToBytes("t1"), 1, true);
+  auditor.RecordQuery("people", ToBytes("t2"), 1, true);
+  auditor.RecordQuery("orders", ToBytes("t3"), 1, false);
+  EXPECT_EQ(auditor.queries_observed(), 3u);
+  LeakageReport report = auditor.Report();
+  EXPECT_EQ(report.queries_observed, 3u);
+  EXPECT_EQ(report.relations.size(), 2u);
+  // Relations come out sorted by name for deterministic reports.
+  EXPECT_EQ(report.relations[0].relation, "orders");
+  EXPECT_EQ(report.relations[1].relation, "people");
+}
+
+TEST(LeakageAuditorTest, AlertLatchesOncePerRelation) {
+  // A heavily skewed stream (28:1:1 over three tags has advantage
+  // 28/30 - 1/3 = 0.6, past the 0.5 budget) must not alert below the
+  // min_alert_queries floor, must alert once it crosses it, and the
+  // alert must latch (fire once), not repeat per fold.
+  LeakageOptions options = DeterministicOptions();
+  options.alert_advantage_millis = 500;
+  options.min_alert_queries = 32;
+  MetricsRegistry registry;
+  LeakageAuditor auditor(options, &registry);
+
+  const Bytes hot_tag = ToBytes("the-hot-trapdoor");
+  for (int i = 0; i < 28; ++i) {
+    auditor.RecordQuery("people", hot_tag, 1, true);
+  }
+  auditor.RecordQuery("people", ToBytes("rare-trapdoor-b"), 1, true);
+  auditor.RecordQuery("people", ToBytes("rare-trapdoor-c"), 1, true);
+  EXPECT_EQ(auditor.Report().alerts, 0u);  // below the sample floor
+
+  for (int i = 0; i < 1000; ++i) {
+    auditor.RecordQuery("people", hot_tag, 1, true);
+  }
+  LeakageReport report = auditor.Report();
+  EXPECT_EQ(report.alerts, 1u);
+  EXPECT_EQ(report.advantage_budget_millis, 500u);
+
+  auditor.RefreshMetrics();
+  RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("dbph_leakage_alerts_total"), 1u);
+}
+
+TEST(LeakageAuditorTest, RefreshMetricsExportsTheWorstRelation) {
+  MetricsRegistry registry;
+  LeakageAuditor auditor(DeterministicOptions(), &registry);
+  FeedSkewedWorkload(&auditor);  // "people": advantage 167 millis
+  // A second, uniform relation with lower advantage must not mask the
+  // worst one in the exported gauges.
+  for (int i = 0; i < 25; ++i) {
+    auditor.RecordQuery("orders", ToBytes("o1-" + std::to_string(i % 5)), 1,
+                        false);
+  }
+  auditor.RefreshMetrics();
+
+  RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("dbph_leakage_observed_queries_total"), 125u);
+  EXPECT_EQ(snap.gauges.at("dbph_leakage_relations"), 2);
+  EXPECT_EQ(snap.gauges.at("dbph_leakage_distinct_tags"), 8);  // 3 + 5
+  EXPECT_EQ(snap.gauges.at("dbph_leakage_advantage_millis"), 167);
+  EXPECT_EQ(snap.counters.at("dbph_leakage_sketch_evictions_total"), 0u);
+  // Histograms flow into the registry as queries fold.
+  EXPECT_EQ(snap.histograms.at("dbph_leakage_result_size_index").count, 80u);
+  EXPECT_EQ(snap.histograms.at("dbph_leakage_result_size_scan").count, 45u);
+}
+
+TEST(LeakageAuditorTest, SaturatedSketchIsFlaggedInTheReport) {
+  LeakageOptions options = DeterministicOptions();
+  options.top_k = 8;
+  LeakageAuditor auditor(options, nullptr);
+  for (int i = 0; i < 300; ++i) {
+    auditor.RecordQuery("wide", ToBytes("tag-" + std::to_string(i)), 1, true);
+  }
+  LeakageReport report = auditor.Report();
+  ASSERT_EQ(report.relations.size(), 1u);
+  EXPECT_GT(report.relations[0].sketch_evictions, 0u);
+  EXPECT_EQ(report.relations[0].distinct_tags, 8u);  // capacity, lower bound
+  EXPECT_EQ(report.relations[0].queries, 300u);
+}
+
+TEST(LeakageAuditorTest, ConcurrentRecordAndReportAreRaceFree) {
+  // The auditor must be standalone thread-safe (its own mutex): writer
+  // threads hammer RecordQuery across relations while readers fold via
+  // Report/RefreshMetrics. Run under TSan in CI; the post-condition is
+  // that no observation is lost.
+  MetricsRegistry registry;
+  LeakageAuditor auditor(DeterministicOptions(), &registry);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&auditor, t] {
+      const std::string relation = t % 2 == 0 ? "people" : "orders";
+      for (int i = 0; i < kPerWriter; ++i) {
+        auditor.RecordQuery(relation, ToBytes("tag-" + std::to_string(i % 64)),
+                            static_cast<uint64_t>(i % 9), i % 3 == 0);
+      }
+    });
+  }
+  threads.emplace_back([&auditor] {
+    for (int i = 0; i < 200; ++i) {
+      LeakageReport report = auditor.Report();
+      (void)report.queries_observed;
+      auditor.RefreshMetrics();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(auditor.queries_observed(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  LeakageReport report = auditor.Report();
+  EXPECT_EQ(report.queries_observed,
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  uint64_t per_relation = 0;
+  for (const auto& relation : report.relations) {
+    per_relation += relation.queries;
+  }
+  EXPECT_EQ(per_relation, static_cast<uint64_t>(kWriters) * kPerWriter);
+}
+
+// ----------------------------------------------------------- wire form
+
+TEST(LeakageReportWireTest, RoundTripIsLossless) {
+  LeakageAuditor auditor(DeterministicOptions(), nullptr);
+  FeedSkewedWorkload(&auditor);
+  for (int i = 0; i < 10; ++i) {
+    auditor.RecordQuery("orders", ToBytes("order-tag"), 3, false);
+  }
+  LeakageReport original = auditor.Report();
+
+  Bytes wire;
+  original.AppendTo(&wire);
+  ByteReader reader(wire);
+  auto parsed = LeakageReport::ReadFrom(&reader);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(*parsed == original);
+}
+
+TEST(LeakageReportWireTest, RenderTextNamesEveryRelation) {
+  LeakageAuditor auditor(DeterministicOptions(), nullptr);
+  FeedSkewedWorkload(&auditor);
+  std::string text = auditor.Report().RenderText();
+  EXPECT_NE(text.find("people"), std::string::npos);
+  EXPECT_NE(text.find("advantage"), std::string::npos);
+  EXPECT_NE(text.find("salted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leakage
+}  // namespace obs
+}  // namespace dbph

@@ -198,6 +198,63 @@ TEST(RegistrySnapshotTest, WireRoundTripIsLossless) {
             original.histograms.at("c_seconds"));
 }
 
+TEST(RegistrySnapshotTest, InfoSeriesRoundTripAndRender) {
+  // Info-style series (constant 1 with identifying labels, e.g.
+  // dbph_build_info) travel in an optional trailing section: they round
+  // trip losslessly, and a pre-info snapshot (no trailing bytes) still
+  // parses — backward compatibility with older servers.
+  MetricsRegistry registry;
+  registry.GetCounter("dbph_requests_total")->Add(1);
+  registry.SetInfo("dbph_build_info",
+                   "version=\"0.7\",revision=\"abc1234\"");
+  RegistrySnapshot original = registry.Snapshot();
+
+  Bytes wire;
+  original.AppendTo(&wire);
+  ByteReader reader(wire);
+  auto parsed = RegistrySnapshot::ReadFrom(&reader);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(parsed->infos, original.infos);
+
+  std::string page = original.RenderPrometheus();
+  EXPECT_NE(page.find("# TYPE dbph_build_info gauge"), std::string::npos);
+  EXPECT_NE(
+      page.find("dbph_build_info{version=\"0.7\",revision=\"abc1234\"} 1"),
+      std::string::npos);
+
+  // Old wire form: a snapshot serialized without the infos section.
+  MetricsRegistry plain;
+  plain.GetCounter("a_total")->Add(2);
+  RegistrySnapshot no_infos = plain.Snapshot();
+  Bytes old_wire;
+  no_infos.AppendTo(&old_wire);
+  // The infos section is the trailing (count, entries...) block; an old
+  // peer simply would not send it. Snip it off and the parse must still
+  // succeed with empty infos.
+  old_wire.resize(old_wire.size() - 4);  // empty section == one uint32 0
+  ByteReader old_reader(old_wire);
+  auto old_parsed = RegistrySnapshot::ReadFrom(&old_reader);
+  ASSERT_TRUE(old_parsed.ok()) << old_parsed.status().ToString();
+  EXPECT_TRUE(old_parsed->infos.empty());
+  EXPECT_EQ(old_parsed->counters.at("a_total"), 2u);
+}
+
+TEST(RegistrySnapshotTest, RejectsHostileInfoCounts) {
+  // An attacker-claimed million infos in a four-byte tail must fail
+  // closed before allocation, like every other section count.
+  MetricsRegistry registry;
+  registry.GetCounter("a_total")->Add(1);
+  RegistrySnapshot snapshot = registry.Snapshot();
+  Bytes wire;
+  snapshot.AppendTo(&wire);
+  // Replace the trailing empty infos section (uint32 0) with a huge count.
+  wire.resize(wire.size() - 4);
+  AppendUint32(&wire, 1000000);
+  ByteReader reader(wire);
+  EXPECT_FALSE(RegistrySnapshot::ReadFrom(&reader).ok());
+}
+
 TEST(RegistrySnapshotTest, RejectsCountsBeyondPayload) {
   // The snapshot parser sees attacker-controlled bytes (any peer can
   // claim to be a server): declared counts must be validated against the
@@ -264,6 +321,8 @@ TEST(QueryTraceTest, DescribeRedactsEverythingButMetadata) {
   trace.lock_wait_micros = 2;
   trace.plan_micros = 3;
   trace.execute_micros = 1400;
+  trace.execute_scan_micros = 1100;
+  trace.execute_index_micros = 300;
   trace.proof_micros = 50;
   trace.serialize_micros = 35;
   trace.used_index = true;
@@ -273,8 +332,17 @@ TEST(QueryTraceTest, DescribeRedactsEverythingButMetadata) {
   EXPECT_NE(line.find("op=select"), std::string::npos);
   EXPECT_NE(line.find("relation=patients"), std::string::npos);
   EXPECT_NE(line.find("total_us=1500"), std::string::npos);
+  // The execute stage splits by access path when either path ran...
+  EXPECT_NE(line.find("execute_scan_us=1100"), std::string::npos);
+  EXPECT_NE(line.find("execute_index_us=300"), std::string::npos);
   EXPECT_NE(line.find("path=index"), std::string::npos);
   EXPECT_NE(line.find("results=12"), std::string::npos);
+
+  // ...and stays short for ops that planned nothing.
+  QueryTrace ping;
+  ping.op = "ping";
+  ping.total_micros = 3;
+  EXPECT_EQ(ping.Describe().find("execute_scan_us"), std::string::npos);
 
   trace.Reset();
   EXPECT_EQ(trace.total_micros, 0u);

@@ -55,8 +55,8 @@ TEST(ProtocolFuzzTest, ValidTypeBytesWithGarbagePayloads) {
       // Whatever happens, it must be a well-formed reply. Random payloads
       // never decode into valid requests, so: error — except kPing, whose
       // payload is an opaque cookie echoed back verbatim, and kFlush /
-      // kStats, which are payload-free (an empty random payload is a
-      // valid request for either).
+      // kStats / kLeakageReport, which are payload-free (an empty random
+      // payload is a valid request for any of them).
       if (request.type == protocol::MessageType::kPing) {
         EXPECT_EQ(envelope->type, protocol::MessageType::kPong);
         EXPECT_EQ(envelope->payload, request.payload);
@@ -66,6 +66,10 @@ TEST(ProtocolFuzzTest, ValidTypeBytesWithGarbagePayloads) {
       } else if (request.type == protocol::MessageType::kStats &&
                  request.payload.empty()) {
         EXPECT_EQ(envelope->type, protocol::MessageType::kStatsResult);
+      } else if (request.type == protocol::MessageType::kLeakageReport &&
+                 request.payload.empty()) {
+        EXPECT_EQ(envelope->type,
+                  protocol::MessageType::kLeakageReportResult);
       } else {
         EXPECT_EQ(envelope->type, protocol::MessageType::kError);
       }
@@ -716,6 +720,75 @@ TEST(FrameFuzzTest, OversizedAndGarbageHeadersPoisonPermanently) {
     Bytes more = rng.NextBytes(32);
     EXPECT_FALSE(reader.Feed(more.data(), more.size()).ok());
     EXPECT_FALSE(reader.NextFrame().has_value());
+  }
+}
+
+TEST(LeakageReportFuzzTest, RandomBytesNeverCrashTheReader) {
+  crypto::HmacDrbg rng("fuzz-leakage", 13);
+  for (int i = 0; i < 3000; ++i) {
+    Bytes garbage = rng.NextBytes(rng.NextBelow(300));
+    ByteReader reader(garbage);
+    auto report = obs::leakage::LeakageReport::ReadFrom(&reader);
+    (void)report;  // error or tiny parse — just must not crash/throw
+  }
+}
+
+TEST(LeakageReportFuzzTest, HostileCountsCannotForceOverAllocation) {
+  // A handcrafted header claiming 2^32 - 1 relations (or tags) with no
+  // backing bytes must be rejected before any reserve().
+  for (uint32_t hostile : {0xffffffffu, 0x10000000u, 0x7fffffffu}) {
+    Bytes wire;
+    AppendUint64(&wire, 1);        // queries_observed
+    AppendUint64(&wire, 0);        // alerts
+    AppendUint64(&wire, 500);      // budget
+    AppendUint32(&wire, hostile);  // relation count >> payload
+    ByteReader reader(wire);
+    auto report = obs::leakage::LeakageReport::ReadFrom(&reader);
+    EXPECT_FALSE(report.ok()) << hostile;
+  }
+  // Same attack one level down: a valid relation header with a hostile
+  // tag count.
+  for (uint32_t hostile : {0xffffffffu, 0x01000000u}) {
+    Bytes wire;
+    AppendUint64(&wire, 1);
+    AppendUint64(&wire, 0);
+    AppendUint64(&wire, 500);
+    AppendUint32(&wire, 1);  // one relation
+    AppendLengthPrefixed(&wire, ToBytes("people"));
+    for (int field = 0; field < 8; ++field) AppendUint64(&wire, 1);
+    AppendUint32(&wire, hostile);  // tag count >> payload
+    ByteReader reader(wire);
+    auto report = obs::leakage::LeakageReport::ReadFrom(&reader);
+    EXPECT_FALSE(report.ok()) << hostile;
+  }
+}
+
+TEST(LeakageReportFuzzTest, EveryTruncationOfAValidReportFailsClosed) {
+  // Build a real report through the auditor, then replay every prefix.
+  obs::leakage::LeakageOptions options;
+  options.salt = ToBytes("fuzz-salt");
+  obs::leakage::LeakageAuditor auditor(options, /*registry=*/nullptr);
+  crypto::HmacDrbg rng("fuzz-leakage-trunc", 14);
+  for (int i = 0; i < 200; ++i) {
+    auditor.RecordQuery(i % 2 == 0 ? "people" : "orders",
+                        rng.NextBytes(24), rng.NextBelow(10),
+                        rng.NextBool());
+  }
+  Bytes wire;
+  auditor.Report().AppendTo(&wire);
+  {
+    // Sanity: the full wire round-trips with no trailing bytes.
+    ByteReader reader(wire);
+    auto report = obs::leakage::LeakageReport::ReadFrom(&reader);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(reader.remaining(), 0u);
+    EXPECT_EQ(report->queries_observed, 200u);
+  }
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    ByteReader reader(truncated);
+    auto report = obs::leakage::LeakageReport::ReadFrom(&reader);
+    EXPECT_FALSE(report.ok()) << "prefix of length " << cut << " parsed";
   }
 }
 

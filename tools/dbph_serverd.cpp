@@ -11,6 +11,8 @@
 //                [--index=on|off] [--integrity=on|off]
 //                [--observation=full|aggregate]
 //                [--metrics=on|off] [--metrics-port=N] [--slow-query-ms=N]
+//                [--leakage=on|off] [--leakage-topk=N]
+//                [--leakage-alert-millis=N]
 //
 // Full flag reference (kept in lockstep with --help and CI's docs
 // check): docs/OPERATIONS.md.
@@ -53,6 +55,19 @@
 //                   their per-stage trace. The line carries metadata only
 //                   (op, relation name, timings, result count) — never
 //                   trapdoor or ciphertext bytes. 0 (default) disables.
+//   --leakage=on    (default) online leakage auditor: per-relation
+//                   trapdoor-tag frequency sketches (salted digests),
+//                   empirical entropy, per-path result-size histograms,
+//                   and a live frequency-attack advantage estimate,
+//                   surfaced as dbph_leakage_* metrics, kLeakageReport,
+//                   and the LEAKAGE REPL command. off disables the
+//                   auditor; kLeakageReport then fails with
+//                   FailedPrecondition.
+//   --leakage-topk=N  distinct tag digests tracked per relation before
+//                   the sketch degrades to heavy-hitters (default 128).
+//   --leakage-alert-millis=N  log a redacted Warning (and count an
+//                   alert) when a relation's observed frequency-attack
+//                   advantage reaches N/1000 (default 500).
 //
 //   --persist=DIR   continuous durability: every mutation is appended to
 //                   DIR/wal.log (CRC-guarded, length-prefixed) before it
@@ -140,6 +155,9 @@ const char kUsage[] =
     "  --metrics=on|off        metrics + query tracing (default on)\n"
     "  --metrics-port=N        Prometheus text endpoint on port N\n"
     "  --slow-query-ms=N       log queries slower than N ms (0 = off)\n"
+    "  --leakage=on|off        online leakage auditor (default on)\n"
+    "  --leakage-topk=N        tag digests tracked per relation\n"
+    "  --leakage-alert-millis=N  advantage alert budget in thousandths\n"
     "  --help                  print this and exit\n"
     "full reference: docs/OPERATIONS.md\n";
 
@@ -156,6 +174,7 @@ int main(int argc, char** argv) {
   std::string integrity_mode;
   std::string observation_mode;
   std::string metrics_mode;
+  std::string leakage_mode;
 
   size_t port = net_options.port;
   size_t max_conns = net_options.max_connections;
@@ -163,6 +182,7 @@ int main(int argc, char** argv) {
   size_t metrics_port = 0;
   bool have_metrics_port = false;
   size_t slow_query_ms = 0;
+  size_t leakage_alert_millis = runtime_options.leakage_alert_millis;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kUsage, stdout);
@@ -190,6 +210,11 @@ int main(int argc, char** argv) {
                       &runtime_options.max_index_append_evals, &bad_value) ||
         ParseSizeFlag(argv[i], "--slow-query-ms=", &slow_query_ms,
                       &bad_value) ||
+        ParseSizeFlag(argv[i], "--leakage-topk=",
+                      &runtime_options.leakage_topk, &bad_value) ||
+        ParseSizeFlag(argv[i], "--leakage-alert-millis=",
+                      &leakage_alert_millis, &bad_value) ||
+        ParseStringFlag(argv[i], "--leakage=", &leakage_mode) ||
         ParseStringFlag(argv[i], "--metrics=", &metrics_mode) ||
         ParseStringFlag(argv[i], "--bind=", &net_options.bind_address) ||
         ParseStringFlag(argv[i], "--fsync=", &fsync_mode) ||
@@ -251,6 +276,18 @@ int main(int argc, char** argv) {
   }
   runtime_options.enable_metrics = metrics_mode == "on";
   runtime_options.slow_query_ms = static_cast<int>(slow_query_ms);
+  if (leakage_mode.empty()) leakage_mode = "on";
+  if (leakage_mode != "on" && leakage_mode != "off") {
+    std::fprintf(stderr, "--leakage must be 'on' or 'off', got '%s'\n",
+                 leakage_mode.c_str());
+    return 2;
+  }
+  runtime_options.enable_leakage = leakage_mode == "on";
+  if (runtime_options.leakage_topk == 0) {
+    std::fprintf(stderr, "--leakage-topk must be positive\n");
+    return 2;
+  }
+  runtime_options.leakage_alert_millis = leakage_alert_millis;
   if (have_metrics_port) {
     if (metrics_port == 0 || metrics_port > 65535) {
       std::fprintf(stderr, "--metrics-port must be in [1, 65535], got %zu\n",
