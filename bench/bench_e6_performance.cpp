@@ -1037,11 +1037,67 @@ int RunStatsBench(const ParallelBenchConfig& config) {
       leakage_report->relations[0].relation == "T" &&
       !leak_off.client.LeakageReport().ok();
 
+  // Concurrent-reader scaling: 1, 2, then 4 reader sessions (each its
+  // own Client — clients are single-threaded) hammer the same memoized
+  // point select against the metrics-on deployment simultaneously.
+  // Snapshot reads never take the dispatch lock, so throughput should
+  // scale with cores; on a single-core host the witness is the
+  // lock-wait share staying ~0 (reads were not serialized on a lock,
+  // the core was just busy) with every result byte-identical.
+  const size_t reader_counts[3] = {1, 2, 4};
+  double reader_qps[3] = {0, 0, 0};
+  bool readers_ok = true;
+  for (int rc = 0; rc < 3 && readers_ok; ++rc) {
+    const size_t readers = reader_counts[rc];
+    const size_t per_reader = std::max<size_t>(1, config.repeats / readers);
+    std::vector<std::unique_ptr<crypto::HmacDrbg>> reader_rngs;
+    std::vector<std::unique_ptr<client::Client>> sessions;
+    for (size_t r = 0; r < readers; ++r) {
+      reader_rngs.push_back(
+          std::make_unique<crypto::HmacDrbg>("e6-reader", 100 + r));
+      sessions.push_back(std::make_unique<client::Client>(
+          ToBytes("master"),
+          [&on](const Bytes& request) {
+            return on.server.HandleRequest(request);
+          },
+          reader_rngs.back().get()));
+      if (!sessions.back()->Adopt("T", table.schema()).ok()) {
+        readers_ok = false;
+      }
+    }
+    if (!readers_ok) break;
+    std::atomic<bool> reader_failed{false};
+    Stopwatch timer;
+    std::vector<std::thread> reader_threads;
+    for (size_t r = 0; r < readers; ++r) {
+      reader_threads.emplace_back([&, r] {
+        for (size_t i = 0; i < per_reader; ++i) {
+          auto rows = sessions[r]->Select("T", "key", probe);
+          if (!rows.ok() || !rows->SameTuples(*expected)) {
+            reader_failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& thread : reader_threads) thread.join();
+    double elapsed = timer.ElapsedSeconds();
+    if (reader_failed.load() || elapsed <= 0) {
+      readers_ok = false;
+      break;
+    }
+    reader_qps[rc] =
+        static_cast<double>(readers * per_reader) / elapsed;
+  }
+  double reader_scaling =
+      reader_qps[0] > 0 ? reader_qps[2] / reader_qps[0] : 0;
+
   // Read the answer back through the surface under test: one kStats
   // round trip, then the lock-wait share of select latency out of the
-  // histograms (single dispatcher here, so waits should be ~zero — the
-  // point of reporting the share is that operators can see when they
-  // are not).
+  // histograms. The snapshot is taken AFTER the concurrent-reader
+  // phase, so the share reflects those racing readers too: on the read
+  // path the only lock left is the observation-log mutex, and its wait
+  // share staying near zero is the bench's serialization witness.
   auto snapshot = on.client.Stats();
   if (!snapshot.ok()) {
     std::fprintf(stderr, "kStats round trip failed: %s\n",
@@ -1068,16 +1124,24 @@ int RunStatsBench(const ParallelBenchConfig& config) {
       "\"overhead_ratio\":%.4f,"
       "\"qps_leakage_off\":%.2f,\"qps_leakage_on\":%.2f,"
       "\"leakage_overhead_ratio\":%.4f,\"leakage_roundtrip_ok\":%s,"
+      "\"readers_1_qps\":%.2f,\"readers_2_qps\":%.2f,"
+      "\"readers_4_qps\":%.2f,\"reader_scaling\":%.4f,"
+      "\"readers_results_match\":%s,"
       "\"select_count\":%llu,"
       "\"lock_wait_share\":%.6f,\"stats_roundtrip_ok\":%s,"
       "\"results_match\":%s}\n",
       config.docs, config.repeats, config.rounds, expected->size(), off_qps,
       on_qps, overhead_ratio, leakage_pair.a_qps, leakage_pair.b_qps,
       leakage_pair.ratio, leakage_roundtrip_ok ? "true" : "false",
+      reader_qps[0], reader_qps[1], reader_qps[2], reader_scaling,
+      readers_ok ? "true" : "false",
       static_cast<unsigned long long>(select_count), lock_wait_share,
       stats_roundtrip_ok ? "true" : "false",
       results_match ? "true" : "false");
-  return (stats_roundtrip_ok && results_match && leakage_roundtrip_ok) ? 0 : 1;
+  return (stats_roundtrip_ok && results_match && leakage_roundtrip_ok &&
+          readers_ok)
+             ? 0
+             : 1;
 }
 
 }  // namespace

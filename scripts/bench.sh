@@ -3,7 +3,9 @@
 # mode — sequential-vs-parallel batch (--threads/--batch), multi-client
 # network (--network), mutation durability (--durability), scan-vs-
 # trapdoor-index (--index), Merkle proof overhead (--integrity), and
-# metrics overhead + lock-wait share (--stats) — and writes the combined
+# metrics overhead + concurrent-reader scaling + lock-wait share
+# (--stats; readers=1/2/4 sessions race the snapshot read path) — and
+# writes the combined
 # results plus run metadata to BENCH_e6.json at the repo root. Committing that file after meaningful perf work is how
 # the repo tracks throughput across hardware and revisions. The JSON
 # record schema is documented in docs/OPERATIONS.md.

@@ -80,13 +80,17 @@ run_tsan_stage() {
   # obs_leakage_test likewise: the auditor claims standalone thread
   # safety (its own mutex around the staging ring and fold), and its
   # concurrent record/report test only means something under TSan.
+  # concurrency_race_test is the point of this stage: verified readers
+  # race a writer across the snapshot read path while stats are polled —
+  # any lock-discipline slip in snapshot publication or observation
+  # staging is a hard TSan failure here.
   cmake --build "$tsan_dir" -j "$(nproc)" --target \
     runtime_test runtime_parallel_test net_frame_test net_server_test \
     net_interleave_test protocol_fuzz_test wal_recovery_test \
     differential_test server_persistence_test planner_test sql_test \
-    obs_metrics_test obs_leakage_test
+    obs_metrics_test obs_leakage_test concurrency_race_test
   ctest --test-dir "$tsan_dir" --output-on-failure --no-tests=error \
-    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql|obs_metrics|obs_leakage' \
+    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql|obs_metrics|obs_leakage|concurrency_race' \
     -j "$(nproc)"
 }
 

@@ -137,7 +137,11 @@ struct NetServer::Connection {
   FrameReader reader;
   FrameWriter writer;
   int64_t last_active_ms = 0;
+  /// Generation id for worker-mode completion routing: fds are reused by
+  /// the kernel, so a response is matched on (fd, id), never fd alone.
+  uint64_t id = 0;
   bool read_closed = false;  ///< peer sent EOF; drain writes, then close
+  bool in_flight = false;    ///< a worker holds this connection's frame
   bool reg_read = true;      ///< poller interest currently registered
   bool reg_write = false;
 };
@@ -230,9 +234,18 @@ Status NetServer::Start() {
     poller_->Add(metrics_listen_fd_.get(), true, false);
   }
 
-  // Debug contract: while this NetServer runs, it is the sole dispatcher
-  // (see untrusted_server.h for the single-writer model).
+  // Debug contract: while this NetServer runs, it is the exclusive
+  // MUTATION dispatcher — no other code path may submit mutating
+  // requests (snapshot reads are exempt; see untrusted_server.h).
   server_->BindExclusiveDispatcher(this);
+
+  if (options_.read_workers > 0) {
+    workers_stop_.store(false, std::memory_order_release);
+    workers_.reserve(options_.read_workers);
+    for (size_t i = 0; i < options_.read_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
 
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { Loop(); });
@@ -245,7 +258,24 @@ void NetServer::Stop() {
   uint8_t byte = 1;
   (void)!::write(wake_write_.get(), &byte, 1);
   loop_thread_.join();
-  server_->BindExclusiveDispatcher(nullptr);
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      workers_stop_.store(true, std::memory_order_release);
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    // Unanswered frames and unrouted responses die with their
+    // connections — everything is closing anyway.
+    work_queue_.clear();
+    done_queue_.clear();
+  }
+  // CAS-unbind: releases only OUR binding. If a restarted NetServer (or
+  // another one) already re-bound, its binding survives — the historical
+  // blind store of nullptr let a stale Stop() erase the new server's
+  // claim and disarm the exclusive-mutation-dispatcher assert.
+  server_->UnbindExclusiveDispatcher(this);
   running_.store(false, std::memory_order_release);
   poller_.reset();
   connections_.clear();
@@ -287,6 +317,7 @@ void NetServer::Loop() {
         uint8_t drain[64];
         while (::read(wake_read_.get(), drain, sizeof(drain)) > 0) {
         }
+        DrainCompletions();
         continue;
       }
       if (event.fd == listen_fd_.get()) {
@@ -317,7 +348,9 @@ void NetServer::Loop() {
     if (options_.idle_timeout_ms > 0) ReapIdle(NowMs());
   }
 
-  // Graceful exit: one best-effort flush of queued responses, then close.
+  // Graceful exit: route any already-computed worker responses, then one
+  // best-effort flush of queued responses, then close.
+  DrainCompletions();
   for (auto& [fd, conn] : connections_) {
     (void)conn->writer.FlushTo(fd);
   }
@@ -341,6 +374,7 @@ void NetServer::AcceptNew() {
     auto conn = std::make_unique<Connection>(std::move(fd),
                                              options_.max_frame_bytes);
     conn->last_active_ms = NowMs();
+    conn->id = next_conn_id_++;
     int key = conn->fd.get();
     poller_->Add(key, true, false);
     connections_.emplace(key, std::move(conn));
@@ -392,8 +426,8 @@ bool NetServer::ServiceMetricsConnection(HttpConnection* conn,
     }
     if (conn->request.find("\r\n\r\n") != std::string::npos ||
         conn->request.find("\n\n") != std::string::npos) {
-      // CollectStats takes the dispatch lock itself; the loop thread is
-      // between HandleRequest calls here, so it does not hold it.
+      // CollectStats is a lock-free snapshot read (it pins the published
+      // server snapshot); scrapes never queue behind mutations.
       if (conn->request.compare(0, 4, "GET ") == 0) {
         std::string body = server_->CollectStats().RenderPrometheus();
         conn->response =
@@ -449,8 +483,14 @@ bool NetServer::ServiceConnection(Connection* conn, bool readable) {
     // The read phase stops at the budget too: a peer streaming frames
     // faster than we dispatch may not grow the reader's queue without
     // bound, nor monopolize the loop thread (level-triggered readiness
-    // re-arms via UpdateInterest once the queue drains).
-    while (conn->reader.buffered_bytes() <= WriteBudget()) {
+    // re-arms via UpdateInterest once the queue drains). The budget
+    // counts COMPLETE queued frames only: a single frame larger than the
+    // budget must keep reading to ever complete — gating on partial
+    // bytes stalled such connections forever and the reaper then killed
+    // them as "idle". Partial bytes stay bounded by max_frame_bytes
+    // (FrameReader rejects larger declared lengths outright).
+    while (conn->reader.buffered_bytes() - conn->reader.partial_bytes() <=
+           WriteBudget()) {
       ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
       if (n > 0) {
         conn->last_active_ms = NowMs();
@@ -481,11 +521,12 @@ bool NetServer::ServiceConnection(Connection* conn, bool readable) {
   while (true) {
     if (!DispatchBufferedFrames(conn)) return false;
     if (!FlushProgress(conn)) return false;
+    if (conn->in_flight) break;  // worker mode: resume on completion
     if (conn->writer.pending_bytes() > WriteBudget()) break;
     if (!conn->reader.HasBufferedFrame()) break;
   }
 
-  if (conn->read_closed && !conn->writer.HasPending() &&
+  if (conn->read_closed && !conn->in_flight && !conn->writer.HasPending() &&
       !conn->reader.HasBufferedFrame()) {
     return false;  // drained a half-closed peer: done
   }
@@ -493,34 +534,111 @@ bool NetServer::ServiceConnection(Connection* conn, bool readable) {
   return true;
 }
 
+bool NetServer::EnqueueResponse(Connection* conn, const Bytes& response) {
+  if (!conn->writer.Enqueue(response).ok()) {
+    // The response outgrew the frame cap (e.g. a fetch of a relation
+    // larger than kMaxFrameBytes): answer in protocol with an error
+    // envelope — always frameable — instead of killing the stream.
+    Bytes error = protocol::MakeErrorEnvelope(
+                      Status::OutOfRange(
+                          "response exceeds the wire frame cap"))
+                      .Serialize();
+    if (!conn->writer.Enqueue(error).ok()) {
+      framing_errors_.fetch_add(1, std::memory_order_relaxed);
+      ins_.framing_errors->Add();
+      return false;
+    }
+  }
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  ins_.frames_out->Add();
+  return true;
+}
+
 bool NetServer::DispatchBufferedFrames(Connection* conn) {
   // Dispatch in arrival order; queued responses preserve that order,
   // which is the pipelining contract. Stop once the write budget is
   // spent — backpressure, not unbounded buffering.
+  if (!workers_.empty()) {
+    // Worker mode: at most one frame in flight per connection (order),
+    // handed off instead of dispatched inline. The next frame goes out
+    // when the completion comes back through DrainCompletions.
+    if (!conn->in_flight && conn->writer.pending_bytes() <= WriteBudget()) {
+      if (auto frame = conn->reader.NextFrame()) {
+        frames_in_.fetch_add(1, std::memory_order_relaxed);
+        ins_.frames_in->Add();
+        conn->in_flight = true;
+        {
+          std::lock_guard<std::mutex> lock(work_mutex_);
+          work_queue_.push_back({conn->id, conn->fd.get(), std::move(*frame)});
+        }
+        work_cv_.notify_one();
+      }
+    }
+    return true;
+  }
   while (conn->writer.pending_bytes() <= WriteBudget()) {
     auto frame = conn->reader.NextFrame();
     if (!frame) break;
     frames_in_.fetch_add(1, std::memory_order_relaxed);
     ins_.frames_in->Add();
     Bytes response = server_->HandleRequest(*frame, this);
-    if (!conn->writer.Enqueue(response).ok()) {
-      // The response outgrew the frame cap (e.g. a fetch of a relation
-      // larger than kMaxFrameBytes): answer in protocol with an error
-      // envelope — always frameable — instead of killing the stream.
-      Bytes error = protocol::MakeErrorEnvelope(
-                        Status::OutOfRange(
-                            "response exceeds the wire frame cap"))
-                        .Serialize();
-      if (!conn->writer.Enqueue(error).ok()) {
-        framing_errors_.fetch_add(1, std::memory_order_relaxed);
-        ins_.framing_errors->Add();
-        return false;
-      }
-    }
-    frames_out_.fetch_add(1, std::memory_order_relaxed);
-    ins_.frames_out->Add();
+    if (!EnqueueResponse(conn, response)) return false;
   }
   return true;
+}
+
+void NetServer::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [this] {
+        return workers_stop_.load(std::memory_order_acquire) ||
+               !work_queue_.empty();
+      });
+      if (workers_stop_.load(std::memory_order_acquire)) return;
+      item = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    // Reads run lock-free against the published snapshot; mutations
+    // serialize on the server's dispatch lock. Either way this NetServer
+    // is the dispatcher token the exclusive-mutation assert checks.
+    Bytes response = server_->HandleRequest(item.frame, this);
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_queue_.push_back({item.conn_id, item.fd, std::move(response)});
+    }
+    uint8_t byte = 1;
+    (void)!::write(wake_write_.get(), &byte, 1);
+  }
+}
+
+void NetServer::DrainCompletions() {
+  while (true) {
+    Completion done;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      if (done_queue_.empty()) return;
+      done = std::move(done_queue_.front());
+      done_queue_.pop_front();
+    }
+    auto it = connections_.find(done.fd);
+    if (it == connections_.end() || it->second->id != done.conn_id) {
+      continue;  // orphan: the connection died (or the fd was reused)
+    }
+    Connection* conn = it->second.get();
+    conn->in_flight = false;
+    conn->last_active_ms = NowMs();
+    if (!EnqueueResponse(conn, done.response)) {
+      CloseConnection(done.fd);
+      continue;
+    }
+    // Resume this connection: hand off its next buffered frame, flush,
+    // re-arm interest (readable=false — no socket event happened).
+    if (!ServiceConnection(conn, /*readable=*/false)) {
+      CloseConnection(done.fd);
+    }
+  }
 }
 
 bool NetServer::FlushProgress(Connection* conn) {
@@ -536,9 +654,10 @@ void NetServer::UpdateInterest(Connection* conn) {
   // Read interest is live state, not a sticky flag: closed peers,
   // over-budget writers, and over-budget inbound queues pause reads;
   // anything else resumes them.
-  bool want_read = !conn->read_closed &&
-                   conn->writer.pending_bytes() <= WriteBudget() &&
-                   conn->reader.buffered_bytes() <= WriteBudget();
+  bool want_read =
+      !conn->read_closed && conn->writer.pending_bytes() <= WriteBudget() &&
+      conn->reader.buffered_bytes() - conn->reader.partial_bytes() <=
+          WriteBudget();
   bool want_write = conn->writer.HasPending();
   if (want_read != conn->reg_read || want_write != conn->reg_write) {
     // A live peer whose reads pause on the write/read budget is a
@@ -563,6 +682,13 @@ void NetServer::CloseConnection(int fd) {
 void NetServer::ReapIdle(int64_t now_ms) {
   std::vector<int> stale;
   for (const auto& [fd, conn] : connections_) {
+    // A connection whose frame a worker is still computing is busy, not
+    // idle, no matter how long the computation runs; its clock resumes
+    // when the completion lands. (Slow-draining peers are different: the
+    // clock ticks on write progress, so a peer that accepts bytes —
+    // however slowly — stays alive, while one that never drains us still
+    // times out.)
+    if (conn->in_flight) continue;
     if (now_ms - conn->last_active_ms >= options_.idle_timeout_ms) {
       stale.push_back(fd);
     }

@@ -2,11 +2,15 @@
 #define DBPH_NET_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/result.h"
 #include "net/frame.h"
@@ -49,6 +53,16 @@ struct NetServerOptions {
   /// snapshot and the connection is closed. Bound to bind_address, so it
   /// stays loopback unless the frame port was opened up too.
   int metrics_port = -1;
+  /// Dispatch worker threads. 0 (default) dispatches every frame inline
+  /// on the event-loop thread (the historical behavior). With N > 0,
+  /// complete frames are handed to N worker threads: snapshot reads
+  /// (selects, all-select batches, EXPLAIN, fetch, stats, leakage, ping)
+  /// then execute concurrently against the server's published snapshot,
+  /// while mutating frames serialize on its single-writer dispatch lock.
+  /// Per-connection response order is preserved by keeping at most one
+  /// frame in flight per connection; cross-connection requests
+  /// parallelize freely.
+  size_t read_workers = 0;
 };
 
 /// \brief The network face of Eve: an epoll/poll event loop hosting one
@@ -56,13 +70,24 @@ struct NetServerOptions {
 ///
 /// One loop thread owns all sockets. Each connection carries a FrameReader
 /// and a FrameWriter; every complete inbound frame is one serialized
-/// protocol::Envelope, dispatched synchronously through
-/// UntrustedServer::HandleRequest, and the response frame is queued in
-/// arrival order — so clients may pipeline any number of requests and
-/// responses always come back in request order. Cross-request parallelism
-/// lives *inside* the UntrustedServer (batch waves fan out over its worker
-/// pool); the loop thread is the server's single dispatcher, which keeps
-/// the single-writer storage model intact (see untrusted_server.h).
+/// protocol::Envelope, and responses are queued in arrival order — so
+/// clients may pipeline any number of requests and responses always come
+/// back in request order.
+///
+/// Dispatch has two modes. With read_workers == 0 (default) every frame is
+/// dispatched synchronously on the loop thread through
+/// UntrustedServer::HandleRequest. With read_workers > 0, frames are
+/// handed to a small worker pool: snapshot reads execute concurrently
+/// against the server's published snapshot (no dispatch lock — see
+/// untrusted_server.h), and mutating frames serialize on its
+/// single-writer dispatch lock. Either way this NetServer is the server's
+/// one exclusive *mutation* dispatcher while running (the debug assert in
+/// HandleRequest checks the dispatcher token, not the thread): no other
+/// code path may submit mutations until Stop() unbinds it. Response order
+/// per connection is preserved by allowing at most one in-flight frame
+/// per connection; a worker's completed response returns to the loop
+/// thread via the wake pipe and is enqueued there, so sockets are still
+/// touched by the loop thread only.
 ///
 /// Framing violations (a declared length above max_frame_bytes) kill the
 /// connection: stream sync is unrecoverable. Malformed *envelopes* inside
@@ -135,8 +160,18 @@ class NetServer {
   /// Dispatches queued request frames until the write budget is hit;
   /// false = close.
   bool DispatchBufferedFrames(Connection* conn);
+  /// Queues one response frame (or the over-cap error envelope fallback)
+  /// on the connection's writer; false = close.
+  bool EnqueueResponse(Connection* conn, const Bytes& response);
   /// Non-blocking flush; refreshes the idle clock only on real progress.
   bool FlushProgress(Connection* conn);
+  /// Worker-pool body: pop a frame, HandleRequest it, post the response
+  /// to the completion queue, wake the loop.
+  void WorkerLoop();
+  /// Loop-thread side: drain completed worker responses into their
+  /// connections' writers (dropping orphans whose connection died) and
+  /// resume dispatch on those connections.
+  void DrainCompletions();
   /// Re-arms the poller to the connection's current read/write interest.
   void UpdateInterest(Connection* conn);
   size_t WriteBudget() const;
@@ -161,6 +196,29 @@ class NetServer {
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+
+  /// Worker-mode state (read_workers > 0). Work items carry the owning
+  /// connection's generation id so a response whose connection closed
+  /// (or whose fd was reused) while the worker ran is detectably orphan
+  /// and dropped instead of landing on a stranger's socket.
+  struct WorkItem {
+    uint64_t conn_id = 0;
+    int fd = -1;
+    Bytes frame;
+  };
+  struct Completion {
+    uint64_t conn_id = 0;
+    int fd = -1;
+    Bytes response;
+  };
+  std::vector<std::thread> workers_;
+  std::atomic<bool> workers_stop_{false};
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<WorkItem> work_queue_;
+  std::mutex done_mutex_;
+  std::deque<Completion> done_queue_;
+  uint64_t next_conn_id_ = 1;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};

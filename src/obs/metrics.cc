@@ -337,12 +337,25 @@ std::string RegistrySnapshot::RenderText() const {
     }
   }
   if (!histograms.empty()) {
+    // Values render in each series' canonical unit, decided by the unit
+    // carried on the wire — micros-recorded series (the *_seconds names)
+    // convert to seconds here exactly like the Prometheus rendering, so
+    // a number never means two different things on two surfaces.
     out << "histograms (count / mean / p50 / p95 / p99 / max";
-    out << ", micros for *_seconds):\n";
+    out << "; *_seconds in seconds):\n";
     for (const auto& [name, h] : histograms) {
-      out << "  " << name << " = " << h.count << " / "
-          << FormatDouble(h.Mean()) << " / " << h.P50() << " / " << h.P95()
-          << " / " << h.P99() << " / " << h.max << "\n";
+      if (h.unit == Unit::kMicros) {
+        out << "  " << name << " = " << h.count << " / "
+            << FormatDouble(h.Mean() / 1e6) << " / "
+            << FormatDouble(ScaleForPrometheus(h.unit, h.P50())) << " / "
+            << FormatDouble(ScaleForPrometheus(h.unit, h.P95())) << " / "
+            << FormatDouble(ScaleForPrometheus(h.unit, h.P99())) << " / "
+            << FormatDouble(ScaleForPrometheus(h.unit, h.max)) << "\n";
+      } else {
+        out << "  " << name << " = " << h.count << " / "
+            << FormatDouble(h.Mean()) << " / " << h.P50() << " / " << h.P95()
+            << " / " << h.P99() << " / " << h.max << "\n";
+      }
     }
   }
   return out.str();

@@ -25,8 +25,11 @@ enum class AccessPath {
 
 /// \brief Everything the planner and executor need about one relation:
 /// borrowed views of the server's storage, the scan parallelism, and the
-/// relation's trapdoor index (null = index disabled). Valid only under
-/// the server's single-writer dispatch lock, like the runtime views.
+/// relation's trapdoor index (null = index disabled). When built from the
+/// live server state it is valid only under the single-writer dispatch
+/// lock, like the runtime views; the snapshot read path builds the
+/// equivalent views from an immutable published RelationSnapshot instead
+/// and needs no lock (see server/snapshot.h).
 struct ExecutionContext {
   const storage::HeapFile* heap = nullptr;
   const std::vector<storage::RecordId>* records = nullptr;

@@ -28,11 +28,16 @@ namespace planner {
 /// her ObservationLog alone; maintaining it reveals nothing beyond the
 /// log, and serving from it must be (and is) byte-identical to scanning.
 ///
-/// Thread model: all mutation and lookup happens under the server's
-/// single-writer dispatch lock, exactly like the relation map and the
-/// observation log. The index is volatile cache: recovery (RestoreState /
-/// WAL replay) starts cold and deterministically rebuilds entries as
-/// queries repeat — correctness never depends on index contents.
+/// Thread model: all mutation of the *live* index happens under the
+/// server's single-writer dispatch lock, exactly like the relation map.
+/// Snapshot readers never touch the live index: each published relation
+/// snapshot carries a frozen copy, read via the stats-free Peek (hit/miss
+/// accounting for the read path lives in server-side atomics instead, and
+/// memoization of a scan a reader performed re-enters the dispatch lock —
+/// see UntrustedServer::TryMemoizeFromSnapshot). The index is volatile
+/// cache: recovery (RestoreState / WAL replay) starts cold and
+/// deterministically rebuilds entries as queries repeat — correctness
+/// never depends on index contents.
 class TrapdoorIndex {
  public:
   /// Caps how many distinct trapdoors this index memoizes (0 =

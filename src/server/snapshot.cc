@@ -1,0 +1,119 @@
+#include "server/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace server {
+
+void SnapshotChunk::Seal() {
+  pos_in_chunk.clear();
+  pos_in_chunk.reserve(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    pos_in_chunk.emplace(docs[i].rid_packed, static_cast<uint32_t>(i));
+  }
+}
+
+uint64_t RelationSnapshot::PositionOf(uint64_t rid_packed) const {
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    auto it = chunks[c]->pos_in_chunk.find(rid_packed);
+    if (it != chunks[c]->pos_in_chunk.end()) {
+      return chunk_first[c] + it->second;
+    }
+  }
+  return kNotFound;
+}
+
+const SnapshotDoc& RelationSnapshot::doc(uint64_t position) const {
+  // Find the chunk whose first position is the greatest <= position.
+  size_t c = static_cast<size_t>(
+      std::upper_bound(chunk_first.begin(), chunk_first.end(), position) -
+      chunk_first.begin() - 1);
+  return chunks[c]->docs[position - chunk_first[c]];
+}
+
+Result<swp::EncryptedDocument> RelationSnapshot::ParseDoc(
+    uint64_t position) const {
+  ByteReader reader(doc(position).bytes);
+  return swp::EncryptedDocument::ReadFrom(&reader);
+}
+
+Status RelationSnapshot::FetchPostings(const std::vector<uint64_t>& postings,
+                                       std::vector<SnapshotMatch>* out) const {
+  out->reserve(postings.size());
+  for (uint64_t packed : postings) {
+    uint64_t position = PositionOf(packed);
+    if (position == kNotFound) {
+      // Unreachable by construction: the frozen index and frozen
+      // documents come from the same critical section. Fail closed like
+      // a heap miss would on the locked path.
+      return Status::NotFound("record not found");
+    }
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument parsed, ParseDoc(position));
+    out->push_back({position, packed, std::move(parsed)});
+  }
+  return Status::OK();
+}
+
+Status RelationSnapshot::Scan(const swp::Trapdoor& trapdoor, size_t num_shards,
+                              runtime::ThreadPool* pool,
+                              std::vector<SnapshotMatch>* out) const {
+  // Mirror runtime::ShardedRelation's balanced contiguous split so the
+  // per-shard work (and thus the match order: shard order = storage
+  // order) is identical to the locked scan path.
+  const size_t n = num_docs;
+  if (num_shards == 0) num_shards = 1;
+  num_shards = std::min(num_shards, std::max<size_t>(n, 1));
+  const size_t base = n / num_shards;
+  const size_t extra = n % num_shards;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(num_shards);
+  size_t begin = 0;
+  for (size_t i = 0; i < num_shards; ++i) {
+    size_t len = base + (i < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+
+  swp::SwpParams params;
+  params.word_length = trapdoor.target.size();
+  params.check_length = check_length;
+
+  std::vector<std::vector<SnapshotMatch>> shard_matches(ranges.size());
+  std::vector<Status> shard_status(ranges.size(), Status::OK());
+  const auto scan_range = [&](size_t shard) {
+    auto& matches = shard_matches[shard];
+    for (size_t pos = ranges[shard].first; pos < ranges[shard].second; ++pos) {
+      ByteReader reader(doc(pos).bytes);
+      auto parsed = swp::EncryptedDocument::ReadFrom(&reader);
+      if (!parsed.ok()) {
+        shard_status[shard] = parsed.status();
+        return;
+      }
+      if (!swp::SearchDocument(params, trapdoor, *parsed).empty()) {
+        matches.push_back({pos, doc(pos).rid_packed, std::move(*parsed)});
+      }
+    }
+  };
+  if (pool != nullptr && ranges.size() > 1) {
+    pool->ParallelFor(ranges.size(), scan_range);
+  } else {
+    for (size_t i = 0; i < ranges.size(); ++i) scan_range(i);
+  }
+
+  size_t total = 0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    DBPH_RETURN_IF_ERROR(shard_status[i]);
+    total += shard_matches[i].size();
+  }
+  out->reserve(out->size() + total);
+  for (auto& matches : shard_matches) {
+    for (auto& match : matches) out->push_back(std::move(match));
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace dbph

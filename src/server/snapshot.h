@@ -1,0 +1,137 @@
+#ifndef DBPH_SERVER_SNAPSHOT_H_
+#define DBPH_SERVER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/merkle.h"
+#include "server/planner/trapdoor_index.h"
+#include "server/runtime/thread_pool.h"
+#include "swp/search.h"
+
+namespace dbph {
+namespace server {
+
+/// \brief Immutable published state for the snapshot (MVCC-style) read
+/// path: mutations run under the server's single-writer dispatch lock
+/// and, before acknowledging, publish a frozen copy of each touched
+/// relation via one atomic shared_ptr swap. Readers pin the current
+/// ServerSnapshot with a single acquire load and execute entirely
+/// against it — no dispatch lock, no borrowed storage views — so a
+/// racing append/delete can neither tear a result set nor splice a
+/// stale Merkle root under a proof.
+///
+/// Everything here is deep-frozen at publish time: document bytes are
+/// OWNED copies (the heap file compacts pages in place, so borrowing
+/// record ids across a mutation is unsound), the trapdoor index is a
+/// value copy consulted only through its stats-free Peek, and the
+/// Merkle tree/epoch/attestation triple is the exact proof source the
+/// single-writer path would have used at the same state. Results and
+/// ResultProofs are byte-identical to the locked path by construction:
+/// same serialized bytes, same parse, same scan semantics, same tree.
+
+/// One stored ciphertext document frozen at publish time: its heap
+/// identity (what Eve correlates across results) plus the serialized
+/// bytes as stored — exactly what heap.Get would have returned.
+struct SnapshotDoc {
+  uint64_t rid_packed = 0;
+  Bytes bytes;
+};
+
+/// A contiguous run of documents in storage order. Chunks are shared
+/// between snapshot generations so an append publishes O(appended)
+/// new state (old chunks + one new chunk) instead of recopying the
+/// relation; deletes and stores rebuild a single chunk (they are O(n)
+/// operations already).
+struct SnapshotChunk {
+  std::vector<SnapshotDoc> docs;
+  /// rid.Pack() -> index into docs; built once by Seal().
+  std::unordered_map<uint64_t, uint32_t> pos_in_chunk;
+
+  void Seal();
+};
+
+/// One document matched by a snapshot select, in storage order: the
+/// global leaf position (for the proof), the record identity (for the
+/// observation log), and the parsed document (for the response).
+struct SnapshotMatch {
+  uint64_t position = 0;
+  uint64_t rid_packed = 0;
+  swp::EncryptedDocument doc;
+};
+
+/// \brief One relation frozen at a publish point. Everything is
+/// immutable after construction; const methods are safe from any
+/// number of threads concurrently.
+class RelationSnapshot {
+ public:
+  static constexpr uint64_t kNotFound = ~uint64_t{0};
+
+  uint32_t check_length = 4;
+  size_t num_docs = 0;
+  std::vector<std::shared_ptr<const SnapshotChunk>> chunks;
+  /// Global position of chunks[i].docs[0]; parallel to chunks.
+  std::vector<uint64_t> chunk_first;
+  /// Frozen copy of the relation's trapdoor index at publish time, or
+  /// null when the runtime option disables the index. Readers consult
+  /// it only through Peek (stats-free); hit/miss accounting lives in
+  /// server-level atomics so the frozen copy stays truly immutable.
+  std::shared_ptr<const planner::TrapdoorIndex> index;
+  /// Frozen Merkle tree (null when integrity is off) plus the epoch /
+  /// attestation metadata proofs are built from. Pinning these with
+  /// the documents is what makes a reader's ResultProof consistent
+  /// under racing mutations: the proof's epoch and root always match
+  /// the documents it covers.
+  std::shared_ptr<const crypto::MerkleTree> tree;
+  uint64_t epoch = 0;
+  uint64_t attested_epoch = 0;
+  Bytes root_signature;
+  /// Server-wide generation stamp of the relation's DOCUMENT state
+  /// (bumps on store/append/delete-with-matches, not on index or
+  /// attestation changes). Lets a reader's deferred scan-memoization
+  /// prove its result still describes the live documents.
+  uint64_t doc_generation = 0;
+
+  /// rid.Pack() -> global leaf position; kNotFound when absent.
+  uint64_t PositionOf(uint64_t rid_packed) const;
+
+  /// The frozen document at global position `position` (< num_docs).
+  const SnapshotDoc& doc(uint64_t position) const;
+
+  /// Parses the frozen bytes at `position` — the snapshot twin of
+  /// runtime::ReadStoredDocument (same bytes, same parse).
+  Result<swp::EncryptedDocument> ParseDoc(uint64_t position) const;
+
+  /// Index-path fetch: resolves a memoized posting list (packed record
+  /// ids, storage order) to parsed documents + leaf positions. The
+  /// frozen index and frozen documents were copied in the same
+  /// critical section, so every posting resolves by construction.
+  Status FetchPostings(const std::vector<uint64_t>& postings,
+                       std::vector<SnapshotMatch>* out) const;
+
+  /// Scan-path execution: the sharded full trapdoor scan over the
+  /// frozen documents, mirroring runtime::ShardedRelation exactly
+  /// (same balanced contiguous split, same SwpParams, same match
+  /// predicate, storage order). `pool` null runs inline.
+  Status Scan(const swp::Trapdoor& trapdoor, size_t num_shards,
+              runtime::ThreadPool* pool,
+              std::vector<SnapshotMatch>* out) const;
+};
+
+/// \brief The whole server's published state: one frozen relation per
+/// name. Swapped wholesale (the map is small — shared_ptr copies) under
+/// the dispatch lock; loaded with one atomic acquire by readers.
+struct ServerSnapshot {
+  std::map<std::string, std::shared_ptr<const RelationSnapshot>> relations;
+};
+
+}  // namespace server
+}  // namespace dbph
+
+#endif  // DBPH_SERVER_SNAPSHOT_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <ctime>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -116,6 +118,19 @@ const char* OpSlug(protocol::MessageType type) {
   }
 }
 
+// Ring entries hold micros as uint32 (2^32 us ~ 71 minutes; anything
+// slower saturates, which the log2 buckets cannot distinguish anyway).
+uint32_t SaturateU32(uint64_t value) {
+  return value > 0xffffffffull ? 0xffffffffu : static_cast<uint32_t>(value);
+}
+
+uint64_t MicrosBetween(Stopwatch::Clock::time_point from,
+                       Stopwatch::Clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
 }  // namespace
 
 obs::Counter* UntrustedServer::OpCounter(protocol::MessageType type) {
@@ -128,41 +143,35 @@ obs::Counter* UntrustedServer::OpCounter(protocol::MessageType type) {
   return counter;
 }
 
-namespace {
-
-// Ring entries hold micros as uint32 (2^32 us ~ 71 minutes; anything
-// slower saturates, which the log2 buckets cannot distinguish anyway).
-uint32_t SaturateU32(uint64_t value) {
-  return value > 0xffffffffull ? 0xffffffffu : static_cast<uint32_t>(value);
-}
-
-}  // namespace
-
 void UntrustedServer::RecordRequestMetrics(
+    const obs::QueryTrace& trace, PendingRequestStat* cur,
     protocol::MessageType request_type, protocol::MessageType response_type,
     uint64_t handle_micros) {
-  cur_.op = static_cast<uint8_t>(request_type);
+  cur->op = static_cast<uint8_t>(request_type);
   if (response_type == protocol::MessageType::kError) {
-    cur_.flags |= PendingRequestStat::kIsError;
+    cur->flags |= PendingRequestStat::kIsError;
   }
   if (request_type == protocol::MessageType::kSelect) {
-    cur_.flags |= PendingRequestStat::kIsSelect;
+    cur->flags |= PendingRequestStat::kIsSelect;
   }
-  cur_.parse_micros = SaturateU32(trace_.parse_micros);
-  cur_.lock_wait_micros = SaturateU32(trace_.lock_wait_micros);
-  cur_.handle_micros = SaturateU32(handle_micros);
-  cur_.serialize_micros = SaturateU32(trace_.serialize_micros);
-  cur_.total_micros = SaturateU32(trace_.total_micros);
-  cur_.result_size = SaturateU32(trace_.result_size);
-  pending_[pending_count_++] = cur_;
-  if (pending_count_ == kPendingRingSize) FlushPendingStatsLocked();
+  cur->parse_micros = SaturateU32(trace.parse_micros);
+  cur->lock_wait_micros = SaturateU32(trace.lock_wait_micros);
+  cur->handle_micros = SaturateU32(handle_micros);
+  cur->serialize_micros = SaturateU32(trace.serialize_micros);
+  cur->total_micros = SaturateU32(trace.total_micros);
+  cur->result_size = SaturateU32(trace.result_size);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    pending_[pending_count_++] = *cur;
+    if (pending_count_ == kPendingRingSize) FlushPendingStatsLocked();
+  }
   if (runtime_options_.slow_query_ms > 0 &&
-      trace_.total_micros >=
+      trace.total_micros >=
           static_cast<uint64_t>(runtime_options_.slow_query_ms) * 1000) {
     ins_.slow_queries->Add();
     // Redaction contract (docs/OPERATIONS.md): metadata and timings
     // only; trapdoor and ciphertext bytes never reach the log.
-    DBPH_LOG(Warning) << "slow query: " << trace_.Describe();
+    DBPH_LOG(Warning) << "slow query: " << trace.Describe();
   }
 }
 
@@ -221,10 +230,33 @@ void UntrustedServer::FlushPendingStatsLocked() {
   pending_count_ = 0;
 }
 
+void UntrustedServer::SetIndexGauges(
+    const planner::TrapdoorIndex::Stats& totals, int64_t trapdoors,
+    int64_t postings, int64_t at_capacity) {
+  // Snapshot readers consult frozen index copies through the stats-free
+  // Peek and count into the server-level atomics instead; the exported
+  // gauges are the sum of both worlds.
+  const uint64_t reader_hits =
+      reader_index_hits_.load(std::memory_order_relaxed);
+  const uint64_t reader_misses =
+      reader_index_misses_.load(std::memory_order_relaxed);
+  ins_.index_hits->Set(static_cast<int64_t>(totals.hits + reader_hits));
+  ins_.index_misses->Set(static_cast<int64_t>(totals.misses + reader_misses));
+  ins_.index_memoized->Set(static_cast<int64_t>(totals.memoized));
+  ins_.index_append_evals->Set(static_cast<int64_t>(totals.append_evals));
+  ins_.index_invalidations->Set(static_cast<int64_t>(totals.invalidations));
+  ins_.index_trapdoors->Set(trapdoors);
+  ins_.index_postings->Set(postings);
+  ins_.index_at_capacity->Set(at_capacity);
+  if (auditor_ != nullptr) auditor_->RefreshMetrics();
+}
+
 void UntrustedServer::RefreshGaugesLocked() {
-  // Both read paths (kStats dispatch, CollectStats/scrape) come through
-  // here, so staged request entries are always folded before a snapshot.
-  FlushPendingStatsLocked();
+  // Every stats read folds staged request entries before snapshotting.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    FlushPendingStatsLocked();
+  }
   ins_.relations->Set(static_cast<int64_t>(relations_.size()));
   planner::TrapdoorIndex::Stats totals;
   int64_t trapdoors = 0;
@@ -241,24 +273,196 @@ void UntrustedServer::RefreshGaugesLocked() {
     postings += static_cast<int64_t>(stored.index.num_postings());
     if (stored.index.AtCapacity()) ++at_capacity;
   }
-  ins_.index_hits->Set(static_cast<int64_t>(totals.hits));
-  ins_.index_misses->Set(static_cast<int64_t>(totals.misses));
-  ins_.index_memoized->Set(static_cast<int64_t>(totals.memoized));
-  ins_.index_append_evals->Set(static_cast<int64_t>(totals.append_evals));
-  ins_.index_invalidations->Set(static_cast<int64_t>(totals.invalidations));
-  ins_.index_trapdoors->Set(trapdoors);
-  ins_.index_postings->Set(postings);
-  ins_.index_at_capacity->Set(at_capacity);
-  if (auditor_ != nullptr) auditor_->RefreshMetrics();
+  SetIndexGauges(totals, trapdoors, postings, at_capacity);
+}
+
+void UntrustedServer::RefreshGaugesFromSnapshot(const ServerSnapshot& snap) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    FlushPendingStatsLocked();
+  }
+  ins_.relations->Set(static_cast<int64_t>(snap.relations.size()));
+  planner::TrapdoorIndex::Stats totals;
+  int64_t trapdoors = 0;
+  int64_t postings = 0;
+  int64_t at_capacity = 0;
+  for (const auto& [name, rel] : snap.relations) {
+    if (rel->index == nullptr) continue;
+    const planner::TrapdoorIndex::Stats& stats = rel->index->stats();
+    totals.hits += stats.hits;
+    totals.misses += stats.misses;
+    totals.memoized += stats.memoized;
+    totals.append_evals += stats.append_evals;
+    totals.invalidations += stats.invalidations;
+    trapdoors += static_cast<int64_t>(rel->index->num_trapdoors());
+    postings += static_cast<int64_t>(rel->index->num_postings());
+    if (rel->index->AtCapacity()) ++at_capacity;
+  }
+  SetIndexGauges(totals, trapdoors, postings, at_capacity);
 }
 
 obs::RegistrySnapshot UntrustedServer::CollectStats() {
-  std::lock_guard<std::mutex> lock(dispatch_mutex_);
-  RefreshGaugesLocked();
+  // Lock-free against the dispatch lock: mutations republish before
+  // acknowledging, so the pinned snapshot's derived gauges agree with
+  // the live state at every quiescent point.
+  std::shared_ptr<const ServerSnapshot> snap = PinSnapshot();
+  RefreshGaugesFromSnapshot(*snap);
   return metrics_.Snapshot();
 }
 
-Status UntrustedServer::StoreRelation(
+// --------------------------------------------------- observation log
+
+void UntrustedServer::RecordStoreObservation(const std::string& relation,
+                                             size_t num_documents,
+                                             size_t ciphertext_bytes) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  log_.RecordStore(relation, num_documents, ciphertext_bytes);
+}
+
+void UntrustedServer::RecordQueryObservation(QueryObservation observation) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  log_.RecordQuery(std::move(observation));
+}
+
+// ----------------------------------------------- snapshot publication
+
+void UntrustedServer::MarkDirtyLocked(StoredRelation* stored,
+                                      SnapshotDirty level) {
+  if (static_cast<uint8_t>(level) > static_cast<uint8_t>(stored->dirty)) {
+    stored->dirty = level;
+  }
+  if (level == SnapshotDirty::kAppend || level == SnapshotDirty::kFull) {
+    // Document state changed: new generation. kMeta (index/attestation
+    // motion) deliberately keeps the stamp, so a reader's deferred scan
+    // memoization stays valid across it.
+    stored->doc_generation = ++doc_generation_counter_;
+  }
+  snapshot_stale_ = true;
+}
+
+std::shared_ptr<const RelationSnapshot>
+UntrustedServer::BuildRelationSnapshotLocked(
+    const StoredRelation& stored) const {
+  auto rel = std::make_shared<RelationSnapshot>();
+  rel->check_length = stored.check_length;
+  rel->num_docs = stored.records.size();
+  auto chunk = std::make_shared<SnapshotChunk>();
+  chunk->docs.reserve(stored.records.size());
+  for (const auto& rid : stored.records) {
+    auto bytes = heap_.Get(rid);
+    // A heap miss is unreachable (records and heap mutate together
+    // under the dispatch lock); an empty doc fails closed at parse time.
+    chunk->docs.push_back({rid.Pack(), bytes.ok() ? std::move(*bytes)
+                                                  : Bytes{}});
+  }
+  chunk->Seal();
+  rel->chunks.push_back(std::move(chunk));
+  rel->chunk_first.push_back(0);
+  if (runtime_options_.enable_trapdoor_index) {
+    rel->index = std::make_shared<const planner::TrapdoorIndex>(stored.index);
+  }
+  if (runtime_options_.enable_integrity) {
+    rel->tree = std::make_shared<const crypto::MerkleTree>(stored.tree);
+    rel->epoch = stored.epoch;
+    rel->attested_epoch = stored.attested_epoch;
+    rel->root_signature = stored.root_signature;
+  }
+  rel->doc_generation = stored.doc_generation;
+  return rel;
+}
+
+void UntrustedServer::PublishDirtyLocked() {
+  if (!snapshot_stale_) return;
+  auto next = std::make_shared<ServerSnapshot>();
+  for (auto& [name, stored] : relations_) {
+    std::shared_ptr<const RelationSnapshot> rel;
+    if (stored.dirty == SnapshotDirty::kNone && stored.published != nullptr) {
+      rel = stored.published;
+    } else if (stored.published == nullptr ||
+               stored.dirty == SnapshotDirty::kFull ||
+               (stored.dirty == SnapshotDirty::kAppend &&
+                stored.published->chunks.size() + 1 > kMaxSnapshotChunks)) {
+      // First publish, arbitrary document churn, or an append stream
+      // that exhausted the chunk budget: coalesce back to one chunk.
+      rel = BuildRelationSnapshotLocked(stored);
+    } else {
+      // kMeta / kAppend: the existing document chunks are still exact —
+      // share them and refresh only what moved (appended docs as one new
+      // sealed chunk; index / tree / epoch / attestation copies).
+      auto fresh = std::make_shared<RelationSnapshot>();
+      const RelationSnapshot& old = *stored.published;
+      fresh->check_length = stored.check_length;
+      fresh->num_docs = old.num_docs;
+      fresh->chunks = old.chunks;
+      fresh->chunk_first = old.chunk_first;
+      if (stored.dirty == SnapshotDirty::kAppend &&
+          !stored.pending_append.empty()) {
+        auto chunk = std::make_shared<SnapshotChunk>();
+        chunk->docs = std::move(stored.pending_append);
+        chunk->Seal();
+        fresh->chunk_first.push_back(fresh->num_docs);
+        fresh->num_docs += chunk->docs.size();
+        fresh->chunks.push_back(std::move(chunk));
+      }
+      if (runtime_options_.enable_trapdoor_index) {
+        fresh->index =
+            std::make_shared<const planner::TrapdoorIndex>(stored.index);
+      }
+      if (runtime_options_.enable_integrity) {
+        fresh->tree = std::make_shared<const crypto::MerkleTree>(stored.tree);
+        fresh->epoch = stored.epoch;
+        fresh->attested_epoch = stored.attested_epoch;
+        fresh->root_signature = stored.root_signature;
+      }
+      fresh->doc_generation = stored.doc_generation;
+      rel = std::move(fresh);
+    }
+    stored.published = rel;
+    stored.dirty = SnapshotDirty::kNone;
+    stored.pending_append.clear();
+    next->relations.emplace(name, std::move(rel));
+  }
+  // Swap in the new snapshot; the old one is released outside the
+  // publish mutex so a slow snapshot destructor never blocks readers.
+  std::shared_ptr<const ServerSnapshot> retired;
+  {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    retired = std::exchange(
+        published_, std::shared_ptr<const ServerSnapshot>(std::move(next)));
+  }
+  snapshot_stale_ = false;
+}
+
+void UntrustedServer::TryMemoizeFromSnapshot(
+    const std::string& relation, const RelationSnapshot* pinned,
+    const Bytes& trapdoor_bytes, const swp::Trapdoor& trapdoor,
+    const std::vector<uint64_t>& postings) {
+  if (!runtime_options_.enable_trapdoor_index) return;
+  // Best-effort only: a contended writer wins and we simply don't
+  // memoize (the next scan of this trapdoor gets another chance).
+  std::unique_lock<std::mutex> lock(dispatch_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return;
+  // The scan result describes the pinned snapshot's documents; it seeds
+  // the live index only while the live document state is still that
+  // generation (index/attestation churn in between is fine).
+  if (it->second.doc_generation != pinned->doc_generation) return;
+  it->second.index.Memoize(trapdoor_bytes, trapdoor, postings);
+  MarkDirtyLocked(&it->second, SnapshotDirty::kMeta);
+  PublishDirtyLocked();
+}
+
+// ----------------------------------------------------- typed handlers
+
+Status UntrustedServer::StoreRelation(const core::EncryptedRelation& relation) {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  Status status = StoreRelationLocked(relation);
+  PublishDirtyLocked();
+  return status;
+}
+
+Status UntrustedServer::StoreRelationLocked(
     const core::EncryptedRelation& relation) {
   if (relations_.count(relation.name) > 0) {
     return Status::AlreadyExists("relation '" + relation.name +
@@ -286,13 +490,21 @@ Status UntrustedServer::StoreRelation(
     stored.tree.Assign(std::move(leaves));
     stored.epoch = 1;
   }
-  log_.RecordStore(relation.name, relation.documents.size(),
-                   relation.CiphertextBytes());
-  relations_.emplace(relation.name, std::move(stored));
+  RecordStoreObservation(relation.name, relation.documents.size(),
+                         relation.CiphertextBytes());
+  auto [it, inserted] = relations_.emplace(relation.name, std::move(stored));
+  MarkDirtyLocked(&it->second, SnapshotDirty::kFull);
   return Status::OK();
 }
 
 Status UntrustedServer::DropRelation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  Status status = DropRelationLocked(name);
+  PublishDirtyLocked();
+  return status;
+}
+
+Status UntrustedServer::DropRelationLocked(const std::string& name) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound("relation '" + name + "' not stored");
@@ -301,15 +513,17 @@ Status UntrustedServer::DropRelation(const std::string& name) {
     DBPH_RETURN_IF_ERROR(heap_.Delete(rid));
   }
   relations_.erase(it);
+  snapshot_stale_ = true;  // the next publish simply omits the relation
   return Status::OK();
 }
 
 Result<size_t> UntrustedServer::RelationSize(const std::string& name) const {
-  auto it = relations_.find(name);
-  if (it == relations_.end()) {
+  std::shared_ptr<const ServerSnapshot> snap = PinSnapshot();
+  auto it = snap->relations.find(name);
+  if (it == snap->relations.end()) {
     return Status::NotFound("relation '" + name + "' not stored");
   }
-  return it->second.records.size();
+  return static_cast<size_t>(it->second->num_docs);
 }
 
 Result<std::vector<swp::EncryptedDocument>> UntrustedServer::Select(
@@ -324,6 +538,16 @@ Result<std::vector<swp::EncryptedDocument>> UntrustedServer::Select(
 Status UntrustedServer::AttestRoot(const std::string& name, uint64_t epoch,
                                    const crypto::MerkleTree::Hash& root,
                                    const Bytes& signature) {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  Status status = AttestRootLocked(name, epoch, root, signature);
+  PublishDirtyLocked();
+  return status;
+}
+
+Status UntrustedServer::AttestRootLocked(const std::string& name,
+                                         uint64_t epoch,
+                                         const crypto::MerkleTree::Hash& root,
+                                         const Bytes& signature) {
   if (!runtime_options_.enable_integrity) {
     return Status::FailedPrecondition("integrity disabled on this server");
   }
@@ -343,28 +567,47 @@ Status UntrustedServer::AttestRoot(const std::string& name, uint64_t epoch,
   }
   it->second.attested_epoch = epoch;
   it->second.root_signature = signature;
+  MarkDirtyLocked(&it->second, SnapshotDirty::kMeta);
   if (runtime_options_.enable_metrics) ins_.attestations->Add();
   return Status::OK();
 }
 
-protocol::ResultProof UntrustedServer::BuildProof(
-    const StoredRelation& stored, std::vector<uint64_t> positions) const {
+namespace {
+
+/// The shared proof constructor: both the locked path (live tree) and
+/// the snapshot path (frozen tree) produce proofs through this, so the
+/// two are byte-identical at equal state by construction.
+protocol::ResultProof BuildProofFromParts(const crypto::MerkleTree& tree,
+                                          uint64_t epoch,
+                                          uint64_t attested_epoch,
+                                          const Bytes& root_signature,
+                                          std::vector<uint64_t> positions) {
   protocol::ResultProof proof;
-  proof.epoch = stored.epoch;
-  proof.leaf_count = stored.tree.size();
-  proof.root = stored.tree.Root();
-  if (stored.attested_epoch == stored.epoch) {
-    proof.root_signature = stored.root_signature;
+  proof.epoch = epoch;
+  proof.leaf_count = tree.size();
+  proof.root = tree.Root();
+  if (attested_epoch == epoch) {
+    proof.root_signature = root_signature;
   }
-  proof.siblings = stored.tree.SubsetProof(positions);
+  proof.siblings = tree.SubsetProof(positions);
   proof.positions = std::move(positions);
   return proof;
 }
 
+}  // namespace
+
+protocol::ResultProof UntrustedServer::BuildProof(
+    const StoredRelation& stored, std::vector<uint64_t> positions) const {
+  return BuildProofFromParts(stored.tree, stored.epoch, stored.attested_epoch,
+                             stored.root_signature, std::move(positions));
+}
+
 runtime::ThreadPool* UntrustedServer::pool() {
-  if (!pool_) {
+  // Concurrent snapshot readers race to the first scan; call_once makes
+  // the lazy spawn safe without taxing the steady state.
+  std::call_once(pool_once_, [this] {
     pool_ = std::make_unique<runtime::ThreadPool>(runtime_options_.num_threads);
-  }
+  });
   return pool_.get();
 }
 
@@ -386,16 +629,19 @@ planner::ExecutionContext UntrustedServer::ContextFor(StoredRelation* stored) {
 
 std::vector<Result<std::vector<swp::EncryptedDocument>>>
 UntrustedServer::SelectBatch(const std::vector<core::EncryptedQuery>& queries) {
-  std::vector<SelectOutcome> outcomes = SelectBatchInternal(queries);
+  std::shared_ptr<const ServerSnapshot> snap = PinSnapshot();
+  std::vector<SnapshotSelectOutcome> outcomes =
+      SnapshotSelectBatch(*snap, queries, /*scratch=*/nullptr);
   std::vector<Result<std::vector<swp::EncryptedDocument>>> results;
   results.reserve(outcomes.size());
-  for (SelectOutcome& outcome : outcomes) {
+  for (SnapshotSelectOutcome& outcome : outcomes) {
     results.push_back(std::move(outcome.docs));
   }
   return results;
 }
 
-std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal(
+std::vector<UntrustedServer::SelectOutcome>
+UntrustedServer::SelectBatchInternal(
     const std::vector<core::EncryptedQuery>& queries) {
   // Resolve each query's relation into a planner task; unresolved
   // queries carry their error through the pipeline untouched.
@@ -442,6 +688,14 @@ std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal
       trace_.relation = queries.front().relation;
     }
   }
+  if (runtime_options_.enable_trapdoor_index) {
+    // The pipeline consulted (and possibly memoized into) each resolved
+    // relation's live index, so the frozen copies readers see must be
+    // refreshed when this locked request completes.
+    for (StoredRelation* stored : resolved) {
+      if (stored != nullptr) MarkDirtyLocked(stored, SnapshotDirty::kMeta);
+    }
+  }
 
   // Logging happens here, on the dispatch thread, in query order — the
   // log is indistinguishable from the same selects arriving one by one,
@@ -482,7 +736,7 @@ std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal
           queries[i].relation, observation.trapdoor_bytes, docs.size(),
           outcomes[i].plan.path == planner::AccessPath::kIndexLookup);
     }
-    log_.RecordQuery(std::move(observation));
+    RecordQueryObservation(std::move(observation));
     if (timed) trace_.result_size += docs.size();
     results[i].docs = std::move(docs);
     results[i].stored = resolved[i];
@@ -490,21 +744,215 @@ std::vector<UntrustedServer::SelectOutcome> UntrustedServer::SelectBatchInternal
   return results;
 }
 
+std::vector<UntrustedServer::SnapshotSelectOutcome>
+UntrustedServer::SnapshotSelectBatch(
+    const ServerSnapshot& snap, const std::vector<core::EncryptedQuery>& queries,
+    ReadScratch* scratch) {
+  const bool timed = scratch != nullptr && runtime_options_.enable_metrics;
+  using SteadyClock = Stopwatch::Clock;
+
+  struct QueryState {
+    const RelationSnapshot* rel = nullptr;
+    Bytes trapdoor_bytes;
+    /// Frozen-index answer; null = scan. An empty list is a real answer.
+    const std::vector<uint64_t>* postings = nullptr;
+    bool will_memoize = false;
+    bool failed = false;
+    std::vector<SnapshotMatch> matches;
+  };
+  std::vector<QueryState> states(queries.size());
+  std::vector<SnapshotSelectOutcome> results(queries.size());
+
+  // ---- plan: resolve + consult the frozen index (stats-free Peek;
+  // hit/miss accounting goes to the server-level reader atomics) ----
+  SteadyClock::time_point plan_start{};
+  if (timed) plan_start = SteadyClock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto it = snap.relations.find(queries[i].relation);
+    if (it == snap.relations.end()) {
+      results[i].docs = Status::NotFound("relation '" + queries[i].relation +
+                                         "' not stored");
+      continue;
+    }
+    QueryState& st = states[i];
+    st.rel = it->second.get();
+    queries[i].trapdoor.AppendTo(&st.trapdoor_bytes);
+    if (st.rel->index != nullptr) {
+      st.postings = st.rel->index->Peek(st.trapdoor_bytes);
+      if (st.postings != nullptr) {
+        reader_index_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        reader_index_misses_.fetch_add(1, std::memory_order_relaxed);
+        st.will_memoize = !st.rel->index->AtCapacity();
+      }
+    }
+  }
+
+  // ---- execute: posting fetches inline, then the scan queries (each a
+  // sharded wave over the pool, results in storage order) ----
+  SteadyClock::time_point index_start{};
+  if (timed) index_start = SteadyClock::now();
+  size_t index_queries = 0;
+  size_t scan_queries = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryState& st = states[i];
+    if (st.rel == nullptr || st.postings == nullptr) continue;
+    Status status = st.rel->FetchPostings(*st.postings, &st.matches);
+    if (!status.ok()) {
+      st.matches.clear();
+      st.failed = true;
+      results[i].docs = status;
+    }
+    ++index_queries;
+  }
+  SteadyClock::time_point scan_start{};
+  if (timed) scan_start = SteadyClock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryState& st = states[i];
+    if (st.rel == nullptr || st.postings != nullptr) continue;
+    ++scan_queries;
+    Status status = st.rel->Scan(queries[i].trapdoor, ShardCount(), pool(),
+                                 &st.matches);
+    if (!status.ok()) {
+      st.matches.clear();
+      st.failed = true;
+      results[i].docs = status;
+      continue;
+    }
+    if (st.will_memoize) {
+      std::vector<uint64_t> postings;
+      postings.reserve(st.matches.size());
+      for (const SnapshotMatch& match : st.matches) {
+        postings.push_back(match.rid_packed);
+      }
+      TryMemoizeFromSnapshot(queries[i].relation, st.rel, st.trapdoor_bytes,
+                             queries[i].trapdoor, postings);
+    }
+  }
+  SteadyClock::time_point scan_end{};
+  if (timed) scan_end = SteadyClock::now();
+
+  if (timed) {
+    const uint64_t plan_micros = MicrosBetween(plan_start, index_start);
+    const uint64_t index_micros = MicrosBetween(index_start, scan_start);
+    const uint64_t scan_micros = MicrosBetween(scan_start, scan_end);
+    scratch->trace.plan_micros += plan_micros;
+    scratch->trace.execute_micros += index_micros + scan_micros;
+    scratch->trace.execute_index_micros += index_micros;
+    scratch->trace.execute_scan_micros += scan_micros;
+    scratch->cur.flags |= PendingRequestStat::kRanPipeline;
+    scratch->cur.plan_micros += SaturateU32(plan_micros);
+    if (index_queries > 0) {
+      scratch->trace.used_index = true;
+      scratch->cur.flags |= PendingRequestStat::kUsedIndex;
+      scratch->cur.index_queries += SaturateU32(index_queries);
+      scratch->cur.execute_index_micros += SaturateU32(index_micros);
+    }
+    if (scan_queries > 0) {
+      scratch->cur.flags |= PendingRequestStat::kUsedScan;
+      scratch->cur.scan_queries += SaturateU32(scan_queries);
+      scratch->cur.execute_scan_micros += SaturateU32(scan_micros);
+    }
+    if (scratch->trace.relation.empty() && !queries.empty()) {
+      scratch->trace.relation = queries.front().relation;
+    }
+  }
+
+  // ---- fold: observations + positions + documents, in query order ----
+  std::vector<QueryObservation> observations;
+  observations.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryState& st = states[i];
+    if (st.rel == nullptr || st.failed) continue;
+    QueryObservation observation;
+    observation.relation = queries[i].relation;
+    observation.trapdoor_bytes = st.trapdoor_bytes;
+    std::vector<swp::EncryptedDocument> docs;
+    docs.reserve(st.matches.size());
+    for (SnapshotMatch& match : st.matches) {
+      observation.matched_records.push_back(match.rid_packed);
+      if (st.rel->tree != nullptr) {
+        results[i].positions.push_back(match.position);
+      }
+      docs.push_back(std::move(match.doc));
+    }
+    if (auditor_ != nullptr) {
+      auditor_->RecordQuery(queries[i].relation, observation.trapdoor_bytes,
+                            docs.size(),
+                            /*used_index=*/st.postings != nullptr);
+    }
+    if (timed) scratch->trace.result_size += docs.size();
+    observations.push_back(std::move(observation));
+    results[i].docs = std::move(docs);
+    results[i].rel = st.rel;
+  }
+
+  // ---- log: one short critical section for the whole batch, entries
+  // in query order (the batch transcribes exactly like the same selects
+  // arriving one by one). On the read path the lock-wait metric means
+  // THIS wait — the only lock a snapshot read contends on.
+  if (!observations.empty()) {
+    SteadyClock::time_point lock_start{};
+    if (timed) lock_start = SteadyClock::now();
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    if (timed) {
+      scratch->trace.lock_wait_micros +=
+          MicrosBetween(lock_start, SteadyClock::now());
+    }
+    for (QueryObservation& observation : observations) {
+      log_.RecordQuery(std::move(observation));
+    }
+  }
+  return results;
+}
+
 Result<protocol::PlanReport> UntrustedServer::Explain(
     const core::EncryptedQuery& query) {
-  auto it = relations_.find(query.relation);
-  if (it == relations_.end()) {
+  std::shared_ptr<const ServerSnapshot> snap = PinSnapshot();
+  return ExplainFromSnapshot(*snap, query);
+}
+
+Result<protocol::PlanReport> UntrustedServer::ExplainFromSnapshot(
+    const ServerSnapshot& snap, const core::EncryptedQuery& query) {
+  auto it = snap.relations.find(query.relation);
+  if (it == snap.relations.end()) {
     return Status::NotFound("relation '" + query.relation + "' not stored");
   }
-  planner::ExecutionContext ctx = ContextFor(&it->second);
+  const RelationSnapshot& rel = *it->second;
   Bytes trapdoor_bytes;
   query.trapdoor.AppendTo(&trapdoor_bytes);
-  planner::QueryPlan plan = planner::PlanSelect(
-      ctx, trapdoor_bytes, /*postings_out=*/nullptr, /*record_stats=*/false);
-  return planner::MakePlanReport(ctx, plan, query.relation);
+  // Mirrors planner::PlanSelect + MakePlanReport against the frozen
+  // state (EXPLAIN is plan-only on both paths: the stats-free Peek,
+  // nothing executed, nothing logged).
+  protocol::PlanReport report;
+  report.relation = query.relation;
+  report.num_records = static_cast<uint32_t>(rel.num_docs);
+  report.num_shards = static_cast<uint32_t>(ShardCount());
+  report.index_enabled = rel.index != nullptr;
+  report.indexed_trapdoors = static_cast<uint32_t>(
+      rel.index != nullptr ? rel.index->num_trapdoors() : 0);
+  if (rel.index != nullptr) {
+    if (const std::vector<uint64_t>* postings =
+            rel.index->Peek(trapdoor_bytes)) {
+      report.access_path = protocol::PlanAccessPath::kIndexLookup;
+      report.posting_size = static_cast<uint32_t>(postings->size());
+      return report;
+    }
+    report.will_memoize = !rel.index->AtCapacity();
+  }
+  return report;
 }
 
 Status UntrustedServer::AppendTuples(
+    const std::string& name,
+    const std::vector<swp::EncryptedDocument>& documents) {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  Status status = AppendTuplesLocked(name, documents);
+  PublishDirtyLocked();
+  return status;
+}
+
+Status UntrustedServer::AppendTuplesLocked(
     const std::string& name,
     const std::vector<swp::EncryptedDocument>& documents) {
   auto it = relations_.find(name);
@@ -526,6 +974,9 @@ Status UntrustedServer::AppendTuples(
     }
     it->second.records.push_back(rid);
     added.emplace_back(rid.Pack(), &doc);
+    // The same bytes the heap holds, staged so the publish is
+    // O(appended): old chunks shared, these become one new chunk.
+    it->second.pending_append.push_back({rid.Pack(), std::move(serialized)});
   }
   // Every append (even an empty one) is an epoch: the client mirrors the
   // same rule, so epochs agree without a negotiation round trip.
@@ -536,13 +987,17 @@ Status UntrustedServer::AppendTuples(
     // would do) so a later index-path select equals a fresh full scan.
     it->second.index.OnAppend(it->second.check_length, added);
   }
-  log_.RecordStore(name, documents.size(), bytes);
+  RecordStoreObservation(name, documents.size(), bytes);
+  MarkDirtyLocked(&it->second, SnapshotDirty::kAppend);
   return Status::OK();
 }
 
 Result<size_t> UntrustedServer::DeleteWhere(
     const core::EncryptedQuery& query) {
-  return DeleteWhereInternal(query, /*removed_out=*/nullptr);
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  auto removed = DeleteWhereInternal(query, /*removed_out=*/nullptr);
+  PublishDirtyLocked();
+  return removed;
 }
 
 Result<size_t> UntrustedServer::DeleteWhereInternal(
@@ -618,12 +1073,33 @@ Result<size_t> UntrustedServer::DeleteWhereInternal(
     auditor_->RecordQuery(query.relation, observation.trapdoor_bytes, removed,
                           /*used_index=*/false);
   }
-  log_.RecordQuery(std::move(observation));
+  RecordQueryObservation(std::move(observation));
+  // A match-less delete still moved the epoch (and possibly index
+  // stats); with matches the document set itself changed.
+  MarkDirtyLocked(&it->second,
+                  removed > 0 ? SnapshotDirty::kFull : SnapshotDirty::kMeta);
   return removed;
 }
 
 Result<std::vector<swp::EncryptedDocument>> UntrustedServer::FetchRelation(
     const std::string& name) const {
+  std::shared_ptr<const ServerSnapshot> snap = PinSnapshot();
+  auto it = snap->relations.find(name);
+  if (it == snap->relations.end()) {
+    return Status::NotFound("relation '" + name + "' not stored");
+  }
+  const RelationSnapshot& rel = *it->second;
+  std::vector<swp::EncryptedDocument> documents;
+  documents.reserve(rel.num_docs);
+  for (uint64_t pos = 0; pos < rel.num_docs; ++pos) {
+    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc, rel.ParseDoc(pos));
+    documents.push_back(std::move(doc));
+  }
+  return documents;
+}
+
+Result<std::vector<swp::EncryptedDocument>>
+UntrustedServer::FetchRelationLocked(const std::string& name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound("relation '" + name + "' not stored");
@@ -647,7 +1123,7 @@ Result<Bytes> UntrustedServer::SerializeState() const {
     core::EncryptedRelation relation;
     relation.name = name;
     relation.check_length = stored.check_length;
-    DBPH_ASSIGN_OR_RETURN(relation.documents, FetchRelation(name));
+    DBPH_ASSIGN_OR_RETURN(relation.documents, FetchRelationLocked(name));
     relation.AppendTo(&out);
     // v2: integrity state rides along. The tree itself is NOT persisted
     // — it is a deterministic function of the ciphertext and rebuilds on
@@ -661,6 +1137,8 @@ Result<Bytes> UntrustedServer::SerializeState() const {
 }
 
 Status UntrustedServer::SaveTo(const std::string& path) const {
+  // Quiesce mutations for the read (SerializeState is caller-locked).
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
   DBPH_ASSIGN_OR_RETURN(Bytes out, SerializeState());
   // Atomic: a crash mid-save leaves the previous snapshot intact.
   return storage::AtomicWriteFile(path, out);
@@ -672,6 +1150,13 @@ Status UntrustedServer::LoadFrom(const std::string& path) {
 }
 
 Status UntrustedServer::RestoreState(const Bytes& data) {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  Status status = RestoreStateLocked(data);
+  PublishDirtyLocked();
+  return status;
+}
+
+Status UntrustedServer::RestoreStateLocked(const Bytes& data) {
   ByteReader reader(data);
   DBPH_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadUint32());
   if (magic != 0x44425048) return Status::DataLoss("bad magic");
@@ -711,11 +1196,15 @@ Status UntrustedServer::RestoreState(const Bytes& data) {
 
   relations_.clear();
   heap_ = storage::HeapFile();
-  log_.Clear();
+  snapshot_stale_ = true;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    log_.Clear();
+  }
   for (const auto& entry : loaded) {
-    DBPH_RETURN_IF_ERROR(StoreRelation(entry.relation));
+    DBPH_RETURN_IF_ERROR(StoreRelationLocked(entry.relation));
     if (runtime_options_.enable_integrity && entry.epoch != 0) {
-      // The tree was rebuilt from ciphertext by StoreRelation (and its
+      // The tree was rebuilt from ciphertext by StoreRelationLocked (its
       // root is deterministic); the mutation counter and the owner's
       // signed root come from the image.
       StoredRelation& stored = relations_.at(entry.relation.name);
@@ -724,7 +1213,10 @@ Status UntrustedServer::RestoreState(const Bytes& data) {
       stored.root_signature = entry.root_signature;
     }
   }
-  log_.Clear();  // the re-stores above are not real observations
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    log_.Clear();  // the re-stores above are not real observations
+  }
   return Status::OK();
 }
 
@@ -758,13 +1250,36 @@ protocol::Envelope UntrustedServer::MakeSelectResponse(
     protocol::ResultProof proof =
         BuildProof(*outcome->stored, std::move(outcome->positions));
     if (timed) {
-      uint64_t micros = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              Stopwatch::Clock::now() - start)
-              .count());
+      uint64_t micros = MicrosBetween(start, Stopwatch::Clock::now());
       trace_.proof_micros += micros;
       cur_.flags |= PendingRequestStat::kBuiltProof;
       cur_.proof_micros += SaturateU32(micros);
+    }
+    return MakeSelectResultEnvelope(*outcome->docs, &proof);
+  }
+  return MakeSelectResultEnvelope(*outcome->docs, nullptr);
+}
+
+protocol::Envelope UntrustedServer::MakeSnapshotSelectResponse(
+    SnapshotSelectOutcome* outcome, ReadScratch* scratch) {
+  if (!outcome->docs.ok()) {
+    return protocol::MakeErrorEnvelope(outcome->docs.status());
+  }
+  if (outcome->rel != nullptr && outcome->rel->tree != nullptr) {
+    // The proof source is the pinned snapshot's frozen tree/epoch — the
+    // exact state the documents came from, so a racing mutation can
+    // never splice a stale root under this proof.
+    const bool timed = scratch != nullptr && runtime_options_.enable_metrics;
+    Stopwatch::Clock::time_point start{};
+    if (timed) start = Stopwatch::Clock::now();
+    protocol::ResultProof proof = BuildProofFromParts(
+        *outcome->rel->tree, outcome->rel->epoch, outcome->rel->attested_epoch,
+        outcome->rel->root_signature, std::move(outcome->positions));
+    if (timed) {
+      uint64_t micros = MicrosBetween(start, Stopwatch::Clock::now());
+      scratch->trace.proof_micros += micros;
+      scratch->cur.flags |= PendingRequestStat::kBuiltProof;
+      scratch->cur.proof_micros += SaturateU32(micros);
     }
     return MakeSelectResultEnvelope(*outcome->docs, &proof);
   }
@@ -781,6 +1296,8 @@ protocol::Envelope UntrustedServer::DispatchBatch(
   // Sub-requests execute in order. Maximal runs of consecutive selects
   // become one parallel wave; any mutating operation in between acts as
   // a barrier, so a select always sees every earlier write in its batch.
+  // (All-select batches never reach here — they take the snapshot read
+  // path; this locked path serves exactly the mixed batches.)
   std::vector<Envelope> responses(parts->size());
   size_t i = 0;
   while (i < parts->size()) {
@@ -835,7 +1352,7 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (Status wal = LogMutation(request); !wal.ok()) {
         return protocol::MakeErrorEnvelope(wal);
       }
-      Status status = StoreRelation(*relation);
+      Status status = StoreRelationLocked(*relation);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
       ok.type = MessageType::kStoreOk;
@@ -851,15 +1368,29 @@ protocol::Envelope UntrustedServer::Dispatch(
     case MessageType::kExplain: {
       // Plan-only: parses like kSelect, executes nothing, logs nothing
       // (no matches are computed, so there is no query observation — the
-      // report is a function of state Eve already holds).
+      // report is a function of state Eve already holds). Served from
+      // LIVE state, not the published snapshot: a mixed batch may have
+      // mutated this relation earlier in the same batch, and its EXPLAIN
+      // legs must see those writes (the snapshot refreshes only when the
+      // whole locked request completes).
       ByteReader reader(request.payload);
       auto query = core::EncryptedQuery::ReadFrom(&reader);
       if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
-      auto report = Explain(*query);
-      if (!report.ok()) return protocol::MakeErrorEnvelope(report.status());
+      auto it = relations_.find(query->relation);
+      if (it == relations_.end()) {
+        return protocol::MakeErrorEnvelope(Status::NotFound(
+            "relation '" + query->relation + "' not stored"));
+      }
+      planner::ExecutionContext ctx = ContextFor(&it->second);
+      Bytes trapdoor_bytes;
+      query->trapdoor.AppendTo(&trapdoor_bytes);
+      planner::QueryPlan plan = planner::PlanSelect(
+          ctx, trapdoor_bytes, /*postings_out=*/nullptr,
+          /*record_stats=*/false);
       Envelope response;
       response.type = MessageType::kExplainResult;
-      report->AppendTo(&response.payload);
+      planner::MakePlanReport(ctx, plan, query->relation)
+          .AppendTo(&response.payload);
       return response;
     }
     case MessageType::kBatchRequest:
@@ -925,7 +1456,7 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (Status wal = LogMutation(request); !wal.ok()) {
         return protocol::MakeErrorEnvelope(wal);
       }
-      Status status = DropRelation(ToString(request.payload));
+      Status status = DropRelationLocked(ToString(request.payload));
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
       ok.type = MessageType::kDropOk;
@@ -942,7 +1473,7 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (Status wal = LogMutation(request); !wal.ok()) {
         return protocol::MakeErrorEnvelope(wal);
       }
-      Status status = AppendTuples(ToString(*name), *documents);
+      Status status = AppendTuplesLocked(ToString(*name), *documents);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
       ok.type = MessageType::kAppendOk;
@@ -977,7 +1508,9 @@ protocol::Envelope UntrustedServer::Dispatch(
       return response;
     }
     case MessageType::kFetchRelation: {
-      auto docs = FetchRelation(ToString(request.payload));
+      // Locked (mixed-batch) fetch: live heap + live tree, so a fetch
+      // after an append in the same batch returns the appended rows.
+      auto docs = FetchRelationLocked(ToString(request.payload));
       if (!docs.ok()) return protocol::MakeErrorEnvelope(docs.status());
       Envelope response;
       response.type = MessageType::kFetchResult;
@@ -1022,7 +1555,8 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (Status wal = LogMutation(request); !wal.ok()) {
         return protocol::MakeErrorEnvelope(wal);
       }
-      Status status = AttestRoot(ToString(*name), *epoch, *root, *signature);
+      Status status =
+          AttestRootLocked(ToString(*name), *epoch, *root, *signature);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
       ok.type = MessageType::kAttestOk;
@@ -1034,21 +1568,194 @@ protocol::Envelope UntrustedServer::Dispatch(
   }
 }
 
+// -------------------------------------------- snapshot read dispatch
+
+protocol::Envelope UntrustedServer::DispatchRead(
+    const protocol::Envelope& request, const ServerSnapshot& snap,
+    ReadScratch* scratch) {
+  using protocol::Envelope;
+  using protocol::MessageType;
+  switch (request.type) {
+    case MessageType::kSelect: {
+      ByteReader reader(request.payload);
+      auto query = core::EncryptedQuery::ReadFrom(&reader);
+      if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
+      auto outcomes = SnapshotSelectBatch(snap, {*query}, scratch);
+      return MakeSnapshotSelectResponse(&outcomes[0], scratch);
+    }
+    case MessageType::kBatchRequest: {
+      // Routing guarantees every part is a kSelect (mixed batches take
+      // the locked path); the whole batch becomes one snapshot wave.
+      auto parts = protocol::ParseBatchPayload(request.payload);
+      if (!parts.ok()) return protocol::MakeErrorEnvelope(parts.status());
+      std::vector<Envelope> responses(parts->size());
+      std::vector<core::EncryptedQuery> wave;
+      std::vector<size_t> wave_slots;
+      wave.reserve(parts->size());
+      wave_slots.reserve(parts->size());
+      for (size_t i = 0; i < parts->size(); ++i) {
+        ByteReader reader((*parts)[i].payload);
+        auto query = core::EncryptedQuery::ReadFrom(&reader);
+        if (!query.ok()) {
+          responses[i] = protocol::MakeErrorEnvelope(query.status());
+          continue;
+        }
+        wave.push_back(std::move(*query));
+        wave_slots.push_back(i);
+      }
+      auto results = SnapshotSelectBatch(snap, wave, scratch);
+      for (size_t k = 0; k < wave_slots.size(); ++k) {
+        responses[wave_slots[k]] =
+            MakeSnapshotSelectResponse(&results[k], scratch);
+      }
+      Envelope response;
+      response.type = MessageType::kBatchResponse;
+      response.payload = protocol::SerializeBatchPayload(responses);
+      return response;
+    }
+    case MessageType::kExplain: {
+      ByteReader reader(request.payload);
+      auto query = core::EncryptedQuery::ReadFrom(&reader);
+      if (!query.ok()) return protocol::MakeErrorEnvelope(query.status());
+      auto report = ExplainFromSnapshot(snap, *query);
+      if (!report.ok()) return protocol::MakeErrorEnvelope(report.status());
+      Envelope response;
+      response.type = MessageType::kExplainResult;
+      report->AppendTo(&response.payload);
+      return response;
+    }
+    case MessageType::kFetchRelation: {
+      const std::string name = ToString(request.payload);
+      auto it = snap.relations.find(name);
+      if (it == snap.relations.end()) {
+        return protocol::MakeErrorEnvelope(
+            Status::NotFound("relation '" + name + "' not stored"));
+      }
+      const RelationSnapshot& rel = *it->second;
+      Envelope response;
+      response.type = MessageType::kFetchResult;
+      AppendUint32(&response.payload, static_cast<uint32_t>(rel.num_docs));
+      for (uint64_t pos = 0; pos < rel.num_docs; ++pos) {
+        // The frozen bytes ARE the serialized form — appending them is
+        // byte-identical to re-serializing a parsed document.
+        const Bytes& doc_bytes = rel.doc(pos).bytes;
+        response.payload.insert(response.payload.end(), doc_bytes.begin(),
+                                doc_bytes.end());
+      }
+      if (rel.tree != nullptr) {
+        std::vector<uint64_t> all(rel.num_docs);
+        for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+        protocol::ResultProof proof =
+            BuildProofFromParts(*rel.tree, rel.epoch, rel.attested_epoch,
+                                rel.root_signature, std::move(all));
+        proof.AppendTo(&response.payload);
+      }
+      return response;
+    }
+    case MessageType::kStats: {
+      if (!request.payload.empty()) {
+        return protocol::MakeErrorEnvelope(
+            Status::InvalidArgument("kStats carries no payload"));
+      }
+      RefreshGaugesFromSnapshot(snap);
+      Envelope response;
+      response.type = MessageType::kStatsResult;
+      metrics_.Snapshot().AppendTo(&response.payload);
+      return response;
+    }
+    case MessageType::kLeakageReport: {
+      if (!request.payload.empty()) {
+        return protocol::MakeErrorEnvelope(
+            Status::InvalidArgument("kLeakageReport carries no payload"));
+      }
+      if (auditor_ == nullptr) {
+        return protocol::MakeErrorEnvelope(Status::FailedPrecondition(
+            "leakage auditor disabled (--leakage=off)"));
+      }
+      Envelope response;
+      response.type = MessageType::kLeakageReportResult;
+      auditor_->Report().AppendTo(&response.payload);
+      return response;
+    }
+    case MessageType::kPing: {
+      Envelope pong;
+      pong.type = MessageType::kPong;
+      pong.payload = request.payload;
+      return pong;
+    }
+    default:
+      // Unreachable via IsSnapshotRead routing; fail like Dispatch would.
+      return protocol::MakeErrorEnvelope(
+          Status::InvalidArgument("unexpected message type"));
+  }
+}
+
+namespace {
+
+bool IsAllSelectBatch(const protocol::Envelope& envelope) {
+  auto parts = protocol::ParseBatchPayload(envelope.payload);
+  if (!parts.ok()) return false;  // the locked path reproduces the error
+  for (const auto& part : *parts) {
+    if (part.type != protocol::MessageType::kSelect) return false;
+  }
+  return true;
+}
+
+/// Read-shaped requests execute against the published snapshot without
+/// the dispatch lock. Everything else — including batches with even one
+/// mutating part — serializes on the single-writer locked path.
+bool IsSnapshotRead(const protocol::Envelope& envelope) {
+  using protocol::MessageType;
+  switch (envelope.type) {
+    case MessageType::kSelect:
+    case MessageType::kExplain:
+    case MessageType::kFetchRelation:
+    case MessageType::kStats:
+    case MessageType::kLeakageReport:
+    case MessageType::kPing:
+      return true;
+    case MessageType::kBatchRequest:
+      return IsAllSelectBatch(envelope);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Bytes UntrustedServer::HandleReadRequest(const protocol::Envelope& envelope,
+                                         uint64_t parse_micros) {
+  const bool timed = runtime_options_.enable_metrics;
+  std::shared_ptr<const ServerSnapshot> snap = PinSnapshot();
+  if (!timed) return DispatchRead(envelope, *snap, nullptr).Serialize();
+
+  using SteadyClock = Stopwatch::Clock;
+  ReadScratch scratch;
+  scratch.trace.op = OpSlug(envelope.type);
+  scratch.trace.parse_micros = parse_micros;
+  SteadyClock::time_point started = SteadyClock::now();
+  protocol::Envelope response = DispatchRead(envelope, *snap, &scratch);
+  SteadyClock::time_point handled = SteadyClock::now();
+  Bytes wire = response.Serialize();
+  SteadyClock::time_point serialized = SteadyClock::now();
+  uint64_t handle_micros = MicrosBetween(started, handled);
+  scratch.trace.serialize_micros = MicrosBetween(handled, serialized);
+  // On the read path lock_wait (the observation-log mutex wait, recorded
+  // by the select pipeline) is a sub-span of handle, so the total is
+  // parse + handle + serialize — not lock_wait again.
+  scratch.trace.total_micros = scratch.trace.parse_micros + handle_micros +
+                               scratch.trace.serialize_micros;
+  RecordRequestMetrics(scratch.trace, &scratch.cur, envelope.type,
+                       response.type, handle_micros);
+  return wire;
+}
+
 Bytes UntrustedServer::HandleRequest(const Bytes& request) {
   return HandleRequest(request, nullptr);
 }
 
 Bytes UntrustedServer::HandleRequest(const Bytes& request,
                                      const void* dispatcher) {
-#ifndef NDEBUG
-  const void* bound = bound_dispatcher_.load(std::memory_order_acquire);
-  assert((bound == nullptr || bound == dispatcher) &&
-         "UntrustedServer has an exclusive dispatcher bound (a running "
-         "NetServer); direct HandleRequest calls bypass the single-writer "
-         "dispatch loop");
-#else
-  (void)dispatcher;
-#endif
   const bool timed = runtime_options_.enable_metrics;
   // One timestamp per stage boundary, each closing one span and opening
   // the next (5 clock reads per request, not a Reset/Elapsed pair per
@@ -1063,18 +1770,32 @@ Bytes UntrustedServer::HandleRequest(const Bytes& request,
   }
   SteadyClock::time_point parsed{};
   if (timed) parsed = SteadyClock::now();
-  // Single-writer server loop: concurrent transports queue here; the
-  // parallelism lives inside a request (sharded batch waves), not across
-  // requests, so storage and the observation log need no finer locking.
+  if (IsSnapshotRead(*envelope)) {
+    // Snapshot reads take no exclusive resource, so they are exempt from
+    // the exclusive-mutation-dispatcher assert and may arrive from any
+    // thread (NetServer read workers, the metrics responder, tests).
+    return HandleReadRequest(*envelope,
+                             timed ? MicrosBetween(entered, parsed) : 0);
+  }
+#ifndef NDEBUG
+  const void* bound = bound_dispatcher_.load(std::memory_order_acquire);
+  assert((bound == nullptr || bound == dispatcher) &&
+         "UntrustedServer has an exclusive MUTATION dispatcher bound (a "
+         "running NetServer); direct mutating HandleRequest calls bypass "
+         "the single-writer dispatch loop");
+#else
+  (void)dispatcher;
+#endif
+  // Single-writer mutation loop: concurrent mutators queue here; snapshot
+  // reads never do. Storage, the relation map, and the Merkle trees are
+  // only ever touched under this lock.
   std::lock_guard<std::mutex> lock(dispatch_mutex_);
-  if (!timed) return Dispatch(*envelope).Serialize();
+  if (!timed) {
+    protocol::Envelope response = Dispatch(*envelope);
+    PublishDirtyLocked();
+    return response.Serialize();
+  }
 
-  const auto micros_between = [](SteadyClock::time_point from,
-                                 SteadyClock::time_point to) {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(to - from)
-            .count());
-  };
   SteadyClock::time_point locked = SteadyClock::now();
   // trace_ and cur_ are members (not locals) so the select pipeline and
   // proof builder — called below Dispatch, still under this lock — can
@@ -1082,17 +1803,22 @@ Bytes UntrustedServer::HandleRequest(const Bytes& request,
   trace_.Reset();
   cur_ = PendingRequestStat{};
   trace_.op = OpSlug(envelope->type);
-  trace_.parse_micros = micros_between(entered, parsed);
-  trace_.lock_wait_micros = micros_between(parsed, locked);
+  trace_.parse_micros = MicrosBetween(entered, parsed);
+  trace_.lock_wait_micros = MicrosBetween(parsed, locked);
   protocol::Envelope response = Dispatch(*envelope);
+  // Publishing is part of the mutation's cost (and its handle span):
+  // readers must see this request's effects the moment its response can
+  // be on the wire.
+  PublishDirtyLocked();
   SteadyClock::time_point handled = SteadyClock::now();
   Bytes wire = response.Serialize();
   SteadyClock::time_point serialized = SteadyClock::now();
-  uint64_t handle_micros = micros_between(locked, handled);
-  trace_.serialize_micros = micros_between(handled, serialized);
+  uint64_t handle_micros = MicrosBetween(locked, handled);
+  trace_.serialize_micros = MicrosBetween(handled, serialized);
   trace_.total_micros = trace_.parse_micros + trace_.lock_wait_micros +
                         handle_micros + trace_.serialize_micros;
-  RecordRequestMetrics(envelope->type, response.type, handle_micros);
+  RecordRequestMetrics(trace_, &cur_, envelope->type, response.type,
+                       handle_micros);
   return wire;
 }
 

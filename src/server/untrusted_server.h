@@ -26,6 +26,7 @@
 #include "server/planner/planner.h"
 #include "server/planner/trapdoor_index.h"
 #include "server/runtime/thread_pool.h"
+#include "server/snapshot.h"
 #include "storage/heapfile.h"
 
 namespace dbph {
@@ -115,61 +116,90 @@ struct ServerRuntimeOptions {
 /// mount their inference attacks on that log.
 class UntrustedServer {
  public:
-  UntrustedServer() { InitInstruments(); }
+  UntrustedServer() {
+    InitInstruments();
+    published_ = std::make_shared<const ServerSnapshot>();
+  }
   explicit UntrustedServer(ServerRuntimeOptions runtime_options)
       : runtime_options_(runtime_options) {
     InitInstruments();
+    published_ = std::make_shared<const ServerSnapshot>();
   }
 
   /// Transport entry point: parse request envelope, dispatch, serialize
   /// the response envelope. Never returns malformed bytes. Safe to call
-  /// from multiple transport threads: requests are serialized at this
-  /// boundary (each request may still fan out internally across the
-  /// worker pool).
+  /// from any number of transport threads concurrently.
   ///
-  /// Locking model — single-writer: `dispatch_mutex_` is held for the
-  /// FULL request, so storage, the relation map, and the observation log
-  /// see one request at a time; every interleaving of concurrent callers
-  /// is some serial order, and the log gains exactly one entry per
-  /// executed query regardless of how requests raced on the wire. The
-  /// intended deployment is net::NetServer's event loop as the sole
-  /// caller (its single thread makes the lock uncontended); in-process
-  /// transports in tests and examples call it directly.
+  /// Locking model — single-writer / multi-reader snapshots. Mutating
+  /// requests (store / append / delete / drop / attest / flush, and any
+  /// batch containing one) serialize on `dispatch_mutex_` for their full
+  /// duration, exactly as before; before releasing the lock they publish
+  /// an immutable per-relation snapshot (owned document bytes + frozen
+  /// trapdoor index + Merkle tree/epoch/attestation) via one atomic
+  /// shared_ptr swap. Read-shaped requests (select, all-select batches,
+  /// EXPLAIN, fetch, stats, leakage report, ping) pin the published
+  /// snapshot with a single acquire load and execute WITHOUT the
+  /// dispatch lock — concurrent reads proceed in parallel, each fanning
+  /// out internally across the worker pool. A reader re-enters a short
+  /// critical section only to append its observation-log entries
+  /// (`log_mutex_`) and stage its metrics deltas (`stats_mutex_`).
+  ///
+  /// Invariants: results and ResultProofs are byte-identical on both
+  /// paths (snapshots freeze the proof source with the documents, so a
+  /// racing mutation can never splice a stale root under a proof); the
+  /// observation log gains exactly one atomic entry per executed query —
+  /// an entry reflects its query's pinned snapshot, and a reader racing
+  /// a writer may be transcribed after that writer's entry (the matched
+  /// record ids identify the snapshot it read).
   Bytes HandleRequest(const Bytes& request);
 
   /// As above, with the caller's identity for the debug-only
-  /// single-dispatcher assertion (see BindExclusiveDispatcher).
+  /// exclusive-mutation-dispatcher assertion (see
+  /// BindExclusiveDispatcher).
   Bytes HandleRequest(const Bytes& request, const void* dispatcher);
 
   /// Debug contract for the network deployment: after binding, every
-  /// HandleRequest must come from `dispatcher` (NetServer binds itself on
-  /// Start and unbinds with nullptr on Stop); a stray direct caller trips
-  /// an assert in debug builds. Unbound servers accept any caller.
+  /// MUTATING HandleRequest must come from `dispatcher` (NetServer binds
+  /// itself on Start); a stray direct mutator trips an assert in debug
+  /// builds. Read-shaped requests are exempt — they take no exclusive
+  /// resource and may come from any thread (NetServer's read workers,
+  /// the metrics responder, tests). Unbound servers accept any caller.
   void BindExclusiveDispatcher(const void* dispatcher) {
     bound_dispatcher_.store(dispatcher, std::memory_order_release);
   }
 
+  /// Releases the binding iff it still belongs to `dispatcher`. A
+  /// stopping NetServer must not blindly store nullptr: with a Stop/Start
+  /// race a new server may already have bound itself, and clobbering its
+  /// binding would disarm (or misfire) the assert for the wrong party.
+  void UnbindExclusiveDispatcher(const void* dispatcher) {
+    const void* expected = dispatcher;
+    bound_dispatcher_.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel);
+  }
+
   // Typed handlers (also usable directly, bypassing the wire layer).
+  // Mutators take the dispatch lock and publish a fresh snapshot before
+  // returning; reads run against the published snapshot, lock-free.
 
   Status StoreRelation(const core::EncryptedRelation& relation);
   Status DropRelation(const std::string& name);
 
   /// psi: returns the matching encrypted documents. Routed through the
-  /// planner pipeline (a one-query SelectBatch): the planner picks the
-  /// trapdoor-index path when this exact trapdoor is memoized, the
-  /// sharded full scan otherwise; results and the observation entry are
-  /// byte-identical either way.
+  /// snapshot select pipeline (a one-query SelectBatch): the planner
+  /// picks the trapdoor-index path when this exact trapdoor is memoized,
+  /// the sharded full scan otherwise; results and the observation entry
+  /// are byte-identical either way.
   Result<std::vector<swp::EncryptedDocument>> Select(
       const core::EncryptedQuery& query);
 
-  /// Batched psi through the single plan/execute pipeline
-  /// (server::planner::PlanExecutor): index-path queries are answered
-  /// from memoized posting lists; the rest run as one scan wave sharded
-  /// across the worker pool. results[i] corresponds to queries[i] and is
-  /// byte-identical (documents, order) to a sequential Select(queries[i])
-  /// regardless of the access path chosen; the observation log gets
-  /// exactly one entry per query, in query order, just as if the selects
-  /// had arrived one by one.
+  /// Batched psi against one pinned snapshot: index-path queries are
+  /// answered from frozen posting lists; the rest run as sharded scan
+  /// waves over the worker pool. results[i] corresponds to queries[i]
+  /// and is byte-identical (documents, order) to a sequential
+  /// Select(queries[i]) at the same state regardless of the access path
+  /// chosen; the observation log gets exactly one entry per query, in
+  /// query order, just as if the selects had arrived one by one.
   std::vector<Result<std::vector<swp::EncryptedDocument>>> SelectBatch(
       const std::vector<core::EncryptedQuery>& queries);
 
@@ -202,7 +232,7 @@ class UntrustedServer {
                     const Bytes& signature);
 
   /// Returns every stored document of a relation — the "contract
-  /// cancelled" recall path.
+  /// cancelled" recall path. Reads the published snapshot.
   Result<std::vector<swp::EncryptedDocument>> FetchRelation(
       const std::string& name) const;
 
@@ -210,14 +240,16 @@ class UntrustedServer {
   /// must not lose Alex's data — it is the only copy). The write is
   /// atomic: temp file + fsync + rename, so a crash mid-save can never
   /// destroy a previous snapshot. The observation log is volatile state
-  /// and is not persisted.
+  /// and is not persisted. Takes the dispatch lock (a quiescent image).
   Status SaveTo(const std::string& path) const;
 
   /// Restores a server from SaveTo output. Existing state is replaced.
   Status LoadFrom(const std::string& path);
 
-  /// The SaveTo image as bytes (for the durability layer, which wraps it
-  /// in its own checkpoint header).
+  /// The SaveTo image as bytes, for the durability layer (which wraps it
+  /// in its own checkpoint header and already holds the dispatch lock
+  /// via WithDispatchLock when it calls this). Caller-locked: must run
+  /// under the dispatch lock or on an otherwise-quiescent server.
   Result<Bytes> SerializeState() const;
 
   /// Restores from a SerializeState image. Parses fully before mutating,
@@ -251,17 +283,21 @@ class UntrustedServer {
   }
 
   /// Runs `fn` while holding the dispatch lock — the same serialization
-  /// point as HandleRequest — so `fn` observes a quiescent state with no
-  /// request half-applied. The checkpointer snapshots through this.
+  /// point as every mutation — so `fn` observes a quiescent state with no
+  /// mutation half-applied. (Snapshot readers may still be executing
+  /// against previously published state; they touch nothing `fn` can
+  /// mutate.) The checkpointer snapshots through this.
   Status WithDispatchLock(const std::function<Status()>& fn) {
     std::lock_guard<std::mutex> lock(dispatch_mutex_);
     return fn();
   }
 
-  size_t num_relations() const { return relations_.size(); }
+  size_t num_relations() const { return PinSnapshot()->relations.size(); }
   Result<size_t> RelationSize(const std::string& name) const;
 
-  /// Eve's accumulated view.
+  /// Eve's accumulated view. Reading the per-event transcripts is only
+  /// race-free on a quiescent server (tests and the Section 2 games
+  /// quiesce first); live appends serialize on an internal mutex.
   const ObservationLog& observations() const { return log_; }
   ObservationLog* mutable_observations() { return &log_; }
 
@@ -279,10 +315,10 @@ class UntrustedServer {
   bool metrics_enabled() const { return runtime_options_.enable_metrics; }
 
   /// A full snapshot with derived gauges (relation count, trapdoor-index
-  /// totals) refreshed first. Takes the dispatch lock — callable from
-  /// any thread NOT already dispatching (the metrics HTTP responder and
-  /// benches use this; the kStats wire handler runs inside Dispatch and
-  /// snapshots directly).
+  /// totals) refreshed first. Lock-free against the dispatch lock: the
+  /// derived gauges come from the published snapshot, so a scrape never
+  /// queues behind a mutation (the metrics HTTP responder and benches
+  /// call this from their own threads).
   obs::RegistrySnapshot CollectStats();
 
   /// The live leakage auditor, or null when ServerRuntimeOptions
@@ -292,6 +328,16 @@ class UntrustedServer {
   obs::leakage::LeakageAuditor* leakage_auditor() { return auditor_.get(); }
 
  private:
+  /// How far a relation's published snapshot lags its live state, and
+  /// therefore how much work republishing costs. Levels escalate and
+  /// only PublishDirtyLocked resets them.
+  enum class SnapshotDirty : uint8_t {
+    kNone = 0,    ///< published snapshot is current
+    kMeta = 1,    ///< index/epoch/attestation changed; documents did not
+    kAppend = 2,  ///< documents appended (pending_append holds them)
+    kFull = 3,    ///< documents changed arbitrarily; rebuild from heap
+  };
+
   struct StoredRelation {
     uint32_t check_length = 4;
     std::vector<storage::RecordId> records;
@@ -300,7 +346,8 @@ class UntrustedServer {
     /// recovery (deterministic rebuild as queries repeat), and is
     /// maintained incrementally by AppendTuples / DeleteWhere under the
     /// dispatch lock. Never consulted when the runtime option disables
-    /// the index.
+    /// the index. Snapshot readers see a frozen copy and consult it via
+    /// Peek only.
     planner::TrapdoorIndex index;
 
     // ---- result-integrity state (maintained only with enable_integrity;
@@ -322,11 +369,24 @@ class UntrustedServer {
     /// matches (which carry record ids) to tree positions in O(1)
     /// instead of scanning `records` per select.
     std::unordered_map<uint64_t, uint64_t> position_of;
+
+    // ---- snapshot publication state (under the dispatch lock) ----
+
+    /// The last published frozen view of this relation (what readers
+    /// currently see), and how stale it is.
+    std::shared_ptr<const RelationSnapshot> published;
+    SnapshotDirty dirty = SnapshotDirty::kFull;
+    /// Documents appended since the last publish (owned serialized
+    /// bytes), so an append republishes O(appended) instead of O(n).
+    std::vector<SnapshotDoc> pending_append;
+    /// Stamp of the last document-state change (drawn from the
+    /// server-wide counter, so a drop + re-store never reuses a value).
+    uint64_t doc_generation = 0;
   };
 
-  /// One select's full outcome: the documents plus their leaf positions
-  /// (positions empty when integrity is off) and the relation they came
-  /// from (null when resolution failed).
+  /// One select's full outcome on the locked path: the documents plus
+  /// their leaf positions (positions empty when integrity is off) and
+  /// the relation they came from (null when resolution failed).
   struct SelectOutcome {
     Result<std::vector<swp::EncryptedDocument>> docs;
     std::vector<uint64_t> positions;
@@ -335,9 +395,63 @@ class UntrustedServer {
     SelectOutcome() : docs(Status::OK()) {}
   };
 
-  /// The one select pipeline: plans/executes, logs observations, and
-  /// reports positions for proof building. Select / SelectBatch /
-  /// DispatchBatch all funnel through here.
+  /// One select's outcome on the snapshot read path; `rel` (borrowed
+  /// from the pinned snapshot, which the caller keeps alive) is the
+  /// proof source.
+  struct SnapshotSelectOutcome {
+    Result<std::vector<swp::EncryptedDocument>> docs;
+    std::vector<uint64_t> positions;
+    const RelationSnapshot* rel = nullptr;
+
+    SnapshotSelectOutcome() : docs(Status::OK()) {}
+  };
+
+  /// One completed request's metric deltas, staged before they reach the
+  /// registry. The instruments live in scattered heap allocations, and a
+  /// request's working set (Merkle proof build, decrypt-sized scans)
+  /// evicts them between requests — updating ~13 of them inline costs a
+  /// cold cache miss each, several times the instruments' instruction
+  /// cost. So the hot path appends one plain 56-byte entry to a small
+  /// ring instead, and the ring folds into the registry in batches
+  /// (cache-hot, amortized) and on every read path. The ring is guarded
+  /// by stats_mutex_ (locked and snapshot paths both stage here);
+  /// readers of the atomic instruments stay lock-free.
+  struct PendingRequestStat {
+    enum : uint8_t {
+      kIsError = 1 << 0,
+      kIsSelect = 1 << 1,
+      kRanPipeline = 1 << 2,
+      kUsedIndex = 1 << 3,
+      kUsedScan = 1 << 4,
+      kBuiltProof = 1 << 5,
+    };
+    uint32_t parse_micros = 0;
+    uint32_t lock_wait_micros = 0;
+    uint32_t handle_micros = 0;
+    uint32_t serialize_micros = 0;
+    uint32_t total_micros = 0;
+    uint32_t plan_micros = 0;
+    uint32_t execute_index_micros = 0;
+    uint32_t execute_scan_micros = 0;
+    uint32_t proof_micros = 0;
+    uint32_t result_size = 0;
+    uint32_t index_queries = 0;
+    uint32_t scan_queries = 0;
+    uint8_t op = 0;
+    uint8_t flags = 0;
+  };
+
+  /// A reader's private stage trace + staged metric deltas. The locked
+  /// path keeps these as members (trace_/cur_, valid under the dispatch
+  /// lock); each snapshot read carries its own on the stack.
+  struct ReadScratch {
+    obs::QueryTrace trace;
+    PendingRequestStat cur;
+  };
+
+  /// The locked select pipeline: plans/executes against live storage,
+  /// logs observations, and reports positions for proof building. Only
+  /// reachable under the dispatch lock (select legs of mixed batches).
   std::vector<SelectOutcome> SelectBatchInternal(
       const std::vector<core::EncryptedQuery>& queries);
 
@@ -348,20 +462,101 @@ class UntrustedServer {
       const core::EncryptedQuery& query,
       std::vector<std::pair<uint64_t, Bytes>>* removed_out);
 
+  // Locked bodies of the typed mutators (caller holds dispatch_mutex_);
+  // the public wrappers lock, delegate, and publish.
+  Status StoreRelationLocked(const core::EncryptedRelation& relation);
+  Status DropRelationLocked(const std::string& name);
+  Status AppendTuplesLocked(
+      const std::string& name,
+      const std::vector<swp::EncryptedDocument>& documents);
+  Status AttestRootLocked(const std::string& name, uint64_t epoch,
+                          const crypto::MerkleTree::Hash& root,
+                          const Bytes& signature);
+  Status RestoreStateLocked(const Bytes& data);
+  /// Reads a relation's documents straight from the heap (used by
+  /// SerializeState, which runs caller-locked and must not detour
+  /// through the published snapshot).
+  Result<std::vector<swp::EncryptedDocument>> FetchRelationLocked(
+      const std::string& name) const;
+
   /// The proof for a result set of `positions` against `stored`'s
   /// current tree/epoch. Positions must be sorted (storage order — the
   /// pipeline's contract already guarantees it).
   protocol::ResultProof BuildProof(const StoredRelation& stored,
                                    std::vector<uint64_t> positions) const;
 
-  /// Renders one select outcome as its wire envelope — kSelectResult
-  /// with the proof attached (integrity on), or a kError. The single
-  /// place proof attachment happens, shared by kSelect and batch waves
-  /// so the two can never diverge.
+  /// Renders one locked-path select outcome as its wire envelope —
+  /// kSelectResult with the proof attached (integrity on), or a kError.
   protocol::Envelope MakeSelectResponse(SelectOutcome* outcome);
 
   protocol::Envelope Dispatch(const protocol::Envelope& request);
   protocol::Envelope DispatchBatch(const protocol::Envelope& request);
+
+  // ---------------- snapshot read path (no dispatch lock) ----------------
+
+  std::shared_ptr<const ServerSnapshot> PinSnapshot() const {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    return published_;
+  }
+
+  /// Serves one read-shaped request against the pinned snapshot; the
+  /// read-path twin of the locked HandleRequest tail (timing, metrics
+  /// staging, slow-query log) with per-request scratch instead of the
+  /// lock-guarded members.
+  Bytes HandleReadRequest(const protocol::Envelope& envelope,
+                          uint64_t parse_micros);
+
+  /// Dispatch for snapshot-served types: kSelect, all-select batches,
+  /// kExplain, kFetchRelation, kStats, kLeakageReport, kPing.
+  protocol::Envelope DispatchRead(const protocol::Envelope& request,
+                                  const ServerSnapshot& snap,
+                                  ReadScratch* scratch);
+
+  /// EXPLAIN against a pinned snapshot: mirrors planner::PlanSelect with
+  /// the frozen index's stats-free Peek (EXPLAIN never counts toward
+  /// hit/miss stats on either path).
+  Result<protocol::PlanReport> ExplainFromSnapshot(
+      const ServerSnapshot& snap, const core::EncryptedQuery& query);
+
+  /// The snapshot select pipeline: plans with the frozen index (Peek),
+  /// fetches postings or runs sharded scans over the frozen documents,
+  /// feeds the auditor, and appends one observation-log entry per query
+  /// (in query order, atomically under log_mutex_). Mirrors
+  /// SelectBatchInternal stage for stage; `scratch` null = untimed.
+  std::vector<SnapshotSelectOutcome> SnapshotSelectBatch(
+      const ServerSnapshot& snap,
+      const std::vector<core::EncryptedQuery>& queries, ReadScratch* scratch);
+
+  /// Read-path twin of MakeSelectResponse: proof from the pinned
+  /// relation snapshot's frozen tree/epoch/attestation.
+  protocol::Envelope MakeSnapshotSelectResponse(SnapshotSelectOutcome* outcome,
+                                                ReadScratch* scratch);
+
+  /// After a snapshot scan missed the frozen index, best-effort memoize
+  /// the scan result into the live index: try-lock the dispatch mutex
+  /// and, if the live document state is still the generation the
+  /// snapshot was pinned at (doc_generation match — index/attestation
+  /// churn in between is harmless), memoize + republish. Skipped on
+  /// contention or staleness — a pure performance loss, never a
+  /// correctness one.
+  void TryMemoizeFromSnapshot(const std::string& relation,
+                              const RelationSnapshot* pinned,
+                              const Bytes& trapdoor_bytes,
+                              const swp::Trapdoor& trapdoor,
+                              const std::vector<uint64_t>& postings);
+
+  // ---------------- snapshot publication (dispatch lock held) -----------
+
+  /// Escalates a relation's dirty level (kAppend does not downgrade
+  /// kFull, etc.) and flags the server snapshot stale.
+  void MarkDirtyLocked(StoredRelation* stored, SnapshotDirty level);
+
+  /// Rebuilds `stored`'s frozen view at the recorded dirty level —
+  /// sharing chunks/tree with the previous snapshot where unchanged —
+  /// then swaps a fresh ServerSnapshot. No-op when nothing is stale.
+  void PublishDirtyLocked();
+  std::shared_ptr<const RelationSnapshot> BuildRelationSnapshotLocked(
+      const StoredRelation& stored) const;
 
   /// The planner's borrowed view of one stored relation (valid under the
   /// dispatch lock only). Null index when the runtime option is off.
@@ -371,6 +566,13 @@ class UntrustedServer {
   /// hook (if any) before the typed handler applies it. kUnavailable on
   /// hook failure — the mutation must not be applied.
   Status LogMutation(const protocol::Envelope& request);
+
+  // Observation-log appends serialize on log_mutex_ (mutators under the
+  // dispatch lock race snapshot readers here); every write goes through
+  // these.
+  void RecordStoreObservation(const std::string& relation,
+                              size_t num_documents, size_t ciphertext_bytes);
+  void RecordQueryObservation(QueryObservation observation);
 
   /// Cached instrument pointers (stable for the registry's lifetime), so
   /// the hot path never touches the registry map or its mutex.
@@ -405,78 +607,92 @@ class UntrustedServer {
 
   /// Per-op counter for a request envelope type (registered lazily; the
   /// name is a fixed function of the type byte, never of payload).
+  /// Caller holds stats_mutex_ (the lazy cache array is guarded by it).
   obs::Counter* OpCounter(protocol::MessageType type);
 
-  /// One completed request's metric deltas, staged before they reach the
-  /// registry. The instruments live in scattered heap allocations, and a
-  /// request's working set (Merkle proof build, decrypt-sized scans)
-  /// evicts them between requests — updating ~13 of them inline costs a
-  /// cold cache miss each, several times the instruments' instruction
-  /// cost. So the hot path appends one plain 56-byte entry to a small
-  /// ring instead, and the ring folds into the registry in batches
-  /// (cache-hot, amortized) and on every read path. All access is under
-  /// the dispatch lock; readers of the atomic instruments stay lock-free.
-  struct PendingRequestStat {
-    enum : uint8_t {
-      kIsError = 1 << 0,
-      kIsSelect = 1 << 1,
-      kRanPipeline = 1 << 2,
-      kUsedIndex = 1 << 3,
-      kUsedScan = 1 << 4,
-      kBuiltProof = 1 << 5,
-    };
-    uint32_t parse_micros = 0;
-    uint32_t lock_wait_micros = 0;
-    uint32_t handle_micros = 0;
-    uint32_t serialize_micros = 0;
-    uint32_t total_micros = 0;
-    uint32_t plan_micros = 0;
-    uint32_t execute_index_micros = 0;
-    uint32_t execute_scan_micros = 0;
-    uint32_t proof_micros = 0;
-    uint32_t result_size = 0;
-    uint32_t index_queries = 0;
-    uint32_t scan_queries = 0;
-    uint8_t op = 0;
-    uint8_t flags = 0;
-  };
   static constexpr size_t kPendingRingSize = 128;
 
-  /// Stages this request's trace as a ring entry and emits the
-  /// slow-query log line; folds the ring when it fills. Runs under the
-  /// dispatch lock.
-  void RecordRequestMetrics(protocol::MessageType request_type,
+  /// Chunk budget before an append-publish coalesces a relation's
+  /// snapshot back into one chunk (bounds PositionOf's probe count).
+  static constexpr size_t kMaxSnapshotChunks = 16;
+
+  /// Completes `cur` from `trace`, stages it as a ring entry (under
+  /// stats_mutex_, folding the ring when it fills), and emits the
+  /// slow-query log line. Callable from any request thread.
+  void RecordRequestMetrics(const obs::QueryTrace& trace,
+                            PendingRequestStat* cur,
+                            protocol::MessageType request_type,
                             protocol::MessageType response_type,
                             uint64_t handle_micros);
 
   /// Folds every staged ring entry into the registry instruments.
-  /// Caller holds the dispatch lock.
+  /// Caller holds stats_mutex_.
   void FlushPendingStatsLocked();
 
   /// Recomputes the derived gauges (relation count, trapdoor-index
-  /// aggregates across relations) and folds staged request stats, so
-  /// both read paths (kStats, CollectStats/scrape) see current values.
-  /// Caller holds the dispatch lock.
+  /// aggregates) from the live relation map and folds staged request
+  /// stats. Caller holds the dispatch lock (the in-dispatch kStats
+  /// handler); the lock-free twin below serves everything else.
   void RefreshGaugesLocked();
 
-  /// Lazily started worker pool (no threads until the first batch).
+  /// As above, but derived from a pinned snapshot — the lock-free stats
+  /// path (kStats reads, CollectStats/scrape). Mutations republish
+  /// before acknowledging, so at any quiescent point the two agree.
+  void RefreshGaugesFromSnapshot(const ServerSnapshot& snap);
+
+  /// Shared tail of both gauge refreshers: index totals + auditor.
+  void SetIndexGauges(const planner::TrapdoorIndex::Stats& totals,
+                      int64_t trapdoors, int64_t postings,
+                      int64_t at_capacity);
+
+  /// Lazily started worker pool (no threads until the first scan);
+  /// concurrent readers race here, so initialization is call_once.
   runtime::ThreadPool* pool();
   size_t ShardCount();
 
   storage::HeapFile heap_;
   std::map<std::string, StoredRelation> relations_;
   ObservationLog log_;
-  /// Eve's-view leakage statistics (null when disabled). Fed by the
-  /// select/delete pipelines under the dispatch lock, right next to the
-  /// ObservationLog entries it summarizes.
+  /// Eve's-view leakage statistics (null when disabled). Thread-safe
+  /// behind its own internal mutex; fed by the locked and snapshot
+  /// select/delete pipelines alike.
   std::unique_ptr<obs::leakage::LeakageAuditor> auditor_;
 
   ServerRuntimeOptions runtime_options_;
   std::unique_ptr<runtime::ThreadPool> pool_;
-  /// Serializes concurrent HandleRequest callers (single-writer server
-  /// loop); batch-internal parallelism happens below this lock.
-  std::mutex dispatch_mutex_;
-  /// Debug-only: the one transport allowed to dispatch, when bound.
+  std::once_flag pool_once_;
+  /// Serializes mutations (single-writer); snapshot reads never take it
+  /// (their parallelism is the point). mutable so const state readers
+  /// (SaveTo) can quiesce.
+  mutable std::mutex dispatch_mutex_;
+  /// Serializes observation-log appends: mutators (under the dispatch
+  /// lock) race snapshot readers here. Lock order: dispatch_mutex_ →
+  /// log_mutex_, never the reverse.
+  std::mutex log_mutex_;
+  /// Guards the pending-stats ring (and the lazy op-counter cache):
+  /// locked requests and snapshot readers both stage entries.
+  std::mutex stats_mutex_;
+  /// The published immutable state the read path executes against.
+  /// Replaced under the dispatch lock, pinned (shared_ptr copy) by any
+  /// reader. publish_mutex_ guards ONLY the pointer swap/copy — never
+  /// held while building, executing against, or destroying a snapshot —
+  /// so readers pay one uncontended lock per request, not serialization.
+  /// (Not std::atomic<shared_ptr>: libstdc++'s _Sp_atomic unlocks its
+  /// embedded spinlock with relaxed order on the load path, which TSan —
+  /// and a strict memory-model reading — flags as racing the next store.)
+  mutable std::mutex publish_mutex_;
+  std::shared_ptr<const ServerSnapshot> published_;
+  /// Set while any relation's published snapshot lags its live state.
+  bool snapshot_stale_ = true;
+  /// Source of doc_generation stamps (monotone across all relations).
+  uint64_t doc_generation_counter_ = 0;
+  /// Frozen-index consultations by snapshot readers (Peek is stats-free
+  /// so the frozen copy stays immutable; the gauges add these to the
+  /// live index's own counts).
+  std::atomic<uint64_t> reader_index_hits_{0};
+  std::atomic<uint64_t> reader_index_misses_{0};
+  /// Debug-only: the one transport allowed to dispatch MUTATIONS, when
+  /// bound.
   std::atomic<const void*> bound_dispatcher_{nullptr};
   MutationHook mutation_hook_;
   FlushHook flush_hook_;
@@ -487,19 +703,22 @@ class UntrustedServer {
   Instruments ins_;
   /// Per-op-type counters, registered on first use of each type and
   /// looked up by the raw type byte (no map walk in the fold loop).
+  /// Guarded by stats_mutex_ with the ring.
   std::array<obs::Counter*, 256> op_counters_{};
-  /// The CURRENT request's stage trace. Valid under the dispatch lock
-  /// (single-writer: exactly one request is live at a time); the select
+  /// The CURRENT locked request's stage trace. Valid under the dispatch
+  /// lock (exactly one locked request is live at a time); the select
   /// pipeline and proof builder accumulate into it, HandleRequest folds
-  /// it into the histograms when the request completes.
+  /// it into the histograms when the request completes. Snapshot readers
+  /// never touch it — they carry a ReadScratch.
   obs::QueryTrace trace_;
-  /// The CURRENT request's staged metric deltas (same single-writer
-  /// contract as trace_): the select pipeline and proof builder add
-  /// their per-path spans here, RecordRequestMetrics completes the entry
-  /// and appends it to pending_.
+  /// The CURRENT locked request's staged metric deltas (same contract
+  /// as trace_): the select pipeline and proof builder add their
+  /// per-path spans here, RecordRequestMetrics completes the entry and
+  /// appends it to pending_.
   PendingRequestStat cur_;
   /// Completed-but-unfolded request entries; folded into the registry by
-  /// FlushPendingStatsLocked (ring full, or any stats read).
+  /// FlushPendingStatsLocked (ring full, or any stats read). Guarded by
+  /// stats_mutex_.
   std::array<PendingRequestStat, kPendingRingSize> pending_{};
   size_t pending_count_ = 0;
 };

@@ -419,6 +419,99 @@ TEST_F(NetServerTest, IdleConnectionsAreReaped) {
   EXPECT_GE(net_server_->stats().timed_out, 1u);
 }
 
+TEST_F(NetServerTest, LargeInboundFrameUnderTinyWriteBudgetIsNotReaped) {
+  // Regression: the read gate used to count partial-frame bytes against
+  // the write budget, so an inbound frame larger than the budget could
+  // never finish arriving — the connection stalled with a half-read
+  // frame until the idle reaper killed it, despite a healthy peer
+  // actively sending. The gate must pause on *complete-frame* backlog
+  // only (partial bytes are separately bounded by max_frame_bytes).
+  net::NetServerOptions options;
+  options.max_pending_write_bytes = 64;  // far below the 8 KiB frame
+  options.idle_timeout_ms = 200;
+  StartServer(options);
+  auto fd = net::ConnectTo("127.0.0.1", net_server_->port());
+  ASSERT_TRUE(fd.ok());
+
+  protocol::Envelope ping;
+  ping.type = protocol::MessageType::kPing;
+  ping.payload.assign(8192, 0xAB);
+  Bytes wire;
+  ASSERT_TRUE(net::AppendFrame(&wire, ping.Serialize()).ok());
+  ASSERT_TRUE(net::SendAll(fd->get(), wire.data(), wire.size()).ok());
+
+  // Bound the wait: a regression must fail the recv, not hang the test.
+  timeval timeout{5, 0};
+  ::setsockopt(fd->get(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  net::FrameReader reader;
+  uint8_t buf[512];  // drain slowly so the response stays over budget too
+  Bytes pong_frame;
+  for (;;) {
+    ssize_t n = ::recv(fd->get(), buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "connection stalled or reaped mid-frame";
+    ASSERT_TRUE(reader.Feed(buf, static_cast<size_t>(n)).ok());
+    if (auto frame = reader.NextFrame()) {
+      pong_frame = std::move(*frame);
+      break;
+    }
+  }
+  auto pong = protocol::Envelope::Parse(pong_frame);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->type, protocol::MessageType::kPong);
+  EXPECT_EQ(pong->payload, ping.payload);
+  EXPECT_EQ(net_server_->stats().timed_out, 0u);
+}
+
+TEST_F(NetServerTest, ReadWorkerPoolMatchesInProcessBaseline) {
+  // read_workers > 0 routes complete frames through the worker pool
+  // (snapshot reads concurrent, mutations serialized); results and
+  // persisted state must stay byte-identical to the synchronous
+  // in-process dispatch, even with concurrent clients interleaving.
+  net::NetServerOptions options;
+  options.read_workers = 2;
+  server::ServerRuntimeOptions runtime;
+  runtime.num_threads = 2;
+  StartServer(options, runtime);
+
+  constexpr size_t kClients = 3;
+  std::vector<OpResults> remote_results(kClients);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &remote_results] {
+      crypto::HmacDrbg rng("net-workers", i);
+      client::Client client(ToBytes("worker-master-" + std::to_string(i)),
+                            Transport()->AsTransport(), &rng);
+      remote_results[i] = RunCanonicalOps(&client, "W" + std::to_string(i));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  server::UntrustedServer twin_server(runtime);
+  std::vector<OpResults> local_results(kClients);
+  for (size_t i = 0; i < kClients; ++i) {
+    crypto::HmacDrbg rng("net-workers", i);
+    client::Client client(
+        ToBytes("worker-master-" + std::to_string(i)),
+        [&](const Bytes& request) {
+          return twin_server.HandleRequest(request);
+        },
+        &rng);
+    local_results[i] = RunCanonicalOps(&client, "W" + std::to_string(i));
+  }
+  for (size_t i = 0; i < kClients; ++i) {
+    ExpectSameResults(remote_results[i], local_results[i]);
+  }
+
+  net_server_->Stop();
+  std::string remote_path = TempPath("net_workers_remote.dbph");
+  std::string local_path = TempPath("net_workers_local.dbph");
+  ASSERT_TRUE(served_server_->SaveTo(remote_path).ok());
+  ASSERT_TRUE(twin_server.SaveTo(local_path).ok());
+  EXPECT_EQ(ReadFileBytes(remote_path), ReadFileBytes(local_path));
+  std::remove(remote_path.c_str());
+  std::remove(local_path.c_str());
+}
+
 TEST(NetDurabilityTest, PipelinedMutationsAnswerInOrderAndSurviveRestart) {
   // One TCP connection pipelines Insert / DeleteWhere / Select / kFlush
   // in a single burst against a durable deployment; responses must come

@@ -310,6 +310,45 @@ TEST(RegistrySnapshotTest, TextRenderingIsHumanReadable) {
   EXPECT_NE(text.find("dbph_select_seconds"), std::string::npos);
 }
 
+TEST(RegistrySnapshotTest, SecondsSeriesRenderAsSecondsOnEverySurface) {
+  // The unit is carried on the wire, so a consumer that round-trips the
+  // snapshot renders identically to one holding the original — and a
+  // `_seconds`-named series means seconds on every surface, never raw
+  // micros leaking through one rendering but not another.
+  MetricsRegistry registry;
+  registry.GetHistogram("dbph_select_seconds", Unit::kMicros)
+      ->Record(2000000);  // exactly two seconds
+  registry.GetHistogram("dbph_select_result_size", Unit::kCount)->Record(42);
+
+  Bytes wire;
+  registry.Snapshot().AppendTo(&wire);
+  ByteReader reader(wire);
+  auto round_tripped = RegistrySnapshot::ReadFrom(&reader);
+  ASSERT_TRUE(round_tripped.ok());
+  ASSERT_EQ(round_tripped->histograms.at("dbph_select_seconds").unit,
+            Unit::kMicros);
+  ASSERT_EQ(round_tripped->histograms.at("dbph_select_result_size").unit,
+            Unit::kCount);
+
+  for (const RegistrySnapshot& snap :
+       {registry.Snapshot(), *round_tripped}) {
+    std::string prom = snap.RenderPrometheus();
+    EXPECT_NE(prom.find("dbph_select_seconds_sum 2"), std::string::npos);
+    EXPECT_EQ(prom.find("dbph_select_seconds_sum 2000000"),
+              std::string::npos);
+
+    std::string text = snap.RenderText();
+    // count / mean / ... — the mean of one 2s recording is exactly 2.
+    EXPECT_NE(text.find("dbph_select_seconds = 1 / 2."), std::string::npos);
+    EXPECT_EQ(text.find("2000000"), std::string::npos);
+    // kCount series stay raw on both surfaces.
+    EXPECT_NE(text.find("dbph_select_result_size = 1 / 42"),
+              std::string::npos);
+    EXPECT_NE(prom.find("dbph_select_result_size_sum 42"),
+              std::string::npos);
+  }
+}
+
 // ---------------------------------------------------------- query trace
 
 TEST(QueryTraceTest, DescribeRedactsEverythingButMetadata) {

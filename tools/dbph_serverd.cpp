@@ -7,7 +7,7 @@
 // Usage:
 //   dbph_serverd --port=7690 [--bind=ADDR] [--threads=N] [--shards=N]
 //                [--persist=DIR] [--fsync=always|batch]
-//                [--max-conns=N] [--idle-timeout-ms=N]
+//                [--max-conns=N] [--idle-timeout-ms=N] [--read-workers=N]
 //                [--index=on|off] [--integrity=on|off]
 //                [--observation=full|aggregate]
 //                [--metrics=on|off] [--metrics-port=N] [--slow-query-ms=N]
@@ -17,6 +17,14 @@
 // Full flag reference (kept in lockstep with --help and CI's docs
 // check): docs/OPERATIONS.md.
 //
+//   --read-workers=N  dispatch worker threads for the frame loop
+//                   (default 0 = dispatch inline on the event loop).
+//                   With N > 0, snapshot reads — selects, all-select
+//                   batches, EXPLAIN, fetch, stats, leakage, ping —
+//                   execute concurrently against the published snapshot
+//                   while mutations serialize on the single-writer
+//                   dispatch lock. Per-connection response order is
+//                   preserved either way.
 //   --index=on      (default) trapdoor posting-list index: repeated
 //                   trapdoors are answered from memoized match sets
 //                   instead of an O(n) scan. Results and observation
@@ -145,6 +153,7 @@ const char kUsage[] =
     "  --shards=N              shards per relation scan (0 = 4x workers)\n"
     "  --max-conns=N           concurrent connection cap\n"
     "  --idle-timeout-ms=N     reap idle connections after N ms\n"
+    "  --read-workers=N        dispatch workers; reads run off-lock (0 = inline)\n"
     "  --persist=DIR           continuous durability (WAL + snapshots)\n"
     "  --fsync=always|batch    WAL sync policy (with --persist)\n"
     "  --index=on|off          trapdoor posting-list index (default on)\n"
@@ -204,6 +213,8 @@ int main(int argc, char** argv) {
                       &bad_value) ||
         ParseSizeFlag(argv[i], "--max-conns=", &max_conns, &bad_value) ||
         ParseSizeFlag(argv[i], "--idle-timeout-ms=", &idle_ms, &bad_value) ||
+        ParseSizeFlag(argv[i], "--read-workers=", &net_options.read_workers,
+                      &bad_value) ||
         ParseSizeFlag(argv[i], "--index-capacity=",
                       &runtime_options.max_indexed_trapdoors, &bad_value) ||
         ParseSizeFlag(argv[i], "--index-append-budget=",
