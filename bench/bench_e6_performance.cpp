@@ -45,6 +45,20 @@
 // proof generation from client-side verification; asserts verified
 // results match the baseline.
 //
+// Scan mode: --scan [--repeats=N] measures honest-full-scan select
+// throughput with the batched HMAC match kernel enabled vs the scalar
+// per-word matcher, over identical ciphertext with the trapdoor index
+// off on both sides (every select really scans). Reports point and
+// ~1%-selectivity probes, the server-side split, per-query server heap
+// allocation counts (via the global operator-new hook below — the
+// kernel path's zero-per-word-allocation claim, measured), and the
+// kernel side's dbph_scan_match_evals_total delta; asserts results and
+// observation logs stay byte-identical across the A/B pair. The
+// acceptance bar for the kernel work is kernel point qps >= 5x the
+// honest-scan qps in the previously committed BENCH_e6.json at
+// --docs=100000 (the precomputed HMAC schedules accelerate the scalar
+// side too, so the in-binary A/B understates the total win).
+//
 // Stats mode: --stats [--repeats=N] measures the observability layer
 // itself: point-select throughput with metrics on vs off over identical
 // ciphertext (the acceptance bar is qps_on >= 0.98 * qps_off), plus the
@@ -63,6 +77,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -79,6 +94,24 @@
 #include "net/tcp_transport.h"
 #include "server/durable_store.h"
 #include "server/untrusted_server.h"
+
+// Global heap-allocation counter, fed by replacing the throwing operator
+// new/delete pairs. Every mode pays one relaxed atomic increment per
+// allocation (noise-level); --scan reads deltas around server dispatch
+// to report allocations per query on each matcher path. The aligned
+// overloads are left alone — replaced and default pairs never mix.
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace dbph;
 
@@ -328,6 +361,7 @@ struct ParallelBenchConfig {
   bool durability = false;  // compare mutation throughput per fsync policy
   size_t mutations = 2000;  // insert round trips per policy (--durability)
   bool index = false;       // scan vs trapdoor-index select throughput
+  bool scan = false;        // batched-kernel vs scalar scan throughput
   size_t repeats = 50;      // repeated-trapdoor selects per side (--index)
   bool integrity = false;   // Merkle proof generation/verification overhead
   bool stats = false;       // metrics overhead + lock-wait share (--stats)
@@ -342,9 +376,14 @@ struct E6Deployment {
         rng("e6-parallel", 11),
         client(ToBytes("master"),
                [this](const Bytes& request) {
+                 uint64_t allocs_before =
+                     g_heap_allocs.load(std::memory_order_relaxed);
                  Stopwatch timer;
                  Bytes response = server.HandleRequest(request);
                  server_seconds += timer.ElapsedSeconds();
+                 server_allocs +=
+                     g_heap_allocs.load(std::memory_order_relaxed) -
+                     allocs_before;
                  return response;
                },
                &rng) {}
@@ -352,6 +391,7 @@ struct E6Deployment {
   server::UntrustedServer server;
   crypto::HmacDrbg rng;
   double server_seconds = 0;
+  uint64_t server_allocs = 0;
   client::Client client;
 };
 
@@ -658,6 +698,131 @@ int RunIndexBench(const ParallelBenchConfig& config) {
   }
   std::fprintf(stderr, "observation logs %s (%zu entries per side)\n",
                log_match ? "identical" : "DIVERGED", scan_log.size());
+  return (all_ok && log_match) ? 0 : 1;
+}
+
+// ------------- batched scan kernel vs scalar matcher (JSON mode) -------------
+
+int RunScanBench(const ParallelBenchConfig& config) {
+  // Identical DRBG seeds: both deployments hold byte-identical
+  // ciphertext. The trapdoor index is off on BOTH sides, so every
+  // select is an honest full scan — the access path the kernel
+  // accelerates; the only variable is the matcher implementation.
+  server::ServerRuntimeOptions scalar_options;
+  scalar_options.enable_trapdoor_index = false;
+  scalar_options.enable_scan_kernel = false;
+  server::ServerRuntimeOptions kernel_options;
+  kernel_options.enable_trapdoor_index = false;
+  kernel_options.enable_scan_kernel = true;
+  E6Deployment scalar(scalar_options);
+  E6Deployment kernel(kernel_options);
+
+  std::fprintf(stderr, "outsourcing %zu documents twice...\n", config.docs);
+  rel::Relation table = BenchTable(config.docs);
+  if (!scalar.client.Outsource(table).ok() ||
+      !kernel.client.Outsource(table).ok()) {
+    std::fprintf(stderr, "outsource failed\n");
+    return 1;
+  }
+
+  // The kernel side's PRF-evaluation counter, read back through the
+  // kStats surface — the same number EXPLAIN and the slow-query log
+  // report per query.
+  auto match_evals_total = [](E6Deployment* side) -> uint64_t {
+    auto snapshot = side->client.Stats();
+    if (!snapshot.ok()) return 0;
+    auto it = snapshot->counters.find("dbph_scan_match_evals_total");
+    return it == snapshot->counters.end() ? 0 : it->second;
+  };
+
+  struct Probe {
+    const char* label;
+    std::string attribute;
+    rel::Value value;
+  };
+  const Probe probes[] = {
+      {"point", "key", rel::Value::Str("k42")},
+      {"1pct", "val", kProbe},
+  };
+
+  bool all_ok = true;
+  for (const Probe& probe : probes) {
+    auto expected = scalar.client.Select("T", probe.attribute, probe.value);
+    auto warm = kernel.client.Select("T", probe.attribute, probe.value);
+    if (!expected.ok() || !warm.ok()) {
+      std::fprintf(stderr, "warm-up select failed\n");
+      return 1;
+    }
+    bool results_match = expected->SameTuples(*warm);
+
+    // Timed: `repeats` selects per side. End-to-end time includes the
+    // client decrypting every match (identical both sides); the
+    // server-side split isolates the matcher cost. Allocation deltas
+    // cover server dispatch only — client crypto allocates identically
+    // on both sides and would dilute the comparison.
+    scalar.server_seconds = 0;
+    scalar.server_allocs = 0;
+    Stopwatch scalar_timer;
+    for (size_t i = 0; i < config.repeats; ++i) {
+      auto r = scalar.client.Select("T", probe.attribute, probe.value);
+      if (!r.ok()) return 1;
+      if (i == 0) results_match = results_match && r->SameTuples(*expected);
+    }
+    double scalar_seconds = scalar_timer.ElapsedSeconds();
+    double scalar_server_seconds = scalar.server_seconds;
+    uint64_t scalar_allocs = scalar.server_allocs;
+
+    uint64_t evals_before = match_evals_total(&kernel);
+    kernel.server_seconds = 0;
+    kernel.server_allocs = 0;
+    Stopwatch kernel_timer;
+    for (size_t i = 0; i < config.repeats; ++i) {
+      auto r = kernel.client.Select("T", probe.attribute, probe.value);
+      if (!r.ok()) return 1;
+      if (i == 0) results_match = results_match && r->SameTuples(*expected);
+    }
+    double kernel_seconds = kernel_timer.ElapsedSeconds();
+    double kernel_server_seconds = kernel.server_seconds;
+    uint64_t kernel_allocs = kernel.server_allocs;
+    uint64_t kernel_evals = match_evals_total(&kernel) - evals_before;
+
+    double scalar_qps = static_cast<double>(config.repeats) / scalar_seconds;
+    double kernel_qps = static_cast<double>(config.repeats) / kernel_seconds;
+    double repeats_d = static_cast<double>(config.repeats);
+    std::printf(
+        "{\"bench\":\"e6_scan\",\"probe\":\"%s\",\"docs\":%zu,"
+        "\"repeats\":%zu,\"result_size\":%zu,"
+        "\"scalar_seconds\":%.6f,\"kernel_seconds\":%.6f,"
+        "\"scalar_qps\":%.2f,\"kernel_qps\":%.2f,\"speedup\":%.3f,"
+        "\"server_scalar_seconds\":%.6f,\"server_kernel_seconds\":%.6f,"
+        "\"server_speedup\":%.3f,"
+        "\"scalar_allocs_per_query\":%.1f,\"kernel_allocs_per_query\":%.1f,"
+        "\"kernel_match_evals\":%llu,"
+        "\"results_match\":%s}\n",
+        probe.label, config.docs, config.repeats, expected->size(),
+        scalar_seconds, kernel_seconds, scalar_qps, kernel_qps,
+        kernel_qps / scalar_qps, scalar_server_seconds, kernel_server_seconds,
+        scalar_server_seconds / kernel_server_seconds,
+        static_cast<double>(scalar_allocs) / repeats_d,
+        static_cast<double>(kernel_allocs) / repeats_d,
+        static_cast<unsigned long long>(kernel_evals),
+        results_match ? "true" : "false");
+    all_ok = all_ok && results_match;
+  }
+
+  // Byte-identical observation logs across the whole run, entry by
+  // entry — the tentpole's A/B property, checked at real workload size.
+  const auto& scalar_log = scalar.server.observations().queries();
+  const auto& kernel_log = kernel.server.observations().queries();
+  bool log_match = scalar_log.size() == kernel_log.size();
+  for (size_t i = 0; log_match && i < scalar_log.size(); ++i) {
+    log_match =
+        scalar_log[i].relation == kernel_log[i].relation &&
+        scalar_log[i].trapdoor_bytes == kernel_log[i].trapdoor_bytes &&
+        scalar_log[i].matched_records == kernel_log[i].matched_records;
+  }
+  std::fprintf(stderr, "observation logs %s (%zu entries per side)\n",
+               log_match ? "identical" : "DIVERGED", scalar_log.size());
   return (all_ok && log_match) ? 0 : 1;
 }
 
@@ -1176,6 +1341,8 @@ int main(int argc, char** argv) {
       config.durability = true;
     } else if (std::strcmp(argv[i], "--index") == 0) {
       config.index = true;
+    } else if (std::strcmp(argv[i], "--scan") == 0) {
+      config.scan = true;
     } else if (std::strcmp(argv[i], "--integrity") == 0) {
       config.integrity = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -1191,13 +1358,16 @@ int main(int argc, char** argv) {
                  "--mutations only applies to --durability/--integrity\n");
     return 2;
   }
-  if (repeats_flag && !config.index && !config.integrity && !config.stats) {
+  if (repeats_flag && !config.index && !config.scan && !config.integrity &&
+      !config.stats) {
     std::fprintf(stderr,
-                 "--repeats only applies to --index/--integrity/--stats\n");
+                 "--repeats only applies to --index/--scan/--integrity/"
+                 "--stats\n");
     return 2;
   }
   if (config.stats) return RunStatsBench(config);
   if (config.integrity) return RunIntegrityBench(config);
+  if (config.scan) return RunScanBench(config);
   if (config.index) return RunIndexBench(config);
   if (config.durability) return RunDurabilityBench(config);
   if (config.network) return RunNetworkBench(config);

@@ -2,7 +2,8 @@
 # Performance trajectory snapshot: runs every bench_e6_performance JSON
 # mode — sequential-vs-parallel batch (--threads/--batch), multi-client
 # network (--network), mutation durability (--durability), scan-vs-
-# trapdoor-index (--index), Merkle proof overhead (--integrity), and
+# trapdoor-index (--index), batched-kernel-vs-scalar scan (--scan),
+# Merkle proof overhead (--integrity), and
 # metrics overhead + concurrent-reader scaling + lock-wait share
 # (--stats; readers=1/2/4 sessions race the snapshot read path) — and
 # writes the combined
@@ -30,6 +31,7 @@ fi
 
 INDEX_DOCS="${DBPH_BENCH_DOCS:-100000}"
 INDEX_REPEATS=20
+SCAN_DOCS="${DBPH_BENCH_DOCS:-100000}" SCAN_REPEATS=20
 PAR_DOCS=20000 PAR_BATCH=16 PAR_ROUNDS=2
 NET_DOCS=10000 NET_CLIENTS=2 NET_BATCH=8 NET_ROUNDS=2
 DUR_DOCS=1000 DUR_MUTATIONS=300 DUR_ROUNDS=3
@@ -41,6 +43,7 @@ STATS_DOCS=20000 STATS_REPEATS=2000 STATS_ROUNDS=5
 OUT="BENCH_e6.json"
 if [ "${DBPH_BENCH_SMOKE:-0}" = "1" ]; then
   INDEX_DOCS=2000 INDEX_REPEATS=5
+  SCAN_DOCS=2000 SCAN_REPEATS=5
   PAR_DOCS=2000 PAR_BATCH=8 PAR_ROUNDS=1
   NET_DOCS=1000 NET_BATCH=4 NET_ROUNDS=1
   DUR_DOCS=500 DUR_MUTATIONS=100 DUR_ROUNDS=1
@@ -59,6 +62,7 @@ trap 'rm -f "$LINES"' EXIT
 "$BIN" --durability --docs="$DUR_DOCS" --mutations="$DUR_MUTATIONS" \
   --rounds="$DUR_ROUNDS" >> "$LINES"
 "$BIN" --index --docs="$INDEX_DOCS" --repeats="$INDEX_REPEATS" >> "$LINES"
+"$BIN" --scan --docs="$SCAN_DOCS" --repeats="$SCAN_REPEATS" >> "$LINES"
 "$BIN" --integrity --docs="$INTEG_DOCS" --repeats="$INTEG_REPEATS" \
   --mutations="$INTEG_MUTATIONS" >> "$LINES"
 "$BIN" --stats --docs="$STATS_DOCS" --repeats="$STATS_REPEATS" \

@@ -11,6 +11,8 @@
 #   DBPH_TSAN_ONLY=1  run only the ThreadSanitizer stage
 #   DBPH_ASAN=0       skip the AddressSanitizer stage
 #   DBPH_ASAN_ONLY=1  run only the AddressSanitizer stage
+#   DBPH_MATRIX=0     skip the scan-kernel build-matrix stage
+#   DBPH_MATRIX_ONLY=1  run only the scan-kernel build-matrix stage
 #   DBPH_DOCS_ONLY=1  run only the docs hygiene stage (builds dbph_serverd)
 set -euo pipefail
 
@@ -84,13 +86,18 @@ run_tsan_stage() {
   # race a writer across the snapshot read path while stats are polled —
   # any lock-discipline slip in snapshot publication or observation
   # staging is a hard TSan failure here.
+  # swp_match_kernel_test and crypto_hmac_test ride along: the SHA-256
+  # kernel dispatch resolves through a function-local static, and the
+  # batched scan shares one MatchContext per shard across a pooled scan
+  # wave — first-use races in either are TSan's to catch.
   cmake --build "$tsan_dir" -j "$(nproc)" --target \
     runtime_test runtime_parallel_test net_frame_test net_server_test \
     net_interleave_test protocol_fuzz_test wal_recovery_test \
     differential_test server_persistence_test planner_test sql_test \
-    obs_metrics_test obs_leakage_test concurrency_race_test
+    obs_metrics_test obs_leakage_test concurrency_race_test \
+    swp_match_kernel_test crypto_hmac_test
   ctest --test-dir "$tsan_dir" --output-on-failure --no-tests=error \
-    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql|obs_metrics|obs_leakage|concurrency_race' \
+    -R 'runtime|net_|protocol_fuzz|wal_recovery|differential|server_persistence|planner|sql|obs_metrics|obs_leakage|concurrency_race|swp_match_kernel|crypto_hmac' \
     -j "$(nproc)"
 }
 
@@ -103,15 +110,51 @@ run_asan_stage() {
   # The integrity suites ride along: the tamper proxy re-frames
   # envelopes and the proof parser walks attacker-shaped buffers —
   # exactly the code that must be clean under ASan.
+  # The scan-kernel suites are mandatory here: MatchMany walks an arena
+  # through raw-pointer lane batches and the fuzz case feeds it hostile
+  # out-of-bounds WordRefs — any missed bounds check is an ASan failure,
+  # not a silent wrong answer.
   cmake --build "$asan_dir" -j "$(nproc)" --target \
     planner_test sql_test differential_test storage_heapfile_test \
-    integrity_test crypto_merkle_test protocol_fuzz_test
+    integrity_test crypto_merkle_test protocol_fuzz_test \
+    swp_match_kernel_test crypto_hmac_test
   ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
     -L planner -j "$(nproc)"
   ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
     -L integrity -j "$(nproc)"
   ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
-    -R storage_heapfile -j "$(nproc)"
+    -R 'storage_heapfile|swp_match_kernel|crypto_hmac' -j "$(nproc)"
+}
+
+run_matrix_stage() {
+  # Scan-kernel build matrix. Two axes:
+  #   (1) compile baseline: the default build (above) vs an explicit
+  #       -march=x86-64-v2 job, so the multi-way compression paths are
+  #       exercised both when the compiler baseline already includes
+  #       SSE4.1 and when only the per-function target attributes
+  #       provide it;
+  #   (2) runtime dispatch: DBPH_SHA256_KERNEL forces each kernel —
+  #       including the portable scalar fallback — through the full
+  #       HMAC vector suite and the batched-vs-scalar equivalence
+  #       tests. Unsupported values fall back to the best supported
+  #       kernel, so the loop is safe on any host.
+  local v2_dir="${BUILD_DIR}-v2"
+  cmake -B "$v2_dir" -S . \
+    -DCMAKE_CXX_FLAGS="-march=x86-64-v2"
+  cmake --build "$v2_dir" -j "$(nproc)" --target \
+    crypto_hmac_test swp_match_kernel_test
+  local kernel
+  for kernel in portable sse41 avx2 shani; do
+    for dir in "$BUILD_DIR" "$v2_dir"; do
+      [ -x "$dir/crypto_hmac_test" ] || continue
+      echo "kernel matrix: DBPH_SHA256_KERNEL=$kernel in $dir"
+      DBPH_SHA256_KERNEL="$kernel" "$dir/crypto_hmac_test" \
+        --gtest_brief=1
+      DBPH_SHA256_KERNEL="$kernel" "$dir/swp_match_kernel_test" \
+        --gtest_brief=1
+    done
+  done
+  echo "scan-kernel build matrix OK"
 }
 
 if [ "${DBPH_TSAN_ONLY:-0}" = "1" ]; then
@@ -120,6 +163,13 @@ if [ "${DBPH_TSAN_ONLY:-0}" = "1" ]; then
 fi
 if [ "${DBPH_ASAN_ONLY:-0}" = "1" ]; then
   run_asan_stage
+  exit 0
+fi
+if [ "${DBPH_MATRIX_ONLY:-0}" = "1" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+    crypto_hmac_test swp_match_kernel_test
+  run_matrix_stage
   exit 0
 fi
 if [ "${DBPH_DOCS_ONLY:-0}" = "1" ]; then
@@ -157,6 +207,10 @@ if [ -x "$BUILD_DIR/bench_e6_performance" ]; then
   # ciphertext, asserting byte-identical results and observation logs
   # (tiny sizes — the mode must not rot; real numbers via scripts/bench.sh).
   "$BUILD_DIR/bench_e6_performance" --index --docs=2000 --repeats=5
+  # ...and the scan mode: batched-kernel vs scalar matching over
+  # identical ciphertext, asserting byte-identical results and
+  # observation logs (tiny sizes — real numbers via scripts/bench.sh).
+  "$BUILD_DIR/bench_e6_performance" --scan --docs=2000 --repeats=5
   # ...and the integrity mode: proof generation + enforced verification
   # vs the proof-free baseline, asserting identical results.
   "$BUILD_DIR/bench_e6_performance" --integrity --docs=2000 --repeats=5 \
@@ -243,6 +297,9 @@ wait "$SERVERD_PID"
 grep -q "recovered 1 relation(s)" "$RESTART_LOG"
 rm -rf "$PERSIST_DIR"
 
+if [ "${DBPH_MATRIX:-1}" != "0" ]; then
+  run_matrix_stage
+fi
 if [ "${DBPH_TSAN:-1}" != "0" ]; then
   run_tsan_stage
 fi

@@ -1,45 +1,204 @@
 #include "crypto/hmac.h"
 
-#include "crypto/sha256.h"
+#include <algorithm>
+#include <cstring>
 
 namespace dbph {
 namespace crypto {
 
-Bytes HmacSha256(const Bytes& key, const Bytes& message) {
-  constexpr size_t kBlock = Sha256::kBlockSize;
+namespace {
 
-  Bytes k = key;
-  if (k.size() > kBlock) k = Sha256::Hash(k);
-  k.resize(kBlock, 0x00);
+constexpr size_t kBlock = Sha256::kBlockSize;
 
-  Bytes ipad(kBlock), opad(kBlock);
-  for (size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
+void StoreDigestBE(const Sha256State& state, uint8_t out[32]) {
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(state[i]);
   }
+}
 
-  Sha256 inner;
-  inner.Update(ipad);
-  inner.Update(message);
-  Bytes inner_digest = inner.Finish();
+/// Absorbs `len` trailing message bytes into `state` (which has already
+/// compressed `prefix_bytes` whole blocks' worth of input), applies the
+/// FIPS 180-4 padding and writes the big-endian digest — all on the
+/// stack, no allocations.
+void FinishAbsorb(Sha256State* state, const uint8_t* data, size_t len,
+                  uint64_t prefix_bytes, uint8_t out[32]) {
+  const uint64_t total_bits = (prefix_bytes + len) * 8;
+  while (len >= kBlock) {
+    Sha256Compress(state, data);
+    data += kBlock;
+    len -= kBlock;
+  }
+  uint8_t block[kBlock];
+  std::memcpy(block, data, len);
+  block[len] = 0x80;
+  if (len + 9 > kBlock) {
+    // The length field does not fit: one padding-only extra block.
+    std::memset(block + len + 1, 0, kBlock - len - 1);
+    Sha256Compress(state, block);
+    std::memset(block, 0, kBlock - 8);
+  } else {
+    std::memset(block + len + 1, 0, kBlock - 8 - len - 1);
+  }
+  for (int i = 0; i < 8; ++i) {
+    block[kBlock - 8 + i] = static_cast<uint8_t>(total_bits >> (56 - 8 * i));
+  }
+  Sha256Compress(state, block);
+  StoreDigestBE(*state, out);
+}
 
-  Sha256 outer;
-  outer.Update(opad);
-  outer.Update(inner_digest);
-  return outer.Finish();
+}  // namespace
+
+HmacSha256Precomputed::HmacSha256Precomputed(const Bytes& key) {
+  uint8_t k[kBlock] = {0};
+  if (key.size() > kBlock) {
+    Sha256 h;
+    h.Update(key);
+    h.FinishInto(k);  // 32 digest bytes, rest stays zero
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+  uint8_t pad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x36;
+  inner_ = Sha256InitialState();
+  Sha256Compress(&inner_, pad);
+  for (size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x5c;
+  outer_ = Sha256InitialState();
+  Sha256Compress(&outer_, pad);
+}
+
+void HmacSha256Precomputed::Eval(const uint8_t* msg, size_t len,
+                                 uint8_t out[kDigestSize]) const {
+  uint8_t inner_digest[kDigestSize];
+  Sha256State state = inner_;
+  FinishAbsorb(&state, msg, len, kBlock, inner_digest);
+  state = outer_;
+  FinishAbsorb(&state, inner_digest, kDigestSize, kBlock, out);
+}
+
+Bytes HmacSha256Precomputed::Eval(const Bytes& msg) const {
+  Bytes out(kDigestSize);
+  Eval(msg.data(), msg.size(), out.data());
+  return out;
+}
+
+void HmacSha256Precomputed::EvalMany(const uint8_t* const* msgs,
+                                     size_t msg_len, size_t n,
+                                     uint8_t* out) const {
+  constexpr size_t kLanes = 8;
+  // Inner hash: the ipad block (already in the midstate) followed by the
+  // message and padding; all lanes share one block count because the
+  // messages share one length.
+  const size_t inner_blocks = (msg_len + 9 + kBlock - 1) / kBlock;
+  const uint64_t inner_bits = (kBlock + msg_len) * 8;
+  const uint64_t outer_bits = (kBlock + kDigestSize) * 8;
+
+  for (size_t base = 0; base < n; base += kLanes) {
+    const size_t lanes = std::min(kLanes, n - base);
+    Sha256State states[kLanes];
+    for (size_t l = 0; l < lanes; ++l) states[l] = inner_;
+
+    uint8_t scratch[kLanes][kBlock];
+    const uint8_t* blocks[kLanes];
+    for (size_t b = 0; b < inner_blocks; ++b) {
+      const size_t off = b * kBlock;
+      if (off + kBlock <= msg_len) {
+        // Whole block inside the message: compress straight from it.
+        for (size_t l = 0; l < lanes; ++l) blocks[l] = msgs[base + l] + off;
+      } else {
+        const size_t take = msg_len > off ? msg_len - off : 0;
+        for (size_t l = 0; l < lanes; ++l) {
+          uint8_t* buf = scratch[l];
+          std::memcpy(buf, msgs[base + l] + off, take);
+          std::memset(buf + take, 0, kBlock - take);
+          if (msg_len >= off && msg_len < off + kBlock) {
+            buf[msg_len - off] = 0x80;
+          }
+          if (b == inner_blocks - 1) {
+            for (int i = 0; i < 8; ++i) {
+              buf[kBlock - 8 + i] =
+                  static_cast<uint8_t>(inner_bits >> (56 - 8 * i));
+            }
+          }
+          blocks[l] = buf;
+        }
+      }
+      Sha256CompressMany(states, blocks, lanes);
+    }
+
+    // Outer hash: opad midstate + the 32-byte inner digest; digest,
+    // 0x80 and the length field all fit one block.
+    for (size_t l = 0; l < lanes; ++l) {
+      uint8_t* buf = scratch[l];
+      StoreDigestBE(states[l], buf);
+      buf[kDigestSize] = 0x80;
+      std::memset(buf + kDigestSize + 1, 0, kBlock - 8 - kDigestSize - 1);
+      for (int i = 0; i < 8; ++i) {
+        buf[kBlock - 8 + i] = static_cast<uint8_t>(outer_bits >> (56 - 8 * i));
+      }
+      blocks[l] = buf;
+      states[l] = outer_;
+    }
+    Sha256CompressMany(states, blocks, lanes);
+    for (size_t l = 0; l < lanes; ++l) {
+      StoreDigestBE(states[l], out + (base + l) * kDigestSize);
+    }
+  }
+}
+
+void HmacSha256Stream::UpdateUint32(uint32_t v) {
+  uint8_t be[4] = {static_cast<uint8_t>(v >> 24), static_cast<uint8_t>(v >> 16),
+                   static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v)};
+  inner_.Update(be, 4);
+}
+
+void HmacSha256Stream::FinishInto(
+    uint8_t out[HmacSha256Precomputed::kDigestSize]) {
+  uint8_t inner_digest[HmacSha256Precomputed::kDigestSize];
+  inner_.FinishInto(inner_digest);
+  Sha256State state = schedule_->outer_midstate();
+  FinishAbsorb(&state, inner_digest, HmacSha256Precomputed::kDigestSize,
+               kBlock, out);
+}
+
+Bytes HmacSha256Stream::Finish() {
+  Bytes out(HmacSha256Precomputed::kDigestSize);
+  FinishInto(out.data());
+  return out;
+}
+
+void HmacSha256Stream::Reset() {
+  inner_ = Sha256::FromMidstate(schedule_->inner_midstate(), kBlock);
+}
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  HmacSha256Precomputed schedule(key);
+  Bytes out(Sha256::kDigestSize);
+  schedule.Eval(message.data(), message.size(), out.data());
+  return out;
 }
 
 Bytes HmacSha256Expand(const Bytes& key, const Bytes& message,
                        size_t out_len) {
+  HmacSha256Precomputed schedule(key);
   Bytes out;
   out.reserve(out_len);
+  Bytes block_input = message;
+  block_input.resize(message.size() + 4);
   uint32_t counter = 0;
+  uint8_t t[Sha256::kDigestSize];
   while (out.size() < out_len) {
-    Bytes block_input = message;
-    AppendUint32(&block_input, counter++);
-    Bytes t = HmacSha256(key, block_input);
-    size_t take = std::min(t.size(), out_len - out.size());
-    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+    uint8_t* ctr = block_input.data() + message.size();
+    ctr[0] = static_cast<uint8_t>(counter >> 24);
+    ctr[1] = static_cast<uint8_t>(counter >> 16);
+    ctr[2] = static_cast<uint8_t>(counter >> 8);
+    ctr[3] = static_cast<uint8_t>(counter);
+    ++counter;
+    schedule.Eval(block_input.data(), block_input.size(), t);
+    size_t take = std::min<size_t>(sizeof(t), out_len - out.size());
+    out.insert(out.end(), t, t + take);
   }
   return out;
 }

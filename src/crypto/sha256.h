@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "crypto/sha256_compress.h"
 
 namespace dbph {
 namespace crypto {
@@ -15,7 +16,10 @@ namespace crypto {
 /// The implementation is self-contained (no OpenSSL dependency) so the whole
 /// cryptographic stack of the library is auditable and deterministic across
 /// platforms. Verified against the NIST FIPS 180-4 test vectors (see
-/// tests/crypto_sha256_test.cc).
+/// tests/crypto_sha256_test.cc). Block compression goes through the
+/// runtime-dispatched kernel in crypto/sha256_compress.h, so every digest
+/// in the system (Merkle trees, HMAC, the scan kernel) shares one
+/// hardware-accelerated implementation.
 class Sha256 {
  public:
   static constexpr size_t kDigestSize = 32;
@@ -31,16 +35,30 @@ class Sha256 {
   /// reused afterwards without calling Reset().
   Bytes Finish();
 
+  /// Finish() without the heap: writes the digest into `out`.
+  void FinishInto(uint8_t out[kDigestSize]);
+
   /// Restores the pristine state.
   void Reset();
+
+  /// \brief The current chaining state. Only meaningful on a block
+  /// boundary (bytes_buffered() == 0); a midstate captured there can be
+  /// cloned into any number of FromMidstate() hashers that each continue
+  /// with a different suffix — HMAC's precomputed ipad/opad states are
+  /// exactly this.
+  const Sha256State& midstate() const { return state_; }
+  size_t bytes_buffered() const { return buffer_len_; }
+
+  /// \brief A hasher resumed from a cloned midstate, as if it had already
+  /// absorbed `prefix_bytes` bytes (must be a multiple of kBlockSize).
+  static Sha256 FromMidstate(const Sha256State& midstate,
+                             uint64_t prefix_bytes);
 
   /// One-shot convenience: SHA-256(data).
   static Bytes Hash(const Bytes& data);
 
  private:
-  void ProcessBlock(const uint8_t* block);
-
-  std::array<uint32_t, 8> state_;
+  Sha256State state_;
   std::array<uint8_t, kBlockSize> buffer_;
   size_t buffer_len_;
   uint64_t total_len_;

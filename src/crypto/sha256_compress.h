@@ -1,0 +1,61 @@
+#ifndef DBPH_CRYPTO_SHA256_COMPRESS_H_
+#define DBPH_CRYPTO_SHA256_COMPRESS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dbph {
+namespace crypto {
+
+/// \brief The raw SHA-256 chaining state (a midstate): eight working
+/// words H0..H7. Exposing it lets callers snapshot the state after
+/// absorbing a fixed prefix (HMAC's ipad/opad blocks) and replay only
+/// the suffix per message — the core of the scan kernel's "two
+/// compressions per trapdoor check" budget.
+using Sha256State = std::array<uint32_t, 8>;
+
+/// The FIPS 180-4 initial chaining value H(0).
+Sha256State Sha256InitialState();
+
+/// \brief Folds one 64-byte block into `state` — the raw compression
+/// function, runtime-dispatched (SHA-NI when the CPU has it, scalar
+/// otherwise). Bit-exact across every kernel; Sha256::Update is built
+/// on it.
+void Sha256Compress(Sha256State* state, const uint8_t* block);
+
+/// \brief Multi-way compression: lane i folds blocks[i] into states[i],
+/// for n independent lanes. The batched trapdoor matcher feeds 8 lanes
+/// at a time; the AVX2/SSE kernels transpose the lanes into vector
+/// registers and run all of them through the round function together,
+/// the SHA-NI kernel interleaves two hardware streams, and the portable
+/// kernel just loops. Results are bit-exact with n scalar compressions.
+void Sha256CompressMany(Sha256State* states, const uint8_t* const* blocks,
+                        size_t n);
+
+/// How many lanes the active kernel digests per pass. Callers batching
+/// work should aim for multiples of this; any n still works.
+size_t Sha256CompressLanes();
+
+/// Which compression implementation the runtime dispatch selected.
+enum class Sha256Kernel : uint8_t {
+  kPortable = 0,  ///< scalar C++, any CPU
+  kSse41 = 1,     ///< 4-way transposed lanes in XMM registers
+  kAvx2 = 2,      ///< 8-way transposed lanes in YMM registers
+  kShaNi = 3,     ///< SHA extensions, two interleaved streams
+};
+
+/// \brief The kernel the dispatcher picked for this process: the most
+/// capable implementation the CPU supports (cpuid-gated), unless the
+/// environment variable DBPH_SHA256_KERNEL ∈ {portable, sse41, avx2,
+/// shani} forces a less capable one (forcing an unsupported kernel
+/// falls back to the best supported — never to an illegal instruction).
+/// Decided once, on first use; thread-safe.
+Sha256Kernel ActiveSha256Kernel();
+
+const char* Sha256KernelName(Sha256Kernel kernel);
+
+}  // namespace crypto
+}  // namespace dbph
+
+#endif  // DBPH_CRYPTO_SHA256_COMPRESS_H_

@@ -75,7 +75,7 @@ Result<swp::EncryptedDocument> DatabasePh::EncryptTuple(
     doc.words.push_back(std::move(cipher));
   }
   if (options_.authenticate_documents) {
-    doc.tag = crypto::HmacSha256(mac_key_, doc.MacInput());
+    doc.tag = doc.MacTag(mac_schedule_);
   }
   return doc;
 }
@@ -101,7 +101,7 @@ Result<EncryptedRelation> DatabasePh::EncryptRelation(
 Result<rel::Tuple> DatabasePh::DecryptTuple(
     const swp::EncryptedDocument& doc) const {
   if (options_.authenticate_documents) {
-    Bytes expected = crypto::HmacSha256(mac_key_, doc.MacInput());
+    Bytes expected = doc.MacTag(mac_schedule_);
     if (!ConstantTimeEqual(expected, doc.tag)) {
       return Status::DataLoss(
           "document authentication failed: the server returned a "

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "crypto/hmac.h"
 #include "crypto/random.h"
 #include "dbph/document.h"
 #include "dbph/encrypted_relation.h"
@@ -103,6 +104,7 @@ class DatabasePh {
         options_(options),
         stream_key_(std::move(stream_key)),
         mac_key_(std::move(mac_key)),
+        mac_schedule_(mac_key_),
         schemes_(std::move(schemes)) {}
 
   const swp::SearchableScheme& SchemeFor(size_t word_length) const {
@@ -113,6 +115,10 @@ class DatabasePh {
   DbphOptions options_;
   Bytes stream_key_;
   Bytes mac_key_;
+  /// The MAC key's HMAC schedule, derived once: tagging/verifying a
+  /// document costs no per-document key-schedule rebuild and no
+  /// serialized MAC-input buffer (see EncryptedDocument::MacTag).
+  crypto::HmacSha256Precomputed mac_schedule_;
   /// One SWP scheme per distinct word length (a single entry in fixed
   /// mode); all share subkeys derived from the same master.
   std::map<size_t, std::unique_ptr<swp::SearchableScheme>> schemes_;

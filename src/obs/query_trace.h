@@ -38,6 +38,7 @@ struct QueryTrace {
   uint64_t total_micros = 0;       ///< parse through serialize, inclusive
   bool used_index = false;         ///< any select leg took the index path
   uint64_t result_size = 0;        ///< documents returned (selects)
+  uint64_t match_evals = 0;        ///< PRF evaluations the scan kernel ran
 
   void Reset() { *this = QueryTrace{}; }
 
@@ -60,6 +61,9 @@ struct QueryTrace {
         << " serialize_us=" << serialize_micros
         << " path=" << (used_index ? "index" : "scan")
         << " results=" << result_size;
+    // Only kernel scans count evaluations; omit the field elsewhere so
+    // index-path and mutation lines stay short.
+    if (match_evals != 0) out << " match_evals=" << match_evals;
     return out.str();
   }
 };

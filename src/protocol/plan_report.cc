@@ -16,6 +16,7 @@ void PlanReport::AppendTo(Bytes* out) const {
   out->push_back(will_memoize ? 1 : 0);
   out->push_back(index_enabled ? 1 : 0);
   AppendUint32(out, indexed_trapdoors);
+  AppendUint64(out, match_evals);
 }
 
 Result<PlanReport> PlanReport::ReadFrom(ByteReader* reader) {
@@ -37,6 +38,7 @@ Result<PlanReport> PlanReport::ReadFrom(ByteReader* reader) {
   if (enabled[0] > 1) return Status::DataLoss("malformed plan report");
   report.index_enabled = enabled[0] == 1;
   DBPH_ASSIGN_OR_RETURN(report.indexed_trapdoors, reader->ReadUint32());
+  DBPH_ASSIGN_OR_RETURN(report.match_evals, reader->ReadUint64());
   return report;
 }
 
@@ -47,7 +49,8 @@ std::string PlanReport::ToString() const {
         << posting_size << " of " << num_records << " documents fetched)";
   } else {
     out << "FullScan on " << relation << "  (" << num_records
-        << " documents across " << num_shards << " shard(s)"
+        << " documents across " << num_shards << " shard(s), " << match_evals
+        << " PRF evaluation(s)"
         << (will_memoize ? ", result will be memoized" : "") << ")";
   }
   out << "\n  trapdoor index: "

@@ -41,6 +41,10 @@ struct PlanReport {
   bool index_enabled = false;
   /// Trapdoors currently memoized for this relation.
   uint32_t indexed_trapdoors = 0;
+  /// PRF evaluations executing this plan performs: the relation's total
+  /// stored word slots on the scan path (every slot matched once), 0 on
+  /// the index path (posting fetches evaluate nothing).
+  uint64_t match_evals = 0;
 
   void AppendTo(Bytes* out) const;
   static Result<PlanReport> ReadFrom(ByteReader* reader);

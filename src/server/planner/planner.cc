@@ -47,6 +47,10 @@ protocol::PlanReport MakePlanReport(const ExecutionContext& ctx,
   report.index_enabled = ctx.index != nullptr;
   report.indexed_trapdoors = static_cast<uint32_t>(
       ctx.index != nullptr ? ctx.index->num_trapdoors() : 0);
+  // The scan path's predicted PRF-evaluation count: every stored word
+  // slot is matched exactly once. The index path evaluates nothing.
+  report.match_evals =
+      plan.path == AccessPath::kFullScan ? ctx.word_slots : 0;
   return report;
 }
 
@@ -126,7 +130,7 @@ std::vector<PlannedOutcome> PlanExecutor::Execute(
     if (!view) {
       view = std::make_unique<runtime::ShardedRelation>(
           task.ctx.heap, task.ctx.records, task.ctx.check_length,
-          task.ctx.num_shards);
+          task.ctx.num_shards, task.ctx.use_scan_kernel);
     }
     jobs[i].view = view.get();
     jobs[i].trapdoor = &task.query->trapdoor;
@@ -148,6 +152,8 @@ std::vector<PlannedOutcome> PlanExecutor::Execute(
   for (size_t i = 0; i < tasks.size(); ++i) {
     if (!outcomes[i].status.ok() || jobs[i].view == nullptr) continue;
     outcomes[i].status = scans[i].status;
+    outcomes[i].match_evals = scans[i].match_evals;
+    if (timed) timing->match_evals += scans[i].match_evals;
     if (!outcomes[i].status.ok()) continue;
     outcomes[i].matches = std::move(scans[i].matches);
     TrapdoorIndex* index = tasks[i].ctx.index;

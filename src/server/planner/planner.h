@@ -36,6 +36,13 @@ struct ExecutionContext {
   uint32_t check_length = 4;
   size_t num_shards = 1;
   TrapdoorIndex* index = nullptr;
+  /// Total word slots stored across the relation — the predicted PRF
+  /// evaluation count a full scan reports in EXPLAIN.
+  uint64_t word_slots = 0;
+  /// Routes scan-path tasks through the batched match kernel
+  /// (ServerRuntimeOptions::enable_scan_kernel). Results are
+  /// bit-identical either way.
+  bool use_scan_kernel = true;
 };
 
 /// \brief The chosen execution strategy for one select.
@@ -77,6 +84,9 @@ struct PlannedOutcome {
   QueryPlan plan;
   Status status = Status::OK();
   std::vector<runtime::ShardMatch> matches;
+  /// PRF evaluations the scan path actually performed for this task
+  /// (kernel scans only; 0 on the index path and the scalar path).
+  uint64_t match_evals = 0;
 };
 
 /// \brief The single plan/execute pipeline every select-shaped request
@@ -104,6 +114,7 @@ class PlanExecutor {
     uint64_t scan_micros = 0;
     size_t index_queries = 0;  ///< tasks served from posting lists
     size_t scan_queries = 0;   ///< tasks that ran in the scan wave
+    uint64_t match_evals = 0;  ///< PRF evaluations across the scan wave
   };
 
   /// The pool must outlive the executor; null runs scans inline.

@@ -1,5 +1,6 @@
 #include "server/planner/trapdoor_index.h"
 
+#include "swp/match_kernel.h"
 #include "swp/params.h"
 
 namespace dbph {
@@ -58,14 +59,26 @@ void TrapdoorIndex::OnAppend(
     swp::SwpParams params;
     params.word_length = trapdoor.target.size();
     params.check_length = check_length;
+    // One precomputed schedule per memoized trapdoor, reused across all
+    // appended documents — the dispatch-lock time this maintenance
+    // spends is dominated by PRF evaluations, so halving the
+    // compressions per eval matters here as much as in the scan.
+    // Only membership is needed (not which slot matched), so the first
+    // matching word short-circuits the document.
+    swp::MatchContext context(params, trapdoor);
     // `added` is in storage (append) order and appended records sort
     // after every existing one, so pushing matches in this order keeps
     // each posting list in exact storage order.
     for (const auto& [rid, doc] : added) {
       ++stats_.append_evals;
-      if (!swp::SearchDocument(params, trapdoor, *doc).empty()) {
-        postings_.Insert(trapdoor_bytes, rid);
+      bool matched = false;
+      for (const Bytes& word : doc->words) {
+        if (context.Matches(word)) {
+          matched = true;
+          break;
+        }
       }
+      if (matched) postings_.Insert(trapdoor_bytes, rid);
     }
     spent += added.size();
     ++it;

@@ -25,6 +25,7 @@ std::vector<SelectOutcome> BatchExecutor::ExecuteSelects(
   std::vector<Unit> units;
   std::vector<std::vector<ShardMatch>> cells;   // per unit, shard-local
   std::vector<Status> cell_status;              // per unit
+  std::vector<uint64_t> cell_evals;             // per unit
   for (size_t j = 0; j < jobs.size(); ++j) {
     if (jobs[j].view == nullptr) continue;
     for (size_t s = 0; s < jobs[j].view->num_shards(); ++s) {
@@ -33,12 +34,13 @@ std::vector<SelectOutcome> BatchExecutor::ExecuteSelects(
   }
   cells.resize(units.size());
   cell_status.resize(units.size(), Status::OK());
+  cell_evals.resize(units.size(), 0);
 
   auto run_unit = [&](size_t u) {
     const Unit& unit = units[u];
     const SelectJob& job = jobs[unit.job];
-    cell_status[u] =
-        job.view->ScanShard(unit.shard, *job.trapdoor, &cells[u]);
+    cell_status[u] = job.view->ScanShard(unit.shard, *job.trapdoor, &cells[u],
+                                         &cell_evals[u]);
   };
 
   if (pool_ != nullptr) {
@@ -54,6 +56,7 @@ std::vector<SelectOutcome> BatchExecutor::ExecuteSelects(
     if (!cell_status[u].ok() && outcome.status.ok()) {
       outcome.status = cell_status[u];
     }
+    outcome.match_evals += cell_evals[u];
     for (ShardMatch& match : cells[u]) {
       outcome.matches.push_back(std::move(match));
     }

@@ -24,6 +24,9 @@ struct SelectJob {
 struct SelectOutcome {
   Status status = Status::OK();
   std::vector<ShardMatch> matches;
+  /// PRF evaluations this query's scan performed (kernel path only;
+  /// 0 when the view runs the scalar path). Summed across shards.
+  uint64_t match_evals = 0;
 };
 
 /// \brief Runs a wave of selects data-parallel over shards and queries.

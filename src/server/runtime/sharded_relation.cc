@@ -17,8 +17,12 @@ Result<swp::EncryptedDocument> ReadStoredDocument(
 
 ShardedRelation::ShardedRelation(const storage::HeapFile* heap,
                                  const std::vector<storage::RecordId>* records,
-                                 uint32_t check_length, size_t num_shards)
-    : heap_(heap), records_(records), check_length_(check_length) {
+                                 uint32_t check_length, size_t num_shards,
+                                 bool use_kernel)
+    : heap_(heap),
+      records_(records),
+      check_length_(check_length),
+      use_kernel_(use_kernel) {
   const size_t n = records_->size();
   if (num_shards == 0) num_shards = 1;
   num_shards = std::min(num_shards, std::max<size_t>(n, 1));
@@ -35,7 +39,8 @@ ShardedRelation::ShardedRelation(const storage::HeapFile* heap,
 }
 
 Status ShardedRelation::ScanShard(size_t index, const swp::Trapdoor& trapdoor,
-                                  std::vector<ShardMatch>* out) const {
+                                  std::vector<ShardMatch>* out,
+                                  uint64_t* match_evals) const {
   if (index >= shards_.size()) {
     return Status::InvalidArgument("shard index out of range");
   }
@@ -44,15 +49,68 @@ Status ShardedRelation::ScanShard(size_t index, const swp::Trapdoor& trapdoor,
   params.check_length = check_length_;
 
   const Range& range = shards_[index];
-  for (size_t i = range.begin; i < range.end; ++i) {
+  if (!use_kernel_) {
+    for (size_t i = range.begin; i < range.end; ++i) {
+      const storage::RecordId rid = (*records_)[i];
+      DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
+                            ReadStoredDocument(*heap_, rid));
+      if (!swp::SearchDocument(params, trapdoor, doc).empty()) {
+        out->push_back({rid, std::move(doc)});
+      }
+    }
+    return Status::OK();
+  }
+
+  // Kernel path: match straight off the serialized record bytes.
+  // CollectWordRefs performs exactly the bounds checks ReadFrom does,
+  // so a record it rejects is re-parsed for the identical error
+  // status, and only matching records pay the full deserialization
+  // (nonce/tag copies, per-word Bytes allocations). The refs and bit
+  // vectors are reused across the whole shard — zero allocations per
+  // record in steady state.
+  swp::MatchContext context(params, trapdoor);
+  std::vector<swp::WordRef> refs;
+  std::vector<uint8_t> match_bits;
+  Status status = Status::OK();
+  for (size_t i = range.begin; i < range.end && status.ok(); ++i) {
     const storage::RecordId rid = (*records_)[i];
-    DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
-                          ReadStoredDocument(*heap_, rid));
-    if (!swp::SearchDocument(params, trapdoor, doc).empty()) {
-      out->push_back({rid, std::move(doc)});
+    auto serialized = heap_->Get(rid);
+    if (!serialized.ok()) {
+      status = serialized.status();
+      break;
+    }
+    refs.clear();
+    if (!swp::CollectWordRefs(*serialized, &refs).ok()) {
+      // Malformed record: surface the exact parse status the scalar
+      // path would have returned.
+      ByteReader reader(*serialized);
+      auto parsed = swp::EncryptedDocument::ReadFrom(&reader);
+      status = parsed.ok() ? Status::Internal("word-ref collection disagrees "
+                                              "with document parse")
+                           : parsed.status();
+      break;
+    }
+    match_bits.resize(refs.size());
+    bool any = false;
+    if (!refs.empty()) {
+      context.MatchMany(
+          std::span<const uint8_t>(serialized->data(), serialized->size()),
+          std::span<const swp::WordRef>(refs.data(), refs.size()),
+          match_bits.data());
+      for (uint8_t bit : match_bits) any |= (bit != 0);
+    }
+    if (any) {
+      ByteReader reader(*serialized);
+      auto parsed = swp::EncryptedDocument::ReadFrom(&reader);
+      if (!parsed.ok()) {  // unreachable: CollectWordRefs accepted it
+        status = parsed.status();
+        break;
+      }
+      out->push_back({rid, std::move(*parsed)});
     }
   }
-  return Status::OK();
+  if (match_evals != nullptr) *match_evals += context.match_evals();
+  return status;
 }
 
 }  // namespace runtime

@@ -2,10 +2,12 @@
 #define DBPH_SERVER_RUNTIME_SHARDED_RELATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
 #include "storage/heapfile.h"
+#include "swp/match_kernel.h"
 #include "swp/search.h"
 
 namespace dbph {
@@ -38,10 +40,13 @@ Result<swp::EncryptedDocument> ReadStoredDocument(
 class ShardedRelation {
  public:
   /// Splits `records` into at most `num_shards` balanced contiguous
-  /// ranges (fewer when there are fewer records).
+  /// ranges (fewer when there are fewer records). `use_kernel` selects
+  /// the batched match kernel for ScanShard; results are bit-identical
+  /// either way (it is purely an A/B performance switch).
   ShardedRelation(const storage::HeapFile* heap,
                   const std::vector<storage::RecordId>* records,
-                  uint32_t check_length, size_t num_shards);
+                  uint32_t check_length, size_t num_shards,
+                  bool use_kernel = true);
 
   size_t num_shards() const { return shards_.size(); }
   uint32_t check_length() const { return check_length_; }
@@ -50,8 +55,16 @@ class ShardedRelation {
   /// Scans shard `index` with `trapdoor`: deserializes each record and
   /// appends the matching documents to `out` in storage order. Exactly
   /// the per-record work UntrustedServer::Select does, minus logging.
+  /// With the kernel enabled, word boundaries are collected straight
+  /// off the serialized bytes and PRF evaluations are batched through
+  /// one precomputed-schedule MatchContext for the whole shard; only
+  /// matching documents are fully parsed. `match_evals`, when non-null,
+  /// accumulates the PRF evaluations performed (kernel path only —
+  /// the scalar path reports 0, and the planner substitutes the
+  /// relation's word-slot count for EXPLAIN predictions).
   Status ScanShard(size_t index, const swp::Trapdoor& trapdoor,
-                   std::vector<ShardMatch>* out) const;
+                   std::vector<ShardMatch>* out,
+                   uint64_t* match_evals = nullptr) const;
 
  private:
   struct Range {
@@ -62,6 +75,7 @@ class ShardedRelation {
   const storage::HeapFile* heap_;
   const std::vector<storage::RecordId>* records_;
   uint32_t check_length_;
+  bool use_kernel_;
   std::vector<Range> shards_;
 };
 

@@ -13,6 +13,7 @@
 #include "crypto/merkle.h"
 #include "server/planner/trapdoor_index.h"
 #include "server/runtime/thread_pool.h"
+#include "swp/match_kernel.h"
 #include "swp/search.h"
 
 namespace dbph {
@@ -53,6 +54,28 @@ struct SnapshotChunk {
   std::vector<SnapshotDoc> docs;
   /// rid.Pack() -> index into docs; built once by Seal().
   std::unordered_map<uint64_t, uint32_t> pos_in_chunk;
+
+  // ---- scan-kernel arena (built once by Seal(); see docs/ARCHITECTURE
+  // "The hot-scan kernel"). Every word ciphertext of every well-formed
+  // document in this chunk, copied into ONE contiguous buffer so a
+  // trapdoor scan streams linearly through word bytes instead of
+  // pointer-chasing per-document heap allocations. ----
+
+  /// All word ciphertexts back to back, in (document, slot) order.
+  Bytes word_arena;
+  /// One ref per word slot, offsets into word_arena. Document i's slots
+  /// are the contiguous run word_refs[word_first[i] .. word_first[i+1]).
+  std::vector<swp::WordRef> word_refs;
+  /// Prefix offsets into word_refs; size docs.size() + 1.
+  std::vector<uint32_t> word_first;
+  /// Parallel to docs: 1 when CollectWordRefs succeeded (it fails on
+  /// exactly the inputs EncryptedDocument::ReadFrom rejects). A scan
+  /// hitting a 0 re-parses for the exact error status the scalar path
+  /// would have returned.
+  std::vector<uint8_t> doc_wellformed;
+  /// False when the arena could not be built (offsets would overflow
+  /// uint32); the scan falls back to the per-document scalar path.
+  bool arena_built = false;
 
   void Seal();
 };
@@ -97,6 +120,15 @@ class RelationSnapshot {
   /// attestation changes). Lets a reader's deferred scan-memoization
   /// prove its result still describes the live documents.
   uint64_t doc_generation = 0;
+  /// Total word slots across the relation (copied from the live
+  /// relation at publish, so locked and snapshot EXPLAIN agree) — the
+  /// predicted match_evals upper bound a full scan reports.
+  uint64_t word_slots = 0;
+  /// Whether Scan runs through the batched match kernel over the chunk
+  /// arenas (ServerRuntimeOptions::enable_scan_kernel at publish time).
+  /// Either way results, proofs, and observation entries are
+  /// byte-identical; this is purely an A/B performance switch.
+  bool use_scan_kernel = true;
 
   /// rid.Pack() -> global leaf position; kNotFound when absent.
   uint64_t PositionOf(uint64_t rid_packed) const;
@@ -118,10 +150,15 @@ class RelationSnapshot {
   /// Scan-path execution: the sharded full trapdoor scan over the
   /// frozen documents, mirroring runtime::ShardedRelation exactly
   /// (same balanced contiguous split, same SwpParams, same match
-  /// predicate, storage order). `pool` null runs inline.
+  /// predicate, storage order). `pool` null runs inline. When
+  /// use_scan_kernel is set the scan batches PRF evaluations through
+  /// one MatchContext per shard over the chunk arenas — results are
+  /// bit-identical to the scalar path, only faster. `match_evals`,
+  /// when non-null, accumulates the PRF evaluations the kernel
+  /// performed (the per-query accounting the obs stack exports).
   Status Scan(const swp::Trapdoor& trapdoor, size_t num_shards,
-              runtime::ThreadPool* pool,
-              std::vector<SnapshotMatch>* out) const;
+              runtime::ThreadPool* pool, std::vector<SnapshotMatch>* out,
+              uint64_t* match_evals = nullptr) const;
 };
 
 /// \brief The whole server's published state: one frozen relation per

@@ -33,6 +33,7 @@ void UntrustedServer::InitInstruments() {
   ins_.slow_queries = metrics_.GetCounter("dbph_slow_queries_total");
   ins_.select_scan = metrics_.GetCounter("dbph_select_scan_total");
   ins_.select_index = metrics_.GetCounter("dbph_select_index_total");
+  ins_.scan_match_evals = metrics_.GetCounter("dbph_scan_match_evals_total");
   ins_.attestations = metrics_.GetCounter("dbph_integrity_attestations_total");
   ins_.parse = metrics_.GetHistogram("dbph_query_parse_seconds", Unit::kMicros);
   ins_.lock_wait =
@@ -160,6 +161,7 @@ void UntrustedServer::RecordRequestMetrics(
   cur->serialize_micros = SaturateU32(trace.serialize_micros);
   cur->total_micros = SaturateU32(trace.total_micros);
   cur->result_size = SaturateU32(trace.result_size);
+  cur->match_evals = SaturateU32(trace.match_evals);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     pending_[pending_count_++] = *cur;
@@ -183,7 +185,7 @@ void UntrustedServer::FlushPendingStatsLocked() {
   // same handful of buckets.
   obs::HistogramDelta parse, lock_wait, handle, serialize, select_total,
       result_size, plan, execute_index, execute_scan, proof;
-  uint64_t errors = 0, index_queries = 0, scan_queries = 0;
+  uint64_t errors = 0, index_queries = 0, scan_queries = 0, match_evals = 0;
   std::array<uint32_t, 256> op_counts{};
   for (size_t i = 0; i < pending_count_; ++i) {
     const PendingRequestStat& e = pending_[i];
@@ -206,6 +208,8 @@ void UntrustedServer::FlushPendingStatsLocked() {
       scan_queries += e.scan_queries;
       execute_scan.Add(e.execute_scan_micros);
     }
+    // Kernel scans and kernel-matched deletes both account evaluations.
+    match_evals += e.match_evals;
     if (e.flags & PendingRequestStat::kBuiltProof) proof.Add(e.proof_micros);
   }
   ins_.requests->Add(pending_count_);
@@ -217,6 +221,7 @@ void UntrustedServer::FlushPendingStatsLocked() {
   if (errors != 0) ins_.errors->Add(errors);
   if (index_queries != 0) ins_.select_index->Add(index_queries);
   if (scan_queries != 0) ins_.select_scan->Add(scan_queries);
+  if (match_evals != 0) ins_.scan_match_evals->Add(match_evals);
   ins_.parse->Merge(parse);
   ins_.lock_wait->Merge(lock_wait);
   ins_.handle->Merge(handle);
@@ -368,6 +373,8 @@ UntrustedServer::BuildRelationSnapshotLocked(
     rel->root_signature = stored.root_signature;
   }
   rel->doc_generation = stored.doc_generation;
+  rel->word_slots = stored.word_slots;
+  rel->use_scan_kernel = runtime_options_.enable_scan_kernel;
   return rel;
 }
 
@@ -415,6 +422,8 @@ void UntrustedServer::PublishDirtyLocked() {
         fresh->root_signature = stored.root_signature;
       }
       fresh->doc_generation = stored.doc_generation;
+      fresh->word_slots = stored.word_slots;
+      fresh->use_scan_kernel = runtime_options_.enable_scan_kernel;
       rel = std::move(fresh);
     }
     stored.published = rel;
@@ -485,6 +494,7 @@ Status UntrustedServer::StoreRelationLocked(
       leaves.push_back(crypto::MerkleTree::LeafHash(serialized));
     }
     stored.records.push_back(rid);
+    stored.word_slots += doc.words.size();
   }
   if (integrity) {
     stored.tree.Assign(std::move(leaves));
@@ -624,6 +634,8 @@ planner::ExecutionContext UntrustedServer::ContextFor(StoredRelation* stored) {
   ctx.num_shards = ShardCount();
   ctx.index =
       runtime_options_.enable_trapdoor_index ? &stored->index : nullptr;
+  ctx.word_slots = stored->word_slots;
+  ctx.use_scan_kernel = runtime_options_.enable_scan_kernel;
   return ctx;
 }
 
@@ -683,6 +695,8 @@ UntrustedServer::SelectBatchInternal(
       cur_.flags |= PendingRequestStat::kUsedScan;
       cur_.scan_queries += SaturateU32(timing.scan_queries);
       cur_.execute_scan_micros += SaturateU32(timing.scan_micros);
+      trace_.match_evals += timing.match_evals;
+      cur_.match_evals += SaturateU32(timing.match_evals);
     }
     if (trace_.relation.empty() && !queries.empty()) {
       trace_.relation = queries.front().relation;
@@ -807,12 +821,13 @@ UntrustedServer::SnapshotSelectBatch(
   }
   SteadyClock::time_point scan_start{};
   if (timed) scan_start = SteadyClock::now();
+  uint64_t batch_match_evals = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     QueryState& st = states[i];
     if (st.rel == nullptr || st.postings != nullptr) continue;
     ++scan_queries;
     Status status = st.rel->Scan(queries[i].trapdoor, ShardCount(), pool(),
-                                 &st.matches);
+                                 &st.matches, &batch_match_evals);
     if (!status.ok()) {
       st.matches.clear();
       st.failed = true;
@@ -852,6 +867,8 @@ UntrustedServer::SnapshotSelectBatch(
       scratch->cur.flags |= PendingRequestStat::kUsedScan;
       scratch->cur.scan_queries += SaturateU32(scan_queries);
       scratch->cur.execute_scan_micros += SaturateU32(scan_micros);
+      scratch->trace.match_evals += batch_match_evals;
+      scratch->cur.match_evals += SaturateU32(batch_match_evals);
     }
     if (scratch->trace.relation.empty() && !queries.empty()) {
       scratch->trace.relation = queries.front().relation;
@@ -940,6 +957,8 @@ Result<protocol::PlanReport> UntrustedServer::ExplainFromSnapshot(
     }
     report.will_memoize = !rel.index->AtCapacity();
   }
+  // Scan path: every stored word slot is matched exactly once.
+  report.match_evals = rel.word_slots;
   return report;
 }
 
@@ -973,6 +992,7 @@ Status UntrustedServer::AppendTuplesLocked(
       it->second.tree.AppendLeaf(crypto::MerkleTree::LeafHash(serialized));
     }
     it->second.records.push_back(rid);
+    it->second.word_slots += doc.words.size();
     added.emplace_back(rid.Pack(), &doc);
     // The same bytes the heap holds, staged so the publish is
     // O(appended): old chunks shared, these become one new chunk.
@@ -1016,6 +1036,13 @@ Result<size_t> UntrustedServer::DeleteWhereInternal(
   observation.relation = query.relation;
   query.trapdoor.AppendTo(&observation.trapdoor_bytes);
 
+  // One precomputed schedule for the whole delete scan. A delete only
+  // observes membership (never which slot matched), so the kernel path
+  // may short-circuit a document at its first matching word — the kept
+  // set, observation entry, and manifest are identical to the scalar
+  // sweep.
+  const bool use_kernel = runtime_options_.enable_scan_kernel;
+  swp::MatchContext context(params, query.trapdoor);
   std::vector<storage::RecordId> kept;
   std::vector<uint64_t> removed_positions;
   size_t position = 0;
@@ -1023,7 +1050,19 @@ Result<size_t> UntrustedServer::DeleteWhereInternal(
   for (const auto& rid : it->second.records) {
     DBPH_ASSIGN_OR_RETURN(swp::EncryptedDocument doc,
                           runtime::ReadStoredDocument(heap_, rid));
-    if (swp::SearchDocument(params, query.trapdoor, doc).empty()) {
+    bool matched;
+    if (use_kernel) {
+      matched = false;
+      for (const Bytes& word : doc.words) {
+        if (context.Matches(word)) {
+          matched = true;
+          break;
+        }
+      }
+    } else {
+      matched = !swp::SearchDocument(params, query.trapdoor, doc).empty();
+    }
+    if (!matched) {
       kept.push_back(rid);
     } else {
       observation.matched_records.push_back(rid.Pack());
@@ -1039,6 +1078,7 @@ Result<size_t> UntrustedServer::DeleteWhereInternal(
         }
       }
       DBPH_RETURN_IF_ERROR(heap_.Delete(rid));
+      it->second.word_slots -= doc.words.size();
       ++removed;
     }
     ++position;
@@ -1047,6 +1087,8 @@ Result<size_t> UntrustedServer::DeleteWhereInternal(
   if (runtime_options_.enable_metrics) {
     trace_.relation = query.relation;
     trace_.result_size += removed;
+    trace_.match_evals += context.match_evals();
+    cur_.match_evals += SaturateU32(context.match_evals());
   }
   if (integrity) {
     it->second.tree.RemoveSorted(removed_positions);

@@ -60,6 +60,13 @@ struct ServerRuntimeOptions {
   /// should raise this (or the memo shrinks to budget/batch-size
   /// entries).
   size_t max_index_append_evals = 16 * 1024;
+  /// Batched scan kernel: route full scans (locked and snapshot paths
+  /// alike) through the precomputed-HMAC MatchContext over contiguous
+  /// word arenas instead of the per-document scalar matcher. Results,
+  /// ResultProofs, and observation-log entries are byte-identical either
+  /// way (tests assert it) — purely a performance switch, kept as an
+  /// A/B flag for benchmarking and as an escape hatch.
+  bool enable_scan_kernel = true;
   /// Result integrity: maintain a per-relation Merkle tree over the
   /// stored ciphertext (in storage order) and attach a
   /// protocol::ResultProof to every select / fetch / delete response, so
@@ -369,6 +376,10 @@ class UntrustedServer {
     /// matches (which carry record ids) to tree positions in O(1)
     /// instead of scanning `records` per select.
     std::unordered_map<uint64_t, uint64_t> position_of;
+    /// Total word slots across all stored documents — the predicted PRF
+    /// evaluation count a full scan reports (EXPLAIN match_evals).
+    /// Maintained by store/append/delete alongside `records`.
+    uint64_t word_slots = 0;
 
     // ---- snapshot publication state (under the dispatch lock) ----
 
@@ -437,6 +448,7 @@ class UntrustedServer {
     uint32_t result_size = 0;
     uint32_t index_queries = 0;
     uint32_t scan_queries = 0;
+    uint32_t match_evals = 0;
     uint8_t op = 0;
     uint8_t flags = 0;
   };
@@ -582,6 +594,7 @@ class UntrustedServer {
     obs::Counter* slow_queries = nullptr;
     obs::Counter* select_scan = nullptr;
     obs::Counter* select_index = nullptr;
+    obs::Counter* scan_match_evals = nullptr;
     obs::Counter* attestations = nullptr;
     obs::Histogram* parse = nullptr;
     obs::Histogram* lock_wait = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "swp/match_kernel.h"
 
 namespace dbph {
 namespace swp {
@@ -13,6 +14,19 @@ Bytes EncryptedDocument::MacInput() const {
   AppendUint32(&input, static_cast<uint32_t>(words.size()));
   for (const Bytes& w : words) AppendLengthPrefixed(&input, w);
   return input;
+}
+
+Bytes EncryptedDocument::MacTag(
+    const crypto::HmacSha256Precomputed& mac_schedule) const {
+  crypto::HmacSha256Stream stream(&mac_schedule);
+  stream.UpdateUint32(static_cast<uint32_t>(nonce.size()));
+  stream.Update(nonce);
+  stream.UpdateUint32(static_cast<uint32_t>(words.size()));
+  for (const Bytes& w : words) {
+    stream.UpdateUint32(static_cast<uint32_t>(w.size()));
+    stream.Update(w);
+  }
+  return stream.Finish();
 }
 
 void EncryptedDocument::AppendTo(Bytes* out) const {
@@ -52,14 +66,12 @@ Result<std::vector<EncryptedDocument>> ReadDocumentList(ByteReader* reader) {
 
 bool MatchCipherWord(const SwpParams& params, const Trapdoor& trapdoor,
                      const Bytes& cipher) {
-  if (cipher.size() != trapdoor.target.size()) return false;
-  if (trapdoor.target.size() <= params.check_length) return false;
-  const size_t left_len = trapdoor.target.size() - params.check_length;
-  Bytes d = Xor(cipher, trapdoor.target);
-  Bytes s(d.begin(), d.begin() + static_cast<long>(left_len));
-  Bytes t(d.begin() + static_cast<long>(left_len), d.end());
-  crypto::Prf check(trapdoor.key);
-  return ConstantTimeEqual(t, check.Eval(s, params.check_length));
+  // Thin wrapper over the scan kernel: one-shot contexts still beat the
+  // old path (two compressions instead of four, no subvector copies),
+  // and every caller shares one match implementation. Scans that check
+  // many words against one trapdoor build a MatchContext once instead.
+  MatchContext context(params, trapdoor);
+  return context.Matches(cipher);
 }
 
 std::vector<size_t> SearchDocument(const SwpParams& params,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "crypto/hmac.h"
 #include "swp/scheme.h"
 
 namespace dbph {
@@ -23,7 +24,15 @@ struct EncryptedDocument {
 
   /// The MAC input: nonce and every word, length-delimited (so word
   /// boundaries are authenticated too, not just the concatenation).
+  /// Reference layout only — tag computation streams through MacTag,
+  /// which never materializes this buffer.
   Bytes MacInput() const;
+
+  /// HMAC(key, MacInput()) without building MacInput(): the nonce and
+  /// words stream incrementally into the precomputed schedule, so a tag
+  /// check costs no serialization buffer and no key-schedule rebuild.
+  /// Bit-identical to HmacSha256(key, MacInput()).
+  Bytes MacTag(const crypto::HmacSha256Precomputed& mac_schedule) const;
 
   void AppendTo(Bytes* out) const;
   static Result<EncryptedDocument> ReadFrom(ByteReader* reader);

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "common/bytes.h"
 #include "crypto/hkdf.h"
+#include "crypto/sha256_compress.h"
 
 namespace dbph {
 namespace crypto {
@@ -63,6 +68,98 @@ TEST(HmacTest, ExpandExtends) {
   EXPECT_EQ(out, HmacSha256Expand(key, ToBytes("m"), 100));
   // Different messages diverge.
   EXPECT_NE(out, HmacSha256Expand(key, ToBytes("n"), 100));
+}
+
+// The precomputed schedule must agree with HmacSha256 on every RFC 4231
+// vector (and hence with the RFC): one-shot, streaming, and batched
+// evaluation all share the same ipad/opad midstates.
+TEST(HmacPrecomputedTest, Rfc4231Vectors) {
+  struct Case {
+    Bytes key;
+    Bytes msg;
+    const char* expected;
+  };
+  const Case cases[] = {
+      {Bytes(20, 0x0b), ToBytes("Hi There"),
+       "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"},
+      {ToBytes("Jefe"), ToBytes("what do ya want for nothing?"),
+       "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"},
+      {Bytes(20, 0xaa), Bytes(50, 0xdd),
+       "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"},
+      {Bytes(131, 0xaa),
+       ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"),
+       "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"},
+  };
+  for (const Case& c : cases) {
+    HmacSha256Precomputed schedule(c.key);
+    EXPECT_EQ(HexEncode(schedule.Eval(c.msg)), c.expected);
+
+    // Streaming, byte-at-a-time, must land on the same digest.
+    HmacSha256Stream stream(&schedule);
+    for (uint8_t byte : c.msg) stream.Update(&byte, 1);
+    EXPECT_EQ(HexEncode(stream.Finish()), c.expected);
+
+    // Reset rewinds for the next message over the same schedule.
+    stream.Reset();
+    stream.Update(c.msg);
+    EXPECT_EQ(HexEncode(stream.Finish()), c.expected);
+  }
+}
+
+// Batched evaluation must be bit-identical to scalar evaluation for
+// every lane, across lengths that exercise the one-block fast path,
+// block-straddling padding, and multi-block messages — and for every
+// partial batch width around the 8-lane kernel.
+TEST(HmacPrecomputedTest, EvalManyMatchesScalar) {
+  HmacSha256Precomputed schedule(ToBytes("batch key"));
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+  const auto next = [&seed]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  for (size_t msg_len : {0u, 1u, 16u, 20u, 55u, 56u, 63u, 64u, 100u, 128u}) {
+    for (size_t n : {1u, 2u, 3u, 7u, 8u, 9u, 17u}) {
+      std::vector<Bytes> msgs(n, Bytes(msg_len));
+      std::vector<const uint8_t*> ptrs(n);
+      for (size_t i = 0; i < n; ++i) {
+        for (auto& b : msgs[i]) b = static_cast<uint8_t>(next());
+        ptrs[i] = msgs[i].data();
+      }
+      std::vector<uint8_t> batched(n * 32);
+      schedule.EvalMany(ptrs.data(), msg_len, n, batched.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(Bytes(batched.begin() + static_cast<long>(32 * i),
+                        batched.begin() + static_cast<long>(32 * i + 32)),
+                  schedule.Eval(msgs[i]))
+            << "lane " << i << " of " << n << ", msg_len " << msg_len;
+      }
+    }
+  }
+}
+
+// The runtime dispatcher must honor DBPH_SHA256_KERNEL when the forced
+// kernel is supported (ci.sh runs this test under each forced value as
+// the dispatch smoke) and must never pick an unsupported kernel.
+TEST(Sha256KernelTest, DispatchHonorsEnvironmentOverride) {
+  const Sha256Kernel active = ActiveSha256Kernel();
+  const char* forced = std::getenv("DBPH_SHA256_KERNEL");
+  if (forced != nullptr) {
+    const std::string want(forced);
+    // The dispatcher only grants a supported kernel; portable is always
+    // supported, so forcing it must always take effect.
+    if (want == "portable") {
+      EXPECT_EQ(active, Sha256Kernel::kPortable);
+    }
+    if (want == std::string(Sha256KernelName(active))) {
+      SUCCEED();  // forced kernel granted
+    }
+  }
+  // Whatever was selected must produce correct digests (the RFC/NIST
+  // vector tests in this binary already ran against it) and a name.
+  EXPECT_NE(std::string(Sha256KernelName(active)), "unknown");
+  EXPECT_GE(Sha256CompressLanes(), 1u);
 }
 
 // RFC 5869 test case 1 (SHA-256).

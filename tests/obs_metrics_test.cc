@@ -366,8 +366,9 @@ TEST(QueryTraceTest, DescribeRedactsEverythingButMetadata) {
   trace.serialize_micros = 35;
   trace.used_index = true;
   trace.result_size = 12;
+  trace.match_evals = 200000;
   std::string line = trace.Describe();
-  // Metadata only: operation, relation name, timings, path, count.
+  // Metadata only: operation, relation name, timings, path, counts.
   EXPECT_NE(line.find("op=select"), std::string::npos);
   EXPECT_NE(line.find("relation=patients"), std::string::npos);
   EXPECT_NE(line.find("total_us=1500"), std::string::npos);
@@ -375,6 +376,7 @@ TEST(QueryTraceTest, DescribeRedactsEverythingButMetadata) {
   EXPECT_NE(line.find("execute_scan_us=1100"), std::string::npos);
   EXPECT_NE(line.find("execute_index_us=300"), std::string::npos);
   EXPECT_NE(line.find("path=index"), std::string::npos);
+  EXPECT_NE(line.find("match_evals=200000"), std::string::npos);
   EXPECT_NE(line.find("results=12"), std::string::npos);
 
   // ...and stays short for ops that planned nothing.
@@ -382,6 +384,7 @@ TEST(QueryTraceTest, DescribeRedactsEverythingButMetadata) {
   ping.op = "ping";
   ping.total_micros = 3;
   EXPECT_EQ(ping.Describe().find("execute_scan_us"), std::string::npos);
+  EXPECT_EQ(ping.Describe().find("match_evals"), std::string::npos);
 
   trace.Reset();
   EXPECT_EQ(trace.total_micros, 0u);

@@ -514,6 +514,7 @@ TEST(ExplainTest, PlanReportRoundTripsOnTheWire) {
   report.will_memoize = false;
   report.index_enabled = true;
   report.indexed_trapdoors = 3;
+  report.match_evals = 9876543210ull;  // exceeds uint32 to pin the width
   Bytes wire;
   report.AppendTo(&wire);
   ByteReader reader(wire);
@@ -528,6 +529,7 @@ TEST(ExplainTest, PlanReportRoundTripsOnTheWire) {
   EXPECT_FALSE(parsed->will_memoize);
   EXPECT_TRUE(parsed->index_enabled);
   EXPECT_EQ(parsed->indexed_trapdoors, 3u);
+  EXPECT_EQ(parsed->match_evals, 9876543210ull);
 }
 
 // ---------------- bounded observation mode ----------------

@@ -19,6 +19,7 @@
 #include "protocol/result_proof.h"
 #include "server/untrusted_server.h"
 #include "storage/wal.h"
+#include "swp/match_kernel.h"
 #include "swp/scheme.h"
 #include "swp/search.h"
 
@@ -789,6 +790,80 @@ TEST(LeakageReportFuzzTest, EveryTruncationOfAValidReportFailsClosed) {
     ByteReader reader(truncated);
     auto report = obs::leakage::LeakageReport::ReadFrom(&reader);
     EXPECT_FALSE(report.ok()) << "prefix of length " << cut << " parsed";
+  }
+}
+
+// ---------------- scan-kernel hostile-input fuzzing ----------------
+
+// The batched matcher consumes (arena, refs) pairs the storage layer
+// normally constructs — but a MatchMany caller handing it hostile refs
+// (offsets past the arena, lengths that wrap uint32 arithmetic, empty
+// arenas) must get non-matches, never an out-of-bounds read or a crash.
+// ASan/TSan CI runs this file, so a stray read trips the build.
+TEST(MatchKernelFuzzTest, HostileArenaRefsNeverCrashOrMatchOutOfBounds) {
+  crypto::HmacDrbg rng("fuzz-match-kernel", 17);
+  swp::SwpParams params;
+  params.word_length = 16;
+  params.check_length = 4;
+  swp::Trapdoor trapdoor;
+  trapdoor.target = rng.NextBytes(params.word_length);
+  trapdoor.key = rng.NextBytes(32);
+  swp::MatchContext context(params, trapdoor);
+
+  for (int round = 0; round < 200; ++round) {
+    const size_t arena_size = rng.NextBelow(96);
+    Bytes arena = rng.NextBytes(arena_size);
+    std::vector<swp::WordRef> refs;
+    const size_t num_refs = 1 + rng.NextBelow(64);
+    for (size_t i = 0; i < num_refs; ++i) {
+      swp::WordRef ref;
+      switch (rng.NextBelow(4)) {
+        case 0:  // fully hostile: arbitrary 32-bit offset and length
+          ref.offset = static_cast<uint32_t>(rng.NextBelow(0x100000000ull));
+          ref.length = static_cast<uint32_t>(rng.NextBelow(0x100000000ull));
+          break;
+        case 1:  // offset near uint32 max: offset+length wraps 32 bits
+          ref.offset = 0xffffffffu - static_cast<uint32_t>(rng.NextBelow(16));
+          ref.length = static_cast<uint32_t>(params.word_length);
+          break;
+        case 2:  // straddles the arena end by a few bytes
+          ref.offset = static_cast<uint32_t>(
+              arena_size > 0 ? arena_size - rng.NextBelow(arena_size) : 0);
+          ref.length = static_cast<uint32_t>(params.word_length);
+          break;
+        default:  // honest in-bounds ref (when the arena allows one)
+          if (arena_size >= params.word_length) {
+            ref.offset = static_cast<uint32_t>(
+                rng.NextBelow(arena_size - params.word_length + 1));
+            ref.length = static_cast<uint32_t>(params.word_length);
+          } else {
+            ref.offset = 0;
+            ref.length = static_cast<uint32_t>(arena_size);
+          }
+          break;
+      }
+      refs.push_back(ref);
+    }
+    std::vector<uint8_t> match_bits(refs.size(), 0xff);
+    context.MatchMany(std::span<const uint8_t>(arena.data(), arena.size()),
+                      std::span<const swp::WordRef>(refs.data(), refs.size()),
+                      match_bits.data());
+    for (size_t i = 0; i < refs.size(); ++i) {
+      const uint64_t end =
+          static_cast<uint64_t>(refs[i].offset) + refs[i].length;
+      const bool in_bounds = end <= arena.size() &&
+                             refs[i].length == trapdoor.target.size();
+      if (!in_bounds) {
+        // Out-of-bounds or wrong-length refs are hard non-matches.
+        EXPECT_EQ(match_bits[i], 0u) << "hostile ref " << i << " matched";
+      } else {
+        // In-bounds refs agree with the scalar matcher bit for bit.
+        Bytes word(arena.begin() + refs[i].offset,
+                   arena.begin() + refs[i].offset + refs[i].length);
+        EXPECT_EQ(match_bits[i],
+                  swp::MatchCipherWord(params, trapdoor, word) ? 1 : 0);
+      }
+    }
   }
 }
 
