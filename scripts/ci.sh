@@ -14,6 +14,10 @@
 #   DBPH_MATRIX=0     skip the scan-kernel build-matrix stage
 #   DBPH_MATRIX_ONLY=1  run only the scan-kernel build-matrix stage
 #   DBPH_DOCS_ONLY=1  run only the docs hygiene stage (builds dbph_serverd)
+#   DBPH_COVERAGE=1   run the gcov line-coverage stage (off by default;
+#                     gates src/crypto + src/protocol against
+#                     scripts/coverage_baseline.txt)
+#   DBPH_COVERAGE_ONLY=1  run only the coverage stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -114,16 +118,92 @@ run_asan_stage() {
   # through raw-pointer lane batches and the fuzz case feeds it hostile
   # out-of-bounds WordRefs — any missed bounds check is an ASan failure,
   # not a silent wrong answer.
+  # crypto_search_tree_test rides the integrity label: proof verifiers
+  # walk attacker-shaped neighbor lists. snapshot_seal_test is explicit:
+  # the seal-overflow fallback rebuilds chunks around a discarded arena,
+  # exactly where a stale ref would read out of bounds.
   cmake --build "$asan_dir" -j "$(nproc)" --target \
     planner_test sql_test differential_test storage_heapfile_test \
     integrity_test crypto_merkle_test protocol_fuzz_test \
+    crypto_search_tree_test snapshot_seal_test \
     swp_match_kernel_test crypto_hmac_test
   ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
     -L planner -j "$(nproc)"
   ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
     -L integrity -j "$(nproc)"
   ctest --test-dir "$asan_dir" --output-on-failure --no-tests=error \
-    -R 'storage_heapfile|swp_match_kernel|crypto_hmac' -j "$(nproc)"
+    -R 'storage_heapfile|swp_match_kernel|crypto_hmac|snapshot_seal' \
+    -j "$(nproc)"
+}
+
+# Line-coverage gate over the proof-bearing layers. A dedicated
+# --coverage -O0 build runs the crypto, protocol, and integrity suites,
+# then gcov aggregates executed/total lines per source directory. The
+# percentages for src/crypto and src/protocol must not fall below
+# scripts/coverage_baseline.txt — the code that decides whether a lying
+# server is caught does not get to lose test coverage silently.
+coverage_for_dir() {
+  local cov_dir="$1"
+  local src_dir="$2"
+  local obj_dir="CMakeFiles/dbph_core.dir/src/$src_dir"
+  (cd "$cov_dir" && gcov --no-output "$obj_dir"/*.cc.gcda 2>/dev/null || true) \
+    | awk -v want="src/$src_dir/" '
+        /^File / {
+          keep = index($0, want) > 0 && index($0, ".cc'\''") > 0
+        }
+        /^Lines executed:/ && keep {
+          line = $0
+          sub(/^Lines executed:/, "", line)
+          split(line, parts, "% of ")
+          executed += parts[1] * parts[2] / 100
+          total += parts[2]
+        }
+        END {
+          if (total > 0) printf "%.2f\n", 100 * executed / total
+          else print "0.00"
+        }'
+}
+
+run_coverage_stage() {
+  local cov_dir="${BUILD_DIR}-cov"
+  cmake -B "$cov_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="--coverage -O0 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+  cmake --build "$cov_dir" -j "$(nproc)" --target \
+    crypto_aes_test crypto_chacha20_test crypto_feistel_test \
+    crypto_hmac_test crypto_kat_test crypto_merkle_test \
+    crypto_random_test crypto_search_tree_test crypto_sha256_test \
+    protocol_fuzz_test integrity_test swp_scheme_test swp_property_test \
+    dbph_scheme_test dbph_document_test
+  # Stale counters from a previous run would inflate the numbers.
+  find "$cov_dir" -name '*.gcda' -delete
+  ctest --test-dir "$cov_dir" --output-on-failure --no-tests=error \
+    -R 'crypto_|protocol_fuzz|integrity|swp_scheme|swp_property|dbph_' \
+    -j "$(nproc)"
+
+  local failed=0
+  local src_dir pct floor
+  for src_dir in crypto protocol; do
+    pct="$(coverage_for_dir "$cov_dir" "$src_dir")"
+    floor="$(awk -v d="$src_dir" '$1 == d { print $2 }' \
+               scripts/coverage_baseline.txt)"
+    if [ -z "$floor" ]; then
+      echo "coverage: no baseline for src/$src_dir" >&2
+      failed=1
+      continue
+    fi
+    echo "coverage: src/$src_dir ${pct}% (baseline ${floor}%)"
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+      echo "coverage: src/$src_dir fell below the baseline" >&2
+      failed=1
+    fi
+  done
+  if [ "$failed" != "0" ]; then
+    echo "coverage stage FAILED" >&2
+    return 1
+  fi
+  echo "coverage stage OK"
 }
 
 run_matrix_stage() {
@@ -170,6 +250,10 @@ if [ "${DBPH_MATRIX_ONLY:-0}" = "1" ]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
     crypto_hmac_test swp_match_kernel_test
   run_matrix_stage
+  exit 0
+fi
+if [ "${DBPH_COVERAGE_ONLY:-0}" = "1" ]; then
+  run_coverage_stage
   exit 0
 fi
 if [ "${DBPH_DOCS_ONLY:-0}" = "1" ]; then
@@ -305,4 +389,7 @@ if [ "${DBPH_TSAN:-1}" != "0" ]; then
 fi
 if [ "${DBPH_ASAN:-1}" != "0" ]; then
   run_asan_stage
+fi
+if [ "${DBPH_COVERAGE:-0}" = "1" ]; then
+  run_coverage_stage
 fi

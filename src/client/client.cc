@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
+#include "protocol/completeness_proof.h"
 #include "protocol/messages.h"
 #include "swp/search.h"
 
@@ -64,6 +65,45 @@ Bytes Client::SignRoot(const std::string& relation, uint64_t epoch,
   return crypto::HmacSha256(key, message);
 }
 
+Bytes Client::SignSearchRoot(const std::string& relation, uint64_t epoch,
+                             const MerkleTree::Hash& root) const {
+  Bytes key = crypto::DeriveSubkey(master_key_, "integrity/" + relation);
+  Bytes message = ToBytes("dbph-search-root-v1");
+  AppendLengthPrefixed(&message, ToBytes(relation));
+  AppendUint64(&message, epoch);
+  message.insert(message.end(), root.begin(), root.end());
+  return crypto::HmacSha256(key, message);
+}
+
+Result<std::vector<crypto::SearchTree::Entry>> Client::BuildSearchEntries(
+    const core::DatabasePh& ph, const std::string& relation,
+    const std::vector<rel::Tuple>& tuples, uint64_t begin_position) const {
+  // Trapdoors are deterministic per (relation, attribute, value), so the
+  // digest computed here from plaintext equals the digest the server
+  // computes from a query's wire bytes — that equality is the entire
+  // bridge between "what was uploaded" and "what a select should hit".
+  std::map<crypto::SearchTree::Hash, std::vector<uint64_t>> postings;
+  const rel::Schema& schema = ph.schema();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      DBPH_ASSIGN_OR_RETURN(
+          core::EncryptedQuery query,
+          ph.EncryptQuery(relation, schema.attribute(a).name, tuples[i].at(a)));
+      Bytes trapdoor_bytes;
+      query.trapdoor.AppendTo(&trapdoor_bytes);
+      auto& list = postings[crypto::SearchTree::TagDigest(trapdoor_bytes)];
+      const uint64_t position = begin_position + i;
+      if (list.empty() || list.back() != position) list.push_back(position);
+    }
+  }
+  std::vector<crypto::SearchTree::Entry> entries;
+  entries.reserve(postings.size());
+  for (auto& [tag, positions] : postings) {
+    entries.push_back({tag, std::move(positions)});
+  }
+  return entries;
+}
+
 Status Client::AttestCurrentRoot(const std::string& relation) {
   auto it = integrity_.find(relation);
   if (it == integrity_.end()) return Status::OK();
@@ -76,6 +116,15 @@ Status Client::AttestCurrentRoot(const std::string& relation) {
   Bytes signature = SignRoot(relation, it->second.epoch, root);
   request.payload.insert(request.payload.end(), signature.begin(),
                          signature.end());
+  // Same deposit, second commitment: the search root rides along so the
+  // server can hand signed completeness evidence to adopted sessions.
+  MerkleTree::Hash search_root = it->second.search.Root();
+  request.payload.insert(request.payload.end(), search_root.begin(),
+                         search_root.end());
+  Bytes search_signature =
+      SignSearchRoot(relation, it->second.epoch, search_root);
+  request.payload.insert(request.payload.end(), search_signature.begin(),
+                         search_signature.end());
   auto response = Call(transport_, request, MessageType::kAttestOk);
   if (!response.ok()) {
     if (verify_mode_ == VerifyMode::kWarn) {
@@ -103,8 +152,41 @@ Status Client::VerifyResultTrailer(
     DBPH_ASSIGN_OR_RETURN(
         protocol::ResultProof proof,
         protocol::ResultProof::ReadFrom(reader, docs.size()));
+    // What follows the row proof depends on the path. A select carries a
+    // CompletenessProof (what this query SHOULD have returned); its
+    // absence is treated as tampering — stripping it must not downgrade
+    // a verified select to a returns-only one. A whole-relation fetch
+    // instead carries the search-structure dump (tags + posting lists)
+    // plus its owner signature, for bootstrap and cross-checking.
+    protocol::CompletenessProof completeness;
+    bool has_completeness = false;
+    std::vector<crypto::SearchTree::Entry> search_dump;
+    Bytes search_dump_signature;
+    bool has_search_dump = false;
+    if (trapdoor != nullptr) {
+      if (reader->AtEnd()) {
+        return Status::DataLoss(
+            "server attached no completeness proof to the select");
+      }
+      DBPH_ASSIGN_OR_RETURN(completeness,
+                            protocol::CompletenessProof::ReadFrom(
+                                reader, docs.size(), proof.leaf_count));
+      has_completeness = true;
+    } else if (require_complete && !reader->AtEnd()) {
+      DBPH_ASSIGN_OR_RETURN(search_dump, protocol::ReadSearchEntries(
+                                             reader, proof.leaf_count));
+      DBPH_ASSIGN_OR_RETURN(search_dump_signature,
+                            reader->ReadLengthPrefixed());
+      has_search_dump = true;
+    }
     if (!reader->AtEnd()) {
       return Status::DataLoss("trailing bytes after result proof");
+    }
+    crypto::SearchTree::Hash query_tag{};
+    if (trapdoor != nullptr) {
+      Bytes trapdoor_bytes;
+      trapdoor->AppendTo(&trapdoor_bytes);
+      query_tag = crypto::SearchTree::TagDigest(trapdoor_bytes);
     }
     if (proof.positions.size() != docs.size()) {
       return Status::DataLoss("proof does not cover every returned row");
@@ -149,6 +231,62 @@ Status Client::VerifyResultTrailer(
                              SignRoot(relation, proof.epoch, proof.root))) {
         return Status::DataLoss("root signature does not verify");
       }
+      if (has_completeness) {
+        // Anchored completeness: the proof must describe exactly our
+        // search mirror — committed entry, index, path and all. A lying
+        // server has no degree of freedom left.
+        const crypto::SearchTree& search = it->second.search;
+        if (completeness.epoch != it->second.epoch) {
+          return Status::DataLoss(
+              "completeness epoch mismatch (stale search state)");
+        }
+        if (completeness.tree_size != search.size() ||
+            completeness.search_root != search.Root()) {
+          return Status::DataLoss(
+              "search root mismatch (server search state diverged)");
+        }
+        const crypto::SearchTree::Entry* committed = search.Find(query_tag);
+        if (committed != nullptr) {
+          if (completeness.kind != protocol::kCompletenessMember) {
+            return Status::DataLoss("server denied a committed match set");
+          }
+          if (completeness.index != search.LowerBound(query_tag) ||
+              completeness.positions != committed->positions ||
+              completeness.path != search.MembershipPath(completeness.index)) {
+            return Status::DataLoss(
+                "completeness proof does not match the committed entry");
+          }
+        } else if (completeness.kind != protocol::kCompletenessAbsent ||
+                   completeness.neighbors !=
+                       search.NonMembershipProof(query_tag)) {
+          return Status::DataLoss(
+              "non-membership proof does not match the committed tree");
+        }
+        if (!completeness.root_signature.empty() &&
+            !ConstantTimeEqual(completeness.root_signature,
+                               SignSearchRoot(relation, completeness.epoch,
+                                              completeness.search_root))) {
+          return Status::DataLoss("search root signature does not verify");
+        }
+      }
+      if (has_search_dump) {
+        // Fetch path, anchored: the served dump must rebuild into the
+        // exact committed search tree (Assign re-validates sortedness
+        // and position bounds on the way).
+        crypto::SearchTree fetched;
+        DBPH_RETURN_IF_ERROR(
+            fetched.Assign(std::move(search_dump), proof.leaf_count));
+        if (fetched.Root() != it->second.search.Root()) {
+          return Status::DataLoss(
+              "search dump does not match the committed search tree");
+        }
+        if (!search_dump_signature.empty() &&
+            !ConstantTimeEqual(
+                search_dump_signature,
+                SignSearchRoot(relation, proof.epoch, fetched.Root()))) {
+          return Status::DataLoss("search root signature does not verify");
+        }
+      }
     } else {
       // Unanchored (adopted session): fall back to the owner-signed
       // root. Freshness is not checkable here — see SyncIntegrity.
@@ -172,6 +310,66 @@ Status Client::VerifyResultTrailer(
                                      leaves, proof.siblings));
       if (computed != proof.root) {
         return Status::DataLoss("subset proof does not fold to the root");
+      }
+      if (has_completeness) {
+        // Unanchored completeness: no mirror to compare against, so the
+        // owner-signed search root is mandatory and the proof must
+        // cryptographically verify against it. Same-epoch binding ties
+        // the search evidence to the row state it claims to describe.
+        if (completeness.root_signature.empty()) {
+          return Status::DataLoss(
+              "no local integrity state and no signed search root; run "
+              "SyncIntegrity() after Adopt()");
+        }
+        if (!ConstantTimeEqual(completeness.root_signature,
+                               SignSearchRoot(relation, completeness.epoch,
+                                              completeness.search_root))) {
+          return Status::DataLoss("search root signature does not verify");
+        }
+        if (completeness.epoch != proof.epoch) {
+          return Status::DataLoss(
+              "completeness epoch differs from the result proof epoch");
+        }
+        if (completeness.kind == protocol::kCompletenessMember) {
+          DBPH_RETURN_IF_ERROR(crypto::SearchTree::VerifyMember(
+              completeness.search_root, completeness.tree_size,
+              completeness.index, query_tag,
+              crypto::SearchTree::PostingDigest(completeness.positions),
+              completeness.path));
+        } else {
+          // A committed tag can never satisfy this: adjacency plus
+          // strict ordering leaves no gap for it to hide in.
+          DBPH_RETURN_IF_ERROR(crypto::SearchTree::VerifyNonMember(
+              completeness.search_root, completeness.tree_size, query_tag,
+              completeness.neighbors));
+        }
+      }
+      if (has_search_dump && !search_dump_signature.empty()) {
+        // Fetch path, unanchored: all we can check is that the dump is
+        // internally valid and owner-signed at this epoch.
+        crypto::SearchTree fetched;
+        DBPH_RETURN_IF_ERROR(
+            fetched.Assign(std::move(search_dump), proof.leaf_count));
+        if (!ConstantTimeEqual(
+                search_dump_signature,
+                SignSearchRoot(relation, proof.epoch, fetched.Root()))) {
+          return Status::DataLoss("search root signature does not verify");
+        }
+      }
+    }
+
+    if (has_completeness &&
+        completeness.kind == protocol::kCompletenessMember) {
+      // The completeness rule itself: every position the owner committed
+      // for this tag must be among the returned rows. Supersets are fine
+      // (SWP false positives also match); omissions are the lie this
+      // whole structure exists to catch.
+      for (uint64_t position : completeness.positions) {
+        if (!std::binary_search(proof.positions.begin(),
+                                proof.positions.end(), position)) {
+          return Status::DataLoss(
+              "returned rows do not cover the committed match set");
+        }
       }
     }
 
@@ -264,9 +462,28 @@ Status Client::ApplyDeleteManifest(const std::string& relation,
     if (!reader->AtEnd()) {
       return Status::DataLoss("trailing bytes after delete manifest");
     }
+    // Under-deletion check: the manifest must cover EVERY position the
+    // committed posting list names for this trapdoor — a server that
+    // quietly spares a row would otherwise shrink the commitment and
+    // hide the survivor from future selects. (Covering MORE is fine:
+    // SWP false positives legitimately match and get deleted.)
+    Bytes trapdoor_bytes;
+    trapdoor.AppendTo(&trapdoor_bytes);
+    if (const crypto::SearchTree::Entry* committed = it->second.search.Find(
+            crypto::SearchTree::TagDigest(trapdoor_bytes))) {
+      for (uint64_t position : committed->positions) {
+        if (!std::binary_search(positions.begin(), positions.end(),
+                                position)) {
+          return Status::DataLoss(
+              "delete manifest omits a committed match");
+        }
+      }
+    }
     // Mirror the verified removal; every delete is an epoch, matched
-    // rows or not — the same rule the server applies.
+    // rows or not — the same rule the server applies. The search mirror
+    // follows through the same deterministic transform the server runs.
     it->second.tree.RemoveSorted(positions);
+    it->second.search.ApplyDelete(positions);
     ++it->second.epoch;
     return Status::OK();
   }();
@@ -316,6 +533,18 @@ Status Client::SyncIntegrity(const std::string& relation,
   }
   DBPH_ASSIGN_OR_RETURN(protocol::ResultProof proof,
                         protocol::ResultProof::ReadFrom(&reader, count));
+  // After the row proof the fetch carries the search-structure dump
+  // (the committed tags with their full posting lists) plus its owner
+  // signature — the bootstrap source for the completeness mirror.
+  std::vector<crypto::SearchTree::Entry> search_entries;
+  Bytes search_signature;
+  bool has_search = false;
+  if (!reader.AtEnd()) {
+    DBPH_ASSIGN_OR_RETURN(search_entries,
+                          protocol::ReadSearchEntries(&reader, count));
+    DBPH_ASSIGN_OR_RETURN(search_signature, reader.ReadLengthPrefixed());
+    has_search = true;
+  }
   if (!reader.AtEnd()) {
     return Status::DataLoss("integrity: trailing bytes after proof");
   }
@@ -338,6 +567,24 @@ Status Client::SyncIntegrity(const std::string& relation,
                  SignRoot(relation, proof.epoch, proof.root))) {
     return Status::DataLoss("integrity: root signature does not verify");
   }
+  // The search dump gets the same treatment: rebuild (Assign re-checks
+  // sortedness and position bounds against a hostile source) and demand
+  // the owner's signature over its root under the search domain.
+  crypto::SearchTree search;
+  DBPH_RETURN_IF_ERROR(search.Assign(std::move(search_entries), count));
+  if (has_search) {
+    if (search_signature.empty()) {
+      if (require_signature) {
+        return Status::DataLoss(
+            "integrity: current search state carries no owner signature");
+      }
+    } else if (!ConstantTimeEqual(
+                   search_signature,
+                   SignSearchRoot(relation, proof.epoch, search.Root()))) {
+      return Status::DataLoss(
+          "integrity: search root signature does not verify");
+    }
+  }
   // Never trade a fresher witnessed anchor for an older (even signed)
   // state: that would convert a detectable rollback into an accepted
   // one. Re-syncing may only move the anchor forward.
@@ -355,9 +602,16 @@ Status Client::SyncIntegrity(const std::string& relation,
           "integrity: server state diverged from the witnessed anchor at "
           "the same epoch");
     }
+    if (has_search && proof.epoch == existing->second.epoch &&
+        search.Root() != existing->second.search.Root()) {
+      return Status::DataLoss(
+          "integrity: server search state diverged from the witnessed "
+          "anchor at the same epoch");
+    }
   }
   IntegrityState state;
   state.tree.Assign(std::move(leaves));
+  state.search = std::move(search);
   state.epoch = proof.epoch;
   integrity_[relation] = std::move(state);
   return Status::OK();
@@ -391,6 +645,16 @@ Status Client::Outsource(const rel::Relation& relation) {
   Envelope request;
   request.type = MessageType::kStoreRelation;
   enc.AppendTo(&request.payload);
+  std::vector<crypto::SearchTree::Entry> search_entries;
+  if (verify_mode_ != VerifyMode::kOff) {
+    // Only the owner can enumerate which trapdoors the plaintext
+    // contains — compute the (tag -> positions) map here and ship it
+    // with the upload so the server can serve completeness proofs.
+    DBPH_ASSIGN_OR_RETURN(
+        search_entries,
+        BuildSearchEntries(ph, relation.name(), relation.tuples(), 0));
+    protocol::AppendSearchEntries(search_entries, &request.payload);
+  }
   DBPH_ASSIGN_OR_RETURN(Envelope response,
                         Call(transport_, request, MessageType::kStoreOk));
   (void)response;
@@ -404,6 +668,8 @@ Status Client::Outsource(const rel::Relation& relation) {
       leaves.push_back(MerkleTree::LeafHash(SerializeDocument(doc)));
     }
     state.tree.Assign(std::move(leaves));
+    DBPH_RETURN_IF_ERROR(
+        state.search.Assign(std::move(search_entries), enc.documents.size()));
     state.epoch = 1;
     integrity_[relation.name()] = std::move(state);
     DBPH_RETURN_IF_ERROR(AttestCurrentRoot(relation.name()));
@@ -646,6 +912,16 @@ Status Client::Insert(const std::string& relation,
                                request.payload.size() - doc_begin));
     }
   }
+  // The search delta rides in the same request: the (tag -> positions)
+  // pairs these tuples contribute at the leaf positions they land on.
+  std::vector<crypto::SearchTree::Entry> search_delta;
+  uint64_t append_begin = 0;
+  if (track) {
+    append_begin = integrity_.at(relation).tree.size();
+    DBPH_ASSIGN_OR_RETURN(
+        search_delta, BuildSearchEntries(*ph, relation, tuples, append_begin));
+    protocol::AppendSearchEntries(search_delta, &request.payload);
+  }
   DBPH_ASSIGN_OR_RETURN(Envelope response,
                         Call(transport_, request, MessageType::kAppendOk));
   (void)response;
@@ -657,6 +933,8 @@ Status Client::Insert(const std::string& relation,
     // round trips), and the next attested mutation re-signs anyway.
     IntegrityState& state = integrity_.at(relation);
     for (const auto& leaf : new_leaves) state.tree.AppendLeaf(leaf);
+    DBPH_RETURN_IF_ERROR(state.search.ApplyAppendDelta(
+        search_delta, append_begin, append_begin + tuples.size()));
     ++state.epoch;
     if (verify_mode_ != VerifyMode::kOff) {
       DBPH_RETURN_IF_ERROR(AttestCurrentRoot(relation));

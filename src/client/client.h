@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "crypto/merkle.h"
 #include "crypto/random.h"
+#include "crypto/search_tree.h"
 #include "dbph/scheme.h"
 #include "obs/leakage/report.h"
 #include "obs/metrics.h"
@@ -206,6 +207,12 @@ class Client {
   struct IntegrityState {
     crypto::MerkleTree tree;
     uint64_t epoch = 0;
+    /// Mirror of the authenticated search structure: the sorted
+    /// (trapdoor tag -> posting list) commitment this client uploaded
+    /// (Outsource/Insert compute it from plaintext) or adopted from a
+    /// signed dump (SyncIntegrity). Select-path CompletenessProofs are
+    /// checked against this mirror's root and committed posting lists.
+    crypto::SearchTree search;
   };
 
   Result<std::vector<swp::EncryptedDocument>> RemoteSelect(
@@ -220,6 +227,21 @@ class Client {
   /// integrity key — what kAttestRoot deposits and proofs echo.
   Bytes SignRoot(const std::string& relation, uint64_t epoch,
                  const crypto::MerkleTree::Hash& root) const;
+
+  /// Same key, separate domain: the owner's blessing of the SEARCH root
+  /// (the sorted trapdoor-tag tree). Distinct domains keep a row-root
+  /// signature from ever vouching for a search root or vice versa.
+  Bytes SignSearchRoot(const std::string& relation, uint64_t epoch,
+                       const crypto::MerkleTree::Hash& root) const;
+
+  /// Enumerates the (trapdoor tag -> leaf positions) entries the given
+  /// tuples contribute when stored at positions [begin_position,
+  /// begin_position + tuples.size()): one deterministic trapdoor per
+  /// (attribute, value) of every tuple, digested and grouped. Only the
+  /// data owner can compute this — the server sees ciphertext.
+  Result<std::vector<crypto::SearchTree::Entry>> BuildSearchEntries(
+      const core::DatabasePh& ph, const std::string& relation,
+      const std::vector<rel::Tuple>& tuples, uint64_t begin_position) const;
 
   /// Deposits the signed current local root with the server. Respects
   /// the verify mode: Enforce propagates failures, Warn logs them.

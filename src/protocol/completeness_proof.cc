@@ -1,0 +1,192 @@
+#include "protocol/completeness_proof.h"
+
+#include "common/macros.h"
+
+namespace dbph {
+namespace protocol {
+
+namespace {
+
+using crypto::SearchTree;
+
+Result<SearchTree::Hash> ReadHash(ByteReader* reader) {
+  DBPH_ASSIGN_OR_RETURN(Bytes raw, reader->ReadRaw(32));
+  return crypto::MerkleTree::FromBytes(raw);
+}
+
+void AppendHash(Bytes* out, const SearchTree::Hash& hash) {
+  out->insert(out->end(), hash.begin(), hash.end());
+}
+
+/// A sibling path for a `tree_size`-leaf tree is at most ceil(log2 n)
+/// hashes; 64 is beyond any tree this protocol can address.
+constexpr uint32_t kMaxPathLength = 64;
+
+Result<std::vector<SearchTree::Hash>> ReadPath(ByteReader* reader) {
+  DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+  if (count > kMaxPathLength || count > reader->remaining() / 32) {
+    return Status::DataLoss("completeness proof: path length exceeds payload");
+  }
+  std::vector<SearchTree::Hash> path;
+  path.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DBPH_ASSIGN_OR_RETURN(SearchTree::Hash hash, ReadHash(reader));
+    path.push_back(hash);
+  }
+  return path;
+}
+
+void AppendPath(Bytes* out, const std::vector<SearchTree::Hash>& path) {
+  AppendUint32(out, static_cast<uint32_t>(path.size()));
+  for (const auto& hash : path) AppendHash(out, hash);
+}
+
+}  // namespace
+
+void CompletenessProof::AppendTo(Bytes* out) const {
+  out->push_back(kCompletenessProofVersion);
+  AppendUint64(out, epoch);
+  AppendUint64(out, tree_size);
+  AppendHash(out, search_root);
+  AppendLengthPrefixed(out, root_signature);
+  out->push_back(kind);
+  if (kind == kCompletenessMember) {
+    AppendUint64(out, index);
+    AppendUint32(out, static_cast<uint32_t>(positions.size()));
+    for (uint64_t position : positions) AppendUint64(out, position);
+    AppendPath(out, path);
+  } else {
+    out->push_back(static_cast<uint8_t>(neighbors.size()));
+    for (const auto& neighbor : neighbors) {
+      AppendUint64(out, neighbor.index);
+      AppendHash(out, neighbor.tag);
+      AppendHash(out, neighbor.posting_digest);
+      AppendPath(out, neighbor.path);
+    }
+  }
+}
+
+Result<CompletenessProof> CompletenessProof::ReadFrom(
+    ByteReader* reader, uint64_t max_positions, uint64_t position_limit) {
+  CompletenessProof proof;
+  DBPH_ASSIGN_OR_RETURN(Bytes version, reader->ReadRaw(1));
+  if (version[0] != kCompletenessProofVersion) {
+    return Status::DataLoss("completeness proof: unknown version");
+  }
+  DBPH_ASSIGN_OR_RETURN(proof.epoch, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(proof.tree_size, reader->ReadUint64());
+  DBPH_ASSIGN_OR_RETURN(proof.search_root, ReadHash(reader));
+  DBPH_ASSIGN_OR_RETURN(proof.root_signature, reader->ReadLengthPrefixed());
+  if (!proof.root_signature.empty() && proof.root_signature.size() != 32) {
+    return Status::DataLoss(
+        "completeness proof: signature must be empty or 32B");
+  }
+  DBPH_ASSIGN_OR_RETURN(Bytes kind, reader->ReadRaw(1));
+  proof.kind = kind[0];
+  if (proof.kind == kCompletenessMember) {
+    DBPH_ASSIGN_OR_RETURN(proof.index, reader->ReadUint64());
+    if (proof.index >= proof.tree_size) {
+      return Status::DataLoss("completeness proof: index beyond tree");
+    }
+    DBPH_ASSIGN_OR_RETURN(uint32_t count, reader->ReadUint32());
+    // The committed posting list is attacker-controlled: an honest one
+    // is a subset of the returned rows, so bound it by the result size
+    // AND by what the remaining bytes physically encode.
+    if (count == 0) {
+      return Status::DataLoss("completeness proof: empty posting list");
+    }
+    if (count > max_positions || count > reader->remaining() / 8) {
+      return Status::DataLoss(
+          "completeness proof: posting count exceeds result");
+    }
+    proof.positions.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      DBPH_ASSIGN_OR_RETURN(uint64_t position, reader->ReadUint64());
+      if (position >= position_limit ||
+          (!proof.positions.empty() && position <= proof.positions.back())) {
+        return Status::DataLoss(
+            "completeness proof: positions not increasing");
+      }
+      proof.positions.push_back(position);
+    }
+    DBPH_ASSIGN_OR_RETURN(proof.path, ReadPath(reader));
+  } else if (proof.kind == kCompletenessAbsent) {
+    DBPH_ASSIGN_OR_RETURN(Bytes count, reader->ReadRaw(1));
+    if (count[0] > 2) {
+      return Status::DataLoss("completeness proof: neighbor count beyond 2");
+    }
+    proof.neighbors.reserve(count[0]);
+    for (uint8_t i = 0; i < count[0]; ++i) {
+      SearchTree::Neighbor neighbor;
+      DBPH_ASSIGN_OR_RETURN(neighbor.index, reader->ReadUint64());
+      if (neighbor.index >= proof.tree_size) {
+        return Status::DataLoss(
+            "completeness proof: neighbor index beyond tree");
+      }
+      DBPH_ASSIGN_OR_RETURN(neighbor.tag, ReadHash(reader));
+      DBPH_ASSIGN_OR_RETURN(neighbor.posting_digest, ReadHash(reader));
+      DBPH_ASSIGN_OR_RETURN(neighbor.path, ReadPath(reader));
+      proof.neighbors.push_back(std::move(neighbor));
+    }
+  } else {
+    return Status::DataLoss("completeness proof: unknown kind");
+  }
+  return proof;
+}
+
+void AppendSearchEntries(const std::vector<SearchTree::Entry>& entries,
+                         Bytes* out) {
+  out->push_back(kSearchSectionVersion);
+  AppendUint32(out, static_cast<uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    AppendHash(out, entry.tag);
+    AppendUint32(out, static_cast<uint32_t>(entry.positions.size()));
+    for (uint64_t position : entry.positions) AppendUint64(out, position);
+  }
+}
+
+Result<std::vector<SearchTree::Entry>> ReadSearchEntries(
+    ByteReader* reader, uint64_t position_limit) {
+  DBPH_ASSIGN_OR_RETURN(Bytes version, reader->ReadRaw(1));
+  if (version[0] != kSearchSectionVersion) {
+    return Status::DataLoss("search section: unknown version");
+  }
+  DBPH_ASSIGN_OR_RETURN(uint32_t entry_count, reader->ReadUint32());
+  // Smallest possible entry: 32B tag + 4B count (+ at least one 8B
+  // position, but 36 already bounds the reserve safely).
+  if (entry_count > reader->remaining() / 36) {
+    return Status::DataLoss("search section: entry count exceeds payload");
+  }
+  std::vector<SearchTree::Entry> entries;
+  entries.reserve(entry_count);
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    SearchTree::Entry entry;
+    DBPH_ASSIGN_OR_RETURN(entry.tag, ReadHash(reader));
+    if (!entries.empty() && !(entries.back().tag < entry.tag)) {
+      return Status::DataLoss("search section: tags not strictly increasing");
+    }
+    DBPH_ASSIGN_OR_RETURN(uint32_t position_count, reader->ReadUint32());
+    if (position_count == 0) {
+      return Status::DataLoss("search section: empty posting list");
+    }
+    if (position_count > reader->remaining() / 8) {
+      return Status::DataLoss(
+          "search section: position count exceeds payload");
+    }
+    entry.positions.reserve(position_count);
+    for (uint32_t j = 0; j < position_count; ++j) {
+      DBPH_ASSIGN_OR_RETURN(uint64_t position, reader->ReadUint64());
+      if (position >= position_limit ||
+          (!entry.positions.empty() && position <= entry.positions.back())) {
+        return Status::DataLoss(
+            "search section: positions not increasing in range");
+      }
+      entry.positions.push_back(position);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace protocol
+}  // namespace dbph

@@ -1,0 +1,91 @@
+#ifndef DBPH_PROTOCOL_COMPLETENESS_PROOF_H_
+#define DBPH_PROTOCOL_COMPLETENESS_PROOF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/search_tree.h"
+
+namespace dbph {
+namespace protocol {
+
+/// \brief The completeness evidence attached to a select response after
+/// the ResultProof: what the relation's authenticated search structure
+/// (crypto::SearchTree — the Merkle tree over sorted trapdoor tags)
+/// committed for the queried tag.
+///
+/// Two shapes:
+///  - kCompletenessMember: the tag is committed; `index`, `positions`
+///    (the committed posting list — row-tree leaf positions) and `path`
+///    prove its entry against `search_root`. The verifier demands the
+///    committed positions be a subset of the positions the ResultProof
+///    returned (a superset is legal: SWP false positives match rows the
+///    owner never indexed; a missing committed position is the
+///    under-reporting attack this proof exists to catch).
+///  - kCompletenessAbsent: the tag is not committed; `neighbors` carry
+///    the sorted-adjacency non-membership proof. An absent tag with a
+///    non-empty result is legal (false positives again); a committed tag
+///    answered with an empty result is always a lie — SWP has no false
+///    negatives.
+///
+/// `epoch` must equal the ResultProof's epoch (one mutation counter
+/// drives both trees); `root_signature` is the owner's HMAC over
+/// (relation, epoch, search_root) under the "dbph-search-root-v1"
+/// domain — deposited via kAttestRoot alongside the row-root signature,
+/// empty until the owner attests the current epoch.
+struct CompletenessProof {
+  uint64_t epoch = 0;
+  uint64_t tree_size = 0;
+  crypto::SearchTree::Hash search_root{};
+  Bytes root_signature;  ///< empty = current epoch not attested
+  uint8_t kind = 0;      ///< kCompletenessAbsent / kCompletenessMember
+
+  // kCompletenessMember:
+  uint64_t index = 0;
+  std::vector<uint64_t> positions;  ///< committed posting list
+  std::vector<crypto::SearchTree::Hash> path;
+
+  // kCompletenessAbsent:
+  std::vector<crypto::SearchTree::Neighbor> neighbors;
+
+  void AppendTo(Bytes* out) const;
+
+  /// Parses fail-closed with every allocation bounded by what the
+  /// payload physically holds: the committed posting list may not
+  /// exceed `max_positions` (callers pass the returned document count —
+  /// committed ⊆ returned on any honest response), positions must be
+  /// strictly increasing and < `position_limit` (the row-tree leaf
+  /// count from the ResultProof parsed just before), path/neighbor
+  /// counts are bounded by reader->remaining().
+  static Result<CompletenessProof> ReadFrom(ByteReader* reader,
+                                            uint64_t max_positions,
+                                            uint64_t position_limit);
+};
+
+/// Serialization constants shared with the fuzz suite.
+inline constexpr uint8_t kCompletenessProofVersion = 1;
+inline constexpr uint8_t kCompletenessAbsent = 0;
+inline constexpr uint8_t kCompletenessMember = 1;
+inline constexpr uint8_t kSearchSectionVersion = 1;
+
+/// The search-entry section: the owner-computed (tag → posting list)
+/// map in sorted tag order. Rides as optional trailing payload on
+/// kStoreRelation (the whole structure), kAppendTuples (the delta for
+/// the appended rows), kFetchResult (the bootstrap dump SyncIntegrity
+/// consumes) and in SerializeState v3 images.
+void AppendSearchEntries(const std::vector<crypto::SearchTree::Entry>& entries,
+                         Bytes* out);
+
+/// Fail-closed parse: entry/position counts bounded by the remaining
+/// payload, tags strictly increasing, positions strictly increasing and
+/// < `position_limit` (pass the relation's document count when known,
+/// ~0ull when the range is validated downstream, as append deltas are).
+Result<std::vector<crypto::SearchTree::Entry>> ReadSearchEntries(
+    ByteReader* reader, uint64_t position_limit);
+
+}  // namespace protocol
+}  // namespace dbph
+
+#endif  // DBPH_PROTOCOL_COMPLETENESS_PROOF_H_

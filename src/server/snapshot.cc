@@ -8,6 +8,16 @@
 namespace dbph {
 namespace server {
 
+namespace {
+/// See SetArenaCapForTesting. Plain (non-atomic) because tests set it
+/// on one thread before building snapshots; production never writes it.
+uint64_t g_arena_cap = 0xffffffffull;
+}  // namespace
+
+void SnapshotChunk::SetArenaCapForTesting(uint64_t cap) {
+  g_arena_cap = cap;
+}
+
 void SnapshotChunk::Seal() {
   pos_in_chunk.clear();
   pos_in_chunk.reserve(docs.size());
@@ -36,8 +46,7 @@ void SnapshotChunk::Seal() {
     }
     for (const swp::WordRef& ref : doc_refs) {
       const uint64_t at = word_arena.size();
-      if (at + ref.length > 0xffffffffull ||
-          word_refs.size() >= 0xffffffffull) {
+      if (at + ref.length > g_arena_cap || word_refs.size() >= g_arena_cap) {
         // Offsets would overflow the 32-bit refs; scans of this chunk
         // fall back to the per-document scalar path.
         arena_built = false;

@@ -11,6 +11,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "crypto/merkle.h"
+#include "crypto/search_tree.h"
 #include "server/planner/trapdoor_index.h"
 #include "server/runtime/thread_pool.h"
 #include "swp/match_kernel.h"
@@ -78,6 +79,12 @@ struct SnapshotChunk {
   bool arena_built = false;
 
   void Seal();
+
+  /// The arena size/ref-count ceiling Seal() enforces (normally the
+  /// uint32 offset limit). Tests lower it to force the scalar-fallback
+  /// branch without materializing 4 GiB of ciphertext; production code
+  /// never calls this. Restore the default (0xffffffff) afterwards.
+  static void SetArenaCapForTesting(uint64_t cap);
 };
 
 /// One document matched by a snapshot select, in storage order: the
@@ -115,6 +122,15 @@ class RelationSnapshot {
   uint64_t epoch = 0;
   uint64_t attested_epoch = 0;
   Bytes root_signature;
+  /// Frozen authenticated search structure (null when integrity is
+  /// off): the proof source for CompletenessProofs, pinned with the
+  /// documents and the row tree so a reader's completeness evidence
+  /// always describes the exact state its results came from.
+  std::shared_ptr<const crypto::SearchTree> search;
+  /// The owner's signature over (relation, attested_epoch, search
+  /// root); empty until attested, stale once epoch moves past
+  /// attested_epoch (same rule as root_signature).
+  Bytes search_signature;
   /// Server-wide generation stamp of the relation's DOCUMENT state
   /// (bumps on store/append/delete-with-matches, not on index or
   /// attestation changes). Lets a reader's deferred scan-memoization

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "protocol/completeness_proof.h"
 #include "storage/wal.h"
 #include "swp/search.h"
 
@@ -371,6 +372,8 @@ UntrustedServer::BuildRelationSnapshotLocked(
     rel->epoch = stored.epoch;
     rel->attested_epoch = stored.attested_epoch;
     rel->root_signature = stored.root_signature;
+    rel->search = std::make_shared<const crypto::SearchTree>(stored.search);
+    rel->search_signature = stored.search_signature;
   }
   rel->doc_generation = stored.doc_generation;
   rel->word_slots = stored.word_slots;
@@ -420,6 +423,9 @@ void UntrustedServer::PublishDirtyLocked() {
         fresh->epoch = stored.epoch;
         fresh->attested_epoch = stored.attested_epoch;
         fresh->root_signature = stored.root_signature;
+        fresh->search =
+            std::make_shared<const crypto::SearchTree>(stored.search);
+        fresh->search_signature = stored.search_signature;
       }
       fresh->doc_generation = stored.doc_generation;
       fresh->word_slots = stored.word_slots;
@@ -472,13 +478,21 @@ Status UntrustedServer::StoreRelation(const core::EncryptedRelation& relation) {
 }
 
 Status UntrustedServer::StoreRelationLocked(
-    const core::EncryptedRelation& relation) {
+    const core::EncryptedRelation& relation,
+    const std::vector<crypto::SearchTree::Entry>* search_entries) {
   if (relations_.count(relation.name) > 0) {
     return Status::AlreadyExists("relation '" + relation.name +
                                  "' already stored");
   }
   StoredRelation stored;
   stored.check_length = relation.check_length;
+  if (runtime_options_.enable_integrity && search_entries != nullptr) {
+    // Validate (and adopt) the owner's search structure BEFORE any
+    // document reaches the heap: a malformed section rejects the whole
+    // store with nothing half-applied.
+    DBPH_RETURN_IF_ERROR(
+        stored.search.Assign(*search_entries, relation.documents.size()));
+  }
   stored.index.set_max_trapdoors(runtime_options_.max_indexed_trapdoors);
   stored.index.set_max_append_evals(runtime_options_.max_index_append_evals);
   stored.records.reserve(relation.documents.size());
@@ -554,10 +568,11 @@ Status UntrustedServer::AttestRoot(const std::string& name, uint64_t epoch,
   return status;
 }
 
-Status UntrustedServer::AttestRootLocked(const std::string& name,
-                                         uint64_t epoch,
-                                         const crypto::MerkleTree::Hash& root,
-                                         const Bytes& signature) {
+Status UntrustedServer::AttestRootLocked(
+    const std::string& name, uint64_t epoch,
+    const crypto::MerkleTree::Hash& root, const Bytes& signature,
+    const crypto::MerkleTree::Hash* search_root,
+    const Bytes* search_signature) {
   if (!runtime_options_.enable_integrity) {
     return Status::FailedPrecondition("integrity disabled on this server");
   }
@@ -574,6 +589,21 @@ Status UntrustedServer::AttestRootLocked(const std::string& name,
   if (epoch != it->second.epoch || root != it->second.tree.Root()) {
     return Status::FailedPrecondition(
         "attestation does not match the server's current (epoch, root)");
+  }
+  if (search_root != nullptr) {
+    if (search_signature == nullptr || search_signature->size() != 32) {
+      return Status::InvalidArgument(
+          "search attestation signature must be 32 bytes");
+    }
+    if (*search_root != it->second.search.Root()) {
+      return Status::FailedPrecondition(
+          "attestation does not match the server's current search root");
+    }
+    it->second.search_signature = *search_signature;
+  } else {
+    // An old-style attestation blesses only the row tree; a previously
+    // deposited search signature would then be over a stale state.
+    it->second.search_signature.clear();
   }
   it->second.attested_epoch = epoch;
   it->second.root_signature = signature;
@@ -601,6 +631,29 @@ protocol::ResultProof BuildProofFromParts(const crypto::MerkleTree& tree,
   }
   proof.siblings = tree.SubsetProof(positions);
   proof.positions = std::move(positions);
+  return proof;
+}
+
+/// The completeness twin of BuildProofFromParts: both access paths build
+/// the CompletenessProof for a queried tag from the same frozen parts,
+/// so the two are byte-identical at equal state by construction.
+protocol::CompletenessProof BuildCompletenessFromParts(
+    const crypto::SearchTree& search, uint64_t epoch, uint64_t attested_epoch,
+    const Bytes& search_signature, const crypto::MerkleTree::Hash& tag) {
+  protocol::CompletenessProof proof;
+  proof.epoch = epoch;
+  proof.tree_size = search.size();
+  proof.search_root = search.Root();
+  if (attested_epoch == epoch) proof.root_signature = search_signature;
+  if (const crypto::SearchTree::Entry* entry = search.Find(tag)) {
+    proof.kind = protocol::kCompletenessMember;
+    proof.index = search.LowerBound(tag);
+    proof.positions = entry->positions;
+    proof.path = search.MembershipPath(proof.index);
+  } else {
+    proof.kind = protocol::kCompletenessAbsent;
+    proof.neighbors = search.NonMembershipProof(tag);
+  }
   return proof;
 }
 
@@ -729,6 +782,11 @@ UntrustedServer::SelectBatchInternal(
     QueryObservation observation;
     observation.relation = queries[i].relation;
     queries[i].trapdoor.AppendTo(&observation.trapdoor_bytes);
+    if (integrity) {
+      results[i].tag =
+          crypto::SearchTree::TagDigest(observation.trapdoor_bytes);
+      results[i].has_tag = true;
+    }
     std::vector<swp::EncryptedDocument> docs;
     docs.reserve(outcomes[i].matches.size());
     for (runtime::ShardMatch& match : outcomes[i].matches) {
@@ -884,6 +942,10 @@ UntrustedServer::SnapshotSelectBatch(
     QueryObservation observation;
     observation.relation = queries[i].relation;
     observation.trapdoor_bytes = st.trapdoor_bytes;
+    if (st.rel->tree != nullptr) {
+      results[i].tag = crypto::SearchTree::TagDigest(st.trapdoor_bytes);
+      results[i].has_tag = true;
+    }
     std::vector<swp::EncryptedDocument> docs;
     docs.reserve(st.matches.size());
     for (SnapshotMatch& match : st.matches) {
@@ -973,13 +1035,21 @@ Status UntrustedServer::AppendTuples(
 
 Status UntrustedServer::AppendTuplesLocked(
     const std::string& name,
-    const std::vector<swp::EncryptedDocument>& documents) {
+    const std::vector<swp::EncryptedDocument>& documents,
+    const std::vector<crypto::SearchTree::Entry>* search_delta) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound("relation '" + name + "' not stored");
   }
   size_t bytes = 0;
   const bool integrity = runtime_options_.enable_integrity;
+  if (integrity && search_delta != nullptr) {
+    // All-or-nothing, BEFORE any document reaches the heap: a malformed
+    // delta rejects the append with both trees untouched.
+    const uint64_t begin = it->second.records.size();
+    DBPH_RETURN_IF_ERROR(it->second.search.ApplyAppendDelta(
+        *search_delta, begin, begin + documents.size()));
+  }
   std::vector<std::pair<uint64_t, const swp::EncryptedDocument*>> added;
   added.reserve(documents.size());
   for (const auto& doc : documents) {
@@ -1092,6 +1162,9 @@ Result<size_t> UntrustedServer::DeleteWhereInternal(
   }
   if (integrity) {
     it->second.tree.RemoveSorted(removed_positions);
+    // Both sides apply the identical transform from the (verified)
+    // manifest positions, so the search roots stay in lockstep.
+    it->second.search.ApplyDelete(removed_positions);
     ++it->second.epoch;
     if (removed > 0) {
       // Surviving leaves shifted left; rebuild the rid → position map.
@@ -1159,7 +1232,7 @@ UntrustedServer::FetchRelationLocked(const std::string& name) const {
 Result<Bytes> UntrustedServer::SerializeState() const {
   Bytes out;
   AppendUint32(&out, 0x44425048);  // "DBPH" magic
-  AppendUint32(&out, 2);           // format version
+  AppendUint32(&out, 3);           // format version
   AppendUint32(&out, static_cast<uint32_t>(relations_.size()));
   for (const auto& [name, stored] : relations_) {
     core::EncryptedRelation relation;
@@ -1174,6 +1247,12 @@ Result<Bytes> UntrustedServer::SerializeState() const {
     AppendUint64(&out, stored.epoch);
     AppendUint64(&out, stored.attested_epoch);
     AppendLengthPrefixed(&out, stored.root_signature);
+    // v3: the search structure and its signature. Unlike the row tree,
+    // the search entries are NOT derivable from the ciphertext Eve
+    // holds (only the owner can enumerate tags), so they round-trip
+    // explicitly.
+    protocol::AppendSearchEntries(stored.search.entries(), &out);
+    AppendLengthPrefixed(&out, stored.search_signature);
   }
   return out;
 }
@@ -1203,7 +1282,7 @@ Status UntrustedServer::RestoreStateLocked(const Bytes& data) {
   DBPH_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadUint32());
   if (magic != 0x44425048) return Status::DataLoss("bad magic");
   DBPH_ASSIGN_OR_RETURN(uint32_t version, reader.ReadUint32());
-  if (version != 1 && version != 2) {
+  if (version != 1 && version != 2 && version != 3) {
     return Status::DataLoss("unsupported format version");
   }
   DBPH_ASSIGN_OR_RETURN(uint32_t count, reader.ReadUint32());
@@ -1215,6 +1294,8 @@ Status UntrustedServer::RestoreStateLocked(const Bytes& data) {
     uint64_t epoch = 0;
     uint64_t attested_epoch = 0;
     Bytes root_signature;
+    std::vector<crypto::SearchTree::Entry> search_entries;
+    Bytes search_signature;
   };
   std::vector<LoadedRelation> loaded;
   loaded.reserve(count);
@@ -1232,6 +1313,21 @@ Status UntrustedServer::RestoreStateLocked(const Bytes& data) {
         return Status::DataLoss("bad root signature length");
       }
     }
+    if (version >= 3) {
+      DBPH_ASSIGN_OR_RETURN(
+          entry.search_entries,
+          protocol::ReadSearchEntries(&reader,
+                                      entry.relation.documents.size()));
+      DBPH_ASSIGN_OR_RETURN(entry.search_signature,
+                            reader.ReadLengthPrefixed());
+      if (!entry.search_signature.empty() &&
+          entry.search_signature.size() != 32) {
+        return Status::DataLoss("bad search signature length");
+      }
+    }
+    // v1/v2 images carry no search section: the relation loads with an
+    // empty (vacuously consistent) search tree; WAL replay of later
+    // store/append envelopes restores whatever deltas followed the image.
     loaded.push_back(std::move(entry));
   }
   if (!reader.AtEnd()) return Status::DataLoss("trailing bytes");
@@ -1244,7 +1340,9 @@ Status UntrustedServer::RestoreStateLocked(const Bytes& data) {
     log_.Clear();
   }
   for (const auto& entry : loaded) {
-    DBPH_RETURN_IF_ERROR(StoreRelationLocked(entry.relation));
+    DBPH_RETURN_IF_ERROR(StoreRelationLocked(
+        entry.relation,
+        entry.search_entries.empty() ? nullptr : &entry.search_entries));
     if (runtime_options_.enable_integrity && entry.epoch != 0) {
       // The tree was rebuilt from ciphertext by StoreRelationLocked (its
       // root is deterministic); the mutation counter and the owner's
@@ -1253,6 +1351,7 @@ Status UntrustedServer::RestoreStateLocked(const Bytes& data) {
       stored.epoch = entry.epoch;
       stored.attested_epoch = entry.attested_epoch;
       stored.root_signature = entry.root_signature;
+      stored.search_signature = entry.search_signature;
     }
   }
   {
@@ -1264,17 +1363,23 @@ Status UntrustedServer::RestoreStateLocked(const Bytes& data) {
 
 namespace {
 
-/// kSelectResult payload: count | documents | [ResultProof]. The proof is
-/// optional trailing data — pre-integrity clients stop after the
-/// documents; verifying clients parse it from the remainder.
+/// kSelectResult payload: count | documents | [ResultProof
+/// [CompletenessProof]]. The proofs are optional trailing data —
+/// pre-integrity clients stop after the documents; verifying clients
+/// parse them from the remainder (the completeness proof rides only
+/// after a row proof, never alone).
 protocol::Envelope MakeSelectResultEnvelope(
     const std::vector<swp::EncryptedDocument>& docs,
-    const protocol::ResultProof* proof) {
+    const protocol::ResultProof* proof,
+    const protocol::CompletenessProof* completeness) {
   protocol::Envelope response;
   response.type = protocol::MessageType::kSelectResult;
   AppendUint32(&response.payload, static_cast<uint32_t>(docs.size()));
   for (const auto& doc : docs) doc.AppendTo(&response.payload);
   if (proof != nullptr) proof->AppendTo(&response.payload);
+  if (proof != nullptr && completeness != nullptr) {
+    completeness->AppendTo(&response.payload);
+  }
   return response;
 }
 
@@ -1291,15 +1396,23 @@ protocol::Envelope UntrustedServer::MakeSelectResponse(
     if (timed) start = Stopwatch::Clock::now();
     protocol::ResultProof proof =
         BuildProof(*outcome->stored, std::move(outcome->positions));
+    protocol::CompletenessProof completeness;
+    if (outcome->has_tag) {
+      completeness = BuildCompletenessFromParts(
+          outcome->stored->search, outcome->stored->epoch,
+          outcome->stored->attested_epoch, outcome->stored->search_signature,
+          outcome->tag);
+    }
     if (timed) {
       uint64_t micros = MicrosBetween(start, Stopwatch::Clock::now());
       trace_.proof_micros += micros;
       cur_.flags |= PendingRequestStat::kBuiltProof;
       cur_.proof_micros += SaturateU32(micros);
     }
-    return MakeSelectResultEnvelope(*outcome->docs, &proof);
+    return MakeSelectResultEnvelope(*outcome->docs, &proof,
+                                    outcome->has_tag ? &completeness : nullptr);
   }
-  return MakeSelectResultEnvelope(*outcome->docs, nullptr);
+  return MakeSelectResultEnvelope(*outcome->docs, nullptr, nullptr);
 }
 
 protocol::Envelope UntrustedServer::MakeSnapshotSelectResponse(
@@ -1317,15 +1430,25 @@ protocol::Envelope UntrustedServer::MakeSnapshotSelectResponse(
     protocol::ResultProof proof = BuildProofFromParts(
         *outcome->rel->tree, outcome->rel->epoch, outcome->rel->attested_epoch,
         outcome->rel->root_signature, std::move(outcome->positions));
+    protocol::CompletenessProof completeness;
+    const bool has_completeness =
+        outcome->has_tag && outcome->rel->search != nullptr;
+    if (has_completeness) {
+      completeness = BuildCompletenessFromParts(
+          *outcome->rel->search, outcome->rel->epoch,
+          outcome->rel->attested_epoch, outcome->rel->search_signature,
+          outcome->tag);
+    }
     if (timed) {
       uint64_t micros = MicrosBetween(start, Stopwatch::Clock::now());
       scratch->trace.proof_micros += micros;
       scratch->cur.flags |= PendingRequestStat::kBuiltProof;
       scratch->cur.proof_micros += SaturateU32(micros);
     }
-    return MakeSelectResultEnvelope(*outcome->docs, &proof);
+    return MakeSelectResultEnvelope(*outcome->docs, &proof,
+                                    has_completeness ? &completeness : nullptr);
   }
-  return MakeSelectResultEnvelope(*outcome->docs, nullptr);
+  return MakeSelectResultEnvelope(*outcome->docs, nullptr, nullptr);
 }
 
 protocol::Envelope UntrustedServer::DispatchBatch(
@@ -1391,10 +1514,25 @@ protocol::Envelope UntrustedServer::Dispatch(
       ByteReader reader(request.payload);
       auto relation = core::EncryptedRelation::ReadFrom(&reader);
       if (!relation.ok()) return protocol::MakeErrorEnvelope(relation.status());
+      // Optional trailing search-entry section (integrity-tracking
+      // clients): the owner's (tag → positions) commitment for the
+      // stored rows. Non-integrity servers keep ignoring trailing bytes.
+      std::vector<crypto::SearchTree::Entry> search_entries;
+      bool has_search = false;
+      if (runtime_options_.enable_integrity && !reader.AtEnd()) {
+        auto entries =
+            protocol::ReadSearchEntries(&reader, relation->documents.size());
+        if (!entries.ok()) {
+          return protocol::MakeErrorEnvelope(entries.status());
+        }
+        search_entries = std::move(*entries);
+        has_search = true;
+      }
       if (Status wal = LogMutation(request); !wal.ok()) {
         return protocol::MakeErrorEnvelope(wal);
       }
-      Status status = StoreRelationLocked(*relation);
+      Status status = StoreRelationLocked(
+          *relation, has_search ? &search_entries : nullptr);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
       ok.type = MessageType::kStoreOk;
@@ -1512,10 +1650,23 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (!documents.ok()) {
         return protocol::MakeErrorEnvelope(documents.status());
       }
+      // Optional trailing delta section: the appended rows' (tag →
+      // positions) contributions. The position range is validated by
+      // ApplyAppendDelta against the live leaf count, so the parse-time
+      // limit is only the wire-format one.
+      std::vector<crypto::SearchTree::Entry> search_delta;
+      bool has_delta = false;
+      if (runtime_options_.enable_integrity && !reader.AtEnd()) {
+        auto delta = protocol::ReadSearchEntries(&reader, ~0ull);
+        if (!delta.ok()) return protocol::MakeErrorEnvelope(delta.status());
+        search_delta = std::move(*delta);
+        has_delta = true;
+      }
       if (Status wal = LogMutation(request); !wal.ok()) {
         return protocol::MakeErrorEnvelope(wal);
       }
-      Status status = AppendTuplesLocked(ToString(*name), *documents);
+      Status status = AppendTuplesLocked(ToString(*name), *documents,
+                                         has_delta ? &search_delta : nullptr);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
       ok.type = MessageType::kAppendOk;
@@ -1568,6 +1719,15 @@ protocol::Envelope UntrustedServer::Dispatch(
           protocol::ResultProof proof =
               BuildProof(it->second, std::move(all));
           proof.AppendTo(&response.payload);
+          // Search-structure dump: the bootstrap source SyncIntegrity
+          // rebuilds its mirror from, with the owner's signature when
+          // the current epoch is attested.
+          protocol::AppendSearchEntries(it->second.search.entries(),
+                                        &response.payload);
+          AppendLengthPrefixed(&response.payload,
+                               it->second.attested_epoch == it->second.epoch
+                                   ? it->second.search_signature
+                                   : Bytes{});
         }
       }
       return response;
@@ -1588,6 +1748,24 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (!signature.ok()) {
         return protocol::MakeErrorEnvelope(signature.status());
       }
+      // Optional search-tree extension: (search_root 32B | search_sig
+      // 32B). Old-style attestations stop after the row signature.
+      crypto::MerkleTree::Hash search_root{};
+      Bytes search_sig;
+      bool has_search = false;
+      if (!reader.AtEnd()) {
+        auto sr_bytes = reader.ReadRaw(32);
+        if (!sr_bytes.ok()) {
+          return protocol::MakeErrorEnvelope(sr_bytes.status());
+        }
+        auto sr = crypto::MerkleTree::FromBytes(*sr_bytes);
+        if (!sr.ok()) return protocol::MakeErrorEnvelope(sr.status());
+        auto ss = reader.ReadRaw(32);
+        if (!ss.ok()) return protocol::MakeErrorEnvelope(ss.status());
+        search_root = *sr;
+        search_sig = *ss;
+        has_search = true;
+      }
       if (!reader.AtEnd()) {
         return protocol::MakeErrorEnvelope(
             Status::DataLoss("trailing bytes after attestation"));
@@ -1597,8 +1775,10 @@ protocol::Envelope UntrustedServer::Dispatch(
       if (Status wal = LogMutation(request); !wal.ok()) {
         return protocol::MakeErrorEnvelope(wal);
       }
-      Status status =
-          AttestRootLocked(ToString(*name), *epoch, *root, *signature);
+      Status status = AttestRootLocked(
+          ToString(*name), *epoch, *root, *signature,
+          has_search ? &search_root : nullptr,
+          has_search ? &search_sig : nullptr);
       if (!status.ok()) return protocol::MakeErrorEnvelope(status);
       Envelope ok;
       ok.type = MessageType::kAttestOk;
@@ -1691,6 +1871,14 @@ protocol::Envelope UntrustedServer::DispatchRead(
             BuildProofFromParts(*rel.tree, rel.epoch, rel.attested_epoch,
                                 rel.root_signature, std::move(all));
         proof.AppendTo(&response.payload);
+        if (rel.search != nullptr) {
+          protocol::AppendSearchEntries(rel.search->entries(),
+                                        &response.payload);
+          AppendLengthPrefixed(&response.payload,
+                               rel.attested_epoch == rel.epoch
+                                   ? rel.search_signature
+                                   : Bytes{});
+        }
       }
       return response;
     }

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "crypto/merkle.h"
+#include "crypto/search_tree.h"
 #include "obs/leakage/auditor.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
@@ -372,6 +373,19 @@ class UntrustedServer {
     /// not bless the current one).
     uint64_t attested_epoch = 0;
     Bytes root_signature;
+    /// The authenticated search structure: a Merkle tree over sorted
+    /// (trapdoor-tag digest → posting-list digest) entries, the
+    /// owner-computed commitment to what each query SHOULD return.
+    /// Populated from the search-entry section the integrity-tracking
+    /// client appends to kStoreRelation / kAppendTuples payloads;
+    /// empty (vacuously consistent) when the client sent none.
+    /// Maintained under the dispatch lock in lockstep with `tree` —
+    /// the two share `epoch`.
+    crypto::SearchTree search;
+    /// The owner's HMAC over (name, attested_epoch, search root) under
+    /// the "dbph-search-root-v1" domain; deposited by the extended
+    /// kAttestRoot alongside root_signature, same staleness rule.
+    Bytes search_signature;
     /// rid.Pack() → leaf index, so the proof builder maps planner
     /// matches (which carry record ids) to tree positions in O(1)
     /// instead of scanning `records` per select.
@@ -402,6 +416,10 @@ class UntrustedServer {
     Result<std::vector<swp::EncryptedDocument>> docs;
     std::vector<uint64_t> positions;
     const StoredRelation* stored = nullptr;
+    /// The queried trapdoor's search-tree tag (set when integrity is
+    /// on), so the response builder can attach a CompletenessProof.
+    crypto::MerkleTree::Hash tag{};
+    bool has_tag = false;
 
     SelectOutcome() : docs(Status::OK()) {}
   };
@@ -413,6 +431,9 @@ class UntrustedServer {
     Result<std::vector<swp::EncryptedDocument>> docs;
     std::vector<uint64_t> positions;
     const RelationSnapshot* rel = nullptr;
+    /// See SelectOutcome::tag.
+    crypto::MerkleTree::Hash tag{};
+    bool has_tag = false;
 
     SnapshotSelectOutcome() : docs(Status::OK()) {}
   };
@@ -476,14 +497,29 @@ class UntrustedServer {
 
   // Locked bodies of the typed mutators (caller holds dispatch_mutex_);
   // the public wrappers lock, delegate, and publish.
-  Status StoreRelationLocked(const core::EncryptedRelation& relation);
+  /// `search_entries` (optional) is the owner-computed search-entry
+  /// section riding on the store payload — the relation's full
+  /// (tag → positions) map; null/absent leaves the search tree empty.
+  Status StoreRelationLocked(
+      const core::EncryptedRelation& relation,
+      const std::vector<crypto::SearchTree::Entry>* search_entries = nullptr);
   Status DropRelationLocked(const std::string& name);
+  /// `search_delta` (optional) holds the appended rows' (tag →
+  /// positions) contributions; applied all-or-nothing BEFORE the
+  /// documents are inserted, so a malformed delta rejects the whole
+  /// append instead of leaving the trees torn.
   Status AppendTuplesLocked(
       const std::string& name,
-      const std::vector<swp::EncryptedDocument>& documents);
+      const std::vector<swp::EncryptedDocument>& documents,
+      const std::vector<crypto::SearchTree::Entry>* search_delta = nullptr);
+  /// `search_root`/`search_signature` (optional, both or neither) extend
+  /// the attestation to the search tree; an old-style attestation
+  /// without them clears any previously deposited search signature.
   Status AttestRootLocked(const std::string& name, uint64_t epoch,
                           const crypto::MerkleTree::Hash& root,
-                          const Bytes& signature);
+                          const Bytes& signature,
+                          const crypto::MerkleTree::Hash* search_root = nullptr,
+                          const Bytes* search_signature = nullptr);
   Status RestoreStateLocked(const Bytes& data);
   /// Reads a relation's documents straight from the heap (used by
   /// SerializeState, which runs caller-locked and must not detour

@@ -97,6 +97,23 @@ void ExpectFullDomainMatch(client::Client* client,
   }
 }
 
+/// Zero-result probes: values outside the workload's generator domain,
+/// so they have never existed in the table. Under VerifyMode::kEnforce
+/// these exercise the non-membership side of the completeness proof —
+/// the server must PROVE the empty result, not merely assert it — on
+/// the scan path (first call) and the index/memo path (repeat) alike.
+void ExpectVerifiedAbsence(client::Client* client,
+                           baseline::PlainEngine* oracle,
+                           const std::string& context) {
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    std::string tag = context + " repeat=" + std::to_string(repeat);
+    ExpectSameSelect(client, oracle, "name", Value::Str("zelda"),
+                     tag + " absent-name");
+    ExpectSameSelect(client, oracle, "grp", Value::Int(999),
+                     tag + " absent-grp");
+  }
+}
+
 std::string FreshDir(const std::string& name) {
   std::string dir = ::testing::TempDir() + "/" + name;
   std::filesystem::remove_all(dir);
@@ -424,15 +441,25 @@ TEST(DifferentialTest, IntegrityEnforcedWorkloadStaysVerifiable) {
         &client_rng);
     client.set_verify_mode(client::VerifyMode::kEnforce);
     ASSERT_TRUE(client.Outsource(seed_table).ok());
+    ExpectVerifiedAbsence(&client, &*oracle, "integrity seed");
+    if (::testing::Test::HasFatalFailure()) return;
 
     for (size_t step = 0; step < 60; ++step) {
       RunStep(&workload_rng, &client, &*oracle, step);
       if (::testing::Test::HasFatalFailure()) return;
+      if (step % 20 == 19) {
+        // Mid-workload absent probes: the non-membership proof must keep
+        // verifying as appends and deletes churn the committed tag tree.
+        ExpectVerifiedAbsence(&client, &*oracle,
+                              "integrity step " + std::to_string(step));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
       if (workload_rng.NextBelow(10) == 0) {
         ASSERT_TRUE(store.Checkpoint().ok()) << "step " << step;
       }
     }
     ExpectFullDomainMatch(&client, &*oracle, "integrity pre-crash");
+    ExpectVerifiedAbsence(&client, &*oracle, "integrity pre-crash");
     if (::testing::Test::HasFatalFailure()) return;
   }  // kill -9: live WAL abandoned
 
@@ -454,6 +481,10 @@ TEST(DifferentialTest, IntegrityEnforcedWorkloadStaysVerifiable) {
   Status synced = reattached.SyncIntegrity("T", /*require_signature=*/true);
   ASSERT_TRUE(synced.ok()) << synced;
   ExpectFullDomainMatch(&reattached, &*oracle, "integrity post-crash");
+  // The recovered search tree must still prove absences to the fresh
+  // session (the WAL round trip rebuilt the exact committed tag tree).
+  ExpectVerifiedAbsence(&reattached, &*oracle, "integrity post-crash");
+  if (::testing::Test::HasFatalFailure()) return;
 
   // And the reattached session keeps mutating verifiably — insert and
   // delete both run their proof/manifest checks under Enforce.
@@ -466,6 +497,7 @@ TEST(DifferentialTest, IntegrityEnforcedWorkloadStaysVerifiable) {
   ASSERT_TRUE(oracle_removed.ok());
   EXPECT_EQ(*removed, *oracle_removed);
   ExpectFullDomainMatch(&reattached, &*oracle, "integrity final");
+  ExpectVerifiedAbsence(&reattached, &*oracle, "integrity final");
 }
 
 TEST(DifferentialTest, CrashRecoveryServesExactlyTheOracleState) {

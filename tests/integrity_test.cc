@@ -18,8 +18,14 @@
 #include <vector>
 
 #include "client/client.h"
+#include "common/macros.h"
+#include "crypto/merkle.h"
 #include "crypto/random.h"
+#include "crypto/search_tree.h"
+#include "dbph/encrypted_relation.h"
+#include "protocol/completeness_proof.h"
 #include "protocol/messages.h"
+#include "protocol/result_proof.h"
 #include "server/durable_store.h"
 #include "server/untrusted_server.h"
 #include "swp/search.h"
@@ -43,8 +49,8 @@ Schema TableSchema() {
   return *schema;
 }
 
-Relation SeedTable() {
-  Relation table("T", TableSchema());
+Relation SeedTable(const std::string& name = "T") {
+  Relation table(name, TableSchema());
   const char* names[] = {"ada", "bob", "carol", "dave", "eve", "frank"};
   for (size_t i = 0; i < 6; ++i) {
     EXPECT_TRUE(
@@ -58,10 +64,12 @@ Relation SeedTable() {
 struct TamperProxy {
   server::UntrustedServer* server = nullptr;
   std::function<Bytes(const Bytes&)> tamper;  // null = honest relay
+  std::vector<Bytes> recorded_requests;
   std::vector<Bytes> recorded_responses;
   bool record = false;
 
   Bytes operator()(const Bytes& request) {
+    if (record) recorded_requests.push_back(request);
     Bytes response = server->HandleRequest(request);
     if (record) recorded_responses.push_back(response);
     if (tamper) return tamper(response);
@@ -392,6 +400,378 @@ TEST(IntegrityTest, IntegrityOffServerFailsEnforceButPassesOff) {
   EXPECT_TRUE(plain.Select("T", "grp", Value::Int(1)).ok());
 }
 
+// ---------------- completeness tamper matrix ----------------
+//
+// The adversary below is strictly stronger than the row-splicing MITM
+// above: it plays a dishonest SERVER that mirrors every stored
+// ciphertext and the row tree over them, so it can rebuild a fully
+// valid row proof (root, positions, siblings, even the owner signature
+// — it covers the unchanged root) for ANY subset of genuine rows. The
+// row-proof layer alone cannot catch it; the committed posting lists of
+// the search tree are what give each lie away.
+
+/// A kSelectResult payload split at its structure boundaries: rows, row
+/// proof, and the raw CompletenessProof bytes that follow.
+struct ParsedSelect {
+  std::vector<swp::EncryptedDocument> docs;
+  protocol::ResultProof proof;
+  Bytes completeness;
+};
+
+Result<ParsedSelect> ParseSelectResponse(const Bytes& wire) {
+  ParsedSelect out;
+  DBPH_ASSIGN_OR_RETURN(Envelope envelope, Envelope::Parse(wire));
+  if (envelope.type != MessageType::kSelectResult) {
+    return Status::InvalidArgument("not a select result");
+  }
+  ByteReader reader(envelope.payload);
+  DBPH_ASSIGN_OR_RETURN(out.docs, swp::ReadDocumentList(&reader));
+  DBPH_ASSIGN_OR_RETURN(
+      out.proof, protocol::ResultProof::ReadFrom(&reader, out.docs.size()));
+  out.completeness = Bytes(envelope.payload.end() - reader.remaining(),
+                           envelope.payload.end());
+  return out;
+}
+
+Bytes AssembleSelectResponse(const ParsedSelect& parts) {
+  Envelope envelope;
+  envelope.type = MessageType::kSelectResult;
+  AppendUint32(&envelope.payload, static_cast<uint32_t>(parts.docs.size()));
+  for (const auto& doc : parts.docs) doc.AppendTo(&envelope.payload);
+  parts.proof.AppendTo(&envelope.payload);
+  envelope.payload.insert(envelope.payload.end(), parts.completeness.begin(),
+                          parts.completeness.end());
+  return envelope.Serialize();
+}
+
+/// Everything a dishonest server holds for one relation: the stored
+/// ciphertexts and the row tree over them, rebuilt from the recorded
+/// kStoreRelation request the proxy relayed.
+struct RelationMirror {
+  crypto::MerkleTree tree;
+  std::vector<swp::EncryptedDocument> docs;
+};
+
+RelationMirror MirrorFromStoreRequest(const Bytes& request) {
+  RelationMirror mirror;
+  auto envelope = Envelope::Parse(request);
+  EXPECT_TRUE(envelope.ok());
+  EXPECT_EQ(envelope->type, MessageType::kStoreRelation);
+  ByteReader reader(envelope->payload);
+  auto enc = core::EncryptedRelation::ReadFrom(&reader);
+  EXPECT_TRUE(enc.ok());
+  std::vector<crypto::MerkleTree::Hash> leaves;
+  leaves.reserve(enc->documents.size());
+  for (const auto& doc : enc->documents) {
+    Bytes serialized;
+    doc.AppendTo(&serialized);
+    leaves.push_back(crypto::MerkleTree::LeafHash(serialized));
+  }
+  mirror.tree.Assign(std::move(leaves));
+  mirror.docs = std::move(enc->documents);
+  return mirror;
+}
+
+TEST(CompletenessTest, UnderReportedMatchSetIsRejected) {
+  Deployment d(client::VerifyMode::kEnforce);
+  d.proxy.record = true;
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  d.proxy.record = false;
+  RelationMirror mirror =
+      MirrorFromStoreRequest(d.proxy.recorded_requests.front());
+
+  // Drop one of the two genuine grp=1 matches and re-prove the
+  // survivor. Every row check passes; the committed posting list (still
+  // claiming two positions against a one-row result) cannot even parse.
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.size() < 2) return wire;
+    parts->docs.pop_back();
+    parts->proof.positions.pop_back();
+    parts->proof.siblings = mirror.tree.SubsetProof(parts->proof.positions);
+    return AssembleSelectResponse(*parts);
+  };
+  auto scan_path = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_FALSE(scan_path.ok()) << "under-report accepted on the scan path";
+  EXPECT_NE(scan_path.status().message().find("integrity"),
+            std::string::npos);
+
+  // Let an honest select memoize the posting list, then under-report on
+  // the index path too — the proof is access-path independent, so the
+  // same lie must fail the same way.
+  d.proxy.tamper = nullptr;
+  ASSERT_TRUE(d.client.Select("T", "grp", Value::Int(1)).ok());
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.size() < 2) return wire;
+    parts->docs.pop_back();
+    parts->proof.positions.pop_back();
+    parts->proof.siblings = mirror.tree.SubsetProof(parts->proof.positions);
+    return AssembleSelectResponse(*parts);
+  };
+  EXPECT_FALSE(d.client.Select("T", "grp", Value::Int(1)).ok())
+      << "under-report accepted on the index path";
+}
+
+TEST(CompletenessTest, SubstitutedMatchIsRejectedBySubsetRule) {
+  Deployment d(client::VerifyMode::kEnforce);
+  d.proxy.record = true;
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  d.proxy.record = false;
+  RelationMirror mirror =
+      MirrorFromStoreRequest(d.proxy.recorded_requests.front());
+
+  // Swap the second grp=1 match (eve, position 4) for a genuine row that
+  // does NOT match (frank, position 5), row proof rebuilt for {1, 5}.
+  // The result size is right and every returned row is a real leaf at
+  // its claimed position — only "committed ⊆ returned" catches the
+  // missing committed position 4.
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.size() != 2 || mirror.docs.size() < 6) {
+      return wire;
+    }
+    parts->docs.back() = mirror.docs[5];
+    parts->proof.positions.back() = 5;
+    parts->proof.siblings = mirror.tree.SubsetProof(parts->proof.positions);
+    return AssembleSelectResponse(*parts);
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("committed match set"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(CompletenessTest, EmptyResultLieIsRejected) {
+  Deployment d(client::VerifyMode::kEnforce);
+  d.proxy.record = true;
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  d.proxy.record = false;
+  RelationMirror mirror =
+      MirrorFromStoreRequest(d.proxy.recorded_requests.front());
+
+  // Lie #1: "no rows matched", served with a perfectly valid EMPTY row
+  // proof and the genuine completeness proof. The committed posting
+  // list claims more positions than the empty result can carry, so the
+  // proof fails closed at parse time.
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.empty()) return wire;
+    parts->docs.clear();
+    parts->proof.positions.clear();
+    parts->proof.siblings = mirror.tree.SubsetProof({});
+    return AssembleSelectResponse(*parts);
+  };
+  EXPECT_FALSE(d.client.Select("T", "grp", Value::Int(1)).ok());
+
+  // Lie #2: same empty result, but with the completeness proof forged
+  // into a non-membership shape ("this tag was never committed"). The
+  // anchored client knows its own committed entry for the tag.
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.empty()) return wire;
+    ByteReader creader(parts->completeness);
+    auto completeness = protocol::CompletenessProof::ReadFrom(
+        &creader, parts->docs.size(), parts->proof.leaf_count);
+    if (!completeness.ok()) return wire;
+    completeness->kind = protocol::kCompletenessAbsent;
+    completeness->positions.clear();
+    completeness->path.clear();
+    completeness->neighbors.clear();
+    parts->completeness.clear();
+    completeness->AppendTo(&parts->completeness);
+    parts->docs.clear();
+    parts->proof.positions.clear();
+    parts->proof.siblings = mirror.tree.SubsetProof({});
+    return AssembleSelectResponse(*parts);
+  };
+  auto denied = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_FALSE(denied.ok());
+  EXPECT_NE(denied.status().message().find("denied a committed match set"),
+            std::string::npos)
+      << denied.status();
+
+  d.proxy.tamper = nullptr;
+  EXPECT_TRUE(d.client.Select("T", "grp", Value::Int(1)).ok());
+}
+
+TEST(CompletenessTest, CrossRelationCompletenessSpliceIsRejected) {
+  // Two relations with identical plaintext still commit DIFFERENT
+  // search trees (trapdoors are per-relation), so serving U's genuine
+  // completeness proof for T's select must fail on the search root.
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable("T")).ok());
+  ASSERT_TRUE(d.client.Outsource(SeedTable("U")).ok());
+
+  d.proxy.record = true;
+  ASSERT_TRUE(d.client.Select("U", "grp", Value::Int(1)).ok());
+  d.proxy.record = false;
+  auto u_parts = ParseSelectResponse(d.proxy.recorded_responses.back());
+  ASSERT_TRUE(u_parts.ok());
+
+  Bytes spliced = u_parts->completeness;
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.empty()) return wire;
+    parts->completeness = spliced;
+    return AssembleSelectResponse(*parts);
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("search root mismatch"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(CompletenessTest, StaleCompletenessReplayIsRejected) {
+  // Record the genuine completeness proof at epoch 1, mutate to epoch 2,
+  // then serve fresh rows + fresh row proof with the STALE search
+  // evidence — hiding the newly inserted match behind an old commitment.
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  d.proxy.record = true;
+  ASSERT_TRUE(d.client.Select("T", "grp", Value::Int(1)).ok());
+  d.proxy.record = false;
+  auto stale_parts = ParseSelectResponse(d.proxy.recorded_responses.back());
+  ASSERT_TRUE(stale_parts.ok());
+
+  ASSERT_TRUE(
+      d.client.Insert("T", {{Value::Str("gina"), Value::Int(1)}}).ok());
+
+  Bytes stale = stale_parts->completeness;
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.empty()) return wire;
+    parts->completeness = stale;
+    return AssembleSelectResponse(*parts);
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("epoch mismatch"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(CompletenessTest, StrippedCompletenessProofIsRejected) {
+  // Deleting the completeness proof must not downgrade a verified
+  // select into a returns-only one — absence is itself tampering.
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  d.proxy.tamper = [](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok()) return wire;
+    parts->completeness.clear();
+    return AssembleSelectResponse(*parts);
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("no completeness proof"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(CompletenessTest, ForgedNonMembershipIsRejected) {
+  // An honest zero-result select carries a real non-membership proof;
+  // mutating its bracketing neighbors (here: dropping one) must fail
+  // against the client's own committed tree.
+  Deployment d(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+
+  // Honest zero-result path first: a value never present in T.
+  auto honest = d.client.Select("T", "name", Value::Str("zelda"));
+  ASSERT_TRUE(honest.ok()) << honest.status();
+  EXPECT_EQ(honest->size(), 0u);
+
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok()) return wire;
+    ByteReader creader(parts->completeness);
+    auto completeness = protocol::CompletenessProof::ReadFrom(
+        &creader, /*max_positions=*/6, parts->proof.leaf_count);
+    if (!completeness.ok() ||
+        completeness->kind != protocol::kCompletenessAbsent ||
+        completeness->neighbors.empty()) {
+      return wire;
+    }
+    completeness->neighbors.pop_back();
+    parts->completeness.clear();
+    completeness->AppendTo(&parts->completeness);
+    return AssembleSelectResponse(*parts);
+  };
+  auto result = d.client.Select("T", "name", Value::Str("zelda"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("non-membership"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(CompletenessTest, UnanchoredClientVerifiesAgainstSignedSearchRoot) {
+  // An adopted session with NO local mirror leans entirely on the
+  // owner-signed search root: honest member and non-member proofs
+  // verify, and the empty-result lie still dies — a committed tag can
+  // satisfy no non-membership proof against the signed root.
+  Deployment owner(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(owner.client.Outsource(SeedTable()).ok());
+
+  TamperProxy proxy;
+  proxy.server = &owner.server;
+  crypto::HmacDrbg rng("completeness-unanchored", 11);
+  client::Client adopted(
+      ToBytes("integrity master"),
+      [&proxy](const Bytes& request) { return proxy(request); }, &rng);
+  adopted.set_verify_mode(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(adopted.Adopt("T", TableSchema()).ok());
+
+  auto member = adopted.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(member.ok()) << member.status();
+  EXPECT_EQ(member->size(), 2u);
+  auto absent = adopted.Select("T", "name", Value::Str("zelda"));
+  ASSERT_TRUE(absent.ok()) << absent.status();
+  EXPECT_EQ(absent->size(), 0u);
+
+  proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.empty()) return wire;
+    ByteReader creader(parts->completeness);
+    auto completeness = protocol::CompletenessProof::ReadFrom(
+        &creader, parts->docs.size(), parts->proof.leaf_count);
+    if (!completeness.ok()) return wire;
+    completeness->kind = protocol::kCompletenessAbsent;
+    completeness->positions.clear();
+    completeness->path.clear();
+    completeness->neighbors.clear();
+    parts->completeness.clear();
+    completeness->AppendTo(&parts->completeness);
+    parts->docs.clear();
+    parts->proof.positions.clear();
+    parts->proof.siblings = {parts->proof.root};
+    return AssembleSelectResponse(*parts);
+  };
+  EXPECT_FALSE(adopted.Select("T", "grp", Value::Int(1)).ok());
+}
+
+TEST(CompletenessTest, WarnModeSurfacesTheLieButReturnsData) {
+  Deployment d(client::VerifyMode::kWarn);
+  d.proxy.record = true;
+  ASSERT_TRUE(d.client.Outsource(SeedTable()).ok());
+  d.proxy.record = false;
+  RelationMirror mirror =
+      MirrorFromStoreRequest(d.proxy.recorded_requests.front());
+
+  d.proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.empty()) return wire;
+    parts->docs.clear();
+    parts->proof.positions.clear();
+    parts->proof.siblings = mirror.tree.SubsetProof({});
+    return AssembleSelectResponse(*parts);
+  };
+  auto result = d.client.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(result.ok()) << "warn mode must not fail the operation";
+  EXPECT_EQ(result->size(), 0u);  // the lie, surfaced via the log
+}
+
 TEST(IntegrityTest, VerificationSurvivesCrashRecovery) {
   std::string dir = ::testing::TempDir() + "/integrity_crash";
   std::filesystem::remove_all(dir);
@@ -424,9 +804,14 @@ TEST(IntegrityTest, VerificationSurvivesCrashRecovery) {
   current = restarted.get();
 
   // The same client (its mirror intact) keeps enforcing: recovery must
-  // have rebuilt the identical tree, epoch, and attested root.
+  // have rebuilt the identical tree, epoch, and attested root — and the
+  // identical SEARCH tree, exercised by both a matching select and a
+  // zero-result one (whose non-membership proof also must verify).
   auto verified = client.Select("T", "grp", Value::Int(1));
   ASSERT_TRUE(verified.ok()) << verified.status();
+  auto zero = client.Select("T", "name", Value::Str("zelda"));
+  ASSERT_TRUE(zero.ok()) << zero.status();
+  EXPECT_EQ(zero->size(), 0u);
 
   // A brand-new session — no history — anchors from the recovered
   // signed root (round-tripped through snapshot + WAL replay) and then
@@ -447,6 +832,7 @@ TEST(IntegrityTest, VerificationSurvivesCrashRecovery) {
   EXPECT_EQ(anchor_old->first, anchor_new->first) << "epoch diverged";
   EXPECT_EQ(anchor_old->second, anchor_new->second) << "root diverged";
   EXPECT_TRUE(fresh.Select("T", "grp", Value::Int(2)).ok());
+  EXPECT_TRUE(fresh.Select("T", "name", Value::Str("zelda")).ok());
   std::filesystem::remove_all(dir);
 }
 

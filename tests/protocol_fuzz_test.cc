@@ -13,8 +13,10 @@
 #include "client/client.h"
 #include "crypto/merkle.h"
 #include "crypto/random.h"
+#include "crypto/search_tree.h"
 #include "dbph/encrypted_relation.h"
 #include "net/frame.h"
+#include "protocol/completeness_proof.h"
 #include "protocol/messages.h"
 #include "protocol/result_proof.h"
 #include "server/untrusted_server.h"
@@ -506,9 +508,19 @@ TEST(WalFuzzTest, EveryPrefixOfAValidLogYieldsOnlyWholeRecords) {
 
 namespace {
 
-/// A small valid proof to mutate: built by the real server for a real
-/// select, then re-parsed from the response tail.
-Bytes CaptureValidProofBytes(size_t* docs_out) {
+/// The trailer a real integrity server attached to a real select, split
+/// at the structure boundary: the row ResultProof bytes and the
+/// CompletenessProof bytes that follow them, plus the context needed to
+/// re-parse each.
+struct CapturedSelectTail {
+  size_t docs = 0;
+  uint64_t leaf_count = 0;
+  Bytes proof;
+  Bytes completeness;
+};
+
+CapturedSelectTail CaptureValidSelectTail() {
+  CapturedSelectTail tail;
   server::UntrustedServer server;  // integrity on by default
   crypto::HmacDrbg rng("fuzz-proof", 21);
   client::Client client(
@@ -520,6 +532,7 @@ Bytes CaptureValidProofBytes(size_t* docs_out) {
   for (int i = 0; i < 8; ++i) {
     (void)table.Insert({Value::Str("w" + std::to_string(i % 3))});
   }
+  client.set_verify_mode(client::VerifyMode::kEnforce);
   (void)client.Outsource(table);
   // Capture the raw response of a select that matches several rows.
   Bytes response;
@@ -537,9 +550,23 @@ Bytes CaptureValidProofBytes(size_t* docs_out) {
   ByteReader reader(envelope->payload);
   auto docs = swp::ReadDocumentList(&reader);
   EXPECT_TRUE(docs.ok());
-  *docs_out = docs->size();
-  return Bytes(envelope->payload.end() - reader.remaining(),
-               envelope->payload.end());
+  tail.docs = docs->size();
+  const size_t proof_begin = envelope->payload.size() - reader.remaining();
+  auto proof = protocol::ResultProof::ReadFrom(&reader, docs->size());
+  EXPECT_TRUE(proof.ok());
+  tail.leaf_count = proof->leaf_count;
+  const size_t proof_end = envelope->payload.size() - reader.remaining();
+  tail.proof = Bytes(envelope->payload.begin() + proof_begin,
+                     envelope->payload.begin() + proof_end);
+  tail.completeness =
+      Bytes(envelope->payload.begin() + proof_end, envelope->payload.end());
+  return tail;
+}
+
+Bytes CaptureValidProofBytes(size_t* docs_out) {
+  CapturedSelectTail tail = CaptureValidSelectTail();
+  *docs_out = tail.docs;
+  return tail.proof;
 }
 
 }  // namespace
@@ -661,6 +688,160 @@ TEST(ProofFuzzTest, HostileCountsCannotForceOverAllocation) {
   AppendUint32(&sibling_bomb, 0xffffffffu);  // hostile sibling count
   ByteReader bomb_reader(sibling_bomb);
   EXPECT_FALSE(protocol::ResultProof::ReadFrom(&bomb_reader, 16).ok());
+}
+
+// ---------------- completeness-proof fuzzing ----------------
+
+TEST(CompletenessFuzzTest, RandomBytesNeverParseAsCompletenessProofs) {
+  crypto::HmacDrbg rng("fuzz-completeness-random", 41);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage = rng.NextBytes(rng.NextBelow(200));
+    ByteReader reader(garbage);
+    auto proof =
+        protocol::CompletenessProof::ReadFrom(&reader, 16, /*limit=*/1024);
+    // Must never crash, loop, or allocate past the payload.
+    if (proof.ok()) {
+      EXPECT_LE(proof->positions.size(), 16u);
+      EXPECT_LE(proof->path.size(), 64u);
+      EXPECT_LE(proof->neighbors.size(), 2u);
+    }
+  }
+}
+
+TEST(CompletenessFuzzTest, EveryTruncationOfAValidProofFailsClosed) {
+  CapturedSelectTail tail = CaptureValidSelectTail();
+  ASSERT_GT(tail.docs, 0u);
+  ASSERT_FALSE(tail.completeness.empty());
+  {
+    ByteReader reader(tail.completeness);
+    ASSERT_TRUE(protocol::CompletenessProof::ReadFrom(&reader, tail.docs,
+                                                      tail.leaf_count)
+                    .ok());
+    ASSERT_TRUE(reader.AtEnd());
+  }
+  // The structure is self-delimiting (every variable part is counted),
+  // so no strict prefix can parse: the reader runs dry mid-structure.
+  for (size_t cut = 0; cut < tail.completeness.size(); ++cut) {
+    Bytes truncated(tail.completeness.begin(),
+                    tail.completeness.begin() + static_cast<long>(cut));
+    ByteReader reader(truncated);
+    auto proof = protocol::CompletenessProof::ReadFrom(&reader, tail.docs,
+                                                       tail.leaf_count);
+    EXPECT_FALSE(proof.ok()) << "prefix of length " << cut << " parsed";
+  }
+}
+
+TEST(CompletenessFuzzTest, BitflippedProofsNeverVerify) {
+  // Flip every byte of a valid membership proof in turn; each mutant
+  // must fail parsing or fail verification against the untampered tree.
+  using crypto::SearchTree;
+  std::vector<SearchTree::Entry> entries;
+  for (int i = 0; i < 9; ++i) {
+    SearchTree::Entry entry;
+    entry.tag = SearchTree::TagDigest(ToBytes("tag-" + std::to_string(i)));
+    entry.positions = {static_cast<uint64_t>(i), static_cast<uint64_t>(i + 9)};
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SearchTree::Entry& a, const SearchTree::Entry& b) {
+              return a.tag < b.tag;
+            });
+  SearchTree tree;
+  ASSERT_TRUE(tree.Assign(entries, 18).ok());
+  const SearchTree::Hash tag = tree.entry(4).tag;
+
+  protocol::CompletenessProof proof;
+  proof.epoch = 3;
+  proof.tree_size = tree.size();
+  proof.search_root = tree.Root();
+  proof.kind = protocol::kCompletenessMember;
+  proof.index = 4;
+  proof.positions = tree.entry(4).positions;
+  proof.path = tree.MembershipPath(4);
+  Bytes wire;
+  proof.AppendTo(&wire);
+
+  auto verifies = [&](const Bytes& bytes) {
+    ByteReader reader(bytes);
+    auto parsed = protocol::CompletenessProof::ReadFrom(&reader, 18, 18);
+    if (!parsed.ok() || !reader.AtEnd()) return false;
+    if (parsed->epoch != proof.epoch) return false;
+    if (parsed->search_root != tree.Root()) return false;
+    if (parsed->kind != protocol::kCompletenessMember) return false;
+    return SearchTree::VerifyMember(
+               tree.Root(), parsed->tree_size, parsed->index, tag,
+               SearchTree::PostingDigest(parsed->positions), parsed->path)
+        .ok();
+  };
+  ASSERT_TRUE(verifies(wire));
+  for (size_t i = 0; i < wire.size(); ++i) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}}) {
+      Bytes mutant = wire;
+      mutant[i] ^= flip;
+      EXPECT_FALSE(verifies(mutant)) << "byte " << i << " flip " << int(flip);
+    }
+  }
+}
+
+TEST(CompletenessFuzzTest, HostileCountsCannotForceOverAllocation) {
+  // Membership with a 2^32-1 posting count and no bytes behind it.
+  Bytes wire;
+  wire.push_back(protocol::kCompletenessProofVersion);
+  AppendUint64(&wire, 1);                  // epoch
+  AppendUint64(&wire, uint64_t{1} << 40);  // tree_size (huge)
+  wire.resize(wire.size() + 32, 0x33);     // search root
+  AppendUint32(&wire, 0);                  // empty signature
+  wire.push_back(protocol::kCompletenessMember);
+  AppendUint64(&wire, 7);                  // index
+  AppendUint32(&wire, 0xffffffffu);        // hostile posting count
+  ByteReader reader(wire);
+  EXPECT_FALSE(
+      protocol::CompletenessProof::ReadFrom(&reader, 1u << 20, 1u << 20).ok());
+
+  // One honest position, then a 2^32-1 sibling-path claim.
+  Bytes path_bomb;
+  path_bomb.push_back(protocol::kCompletenessProofVersion);
+  AppendUint64(&path_bomb, 1);
+  AppendUint64(&path_bomb, 100);
+  path_bomb.resize(path_bomb.size() + 32, 0x44);
+  AppendUint32(&path_bomb, 0);
+  path_bomb.push_back(protocol::kCompletenessMember);
+  AppendUint64(&path_bomb, 7);
+  AppendUint32(&path_bomb, 1);
+  AppendUint64(&path_bomb, 5);             // the one position
+  AppendUint32(&path_bomb, 0xffffffffu);   // hostile path length
+  ByteReader path_reader(path_bomb);
+  EXPECT_FALSE(
+      protocol::CompletenessProof::ReadFrom(&path_reader, 16, 16).ok());
+
+  // Non-membership with more neighbors than any valid proof carries.
+  Bytes neighbor_bomb;
+  neighbor_bomb.push_back(protocol::kCompletenessProofVersion);
+  AppendUint64(&neighbor_bomb, 1);
+  AppendUint64(&neighbor_bomb, 100);
+  neighbor_bomb.resize(neighbor_bomb.size() + 32, 0x55);
+  AppendUint32(&neighbor_bomb, 0);
+  neighbor_bomb.push_back(protocol::kCompletenessAbsent);
+  neighbor_bomb.push_back(0xff);           // hostile neighbor count
+  ByteReader neighbor_reader(neighbor_bomb);
+  EXPECT_FALSE(
+      protocol::CompletenessProof::ReadFrom(&neighbor_reader, 16, 16).ok());
+
+  // The search-entry section: a 2^32-1 entry claim with no payload, and
+  // a single honest tag followed by a 2^32-1 position claim.
+  Bytes section;
+  section.push_back(protocol::kSearchSectionVersion);
+  AppendUint32(&section, 0xffffffffu);
+  ByteReader section_reader(section);
+  EXPECT_FALSE(protocol::ReadSearchEntries(&section_reader, 1u << 20).ok());
+
+  Bytes position_bomb;
+  position_bomb.push_back(protocol::kSearchSectionVersion);
+  AppendUint32(&position_bomb, 1);
+  position_bomb.resize(position_bomb.size() + 32, 0x66);  // one tag
+  AppendUint32(&position_bomb, 0xffffffffu);
+  ByteReader position_reader(position_bomb);
+  EXPECT_FALSE(protocol::ReadSearchEntries(&position_reader, 1u << 20).ok());
 }
 
 TEST(ProofFuzzTest, TamperedSelectResponsesRejectedByEnforcingClient) {
