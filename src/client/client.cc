@@ -544,6 +544,14 @@ Status Client::SyncIntegrity(const std::string& relation,
                           protocol::ReadSearchEntries(&reader, count));
     DBPH_ASSIGN_OR_RETURN(search_signature, reader.ReadLengthPrefixed());
     has_search = true;
+  } else if (require_signature) {
+    // An integrity-enabled server always appends the search dump after
+    // the row proof, so its absence is a stripping downgrade: adopting
+    // an empty mirror here would make every later select verify
+    // completeness against tree_size=0 and accept zero-result lies.
+    return Status::DataLoss(
+        "integrity: fetch carries a row proof but no search section — "
+        "completeness downgrade");
   }
   if (!reader.AtEnd()) {
     return Status::DataLoss("integrity: trailing bytes after proof");

@@ -219,8 +219,15 @@ Status SearchTree::VerifyNonMember(const Hash& root, uint64_t tree_size,
                                    const Hash& tag,
                                    const std::vector<Neighbor>& neighbors) {
   if (tree_size == 0) {
-    // An empty tree commits to nothing; the (trusted) root alone proves
-    // absence and there are no entries to show.
+    // An empty tree commits to nothing, but tree_size itself is wire
+    // data the owner never signed — only the root is. Demand the root
+    // actually be the empty-tree constant, or a server could replay a
+    // genuinely signed non-empty root with tree_size=0 and pass off
+    // "no committed matches" for any tag.
+    if (root != MerkleTree::EmptyRoot()) {
+      return Status::DataLoss(
+          "non-membership: tree_size=0 against a non-empty root");
+    }
     if (!neighbors.empty()) {
       return Status::DataLoss("non-membership: neighbors for an empty tree");
     }

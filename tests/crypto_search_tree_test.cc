@@ -185,6 +185,24 @@ TEST(SearchTreeTest, EmptyTreeProvesAbsenceWithTheRootAlone) {
       SearchTree::VerifyNonMember(tree.Root(), 0, tag, neighbors).ok());
 }
 
+TEST(SearchTreeTest, ZeroTreeSizeAgainstNonEmptyRootIsRejected) {
+  // tree_size travels on the wire unsigned; only the root is covered by
+  // the owner's attestation. A server replaying a genuinely signed
+  // non-empty root with tree_size=0 and no neighbors must not get
+  // "absent" accepted for a committed tag.
+  Model model;
+  model[TagFor(1)] = {0};
+  model[TagFor(2)] = {1, 2};
+  SearchTree tree;
+  ASSERT_TRUE(tree.Assign(ModelEntries(model), 3).ok());
+  ASSERT_NE(tree.Root(), crypto::MerkleTree::EmptyRoot());
+  EXPECT_FALSE(
+      SearchTree::VerifyNonMember(tree.Root(), 0, TagFor(1), {}).ok());
+  EXPECT_FALSE(
+      SearchTree::VerifyNonMember(tree.Root(), 0, TagFor(kAbsentBase), {})
+          .ok());
+}
+
 TEST(SearchTreeTest, RandomAssignKeepsSortedOrderAndAllProofsVerify) {
   crypto::HmacDrbg rng("search-tree-assign", 11);
   for (int trial = 0; trial < 12; ++trial) {

@@ -292,6 +292,57 @@ TEST(IntegrityTest, SyncRefusesRollbackBelowWitnessedAnchor) {
   EXPECT_EQ(anchor->first, 2u);
 }
 
+TEST(IntegrityTest, StrippedSearchSectionInSyncIsRejected) {
+  // An integrity-enabled server always appends the search dump after
+  // the fetch row proof, so a missing section is a stripping downgrade:
+  // if the client adopted an empty search mirror here, every later
+  // select would verify completeness against tree_size=0 and accept
+  // zero-result lies. Under require_signature the sync must fail closed.
+  Deployment owner(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(owner.client.Outsource(SeedTable()).ok());
+
+  TamperProxy proxy;
+  proxy.server = &owner.server;
+  crypto::HmacDrbg rng("sync-stripped-search", 12);
+  client::Client fresh(
+      ToBytes("integrity master"),
+      [&proxy](const Bytes& request) { return proxy(request); }, &rng);
+  fresh.set_verify_mode(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(fresh.Adopt("T", TableSchema()).ok());
+
+  proxy.tamper = [](const Bytes& wire) {
+    auto envelope = Envelope::Parse(wire);
+    if (!envelope.ok() || envelope->type != MessageType::kFetchResult) {
+      return wire;
+    }
+    ByteReader reader(envelope->payload);
+    auto docs = swp::ReadDocumentList(&reader);
+    if (!docs.ok()) return wire;
+    auto proof = protocol::ResultProof::ReadFrom(&reader, docs->size());
+    if (!proof.ok()) return wire;
+    // Cut everything after the row proof: rows + proof stay genuine.
+    Envelope stripped;
+    stripped.type = envelope->type;
+    stripped.payload.assign(envelope->payload.begin(),
+                            envelope->payload.end() - reader.remaining());
+    return stripped.Serialize();
+  };
+  Status synced = fresh.SyncIntegrity("T", /*require_signature=*/true);
+  ASSERT_FALSE(synced.ok());
+  EXPECT_NE(synced.message().find("no search section"), std::string::npos)
+      << synced;
+  // The stripped sync must not have installed any anchor.
+  EXPECT_FALSE(fresh.IntegrityAnchor("T").ok());
+
+  // The honest sync afterwards anchors, and selects verify — including
+  // the zero-result path against the now-populated search mirror.
+  proxy.tamper = nullptr;
+  Status honest = fresh.SyncIntegrity("T", /*require_signature=*/true);
+  ASSERT_TRUE(honest.ok()) << honest;
+  EXPECT_TRUE(fresh.Select("T", "grp", Value::Int(1)).ok());
+  EXPECT_TRUE(fresh.Select("T", "name", Value::Str("zelda")).ok());
+}
+
 TEST(IntegrityTest, WithheldRowInRecallIsRejected) {
   // Recall carries the whole-relation completeness proof: serving n-1
   // of n rows must fail even though every served row is genuine.
@@ -749,6 +800,58 @@ TEST(CompletenessTest, UnanchoredClientVerifiesAgainstSignedSearchRoot) {
     return AssembleSelectResponse(*parts);
   };
   EXPECT_FALSE(adopted.Select("T", "grp", Value::Int(1)).ok());
+}
+
+TEST(CompletenessTest, SignedRootReplayedWithZeroTreeSizeIsRejected) {
+  // The owner's search-root HMAC covers (relation, epoch, root) but NOT
+  // tree_size, which rides as plain wire data. A dishonest server can
+  // therefore serve the GENUINELY SIGNED non-empty search root with
+  // tree_size=0, kind=absent, and no neighbors — "the tree is empty,
+  // the root alone proves absence" — to an unanchored session, and
+  // every zero-result lie would verify. The verifier must pin
+  // tree_size=0 to the empty-root constant.
+  Deployment owner(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(owner.client.Outsource(SeedTable()).ok());
+
+  TamperProxy proxy;
+  proxy.server = &owner.server;
+  crypto::HmacDrbg rng("completeness-zero-size", 13);
+  client::Client adopted(
+      ToBytes("integrity master"),
+      [&proxy](const Bytes& request) { return proxy(request); }, &rng);
+  adopted.set_verify_mode(client::VerifyMode::kEnforce);
+  ASSERT_TRUE(adopted.Adopt("T", TableSchema()).ok());
+
+  proxy.tamper = [&](const Bytes& wire) {
+    auto parts = ParseSelectResponse(wire);
+    if (!parts.ok() || parts->docs.empty()) return wire;
+    ByteReader creader(parts->completeness);
+    auto completeness = protocol::CompletenessProof::ReadFrom(
+        &creader, parts->docs.size(), parts->proof.leaf_count);
+    if (!completeness.ok()) return wire;
+    completeness->kind = protocol::kCompletenessAbsent;
+    completeness->tree_size = 0;  // the unsigned field
+    completeness->positions.clear();
+    completeness->path.clear();
+    completeness->neighbors.clear();
+    parts->completeness.clear();
+    completeness->AppendTo(&parts->completeness);
+    parts->docs.clear();
+    parts->proof.positions.clear();
+    parts->proof.siblings = {parts->proof.root};
+    return AssembleSelectResponse(*parts);
+  };
+  auto result = adopted.Select("T", "grp", Value::Int(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("non-empty root"),
+            std::string::npos)
+      << result.status();
+
+  // Honest path still verifies afterwards.
+  proxy.tamper = nullptr;
+  auto honest = adopted.Select("T", "grp", Value::Int(1));
+  ASSERT_TRUE(honest.ok()) << honest.status();
+  EXPECT_EQ(honest->size(), 2u);
 }
 
 TEST(CompletenessTest, WarnModeSurfacesTheLieButReturnsData) {
